@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the storage substrate's B+tree: insert, point
+//! search (unique and duplicate-heavy keys), and ordered scan — the
+//! access paths behind SEARCH and the sort-merge scan.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pvm::storage::btree::BPlusTree;
+use pvm::storage::{BufferPool, FileId};
+
+fn key(i: u64) -> [u8; 8] {
+    i.to_be_bytes()
+}
+
+fn loaded_tree(n: u64) -> BPlusTree {
+    let mut t = BPlusTree::new(FileId(0), BufferPool::shared(4096));
+    for i in 0..n {
+        // Scrambled insert order.
+        let k = (i * 2654435761) % n;
+        t.insert(&key(k), &k.to_be_bytes()).unwrap();
+    }
+    t
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("btree/insert_10k_scrambled", |b| {
+        b.iter_batched(|| (), |_| loaded_tree(10_000), BatchSize::SmallInput)
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let t = loaded_tree(100_000);
+    let mut i = 0u64;
+    c.bench_function("btree/point_search_100k", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            std::hint::black_box(t.search(&key(i)));
+        })
+    });
+
+    // Duplicate-heavy: 100 values × 1,000 entries each.
+    let mut dup = BPlusTree::new(FileId(1), BufferPool::shared(4096));
+    for i in 0..100_000u64 {
+        dup.insert(&key(i % 100), &i.to_be_bytes()).unwrap();
+    }
+    c.bench_function("btree/dup_search_1000_matches", |b| {
+        b.iter(|| {
+            i = (i + 13) % 100;
+            std::hint::black_box(dup.search(&key(i)).len());
+        })
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let t = loaded_tree(100_000);
+    c.bench_function("btree/ordered_scan_100k", |b| {
+        b.iter(|| {
+            let n = t.scan().count();
+            std::hint::black_box(n);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_insert, bench_search, bench_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Micro-benchmarks of the parallel-engine primitives the maintenance
+//! methods are built from: routed inserts, local index probes
+//! (clustered vs. non-clustered), and broadcast redistribution.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pvm::prelude::*;
+
+fn cluster_with_table(l: usize, clustered: bool, rows: u64) -> (Cluster, TableId) {
+    let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(2048));
+    let schema =
+        Schema::new(vec![Column::int("id"), Column::int("c"), Column::str("p")]).into_ref();
+    let def = if clustered {
+        // Partitioned AND clustered on the probe column.
+        TableDef::hash_clustered("t", schema, 1)
+    } else {
+        TableDef::hash_heap("t", schema, 0)
+    };
+    let id = cluster.create_table(def).unwrap();
+    cluster
+        .insert(
+            id,
+            (0..rows)
+                .map(|i| row![i as i64, (i % 100) as i64, "payload"])
+                .collect(),
+        )
+        .unwrap();
+    if !clustered {
+        cluster.create_secondary_index(id, "t_c", vec![1]).unwrap();
+    }
+    (cluster, id)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("engine/routed_insert_1k_rows_8_nodes", |b| {
+        b.iter_batched(
+            || {
+                let (cluster, id) = cluster_with_table(8, false, 0);
+                let rows: Vec<Row> = (0..1_000)
+                    .map(|i| row![i as i64, (i % 100) as i64, "payload"])
+                    .collect();
+                (cluster, id, rows)
+            },
+            |(mut cluster, id, rows)| {
+                cluster.insert(id, rows).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let (mut clustered, cid) = cluster_with_table(4, true, 10_000);
+    let (mut heap, hid) = cluster_with_table(4, false, 10_000);
+    let mut v = 0i64;
+    c.bench_function("engine/clustered_probe_100_matches", |b| {
+        b.iter(|| {
+            v = (v + 1) % 100;
+            let hits = clustered
+                .node_mut(NodeId(0))
+                .unwrap()
+                .index_search(cid, &[1], &row![v])
+                .unwrap();
+            std::hint::black_box(hits.len());
+        })
+    });
+    c.bench_function("engine/nonclustered_probe_with_fetches", |b| {
+        b.iter(|| {
+            v = (v + 1) % 100;
+            let hits = heap
+                .node_mut(NodeId(0))
+                .unwrap()
+                .index_search(hid, &[1], &row![v])
+                .unwrap();
+            std::hint::black_box(hits.len());
+        })
+    });
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    c.bench_function("engine/broadcast_and_drain_32_nodes", |b| {
+        b.iter_batched(
+            || Cluster::new(ClusterConfig::new(32)),
+            |mut cluster| {
+                let payload = pvm::engine::NetPayload::DeltaRows {
+                    table: TableId(0),
+                    rows: vec![row![1, 2, "x"]],
+                };
+                for _ in 0..100 {
+                    cluster.broadcast(NodeId(0), &payload).unwrap();
+                }
+                for n in 0..32u16 {
+                    std::hint::black_box(cluster.fabric_mut().recv_all(NodeId(n)).len());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_insert, bench_probe, bench_broadcast
+}
+criterion_main!(benches);

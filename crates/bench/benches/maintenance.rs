@@ -1,0 +1,186 @@
+//! End-to-end maintenance benchmarks: wall-clock cost of propagating one
+//! base-relation insert through each of the three methods on an 8-node
+//! cluster (the engine analogue of Figure 7's comparison), plus a batch
+//! variant (Figure 9's regime) and an ablation of the multi-way planner's
+//! statistics-driven chain choice.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pvm::prelude::*;
+
+fn setup(l: usize, method: MaintenanceMethod) -> (Cluster, MaintainedView) {
+    let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(2048));
+    SyntheticRelation::new("a", 1_000, 100)
+        .install(&mut cluster)
+        .unwrap();
+    SyntheticRelation::new("b", 1_000, 100)
+        .install(&mut cluster)
+        .unwrap();
+    let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+    let view = MaintainedView::create(&mut cluster, def, method).unwrap();
+    (cluster, view)
+}
+
+fn bench_single_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance/single_insert_8_nodes");
+    for (name, method) in [
+        ("naive", MaintenanceMethod::Naive),
+        ("aux_rel", MaintenanceMethod::AuxiliaryRelation),
+        ("global_index", MaintenanceMethod::GlobalIndex),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || setup(8, method),
+                |(mut cluster, mut view)| {
+                    view.apply(
+                        &mut cluster,
+                        0,
+                        &Delta::insert_one(row![99_999, 42, "delta"]),
+                    )
+                    .unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance/batch_128_8_nodes");
+    group.sample_size(10);
+    for (name, method) in [
+        ("naive", MaintenanceMethod::Naive),
+        ("aux_rel", MaintenanceMethod::AuxiliaryRelation),
+        ("global_index", MaintenanceMethod::GlobalIndex),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let (cluster, view) = setup(8, method);
+                    let rows: Vec<Row> = (0..128)
+                        .map(|i| row![50_000 + i as i64, (i % 100) as i64, "d"])
+                        .collect();
+                    (cluster, view, rows)
+                },
+                |(mut cluster, mut view, rows)| {
+                    view.apply(&mut cluster, 0, &Delta::Insert(rows)).unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: three-way view maintenance with the statistics-driven chain
+/// vs. a deliberately bad fixed order (big-fanout relation first). The
+/// §2.2 optimization problem, measured.
+fn bench_planner_ablation(c: &mut Criterion) {
+    fn setup_threeway() -> (Cluster, TableId) {
+        let mut cluster = Cluster::new(ClusterConfig::new(4).with_buffer_pages(2048));
+        // a joins b on value; b joins c. b has fanout 1, c has fanout 20:
+        // probing b first keeps intermediates small.
+        SyntheticRelation::new("a", 200, 200)
+            .install(&mut cluster)
+            .unwrap();
+        SyntheticRelation::new("b", 200, 200)
+            .install(&mut cluster)
+            .unwrap();
+        let c_id = SyntheticRelation::new("c", 4_000, 200)
+            .install(&mut cluster)
+            .unwrap();
+        (cluster, c_id)
+    }
+    fn threeway_def() -> JoinViewDef {
+        JoinViewDef {
+            name: "jv3".into(),
+            relations: vec!["a".into(), "b".into(), "c".into()],
+            edges: vec![
+                ViewEdge::new(ViewColumn::new(0, 1), ViewColumn::new(1, 1)),
+                ViewEdge::new(ViewColumn::new(0, 1), ViewColumn::new(2, 1)),
+            ],
+            projection: vec![
+                ViewColumn::new(0, 0),
+                ViewColumn::new(1, 0),
+                ViewColumn::new(2, 0),
+            ],
+            partition_column: 0,
+        }
+    }
+    c.bench_function("maintenance/threeway_stats_planner", |b| {
+        b.iter_batched(
+            || {
+                let (mut cluster, _) = setup_threeway();
+                let view = MaintainedView::create(
+                    &mut cluster,
+                    threeway_def(),
+                    MaintenanceMethod::AuxiliaryRelation,
+                )
+                .unwrap();
+                (cluster, view)
+            },
+            |(mut cluster, mut view)| {
+                view.apply(&mut cluster, 0, &Delta::insert_one(row![9_999, 7, "d"]))
+                    .unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Aggregate view maintenance vs. plain join view maintenance: the fold
+/// replaces raw view inserts, trading wider view tables for per-group
+/// upserts.
+fn bench_aggregate(c: &mut Criterion) {
+    use pvm::core::{AggShape, AggSpec};
+    let mut group = c.benchmark_group("maintenance/aggregate_vs_join");
+    group.bench_function("join_view_insert", |b| {
+        b.iter_batched(
+            || setup(8, MaintenanceMethod::AuxiliaryRelation),
+            |(mut cluster, mut view)| {
+                view.apply(&mut cluster, 0, &Delta::insert_one(row![99_999, 42, "d"]))
+                    .unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("aggregate_view_insert", |b| {
+        b.iter_batched(
+            || {
+                let mut cluster = Cluster::new(ClusterConfig::new(8).with_buffer_pages(2048));
+                SyntheticRelation::new("a", 1_000, 100)
+                    .install(&mut cluster)
+                    .unwrap();
+                SyntheticRelation::new("b", 1_000, 100)
+                    .install(&mut cluster)
+                    .unwrap();
+                let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+                let shape = AggShape {
+                    group_by: vec![1],
+                    aggregates: vec![AggSpec::count()],
+                };
+                let view = MaintainedView::create_aggregate(
+                    &mut cluster,
+                    def,
+                    shape,
+                    MaintenanceMethod::AuxiliaryRelation,
+                )
+                .unwrap();
+                (cluster, view)
+            },
+            |(mut cluster, mut view)| {
+                view.apply(&mut cluster, 0, &Delta::insert_one(row![99_999, 42, "d"]))
+                    .unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_single_insert, bench_batch_insert, bench_planner_ablation, bench_aggregate
+}
+criterion_main!(benches);

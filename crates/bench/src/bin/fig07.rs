@@ -1,0 +1,105 @@
+//! Figure 7: per-tuple total workload (TW, I/Os) vs. number of data
+//! server nodes, for the five method variants. Paper setting: |B| = 6,400
+//! pages, M = 100, N = 10, K = min(N, L).
+//!
+//! The analytical series is cross-checked against the *executed* engine:
+//! for small L we build a real cluster, create the view under each
+//! maintenance method, insert one tuple, and report the metered I/Os.
+//!
+//! Expected shape (paper §3.2): AR flat at 3; GI (dist. clustered) rises
+//! to a plateau of 3 + N = 13 once L ≥ N; naive linear in L.
+//!
+//! Run `--savings` for the §3.1.1 savings-vs-naive breakdown.
+
+use pvm::prelude::*;
+use pvm_bench::{header, node_sweep, series_labels, series_row};
+
+fn model_series() {
+    header(
+        "Figure 7",
+        "TW (I/Os) for a single-tuple insert vs. L (model)",
+    );
+    series_labels(
+        "L",
+        &["aux-rel", "naive-noncl", "naive-cl", "gi-noncl", "gi-cl"],
+    );
+    for l in node_sweep() {
+        let p = ModelParams::paper_defaults(l);
+        let vals: Vec<f64> = MethodVariant::ALL
+            .iter()
+            .map(|&m| tw(m, &p).io() as f64)
+            .collect();
+        series_row(l, &vals);
+    }
+}
+
+/// Engine cross-check: metered TW (aux + compute phases) for one inserted
+/// tuple on a synthetic A ⋈ B with exact fan-out N = 10.
+fn engine_check() {
+    println!();
+    header("Figure 7 (engine)", "metered TW for one insert, N = 10");
+    series_labels("L", &["aux-rel", "naive-noncl", "gi-noncl"]);
+    for l in [2usize, 4, 8, 16, 32] {
+        let mut vals = Vec::new();
+        for method in [
+            MaintenanceMethod::AuxiliaryRelation,
+            MaintenanceMethod::Naive,
+            MaintenanceMethod::GlobalIndex,
+        ] {
+            let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(512));
+            SyntheticRelation::new("a", 100, 100)
+                .install(&mut cluster)
+                .unwrap();
+            // 1,000 B rows over 100 values → N = 10 matches per value.
+            SyntheticRelation::new("b", 1_000, 100)
+                .install(&mut cluster)
+                .unwrap();
+            let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+            let mut view = MaintainedView::create(&mut cluster, def, method).unwrap();
+            let delta = Delta::insert_one(row![100_000, 42, "delta"]);
+            let out = view.apply(&mut cluster, 0, &delta).unwrap();
+            vals.push(out.tw_io());
+        }
+        series_row(l, &vals);
+    }
+    println!(
+        "\n(model: aux-rel = 3, naive-noncl = L + 10, gi-noncl = 13 — engine rows must match)"
+    );
+}
+
+fn savings_table() {
+    header("§3.1.1", "savings vs. the naive method, per inserted tuple");
+    println!(
+        "{:>6} {:>22} {:>8} {:>8} {:>12} {:>14} {:>13}",
+        "L", "variant", "+INSERT", "+FETCH", "saved SENDs", "saved SEARCHs", "saved FETCHs"
+    );
+    for l in [8u64, 32, 128] {
+        let p = ModelParams::paper_defaults(l);
+        for m in [
+            MethodVariant::AuxRel,
+            MethodVariant::GiDistNonClustered,
+            MethodVariant::GiDistClustered,
+        ] {
+            let s = savings_vs_naive(m, &p).expect("non-naive variant");
+            println!(
+                "{:>6} {:>22} {:>8} {:>8} {:>12} {:>14} {:>13}",
+                l,
+                m.label().split(" (").next().unwrap_or(""),
+                s.extra_inserts,
+                s.extra_fetches,
+                s.saved_sends,
+                s.saved_searches,
+                s.saved_fetches
+            );
+        }
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--savings") {
+        savings_table();
+        return;
+    }
+    model_series();
+    engine_check();
+}

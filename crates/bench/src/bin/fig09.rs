@@ -1,0 +1,60 @@
+//! Figure 9: response time (I/Os at the busiest node) of one transaction
+//! inserting **400** tuples, vs. L — the regime where the index join is
+//! the method of choice.
+//!
+//! Expected shape: AR = 3·|A|/L drops rapidly with more nodes; naive with
+//! a clustered index is flat at |A| = 400; GI drops more slowly than AR.
+
+use pvm::prelude::*;
+use pvm_bench::{header, node_sweep, series_labels, series_row};
+
+const A: u64 = 400;
+
+fn main() {
+    header(
+        "Figure 9",
+        "response time (I/Os), one txn of 400 tuples, index join (model)",
+    );
+    series_labels(
+        "L",
+        &["aux-rel", "naive-noncl", "naive-cl", "gi-noncl", "gi-cl"],
+    );
+    for l in node_sweep() {
+        let p = ModelParams::paper_defaults(l).with_a(A);
+        // Fig. 9 stipulates the index path.
+        let vals: Vec<f64> = MethodVariant::ALL
+            .iter()
+            .map(|&m| response_time(m, &p).index_io)
+            .collect();
+        series_row(l, &vals);
+    }
+
+    println!();
+    header(
+        "Figure 9 (engine)",
+        "metered busiest-node I/Os, 400-tuple txn, N = 1",
+    );
+    series_labels("L", &["aux-rel", "naive-noncl", "gi-noncl"]);
+    for l in [2usize, 4, 8, 16, 32] {
+        let mut vals = Vec::new();
+        for method in [
+            MaintenanceMethod::AuxiliaryRelation,
+            MaintenanceMethod::Naive,
+            MaintenanceMethod::GlobalIndex,
+        ] {
+            let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(2048));
+            let a = SyntheticRelation::new("a", 1_000, 1_000);
+            a.install(&mut cluster).unwrap();
+            SyntheticRelation::new("b", 4_000, 4_000)
+                .install(&mut cluster)
+                .unwrap();
+            let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+            let mut view = MaintainedView::create(&mut cluster, def, method).unwrap();
+            let delta = a.delta(A, &Uniform::new(4_000), 99);
+            let out = view.apply(&mut cluster, 0, &Delta::Insert(delta)).unwrap();
+            vals.push(out.response_io());
+        }
+        series_row(l, &vals);
+    }
+    println!("\n(model with N = 1: aux-rel ≈ 3·400/L, naive ≈ 400 + 400/L, gi ≈ 4·400/L)");
+}

@@ -1,0 +1,54 @@
+//! Figure 11: response time (I/Os) of one transaction vs. the number of
+//! inserted tuples (100 … 7,000) at L = 128.
+//!
+//! Expected shape: naive grows fast and plateaus first (sort-merge takes
+//! over); the global-index method plateaus "much later than the naive
+//! method, and much earlier than the auxiliary relation method"; once |A|
+//! approaches |B| pages, AR and GI are worse than naive.
+
+use pvm::prelude::*;
+use pvm_bench::{header, series_labels, series_row};
+
+const L: u64 = 128;
+
+fn main() {
+    header(
+        "Figure 11",
+        "response time (I/Os) vs. inserted tuples (L = 128, model)",
+    );
+    series_labels(
+        "|A|",
+        &["aux-rel", "naive-noncl", "naive-cl", "gi-noncl", "gi-cl"],
+    );
+    let mut a = 100u64;
+    while a <= 7_000 {
+        let p = ModelParams::paper_defaults(L).with_a(a);
+        let vals: Vec<f64> = MethodVariant::ALL
+            .iter()
+            .map(|&m| response_time(m, &p).io())
+            .collect();
+        series_row(a, &vals);
+        a += 100;
+    }
+
+    // Plateau-entry points (first |A| where sort-merge is chosen).
+    println!();
+    for m in MethodVariant::ALL {
+        let mut a = 1u64;
+        let entry = loop {
+            let p = ModelParams::paper_defaults(L).with_a(a);
+            let r = response_time(m, &p);
+            if r.sort_merge_io <= r.index_io {
+                break Some(a);
+            }
+            a += 1;
+            if a > 5_000_000 {
+                break None;
+            }
+        };
+        match entry {
+            Some(a) => println!("{:<36} plateaus at |A| = {a}", m.label()),
+            None => println!("{:<36} never reaches the sort-merge regime", m.label()),
+        }
+    }
+}

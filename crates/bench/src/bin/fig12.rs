@@ -1,0 +1,46 @@
+//! Figure 12: detail of Figure 11 for 1 … 300 inserted tuples at L = 128,
+//! showing the **step-wise** behaviour of the auxiliary-relation method:
+//! its time depends on the *maximum* delta share any node sees,
+//! `ceil(|A|/L)`, so it jumps exactly at multiples of L (128, 256, …).
+//! The global-index method steps similarly on `ceil(|A|·K/L)`.
+
+use pvm::prelude::*;
+use pvm_bench::{header, series_labels, series_row};
+
+const L: u64 = 128;
+
+fn main() {
+    header(
+        "Figure 12",
+        "response time (I/Os) vs. inserted tuples, detail (L = 128, model)",
+    );
+    series_labels(
+        "|A|",
+        &["aux-rel", "naive-noncl", "naive-cl", "gi-noncl", "gi-cl"],
+    );
+    for a in (10..=300).step_by(10) {
+        let p = ModelParams::paper_defaults(L).with_a(a);
+        let vals: Vec<f64> = MethodVariant::ALL
+            .iter()
+            .map(|&m| response_time(m, &p).io())
+            .collect();
+        series_row(a, &vals);
+    }
+
+    // The step boundaries, verified.
+    println!();
+    let at = |a: u64| {
+        response_time(
+            MethodVariant::AuxRel,
+            &ModelParams::paper_defaults(L).with_a(a),
+        )
+        .io()
+    };
+    println!("AR time at |A| = 1 … 128 is constant: {}", at(1) == at(128));
+    println!("AR time doubles at |A| = 129: {} → {}", at(128), at(129));
+    println!(
+        "AR time steps again at |A| = 257: {} → {}",
+        at(256),
+        at(257)
+    );
+}

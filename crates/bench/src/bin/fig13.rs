@@ -1,0 +1,61 @@
+//! Figure 13: **predicted** view maintenance time for JV1 (customer ⋈
+//! orders) and JV2 (customer ⋈ orders ⋈ lineitem) when 128 tuples are
+//! inserted into `customer`, naive vs. auxiliary-relation method, on
+//! 2 / 4 / 8-node configurations.
+//!
+//! As in the paper, times are scaled to units of 128 I/Os, so only the
+//! relative ratios matter. Each inserted customer matches one order; each
+//! order matches four lineitems; the §3.3 setup uses *non-clustered*
+//! indexes on orders.custkey and lineitem.orderkey for the naive method.
+//!
+//! Expected shape: AR ≪ naive, with the gap growing with node count; JV2
+//! roughly doubles the naive cost while AR stays cheap.
+
+use pvm::prelude::*;
+use pvm_bench::{header, series_labels, series_row};
+
+const DELTA: u64 = 128;
+
+fn main() {
+    header(
+        "Figure 13",
+        "predicted view maintenance time (units of 128 I/Os)",
+    );
+    let jv1 = [ChainStep::new(1.0)];
+    let jv2 = [ChainStep::new(1.0), ChainStep::new(4.0)];
+    series_labels(
+        "L",
+        &[
+            "AR JV1",
+            "GI JV1",
+            "naive JV1",
+            "AR JV2",
+            "GI JV2",
+            "naive JV2",
+        ],
+    );
+    for l in [2u64, 4, 8] {
+        let t1 = predict_chain(DELTA, l, &jv1);
+        let t2 = predict_chain(DELTA, l, &jv2);
+        let unit = DELTA as f64;
+        series_row(
+            l,
+            &[
+                t1.aux_rel_io / unit,
+                t1.gi_io / unit,
+                t1.naive_io / unit,
+                t2.aux_rel_io / unit,
+                t2.gi_io / unit,
+                t2.naive_io / unit,
+            ],
+        );
+    }
+
+    println!();
+    println!("speedup of AR over naive (grows with L, as in Figures 13/14):");
+    for l in [2u64, 4, 8] {
+        let s1 = predict_chain(DELTA, l, &jv1).speedup();
+        let s2 = predict_chain(DELTA, l, &jv2).speedup();
+        println!("  L = {l}: JV1 {s1:.1}x, JV2 {s2:.1}x");
+    }
+}

@@ -1,0 +1,137 @@
+//! The paper's **introduction**, reproduced: "even with no changes in the
+//! workload, the addition of this simple view can bring what was a
+//! well-performing system to a crawl … instead of each node of the
+//! parallel RDBMS handling a fraction of the update stream, all nodes
+//! have to process every element of the update stream."
+//!
+//! An operational-warehouse mix runs against an 8-node cluster: a stream
+//! of single-tuple update transactions (each localized to one node)
+//! interleaved with ad-hoc distributed join queries. Four configurations:
+//! no materialized view, then the view maintained naively, with a global
+//! index, and with auxiliary relations.
+//!
+//! Reported per configuration:
+//!
+//! * average I/Os per update transaction (the throughput killer);
+//! * nodes touched per update (1 without a view; the paper's all-node
+//!   problem under naive maintenance);
+//! * total I/Os including the query side (queries cost the same
+//!   everywhere — the *view pays for itself on reads* in a real system,
+//!   but maintenance must not erase that).
+
+use pvm::engine::exec::distributed_hash_join;
+use pvm::prelude::*;
+use pvm_bench::header;
+
+const L: usize = 8;
+const UPDATES: u64 = 200;
+const QUERIES: usize = 4;
+
+struct Config {
+    label: &'static str,
+    method: Option<MaintenanceMethod>,
+}
+
+fn run(config: &Config) -> (f64, f64, f64) {
+    let mut cluster = Cluster::new(ClusterConfig::new(L).with_buffer_pages(2048));
+    let rel_a = SyntheticRelation::new("a", 2_000, 500);
+    rel_a.install(&mut cluster).unwrap();
+    SyntheticRelation::new("b", 5_000, 500)
+        .install(&mut cluster)
+        .unwrap();
+    let a = cluster.table_id("a").unwrap();
+    let b = cluster.table_id("b").unwrap();
+
+    let mut view = config.method.map(|m| {
+        MaintainedView::create(
+            &mut cluster,
+            JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3),
+            m,
+        )
+        .unwrap()
+    });
+
+    cluster.reset_counters();
+    let mut update_io = 0.0;
+    let mut active_nodes = 0usize;
+    let deltas = rel_a.delta(UPDATES, &Uniform::new(500), 42);
+    for (i, row) in deltas.into_iter().enumerate() {
+        let guard = cluster.meter();
+        match &mut view {
+            Some(v) => {
+                let out = v.apply(&mut cluster, 0, &Delta::insert_one(row)).unwrap();
+                active_nodes += out.compute_active_nodes().max(1);
+            }
+            None => {
+                cluster.insert(a, vec![row]).unwrap();
+                active_nodes += 1;
+            }
+        }
+        update_io += guard.finish(&cluster).total_workload_io();
+
+        // Interleave an ad-hoc join query every UPDATES/QUERIES updates.
+        if (i + 1) % (UPDATES as usize / QUERIES) == 0 {
+            let _ = distributed_hash_join(&mut cluster, a, 1, b, 1, NodeId(0)).unwrap();
+        }
+    }
+    if let Some(v) = &view {
+        v.check_consistent(&cluster).unwrap();
+    }
+    let total: f64 = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.combined_snapshot().total_io())
+        .sum();
+    (
+        update_io / UPDATES as f64,
+        active_nodes as f64 / UPDATES as f64,
+        total,
+    )
+}
+
+fn main() {
+    header(
+        "Mixed workload (intro)",
+        &format!("{UPDATES} single-tuple update txns + {QUERIES} ad-hoc joins, L = {L}"),
+    );
+    println!(
+        "{:>24} {:>16} {:>18} {:>16}",
+        "configuration", "I/Os per txn", "nodes per txn", "total I/Os"
+    );
+    let configs = [
+        Config {
+            label: "no materialized view",
+            method: None,
+        },
+        Config {
+            label: "view, naive",
+            method: Some(MaintenanceMethod::Naive),
+        },
+        Config {
+            label: "view, global index",
+            method: Some(MaintenanceMethod::GlobalIndex),
+        },
+        Config {
+            label: "view, auxiliary rel",
+            method: Some(MaintenanceMethod::AuxiliaryRelation),
+        },
+    ];
+    let mut rows = Vec::new();
+    for c in &configs {
+        let (per_txn, nodes, total) = run(c);
+        println!(
+            "{:>24} {:>16.1} {:>18.2} {:>16.0}",
+            c.label, per_txn, nodes, total
+        );
+        rows.push((c.label, per_txn, nodes));
+    }
+    println!();
+    println!(
+        "the intro's claim, quantified: adding the view under naive maintenance\n\
+         multiplies per-transaction work by ~{:.0}x and turns 1-node updates into\n\
+         {:.0}-node operations; the AR method restores ~single-node updates at a\n\
+         small constant overhead.",
+        rows[1].1 / rows[0].1.max(1.0),
+        rows[1].2
+    );
+}

@@ -1,0 +1,100 @@
+//! Ablation (beyond the paper): what join-attribute **skew** does to the
+//! three methods.
+//!
+//! The analytical model assumes tuples "uniformly distributed on the join
+//! attribute" (assumption 9). Under Zipf-skewed update streams, the AR
+//! and GI methods concentrate their routed work on the hot values' home
+//! nodes, while the naive method — which broadcasts everything anyway —
+//! is insensitive. This harness measures, per method:
+//!
+//! * busiest-node compute I/Os (response time), and
+//! * the imbalance ratio busiest/average across nodes,
+//!
+//! for uniform vs. Zipf(1.0) vs. Zipf(1.5) deltas.
+//!
+//! Expected shape: naive's imbalance stays ≈ 1 regardless of skew; AR and
+//! GI imbalance grows with the Zipf exponent, eroding (but not erasing)
+//! their response-time advantage.
+
+use pvm::prelude::*;
+use pvm_bench::{header, series_labels, series_row};
+
+const L: usize = 8;
+const DELTA: u64 = 256;
+const DISTINCT: u64 = 64;
+
+fn measure(method: MaintenanceMethod, dist: &dyn Fn(u64) -> Vec<Row>) -> (f64, f64) {
+    let mut cluster = Cluster::new(ClusterConfig::new(L).with_buffer_pages(2048));
+    let a = SyntheticRelation::new("a", 100, 100);
+    a.install(&mut cluster).unwrap();
+    SyntheticRelation::new("b", DISTINCT * 4, DISTINCT)
+        .install(&mut cluster)
+        .unwrap();
+    let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+    let mut view = MaintainedView::create(&mut cluster, def, method).unwrap();
+    let out = view
+        .apply(&mut cluster, 0, &Delta::Insert(dist(DELTA)))
+        .unwrap();
+    view.check_consistent(&cluster).unwrap();
+    let per_node: Vec<f64> = out
+        .compute
+        .per_node
+        .iter()
+        .zip(&out.aux.per_node)
+        .map(|(c, x)| {
+            (c.searches + c.fetches + 2 * c.inserts + x.searches + x.fetches + 2 * x.inserts) as f64
+        })
+        .collect();
+    let busiest = per_node.iter().cloned().fold(0.0, f64::max);
+    let avg = per_node.iter().sum::<f64>() / per_node.len() as f64;
+    (busiest, if avg > 0.0 { busiest / avg } else { 1.0 })
+}
+
+fn delta_rows(dist: &dyn Distribution, seed: u64) -> Vec<Row> {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..DELTA)
+        .map(|i| row![(10_000 + i) as i64, dist.sample(&mut rng) as i64, "d"])
+        .collect()
+}
+
+fn main() {
+    header(
+        "Skew ablation",
+        &format!(
+            "{DELTA}-tuple delta, L = {L}, {DISTINCT} join values, busiest-node I/Os and imbalance"
+        ),
+    );
+    series_labels(
+        "method",
+        &[
+            "uni io", "uni imb", "z1.0 io", "z1.0 imb", "z1.5 io", "z1.5 imb",
+        ],
+    );
+
+    for (label, method) in [
+        ("naive", MaintenanceMethod::Naive),
+        ("aux-rel", MaintenanceMethod::AuxiliaryRelation),
+        ("glob-ix", MaintenanceMethod::GlobalIndex),
+    ] {
+        let mut vals = Vec::new();
+        for (dist, seed) in [
+            (
+                Box::new(Uniform::new(DISTINCT)) as Box<dyn Distribution>,
+                1u64,
+            ),
+            (Box::new(Zipf::new(DISTINCT, 1.0)), 2),
+            (Box::new(Zipf::new(DISTINCT, 1.5)), 3),
+        ] {
+            let rows = delta_rows(dist.as_ref(), seed);
+            let (io, imb) = measure(method, &|_| rows.clone());
+            vals.push(io);
+            vals.push(imb);
+        }
+        series_row(label, &vals);
+    }
+    println!(
+        "\nnaive imbalance stays ≈ 1 (it broadcasts); AR/GI imbalance grows with skew,\n\
+         concentrating their routed work on hot values' home nodes."
+    );
+}

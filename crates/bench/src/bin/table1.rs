@@ -1,0 +1,64 @@
+//! Table 1: the TPC-R-shaped test data set.
+//!
+//! Paper values: customer 0.15M rows / 25 MB, orders 1.5M / 178 MB,
+//! lineitem 6M / 764 MB. The generator keeps the 1 : 10 : 40 row ratio at
+//! any scale; by default this binary loads a 1/100-scale instance into a
+//! real 4-node cluster and reports measured rows / bytes / pages next to
+//! the paper's numbers. Pass `--scale <customers>` to change size
+//! (`--scale 150000` reproduces the full Table 1 row counts; expect a
+//! long load).
+
+use pvm::prelude::*;
+use pvm_bench::header;
+
+fn parse_scale() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_500)
+}
+
+fn main() {
+    let customers = parse_scale();
+    let dataset = TpcrDataset::new(TpcrScale { customers });
+    let mut cluster = Cluster::new(ClusterConfig::new(4).with_buffer_pages(1_000));
+    let t = dataset.install(&mut cluster).unwrap();
+
+    header(
+        "Table 1",
+        &format!("test data set (scale: {customers} customers)"),
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>10} {:>16} {:>14}",
+        "relation", "rows", "MB", "pages", "paper rows", "paper MB"
+    );
+    let paper: [(&str, TableId, u64, u64); 3] = [
+        ("customer", t.customer, 150_000, 25),
+        ("orders", t.orders, 1_500_000, 178),
+        ("lineitem", t.lineitem, 6_000_000, 764),
+    ];
+    for (name, id, paper_rows, paper_mb) in paper {
+        let rows = cluster.row_count(id).unwrap();
+        let mut bytes = 0u64;
+        for node in cluster.nodes() {
+            bytes += node.storage(id).unwrap().stats().byte_size();
+        }
+        let pages = cluster.heap_pages(id).unwrap();
+        println!(
+            "{:>10} {:>12} {:>12.1} {:>10} {:>16} {:>14}",
+            name,
+            rows,
+            bytes as f64 / (1024.0 * 1024.0),
+            pages,
+            paper_rows,
+            paper_mb
+        );
+    }
+    println!(
+        "\nratios preserved: orders/customer = {}, lineitem/orders = {}",
+        cluster.row_count(t.orders).unwrap() / cluster.row_count(t.customer).unwrap(),
+        cluster.row_count(t.lineitem).unwrap() / cluster.row_count(t.orders).unwrap()
+    );
+}

@@ -1,0 +1,60 @@
+//! # pvm-bench
+//!
+//! Experiment harnesses. One binary per table/figure of the paper
+//! (`fig07` … `fig14`, `table1`) regenerates the corresponding series —
+//! run them with `cargo run -p pvm-bench --release --bin figNN`. The
+//! Criterion micro-benches live under `benches/`.
+//!
+//! This library holds the shared output helpers so every figure prints in
+//! the same aligned, diff-friendly format recorded in `EXPERIMENTS.md`.
+
+use std::fmt::Display;
+
+/// Print a figure/table header.
+pub fn header(id: &str, caption: &str) {
+    println!("================================================================");
+    println!("{id}: {caption}");
+    println!("================================================================");
+}
+
+/// Print one aligned row: a leading x-value plus one column per series.
+pub fn series_row(x: impl Display, values: &[f64]) {
+    print!("{x:>10}");
+    for v in values {
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            print!(" {v:>14.0}");
+        } else {
+            print!(" {v:>14.2}");
+        }
+    }
+    println!();
+}
+
+/// Print the column-label row matching [`series_row`] alignment.
+pub fn series_labels(x_label: &str, labels: &[&str]) {
+    print!("{x_label:>10}");
+    for l in labels {
+        print!(" {l:>14}");
+    }
+    println!();
+}
+
+/// Geometric sweep of node counts, the x-axis of Figures 7 and 9–10.
+pub fn node_sweep() -> Vec<u64> {
+    vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_geometric() {
+        let s = node_sweep();
+        assert_eq!(s.first(), Some(&1));
+        assert_eq!(s.last(), Some(&512));
+        for w in s.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+}

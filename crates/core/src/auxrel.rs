@@ -1,0 +1,255 @@
+//! The auxiliary-relation maintenance method (§2.1.2).
+//!
+//! For each base relation `R` and each join attribute `c` it joins on, the
+//! method keeps `AR_R = σπ(R)` — a projected copy of `R` **hash-partitioned
+//! on `c`** with a clustered index on `c` — unless `R` is already
+//! partitioned on `c` (then the base relation itself serves). The σπ
+//! reduction keeps only the columns a maintenance probe or the view's
+//! output can ever need (§2.1.2's storage minimization; see
+//! [`crate::minimize`]).
+//!
+//! A delta tuple is then handled at exactly **one node per join step**:
+//! routed by hash to the node holding its matches, probed against the
+//! clustered AR (one SEARCH, no FETCHes), and shipped onward. The paper's
+//! 2-relation transaction becomes:
+//!
+//! ```text
+//! begin transaction
+//!   update base relation A;
+//!   update auxiliary relation AR_A;   (cheap)
+//!   update join view JV;              (cheap)
+//! end transaction
+//! ```
+
+use std::collections::HashMap;
+
+use pvm_engine::{Cluster, NetPayload, TableDef, TableId};
+use pvm_types::{NodeId, PvmError, Result, Row};
+
+use crate::chain::{self, ChainMode, JoinPolicy, ProbeTarget};
+use crate::layout::Layout;
+use crate::minimize;
+use crate::planner::plan_chain;
+use crate::view::{MaintenanceOutcome, ViewHandle};
+
+/// One auxiliary relation: which table stores it, which base columns it
+/// keeps (sorted), and where its partitioning attribute sits in the kept
+/// set.
+#[derive(Debug, Clone)]
+pub struct ArInfo {
+    pub table: TableId,
+    /// Base columns kept, in stored order.
+    pub keep_cols: Vec<usize>,
+    /// Position of the partitioning join attribute within `keep_cols`.
+    pub key_pos: usize,
+}
+
+/// All auxiliary relations of one maintained view, keyed by
+/// `(relation index, base join-attribute column)`.
+#[derive(Debug, Clone, Default)]
+pub struct AuxState {
+    pub ars: HashMap<(usize, usize), ArInfo>,
+    /// True when the ARs belong to a shared [`crate::minimize::ArPool`]:
+    /// the pool updates them once per base delta, so this view skips its
+    /// aux phase.
+    pub shared: bool,
+}
+
+/// Route each placed delta row to the home node of every AR in `ars` (one
+/// SEND per row per AR) and apply it there. Shared by per-view
+/// maintenance and the cross-view [`crate::minimize::ArPool`].
+pub(crate) fn update_ars(
+    cluster: &mut Cluster,
+    ars: &[ArInfo],
+    placed: &[(Row, pvm_types::GlobalRid)],
+    insert: bool,
+) -> Result<()> {
+    for info in ars {
+        for (row, grid) in placed {
+            let src = grid.node;
+            let projected = row.project(&info.keep_cols)?;
+            let dst = cluster.route(info.table, &projected)?;
+            cluster.send(
+                src,
+                dst,
+                NetPayload::DeltaRows {
+                    table: info.table,
+                    rows: vec![projected],
+                },
+            )?;
+        }
+        // Drain and apply at every node.
+        for n in 0..cluster.node_count() {
+            let node_id = NodeId::from(n);
+            let msgs = cluster.fabric_mut().recv_all(node_id);
+            for env in msgs {
+                let NetPayload::DeltaRows {
+                    table: ar_table,
+                    rows,
+                } = env.payload
+                else {
+                    return Err(PvmError::InvalidOperation(
+                        "unexpected payload during AR update".into(),
+                    ));
+                };
+                let node = cluster.node_mut(node_id)?;
+                for r in rows {
+                    if insert {
+                        node.insert(ar_table, r)?;
+                    } else {
+                        node.delete_row(ar_table, &r, &[info.key_pos])?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic AR table name.
+pub(crate) fn ar_name(view: &str, base: &str, col: usize) -> String {
+    format!("{view}__ar_{base}_{col}")
+}
+
+/// Create (and populate from current base contents) the auxiliary
+/// relations the view needs.
+pub(crate) fn install(cluster: &mut Cluster, handle: &ViewHandle) -> Result<AuxState> {
+    let mut ars = HashMap::new();
+    for (rel, &table) in handle.base.iter().enumerate() {
+        let def = cluster.def(table)?.clone();
+        for c in handle.def.join_attrs_of(rel) {
+            if def.partitioning.is_on(c) {
+                // §2.1.2: "if some base relation is partitioned on the join
+                // attribute, the auxiliary relation for that base relation
+                // is unnecessary" — just make sure it is probeable.
+                chain::ensure_join_index(cluster, table, c)?;
+                continue;
+            }
+            let keep_cols = minimize::keep_columns(&handle.def, rel);
+            let key_pos = keep_cols
+                .iter()
+                .position(|&k| k == c)
+                .expect("join attribute is always kept");
+            let ar_schema = def.schema.project(&keep_cols)?.into_ref();
+            let ar_table = cluster.create_table(TableDef::hash_clustered(
+                ar_name(&handle.def.name, &def.name, c),
+                ar_schema,
+                key_pos,
+            ))?;
+            // Populate: repartition a projection of the base relation.
+            let projected: Vec<Row> = cluster
+                .scan_all(table)?
+                .iter()
+                .map(|r| r.project(&keep_cols))
+                .collect::<Result<_>>()?;
+            cluster.insert(ar_table, projected)?;
+            ars.insert(
+                (rel, c),
+                ArInfo {
+                    table: ar_table,
+                    keep_cols,
+                    key_pos,
+                },
+            );
+        }
+    }
+    Ok(AuxState { ars, shared: false })
+}
+
+/// Probe target for `rel` on `probe_col`: the AR if one exists, else the
+/// base relation (which install() guaranteed is partitioned on the
+/// attribute and probeable).
+fn probe_target(
+    cluster: &Cluster,
+    handle: &ViewHandle,
+    state: &AuxState,
+    rel: usize,
+    probe_col: usize,
+) -> Result<ProbeTarget> {
+    if let Some(info) = state.ars.get(&(rel, probe_col)) {
+        return Ok(ProbeTarget {
+            table: info.table,
+            carried: info.keep_cols.clone(),
+            key: vec![info.key_pos],
+            partitioned_on_key: true,
+        });
+    }
+    let table = handle.base[rel];
+    let def = cluster.def(table)?;
+    if !def.partitioning.is_on(probe_col) {
+        return Err(PvmError::InvalidOperation(format!(
+            "no auxiliary relation for ({rel}, {probe_col}) and base not partitioned on it"
+        )));
+    }
+    Ok(ProbeTarget {
+        table,
+        carried: (0..def.schema.arity()).collect(),
+        key: vec![probe_col],
+        partitioned_on_key: true,
+    })
+}
+
+/// Propagate an already-applied base update (`placed` rows on relation
+/// `rel`) to the view, updating this view's ARs along the way.
+pub(crate) fn apply(
+    cluster: &mut Cluster,
+    handle: &ViewHandle,
+    state: &AuxState,
+    rel: usize,
+    placed: &[(Row, pvm_types::GlobalRid)],
+    insert: bool,
+    policy: JoinPolicy,
+) -> Result<MaintenanceOutcome> {
+    let table = handle.base[rel];
+    let arity = cluster.def(table)?.schema.arity();
+
+    // Base phase performed by the caller.
+    let base = cluster.meter().finish(cluster);
+
+    // Phase: update the auxiliary relations of the updated relation —
+    // unless a shared pool owns them (then the pool's single update
+    // already happened and this view charges nothing).
+    let guard = cluster.meter();
+    if !state.shared {
+        let my_ars: Vec<ArInfo> = state
+            .ars
+            .iter()
+            .filter(|((r, _), _)| *r == rel)
+            .map(|(_, info)| info.clone())
+            .collect();
+        update_ars(cluster, &my_ars, placed, insert)?;
+    }
+    let aux = guard.finish(cluster);
+
+    // Phase: compute the view changes by chaining through the ARs.
+    let guard = cluster.meter();
+    let fanout = crate::view_stats_fanout(cluster, handle)?;
+    let plan = plan_chain(&handle.def, rel, fanout)?;
+    let mut staged = chain::stage_delta(cluster, placed)?;
+    let mut layout = Layout::single(rel, (0..arity).collect());
+    for step in &plan {
+        let target = probe_target(cluster, handle, state, step.rel, step.probe_col)?;
+        staged = chain::probe_step(cluster, staged, &layout, step, &target, policy)?;
+        layout.push(step.rel, target.carried.clone());
+    }
+    chain::ship_to_view(cluster, handle, staged, &layout)?;
+    let compute = guard.finish(cluster);
+
+    // Phase: apply the changes to the view.
+    let guard = cluster.meter();
+    let mode = if insert {
+        ChainMode::Insert
+    } else {
+        ChainMode::Delete
+    };
+    let view_rows = chain::apply_at_view(cluster, handle, mode)?;
+    let view = guard.finish(cluster);
+
+    Ok(MaintenanceOutcome {
+        base,
+        aux,
+        compute,
+        view,
+        view_rows,
+    })
+}

@@ -1,0 +1,450 @@
+//! Shared machinery for executing maintenance join chains.
+//!
+//! All three methods move *partial join rows* between nodes step by step;
+//! they differ only in how each step locates the matching tuples of the
+//! next relation. This module owns the common pieces: per-node staging of
+//! partials, filter evaluation for cyclic join graphs, and the final
+//! routing of completed join rows to the view's home nodes.
+
+use pvm_engine::{Cluster, NetPayload, TableId};
+use pvm_types::{NodeId, Result, Row};
+
+use crate::layout::Layout;
+use crate::planner::PlanStep;
+use crate::view::ViewHandle;
+
+/// Ensure `table` has some index usable for probes on `col` (a clustered
+/// index on exactly `[col]` counts); otherwise create a non-clustered
+/// secondary with a deterministic name, tolerating concurrent creation by
+/// another view over the same base table.
+pub(crate) fn ensure_join_index(cluster: &mut Cluster, table: TableId, col: usize) -> Result<()> {
+    let exists = cluster
+        .nodes()
+        .first()
+        .map(|n| n.storage(table).map(|s| s.has_index_on(&[col])))
+        .transpose()?
+        .unwrap_or(false);
+    if !exists {
+        let name = cluster.def(table)?.name.clone();
+        cluster.create_secondary_index(table, format!("{name}_jattr{col}"), vec![col])?;
+    }
+    Ok(())
+}
+
+/// Whether the chain's output is inserted into or deleted from the view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChainMode {
+    Insert,
+    Delete,
+}
+
+/// Partial join rows staged at each node.
+pub(crate) type Staged = Vec<Vec<Row>>;
+
+pub(crate) fn empty_staged(l: usize) -> Staged {
+    vec![Vec::new(); l]
+}
+
+/// Place the delta rows at the base-relation nodes where the base update
+/// put (or found) them. No SENDs: the rows are already there.
+pub(crate) fn stage_delta(
+    cluster: &Cluster,
+    placed: &[(Row, pvm_types::GlobalRid)],
+) -> Result<Staged> {
+    let mut staged = empty_staged(cluster.node_count());
+    for (row, grid) in placed {
+        staged[grid.node.index()].push(row.clone());
+    }
+    Ok(staged)
+}
+
+/// Check a step's extra filter edges against a candidate match.
+///
+/// `carried` lists the base columns present in `probe_row` (in stored
+/// order), as the probed table may be a σπ-reduced auxiliary relation.
+pub(crate) fn filters_ok(
+    partial: &Row,
+    layout: &Layout,
+    step: &PlanStep,
+    probe_row: &Row,
+    carried: &[usize],
+) -> Result<bool> {
+    for (prefix_col, rel_col) in &step.filters {
+        let left = partial.try_get(layout.position(*prefix_col)?)?;
+        let pos = carried.iter().position(|c| c == rel_col).ok_or_else(|| {
+            pvm_types::PvmError::InvalidReference(format!(
+                "filter column {rel_col} not carried by probe rows"
+            ))
+        })?;
+        let right = probe_row.try_get(pos)?;
+        if left.is_null() || left != right {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// How one chain step locates matching tuples: which table is probed,
+/// which base columns its stored rows carry, and whether partials can be
+/// *routed* to a single node (the table is partitioned on the probe
+/// attribute) or must be *broadcast* (the naive method's case 2).
+#[derive(Debug, Clone)]
+pub(crate) struct ProbeTarget {
+    pub table: TableId,
+    /// Base columns a stored row of `table` carries, in stored order
+    /// (identity for base tables, σπ columns for auxiliary relations).
+    pub carried: Vec<usize>,
+    /// Index key, in stored-schema positions.
+    pub key: Vec<usize>,
+    /// Route partials by hash (true) or broadcast them to all nodes.
+    pub partitioned_on_key: bool,
+}
+
+/// How a node joins its received delta share with the local fragment of
+/// the probed relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinPolicy {
+    /// Always probe the index once per delta tuple — the access path the
+    /// paper's figures stipulate, and the right choice for the small
+    /// update transactions the methods are designed for. The default, for
+    /// figure reproducibility.
+    #[default]
+    IndexOnly,
+    /// Per node, compare the index-nested-loops cost (`P` searches plus
+    /// estimated fetches) against scanning the local fragment once
+    /// (`|B_i|` page reads) and take the cheaper — the §3.1.2
+    /// index-vs-sort-merge choice, executed. Large deltas switch to the
+    /// scan exactly where the model predicts.
+    CostBased,
+}
+
+/// Execute one probe step shared by the naive and auxiliary-relation
+/// methods: distribute each partial (routed or broadcast, one message per
+/// partial, as the model charges per-tuple SENDs), then join at the
+/// receiving node(s) — by index probes, or by one local scan when
+/// [`JoinPolicy::CostBased`] finds it cheaper. Filter and concatenate
+/// matches either way.
+pub(crate) fn probe_step(
+    cluster: &mut Cluster,
+    staged: Staged,
+    layout: &Layout,
+    step: &crate::planner::PlanStep,
+    target: &ProbeTarget,
+    policy: JoinPolicy,
+) -> Result<Staged> {
+    let l = cluster.node_count();
+    let anchor_pos = layout.position(step.anchor)?;
+    for (src, partials) in staged.into_iter().enumerate() {
+        for partial in partials {
+            let payload = NetPayload::DeltaRows {
+                table: target.table,
+                rows: vec![partial.clone()],
+            };
+            if target.partitioned_on_key {
+                let v = partial.try_get(anchor_pos)?;
+                let dst = pvm_engine::PartitionSpec::route_value(v, l);
+                cluster.send(NodeId::from(src), dst, payload)?;
+            } else {
+                cluster.broadcast(NodeId::from(src), &payload)?;
+            }
+        }
+    }
+    let mut next = empty_staged(l);
+    #[allow(clippy::needless_range_loop)] // `cluster` is mutably borrowed inside
+    for dst in 0..l {
+        let node_id = NodeId::from(dst);
+        let msgs = cluster.fabric_mut().recv_all(node_id);
+        let mut partials = Vec::new();
+        for env in msgs {
+            let NetPayload::DeltaRows { rows, .. } = env.payload else {
+                return Err(pvm_types::PvmError::InvalidOperation(
+                    "unexpected payload during probe step".into(),
+                ));
+            };
+            partials.extend(rows);
+        }
+        if partials.is_empty() {
+            continue;
+        }
+        let use_scan = policy == JoinPolicy::CostBased
+            && scan_beats_probes(cluster, node_id, target, partials.len())?;
+        if use_scan {
+            next[dst] = scan_join_at_node(
+                cluster, node_id, target, &partials, layout, step, anchor_pos,
+            )?;
+        } else {
+            for partial in partials {
+                let v = partial.try_get(anchor_pos)?.clone();
+                let matches = cluster.node_mut(node_id)?.index_search(
+                    target.table,
+                    &target.key,
+                    &Row::new(vec![v]),
+                )?;
+                for m in matches {
+                    if filters_ok(&partial, layout, step, &m, &target.carried)? {
+                        next[dst].push(partial.concat(&m));
+                    }
+                }
+            }
+        }
+    }
+    Ok(next)
+}
+
+/// §3.1.2 plan choice at one node: index nested loops costs one SEARCH per
+/// received partial plus (for non-clustered access) the expected fetches;
+/// a scan join costs the local fragment's pages, read once.
+fn scan_beats_probes(
+    cluster: &Cluster,
+    node: NodeId,
+    target: &ProbeTarget,
+    partials: usize,
+) -> Result<bool> {
+    let storage = cluster.node(node)?.storage(target.table)?;
+    let scan_cost = storage.heap_pages().max(1) as f64;
+    let fetch_per_probe = if cluster
+        .node(node)?
+        .is_clustered_on(target.table, &target.key)
+    {
+        0.0
+    } else {
+        storage.stats().matches_per_value(target.key[0])
+    };
+    let inl_cost = partials as f64 * (1.0 + fetch_per_probe);
+    Ok(scan_cost < inl_cost)
+}
+
+/// Scan the local fragment once (charged as `pages` FETCH I/Os, the
+/// model's sort-merge accounting) and hash-join it with the received
+/// partials in memory.
+#[allow(clippy::too_many_arguments)]
+fn scan_join_at_node(
+    cluster: &mut Cluster,
+    node: NodeId,
+    target: &ProbeTarget,
+    partials: &[Row],
+    layout: &Layout,
+    step: &crate::planner::PlanStep,
+    anchor_pos: usize,
+) -> Result<Vec<Row>> {
+    use std::collections::HashMap;
+    let pages = {
+        let storage = cluster.node(node)?.storage(target.table)?;
+        storage.heap_pages().max(1) as u64
+    };
+    cluster
+        .node_mut(node)?
+        .ledger_mut()
+        .record(pvm_types::CostKind::Fetch, pages);
+    let rows: Vec<Row> = cluster
+        .node(node)?
+        .storage(target.table)?
+        .scan()?
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
+    // Build on the scanned fragment, keyed by the probe column.
+    let key_pos = target.key[0];
+    let mut table: HashMap<&pvm_types::Value, Vec<&Row>> = HashMap::new();
+    for r in &rows {
+        let k = r.try_get(key_pos)?;
+        if !k.is_null() {
+            table.entry(k).or_default().push(r);
+        }
+    }
+    let mut out = Vec::new();
+    for partial in partials {
+        let v = partial.try_get(anchor_pos)?;
+        if v.is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(v) {
+            for m in matches {
+                if filters_ok(partial, layout, step, m, &target.carried)? {
+                    out.push(partial.concat(m));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Project completed partials to view rows and ship them to the view's
+/// home nodes (part of the *compute* phase — the model's `K·SEND` toward
+/// node k). One message per producing node per destination.
+pub(crate) fn ship_to_view(
+    cluster: &mut Cluster,
+    handle: &ViewHandle,
+    staged: Staged,
+    layout: &Layout,
+) -> Result<()> {
+    let l = cluster.node_count();
+    for (src, partials) in staged.into_iter().enumerate() {
+        if partials.is_empty() {
+            continue;
+        }
+        let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
+        for partial in partials {
+            let view_row = layout.project(&partial, &handle.def.projection)?;
+            // Aggregate views route by the group key's hash (stored rows
+            // lead with the group columns; shipped rows are still in
+            // projection layout).
+            let dst = match &handle.agg {
+                Some(shape) => {
+                    pvm_engine::PartitionSpec::route_value(view_row.try_get(shape.group_by[0])?, l)
+                }
+                None => cluster.route(handle.view_table, &view_row)?,
+            };
+            by_dst[dst.index()].push(view_row);
+        }
+        for (dst, rows) in by_dst.into_iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            cluster.send(
+                NodeId::from(src),
+                NodeId::from(dst),
+                NetPayload::ResultRows {
+                    table: handle.view_table,
+                    rows,
+                },
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Drain shipped view rows at every node and apply them (the *view*
+/// phase). Returns the number of view rows affected.
+pub(crate) fn apply_at_view(
+    cluster: &mut Cluster,
+    handle: &ViewHandle,
+    mode: ChainMode,
+) -> Result<u64> {
+    let l = cluster.node_count();
+    let mut affected = 0u64;
+    let pcol = handle.view_pcol;
+    for n in 0..l {
+        let node_id = NodeId::from(n);
+        let msgs = cluster.fabric_mut().recv_all(node_id);
+        for env in msgs {
+            let NetPayload::ResultRows { table, rows } = env.payload else {
+                return Err(pvm_types::PvmError::InvalidOperation(
+                    "unexpected payload at view-apply".into(),
+                ));
+            };
+            debug_assert_eq!(table, handle.view_table);
+            match &handle.agg {
+                None => {
+                    let node = cluster.node_mut(node_id)?;
+                    for row in rows {
+                        match mode {
+                            ChainMode::Insert => {
+                                node.insert(handle.view_table, row)?;
+                                affected += 1;
+                            }
+                            ChainMode::Delete => {
+                                if node.delete_row(handle.view_table, &row, &[pcol])? {
+                                    affected += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                Some(shape) => {
+                    let sign = match mode {
+                        ChainMode::Insert => 1,
+                        ChainMode::Delete => -1,
+                    };
+                    let group_cols = shape.stored_group_positions();
+                    for projected in rows {
+                        fold_into_group(
+                            cluster,
+                            node_id,
+                            handle.view_table,
+                            shape,
+                            &group_cols,
+                            &projected,
+                            sign,
+                        )?;
+                        affected += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(affected)
+}
+
+/// Upsert one shipped join row into its aggregate group at `node`.
+fn fold_into_group(
+    cluster: &mut Cluster,
+    node_id: NodeId,
+    view_table: TableId,
+    shape: &crate::aggregate::AggShape,
+    group_cols: &[usize],
+    projected: &Row,
+    sign: i64,
+) -> Result<()> {
+    let key = Row::new(shape.group_key(projected)?);
+    let node = cluster.node_mut(node_id)?;
+    let existing = node.index_search(view_table, group_cols, &key)?;
+    match existing.first() {
+        Some(stored) => {
+            node.delete_row(view_table, stored, group_cols)?;
+            if let Some(updated) = shape.fold(stored, projected, sign)? {
+                node.insert(view_table, updated)?;
+            }
+        }
+        None => {
+            if sign < 0 {
+                return Err(pvm_types::PvmError::Corrupt(
+                    "aggregate delete hit a missing group".into(),
+                ));
+            }
+            node.insert(view_table, shape.initial_row(projected)?)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viewdef::ViewColumn;
+    use pvm_types::row;
+
+    #[test]
+    fn filters_match_on_carried_columns() {
+        // Partial carries rel0 cols [0, 1]; probe rows carry rel1's cols
+        // [0, 2] (a σπ projection).
+        let layout = Layout::single(0, vec![0, 1]);
+        let step = PlanStep {
+            rel: 1,
+            probe_col: 0,
+            anchor: ViewColumn::new(0, 0),
+            filters: vec![(ViewColumn::new(0, 1), 2)],
+        };
+        let partial = row![5, 7];
+        let good = row![5, 7]; // carried cols [0, 2] → col 2 value is 7
+        let bad = row![5, 8];
+        assert!(filters_ok(&partial, &layout, &step, &good, &[0, 2]).unwrap());
+        assert!(!filters_ok(&partial, &layout, &step, &bad, &[0, 2]).unwrap());
+        // Filter column absent from the carried set is an error.
+        assert!(filters_ok(&partial, &layout, &step, &good, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn null_filter_values_never_match() {
+        let layout = Layout::single(0, vec![0]);
+        let step = PlanStep {
+            rel: 1,
+            probe_col: 0,
+            anchor: ViewColumn::new(0, 0),
+            filters: vec![(ViewColumn::new(0, 0), 0)],
+        };
+        let partial = Row::new(vec![pvm_types::Value::Null]);
+        let probe = Row::new(vec![pvm_types::Value::Null]);
+        assert!(!filters_ok(&partial, &layout, &step, &probe, &[0]).unwrap());
+    }
+}

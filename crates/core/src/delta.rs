@@ -1,0 +1,78 @@
+//! Base-relation deltas.
+
+use pvm_types::Row;
+
+/// An update to one base relation, the unit of incremental maintenance.
+/// The paper develops insertion in detail and notes that deletion and
+/// update "are similar"; all three are first-class here. An update is
+/// modeled, as in most incremental view maintenance literature, as a
+/// delete of the old rows plus an insert of the new rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delta {
+    Insert(Vec<Row>),
+    Delete(Vec<Row>),
+    Update { old: Vec<Row>, new: Vec<Row> },
+}
+
+impl Delta {
+    /// Number of logical tuples touched.
+    pub fn len(&self) -> usize {
+        match self {
+            Delta::Insert(r) | Delta::Delete(r) => r.len(),
+            Delta::Update { old, new } => old.len().max(new.len()),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decompose into an optional delete phase and an optional insert
+    /// phase (processed delete-first so an update that leaves a row
+    /// unchanged round-trips).
+    pub fn phases(&self) -> (Option<&[Row]>, Option<&[Row]>) {
+        match self {
+            Delta::Insert(rows) => (None, Some(rows)),
+            Delta::Delete(rows) => (Some(rows), None),
+            Delta::Update { old, new } => (Some(old), Some(new)),
+        }
+    }
+
+    /// Single-row insert convenience.
+    pub fn insert_one(row: Row) -> Self {
+        Delta::Insert(vec![row])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvm_types::row;
+
+    #[test]
+    fn lengths() {
+        assert_eq!(Delta::Insert(vec![row![1], row![2]]).len(), 2);
+        assert_eq!(Delta::Delete(vec![]).len(), 0);
+        assert!(Delta::Delete(vec![]).is_empty());
+        let u = Delta::Update {
+            old: vec![row![1]],
+            new: vec![row![1], row![2]],
+        };
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn phases_split() {
+        let ins = Delta::insert_one(row![1]);
+        let (d, i) = ins.phases();
+        assert!(d.is_none());
+        assert_eq!(i.unwrap().len(), 1);
+        let u = Delta::Update {
+            old: vec![row![1]],
+            new: vec![row![2]],
+        };
+        let (d, i) = u.phases();
+        assert_eq!(d.unwrap()[0], row![1]);
+        assert_eq!(i.unwrap()[0], row![2]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Layouts of partial join rows.
+//!
+//! During maintenance, a delta tuple accretes matches relation by relation
+//! in *plan* order, which generally differs from the view's definition
+//! order, and auxiliary-relation probes return σπ-reduced rows that hold
+//! only a subset of the base columns. A [`Layout`] records, for each
+//! segment of a partial row, which relation it came from and which base
+//! columns it carries, so later steps and the final view projection can
+//! address `(relation, base column)` pairs positionally.
+
+use pvm_types::{PvmError, Result, Row};
+
+use crate::viewdef::ViewColumn;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Segment {
+    rel: usize,
+    /// Base column ids carried, in stored order.
+    cols: Vec<usize>,
+    offset: usize,
+}
+
+/// Maps `(relation, base column)` to positions in a partial join row.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Layout {
+    segments: Vec<Segment>,
+    arity: usize,
+}
+
+impl Layout {
+    pub fn new() -> Self {
+        Layout::default()
+    }
+
+    /// A layout holding one relation's columns.
+    pub fn single(rel: usize, cols: Vec<usize>) -> Self {
+        let mut l = Layout::new();
+        l.push(rel, cols);
+        l
+    }
+
+    /// Append a segment for `rel` carrying `cols` (in stored order).
+    pub fn push(&mut self, rel: usize, cols: Vec<usize>) {
+        let offset = self.arity;
+        self.arity += cols.len();
+        self.segments.push(Segment { rel, cols, offset });
+    }
+
+    /// A new layout extended by one segment.
+    pub fn extended(&self, rel: usize, cols: Vec<usize>) -> Layout {
+        let mut l = self.clone();
+        l.push(rel, cols);
+        l
+    }
+
+    /// Total width of a row under this layout.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Relations present, in segment order.
+    pub fn relations(&self) -> Vec<usize> {
+        self.segments.iter().map(|s| s.rel).collect()
+    }
+
+    pub fn contains_rel(&self, rel: usize) -> bool {
+        self.segments.iter().any(|s| s.rel == rel)
+    }
+
+    /// Position of base column `vc.col` of relation `vc.rel` within a
+    /// partial row.
+    pub fn position(&self, vc: ViewColumn) -> Result<usize> {
+        for s in &self.segments {
+            if s.rel == vc.rel {
+                if let Some(i) = s.cols.iter().position(|&c| c == vc.col) {
+                    return Ok(s.offset + i);
+                }
+            }
+        }
+        Err(PvmError::InvalidReference(format!(
+            "column ({}, {}) not present in partial layout",
+            vc.rel, vc.col
+        )))
+    }
+
+    /// Project a partial row to the view's output columns.
+    pub fn project(&self, row: &Row, projection: &[ViewColumn]) -> Result<Row> {
+        let mut vals = Vec::with_capacity(projection.len());
+        for vc in projection {
+            vals.push(row.try_get(self.position(*vc)?)?.clone());
+        }
+        Ok(Row::new(vals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvm_types::row;
+
+    #[test]
+    fn positions_across_segments() {
+        let mut l = Layout::single(2, vec![0, 1, 2]);
+        l.push(0, vec![1, 3]);
+        assert_eq!(l.arity(), 5);
+        assert_eq!(l.position(ViewColumn::new(2, 0)).unwrap(), 0);
+        assert_eq!(l.position(ViewColumn::new(2, 2)).unwrap(), 2);
+        assert_eq!(l.position(ViewColumn::new(0, 1)).unwrap(), 3);
+        assert_eq!(l.position(ViewColumn::new(0, 3)).unwrap(), 4);
+        assert!(
+            l.position(ViewColumn::new(0, 0)).is_err(),
+            "column 0 of rel 0 not carried"
+        );
+        assert!(l.position(ViewColumn::new(5, 0)).is_err());
+    }
+
+    #[test]
+    fn extended_is_persistent() {
+        let l = Layout::single(0, vec![0]);
+        let l2 = l.extended(1, vec![0, 1]);
+        assert_eq!(l.arity(), 1);
+        assert_eq!(l2.arity(), 3);
+        assert_eq!(l2.relations(), vec![0, 1]);
+        assert!(l2.contains_rel(1));
+        assert!(!l.contains_rel(1));
+    }
+
+    #[test]
+    fn project_view_columns() {
+        // Partial: rel1 cols [0,1] then rel0 cols [2].
+        let mut l = Layout::single(1, vec![0, 1]);
+        l.push(0, vec![2]);
+        let partial = row![10, 11, 22];
+        let out = l
+            .project(
+                &partial,
+                &[
+                    ViewColumn::new(0, 2),
+                    ViewColumn::new(1, 0),
+                    ViewColumn::new(1, 1),
+                ],
+            )
+            .unwrap();
+        assert_eq!(out, row![22, 10, 11]);
+        assert!(l.project(&partial, &[ViewColumn::new(0, 0)]).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! # pvm-core
+//!
+//! Join-view maintenance in a parallel RDBMS — the primary contribution of
+//! Luo, Naughton, Ellmann & Watzke (ICDE 2003), implemented over the
+//! [`pvm_engine`] cluster.
+//!
+//! A [`JoinViewDef`] describes a materialized view over an n-ary equi-join
+//! of hash-partitioned base relations. [`MaintainedView`] materializes it
+//! under one of three [`MaintenanceMethod`]s:
+//!
+//! * **Naive** ([`naive`]) — no extra structures; delta tuples are
+//!   broadcast to every node (or routed, when the probed relation happens
+//!   to be partitioned on the join attribute) and joined against local
+//!   base fragments. Simple, space-free, but turns localized updates into
+//!   all-node operations.
+//! * **Auxiliary relations** ([`auxrel`]) — each base relation gets a
+//!   σπ-reduced copy hash-partitioned *on the join attribute* with a
+//!   clustered index, so a delta tuple is handled at exactly one node per
+//!   join step.
+//! * **Global index** ([`globalindex`]) — each base relation gets an index
+//!   from join-attribute value to the *global row ids* of matching tuples;
+//!   a delta tuple visits one node to probe the index, then only the `K`
+//!   nodes that actually hold matches.
+//!
+//! Deltas ([`Delta`]) cover inserts, deletes, and updates; views may join
+//! any number of relations (§2.2's multi-relation algorithm, with the
+//! statistics-driven choice among alternative auxiliary-relation chains
+//! implemented in [`planner`]). [`minimize`] implements the §2.1.2 storage
+//! minimization and cross-view sharing of auxiliary relations, and
+//! [`advisor`] the conclusion's cost-based method selection.
+
+pub mod advisor;
+pub mod aggregate;
+pub mod auxrel;
+pub(crate) mod chain;
+pub mod delta;
+pub mod globalindex;
+pub mod layout;
+pub mod minimize;
+pub mod naive;
+pub mod planner;
+pub mod view;
+pub mod viewdef;
+
+pub use advisor::{advise, Advice};
+
+use pvm_engine::Cluster;
+use pvm_types::Result;
+
+/// Precompute join-attribute fan-outs (matches per value) for every
+/// `(relation, join attribute)` pair of a view from merged cluster-wide
+/// statistics, returning a lookup closure for the planner. Two-relation
+/// views have a forced chain, so statistics are skipped.
+pub(crate) fn view_stats_fanout(
+    cluster: &Cluster,
+    handle: &view::ViewHandle,
+) -> Result<Box<dyn Fn(usize, usize) -> f64>> {
+    if handle.def.relation_count() <= 2 {
+        return Ok(Box::new(|_, _| 1.0));
+    }
+    let mut map = std::collections::HashMap::new();
+    for (rel, &table) in handle.base.iter().enumerate() {
+        let arity = cluster.def(table)?.schema.arity();
+        let mut merged = pvm_storage::TableStats::new(arity);
+        for n in cluster.nodes() {
+            merged.merge(n.storage(table)?.stats());
+        }
+        for c in handle.def.join_attrs_of(rel) {
+            map.insert((rel, c), merged.matches_per_value(c).max(f64::MIN_POSITIVE));
+        }
+    }
+    Ok(Box::new(move |r, c| {
+        map.get(&(r, c)).copied().unwrap_or(1.0)
+    }))
+}
+pub use aggregate::{AggFunc, AggShape, AggSpec};
+pub use chain::JoinPolicy;
+pub use delta::Delta;
+pub use layout::Layout;
+pub use minimize::ArPool;
+pub use planner::{plan_chain, PlanStep};
+pub use pvm_model::Recommendation;
+pub use view::{
+    maintain_all, maintain_all_pooled, MaintainedView, MaintenanceMethod, MaintenanceOutcome,
+};
+pub use viewdef::{JoinViewDef, ViewColumn, ViewEdge};

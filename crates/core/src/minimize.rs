@@ -1,0 +1,326 @@
+//! Storage-overhead minimization for auxiliary relations (§2.1.2).
+//!
+//! Two levers, both from the paper (which credits the technique to the
+//! self-maintainable-view literature it cites as \[7\]):
+//!
+//! 1. **σπ reduction** — an auxiliary relation need not copy the whole
+//!    base relation, only the columns a maintenance probe or the view's
+//!    output can reference: [`keep_columns`].
+//! 2. **Cross-view sharing** — views over the same base relation that
+//!    partition their ARs on the same attribute can share one AR holding
+//!    the union of their column needs instead of storing redundant copies:
+//!    [`merge_requirements`]. The paper's JV1/JV2 example (both keeping
+//!    `A.c, A.e`) is the motivating redundancy.
+
+use std::collections::BTreeMap;
+
+use crate::viewdef::JoinViewDef;
+
+/// Base columns of `rel` an auxiliary relation must keep: the relation's
+/// join attributes (probes and onward routing) plus every column the
+/// view's projection outputs from it. Sorted, deduplicated.
+pub fn keep_columns(def: &JoinViewDef, rel: usize) -> Vec<usize> {
+    let mut cols = def.join_attrs_of(rel);
+    cols.extend(def.projected_cols_of(rel));
+    cols.sort_unstable();
+    cols.dedup();
+    cols
+}
+
+/// One auxiliary-relation requirement: base relation `base` partitioned on
+/// its column `attr`, keeping `keep` columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArRequirement {
+    pub base: String,
+    pub attr: usize,
+    pub keep: Vec<usize>,
+}
+
+/// The AR requirements of one view. `is_partitioned_on(rel, col)` reports
+/// whether the base relation is already partitioned on the attribute (in
+/// which case no AR is required).
+pub fn ar_requirements(
+    def: &JoinViewDef,
+    mut is_partitioned_on: impl FnMut(usize, usize) -> bool,
+) -> Vec<ArRequirement> {
+    let mut out = Vec::new();
+    for (rel, base) in def.relations.iter().enumerate() {
+        for attr in def.join_attrs_of(rel) {
+            if !is_partitioned_on(rel, attr) {
+                out.push(ArRequirement {
+                    base: base.clone(),
+                    attr,
+                    keep: keep_columns(def, rel),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Merge AR requirements across views: requirements for the same
+/// `(base, attr)` collapse into one AR keeping the union of columns.
+/// Returns the merged set in deterministic `(base, attr)` order.
+pub fn merge_requirements(reqs: &[ArRequirement]) -> Vec<ArRequirement> {
+    let mut merged: BTreeMap<(String, usize), Vec<usize>> = BTreeMap::new();
+    for r in reqs {
+        let cols = merged.entry((r.base.clone(), r.attr)).or_default();
+        cols.extend(&r.keep);
+        cols.sort_unstable();
+        cols.dedup();
+    }
+    merged
+        .into_iter()
+        .map(|((base, attr), keep)| ArRequirement { base, attr, keep })
+        .collect()
+}
+
+/// Redundancy the merge removed, measured in stored column-slots: the
+/// difference between the per-view column totals and the merged totals.
+/// This is the quantity §2.1.2 warns "may be substantial" when many views
+/// are defined on the same base relation.
+pub fn columns_saved(reqs: &[ArRequirement]) -> usize {
+    let before: usize = reqs.iter().map(|r| r.keep.len()).sum();
+    let after: usize = merge_requirements(reqs).iter().map(|r| r.keep.len()).sum();
+    before - after
+}
+
+use std::collections::HashMap;
+
+use pvm_engine::{Cluster, TableDef};
+use pvm_types::{GlobalRid, PvmError, Result, Row};
+
+use crate::auxrel::{self, ArInfo};
+
+/// A **materialized** pool of auxiliary relations shared across views —
+/// §2.1.2's "keep only one auxiliary relation `AR_A` for all the views
+/// that use the same attribute `A.c`", executed.
+///
+/// Lifecycle:
+///
+/// 1. [`ArPool::plan`] each view definition (requirements accumulate and
+///    merge);
+/// 2. [`ArPool::materialize`] once (creates and bulk-loads the merged
+///    ARs);
+/// 3. create each view with
+///    [`crate::MaintainedView::create_with_pool`];
+/// 4. on every base update, call [`crate::maintain_all_pooled`] (or
+///    [`ArPool::apply_base_delta`] directly) so each shared AR is updated
+///    **once**, not once per view.
+///
+/// ```
+/// use pvm_core::{ArPool, JoinViewDef, MaintainedView};
+/// use pvm_engine::{Cluster, ClusterConfig, TableDef};
+/// use pvm_types::{row, Column, Schema};
+///
+/// let mut cluster = Cluster::new(ClusterConfig::new(2));
+/// let schema = Schema::new(vec![Column::int("id"), Column::int("j")]).into_ref();
+/// cluster.create_table(TableDef::hash_heap("a", schema.clone(), 0)).unwrap();
+/// cluster.create_table(TableDef::hash_heap("b", schema, 0)).unwrap();
+/// let a = cluster.table_id("a").unwrap();
+/// cluster.insert(a, vec![row![1, 7]]).unwrap();
+///
+/// let v1 = JoinViewDef::two_way("v1", "a", "b", 1, 1, 2, 2);
+/// let v2 = JoinViewDef::two_way("v2", "a", "b", 1, 1, 2, 2);
+/// let mut pool = ArPool::new();
+/// pool.plan(&cluster, &v1).unwrap();
+/// pool.plan(&cluster, &v2).unwrap();
+/// pool.materialize(&mut cluster).unwrap();
+/// // Both views bind to the SAME two merged ARs.
+/// let _va = MaintainedView::create_with_pool(&mut cluster, v1, &pool).unwrap();
+/// let _vb = MaintainedView::create_with_pool(&mut cluster, v2, &pool).unwrap();
+/// assert_eq!(pool.requirements().len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ArPool {
+    /// Merged requirements, keyed by (base table name, join attribute).
+    reqs: Vec<ArRequirement>,
+    /// Materialized ARs, same key.
+    ars: HashMap<(String, usize), ArInfo>,
+    materialized: bool,
+}
+
+impl ArPool {
+    pub fn new() -> Self {
+        ArPool::default()
+    }
+
+    /// Register a view's AR needs. Must be called before
+    /// [`ArPool::materialize`].
+    pub fn plan(&mut self, cluster: &Cluster, def: &crate::JoinViewDef) -> Result<()> {
+        if self.materialized {
+            return Err(PvmError::InvalidOperation(
+                "ArPool::plan after materialize".into(),
+            ));
+        }
+        def.validate(cluster)?;
+        let mut part_lookup = Vec::new();
+        for name in &def.relations {
+            let id = cluster.table_id(name)?;
+            part_lookup.push(cluster.def(id)?.partitioning.clone());
+        }
+        let new = ar_requirements(def, |rel, col| part_lookup[rel].is_on(col));
+        self.reqs.extend(new);
+        self.reqs = merge_requirements(&self.reqs);
+        Ok(())
+    }
+
+    /// The merged requirements so far.
+    pub fn requirements(&self) -> &[ArRequirement] {
+        &self.reqs
+    }
+
+    /// Create and bulk-load every merged AR.
+    pub fn materialize(&mut self, cluster: &mut Cluster) -> Result<()> {
+        if self.materialized {
+            return Err(PvmError::InvalidOperation(
+                "ArPool already materialized".into(),
+            ));
+        }
+        for req in &self.reqs {
+            let base_id = cluster.table_id(&req.base)?;
+            let base_def = cluster.def(base_id)?.clone();
+            let key_pos = req
+                .keep
+                .iter()
+                .position(|&k| k == req.attr)
+                .expect("join attribute always kept");
+            let schema = base_def.schema.project(&req.keep)?.into_ref();
+            let table = cluster.create_table(TableDef::hash_clustered(
+                format!("pool__ar_{}_{}", req.base, req.attr),
+                schema,
+                key_pos,
+            ))?;
+            let rows: Vec<Row> = cluster
+                .scan_all(base_id)?
+                .iter()
+                .map(|r| r.project(&req.keep))
+                .collect::<Result<_>>()?;
+            cluster.insert(table, rows)?;
+            self.ars.insert(
+                (req.base.clone(), req.attr),
+                ArInfo {
+                    table,
+                    keep_cols: req.keep.clone(),
+                    key_pos,
+                },
+            );
+        }
+        self.materialized = true;
+        Ok(())
+    }
+
+    /// The shared AR for `(base, attr)`, if materialized.
+    pub(crate) fn ar_for(&self, base: &str, attr: usize) -> Option<&ArInfo> {
+        self.ars.get(&(base.to_owned(), attr))
+    }
+
+    pub fn is_materialized(&self) -> bool {
+        self.materialized
+    }
+
+    /// Propagate one already-applied base delta into every pool AR of
+    /// `relation` — exactly once, regardless of how many views share them.
+    pub fn apply_base_delta(
+        &self,
+        cluster: &mut Cluster,
+        relation: &str,
+        placed: &[(Row, GlobalRid)],
+        insert: bool,
+    ) -> Result<()> {
+        let mine: Vec<ArInfo> = self
+            .ars
+            .iter()
+            .filter(|((base, _), _)| base == relation)
+            .map(|(_, info)| info.clone())
+            .collect();
+        auxrel::update_ars(cluster, &mine, placed, insert)
+    }
+
+    /// Total pages occupied by the pool's ARs.
+    pub fn storage_pages(&self, cluster: &Cluster) -> Result<usize> {
+        let mut pages = 0;
+        for info in self.ars.values() {
+            pages += cluster.total_pages(info.table)?;
+        }
+        Ok(pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viewdef::{ViewColumn, ViewEdge};
+
+    /// The paper's JV1: keeps A.e, A.f, B.h; joins A.c = B.d.
+    /// Columns: A = (c=0, e=1, f=2, g=3), B = (d=0, h=1).
+    fn jv1() -> JoinViewDef {
+        JoinViewDef {
+            name: "jv1".into(),
+            relations: vec!["a".into(), "b".into()],
+            edges: vec![ViewEdge::new(ViewColumn::new(0, 0), ViewColumn::new(1, 0))],
+            projection: vec![
+                ViewColumn::new(0, 1),
+                ViewColumn::new(0, 2),
+                ViewColumn::new(1, 1),
+            ],
+            partition_column: 0,
+        }
+    }
+
+    /// The paper's JV2 analogue: keeps A.e, A.g, C.p; joins A.c = C.q.
+    fn jv2() -> JoinViewDef {
+        JoinViewDef {
+            name: "jv2".into(),
+            relations: vec!["a".into(), "c_rel".into()],
+            edges: vec![ViewEdge::new(ViewColumn::new(0, 0), ViewColumn::new(1, 0))],
+            projection: vec![
+                ViewColumn::new(0, 1),
+                ViewColumn::new(0, 3),
+                ViewColumn::new(1, 1),
+            ],
+            partition_column: 0,
+        }
+    }
+
+    #[test]
+    fn keep_columns_matches_paper_example() {
+        // AR_A1 keeps attributes c, e, f of A.
+        assert_eq!(keep_columns(&jv1(), 0), vec![0, 1, 2]);
+        // AR_A2 keeps attributes c, e, g of A.
+        assert_eq!(keep_columns(&jv2(), 0), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn requirements_skip_copartitioned_relations() {
+        let reqs = ar_requirements(&jv1(), |rel, _| rel == 0);
+        // A is partitioned on the join attribute → only B needs an AR.
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].base, "b");
+        assert_eq!(reqs[0].attr, 0);
+    }
+
+    #[test]
+    fn merge_unions_columns() {
+        let mut reqs = ar_requirements(&jv1(), |_, _| false);
+        reqs.extend(ar_requirements(&jv2(), |_, _| false));
+        // Both views demand an AR of A on attribute 0.
+        let a_reqs: Vec<_> = reqs.iter().filter(|r| r.base == "a").collect();
+        assert_eq!(a_reqs.len(), 2);
+        let merged = merge_requirements(&reqs);
+        let merged_a: Vec<_> = merged.iter().filter(|r| r.base == "a").collect();
+        assert_eq!(merged_a.len(), 1, "one shared AR_A remains");
+        // Union of {c,e,f} and {c,e,g} = {c,e,f,g}.
+        assert_eq!(merged_a[0].keep, vec![0, 1, 2, 3]);
+        // Redundancy removed: both c and e were stored twice.
+        assert_eq!(columns_saved(&reqs), 2);
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_idempotent() {
+        let reqs = ar_requirements(&jv1(), |_, _| false);
+        let once = merge_requirements(&reqs);
+        let twice = merge_requirements(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,91 @@
+//! The naive maintenance method (§2.1.1).
+//!
+//! No extra structures beyond an index on each join attribute of each base
+//! relation. A delta tuple is joined with the other relations where they
+//! physically are:
+//!
+//! * if the probed relation happens to be partitioned on the join
+//!   attribute (case 1, Fig. 1), the tuple is routed to the single node
+//!   holding the matches;
+//! * otherwise (case 2, Fig. 2), the tuple is **broadcast to every node**
+//!   and probed against every local fragment, because "we do not know at
+//!   which nodes these matching tuples reside" — the expensive all-node
+//!   operation that motivates the paper.
+
+use pvm_engine::Cluster;
+use pvm_types::{Result, Row};
+
+use crate::chain::{self, ChainMode, JoinPolicy, ProbeTarget};
+use crate::layout::Layout;
+use crate::planner::plan_chain;
+use crate::view::{MaintenanceOutcome, ViewHandle};
+
+/// Ensure every base relation has an index on each of its join attributes
+/// (the paper's `J_A` / `J_B`). Relations clustered on the attribute keep
+/// their clustered index; everything else gets a non-clustered secondary.
+pub(crate) fn install(cluster: &mut Cluster, handle: &ViewHandle) -> Result<()> {
+    for (rel, &table) in handle.base.iter().enumerate() {
+        for c in handle.def.join_attrs_of(rel) {
+            chain::ensure_join_index(cluster, table, c)?;
+        }
+    }
+    Ok(())
+}
+
+/// Propagate an already-applied base update (`placed` rows on relation
+/// `rel`) to the view.
+pub(crate) fn apply(
+    cluster: &mut Cluster,
+    handle: &ViewHandle,
+    rel: usize,
+    placed: &[(Row, pvm_types::GlobalRid)],
+    insert: bool,
+    policy: JoinPolicy,
+) -> Result<MaintenanceOutcome> {
+    let table = handle.base[rel];
+    let arity = cluster.def(table)?.schema.arity();
+
+    // Base phase is performed by the caller; naive maintains no auxiliary
+    // structures either.
+    let base = cluster.meter().finish(cluster);
+    let aux = cluster.meter().finish(cluster);
+
+    // Phase: compute the view changes.
+    let guard = cluster.meter();
+    let fanout = crate::view_stats_fanout(cluster, handle)?;
+    let plan = plan_chain(&handle.def, rel, fanout)?;
+    let mut staged = chain::stage_delta(cluster, placed)?;
+    let mut layout = Layout::single(rel, (0..arity).collect());
+    for step in &plan {
+        let target_table = handle.base[step.rel];
+        let def = cluster.def(target_table)?;
+        let target = ProbeTarget {
+            table: target_table,
+            carried: (0..def.schema.arity()).collect(),
+            key: vec![step.probe_col],
+            partitioned_on_key: def.partitioning.is_on(step.probe_col),
+        };
+        staged = chain::probe_step(cluster, staged, &layout, step, &target, policy)?;
+        layout.push(step.rel, target.carried.clone());
+    }
+    chain::ship_to_view(cluster, handle, staged, &layout)?;
+    let compute = guard.finish(cluster);
+
+    // Phase: apply the changes to the view.
+    let guard = cluster.meter();
+    let mode = if insert {
+        ChainMode::Insert
+    } else {
+        ChainMode::Delete
+    };
+    let view_rows = chain::apply_at_view(cluster, handle, mode)?;
+    let view = guard.finish(cluster);
+
+    Ok(MaintenanceOutcome {
+        base,
+        aux,
+        compute,
+        view,
+        view_rows,
+    })
+}

@@ -1,0 +1,230 @@
+//! Maintenance-chain planning for multi-relation views (§2.2).
+//!
+//! When relation `u` of an n-ary view is updated, the delta must be joined
+//! with the remaining `n−1` relations in *some* order — and as §2.2
+//! observes, "there are many choices as to how to use the auxiliary
+//! relations, and an optimization problem arises": for a three-way cyclic
+//! view, four distinct AR chains can compute the same delta.
+//!
+//! [`plan_chain`] resolves the choice greedily using relation statistics:
+//! at each step it picks, among relations joined to the already-covered
+//! set, the one with the smallest expected fan-out (matches per
+//! join-attribute value), keeping intermediate results small. Extra edges
+//! that also connect the new relation to the covered set become filter
+//! predicates.
+
+use pvm_types::{PvmError, Result};
+
+use crate::viewdef::{JoinViewDef, ViewColumn};
+
+/// One step of a maintenance chain: probe `rel` on `probe_col` with the
+/// value taken from `anchor` (a column of the already-joined partial);
+/// `filters` are additional equality conditions from other edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Relation joined at this step.
+    pub rel: usize,
+    /// Column of `rel` being probed (the join attribute).
+    pub probe_col: usize,
+    /// Column of the joined prefix supplying the probe value.
+    pub anchor: ViewColumn,
+    /// Additional `(prefix column, rel column)` equalities to enforce.
+    pub filters: Vec<(ViewColumn, usize)>,
+}
+
+/// Plan the join chain for a delta on relation `updated`.
+///
+/// `fanout(rel, col)` estimates the matching tuples per probe value for
+/// relation `rel` on column `col` — the planner calls it for every
+/// candidate and prefers small values. Pass `|_, _| 1.0` when no
+/// statistics are available (definition-order-ish traversal).
+pub fn plan_chain(
+    def: &JoinViewDef,
+    updated: usize,
+    mut fanout: impl FnMut(usize, usize) -> f64,
+) -> Result<Vec<PlanStep>> {
+    let n = def.relation_count();
+    if updated >= n {
+        return Err(PvmError::InvalidReference(format!(
+            "updated relation {updated} out of range for view '{}'",
+            def.name
+        )));
+    }
+    let mut covered = vec![false; n];
+    covered[updated] = true;
+    let mut steps = Vec::with_capacity(n - 1);
+
+    while steps.len() < n - 1 {
+        // Candidate (rel, probe_col, anchor) triples reachable from the
+        // covered set.
+        let mut best: Option<(f64, usize, usize, ViewColumn)> = None;
+        for e in &def.edges {
+            for (from, to) in [(e.left, e.right), (e.right, e.left)] {
+                if covered[from.rel] && !covered[to.rel] {
+                    let f = fanout(to.rel, to.col);
+                    let better = match &best {
+                        None => true,
+                        Some((bf, brel, bcol, _)) => {
+                            f < *bf || (f == *bf && (to.rel, to.col) < (*brel, *bcol))
+                        }
+                    };
+                    if better {
+                        best = Some((f, to.rel, to.col, from));
+                    }
+                }
+            }
+        }
+        let (_, rel, probe_col, anchor) = best.ok_or_else(|| {
+            PvmError::InvalidOperation(format!("join graph of view '{}' is disconnected", def.name))
+        })?;
+        // Remaining edges that connect `rel` to the covered set become
+        // filters.
+        let mut filters = Vec::new();
+        for e in &def.edges {
+            for (from, to) in [(e.left, e.right), (e.right, e.left)] {
+                if covered[from.rel] && to.rel == rel && !(from == anchor && to.col == probe_col) {
+                    filters.push((from, to.col));
+                }
+            }
+        }
+        covered[rel] = true;
+        steps.push(PlanStep {
+            rel,
+            probe_col,
+            anchor,
+            filters,
+        });
+    }
+    Ok(steps)
+}
+
+/// All chains the planner could produce (used to expose the §2.2
+/// optimization space in examples/benches): one plan per fan-out oracle in
+/// `oracles`, deduplicated.
+pub fn alternative_chains(
+    def: &JoinViewDef,
+    updated: usize,
+    oracles: &[&dyn Fn(usize, usize) -> f64],
+) -> Result<Vec<Vec<PlanStep>>> {
+    let mut out: Vec<Vec<PlanStep>> = Vec::new();
+    for o in oracles {
+        let plan = plan_chain(def, updated, o)?;
+        if !out.contains(&plan) {
+            out.push(plan);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viewdef::ViewEdge;
+
+    /// A ⋈ B ⋈ C chain: A.0 = B.0, B.1 = C.0.
+    fn chain_view() -> JoinViewDef {
+        JoinViewDef {
+            name: "jv".into(),
+            relations: vec!["a".into(), "b".into(), "c".into()],
+            edges: vec![
+                ViewEdge::new(ViewColumn::new(0, 0), ViewColumn::new(1, 0)),
+                ViewEdge::new(ViewColumn::new(1, 1), ViewColumn::new(2, 0)),
+            ],
+            projection: vec![ViewColumn::new(0, 0), ViewColumn::new(2, 0)],
+            partition_column: 0,
+        }
+    }
+
+    /// Cyclic triangle: A.0=B.0, B.1=C.0, C.1=A.1.
+    fn triangle_view() -> JoinViewDef {
+        JoinViewDef {
+            name: "tri".into(),
+            relations: vec!["a".into(), "b".into(), "c".into()],
+            edges: vec![
+                ViewEdge::new(ViewColumn::new(0, 0), ViewColumn::new(1, 0)),
+                ViewEdge::new(ViewColumn::new(1, 1), ViewColumn::new(2, 0)),
+                ViewEdge::new(ViewColumn::new(2, 1), ViewColumn::new(0, 1)),
+            ],
+            projection: vec![ViewColumn::new(0, 0)],
+            partition_column: 0,
+        }
+    }
+
+    #[test]
+    fn chain_from_each_end() {
+        let v = chain_view();
+        let plan = plan_chain(&v, 0, |_, _| 1.0).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].rel, 1);
+        assert_eq!(plan[0].anchor, ViewColumn::new(0, 0));
+        assert_eq!(plan[1].rel, 2);
+        assert_eq!(plan[1].anchor, ViewColumn::new(1, 1));
+
+        let plan = plan_chain(&v, 2, |_, _| 1.0).unwrap();
+        assert_eq!(plan[0].rel, 1);
+        assert_eq!(plan[1].rel, 0);
+
+        // Middle relation updated: both neighbours probed directly.
+        let plan = plan_chain(&v, 1, |_, _| 1.0).unwrap();
+        let rels: Vec<usize> = plan.iter().map(|s| s.rel).collect();
+        assert!(rels.contains(&0) && rels.contains(&2));
+        assert!(plan.iter().all(|s| s.anchor.rel == 1));
+    }
+
+    #[test]
+    fn fanout_steers_order() {
+        let v = triangle_view();
+        // From A both B (via A.0=B.0) and C (via C.1=A.1) are reachable.
+        // Make C far cheaper: planner must visit C first.
+        let plan = plan_chain(&v, 0, |rel, _| if rel == 2 { 0.1 } else { 100.0 }).unwrap();
+        assert_eq!(plan[0].rel, 2);
+        assert_eq!(plan[1].rel, 1);
+        // And the reverse.
+        let plan = plan_chain(&v, 0, |rel, _| if rel == 1 { 0.1 } else { 100.0 }).unwrap();
+        assert_eq!(plan[0].rel, 1);
+    }
+
+    #[test]
+    fn triangle_closing_edge_becomes_filter() {
+        let v = triangle_view();
+        let plan = plan_chain(&v, 0, |rel, _| rel as f64).unwrap();
+        // Whatever the order, the second step must carry one filter (the
+        // edge closing the triangle).
+        assert_eq!(plan[1].filters.len(), 1);
+        assert!(plan[0].filters.is_empty());
+    }
+
+    #[test]
+    fn updated_out_of_range() {
+        assert!(plan_chain(&chain_view(), 9, |_, _| 1.0).is_err());
+    }
+
+    #[test]
+    fn every_step_anchored_in_prefix() {
+        let v = triangle_view();
+        for updated in 0..3 {
+            let plan = plan_chain(&v, updated, |_, _| 1.0).unwrap();
+            let mut covered = vec![updated];
+            for s in &plan {
+                assert!(
+                    covered.contains(&s.anchor.rel),
+                    "anchor must be joined already"
+                );
+                for (f, _) in &s.filters {
+                    assert!(covered.contains(&f.rel));
+                }
+                covered.push(s.rel);
+            }
+            assert_eq!(covered.len(), 3);
+        }
+    }
+
+    #[test]
+    fn alternative_chains_dedup() {
+        let v = triangle_view();
+        let cheap_b = |rel: usize, _: usize| if rel == 1 { 0.1 } else { 10.0 };
+        let cheap_c = |rel: usize, _: usize| if rel == 2 { 0.1 } else { 10.0 };
+        let plans = alternative_chains(&v, 0, &[&cheap_b, &cheap_c, &cheap_b]).unwrap();
+        assert_eq!(plans.len(), 2, "duplicate oracle collapses");
+    }
+}

@@ -1,0 +1,1042 @@
+//! [`MaintainedView`]: a materialized join view plus the machinery that
+//! keeps it consistent under one of the three maintenance methods.
+
+use pvm_engine::{exec, Cluster, MeterReport, PartitionSpec, TableDef, TableId};
+use pvm_storage::Organization;
+use pvm_types::{PvmError, Result, Row};
+
+use crate::auxrel::{self, AuxState};
+use crate::delta::Delta;
+use crate::globalindex::{self, GiState};
+use crate::naive;
+use crate::viewdef::JoinViewDef;
+
+/// The three maintenance methods of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaintenanceMethod {
+    /// §2.1.1: broadcast deltas, probe base fragments at every node.
+    Naive,
+    /// §2.1.2: σπ copies partitioned on join attributes, single-node work.
+    AuxiliaryRelation,
+    /// §2.1.3: join-attribute → global-rid indices, few-node work.
+    GlobalIndex,
+}
+
+impl MaintenanceMethod {
+    pub fn label(&self) -> &'static str {
+        match self {
+            MaintenanceMethod::Naive => "naive",
+            MaintenanceMethod::AuxiliaryRelation => "auxiliary relation",
+            MaintenanceMethod::GlobalIndex => "global index",
+        }
+    }
+}
+
+/// Resolved identifiers shared by all method implementations.
+#[derive(Debug, Clone)]
+pub struct ViewHandle {
+    pub def: JoinViewDef,
+    /// Base table ids in definition order.
+    pub base: Vec<TableId>,
+    /// The view's stored table.
+    pub view_table: TableId,
+    /// Position (in the view schema) of the partitioning attribute.
+    pub view_pcol: usize,
+    /// Grouping/aggregation shape for aggregate join views; `None` for
+    /// plain join views.
+    pub agg: Option<crate::aggregate::AggShape>,
+}
+
+/// Cost report of one maintenance transaction, split into the paper's
+/// phases. "update base relation" and "update view" are common to all
+/// methods (§3.1.1 omits them from TW); what distinguishes the methods is
+/// `aux` (the extra structure updates) plus `compute` (finding the view
+/// delta).
+#[derive(Debug, Clone)]
+pub struct MaintenanceOutcome {
+    /// Updating the base relation itself.
+    pub base: MeterReport,
+    /// Updating auxiliary relations / global indices of the updated
+    /// relation (empty for the naive method).
+    pub aux: MeterReport,
+    /// Computing the changes to the view (redistribution + probes + joins
+    /// + shipping results toward the view).
+    pub compute: MeterReport,
+    /// Applying the changes to the stored view.
+    pub view: MeterReport,
+    /// Join rows inserted into / deleted from the view.
+    pub view_rows: u64,
+}
+
+impl MaintenanceOutcome {
+    /// The paper's per-method TW (aux + compute), in I/Os.
+    pub fn tw_io(&self) -> f64 {
+        self.aux.total_workload_io() + self.compute.total_workload_io()
+    }
+
+    /// The §3.3 measured quantity: computing the view changes only.
+    pub fn compute_io(&self) -> f64 {
+        self.compute.total_workload_io()
+    }
+
+    /// Busiest-node response time over aux + compute (I/Os).
+    pub fn response_io(&self) -> f64 {
+        self.aux
+            .per_node
+            .iter()
+            .zip(&self.compute.per_node)
+            .map(|(a, c)| {
+                pvm_types::IoWeights::default().total(a) + pvm_types::IoWeights::default().total(c)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Charged interconnect messages across all phases.
+    pub fn sends(&self) -> u64 {
+        self.base.sends() + self.aux.sends() + self.compute.sends() + self.view.sends()
+    }
+
+    /// Nodes that did abstract work in the compute phase — all-node vs.
+    /// few-node vs. single-node, the paper's headline distinction.
+    pub fn compute_active_nodes(&self) -> usize {
+        self.compute.active_nodes()
+    }
+
+    fn merge(mut self, other: MaintenanceOutcome) -> MaintenanceOutcome {
+        fn merge_reports(a: &mut MeterReport, b: &MeterReport) {
+            for (x, y) in a.per_node.iter_mut().zip(&b.per_node) {
+                *x += *y;
+            }
+            a.net += b.net;
+        }
+        merge_reports(&mut self.base, &other.base);
+        merge_reports(&mut self.aux, &other.aux);
+        merge_reports(&mut self.compute, &other.compute);
+        merge_reports(&mut self.view, &other.view);
+        self.view_rows += other.view_rows;
+        self
+    }
+}
+
+/// A materialized join view maintained under a fixed method.
+#[derive(Debug)]
+pub struct MaintainedView {
+    handle: ViewHandle,
+    method: MaintenanceMethod,
+    policy: crate::chain::JoinPolicy,
+    aux: Option<AuxState>,
+    gi: Option<GiState>,
+}
+
+impl MaintainedView {
+    /// Create the view: validate the definition, materialize the view
+    /// table (hash-partitioned on its partitioning attribute, with an
+    /// index on it), install the method's structures, and populate
+    /// everything from the current base contents.
+    pub fn create(
+        cluster: &mut Cluster,
+        def: JoinViewDef,
+        method: MaintenanceMethod,
+    ) -> Result<MaintainedView> {
+        def.validate(cluster)?;
+        let base: Vec<TableId> = def
+            .relations
+            .iter()
+            .map(|r| cluster.table_id(r))
+            .collect::<Result<_>>()?;
+
+        let schema = def.view_schema(cluster)?.into_ref();
+        let view_pcol = def.partition_column;
+        let view_table = cluster.create_table(TableDef::new(
+            def.name.clone(),
+            schema,
+            PartitionSpec::hash(view_pcol),
+            Organization::Heap,
+        ))?;
+        cluster.create_secondary_index(
+            view_table,
+            format!("{}_part", def.name),
+            vec![view_pcol],
+        )?;
+
+        let handle = ViewHandle {
+            def,
+            base,
+            view_table,
+            view_pcol,
+            agg: None,
+        };
+
+        let (aux, gi) = match method {
+            MaintenanceMethod::Naive => {
+                naive::install(cluster, &handle)?;
+                (None, None)
+            }
+            MaintenanceMethod::AuxiliaryRelation => {
+                (Some(auxrel::install(cluster, &handle)?), None)
+            }
+            MaintenanceMethod::GlobalIndex => (None, Some(globalindex::install(cluster, &handle)?)),
+        };
+
+        let view = MaintainedView {
+            handle,
+            method,
+            policy: crate::chain::JoinPolicy::default(),
+            aux,
+            gi,
+        };
+        view.populate(cluster)?;
+        Ok(view)
+    }
+
+    /// Create a view letting the cost-based advisor pick the maintenance
+    /// method from live statistics, the expected update-transaction size,
+    /// and a storage budget — the conclusion's "choose the best approach
+    /// automatically".
+    pub fn create_auto(
+        cluster: &mut Cluster,
+        def: JoinViewDef,
+        expected_update_tuples: u64,
+        budget_pages: u64,
+    ) -> Result<MaintainedView> {
+        let advice = crate::advisor::advise(cluster, &def, expected_update_tuples, budget_pages)?;
+        let method = match advice.recommendation {
+            pvm_model::Recommendation::Naive => MaintenanceMethod::Naive,
+            pvm_model::Recommendation::AuxiliaryRelation => MaintenanceMethod::AuxiliaryRelation,
+            pvm_model::Recommendation::GlobalIndex => MaintenanceMethod::GlobalIndex,
+        };
+        MaintainedView::create(cluster, def, method)
+    }
+
+    /// Create an auxiliary-relation-maintained view whose ARs come from a
+    /// shared, already-materialized [`crate::minimize::ArPool`] (§2.1.2's
+    /// one-AR-per-attribute sharing). The pool must have been
+    /// [`planned`](crate::minimize::ArPool::plan) with this definition and
+    /// materialized. Use [`maintain_all_pooled`] for updates so each
+    /// shared AR is maintained exactly once per base delta.
+    pub fn create_with_pool(
+        cluster: &mut Cluster,
+        def: JoinViewDef,
+        pool: &crate::minimize::ArPool,
+    ) -> Result<MaintainedView> {
+        if !pool.is_materialized() {
+            return Err(PvmError::InvalidOperation(
+                "ArPool must be materialized before creating views against it".into(),
+            ));
+        }
+        def.validate(cluster)?;
+        let base: Vec<TableId> = def
+            .relations
+            .iter()
+            .map(|r| cluster.table_id(r))
+            .collect::<Result<_>>()?;
+
+        let schema = def.view_schema(cluster)?.into_ref();
+        let view_pcol = def.partition_column;
+        let view_table = cluster.create_table(TableDef::new(
+            def.name.clone(),
+            schema,
+            PartitionSpec::hash(view_pcol),
+            Organization::Heap,
+        ))?;
+        cluster.create_secondary_index(
+            view_table,
+            format!("{}_part", def.name),
+            vec![view_pcol],
+        )?;
+
+        let handle = ViewHandle {
+            def,
+            base,
+            view_table,
+            view_pcol,
+            agg: None,
+        };
+
+        // Bind this view's (relation, attr) pairs to the pool's ARs.
+        let mut ars = std::collections::HashMap::new();
+        for (rel, &table) in handle.base.iter().enumerate() {
+            let tdef = cluster.def(table)?.clone();
+            for c in handle.def.join_attrs_of(rel) {
+                if tdef.partitioning.is_on(c) {
+                    crate::chain::ensure_join_index(cluster, table, c)?;
+                    continue;
+                }
+                let info = pool.ar_for(&tdef.name, c).ok_or_else(|| {
+                    PvmError::NotFound(format!(
+                        "pool AR for ({}, {c}) — did you plan() this view?",
+                        tdef.name
+                    ))
+                })?;
+                ars.insert((rel, c), info.clone());
+            }
+        }
+        let aux = AuxState { ars, shared: true };
+
+        let view = MaintainedView {
+            handle,
+            method: MaintenanceMethod::AuxiliaryRelation,
+            policy: crate::chain::JoinPolicy::default(),
+            aux: Some(aux),
+            gi: None,
+        };
+        view.populate(cluster)?;
+        Ok(view)
+    }
+
+    /// Choose how nodes join their delta shares with local fragments:
+    /// [`crate::chain::JoinPolicy::IndexOnly`] (default; the access path
+    /// the paper's figures stipulate) or
+    /// [`crate::chain::JoinPolicy::CostBased`] (the §3.1.2
+    /// index-vs-sort-merge choice, executed — large deltas switch to one
+    /// local scan per node where that is cheaper).
+    pub fn set_join_policy(&mut self, policy: crate::chain::JoinPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active join policy.
+    pub fn join_policy(&self) -> crate::chain::JoinPolicy {
+        self.policy
+    }
+
+    /// Create an **aggregate** join view: `SELECT group…, COUNT/SUM …
+    /// FROM join GROUP BY group…`, maintained under `method`. The
+    /// underlying join's delta flows through the same machinery; shipped
+    /// rows are folded into their groups at the group's home node. See
+    /// [`crate::aggregate`].
+    pub fn create_aggregate(
+        cluster: &mut Cluster,
+        def: JoinViewDef,
+        shape: crate::aggregate::AggShape,
+        method: MaintenanceMethod,
+    ) -> Result<MaintainedView> {
+        def.validate(cluster)?;
+        let base: Vec<TableId> = def
+            .relations
+            .iter()
+            .map(|r| cluster.table_id(r))
+            .collect::<Result<_>>()?;
+        let join_schema = def.view_schema(cluster)?;
+        let stored = shape.stored_schema(&def, &join_schema)?.into_ref();
+        // Stored rows lead with the group columns; partition on the first
+        // so every update of a group lands on one node.
+        let view_table = cluster.create_table(TableDef::new(
+            def.name.clone(),
+            stored,
+            PartitionSpec::hash(0),
+            Organization::Heap,
+        ))?;
+        cluster.create_secondary_index(
+            view_table,
+            format!("{}_groups", def.name),
+            shape.stored_group_positions(),
+        )?;
+
+        let handle = ViewHandle {
+            def,
+            base,
+            view_table,
+            view_pcol: 0,
+            agg: Some(shape),
+        };
+        let (aux, gi) = match method {
+            MaintenanceMethod::Naive => {
+                naive::install(cluster, &handle)?;
+                (None, None)
+            }
+            MaintenanceMethod::AuxiliaryRelation => {
+                (Some(auxrel::install(cluster, &handle)?), None)
+            }
+            MaintenanceMethod::GlobalIndex => (None, Some(globalindex::install(cluster, &handle)?)),
+        };
+        let view = MaintainedView {
+            handle,
+            method,
+            policy: crate::chain::JoinPolicy::default(),
+            aux,
+            gi,
+        };
+        view.populate(cluster)?;
+        Ok(view)
+    }
+
+    /// Bulk-load the view table from the current base contents (used at
+    /// creation; not a maintenance path).
+    fn populate(&self, cluster: &mut Cluster) -> Result<()> {
+        let rows = self.recompute_expected(cluster)?;
+        cluster.insert(self.handle.view_table, rows)?;
+        Ok(())
+    }
+
+    pub fn method(&self) -> MaintenanceMethod {
+        self.method
+    }
+
+    pub fn def(&self) -> &JoinViewDef {
+        &self.handle.def
+    }
+
+    pub fn view_table(&self) -> TableId {
+        self.handle.view_table
+    }
+
+    /// Current contents of the stored view (cluster-wide).
+    pub fn contents(&self, cluster: &Cluster) -> Result<Vec<Row>> {
+        cluster.scan_all(self.handle.view_table)
+    }
+
+    /// Recompute the view from scratch via a full join — the correctness
+    /// oracle every maintenance path is tested against.
+    pub fn recompute_expected(&self, cluster: &Cluster) -> Result<Vec<Row>> {
+        let relations: Vec<Vec<Row>> = self
+            .handle
+            .base
+            .iter()
+            .map(|&id| cluster.scan_all(id))
+            .collect::<Result<_>>()?;
+        let full = exec::multiway_join(&relations, &self.handle.def.exec_edges())?;
+        // Project definition-order concatenated rows to the view schema.
+        let mut layout = crate::layout::Layout::new();
+        for (i, rel_rows) in relations.iter().enumerate() {
+            let arity = match rel_rows.first() {
+                Some(r) => r.arity(),
+                None => cluster.def(self.handle.base[i])?.schema.arity(),
+            };
+            layout.push(i, (0..arity).collect());
+        }
+        let projected: Vec<Row> = full
+            .iter()
+            .map(|r| layout.project(r, &self.handle.def.projection))
+            .collect::<Result<_>>()?;
+        match &self.handle.agg {
+            None => Ok(projected),
+            Some(shape) => shape.aggregate_all(&projected),
+        }
+    }
+
+    /// Apply a delta on base relation `rel` (by definition index),
+    /// maintaining base table, method structures, and the view. Returns
+    /// the phase-split cost report.
+    pub fn apply(
+        &mut self,
+        cluster: &mut Cluster,
+        rel: usize,
+        delta: &Delta,
+    ) -> Result<MaintenanceOutcome> {
+        if rel >= self.handle.def.relation_count() {
+            return Err(PvmError::InvalidReference(format!(
+                "relation {rel} out of range for view '{}'",
+                self.handle.def.name
+            )));
+        }
+        let (deletes, inserts) = delta.phases();
+        let mut outcome: Option<MaintenanceOutcome> = None;
+        if let Some(rows) = deletes {
+            let o = self.apply_rows(cluster, rel, rows, false)?;
+            outcome = Some(o);
+        }
+        if let Some(rows) = inserts {
+            let o = self.apply_rows(cluster, rel, rows, true)?;
+            outcome = Some(match outcome {
+                Some(prev) => prev.merge(o),
+                None => o,
+            });
+        }
+        outcome.ok_or_else(|| PvmError::InvalidOperation("empty delta".into()))
+    }
+
+    fn apply_rows(
+        &mut self,
+        cluster: &mut Cluster,
+        rel: usize,
+        rows: &[Row],
+        insert: bool,
+    ) -> Result<MaintenanceOutcome> {
+        let (base, placed) = update_base(cluster, self.handle.base[rel], rows, insert)?;
+        let mut outcome = self.apply_prepared(cluster, rel, &placed, insert)?;
+        outcome.base = base;
+        Ok(outcome)
+    }
+
+    /// Maintain this view for a base update that has **already been
+    /// applied** — `placed` pairs each delta row with the global rid it
+    /// occupied (insert) or vacated (delete). This is the entry point for
+    /// maintaining several views over one shared base update; see
+    /// [`maintain_all`]. The returned outcome's `base` phase is empty.
+    pub fn apply_prepared(
+        &mut self,
+        cluster: &mut Cluster,
+        rel: usize,
+        placed: &[(Row, pvm_types::GlobalRid)],
+        insert: bool,
+    ) -> Result<MaintenanceOutcome> {
+        if rel >= self.handle.def.relation_count() {
+            return Err(PvmError::InvalidReference(format!(
+                "relation {rel} out of range for view '{}'",
+                self.handle.def.name
+            )));
+        }
+        let handle = &self.handle;
+        let policy = self.policy;
+        match self.method {
+            MaintenanceMethod::Naive => naive::apply(cluster, handle, rel, placed, insert, policy),
+            MaintenanceMethod::AuxiliaryRelation => {
+                let state = self.aux.as_ref().expect("aux state installed");
+                auxrel::apply(cluster, handle, state, rel, placed, insert, policy)
+            }
+            MaintenanceMethod::GlobalIndex => {
+                let state = self.gi.as_ref().expect("gi state installed");
+                globalindex::apply(cluster, handle, state, rel, placed, insert, policy)
+            }
+        }
+    }
+
+    /// Extra storage (pages) the method's structures occupy — zero for
+    /// naive, σπ copies for AR, key+rid entries for GI.
+    pub fn storage_overhead_pages(&self, cluster: &Cluster) -> Result<usize> {
+        let mut pages = 0;
+        if let Some(aux) = &self.aux {
+            for info in aux.ars.values() {
+                pages += cluster.total_pages(info.table)?;
+            }
+        }
+        if let Some(gi) = &self.gi {
+            for info in gi.gis.values() {
+                pages += cluster.total_pages(info.table)?;
+            }
+        }
+        Ok(pages)
+    }
+
+    /// [`MaintainedView::apply`] wrapped in a cluster transaction — the
+    /// paper's `begin transaction … end transaction`: base update,
+    /// auxiliary-structure update, and view update commit or roll back as
+    /// one unit. On error, every node's DML is undone (deleted rows come
+    /// back at their original rids) and the error is returned.
+    pub fn apply_atomic(
+        &mut self,
+        cluster: &mut Cluster,
+        rel: usize,
+        delta: &Delta,
+    ) -> Result<MaintenanceOutcome> {
+        cluster.begin_txn()?;
+        match self.apply(cluster, rel, delta) {
+            Ok(outcome) => {
+                cluster.commit_txn()?;
+                Ok(outcome)
+            }
+            Err(e) => {
+                cluster.abort_txn()?;
+                Err(e)
+            }
+        }
+    }
+
+    /// The join chain the planner would use for a delta on relation
+    /// `rel`, with fan-outs estimated from current cluster statistics —
+    /// the §2.2 choice, inspectable (`EXPLAIN MAINTENANCE` in pvm-sql).
+    pub fn plan_for(&self, cluster: &Cluster, rel: usize) -> Result<Vec<crate::planner::PlanStep>> {
+        let fanout = crate::view_stats_fanout(cluster, &self.handle)?;
+        crate::planner::plan_chain(&self.handle.def, rel, fanout)
+    }
+
+    /// Tear the view down: drop its stored table and every maintenance
+    /// structure it owns (private ARs / GIs). Pool-shared ARs are left
+    /// alone — other views may still read them. This is how the storage
+    /// the paper worries about ("the parallel RDBMS may not have enough
+    /// disk space") is handed back.
+    pub fn destroy(self, cluster: &mut Cluster) -> Result<()> {
+        cluster.drop_table(self.handle.view_table)?;
+        if let Some(aux) = self.aux {
+            if !aux.shared {
+                for info in aux.ars.values() {
+                    cluster.drop_table(info.table)?;
+                }
+            }
+        }
+        if let Some(gi) = self.gi {
+            for info in gi.gis.values() {
+                cluster.drop_table(info.table)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify the stored view equals the from-scratch recomputation
+    /// (multiset comparison). Test / debugging aid.
+    pub fn check_consistent(&self, cluster: &Cluster) -> Result<()> {
+        let mut actual = self.contents(cluster)?;
+        let mut expected = self.recompute_expected(cluster)?;
+        actual.sort();
+        expected.sort();
+        if actual != expected {
+            return Err(PvmError::Corrupt(format!(
+                "view '{}' diverged: {} stored vs {} expected rows",
+                self.handle.def.name,
+                actual.len(),
+                expected.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Apply a delta to the base relation once and return the cost report
+/// plus each row's global rid placement (occupied on insert, vacated on
+/// delete). Rows absent at delete time are skipped — they contribute no
+/// view delta.
+pub(crate) fn update_base(
+    cluster: &mut Cluster,
+    table: TableId,
+    rows: &[Row],
+    insert: bool,
+) -> Result<(MeterReport, Vec<(Row, pvm_types::GlobalRid)>)> {
+    use pvm_types::GlobalRid;
+    let guard = cluster.meter();
+    let mut placed = Vec::with_capacity(rows.len());
+    if insert {
+        for (row, (node, rid)) in rows.iter().zip(cluster.insert(table, rows.to_vec())?) {
+            placed.push((row.clone(), GlobalRid::new(node, rid)));
+        }
+    } else {
+        for row in rows {
+            let home = cluster.route(table, row)?;
+            let node = cluster.node_mut(home)?;
+            let Some(rid) = node.find_rid(table, row, &[])? else {
+                continue;
+            };
+            node.delete_rid(table, rid)?;
+            placed.push((row.clone(), GlobalRid::new(home, rid)));
+        }
+    }
+    Ok((guard.finish(cluster), placed))
+}
+
+/// Maintain several views over one shared base-relation delta: the base
+/// table named `relation` is updated **once**, then every view that joins
+/// it is maintained from the same placements — the many-views-per-table
+/// situation §2.1.2 discusses. Views that do not reference `relation` are
+/// left untouched. Returns one outcome per view, in input order (the
+/// shared base phase is reported on the first maintained view).
+pub fn maintain_all(
+    cluster: &mut Cluster,
+    views: &mut [&mut MaintainedView],
+    relation: &str,
+    delta: &Delta,
+) -> Result<Vec<MaintenanceOutcome>> {
+    let table = cluster.table_id(relation)?;
+    let mut outcomes: Vec<Option<MaintenanceOutcome>> = views.iter().map(|_| None).collect();
+    let (deletes, inserts) = delta.phases();
+    for (rows, insert) in [(deletes, false), (inserts, true)] {
+        let Some(rows) = rows else { continue };
+        let (base, placed) = update_base(cluster, table, rows, insert)?;
+        let mut base = Some(base);
+        for (i, view) in views.iter_mut().enumerate() {
+            let Ok(rel) = view.handle.def.relation_index(relation) else {
+                continue;
+            };
+            let mut out = view.apply_prepared(cluster, rel, &placed, insert)?;
+            if let Some(b) = base.take() {
+                out.base = b;
+            }
+            outcomes[i] = Some(match outcomes[i].take() {
+                Some(prev) => prev.merge(out),
+                None => out,
+            });
+        }
+        if let Some(b) = base {
+            // No view joined the relation; surface the base report anyway
+            // on the first slot if present.
+            if let Some(first) = outcomes.first_mut() {
+                if first.is_none() {
+                    *first = Some(MaintenanceOutcome {
+                        base: b.clone(),
+                        aux: empty_report(cluster),
+                        compute: empty_report(cluster),
+                        view: empty_report(cluster),
+                        view_rows: 0,
+                    });
+                }
+            }
+        }
+    }
+    Ok(outcomes
+        .into_iter()
+        .map(|o| {
+            o.unwrap_or_else(|| MaintenanceOutcome {
+                base: MeterReport {
+                    per_node: Vec::new(),
+                    net: Default::default(),
+                },
+                aux: MeterReport {
+                    per_node: Vec::new(),
+                    net: Default::default(),
+                },
+                compute: MeterReport {
+                    per_node: Vec::new(),
+                    net: Default::default(),
+                },
+                view: MeterReport {
+                    per_node: Vec::new(),
+                    net: Default::default(),
+                },
+                view_rows: 0,
+            })
+        })
+        .collect())
+}
+
+fn empty_report(cluster: &Cluster) -> MeterReport {
+    cluster.meter().finish(cluster)
+}
+
+/// [`maintain_all`] for pool-backed views: the base table is updated
+/// once, **each shared AR is updated once** (by the pool), and then every
+/// view's compute/apply phases run. The pool's AR-update cost is reported
+/// in the first outcome's `aux` phase.
+pub fn maintain_all_pooled(
+    cluster: &mut Cluster,
+    pool: &crate::minimize::ArPool,
+    views: &mut [&mut MaintainedView],
+    relation: &str,
+    delta: &Delta,
+) -> Result<Vec<MaintenanceOutcome>> {
+    let table = cluster.table_id(relation)?;
+    let mut outcomes: Vec<Option<MaintenanceOutcome>> = views.iter().map(|_| None).collect();
+    let (deletes, inserts) = delta.phases();
+    for (rows, insert) in [(deletes, false), (inserts, true)] {
+        let Some(rows) = rows else { continue };
+        let (base, placed) = update_base(cluster, table, rows, insert)?;
+        let guard = cluster.meter();
+        pool.apply_base_delta(cluster, relation, &placed, insert)?;
+        let pool_aux = guard.finish(cluster);
+        let mut shared_phases = Some((base, pool_aux));
+        for (i, view) in views.iter_mut().enumerate() {
+            let Ok(rel) = view.handle.def.relation_index(relation) else {
+                continue;
+            };
+            let mut out = view.apply_prepared(cluster, rel, &placed, insert)?;
+            if let Some((b, a)) = shared_phases.take() {
+                out.base = b;
+                out.aux = a;
+            }
+            outcomes[i] = Some(match outcomes[i].take() {
+                Some(prev) => prev.merge(out),
+                None => out,
+            });
+        }
+    }
+    Ok(outcomes
+        .into_iter()
+        .map(|o| {
+            o.unwrap_or(MaintenanceOutcome {
+                base: MeterReport {
+                    per_node: Vec::new(),
+                    net: Default::default(),
+                },
+                aux: MeterReport {
+                    per_node: Vec::new(),
+                    net: Default::default(),
+                },
+                compute: MeterReport {
+                    per_node: Vec::new(),
+                    net: Default::default(),
+                },
+                view: MeterReport {
+                    per_node: Vec::new(),
+                    net: Default::default(),
+                },
+                view_rows: 0,
+            })
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvm_engine::ClusterConfig;
+    use pvm_types::{row, Column, Schema, Value};
+
+    /// A(a, c, payload) partitioned on a; B(b, d, payload) partitioned on
+    /// b. Join A.c = B.d — neither partitioned on the join attribute, the
+    /// paper's hard case 2.
+    fn setup(l: usize) -> (Cluster, TableId, TableId) {
+        let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(512));
+        let a = cluster
+            .create_table(TableDef::hash_heap(
+                "a",
+                Schema::new(vec![Column::int("a"), Column::int("c"), Column::str("pa")]).into_ref(),
+                0,
+            ))
+            .unwrap();
+        let b = cluster
+            .create_table(TableDef::hash_heap(
+                "b",
+                Schema::new(vec![Column::int("b"), Column::int("d"), Column::str("pb")]).into_ref(),
+                0,
+            ))
+            .unwrap();
+        // 50 B-rows, 10 distinct join values → N = 5.
+        cluster
+            .insert(
+                b,
+                (0..50).map(|i| row![i, i % 10, format!("b{i}")]).collect(),
+            )
+            .unwrap();
+        cluster
+            .insert(
+                a,
+                (0..20).map(|i| row![i, i % 10, format!("a{i}")]).collect(),
+            )
+            .unwrap();
+        (cluster, a, b)
+    }
+
+    fn jv_def() -> JoinViewDef {
+        JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3)
+    }
+
+    fn methods() -> [MaintenanceMethod; 3] {
+        [
+            MaintenanceMethod::Naive,
+            MaintenanceMethod::AuxiliaryRelation,
+            MaintenanceMethod::GlobalIndex,
+        ]
+    }
+
+    #[test]
+    fn create_populates_existing_join() {
+        for m in methods() {
+            let (mut cluster, _, _) = setup(4);
+            let view = MaintainedView::create(&mut cluster, jv_def(), m).unwrap();
+            assert_eq!(
+                view.contents(&cluster).unwrap().len(),
+                20 * 5,
+                "{m:?}: each A row matches 5 B rows"
+            );
+            view.check_consistent(&cluster).unwrap();
+        }
+    }
+
+    #[test]
+    fn insert_maintains_all_methods() {
+        for m in methods() {
+            let (mut cluster, _, _) = setup(4);
+            let mut view = MaintainedView::create(&mut cluster, jv_def(), m).unwrap();
+            let out = view
+                .apply(&mut cluster, 0, &Delta::Insert(vec![row![100, 3, "new"]]))
+                .unwrap();
+            assert_eq!(out.view_rows, 5, "{m:?}");
+            view.check_consistent(&cluster).unwrap();
+            // And an insert into B (roles switch).
+            let out = view
+                .apply(&mut cluster, 1, &Delta::Insert(vec![row![100, 3, "newb"]]))
+                .unwrap();
+            assert_eq!(out.view_rows, 3, "{m:?}: three A rows have c = 3 now");
+            view.check_consistent(&cluster).unwrap();
+        }
+    }
+
+    #[test]
+    fn delete_maintains_all_methods() {
+        for m in methods() {
+            let (mut cluster, _, _) = setup(4);
+            let mut view = MaintainedView::create(&mut cluster, jv_def(), m).unwrap();
+            let out = view
+                .apply(&mut cluster, 0, &Delta::Delete(vec![row![0, 0, "a0"]]))
+                .unwrap();
+            assert_eq!(out.view_rows, 5, "{m:?}");
+            view.check_consistent(&cluster).unwrap();
+            let out = view
+                .apply(&mut cluster, 1, &Delta::Delete(vec![row![0, 0, "b0"]]))
+                .unwrap();
+            assert_eq!(out.view_rows, 1, "{m:?}: one remaining A row with c = 0");
+            view.check_consistent(&cluster).unwrap();
+        }
+    }
+
+    #[test]
+    fn update_is_delete_plus_insert() {
+        for m in methods() {
+            let (mut cluster, _, _) = setup(4);
+            let mut view = MaintainedView::create(&mut cluster, jv_def(), m).unwrap();
+            view.apply(
+                &mut cluster,
+                0,
+                &Delta::Update {
+                    old: vec![row![0, 0, "a0"]],
+                    new: vec![row![0, 7, "a0"]],
+                },
+            )
+            .unwrap();
+            view.check_consistent(&cluster).unwrap();
+        }
+    }
+
+    #[test]
+    fn active_nodes_distinguish_methods() {
+        // The paper's headline: naive does compute work at ALL nodes;
+        // AR at one node per step; GI in between.
+        let l = 8;
+        let (mut cluster, _, _) = setup(l);
+        let mut naive =
+            MaintainedView::create(&mut cluster, jv_def(), MaintenanceMethod::Naive).unwrap();
+        let out = naive
+            .apply(&mut cluster, 0, &Delta::Insert(vec![row![200, 4, "x"]]))
+            .unwrap();
+        assert_eq!(out.compute_active_nodes(), l, "naive probes at every node");
+
+        let (mut cluster, _, _) = setup(l);
+        let mut ar =
+            MaintainedView::create(&mut cluster, jv_def(), MaintenanceMethod::AuxiliaryRelation)
+                .unwrap();
+        let out = ar
+            .apply(&mut cluster, 0, &Delta::Insert(vec![row![200, 4, "x"]]))
+            .unwrap();
+        assert_eq!(
+            out.compute_active_nodes(),
+            1,
+            "AR probes at exactly one node"
+        );
+
+        let (mut cluster, _, _) = setup(l);
+        let mut gi =
+            MaintainedView::create(&mut cluster, jv_def(), MaintenanceMethod::GlobalIndex).unwrap();
+        let out = gi
+            .apply(&mut cluster, 0, &Delta::Insert(vec![row![200, 4, "x"]]))
+            .unwrap();
+        let active = out.compute_active_nodes();
+        assert!(
+            active >= 1 && active <= 1 + 5.min(l),
+            "GI touches the probe node plus ≤ K holder nodes, got {active}"
+        );
+    }
+
+    #[test]
+    fn tw_matches_analytical_model() {
+        // Engine-measured TW (aux + compute I/Os) for a single-tuple insert
+        // must equal the §3.1.1 formulas: AR = 3; GI(dist non-clustered) =
+        // 3 + N; naive(non-clustered) = L + N.
+        let l = 8u64;
+        let n = 5u64; // 5 matches per value in setup()
+
+        let (mut cluster, _, _) = setup(l as usize);
+        let mut ar =
+            MaintainedView::create(&mut cluster, jv_def(), MaintenanceMethod::AuxiliaryRelation)
+                .unwrap();
+        let out = ar
+            .apply(&mut cluster, 0, &Delta::Insert(vec![row![300, 4, "x"]]))
+            .unwrap();
+        assert_eq!(out.tw_io(), 3.0, "AR: 1 INSERT (2 I/Os) + 1 SEARCH");
+
+        let (mut cluster, _, _) = setup(l as usize);
+        let mut gi =
+            MaintainedView::create(&mut cluster, jv_def(), MaintenanceMethod::GlobalIndex).unwrap();
+        let out = gi
+            .apply(&mut cluster, 0, &Delta::Insert(vec![row![300, 4, "x"]]))
+            .unwrap();
+        assert_eq!(
+            out.tw_io(),
+            (3 + n) as f64,
+            "GI: INSERT + SEARCH + N FETCHes"
+        );
+
+        let (mut cluster, _, _) = setup(l as usize);
+        let mut nv =
+            MaintainedView::create(&mut cluster, jv_def(), MaintenanceMethod::Naive).unwrap();
+        let out = nv
+            .apply(&mut cluster, 0, &Delta::Insert(vec![row![300, 4, "x"]]))
+            .unwrap();
+        assert_eq!(out.tw_io(), (l + n) as f64, "naive: L SEARCHes + N FETCHes");
+    }
+
+    #[test]
+    fn storage_overhead_ordering() {
+        // naive = 0 < GI < AR, the paper's space hierarchy.
+        let mut overheads = Vec::new();
+        for m in methods() {
+            let (mut cluster, _, _) = setup(4);
+            let view = MaintainedView::create(&mut cluster, jv_def(), m).unwrap();
+            overheads.push(view.storage_overhead_pages(&cluster).unwrap());
+        }
+        assert_eq!(overheads[0], 0, "naive stores nothing extra");
+        assert!(overheads[2] >= 1, "GI stores entries");
+        assert!(
+            overheads[1] >= overheads[2],
+            "AR copies dominate GI entries"
+        );
+    }
+
+    #[test]
+    fn view_partitioned_on_b_attribute() {
+        // "JV not partitioned on an attribute of A": partition the view on
+        // a B column; insert into A must still route result rows correctly.
+        for m in methods() {
+            let (mut cluster, _, _) = setup(4);
+            let mut def = jv_def();
+            def.partition_column = 3; // view column 3 = B.b
+            let mut view = MaintainedView::create(&mut cluster, def, m).unwrap();
+            view.apply(&mut cluster, 0, &Delta::Insert(vec![row![400, 2, "x"]]))
+                .unwrap();
+            view.check_consistent(&cluster).unwrap();
+        }
+    }
+
+    #[test]
+    fn no_matches_inserts_nothing() {
+        for m in methods() {
+            let (mut cluster, _, _) = setup(4);
+            let mut view = MaintainedView::create(&mut cluster, jv_def(), m).unwrap();
+            let out = view
+                .apply(
+                    &mut cluster,
+                    0,
+                    &Delta::Insert(vec![row![500, 999, "lonely"]]),
+                )
+                .unwrap();
+            assert_eq!(out.view_rows, 0, "{m:?}");
+            view.check_consistent(&cluster).unwrap();
+        }
+    }
+
+    #[test]
+    fn null_join_values_never_match() {
+        for m in methods() {
+            let (mut cluster, _, _) = setup(4);
+            let mut view = MaintainedView::create(&mut cluster, jv_def(), m).unwrap();
+            let out = view
+                .apply(
+                    &mut cluster,
+                    0,
+                    &Delta::Insert(vec![Row::new(vec![
+                        Value::Int(600),
+                        Value::Null,
+                        Value::from("n"),
+                    ])]),
+                )
+                .unwrap();
+            assert_eq!(out.view_rows, 0, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn bad_relation_index_rejected() {
+        let (mut cluster, _, _) = setup(2);
+        let mut view =
+            MaintainedView::create(&mut cluster, jv_def(), MaintenanceMethod::Naive).unwrap();
+        assert!(view
+            .apply(&mut cluster, 9, &Delta::insert_one(row![1, 1, "x"]))
+            .is_err());
+    }
+
+    #[test]
+    fn method_labels() {
+        assert_eq!(MaintenanceMethod::Naive.label(), "naive");
+        assert_eq!(
+            MaintenanceMethod::AuxiliaryRelation.label(),
+            "auxiliary relation"
+        );
+        assert_eq!(MaintenanceMethod::GlobalIndex.label(), "global index");
+    }
+}

@@ -1,0 +1,581 @@
+//! The cluster: `L` nodes, a catalog, and the interconnect.
+
+use pvm_net::{Fabric, NetConfig};
+use pvm_types::{NodeId, PvmError, Result, Row};
+
+use crate::catalog::{Catalog, TableDef, TableId};
+use crate::message::NetPayload;
+use crate::meter::{MeterGuard, MeterReport};
+use crate::node::NodeState;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of data-server nodes (`L`).
+    pub nodes: usize,
+    /// Buffer-pool pages per node (`M`).
+    pub buffer_pages: usize,
+    /// Interconnect behaviour.
+    pub net: NetConfig,
+    /// Record a write-ahead log for crash recovery ([`crate::recover`]).
+    pub wal: bool,
+}
+
+impl ClusterConfig {
+    /// `L` nodes with the paper's default memory of 100 pages per node.
+    pub fn new(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            buffer_pages: 100,
+            net: NetConfig::default(),
+            wal: false,
+        }
+    }
+
+    pub fn with_buffer_pages(mut self, pages: usize) -> Self {
+        self.buffer_pages = pages;
+        self
+    }
+
+    /// Enable write-ahead logging from the first operation on.
+    pub fn with_wal(mut self) -> Self {
+        self.wal = true;
+        self
+    }
+}
+
+/// A shared-nothing parallel RDBMS instance.
+///
+/// ```
+/// use pvm_engine::{Cluster, ClusterConfig, TableDef};
+/// use pvm_types::{row, Column, Schema};
+///
+/// let mut cluster = Cluster::new(ClusterConfig::new(4));
+/// let schema = Schema::new(vec![Column::int("id"), Column::int("v")]).into_ref();
+/// let t = cluster.create_table(TableDef::hash_heap("t", schema, 0)).unwrap();
+///
+/// // Rows are hash-routed to their home nodes.
+/// cluster.insert(t, (0..100).map(|i| row![i, i % 7]).collect()).unwrap();
+/// assert_eq!(cluster.row_count(t).unwrap(), 100);
+///
+/// // Everything is metered: inserts charge the paper's INSERT op.
+/// let total = cluster.meter().finish(&cluster);
+/// # let _ = total;
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    catalog: Catalog,
+    nodes: Vec<NodeState>,
+    fabric: Fabric<NetPayload>,
+    rr_seq: u64,
+    txn_active: bool,
+    wal: Option<crate::node::WalSink>,
+}
+
+impl Cluster {
+    pub fn new(config: ClusterConfig) -> Self {
+        let mut nodes: Vec<NodeState> = (0..config.nodes)
+            .map(|i| NodeState::new(NodeId::from(i), config.buffer_pages))
+            .collect();
+        let wal = if config.wal {
+            let sink: crate::node::WalSink =
+                std::sync::Arc::new(parking_lot::Mutex::new(crate::wal::Wal::new()));
+            for n in &mut nodes {
+                n.set_wal(Some(sink.clone()));
+            }
+            Some(sink)
+        } else {
+            None
+        };
+        Cluster {
+            config,
+            catalog: Catalog::new(),
+            nodes,
+            fabric: Fabric::new(config.nodes, config.net),
+            rr_seq: 0,
+            txn_active: false,
+            wal,
+        }
+    }
+
+    fn log_wal(&self, rec: crate::wal::WalRecord) {
+        if let Some(w) = &self.wal {
+            w.lock().append(rec);
+        }
+    }
+
+    /// A copy of the write-ahead log so far (None when WAL is disabled).
+    /// Take one before simulating a crash; feed it to [`crate::recover`].
+    pub fn wal_snapshot(&self) -> Option<crate::wal::Wal> {
+        self.wal.as_ref().map(|w| w.lock().clone())
+    }
+
+    // ---------------------------------------------------------- transactions
+
+    /// Begin a cluster-wide transaction: every node starts logical undo
+    /// logging (the paper's `begin transaction`). DDL is not allowed
+    /// inside a transaction; nesting is rejected.
+    pub fn begin_txn(&mut self) -> Result<()> {
+        if self.txn_active {
+            return Err(PvmError::InvalidOperation(
+                "a transaction is already open".into(),
+            ));
+        }
+        for n in &mut self.nodes {
+            n.begin_undo();
+        }
+        self.txn_active = true;
+        self.log_wal(crate::wal::WalRecord::TxnBegin);
+        Ok(())
+    }
+
+    /// Commit: discard undo logs; all changes stay.
+    pub fn commit_txn(&mut self) -> Result<()> {
+        if !self.txn_active {
+            return Err(PvmError::InvalidOperation("no open transaction".into()));
+        }
+        for n in &mut self.nodes {
+            n.commit_undo();
+        }
+        self.txn_active = false;
+        self.log_wal(crate::wal::WalRecord::TxnCommit);
+        Ok(())
+    }
+
+    /// Abort: every node rolls its DML back in reverse order (deleted rows
+    /// are resurrected at their original rids, so index and global-index
+    /// entries stay valid), and any in-flight messages are discarded.
+    pub fn abort_txn(&mut self) -> Result<()> {
+        if !self.txn_active {
+            return Err(PvmError::InvalidOperation("no open transaction".into()));
+        }
+        for n in &mut self.nodes {
+            n.abort_undo()?;
+        }
+        // Drop messages the aborted work left in flight.
+        for i in 0..self.nodes.len() {
+            let _ = self.fabric.recv_all(pvm_types::NodeId::from(i));
+        }
+        self.txn_active = false;
+        self.log_wal(crate::wal::WalRecord::TxnAbort);
+        Ok(())
+    }
+
+    /// True while a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn_active
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn nodes(&self) -> &[NodeState] {
+        &self.nodes
+    }
+
+    pub fn node(&self, id: NodeId) -> Result<&NodeState> {
+        self.nodes
+            .get(id.index())
+            .ok_or_else(|| PvmError::InvalidReference(format!("{id}")))
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut NodeState> {
+        self.nodes
+            .get_mut(id.index())
+            .ok_or_else(|| PvmError::InvalidReference(format!("{id}")))
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn fabric(&self) -> &Fabric<NetPayload> {
+        &self.fabric
+    }
+
+    pub fn fabric_mut(&mut self) -> &mut Fabric<NetPayload> {
+        &mut self.fabric
+    }
+
+    // ---------------------------------------------------------------- DDL
+
+    /// Create a table at every node and register it in the catalog.
+    pub fn create_table(&mut self, def: TableDef) -> Result<TableId> {
+        if self.txn_active {
+            return Err(PvmError::InvalidOperation(
+                "DDL is not allowed inside a transaction".into(),
+            ));
+        }
+        let id = self.catalog.register(def)?;
+        let def = self.catalog.get(id)?.clone();
+        for n in &mut self.nodes {
+            n.create_table(id, &def)?;
+        }
+        self.log_wal(crate::wal::WalRecord::CreateTable {
+            name: def.name.clone(),
+            columns: def
+                .schema
+                .columns()
+                .iter()
+                .map(|c| (c.name.clone(), c.dtype))
+                .collect(),
+            partition: def.partitioning.column(),
+            clustered_key: match &def.organization {
+                pvm_storage::Organization::Clustered { key } => Some(key.clone()),
+                pvm_storage::Organization::Heap => None,
+            },
+        });
+        Ok(id)
+    }
+
+    /// Drop a table everywhere.
+    pub fn drop_table(&mut self, id: TableId) -> Result<()> {
+        if self.txn_active {
+            return Err(PvmError::InvalidOperation(
+                "DDL is not allowed inside a transaction".into(),
+            ));
+        }
+        let name = self.catalog.get(id)?.name.clone();
+        self.catalog.deregister(id)?;
+        for n in &mut self.nodes {
+            n.drop_table(id)?;
+        }
+        self.log_wal(crate::wal::WalRecord::DropTable { name });
+        Ok(())
+    }
+
+    /// Create a non-clustered secondary index on `key` at every node.
+    pub fn create_secondary_index(
+        &mut self,
+        id: TableId,
+        name: impl Into<String>,
+        key: Vec<usize>,
+    ) -> Result<()> {
+        let name = name.into();
+        for n in &mut self.nodes {
+            n.storage_mut(id)?
+                .create_secondary_index(name.clone(), key.clone())?;
+        }
+        self.log_wal(crate::wal::WalRecord::CreateIndex {
+            table: self.catalog.get(id)?.name.clone(),
+            index: name,
+            key,
+        });
+        Ok(())
+    }
+
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.catalog.id_of(name)
+    }
+
+    pub fn def(&self, id: TableId) -> Result<&TableDef> {
+        self.catalog.get(id)
+    }
+
+    // ---------------------------------------------------------------- DML
+
+    /// Home node of `row` in table `id` under its partitioning spec.
+    pub fn route(&self, id: TableId, row: &Row) -> Result<NodeId> {
+        let def = self.catalog.get(id)?;
+        def.partitioning.route(row, self.node_count(), self.rr_seq)
+    }
+
+    /// Client-side insert: route each row to its home node and insert
+    /// there. (Client→node delivery is not a metered inter-node SEND.)
+    pub fn insert(&mut self, id: TableId, rows: Vec<Row>) -> Result<Vec<(NodeId, pvm_types::Rid)>> {
+        let def = self.catalog.get(id)?.clone();
+        let l = self.node_count();
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let node = def.partitioning.route(&row, l, self.rr_seq)?;
+            self.rr_seq += 1;
+            let rid = self.nodes[node.index()].insert(id, row)?;
+            out.push((node, rid));
+        }
+        Ok(out)
+    }
+
+    /// Delete rows by value (each row routed to its home node, deleted via
+    /// `key_hint` index when available). Round-robin tables have no
+    /// value-derived home, so their rows are sought at every node.
+    /// Returns how many were deleted.
+    pub fn delete(&mut self, id: TableId, rows: &[Row], key_hint: &[usize]) -> Result<usize> {
+        let def = self.catalog.get(id)?.clone();
+        let l = self.node_count();
+        let mut deleted = 0;
+        for row in rows {
+            match def.partitioning {
+                crate::partition::PartitionSpec::Hash { .. } => {
+                    let node = def.partitioning.route(row, l, 0)?;
+                    if self.nodes[node.index()].delete_row(id, row, key_hint)? {
+                        deleted += 1;
+                    }
+                }
+                crate::partition::PartitionSpec::RoundRobin => {
+                    for n in &mut self.nodes {
+                        if n.delete_row(id, row, key_hint)? {
+                            deleted += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(deleted)
+    }
+
+    /// All rows of table `id` across the cluster (oracle / bulk-load
+    /// helper; no cost charged beyond page touches). Node fragments are
+    /// scanned by parallel scoped threads — they touch disjoint storage —
+    /// and concatenated in node order, so the result is deterministic.
+    pub fn scan_all(&self, id: TableId) -> Result<Vec<Row>> {
+        let per_node: Vec<Result<Vec<(pvm_types::Rid, Row)>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .nodes
+                .iter()
+                .map(|n| s.spawn(move || n.storage(id)?.scan()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan thread must not panic"))
+                .collect()
+        });
+        let mut out = Vec::new();
+        for rows in per_node {
+            out.extend(rows?.into_iter().map(|(_, r)| r));
+        }
+        Ok(out)
+    }
+
+    /// Cluster-wide row count of a table.
+    pub fn row_count(&self, id: TableId) -> Result<u64> {
+        let mut c = 0;
+        for n in &self.nodes {
+            c += n.storage(id)?.row_count();
+        }
+        Ok(c)
+    }
+
+    /// Cluster-wide heap pages of a table (the paper's `|R|`).
+    pub fn heap_pages(&self, id: TableId) -> Result<usize> {
+        let mut c = 0;
+        for n in &self.nodes {
+            c += n.storage(id)?.heap_pages();
+        }
+        Ok(c)
+    }
+
+    /// Cluster-wide pages including indexes (storage-overhead accounting).
+    pub fn total_pages(&self, id: TableId) -> Result<usize> {
+        let mut c = 0;
+        for n in &self.nodes {
+            c += n.storage(id)?.total_pages();
+        }
+        Ok(c)
+    }
+
+    // ------------------------------------------------------------ network
+
+    /// Point-to-point send between nodes.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, payload: NetPayload) -> Result<()> {
+        self.fabric.send(src, dst, payload)
+    }
+
+    /// Broadcast from `src` to every node.
+    pub fn broadcast(&mut self, src: NodeId, payload: &NetPayload) -> Result<()> {
+        self.fabric.broadcast(src, payload)
+    }
+
+    /// Multicast from `src` to `dsts`.
+    pub fn multicast(&mut self, src: NodeId, dsts: &[NodeId], payload: &NetPayload) -> Result<()> {
+        self.fabric.multicast(src, dsts, payload)
+    }
+
+    // ------------------------------------------------------------ metering
+
+    /// Begin metering a region.
+    pub fn meter(&self) -> MeterGuard {
+        MeterGuard::start(self)
+    }
+
+    /// Meter a closure, returning its result and the cost report.
+    pub fn metered<T>(
+        &mut self,
+        f: impl FnOnce(&mut Cluster) -> Result<T>,
+    ) -> Result<(T, MeterReport)> {
+        let guard = self.meter();
+        let out = f(self)?;
+        Ok((out, guard.finish(self)))
+    }
+
+    /// Zero every counter (nodes, buffers, fabric).
+    pub fn reset_counters(&mut self) {
+        for n in &mut self.nodes {
+            n.reset_counters();
+        }
+        self.fabric.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvm_types::{row, Column, Schema};
+
+    fn two_col_schema() -> pvm_types::SchemaRef {
+        Schema::new(vec![Column::int("a"), Column::int("c")]).into_ref()
+    }
+
+    fn cluster(l: usize) -> Cluster {
+        Cluster::new(ClusterConfig::new(l).with_buffer_pages(256))
+    }
+
+    #[test]
+    fn create_and_insert_partitions_rows() {
+        let mut c = cluster(4);
+        let id = c
+            .create_table(TableDef::hash_heap("a", two_col_schema(), 0))
+            .unwrap();
+        let rows: Vec<Row> = (0..100).map(|i| row![i, i % 10]).collect();
+        c.insert(id, rows).unwrap();
+        assert_eq!(c.row_count(id).unwrap(), 100);
+        // Every node should hold some rows under uniform hashing.
+        for n in c.nodes() {
+            assert!(n.storage(id).unwrap().row_count() > 0);
+        }
+        // Rows live at their hash-routed home.
+        for r in c.scan_all(id).unwrap() {
+            let home = c.route(id, &r).unwrap();
+            let found = c.node(home).unwrap().storage(id).unwrap().scan().unwrap();
+            assert!(found.iter().any(|(_, fr)| fr == &r));
+        }
+    }
+
+    #[test]
+    fn delete_by_value() {
+        let mut c = cluster(2);
+        let id = c
+            .create_table(TableDef::hash_heap("a", two_col_schema(), 0))
+            .unwrap();
+        c.insert(id, vec![row![1, 2], row![3, 4]]).unwrap();
+        assert_eq!(c.delete(id, &[row![1, 2]], &[]).unwrap(), 1);
+        assert_eq!(c.delete(id, &[row![1, 2]], &[]).unwrap(), 0);
+        assert_eq!(c.row_count(id).unwrap(), 1);
+    }
+
+    #[test]
+    fn metered_region_reports_deltas() {
+        let mut c = cluster(2);
+        let id = c
+            .create_table(TableDef::hash_heap("a", two_col_schema(), 0))
+            .unwrap();
+        c.insert(id, vec![row![1, 1]]).unwrap();
+        let (_, report) = c
+            .metered(|c| {
+                c.insert(id, (0..10).map(|i| row![i, i]).collect())?;
+                Ok(())
+            })
+            .unwrap();
+        let total = report.total();
+        assert_eq!(total.inserts, 10, "only the metered inserts are counted");
+        assert!(report.total_workload_io() >= 20.0);
+    }
+
+    #[test]
+    fn secondary_index_everywhere() {
+        let mut c = cluster(3);
+        let id = c
+            .create_table(TableDef::hash_heap("a", two_col_schema(), 0))
+            .unwrap();
+        c.insert(id, (0..30).map(|i| row![i, 7]).collect()).unwrap();
+        c.create_secondary_index(id, "a_c", vec![1]).unwrap();
+        let mut hits = 0;
+        for i in 0..3u16 {
+            hits += c
+                .node_mut(NodeId(i))
+                .unwrap()
+                .index_search(id, &[1], &row![7])
+                .unwrap()
+                .len();
+        }
+        assert_eq!(hits, 30);
+    }
+
+    #[test]
+    fn drop_table_everywhere() {
+        let mut c = cluster(2);
+        let id = c
+            .create_table(TableDef::hash_heap("a", two_col_schema(), 0))
+            .unwrap();
+        c.drop_table(id).unwrap();
+        assert!(c.scan_all(id).is_err());
+        assert!(c.table_id("a").is_err());
+    }
+
+    #[test]
+    fn send_and_receive_payloads() {
+        let mut c = cluster(3);
+        let payload = NetPayload::DeltaRows {
+            table: TableId(0),
+            rows: vec![row![1]],
+        };
+        c.send(NodeId(0), NodeId(2), payload.clone()).unwrap();
+        c.broadcast(NodeId(1), &payload).unwrap();
+        let at2 = c.fabric_mut().recv_all(NodeId(2));
+        assert_eq!(at2.len(), 2);
+        // p2p + 2 charged broadcast copies (local copy free).
+        assert_eq!(c.fabric().ledger().snapshot().sends, 3);
+    }
+
+    #[test]
+    fn reset_counters_clears_everything() {
+        let mut c = cluster(2);
+        let id = c
+            .create_table(TableDef::hash_heap("a", two_col_schema(), 0))
+            .unwrap();
+        c.insert(id, vec![row![1, 1]]).unwrap();
+        c.reset_counters();
+        let report = c.meter().finish(&c);
+        assert!(report.total().is_zero());
+    }
+
+    #[test]
+    fn round_robin_delete_searches_all_nodes() {
+        let mut c = cluster(4);
+        let id = c
+            .create_table(TableDef::new(
+                "rr",
+                two_col_schema(),
+                crate::partition::PartitionSpec::RoundRobin,
+                pvm_storage::Organization::Heap,
+            ))
+            .unwrap();
+        c.insert(id, (0..8).map(|i| row![i, i]).collect()).unwrap();
+        assert_eq!(c.delete(id, &[row![5, 5]], &[]).unwrap(), 1);
+        assert_eq!(c.delete(id, &[row![5, 5]], &[]).unwrap(), 0);
+        assert_eq!(c.row_count(id).unwrap(), 7);
+    }
+
+    #[test]
+    fn round_robin_insert_spreads() {
+        let mut c = cluster(4);
+        let id = c
+            .create_table(TableDef::new(
+                "rr",
+                two_col_schema(),
+                crate::partition::PartitionSpec::RoundRobin,
+                pvm_storage::Organization::Heap,
+            ))
+            .unwrap();
+        c.insert(id, (0..8).map(|i| row![i, i]).collect()).unwrap();
+        for n in c.nodes() {
+            assert_eq!(n.storage(id).unwrap().row_count(), 2);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Payloads carried by the cluster interconnect.
+
+use pvm_net::MessageSize;
+use pvm_types::{GlobalRid, Row};
+
+use crate::catalog::TableId;
+
+/// A message between data-server nodes. Every maintenance algorithm in
+/// `pvm-core` is expressed as flows of these payloads, so the fabric's
+/// SEND accounting observes exactly the communication the paper models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetPayload {
+    /// Delta rows redistributed toward a table (by hash or broadcast),
+    /// e.g. an inserted base tuple on its way to an auxiliary relation.
+    DeltaRows { table: TableId, rows: Vec<Row> },
+    /// Join-result rows on their way to the view's home node(s).
+    ResultRows { table: TableId, rows: Vec<Row> },
+    /// A delta row plus the global rids of its match partners at the
+    /// destination node — the probe message of the global-index method.
+    RowWithRids {
+        table: TableId,
+        row: Row,
+        rids: Vec<GlobalRid>,
+    },
+}
+
+impl MessageSize for NetPayload {
+    fn byte_size(&self) -> usize {
+        match self {
+            NetPayload::DeltaRows { rows, .. } | NetPayload::ResultRows { rows, .. } => {
+                4 + rows.iter().map(Row::byte_size).sum::<usize>()
+            }
+            NetPayload::RowWithRids { row, rids, .. } => 4 + row.byte_size() + rids.len() * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvm_types::{row, NodeId, Rid};
+
+    #[test]
+    fn sizes_scale_with_contents() {
+        let r = row![1, "abc"];
+        let one = NetPayload::DeltaRows {
+            table: TableId(0),
+            rows: vec![r.clone()],
+        };
+        let two = NetPayload::DeltaRows {
+            table: TableId(0),
+            rows: vec![r.clone(), r.clone()],
+        };
+        assert!(two.byte_size() > one.byte_size());
+
+        let no_rids = NetPayload::RowWithRids {
+            table: TableId(0),
+            row: r.clone(),
+            rids: vec![],
+        };
+        let with_rids = NetPayload::RowWithRids {
+            table: TableId(0),
+            row: r,
+            rids: vec![GlobalRid::new(NodeId(0), Rid::new(0, 0)); 3],
+        };
+        assert_eq!(with_rids.byte_size() - no_rids.byte_size(), 24);
+    }
+}

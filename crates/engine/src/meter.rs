@@ -1,0 +1,160 @@
+//! Region metering: capture per-node and interconnect counters around an
+//! operation and report the deltas.
+//!
+//! [`MeterReport`] exposes the paper's two metrics:
+//!
+//! * **total workload** (`TW`) — the sum of work over all nodes (§3.1.1);
+//! * **response time** — the *maximum* work any single node performed,
+//!   since the nodes proceed in parallel (§3.1.2).
+
+use pvm_types::{CostSnapshot, IoWeights};
+
+use crate::cluster::Cluster;
+
+/// Captured "before" counters; finish against the same cluster to get a
+/// delta report.
+#[derive(Debug, Clone)]
+pub struct MeterGuard {
+    per_node: Vec<CostSnapshot>,
+    net: CostSnapshot,
+}
+
+impl MeterGuard {
+    pub fn start(cluster: &Cluster) -> Self {
+        MeterGuard {
+            per_node: cluster
+                .nodes()
+                .iter()
+                .map(|n| n.combined_snapshot())
+                .collect(),
+            net: cluster.fabric().ledger().snapshot(),
+        }
+    }
+
+    pub fn finish(&self, cluster: &Cluster) -> MeterReport {
+        let per_node = cluster
+            .nodes()
+            .iter()
+            .zip(&self.per_node)
+            .map(|(n, before)| n.combined_snapshot() - *before)
+            .collect();
+        let net = cluster.fabric().ledger().snapshot() - self.net;
+        MeterReport { per_node, net }
+    }
+}
+
+/// Deltas of every node's counters plus the interconnect's, over a metered
+/// region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeterReport {
+    /// Combined abstract-op + physical-page deltas per node.
+    pub per_node: Vec<CostSnapshot>,
+    /// Interconnect deltas (SENDs, bytes).
+    pub net: CostSnapshot,
+}
+
+impl MeterReport {
+    /// Sum of all node counters plus interconnect.
+    pub fn total(&self) -> CostSnapshot {
+        self.per_node.iter().fold(self.net, |acc, s| acc + *s)
+    }
+
+    /// Paper `TW` in I/Os: abstract SEARCH/FETCH/INSERT summed over nodes,
+    /// default weights (SENDs excluded).
+    pub fn total_workload_io(&self) -> f64 {
+        let w = IoWeights::default();
+        self.per_node.iter().map(|s| w.total(s)).sum()
+    }
+
+    /// Paper response time in I/Os: the busiest node's abstract I/O.
+    pub fn response_time_io(&self) -> f64 {
+        let w = IoWeights::default();
+        self.per_node.iter().map(|s| w.total(s)).fold(0.0, f64::max)
+    }
+
+    /// Response time measured in physical page I/Os at the buffer pools.
+    pub fn response_time_pages(&self) -> u64 {
+        self.per_node
+            .iter()
+            .map(|s| s.page_reads + s.page_writes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total physical page I/Os across the cluster.
+    pub fn total_pages(&self) -> u64 {
+        self.per_node
+            .iter()
+            .map(|s| s.page_reads + s.page_writes)
+            .sum()
+    }
+
+    /// Charged interconnect messages.
+    pub fn sends(&self) -> u64 {
+        self.net.sends
+    }
+
+    /// Simulated elapsed time of the region in milliseconds: the busiest
+    /// node's op time under `profile` plus the interconnect's serialized
+    /// SEND time. A deliberately simple timing model — nodes run in
+    /// parallel, messages do not overlap compute — sufficient for the
+    /// relative "seconds" comparisons of the paper's Figure 14.
+    pub fn simulated_ms(&self, profile: &pvm_types::LatencyProfile) -> f64 {
+        let busiest = self
+            .per_node
+            .iter()
+            .map(|s| profile.node_time_ms(s))
+            .fold(0.0, f64::max);
+        busiest + self.net.sends as f64 * profile.send_ms
+    }
+
+    /// Nodes that performed any abstract work — the paper's key
+    /// qualitative difference (all-node vs. few-node vs. single-node).
+    pub fn active_nodes(&self) -> usize {
+        self.per_node
+            .iter()
+            .filter(|s| s.searches + s.fetches + s.inserts > 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(searches: u64, inserts: u64) -> CostSnapshot {
+        CostSnapshot {
+            searches,
+            inserts,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn metrics() {
+        let r = MeterReport {
+            per_node: vec![snap(2, 1), snap(5, 0), snap(0, 0)],
+            net: CostSnapshot {
+                sends: 4,
+                ..Default::default()
+            },
+        };
+        // TW = (2 + 2*1) + 5 = 9 I/Os.
+        assert_eq!(r.total_workload_io(), 9.0);
+        assert_eq!(r.response_time_io(), 5.0);
+        assert_eq!(r.sends(), 4);
+        assert_eq!(r.active_nodes(), 2);
+        assert_eq!(r.total().searches, 7);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = MeterReport {
+            per_node: vec![],
+            net: CostSnapshot::default(),
+        };
+        assert_eq!(r.response_time_io(), 0.0);
+        assert_eq!(r.response_time_pages(), 0);
+        assert_eq!(r.active_nodes(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Horizontal partitioning of tables across data-server nodes.
+
+use pvm_types::{NodeId, PvmError, Result, Row, Value};
+
+/// How a table's rows are declustered across the `L` nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionSpec {
+    /// Hash of one column's value modulo `L`. The workhorse: base
+    /// relations, auxiliary relations, global indices, and views are all
+    /// hash-partitioned on some attribute.
+    Hash { column: usize },
+    /// Round-robin by a running counter — used for tables with no
+    /// meaningful placement attribute.
+    RoundRobin,
+}
+
+impl PartitionSpec {
+    /// Convenience constructor.
+    pub fn hash(column: usize) -> Self {
+        PartitionSpec::Hash { column }
+    }
+
+    /// The partitioning column, if hash-partitioned.
+    pub fn column(&self) -> Option<usize> {
+        match self {
+            PartitionSpec::Hash { column } => Some(*column),
+            PartitionSpec::RoundRobin => None,
+        }
+    }
+
+    /// True if this spec hash-partitions on `column`.
+    pub fn is_on(&self, column: usize) -> bool {
+        self.column() == Some(column)
+    }
+
+    /// Home node for `row` in an `l`-node cluster. `seq` feeds the
+    /// round-robin counter (callers pass a running row number).
+    pub fn route(&self, row: &Row, l: usize, seq: u64) -> Result<NodeId> {
+        if l == 0 {
+            return Err(PvmError::InvalidOperation("cluster has zero nodes".into()));
+        }
+        match self {
+            PartitionSpec::Hash { column } => {
+                let v = row.try_get(*column)?;
+                Ok(NodeId::from((hash_value(v) % l as u64) as usize))
+            }
+            PartitionSpec::RoundRobin => Ok(NodeId::from((seq % l as u64) as usize)),
+        }
+    }
+
+    /// Home node for a bare partitioning-attribute value.
+    pub fn route_value(v: &Value, l: usize) -> NodeId {
+        NodeId::from((hash_value(v) % l as u64) as usize)
+    }
+}
+
+/// FNV-1a over the order-preserving value encoding: deterministic across
+/// runs and platforms (the std hasher is randomized per process in some
+/// configurations, which would make experiments unrepeatable).
+pub fn hash_value(v: &Value) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in v.encode_key() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvm_types::row;
+
+    #[test]
+    fn hash_routing_is_deterministic_and_in_range() {
+        let spec = PartitionSpec::hash(0);
+        for l in [1usize, 2, 7, 128] {
+            for i in 0..200i64 {
+                let r = row![i, "x"];
+                let n1 = spec.route(&r, l, 0).unwrap();
+                let n2 = spec.route(&r, l, 99).unwrap();
+                assert_eq!(n1, n2, "hash routing ignores seq");
+                assert!(n1.index() < l);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_values_colocate() {
+        let spec = PartitionSpec::hash(1);
+        let a = row![1, 42];
+        let b = row![999, 42];
+        assert_eq!(
+            spec.route(&a, 16, 0).unwrap(),
+            spec.route(&b, 16, 1).unwrap()
+        );
+        assert_eq!(
+            PartitionSpec::route_value(&pvm_types::Value::Int(42), 16),
+            spec.route(&a, 16, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn hash_spreads_values() {
+        let spec = PartitionSpec::hash(0);
+        let l = 8;
+        let mut counts = vec![0usize; l];
+        for i in 0..8000i64 {
+            counts[spec.route(&row![i], l, 0).unwrap().index()] += 1;
+        }
+        for (n, c) in counts.iter().enumerate() {
+            assert!(
+                (700..1300).contains(c),
+                "node {n} got {c} of 8000 rows — hash is too skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let spec = PartitionSpec::RoundRobin;
+        let r = row![0];
+        assert_eq!(spec.route(&r, 3, 0).unwrap().index(), 0);
+        assert_eq!(spec.route(&r, 3, 1).unwrap().index(), 1);
+        assert_eq!(spec.route(&r, 3, 5).unwrap().index(), 2);
+    }
+
+    #[test]
+    fn bad_column_and_empty_cluster_error() {
+        let spec = PartitionSpec::hash(9);
+        assert!(spec.route(&row![1], 4, 0).is_err());
+        assert!(PartitionSpec::hash(0).route(&row![1], 0, 0).is_err());
+    }
+
+    #[test]
+    fn is_on() {
+        assert!(PartitionSpec::hash(2).is_on(2));
+        assert!(!PartitionSpec::hash(2).is_on(1));
+        assert!(!PartitionSpec::RoundRobin.is_on(0));
+    }
+}

@@ -1,0 +1,179 @@
+//! Cost-based method selection — the conclusion's "our analytical model
+//! could form the basis for a cost model that would enable a system to
+//! choose the best approach automatically", made concrete.
+//!
+//! Given the expected update-transaction size, the cluster shape, and a
+//! storage budget, the chooser prices all three methods (response time by
+//! default) and returns the cheapest *affordable* one:
+//!
+//! * auxiliary relations cost extra space ≈ the projected copy of each
+//!   non-co-partitioned base relation;
+//! * global indices cost ≈ one entry (key + 8-byte global rid) per base
+//!   tuple;
+//! * naive costs no space at all.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::{MethodVariant, ModelParams};
+use crate::response::response_time;
+
+/// What the chooser needs to know.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChooserInput {
+    pub params: ModelParams,
+    /// Extra pages the AR method needs (≈ σπ copies of base relations).
+    pub aux_rel_pages: u64,
+    /// Extra pages the GI method needs (≈ key+rid entries).
+    pub global_index_pages: u64,
+    /// Storage budget for maintenance structures, in pages.
+    pub budget_pages: u64,
+    /// Whether the probed relation / GI is clustered on the join attribute
+    /// (picks the clustered flavors of naive and GI).
+    pub clustered: bool,
+}
+
+/// The three space points the chooser arbitrates between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Recommendation {
+    Naive,
+    AuxiliaryRelation,
+    GlobalIndex,
+}
+
+impl Recommendation {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Recommendation::Naive => "naive",
+            Recommendation::AuxiliaryRelation => "auxiliary relation",
+            Recommendation::GlobalIndex => "global index",
+        }
+    }
+}
+
+/// One priced alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricedOption {
+    pub method: Recommendation,
+    pub response_io: f64,
+    pub extra_pages: u64,
+    pub affordable: bool,
+}
+
+/// Price all three methods and pick the cheapest affordable one (ties
+/// break toward less space). The naive method is always affordable, so a
+/// recommendation always exists.
+pub fn choose_method(input: &ChooserInput) -> (Recommendation, Vec<PricedOption>) {
+    let naive_variant = if input.clustered {
+        MethodVariant::NaiveClustered
+    } else {
+        MethodVariant::NaiveNonClustered
+    };
+    let gi_variant = if input.clustered {
+        MethodVariant::GiDistClustered
+    } else {
+        MethodVariant::GiDistNonClustered
+    };
+    let options = vec![
+        PricedOption {
+            method: Recommendation::Naive,
+            response_io: response_time(naive_variant, &input.params).io(),
+            extra_pages: 0,
+            affordable: true,
+        },
+        PricedOption {
+            method: Recommendation::GlobalIndex,
+            response_io: response_time(gi_variant, &input.params).io(),
+            extra_pages: input.global_index_pages,
+            affordable: input.global_index_pages <= input.budget_pages,
+        },
+        PricedOption {
+            method: Recommendation::AuxiliaryRelation,
+            response_io: response_time(MethodVariant::AuxRel, &input.params).io(),
+            extra_pages: input.aux_rel_pages,
+            affordable: input.aux_rel_pages <= input.budget_pages,
+        },
+    ];
+    let best = options
+        .iter()
+        .filter(|o| o.affordable)
+        .min_by(|a, b| {
+            a.response_io
+                .partial_cmp(&b.response_io)
+                .expect("response times are finite")
+                .then(a.extra_pages.cmp(&b.extra_pages))
+        })
+        .expect("naive is always affordable")
+        .method;
+    (best, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(a_tuples: u64, budget: u64) -> ChooserInput {
+        ChooserInput {
+            params: ModelParams::paper_defaults(32).with_a(a_tuples),
+            aux_rel_pages: 6_400,
+            global_index_pages: 640,
+            budget_pages: budget,
+            clustered: true,
+        }
+    }
+
+    #[test]
+    fn small_updates_big_budget_pick_ar() {
+        let (best, _) = choose_method(&input(128, 100_000));
+        assert_eq!(best, Recommendation::AuxiliaryRelation);
+    }
+
+    #[test]
+    fn tight_budget_falls_back_to_gi() {
+        // Budget fits the GI but not the AR copy.
+        let (best, opts) = choose_method(&input(128, 1_000));
+        assert_eq!(best, Recommendation::GlobalIndex);
+        assert!(
+            !opts
+                .iter()
+                .find(|o| o.method == Recommendation::AuxiliaryRelation)
+                .unwrap()
+                .affordable
+        );
+    }
+
+    #[test]
+    fn zero_budget_forces_naive() {
+        let (best, _) = choose_method(&input(128, 0));
+        assert_eq!(best, Recommendation::Naive);
+    }
+
+    #[test]
+    fn huge_updates_pick_naive_even_with_budget() {
+        // |A| ≥ |B| pages: sort-merge regime, naive clustered wins (§3.2
+        // Fig. 10) even though space is free.
+        let (best, _) = choose_method(&input(500_000, u64::MAX));
+        assert_eq!(best, Recommendation::Naive);
+    }
+
+    #[test]
+    fn options_are_fully_priced() {
+        let (_, opts) = choose_method(&input(128, 100_000));
+        assert_eq!(opts.len(), 3);
+        assert!(opts.iter().all(|o| o.response_io.is_finite()));
+        let naive = opts
+            .iter()
+            .find(|o| o.method == Recommendation::Naive)
+            .unwrap();
+        assert_eq!(naive.extra_pages, 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Recommendation::Naive.label(), "naive");
+        assert_eq!(
+            Recommendation::AuxiliaryRelation.label(),
+            "auxiliary relation"
+        );
+        assert_eq!(Recommendation::GlobalIndex.label(), "global index");
+    }
+}

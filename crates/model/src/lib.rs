@@ -1,0 +1,35 @@
+//! # pvm-model
+//!
+//! The paper's analytical cost model (§3.1), implemented as pure
+//! functions:
+//!
+//! * [`mod@tw`] — per-tuple **total workload** for the five method variants
+//!   (Figures 7 and 8, and the §3.1.1 savings analysis);
+//! * [`response`] — per-node **response time** for a transaction of `|A|`
+//!   inserted tuples, with the index-nested-loops vs. sort-merge choice
+//!   (Figures 9–12);
+//! * [`predict`] — the chain-of-joins predictor behind Figure 13's
+//!   naive-vs-AR maintenance-time predictions for JV1/JV2;
+//! * [`nway`] — the §3.2 multi-relation TW generalization ("straightforward
+//!   to apply … we omit them"), written out and tested against §3.1.1;
+//! * [`chooser`] — the conclusion's cost-based method selection (the
+//!   "hybrid method" heuristics), given update activity and a storage
+//!   budget.
+//!
+//! Cost unit: I/Os, with the paper's constants `SEARCH` = 1, `FETCH` = 1,
+//! `INSERT` = 2; `SEND`s are tracked separately (a typical parallel RDBMS
+//! spends far less on a SEND than on an I/O).
+
+pub mod chooser;
+pub mod nway;
+pub mod params;
+pub mod predict;
+pub mod response;
+pub mod tw;
+
+pub use chooser::{choose_method, ChooserInput, Recommendation};
+pub use nway::{NwayChain, NwayStep};
+pub use params::{MethodVariant, ModelParams};
+pub use predict::{predict_chain, ChainStep, PredictedTimes};
+pub use response::{response_time, ResponseBreakdown};
+pub use tw::{savings_vs_naive, tw, Savings, TwBreakdown};

@@ -1,0 +1,206 @@
+//! Multi-relation total workload — the model §3.2 says is "straightforward
+//! to apply … to the situation of a view on multiple base relations",
+//! written out.
+//!
+//! For a single tuple inserted into relation `u` of an n-ary view, the
+//! delta joins through a chain of `k = n−1` steps with per-step fan-outs
+//! `N_s` (`D_1 = 1`, `D_{s+1} = D_s·N_s` partials enter step `s+1`):
+//!
+//! * **naive** — every step redistributes every partial to all `L` nodes
+//!   and probes everywhere: `Σ D_s·(L·SEARCH + N_s·FETCH_noncl)`;
+//! * **auxiliary relation** — one structure INSERT per AR of `u`, then one
+//!   routed probe per partial per step: `2·a_u + Σ D_s·SEARCH`;
+//! * **global index** — one INSERT per GI of `u`, then per partial a GI
+//!   probe plus the fan-out fetches: `2·g_u + Σ D_s·(SEARCH + N_s·FETCH)`
+//!   (distributed non-clustered flavor; clustered replaces `N_s` with
+//!   `K_s = min(N_s, L)`).
+//!
+//! The paper reports that its n-ary experiments "did not provide any
+//! insight not already given by the two-relation model" — these formulas
+//! show why: each method keeps its two-relation character per step.
+
+use serde::{Deserialize, Serialize};
+
+/// One step of an n-ary maintenance chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NwayStep {
+    /// Matches per probe value at this step (`N_s`).
+    pub fanout: u64,
+    /// Whether the probed access path is clustered on the join attribute
+    /// (drops the naive FETCHes; caps GI fetches at `K_s`).
+    pub clustered: bool,
+}
+
+impl NwayStep {
+    pub fn new(fanout: u64) -> Self {
+        NwayStep {
+            fanout,
+            clustered: false,
+        }
+    }
+
+    pub fn clustered(fanout: u64) -> Self {
+        NwayStep {
+            fanout,
+            clustered: true,
+        }
+    }
+}
+
+/// An n-ary chain for TW analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NwayChain {
+    /// Steps in plan order.
+    pub steps: Vec<NwayStep>,
+    /// Auxiliary relations the updated relation carries (`a_u` — one per
+    /// join attribute it is not partitioned on; the §2.2 example's B
+    /// carries two).
+    pub aux_of_updated: u64,
+    /// Global indices the updated relation carries (`g_u`).
+    pub gi_of_updated: u64,
+}
+
+impl NwayChain {
+    /// A chain with uniform fan-out per step and one structure on the
+    /// updated relation (the common case).
+    pub fn uniform(n_steps: usize, fanout: u64) -> Self {
+        NwayChain {
+            steps: vec![NwayStep::new(fanout); n_steps],
+            aux_of_updated: 1,
+            gi_of_updated: 1,
+        }
+    }
+
+    /// Partials entering each step (`D_1 = 1`).
+    fn partials(&self) -> impl Iterator<Item = (u64, &NwayStep)> {
+        let mut d = 1u64;
+        self.steps.iter().map(move |s| {
+            let here = d;
+            d *= s.fanout.max(1);
+            (here, s)
+        })
+    }
+
+    /// Naive TW in I/Os for one inserted tuple on `l` nodes.
+    pub fn naive_io(&self, l: u64) -> u64 {
+        self.partials()
+            .map(|(d, s)| d * l + if s.clustered { 0 } else { d * s.fanout })
+            .sum()
+    }
+
+    /// Auxiliary-relation TW in I/Os for one inserted tuple.
+    pub fn aux_rel_io(&self) -> u64 {
+        2 * self.aux_of_updated + self.partials().map(|(d, _)| d).sum::<u64>()
+    }
+
+    /// Global-index TW in I/Os for one inserted tuple on `l` nodes.
+    pub fn gi_io(&self, l: u64) -> u64 {
+        2 * self.gi_of_updated
+            + self
+                .partials()
+                .map(|(d, s)| {
+                    let per_match = if s.clustered {
+                        s.fanout.min(l)
+                    } else {
+                        s.fanout
+                    };
+                    d + d * per_match
+                })
+                .sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{MethodVariant, ModelParams};
+    use crate::tw::tw;
+
+    #[test]
+    fn two_way_reduces_to_section_311() {
+        // One step with fan-out N must reproduce the §3.1.1 closed forms.
+        for l in [2u64, 8, 32, 128] {
+            for n in [1u64, 5, 10, 50] {
+                let p = ModelParams::paper_defaults(l).with_n(n);
+                let chain = NwayChain::uniform(1, n);
+                assert_eq!(
+                    chain.naive_io(l),
+                    tw(MethodVariant::NaiveNonClustered, &p).io()
+                );
+                assert_eq!(chain.aux_rel_io(), tw(MethodVariant::AuxRel, &p).io());
+                assert_eq!(
+                    chain.gi_io(l),
+                    tw(MethodVariant::GiDistNonClustered, &p).io()
+                );
+                let clustered = NwayChain {
+                    steps: vec![NwayStep::clustered(n)],
+                    aux_of_updated: 1,
+                    gi_of_updated: 1,
+                };
+                assert_eq!(
+                    clustered.naive_io(l),
+                    tw(MethodVariant::NaiveClustered, &p).io()
+                );
+                assert_eq!(
+                    clustered.gi_io(l),
+                    tw(MethodVariant::GiDistClustered, &p).io()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn three_way_shapes() {
+        // JV2-like chain: fan-out 1 then 4 (customer → orders → lineitem).
+        let chain = NwayChain {
+            steps: vec![NwayStep::new(1), NwayStep::new(4)],
+            aux_of_updated: 0, // customer is partitioned on its join attr
+            gi_of_updated: 0,
+        };
+        let l = 8;
+        // naive: step1 = L + 1, step2 = L + 4 (D_2 = 1).
+        assert_eq!(chain.naive_io(l), (l + 1) + (l + 4));
+        // AR: one probe per step.
+        assert_eq!(chain.aux_rel_io(), 2);
+        // GI: per step probe + fetches.
+        assert_eq!(chain.gi_io(l), (1 + 1) + (1 + 4));
+        // Ordering: AR < GI < naive, per step and in total.
+        assert!(chain.aux_rel_io() < chain.gi_io(l));
+        assert!(chain.gi_io(l) < chain.naive_io(l));
+    }
+
+    #[test]
+    fn partials_multiply() {
+        // Fan-out 3 then 2: step 2 sees 3 partials.
+        let chain = NwayChain::uniform(2, 3);
+        let l = 4;
+        // naive = (1·4 + 1·3) + (3·4 + 3·3) = 7 + 21.
+        assert_eq!(chain.naive_io(l), 28);
+        // AR = 2 + (1 + 3).
+        assert_eq!(chain.aux_rel_io(), 6);
+    }
+
+    #[test]
+    fn middle_relation_updates_pay_more_structures() {
+        // §2.2's case (2): updating B propagates to AR_B1 AND AR_B2.
+        let edge = NwayChain {
+            steps: vec![NwayStep::new(2), NwayStep::new(2)],
+            aux_of_updated: 1,
+            gi_of_updated: 1,
+        };
+        let middle = NwayChain {
+            aux_of_updated: 2,
+            gi_of_updated: 2,
+            ..edge.clone()
+        };
+        assert_eq!(middle.aux_rel_io(), edge.aux_rel_io() + 2);
+        assert_eq!(middle.gi_io(8), edge.gi_io(8) + 2);
+    }
+
+    #[test]
+    fn ar_is_l_independent_naive_is_not() {
+        let chain = NwayChain::uniform(2, 5);
+        assert_eq!(chain.aux_rel_io(), chain.aux_rel_io());
+        assert!(chain.naive_io(64) > 2 * chain.naive_io(16));
+    }
+}

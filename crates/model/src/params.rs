@@ -1,0 +1,123 @@
+//! Model parameters and the five method variants of §3.1.
+
+use serde::{Deserialize, Serialize};
+
+/// The five maintenance-method variants the model distinguishes. The
+/// naive and global-index methods each have a clustered and a
+/// non-clustered flavor, depending on how the probed relation `B` (or its
+/// global index) is physically organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MethodVariant {
+    /// Auxiliary relations (always clustered on the join attribute).
+    AuxRel,
+    /// Naive; index `J_B` on the join attribute is non-clustered.
+    NaiveNonClustered,
+    /// Naive; index `J_B` is clustered.
+    NaiveClustered,
+    /// Global index; `GI_B` is distributed non-clustered.
+    GiDistNonClustered,
+    /// Global index; `GI_B` is distributed clustered.
+    GiDistClustered,
+}
+
+impl MethodVariant {
+    /// All five variants, in the paper's presentation order.
+    pub const ALL: [MethodVariant; 5] = [
+        MethodVariant::AuxRel,
+        MethodVariant::NaiveNonClustered,
+        MethodVariant::NaiveClustered,
+        MethodVariant::GiDistNonClustered,
+        MethodVariant::GiDistClustered,
+    ];
+
+    /// Label used in figure output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodVariant::AuxRel => "auxiliary relation",
+            MethodVariant::NaiveNonClustered => "naive (non-clustered index)",
+            MethodVariant::NaiveClustered => "naive (clustered index)",
+            MethodVariant::GiDistNonClustered => "global index (dist. non-clustered)",
+            MethodVariant::GiDistClustered => "global index (dist. clustered)",
+        }
+    }
+}
+
+/// Parameters of the analytical model, §3.1.1 assumptions (9)–(12) and
+/// §3.2's experiment setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// `L` — data-server nodes.
+    pub l: u64,
+    /// `N` — join tuples generated per inserted tuple (matching tuples of
+    /// `B` per join-attribute value).
+    pub n: u64,
+    /// `|B|` — pages of base relation B (cluster-wide).
+    pub b_pages: u64,
+    /// `M` — memory pages per node.
+    pub m_pages: u64,
+    /// `|A|` — tuples inserted by the transaction.
+    pub a_tuples: u64,
+}
+
+impl ModelParams {
+    /// §3.2 defaults: `|B|` = 6,400 pages, `M` = 100, `N` = 10.
+    pub fn paper_defaults(l: u64) -> Self {
+        ModelParams {
+            l,
+            n: 10,
+            b_pages: 6_400,
+            m_pages: 100,
+            a_tuples: 1,
+        }
+    }
+
+    /// `K = min(N, L)` — nodes holding matching tuples (assumption 11).
+    pub fn k(&self) -> u64 {
+        self.n.min(self.l)
+    }
+
+    /// `|B_i| = |B| / L` — pages of B at each node (assumption 2 of
+    /// §3.1.2, even distribution).
+    pub fn b_pages_per_node(&self) -> f64 {
+        self.b_pages as f64 / self.l as f64
+    }
+
+    pub fn with_n(mut self, n: u64) -> Self {
+        self.n = n;
+        self
+    }
+
+    pub fn with_a(mut self, a: u64) -> Self {
+        self.a_tuples = a;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = ModelParams::paper_defaults(32);
+        assert_eq!((p.l, p.n, p.b_pages, p.m_pages), (32, 10, 6_400, 100));
+        assert_eq!(p.k(), 10);
+        assert_eq!(ModelParams::paper_defaults(4).k(), 4, "K = min(N, L)");
+        assert_eq!(p.b_pages_per_node(), 200.0);
+    }
+
+    #[test]
+    fn builders() {
+        let p = ModelParams::paper_defaults(8).with_n(3).with_a(400);
+        assert_eq!(p.n, 3);
+        assert_eq!(p.a_tuples, 400);
+        assert_eq!(p.k(), 3);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            MethodVariant::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,186 @@
+//! Chain-of-joins predictor behind Figure 13.
+//!
+//! The §3.3 experiment inserts `|Δ|` tuples into `customer` and measures
+//! only the *compute-the-view-changes* step (base-table and view updates
+//! are identical across methods). The delta is joined through a chain of
+//! relations — `orders` for JV1, then `lineitem` for JV2 — and the model
+//! prices that chain per node:
+//!
+//! * **naive** — every node probes its local fragment for every partial
+//!   tuple: `D_s` searches per node per step, plus `D_s·N_s/L` fetches if
+//!   the local index is non-clustered (the §3.3 setup builds non-clustered
+//!   indexes on `orders.custkey` and `lineitem.orderkey`);
+//! * **auxiliary relation** — partial tuples are hash-routed so each node
+//!   probes only `ceil(D_s/L)` times against a clustered AR (no fetches).
+//!
+//! where `D_1 = |Δ|` and `D_{s+1} = D_s · N_s`.
+
+use serde::{Deserialize, Serialize};
+
+/// One join step of the maintenance chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChainStep {
+    /// Matching tuples per partial tuple at this step (`N_s`).
+    pub matches_per_tuple: f64,
+    /// Is the naive method's local index on this relation clustered?
+    /// (§3.3: non-clustered; Teradata only clusters on partitioning
+    /// attributes.)
+    pub naive_index_clustered: bool,
+}
+
+impl ChainStep {
+    pub fn new(matches_per_tuple: f64) -> Self {
+        ChainStep {
+            matches_per_tuple,
+            naive_index_clustered: false,
+        }
+    }
+}
+
+/// Predicted per-node view-maintenance times, in I/Os.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictedTimes {
+    pub naive_io: f64,
+    pub aux_rel_io: f64,
+    /// Global-index prediction — the series the paper's Fig. 14 could not
+    /// include (Teradata had no global indices); ours can.
+    pub gi_io: f64,
+}
+
+impl PredictedTimes {
+    /// Speedup of AR over naive.
+    pub fn speedup(&self) -> f64 {
+        if self.aux_rel_io == 0.0 {
+            f64::INFINITY
+        } else {
+            self.naive_io / self.aux_rel_io
+        }
+    }
+
+    /// Times scaled to the paper's Fig. 13 unit of `delta` I/Os:
+    /// `(naive, aux_rel)`.
+    pub fn in_units_of(&self, unit: f64) -> (f64, f64) {
+        (self.naive_io / unit, self.aux_rel_io / unit)
+    }
+}
+
+/// Predict per-node maintenance time for a `delta`-tuple insert driven
+/// through `steps`, on `l` nodes.
+///
+/// ```
+/// use pvm_model::{predict_chain, ChainStep};
+///
+/// // The paper's JV1: 128 customers, each matching one order, 8 nodes.
+/// let t = predict_chain(128, 8, &[ChainStep::new(1.0)]);
+/// assert_eq!(t.aux_rel_io, 16.0);        // ceil(128/8) probes per node
+/// assert_eq!(t.naive_io, 144.0);         // 128 + 128/8
+/// assert_eq!(t.speedup(), 9.0);          // the Fig. 13/14 headline
+/// ```
+pub fn predict_chain(delta: u64, l: u64, steps: &[ChainStep]) -> PredictedTimes {
+    let l_f = l as f64;
+    let mut naive = 0.0;
+    let mut aux = 0.0;
+    let mut gi = 0.0;
+    let mut d = delta as f64;
+    for s in steps {
+        // Naive: all partials visible at every node.
+        naive += d;
+        if !s.naive_index_clustered {
+            naive += d * s.matches_per_tuple / l_f;
+        }
+        // AR: partials hash-partitioned across nodes; clustered probe.
+        aux += (d / l_f).ceil();
+        // GI: one GI probe per partial at its home node, plus the match
+        // fetches spread over the K ≤ min(N, L) holder nodes.
+        gi += (d / l_f).ceil() + d * s.matches_per_tuple / l_f;
+        d *= s.matches_per_tuple;
+    }
+    PredictedTimes {
+        naive_io: naive,
+        aux_rel_io: aux,
+        gi_io: gi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DELTA: u64 = 128;
+
+    fn jv1() -> Vec<ChainStep> {
+        // Each customer matches one orders tuple.
+        vec![ChainStep::new(1.0)]
+    }
+
+    fn jv2() -> Vec<ChainStep> {
+        // …then each orders tuple matches 4 lineitem tuples.
+        vec![ChainStep::new(1.0), ChainStep::new(4.0)]
+    }
+
+    #[test]
+    fn jv1_shapes() {
+        for l in [2u64, 4, 8] {
+            let t = predict_chain(DELTA, l, &jv1());
+            // naive ≈ 128·(1 + 1/L); AR = ceil(128/L).
+            assert!((t.naive_io - 128.0 * (1.0 + 1.0 / l as f64)).abs() < 1e-9);
+            assert_eq!(t.aux_rel_io, (128f64 / l as f64).ceil());
+            assert!(t.speedup() > 1.0);
+        }
+    }
+
+    #[test]
+    fn speedup_grows_with_nodes() {
+        let s2 = predict_chain(DELTA, 2, &jv1()).speedup();
+        let s4 = predict_chain(DELTA, 4, &jv1()).speedup();
+        let s8 = predict_chain(DELTA, 8, &jv1()).speedup();
+        assert!(
+            s2 < s4 && s4 < s8,
+            "Fig. 13/14: AR speedup increases with L"
+        );
+    }
+
+    #[test]
+    fn jv2_costs_more_than_jv1_for_naive() {
+        for l in [2u64, 4, 8] {
+            let t1 = predict_chain(DELTA, l, &jv1());
+            let t2 = predict_chain(DELTA, l, &jv2());
+            assert!(
+                t2.naive_io > 1.9 * t1.naive_io,
+                "naive pays a second all-node pass"
+            );
+            // AR pays one more partitioned probe round: 2·ceil(128/L).
+            assert_eq!(t2.aux_rel_io, 2.0 * t1.aux_rel_io);
+        }
+    }
+
+    #[test]
+    fn gi_sits_between_ar_and_naive() {
+        for l in [2u64, 4, 8] {
+            let t = predict_chain(DELTA, l, &jv2());
+            assert!(
+                t.aux_rel_io <= t.gi_io && t.gi_io <= t.naive_io,
+                "L={l}: AR {} ≤ GI {} ≤ naive {}",
+                t.aux_rel_io,
+                t.gi_io,
+                t.naive_io
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_naive_index_drops_fetches() {
+        let mut steps = jv1();
+        steps[0].naive_index_clustered = true;
+        let t = predict_chain(DELTA, 4, &steps);
+        assert_eq!(t.naive_io, 128.0);
+    }
+
+    #[test]
+    fn unit_scaling() {
+        let t = predict_chain(DELTA, 4, &jv1());
+        let (n_units, a_units) = t.in_units_of(128.0);
+        assert!((n_units - 1.25).abs() < 1e-9);
+        assert!((a_units - 32.0 / 128.0).abs() < 1e-9);
+    }
+}

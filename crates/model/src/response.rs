@@ -1,0 +1,244 @@
+//! Per-node response time for a multi-tuple insert transaction, §3.1.2.
+//!
+//! The response time is the work of the busiest node, since the `L` nodes
+//! proceed in parallel. For each method the model prices two join
+//! strategies and takes the cheaper:
+//!
+//! * **index nested loops** — per-tuple costs from the TW model, with the
+//!   per-node delta share stepped by `ceil` (the stair-steps of Fig. 12);
+//! * **sort-merge** — dominated by scanning (clustered) or sorting
+//!   (non-clustered) the node's `|B_i|` pages of the probed relation,
+//!   independent of the delta size.
+//!
+//! AR and GI additionally pay their per-node structure updates
+//! (`ceil(|A|/L)` INSERTs at 2 I/Os each) on either path.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::{MethodVariant, ModelParams};
+
+/// Which join strategy the model picked for the busiest node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinChoice {
+    IndexNestedLoops,
+    SortMerge,
+}
+
+/// The response-time verdict for one method variant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseBreakdown {
+    pub variant: MethodVariant,
+    /// I/O cost of the index-nested-loops plan (incl. structure updates).
+    pub index_io: f64,
+    /// I/O cost of the sort-merge plan (incl. structure updates).
+    pub sort_merge_io: f64,
+    pub chosen: JoinChoice,
+}
+
+impl ResponseBreakdown {
+    /// Response time of the chosen plan, in I/Os.
+    pub fn io(&self) -> f64 {
+        match self.chosen {
+            JoinChoice::IndexNestedLoops => self.index_io,
+            JoinChoice::SortMerge => self.sort_merge_io,
+        }
+    }
+}
+
+fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b.max(1))
+}
+
+/// `|B_i| · ceil(log_M |B_i|)` — the external-sort term (non-clustered
+/// flavors). With `|B_i| ≤ M` a single pass suffices.
+fn sort_pages(b_i: f64, m: u64) -> f64 {
+    if b_i <= 1.0 {
+        return b_i.max(0.0);
+    }
+    let m = (m.max(2)) as f64;
+    let passes = (b_i.ln() / m.ln()).ceil().max(1.0);
+    b_i * passes
+}
+
+/// Response time (busiest node, I/Os) of `variant` for inserting
+/// `params.a_tuples` tuples in one transaction (Figures 9–12).
+///
+/// ```
+/// use pvm_model::{response_time, MethodVariant, ModelParams};
+///
+/// // Small transaction (Fig. 9 regime): AR wins via the index path.
+/// let small = ModelParams::paper_defaults(32).with_a(400);
+/// let ar = response_time(MethodVariant::AuxRel, &small);
+/// let naive = response_time(MethodVariant::NaiveClustered, &small);
+/// assert!(ar.io() < naive.index_io);
+///
+/// // |A| ≥ |B| pages (Fig. 10 regime): naive-clustered wins via the scan.
+/// let big = ModelParams::paper_defaults(32).with_a(6_500);
+/// let ar = response_time(MethodVariant::AuxRel, &big);
+/// let naive = response_time(MethodVariant::NaiveClustered, &big);
+/// assert!(naive.io() < ar.io());
+/// ```
+pub fn response_time(variant: MethodVariant, params: &ModelParams) -> ResponseBreakdown {
+    let a = params.a_tuples;
+    let l = params.l;
+    let n = params.n as f64;
+    let k = params.k();
+    let b_i = params.b_pages_per_node();
+    let m = params.m_pages;
+
+    // Per-node delta shares, stepped (Fig. 12): AR sees ceil(A/L), GI's
+    // join work fans each tuple to K nodes so the busiest sees ceil(AK/L);
+    // naive sees all A at every node.
+    let a_node_ar = ceil_div(a, l) as f64;
+    let a_node_gi = ceil_div(a * k, l) as f64;
+
+    let (index_io, sort_merge_io) = match variant {
+        MethodVariant::NaiveNonClustered => {
+            // Per node: A searches + A·N/L fetches = A(L+N)/L.
+            let idx = a as f64 * (l as f64 + n) / l as f64;
+            (idx, sort_pages(b_i, m))
+        }
+        MethodVariant::NaiveClustered => {
+            // Per node: A searches = A·L/L = A; scan B_i for sort-merge.
+            (a as f64, b_i)
+        }
+        MethodVariant::AuxRel => {
+            // ceil(A/L) searches + ceil(A/L) AR inserts (2 I/Os each); the
+            // sort path scans the clustered AR_B once.
+            let updates = 2.0 * a_node_ar;
+            (a_node_ar + updates, b_i + updates)
+        }
+        MethodVariant::GiDistNonClustered => {
+            // Busiest node handles ceil(AK/L) tuple-visits; per original
+            // tuple the work is 1 search + N fetches spread over its K
+            // nodes, i.e. (1+N)/K I/Os per visit; plus GI updates.
+            let updates = 2.0 * a_node_ar;
+            let idx = a_node_gi * (1.0 + n) / k as f64 + updates;
+            (idx, sort_pages(b_i, m) + updates)
+        }
+        MethodVariant::GiDistClustered => {
+            let updates = 2.0 * a_node_ar;
+            let idx = a_node_gi * (1.0 + k as f64) / k as f64 + updates;
+            (idx, b_i + updates)
+        }
+    };
+
+    let chosen = if index_io <= sort_merge_io {
+        JoinChoice::IndexNestedLoops
+    } else {
+        JoinChoice::SortMerge
+    };
+    ResponseBreakdown {
+        variant,
+        index_io,
+        sort_merge_io,
+        chosen,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(l: u64, a: u64) -> ModelParams {
+        ModelParams::paper_defaults(l).with_a(a)
+    }
+
+    #[test]
+    fn fig9_small_txn_index_regime() {
+        // 400 tuples; Fig. 9 stipulates the index join is the method of
+        // choice, so compare index-path costs: AR = 3·A/L drops with L,
+        // naive-clustered flat at A.
+        for l in [2u64, 8, 32, 128] {
+            let ar = response_time(MethodVariant::AuxRel, &p(l, 400));
+            assert_eq!(ar.chosen, JoinChoice::IndexNestedLoops, "L={l}");
+            assert!((ar.io() - 3.0 * (400u64.div_ceil(l)) as f64).abs() < 1e-9);
+            let nc = response_time(MethodVariant::NaiveClustered, &p(l, 400));
+            assert_eq!(nc.index_io, 400.0, "naive clustered is flat in L");
+        }
+        // AR beats naive for small transactions once L > 3.
+        let ar = response_time(MethodVariant::AuxRel, &p(8, 400)).io();
+        let naive = response_time(MethodVariant::NaiveClustered, &p(8, 400)).io();
+        assert!(ar < naive);
+    }
+
+    #[test]
+    fn fig10_large_txn_naive_clustered_wins() {
+        // 6,500 tuples ≥ |B| pages: sort-merge regime; the naive clustered
+        // method (pure scan of B_i) beats AR (scan + AR updates) and GI.
+        for l in [2u64, 8, 32, 128] {
+            let params = p(l, 6_500);
+            let naive = response_time(MethodVariant::NaiveClustered, &params);
+            let ar = response_time(MethodVariant::AuxRel, &params);
+            let gi = response_time(MethodVariant::GiDistClustered, &params);
+            assert!(
+                naive.io() < ar.io(),
+                "L={l}: naive clustered {} should beat AR {}",
+                naive.io(),
+                ar.io()
+            );
+            assert!(naive.io() < gi.io(), "L={l}: naive beats GI");
+        }
+    }
+
+    #[test]
+    fn fig11_plateaus_in_order() {
+        // As |A| grows at L = 128, each method eventually flattens at its
+        // sort-merge cost; naive enters the plateau first, AR last.
+        let l = 128;
+        let find_plateau = |variant: MethodVariant| -> u64 {
+            let mut a = 1;
+            loop {
+                let r = response_time(variant, &p(l, a));
+                if r.chosen == JoinChoice::SortMerge {
+                    return a;
+                }
+                a += 1;
+                if a > 2_000_000 {
+                    panic!("{variant:?} never reached sort-merge");
+                }
+            }
+        };
+        let naive = find_plateau(MethodVariant::NaiveClustered);
+        let gi = find_plateau(MethodVariant::GiDistClustered);
+        let ar = find_plateau(MethodVariant::AuxRel);
+        assert!(naive < gi, "naive plateaus before GI: {naive} vs {gi}");
+        assert!(gi < ar, "GI plateaus before AR: {gi} vs {ar}");
+    }
+
+    #[test]
+    fn fig12_stepwise_ar() {
+        // Fig. 12 detail: AR time steps at multiples of L (ceil(A/L)).
+        let l = 128;
+        let t1 = response_time(MethodVariant::AuxRel, &p(l, 1)).io();
+        let t128 = response_time(MethodVariant::AuxRel, &p(l, 128)).io();
+        let t129 = response_time(MethodVariant::AuxRel, &p(l, 129)).io();
+        assert_eq!(t1, t128, "within one step the time is constant");
+        assert!(t129 > t128, "crossing A = L bumps the step");
+        assert_eq!(t129, 2.0 * t128);
+    }
+
+    #[test]
+    fn sort_pages_model() {
+        assert_eq!(sort_pages(0.0, 100), 0.0);
+        assert_eq!(sort_pages(50.0, 100), 50.0, "fits in memory: one pass");
+        // 6400/128-node B_i = 50 pages with M=100: single pass.
+        assert_eq!(sort_pages(200.0, 100), 400.0, "two passes above M");
+    }
+
+    #[test]
+    fn single_tuple_matches_tw_scaled() {
+        // For A = 1, L = 1 the response time equals the per-tuple TW.
+        let params = ModelParams::paper_defaults(1).with_a(1);
+        let ar = response_time(MethodVariant::AuxRel, &params);
+        assert_eq!(ar.index_io, 3.0);
+    }
+
+    #[test]
+    fn gi_nonclustered_pricier_than_clustered() {
+        let params = p(32, 400);
+        let nc = response_time(MethodVariant::GiDistNonClustered, &params).io();
+        let c = response_time(MethodVariant::GiDistClustered, &params).io();
+        assert!(nc >= c);
+    }
+}

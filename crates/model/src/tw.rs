@@ -1,0 +1,221 @@
+//! Per-tuple total workload (TW), §3.1.1.
+//!
+//! For one inserted tuple of `A`, the model charges (copying the paper's
+//! derivation verbatim):
+//!
+//! | variant | SENDs | SEARCHes | FETCHes | INSERTs | I/Os |
+//! |---|---|---|---|---|---|
+//! | naive, `J_B` non-clustered | `L+K` | `L` | `N` | 0 | `L+N` |
+//! | naive, `J_B` clustered | `L+K` | `L` | 0 | 0 | `L` |
+//! | auxiliary relation | 2 | 1 | 0 | 1 | 3 |
+//! | GI, dist. non-clustered | `1+2K` | 1 | `N` | 1 | `3+N` |
+//! | GI, dist. clustered | `1+2K` | 1 | `K` | 1 | `3+K` |
+//!
+//! with `K = min(N, L)` and `INSERT` = 2 I/Os.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::{MethodVariant, ModelParams};
+
+/// Abstract-operation counts for one inserted tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwBreakdown {
+    pub sends: u64,
+    pub searches: u64,
+    pub fetches: u64,
+    pub inserts: u64,
+}
+
+impl TwBreakdown {
+    /// TW in I/Os (SEARCH = 1, FETCH = 1, INSERT = 2; SENDs excluded).
+    pub fn io(&self) -> u64 {
+        self.searches + self.fetches + 2 * self.inserts
+    }
+
+    /// All abstract operations including SENDs.
+    pub fn ops(&self) -> u64 {
+        self.sends + self.searches + self.fetches + self.inserts
+    }
+}
+
+/// Per-tuple TW for `variant` under `params` (Figures 7 and 8).
+///
+/// ```
+/// use pvm_model::{tw, MethodVariant, ModelParams};
+///
+/// let p = ModelParams::paper_defaults(32); // L = 32, N = 10
+/// assert_eq!(tw(MethodVariant::AuxRel, &p).io(), 3);
+/// assert_eq!(tw(MethodVariant::NaiveNonClustered, &p).io(), 42); // L + N
+/// assert_eq!(tw(MethodVariant::GiDistClustered, &p).io(), 13);   // 3 + K
+/// ```
+pub fn tw(variant: MethodVariant, params: &ModelParams) -> TwBreakdown {
+    let l = params.l;
+    let n = params.n;
+    let k = params.k();
+    match variant {
+        MethodVariant::NaiveNonClustered => TwBreakdown {
+            sends: l + k,
+            searches: l,
+            fetches: n,
+            inserts: 0,
+        },
+        MethodVariant::NaiveClustered => TwBreakdown {
+            sends: l + k,
+            searches: l,
+            fetches: 0,
+            inserts: 0,
+        },
+        MethodVariant::AuxRel => TwBreakdown {
+            sends: 2,
+            searches: 1,
+            fetches: 0,
+            inserts: 1,
+        },
+        MethodVariant::GiDistNonClustered => TwBreakdown {
+            sends: 1 + 2 * k,
+            searches: 1,
+            fetches: n,
+            inserts: 1,
+        },
+        MethodVariant::GiDistClustered => TwBreakdown {
+            sends: 1 + 2 * k,
+            searches: 1,
+            fetches: k,
+            inserts: 1,
+        },
+    }
+}
+
+/// The §3.1.1 comparison against the naive method: what a space-paying
+/// method spends extra and what it saves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Savings {
+    /// Extra INSERTs incurred (always 1 for AR and GI).
+    pub extra_inserts: u64,
+    /// Extra FETCHes incurred (GI distributed clustered pays `K` that the
+    /// clustered naive method does not).
+    pub extra_fetches: u64,
+    /// SENDs saved relative to naive.
+    pub saved_sends: i64,
+    /// SEARCHes saved relative to naive.
+    pub saved_searches: i64,
+    /// FETCHes saved relative to naive.
+    pub saved_fetches: i64,
+}
+
+/// Savings of `variant` vs. the naive method with the *same* index
+/// clustering flavor. Returns `None` for the naive variants themselves.
+pub fn savings_vs_naive(variant: MethodVariant, params: &ModelParams) -> Option<Savings> {
+    let l = params.l;
+    let n = params.n;
+    let k = params.k();
+    match variant {
+        MethodVariant::AuxRel => Some(Savings {
+            // vs naive non-clustered: saves (L+K-2) SENDs, (L-1) SEARCHes,
+            // N FETCHes; costs one INSERT.
+            extra_inserts: 1,
+            extra_fetches: 0,
+            saved_sends: (l + k) as i64 - 2,
+            saved_searches: l as i64 - 1,
+            saved_fetches: n as i64,
+        }),
+        MethodVariant::GiDistNonClustered => Some(Savings {
+            extra_inserts: 1,
+            extra_fetches: 0,
+            saved_sends: (l + k) as i64 - (1 + 2 * k) as i64,
+            saved_searches: l as i64 - 1,
+            saved_fetches: 0,
+        }),
+        MethodVariant::GiDistClustered => Some(Savings {
+            extra_inserts: 1,
+            extra_fetches: k,
+            saved_sends: (l + k) as i64 - (1 + 2 * k) as i64,
+            saved_searches: l as i64 - 1,
+            saved_fetches: 0,
+        }),
+        MethodVariant::NaiveClustered | MethodVariant::NaiveNonClustered => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aux_rel_is_constant_three() {
+        for l in [1u64, 2, 32, 512] {
+            let p = ModelParams::paper_defaults(l);
+            assert_eq!(tw(MethodVariant::AuxRel, &p).io(), 3);
+        }
+    }
+
+    #[test]
+    fn gi_plateaus_at_thirteen() {
+        // Figure 7: once L ≥ N, K = N = 10 and the distributed-clustered GI
+        // flattens at 3 + 10 = 13 I/Os.
+        let p = ModelParams::paper_defaults(32);
+        assert_eq!(tw(MethodVariant::GiDistClustered, &p).io(), 13);
+        let p = ModelParams::paper_defaults(512);
+        assert_eq!(tw(MethodVariant::GiDistClustered, &p).io(), 13);
+        // Below the plateau K = L.
+        let p = ModelParams::paper_defaults(4);
+        assert_eq!(tw(MethodVariant::GiDistClustered, &p).io(), 7);
+    }
+
+    #[test]
+    fn naive_is_linear_in_l() {
+        let p32 = ModelParams::paper_defaults(32);
+        let p64 = ModelParams::paper_defaults(64);
+        assert_eq!(tw(MethodVariant::NaiveClustered, &p32).io(), 32);
+        assert_eq!(tw(MethodVariant::NaiveClustered, &p64).io(), 64);
+        assert_eq!(tw(MethodVariant::NaiveNonClustered, &p32).io(), 42);
+        assert_eq!(tw(MethodVariant::NaiveNonClustered, &p64).io(), 74);
+    }
+
+    #[test]
+    fn gi_interpolates_between_aux_and_naive_in_n() {
+        // Figure 8 at L = 32: small N → GI close to AR; large N → GI close
+        // to naive (non-clustered flavors compared).
+        let small = ModelParams::paper_defaults(32).with_n(1);
+        let gi_small = tw(MethodVariant::GiDistNonClustered, &small).io();
+        let ar = tw(MethodVariant::AuxRel, &small).io();
+        assert!(gi_small - ar <= 1, "GI ≈ AR for N = 1");
+
+        let large = ModelParams::paper_defaults(32).with_n(100);
+        let gi_large = tw(MethodVariant::GiDistNonClustered, &large).io();
+        let naive = tw(MethodVariant::NaiveNonClustered, &large).io();
+        assert!(
+            (gi_large as f64 / naive as f64) > 0.75,
+            "GI approaches naive for large N: {gi_large} vs {naive}"
+        );
+    }
+
+    #[test]
+    fn send_counts_match_paper() {
+        let p = ModelParams::paper_defaults(32);
+        assert_eq!(tw(MethodVariant::NaiveClustered, &p).sends, 42); // L + K
+        assert_eq!(tw(MethodVariant::AuxRel, &p).sends, 2);
+        assert_eq!(tw(MethodVariant::GiDistClustered, &p).sends, 21); // 1 + 2K
+    }
+
+    #[test]
+    fn savings_statement() {
+        let p = ModelParams::paper_defaults(32);
+        let s = savings_vs_naive(MethodVariant::AuxRel, &p).unwrap();
+        assert_eq!(s.extra_inserts, 1);
+        assert_eq!(s.saved_sends, 40); // L + K - 2
+        assert_eq!(s.saved_searches, 31); // L - 1
+        assert_eq!(s.saved_fetches, 10); // N
+        let g = savings_vs_naive(MethodVariant::GiDistClustered, &p).unwrap();
+        assert_eq!(g.saved_sends, 21); // L - K - 1
+        assert_eq!(g.extra_fetches, 10); // K
+        assert!(savings_vs_naive(MethodVariant::NaiveClustered, &p).is_none());
+    }
+
+    #[test]
+    fn ops_include_sends() {
+        let p = ModelParams::paper_defaults(8);
+        let b = tw(MethodVariant::AuxRel, &p);
+        assert_eq!(b.ops(), 2 + 1 + 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! # pvm-net
+//!
+//! Simulated interconnect for the shared-nothing cluster.
+//!
+//! The fabric delivers typed messages between nodes with deterministic
+//! FIFO ordering per destination, and meters exactly what the paper's
+//! model calls `SEND`: one unit per message between *distinct* nodes.
+//! Local deliveries (`src == dst`) are the "conceptual" dashed-line
+//! messages of Figure 2 — queued normally but not charged, unless
+//! [`NetConfig::charge_local_delivery`] is set (the analytical model
+//! assumes nodes i, j, k are distinct, so enabling it reproduces the
+//! model's worst case exactly).
+
+use std::collections::VecDeque;
+
+use pvm_types::{CostLedger, NodeId, PvmError, Result};
+
+/// Anything sendable must report a payload size for byte accounting.
+pub trait MessageSize {
+    /// Approximate wire size of the payload in bytes.
+    fn byte_size(&self) -> usize;
+}
+
+impl MessageSize for Vec<u8> {
+    fn byte_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: MessageSize> MessageSize for Vec<T> {
+    fn byte_size(&self) -> usize {
+        self.iter().map(MessageSize::byte_size).sum()
+    }
+}
+
+impl MessageSize for pvm_types::Row {
+    fn byte_size(&self) -> usize {
+        self.byte_size()
+    }
+}
+
+impl MessageSize for pvm_types::GlobalRid {
+    fn byte_size(&self) -> usize {
+        8
+    }
+}
+
+/// Fabric configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetConfig {
+    /// Charge a `SEND` even when `src == dst`. Matches the analytical
+    /// model's assumption that the nodes involved are all distinct.
+    pub charge_local_delivery: bool,
+}
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<P> {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub payload: P,
+}
+
+/// The simulated interconnect. One instance per cluster.
+#[derive(Debug)]
+pub struct Fabric<P> {
+    config: NetConfig,
+    queues: Vec<VecDeque<Envelope<P>>>,
+    ledger: CostLedger,
+    sends_by_src: Vec<u64>,
+    delivered: u64,
+}
+
+impl<P: MessageSize> Fabric<P> {
+    /// A fabric connecting `nodes` data-server nodes.
+    pub fn new(nodes: usize, config: NetConfig) -> Self {
+        Fabric {
+            config,
+            queues: (0..nodes).map(|_| VecDeque::new()).collect(),
+            ledger: CostLedger::new(),
+            sends_by_src: vec![0; nodes],
+            delivered: 0,
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<()> {
+        if n.index() >= self.queues.len() {
+            return Err(PvmError::InvalidReference(format!(
+                "{n} out of range (cluster has {} nodes)",
+                self.queues.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Point-to-point send. Charges one `SEND` (plus payload bytes) unless
+    /// it is an uncharged local delivery.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, payload: P) -> Result<()> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if src != dst || self.config.charge_local_delivery {
+            self.ledger.record_send(payload.byte_size() as u64);
+            self.sends_by_src[src.index()] += 1;
+        }
+        self.queues[dst.index()].push_back(Envelope { src, dst, payload });
+        Ok(())
+    }
+
+    /// Send copies of `payload` to each node in `dsts`.
+    pub fn multicast(&mut self, src: NodeId, dsts: &[NodeId], payload: &P) -> Result<()>
+    where
+        P: Clone,
+    {
+        for &d in dsts {
+            self.send(src, d, payload.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Send copies of `payload` to every node in the cluster (including
+    /// `src`, whose copy is an uncharged local delivery by default). This
+    /// is the all-node redistribution of the naive method.
+    pub fn broadcast(&mut self, src: NodeId, payload: &P) -> Result<()>
+    where
+        P: Clone,
+    {
+        let n = self.node_count();
+        for d in 0..n {
+            self.send(src, NodeId::from(d), payload.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Drain every message queued for `dst`, in FIFO order.
+    pub fn recv_all(&mut self, dst: NodeId) -> Vec<Envelope<P>> {
+        let Ok(()) = self.check_node(dst) else {
+            return Vec::new();
+        };
+        let drained: Vec<_> = self.queues[dst.index()].drain(..).collect();
+        self.delivered += drained.len() as u64;
+        drained
+    }
+
+    /// Messages waiting at `dst`.
+    pub fn pending(&self, dst: NodeId) -> usize {
+        self.queues.get(dst.index()).map_or(0, VecDeque::len)
+    }
+
+    /// True if no message is queued anywhere.
+    pub fn quiescent(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// SEND / byte counters.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Charged sends originating at each node.
+    pub fn sends_by_src(&self) -> &[u64] {
+        &self.sends_by_src
+    }
+
+    /// Total messages delivered through [`Fabric::recv_all`].
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    pub fn reset_counters(&mut self) {
+        self.ledger.reset();
+        self.sends_by_src.iter_mut().for_each(|c| *c = 0);
+        self.delivered = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Msg(u64);
+
+    impl MessageSize for Msg {
+        fn byte_size(&self) -> usize {
+            8
+        }
+    }
+
+    fn fabric(n: usize) -> Fabric<Msg> {
+        Fabric::new(n, NetConfig::default())
+    }
+
+    #[test]
+    fn send_and_recv_fifo() {
+        let mut f = fabric(3);
+        f.send(NodeId(0), NodeId(2), Msg(1)).unwrap();
+        f.send(NodeId(1), NodeId(2), Msg(2)).unwrap();
+        let got = f.recv_all(NodeId(2));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, Msg(1));
+        assert_eq!(got[1].payload, Msg(2));
+        assert!(f.quiescent());
+        assert_eq!(f.delivered(), 2);
+    }
+
+    #[test]
+    fn local_delivery_not_charged_by_default() {
+        let mut f = fabric(2);
+        f.send(NodeId(0), NodeId(0), Msg(1)).unwrap();
+        assert_eq!(f.ledger().snapshot().sends, 0);
+        assert_eq!(f.pending(NodeId(0)), 1);
+        f.send(NodeId(0), NodeId(1), Msg(2)).unwrap();
+        assert_eq!(f.ledger().snapshot().sends, 1);
+        assert_eq!(f.ledger().snapshot().bytes_sent, 8);
+    }
+
+    #[test]
+    fn local_delivery_charged_when_configured() {
+        let mut f: Fabric<Msg> = Fabric::new(
+            2,
+            NetConfig {
+                charge_local_delivery: true,
+            },
+        );
+        f.send(NodeId(0), NodeId(0), Msg(1)).unwrap();
+        assert_eq!(f.ledger().snapshot().sends, 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_and_charges_l_minus_1() {
+        let mut f = fabric(4);
+        f.broadcast(NodeId(1), &Msg(9)).unwrap();
+        for n in 0..4u16 {
+            assert_eq!(f.pending(NodeId(n)), 1);
+        }
+        // Local copy uncharged: 3 real sends.
+        assert_eq!(f.ledger().snapshot().sends, 3);
+        assert_eq!(f.sends_by_src()[1], 3);
+    }
+
+    #[test]
+    fn multicast_subset() {
+        let mut f = fabric(5);
+        f.multicast(NodeId(0), &[NodeId(2), NodeId(4)], &Msg(7))
+            .unwrap();
+        assert_eq!(f.pending(NodeId(2)), 1);
+        assert_eq!(f.pending(NodeId(4)), 1);
+        assert_eq!(f.pending(NodeId(1)), 0);
+        assert_eq!(f.ledger().snapshot().sends, 2);
+    }
+
+    #[test]
+    fn bad_node_rejected() {
+        let mut f = fabric(2);
+        assert!(f.send(NodeId(0), NodeId(9), Msg(0)).is_err());
+        assert!(f.send(NodeId(9), NodeId(0), Msg(0)).is_err());
+        assert!(f.recv_all(NodeId(9)).is_empty());
+    }
+
+    #[test]
+    fn reset_counters() {
+        let mut f = fabric(2);
+        f.send(NodeId(0), NodeId(1), Msg(1)).unwrap();
+        f.recv_all(NodeId(1));
+        f.reset_counters();
+        assert_eq!(f.ledger().snapshot().sends, 0);
+        assert_eq!(f.delivered(), 0);
+        assert_eq!(f.sends_by_src()[0], 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Abstract syntax for the supported SQL subset.
+
+use pvm_types::{CmpOp, DataType, Value};
+
+/// A possibly alias-qualified column reference (`c.custkey` or `custkey`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    pub qualifier: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: None,
+            column: column.into(),
+        }
+    }
+
+    pub fn qualified(q: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: Some(q.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Maintenance method named in `CREATE VIEW … USING …`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodSpec {
+    Naive,
+    AuxiliaryRelation,
+    GlobalIndex,
+    /// Let the cost-based advisor choose.
+    Auto,
+}
+
+/// One `column op literal` term of a `WHERE` conjunction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhereTerm {
+    pub column: ColumnRef,
+    pub op: CmpOp,
+    pub literal: Value,
+}
+
+/// One `alias.col = alias.col` equi-join condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinCond {
+    pub left: ColumnRef,
+    pub right: ColumnRef,
+}
+
+/// One item of a CREATE VIEW's SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// A plain projected column.
+    Column(ColumnRef),
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(column)`.
+    Sum(ColumnRef),
+}
+
+/// The SELECT inside a CREATE VIEW.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewSelect {
+    /// Select-list items, in order (columns must be alias-qualified).
+    pub projection: Vec<SelectItem>,
+    /// `FROM table alias` items.
+    pub from: Vec<(String, String)>,
+    /// Equi-join conditions.
+    pub joins: Vec<JoinCond>,
+    /// `GROUP BY` columns; non-empty makes this an aggregate view.
+    pub group_by: Vec<ColumnRef>,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, DataType)>,
+        /// `PARTITION BY HASH(col)`.
+        partition_column: String,
+        /// `CLUSTERED`: clustered on the partitioning column, Teradata
+        /// style.
+        clustered: bool,
+    },
+    CreateView {
+        name: String,
+        method: MethodSpec,
+        select: ViewSelect,
+        /// `PARTITION ON alias.col`; defaults to the first projected
+        /// column.
+        partition_on: Option<ColumnRef>,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<Value>>,
+    },
+    Delete {
+        table: String,
+        /// Conjunction; empty = delete everything.
+        predicate: Vec<WhereTerm>,
+    },
+    Update {
+        table: String,
+        /// `SET col = literal` assignments.
+        assignments: Vec<(String, Value)>,
+        predicate: Vec<WhereTerm>,
+    },
+    Select {
+        table: String,
+        /// `SELECT *` only (ad-hoc projection is out of scope).
+        predicate: Vec<WhereTerm>,
+    },
+    ShowTables,
+    ShowViews,
+    /// Cumulative cost counters of the session's cluster.
+    ShowCost,
+    /// `CHECK VIEW name`: verify the view equals its recomputed join.
+    CheckView {
+        name: String,
+    },
+    /// `EXPLAIN MAINTENANCE OF view ON relation`: show the §2.2 join
+    /// chain the planner would use for a delta on `relation`.
+    ExplainMaintenance {
+        view: String,
+        relation: String,
+    },
+    /// `DROP VIEW name`: destroy the view and its maintenance structures.
+    DropView {
+        name: String,
+    },
+    /// `DROP TABLE name` (rejected while any view references it).
+    DropTable {
+        name: String,
+    },
+    /// `BEGIN [TRANSACTION]`.
+    Begin,
+    /// `COMMIT`.
+    Commit,
+    /// `ROLLBACK` / `ABORT`.
+    Rollback,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::bare("x").to_string(), "x");
+        assert_eq!(ColumnRef::qualified("t", "x").to_string(), "t.x");
+    }
+}

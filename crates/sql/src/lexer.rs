@@ -1,0 +1,248 @@
+//! Hand-written SQL lexer.
+
+use pvm_types::{PvmError, Result};
+
+/// One lexical token. Keywords are recognized by the parser from
+/// `Ident`s (case-insensitively), keeping the lexer keyword-free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier (also keywords; matched case-insensitively later).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (with `''` escaping).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Minus,
+}
+
+/// Tokenize `input`. Whitespace separates tokens; `--` starts a comment
+/// to end of line.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '<' => match bytes.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some('>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => match bytes.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::Ge);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            },
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(PvmError::InvalidOperation(
+                                "unterminated string literal".into(),
+                            ))
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == '.'
+                    && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().filter(|&&c| c != '_').collect();
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        PvmError::InvalidOperation(format!("bad float literal '{text}'"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        PvmError::InvalidOperation(format!("bad integer literal '{text}'"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(PvmError::InvalidOperation(format!(
+                    "unexpected character '{other}' in SQL input"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = lex("SELECT a.b, c FROM t WHERE x >= 10;").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("b".into()),
+                Token::Comma,
+                Token::Ident("c".into()),
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+                Token::Ident("WHERE".into()),
+                Token::Ident("x".into()),
+                Token::Ge,
+                Token::Int(10),
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        let t = lex("1 2.5 -3 'it''s' 1_000").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Minus,
+                Token::Int(3),
+                Token::Str("it's".into()),
+                Token::Int(1000),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let t = lex("= <> != < <= > >=").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = lex("a -- this is a comment\n b").unwrap();
+        assert_eq!(t, vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("@").is_err());
+    }
+}

@@ -1,0 +1,1054 @@
+//! Statement execution: a [`Session`] owns a cluster and its views and
+//! keeps every view maintained across SQL DML.
+
+use pvm_core::{
+    maintain_all, Delta, JoinViewDef, MaintainedView, MaintenanceMethod, ViewColumn, ViewEdge,
+};
+use pvm_engine::{Cluster, ClusterConfig, PartitionSpec, TableDef};
+use pvm_storage::Organization;
+use pvm_types::{CostSnapshot, Predicate, PvmError, Result, Row, Schema, SchemaRef, Value};
+
+use crate::ast::{ColumnRef, MethodSpec, Statement, ViewSelect, WhereTerm};
+use crate::parser::parse;
+
+/// Result of one statement.
+#[derive(Debug, Clone)]
+pub struct SqlOutput {
+    /// Human-readable status line.
+    pub message: String,
+    /// Result rows for `SELECT` / `SHOW` statements.
+    pub rows: Option<(SchemaRef, Vec<Row>)>,
+}
+
+impl SqlOutput {
+    fn message(m: impl Into<String>) -> Self {
+        SqlOutput {
+            message: m.into(),
+            rows: None,
+        }
+    }
+}
+
+/// A SQL session over one PVM cluster.
+///
+/// ```
+/// use pvm_sql::Session;
+/// use pvm_engine::ClusterConfig;
+///
+/// let mut s = Session::new(ClusterConfig::new(4));
+/// s.execute(
+///     "CREATE TABLE a (id INT, c INT) PARTITION BY HASH(id); \
+///      CREATE TABLE b (id INT, d INT) PARTITION BY HASH(id); \
+///      INSERT INTO a VALUES (1, 7); \
+///      INSERT INTO b VALUES (10, 7), (11, 7); \
+///      CREATE VIEW jv USING AUXILIARY RELATION AS \
+///          SELECT x.id, y.id FROM a x, b y WHERE x.c = y.d;",
+/// ).unwrap();
+/// // DML keeps the view maintained automatically.
+/// let out = s.execute_one("INSERT INTO a VALUES (2, 7)").unwrap();
+/// assert!(out.message.contains("2 view rows maintained"));
+/// s.execute_one("CHECK VIEW jv").unwrap();
+/// ```
+pub struct Session {
+    cluster: Cluster,
+    views: Vec<MaintainedView>,
+}
+
+impl Session {
+    pub fn new(config: ClusterConfig) -> Self {
+        Session {
+            cluster: Cluster::new(config),
+            views: Vec::new(),
+        }
+    }
+
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Views created through this session.
+    pub fn view(&self, name: &str) -> Option<&MaintainedView> {
+        self.views.iter().find(|v| v.def().name == name)
+    }
+
+    /// Parse and execute `;`-separated statements, returning one output
+    /// per statement. Execution stops at the first error.
+    pub fn execute(&mut self, sql: &str) -> Result<Vec<SqlOutput>> {
+        let stmts = parse(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            out.push(self.run(s)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute a single statement and return its output (convenience for
+    /// REPLs).
+    pub fn execute_one(&mut self, sql: &str) -> Result<SqlOutput> {
+        let outputs = self.execute(sql)?;
+        outputs
+            .into_iter()
+            .next_back()
+            .ok_or_else(|| PvmError::InvalidOperation("empty statement".into()))
+    }
+
+    fn is_view_table(&self, name: &str) -> bool {
+        self.views.iter().any(|v| v.def().name == name)
+    }
+
+    fn run(&mut self, stmt: Statement) -> Result<SqlOutput> {
+        match stmt {
+            Statement::CreateTable {
+                name,
+                columns,
+                partition_column,
+                clustered,
+            } => self.create_table(name, columns, partition_column, clustered),
+            Statement::CreateView {
+                name,
+                method,
+                select,
+                partition_on,
+            } => self.create_view(name, method, select, partition_on),
+            Statement::Insert { table, rows } => self.insert(table, rows),
+            Statement::Delete { table, predicate } => self.delete(table, predicate),
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => self.update(table, assignments, predicate),
+            Statement::Select { table, predicate } => self.select(table, predicate),
+            Statement::ShowTables => self.show_tables(),
+            Statement::ShowViews => self.show_views(),
+            Statement::ShowCost => self.show_cost(),
+            Statement::CheckView { name } => self.check_view(name),
+            Statement::ExplainMaintenance { view, relation } => {
+                self.explain_maintenance(view, relation)
+            }
+            Statement::DropView { name } => self.drop_view(name),
+            Statement::DropTable { name } => self.drop_table(name),
+            Statement::Begin => {
+                self.cluster.begin_txn()?;
+                Ok(SqlOutput::message("transaction started"))
+            }
+            Statement::Commit => {
+                self.cluster.commit_txn()?;
+                Ok(SqlOutput::message("committed"))
+            }
+            Statement::Rollback => {
+                self.cluster.abort_txn()?;
+                Ok(SqlOutput::message("rolled back"))
+            }
+        }
+    }
+
+    fn drop_view(&mut self, name: String) -> Result<SqlOutput> {
+        let idx = self
+            .views
+            .iter()
+            .position(|v| v.def().name == name)
+            .ok_or_else(|| PvmError::NotFound(format!("view '{name}'")))?;
+        let view = self.views.remove(idx);
+        view.destroy(&mut self.cluster)?;
+        Ok(SqlOutput::message(format!("dropped view {name}")))
+    }
+
+    fn drop_table(&mut self, name: String) -> Result<SqlOutput> {
+        if let Some(v) = self
+            .views
+            .iter()
+            .find(|v| v.def().relations.iter().any(|r| r == &name))
+        {
+            return Err(PvmError::InvalidOperation(format!(
+                "table '{name}' is referenced by view '{}'; drop the view first",
+                v.def().name
+            )));
+        }
+        if self.is_view_table(&name) {
+            return Err(PvmError::InvalidOperation(format!(
+                "'{name}' is a view; use DROP VIEW"
+            )));
+        }
+        let id = self.cluster.table_id(&name)?;
+        self.cluster.drop_table(id)?;
+        Ok(SqlOutput::message(format!("dropped table {name}")))
+    }
+
+    fn explain_maintenance(&self, view_name: String, relation: String) -> Result<SqlOutput> {
+        let view = self
+            .views
+            .iter()
+            .find(|v| v.def().name == view_name)
+            .ok_or_else(|| PvmError::NotFound(format!("view '{view_name}'")))?;
+        let rel = view.def().relation_index(&relation)?;
+        let plan = view.plan_for(&self.cluster, rel)?;
+        let schema = Schema::new(vec![
+            pvm_types::Column::int("step"),
+            pvm_types::Column::str("probe_relation"),
+            pvm_types::Column::str("on_column"),
+            pvm_types::Column::str("anchor"),
+            pvm_types::Column::int("extra_filters"),
+        ])
+        .into_ref();
+        let mut rows = Vec::new();
+        for (i, step) in plan.iter().enumerate() {
+            let probe_rel = &view.def().relations[step.rel];
+            let probe_schema = {
+                let id = self.cluster.table_id(probe_rel)?;
+                self.cluster.def(id)?.schema.clone()
+            };
+            let anchor_rel = &view.def().relations[step.anchor.rel];
+            let anchor_schema = {
+                let id = self.cluster.table_id(anchor_rel)?;
+                self.cluster.def(id)?.schema.clone()
+            };
+            rows.push(Row::new(vec![
+                Value::Int(i as i64 + 1),
+                Value::from(probe_rel.clone()),
+                Value::from(
+                    probe_schema
+                        .column(step.probe_col)
+                        .map(|c| c.name.clone())
+                        .unwrap_or_else(|| step.probe_col.to_string()),
+                ),
+                Value::from(format!(
+                    "{anchor_rel}.{}",
+                    anchor_schema
+                        .column(step.anchor.col)
+                        .map(|c| c.name.clone())
+                        .unwrap_or_else(|| step.anchor.col.to_string())
+                )),
+                Value::Int(step.filters.len() as i64),
+            ]));
+        }
+        Ok(SqlOutput {
+            message: format!(
+                "maintenance chain for Δ{relation} → {view_name} ({} method)",
+                view.method().label()
+            ),
+            rows: Some((schema, rows)),
+        })
+    }
+
+    fn create_table(
+        &mut self,
+        name: String,
+        columns: Vec<(String, pvm_types::DataType)>,
+        partition_column: String,
+        clustered: bool,
+    ) -> Result<SqlOutput> {
+        let schema = Schema::new(
+            columns
+                .iter()
+                .map(|(n, t)| pvm_types::Column::new(n.clone(), *t))
+                .collect(),
+        );
+        let pcol = schema.index_of(&partition_column)?;
+        let organization = if clustered {
+            Organization::Clustered { key: vec![pcol] }
+        } else {
+            Organization::Heap
+        };
+        self.cluster.create_table(TableDef::new(
+            name.clone(),
+            schema.into_ref(),
+            PartitionSpec::hash(pcol),
+            organization,
+        ))?;
+        Ok(SqlOutput::message(format!("created table {name}")))
+    }
+
+    fn create_view(
+        &mut self,
+        name: String,
+        method: MethodSpec,
+        select: ViewSelect,
+        partition_on: Option<ColumnRef>,
+    ) -> Result<SqlOutput> {
+        // Bind aliases.
+        let alias_index = |c: &ColumnRef| -> Result<usize> {
+            let q = c.qualifier.as_deref().ok_or_else(|| {
+                PvmError::InvalidOperation(format!("view columns must be alias-qualified: '{c}'"))
+            })?;
+            select
+                .from
+                .iter()
+                .position(|(_, alias)| alias == q)
+                .ok_or_else(|| PvmError::NotFound(format!("alias '{q}'")))
+        };
+        let mut schemas = Vec::new();
+        for (table, _) in &select.from {
+            let id = self.cluster.table_id(table)?;
+            schemas.push(self.cluster.def(id)?.schema.clone());
+        }
+        let bind = |c: &ColumnRef| -> Result<ViewColumn> {
+            let rel = alias_index(c)?;
+            let col = schemas[rel].index_of(&c.column)?;
+            Ok(ViewColumn::new(rel, col))
+        };
+        // Split the select list into plain columns and aggregates.
+        let mut plain: Vec<ColumnRef> = Vec::new();
+        let mut agg_items: Vec<(pvm_core::AggFunc, Option<ColumnRef>)> = Vec::new();
+        for item in &select.projection {
+            match item {
+                crate::ast::SelectItem::Column(c) => {
+                    if !agg_items.is_empty() {
+                        return Err(PvmError::InvalidOperation(
+                            "plain columns must precede aggregates in the SELECT list".into(),
+                        ));
+                    }
+                    plain.push(c.clone());
+                }
+                crate::ast::SelectItem::Count => agg_items.push((pvm_core::AggFunc::Count, None)),
+                crate::ast::SelectItem::Sum(c) => {
+                    agg_items.push((pvm_core::AggFunc::Sum, Some(c.clone())))
+                }
+            }
+        }
+        if agg_items.is_empty() && !select.group_by.is_empty() {
+            return Err(PvmError::InvalidOperation(
+                "GROUP BY requires COUNT/SUM in the SELECT list".into(),
+            ));
+        }
+        if !agg_items.is_empty() {
+            // Aggregate view: GROUP BY must match the plain columns.
+            if plain.is_empty() {
+                return Err(PvmError::InvalidOperation(
+                    "aggregate views need at least one grouping column".into(),
+                ));
+            }
+            for p in &plain {
+                if !select.group_by.contains(p) {
+                    return Err(PvmError::InvalidOperation(format!(
+                        "selected column '{p}' must appear in GROUP BY"
+                    )));
+                }
+            }
+            for g in &select.group_by {
+                if !plain.contains(g) {
+                    return Err(PvmError::InvalidOperation(format!(
+                        "GROUP BY column '{g}' must appear in the SELECT list"
+                    )));
+                }
+            }
+        }
+
+        let edges: Vec<ViewEdge> = select
+            .joins
+            .iter()
+            .map(|j| Ok(ViewEdge::new(bind(&j.left)?, bind(&j.right)?)))
+            .collect::<Result<_>>()?;
+
+        // The underlying join projects the plain columns followed by every
+        // SUM input.
+        let mut projection: Vec<ViewColumn> = plain.iter().map(&bind).collect::<Result<_>>()?;
+        let mut agg_specs = Vec::with_capacity(agg_items.len());
+        for (func, input) in &agg_items {
+            match func {
+                pvm_core::AggFunc::Count => agg_specs.push(pvm_core::AggSpec::count()),
+                pvm_core::AggFunc::Sum => {
+                    let c = input.as_ref().expect("SUM parsed with input");
+                    projection.push(bind(c)?);
+                    agg_specs.push(pvm_core::AggSpec::sum(projection.len() - 1));
+                }
+            }
+        }
+
+        let partition_column = match &partition_on {
+            None => 0,
+            Some(c) => {
+                let vc = bind(c)?;
+                let pos = projection.iter().position(|p| *p == vc).ok_or_else(|| {
+                    PvmError::InvalidOperation(format!(
+                        "PARTITION ON column '{c}' must appear in the view's SELECT list"
+                    ))
+                })?;
+                if !agg_items.is_empty() && pos >= plain.len() {
+                    return Err(PvmError::InvalidOperation(
+                        "aggregate views can only be partitioned on a grouping column".into(),
+                    ));
+                }
+                pos
+            }
+        };
+        let def = JoinViewDef {
+            name: name.clone(),
+            relations: select.from.iter().map(|(t, _)| t.clone()).collect(),
+            edges,
+            projection,
+            partition_column,
+        };
+
+        let resolved_method = match method {
+            MethodSpec::Naive => MaintenanceMethod::Naive,
+            MethodSpec::AuxiliaryRelation => MaintenanceMethod::AuxiliaryRelation,
+            MethodSpec::GlobalIndex => MaintenanceMethod::GlobalIndex,
+            MethodSpec::Auto => {
+                let advice = pvm_core::advise(&self.cluster, &def, 128, u64::MAX)?;
+                match advice.recommendation {
+                    pvm_core::Recommendation::Naive => MaintenanceMethod::Naive,
+                    pvm_core::Recommendation::AuxiliaryRelation => {
+                        MaintenanceMethod::AuxiliaryRelation
+                    }
+                    pvm_core::Recommendation::GlobalIndex => MaintenanceMethod::GlobalIndex,
+                }
+            }
+        };
+        let view = if agg_items.is_empty() {
+            MaintainedView::create(&mut self.cluster, def, resolved_method)?
+        } else {
+            let shape = pvm_core::AggShape {
+                group_by: (0..plain.len()).collect(),
+                aggregates: agg_specs,
+            };
+            MaintainedView::create_aggregate(&mut self.cluster, def, shape, resolved_method)?
+        };
+        let rows = view.contents(&self.cluster)?.len();
+        let kind = if agg_items.is_empty() {
+            "rows"
+        } else {
+            "groups"
+        };
+        let msg = format!(
+            "created view {name} ({} method, {rows} {kind}, {} extra pages)",
+            view.method().label(),
+            view.storage_overhead_pages(&self.cluster)?
+        );
+        self.views.push(view);
+        Ok(SqlOutput::message(msg))
+    }
+
+    /// Resolve a WHERE column against a table schema. Qualified refs match
+    /// the full stored name (`c.custkey` for view schemas); bare refs
+    /// match either the exact name or a unique `.`-suffix.
+    fn resolve_column(schema: &Schema, c: &ColumnRef) -> Result<usize> {
+        let target = c.to_string();
+        if let Some(i) = schema.names().iter().position(|n| **n == target) {
+            return Ok(i);
+        }
+        if c.qualifier.is_none() {
+            let hits: Vec<usize> = schema
+                .names()
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| {
+                    n.rsplit_once('.')
+                        .map(|(_, tail)| tail == c.column)
+                        .unwrap_or(false)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            match hits.as_slice() {
+                [one] => return Ok(*one),
+                [] => {}
+                _ => {
+                    return Err(PvmError::InvalidOperation(format!(
+                        "column '{c}' is ambiguous; qualify it"
+                    )))
+                }
+            }
+        }
+        Err(PvmError::NotFound(format!("column '{c}'")))
+    }
+
+    fn build_predicate(schema: &Schema, terms: &[WhereTerm]) -> Result<Predicate> {
+        let mut p = Predicate::always();
+        for t in terms {
+            let col = Self::resolve_column(schema, &t.column)?;
+            p = p.and(col, t.op, t.literal.clone());
+        }
+        Ok(p)
+    }
+
+    fn matching_rows(&self, table: &str, terms: &[WhereTerm]) -> Result<Vec<Row>> {
+        let id = self.cluster.table_id(table)?;
+        let schema = self.cluster.def(id)?.schema.clone();
+        let pred = Self::build_predicate(&schema, terms)?;
+        Ok(self
+            .cluster
+            .scan_all(id)?
+            .into_iter()
+            .filter(|r| pred.eval(r))
+            .collect())
+    }
+
+    fn guard_base_table(&self, table: &str) -> Result<()> {
+        if self.is_view_table(table) {
+            return Err(PvmError::InvalidOperation(format!(
+                "'{table}' is a materialized view; update its base relations instead"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Apply a delta to `table`, maintaining every view that joins it.
+    fn apply_delta(&mut self, table: &str, delta: Delta) -> Result<(u64, String)> {
+        let touches_views = self
+            .views
+            .iter()
+            .any(|v| v.def().relations.iter().any(|r| r == table));
+        if !touches_views {
+            let id = self.cluster.table_id(table)?;
+            let n = match &delta {
+                Delta::Insert(rows) => {
+                    let n = rows.len();
+                    self.cluster.insert(id, rows.clone())?;
+                    n
+                }
+                Delta::Delete(rows) => self.cluster.delete(id, rows, &[])?,
+                Delta::Update { old, new } => {
+                    self.cluster.delete(id, old, &[])?;
+                    self.cluster.insert(id, new.clone())?;
+                    new.len()
+                }
+            };
+            return Ok((n as u64, String::new()));
+        }
+        let mut refs: Vec<&mut MaintainedView> = self.views.iter_mut().collect();
+        let outcomes = maintain_all(&mut self.cluster, &mut refs, table, &delta)?;
+        let view_rows: u64 = outcomes.iter().map(|o| o.view_rows).sum();
+        let io: f64 = outcomes.iter().map(|o| o.tw_io()).sum();
+        Ok((
+            delta.len() as u64,
+            format!(" ({view_rows} view rows maintained, {io:.0} I/Os)"),
+        ))
+    }
+
+    fn insert(&mut self, table: String, rows: Vec<Vec<Value>>) -> Result<SqlOutput> {
+        self.guard_base_table(&table)?;
+        let rows: Vec<Row> = rows.into_iter().map(Row::new).collect();
+        let n = rows.len();
+        let (_, extra) = self.apply_delta(&table, Delta::Insert(rows))?;
+        Ok(SqlOutput::message(format!(
+            "inserted {n} rows into {table}{extra}"
+        )))
+    }
+
+    fn delete(&mut self, table: String, predicate: Vec<WhereTerm>) -> Result<SqlOutput> {
+        self.guard_base_table(&table)?;
+        let doomed = self.matching_rows(&table, &predicate)?;
+        if doomed.is_empty() {
+            return Ok(SqlOutput::message(format!("deleted 0 rows from {table}")));
+        }
+        let n = doomed.len();
+        let (_, extra) = self.apply_delta(&table, Delta::Delete(doomed))?;
+        Ok(SqlOutput::message(format!(
+            "deleted {n} rows from {table}{extra}"
+        )))
+    }
+
+    fn update(
+        &mut self,
+        table: String,
+        assignments: Vec<(String, Value)>,
+        predicate: Vec<WhereTerm>,
+    ) -> Result<SqlOutput> {
+        self.guard_base_table(&table)?;
+        let id = self.cluster.table_id(&table)?;
+        let schema = self.cluster.def(id)?.schema.clone();
+        let old = self.matching_rows(&table, &predicate)?;
+        if old.is_empty() {
+            return Ok(SqlOutput::message(format!("updated 0 rows in {table}")));
+        }
+        let mut new = old.clone();
+        for (col_name, value) in &assignments {
+            let col = schema.index_of(col_name)?;
+            if !value.conforms_to(schema.column(col).expect("bound").dtype) {
+                return Err(PvmError::SchemaMismatch(format!(
+                    "cannot assign {value} to column '{col_name}'"
+                )));
+            }
+            for r in &mut new {
+                r.set(col, value.clone())?;
+            }
+        }
+        let n = old.len();
+        let (_, extra) = self.apply_delta(&table, Delta::Update { old, new })?;
+        Ok(SqlOutput::message(format!(
+            "updated {n} rows in {table}{extra}"
+        )))
+    }
+
+    fn select(&mut self, table: String, predicate: Vec<WhereTerm>) -> Result<SqlOutput> {
+        let id = self.cluster.table_id(&table)?;
+        let schema = self.cluster.def(id)?.schema.clone();
+        let pred = Self::build_predicate(&schema, &predicate)?;
+        let mut rows: Vec<Row> = self
+            .cluster
+            .scan_all(id)?
+            .into_iter()
+            .filter(|r| pred.eval(r))
+            .collect();
+        rows.sort();
+        // Hide the aggregate views' internal `__count` bookkeeping column.
+        let visible: Vec<usize> = (0..schema.arity())
+            .filter(|&i| schema.column(i).map(|c| c.name != "__count").unwrap_or(true))
+            .collect();
+        let (schema, rows) = if visible.len() == schema.arity() {
+            (schema, rows)
+        } else {
+            let schema = std::sync::Arc::new(schema.project(&visible)?);
+            let rows = rows
+                .into_iter()
+                .map(|r| r.project(&visible))
+                .collect::<Result<_>>()?;
+            (schema, rows)
+        };
+        let n = rows.len();
+        Ok(SqlOutput {
+            message: format!("{n} rows"),
+            rows: Some((schema, rows)),
+        })
+    }
+
+    fn show_tables(&self) -> Result<SqlOutput> {
+        let schema = Schema::new(vec![
+            pvm_types::Column::str("table"),
+            pvm_types::Column::int("rows"),
+            pvm_types::Column::int("pages"),
+        ])
+        .into_ref();
+        let mut rows = Vec::new();
+        for id in self.cluster.catalog().ids() {
+            let def = self.cluster.def(id)?;
+            rows.push(Row::new(vec![
+                Value::from(def.name.clone()),
+                Value::Int(self.cluster.row_count(id)? as i64),
+                Value::Int(self.cluster.total_pages(id)? as i64),
+            ]));
+        }
+        rows.sort();
+        Ok(SqlOutput {
+            message: format!("{} tables", rows.len()),
+            rows: Some((schema, rows)),
+        })
+    }
+
+    fn show_views(&self) -> Result<SqlOutput> {
+        let schema = Schema::new(vec![
+            pvm_types::Column::str("view"),
+            pvm_types::Column::str("method"),
+            pvm_types::Column::int("rows"),
+            pvm_types::Column::int("extra_pages"),
+        ])
+        .into_ref();
+        let mut rows = Vec::new();
+        for v in &self.views {
+            rows.push(Row::new(vec![
+                Value::from(v.def().name.clone()),
+                Value::from(v.method().label()),
+                Value::Int(self.cluster.row_count(v.view_table())? as i64),
+                Value::Int(v.storage_overhead_pages(&self.cluster)? as i64),
+            ]));
+        }
+        rows.sort();
+        Ok(SqlOutput {
+            message: format!("{} views", rows.len()),
+            rows: Some((schema, rows)),
+        })
+    }
+
+    fn show_cost(&self) -> Result<SqlOutput> {
+        let mut total = CostSnapshot::default();
+        for n in self.cluster.nodes() {
+            total += n.combined_snapshot();
+        }
+        let net = self.cluster.fabric().ledger().snapshot();
+        Ok(SqlOutput::message(format!(
+            "cumulative: {total}; network: {} sends, {} bytes",
+            net.sends, net.bytes_sent
+        )))
+    }
+
+    fn check_view(&self, name: String) -> Result<SqlOutput> {
+        let view = self
+            .views
+            .iter()
+            .find(|v| v.def().name == name)
+            .ok_or_else(|| PvmError::NotFound(format!("view '{name}'")))?;
+        view.check_consistent(&self.cluster)?;
+        Ok(SqlOutput::message(format!(
+            "view {name} is consistent with its join"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        let mut s = Session::new(ClusterConfig::new(4).with_buffer_pages(512));
+        s.execute(
+            "CREATE TABLE a (id INT, c INT, p STR) PARTITION BY HASH(id); \
+             CREATE TABLE b (id INT, d INT, p STR) PARTITION BY HASH(id);",
+        )
+        .unwrap();
+        for i in 0..20 {
+            s.execute(&format!(
+                "INSERT INTO a VALUES ({i}, {}, 'a{i}'); INSERT INTO b VALUES ({i}, {}, 'b{i}');",
+                i % 5,
+                i % 5
+            ))
+            .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn end_to_end_view_lifecycle() {
+        let mut s = session();
+        let out = s
+            .execute_one(
+                "CREATE VIEW jv USING AUXILIARY RELATION AS \
+                 SELECT x.id, x.c, y.id FROM a x, b y WHERE x.c = y.d \
+                 PARTITION ON x.id",
+            )
+            .unwrap();
+        assert!(out.message.contains("auxiliary relation"));
+        assert!(
+            out.message.contains("80 rows"),
+            "20 × 4 matches: {}",
+            out.message
+        );
+
+        // DML keeps the view maintained.
+        let out = s
+            .execute_one("INSERT INTO a VALUES (100, 2, 'new')")
+            .unwrap();
+        assert!(
+            out.message.contains("4 view rows maintained"),
+            "{}",
+            out.message
+        );
+        s.execute_one("CHECK VIEW jv").unwrap();
+
+        let out = s.execute_one("DELETE FROM b WHERE d = 2").unwrap();
+        assert!(out.message.contains("deleted 4 rows"), "{}", out.message);
+        s.execute_one("CHECK VIEW jv").unwrap();
+
+        let out = s.execute_one("UPDATE a SET c = 3 WHERE id = 100").unwrap();
+        assert!(out.message.contains("updated 1 rows"), "{}", out.message);
+        s.execute_one("CHECK VIEW jv").unwrap();
+
+        // SELECT over the view's stored table, with suffix column match.
+        let out = s.execute_one("SELECT * FROM jv WHERE c = 3").unwrap();
+        let (_, rows) = out.rows.unwrap();
+        // 5 a-rows with c = 3 (ids 3, 8, 13, 18, 100) × 4 b-rows with d = 3.
+        assert_eq!(rows.len(), 20, "{rows:?}");
+    }
+
+    #[test]
+    fn select_and_predicates() {
+        let mut s = session();
+        let out = s
+            .execute_one("SELECT * FROM a WHERE c = 1 AND id < 10")
+            .unwrap();
+        let (_, rows) = out.rows.unwrap();
+        assert_eq!(rows.len(), 2); // ids 1, 6
+        let out = s.execute_one("SELECT * FROM a WHERE p = 'a3'").unwrap();
+        assert_eq!(out.rows.unwrap().1.len(), 1);
+    }
+
+    #[test]
+    fn show_statements() {
+        let mut s = session();
+        s.execute_one(
+            "CREATE VIEW v USING NAIVE AS SELECT x.id, y.id FROM a x, b y WHERE x.c = y.d",
+        )
+        .unwrap();
+        let tables = s.execute_one("SHOW TABLES").unwrap();
+        let names: Vec<String> = tables
+            .rows
+            .unwrap()
+            .1
+            .iter()
+            .map(|r| r[0].as_str().unwrap().to_owned())
+            .collect();
+        assert!(names.contains(&"a".to_string()));
+        assert!(
+            names.contains(&"v".to_string()),
+            "view table listed: {names:?}"
+        );
+
+        let views = s.execute_one("SHOW VIEWS").unwrap();
+        let (_, vrows) = views.rows.unwrap();
+        assert_eq!(vrows.len(), 1);
+        assert_eq!(vrows[0][1], Value::from("naive"));
+
+        let cost = s.execute_one("SHOW COST").unwrap();
+        assert!(cost.message.contains("cumulative"));
+    }
+
+    #[test]
+    fn view_tables_are_read_only() {
+        let mut s = session();
+        s.execute_one(
+            "CREATE VIEW v USING GLOBAL INDEX AS SELECT x.id, y.id FROM a x, b y WHERE x.c = y.d",
+        )
+        .unwrap();
+        assert!(s.execute_one("INSERT INTO v VALUES (1, 1)").is_err());
+        assert!(s.execute_one("DELETE FROM v").is_err());
+        assert!(s.execute_one("UPDATE v SET id = 1").is_err());
+    }
+
+    #[test]
+    fn auto_method_selection() {
+        let mut s = session();
+        let out = s
+            .execute_one("CREATE VIEW v AS SELECT x.id, y.id FROM a x, b y WHERE x.c = y.d")
+            .unwrap();
+        // Tiny tables: the advisor may legitimately pick any method; the
+        // statement must succeed and name one.
+        assert!(out.message.contains("method"), "{}", out.message);
+        s.execute_one("CHECK VIEW v").unwrap();
+    }
+
+    #[test]
+    fn binding_errors_are_reported() {
+        let mut s = session();
+        assert!(s.execute("SELECT * FROM missing").is_err());
+        assert!(
+            s.execute("INSERT INTO a VALUES (1)").is_err(),
+            "arity mismatch"
+        );
+        assert!(
+            s.execute("INSERT INTO a VALUES ('x', 1, 'p')").is_err(),
+            "type mismatch"
+        );
+        assert!(s
+            .execute("CREATE VIEW v AS SELECT q.id FROM a x, b y WHERE x.c = y.d")
+            .is_err());
+        assert!(s.execute("DELETE FROM a WHERE nope = 1").is_err());
+        assert!(s.execute("CHECK VIEW ghost").is_err());
+        // Unqualified projection in a view.
+        assert!(s
+            .execute("CREATE VIEW v AS SELECT id FROM a x, b y WHERE x.c = y.d")
+            .is_err());
+        // PARTITION ON column outside the SELECT list.
+        assert!(s
+            .execute("CREATE VIEW v AS SELECT x.id FROM a x, b y WHERE x.c = y.d PARTITION ON y.d")
+            .is_err());
+    }
+
+    #[test]
+    fn multiple_views_one_update() {
+        let mut s = session();
+        s.execute(
+            "CREATE VIEW v1 USING NAIVE AS SELECT x.id, y.id FROM a x, b y WHERE x.c = y.d; \
+             CREATE VIEW v2 USING AUXILIARY RELATION AS \
+             SELECT x.c, y.id FROM a x, b y WHERE x.c = y.d;",
+        )
+        .unwrap();
+        let out = s.execute_one("INSERT INTO a VALUES (200, 0, 'z')").unwrap();
+        // 4 matches in each of the two views.
+        assert!(
+            out.message.contains("8 view rows maintained"),
+            "{}",
+            out.message
+        );
+        s.execute_one("CHECK VIEW v1").unwrap();
+        s.execute_one("CHECK VIEW v2").unwrap();
+    }
+
+    #[test]
+    fn explain_maintenance_shows_chain() {
+        let mut s = session();
+        s.execute_one(
+            "CREATE TABLE c (id INT, e INT, p STR) PARTITION BY HASH(id); \
+             ",
+        )
+        .unwrap();
+        for i in 0..10 {
+            s.execute_one(&format!("INSERT INTO c VALUES ({i}, {}, 'c')", i % 5))
+                .unwrap();
+        }
+        s.execute_one(
+            "CREATE VIEW jv3 USING AUXILIARY RELATION AS \
+             SELECT x.id, y.id, z.id FROM a x, b y, c z \
+             WHERE x.c = y.d AND y.d = z.e",
+        )
+        .unwrap();
+        let out = s.execute_one("EXPLAIN MAINTENANCE OF jv3 ON a").unwrap();
+        let (_, rows) = out.rows.unwrap();
+        assert_eq!(rows.len(), 2, "two probe steps for a three-way view");
+        assert_eq!(rows[0][0], Value::Int(1));
+        // Errors for unknown names.
+        assert!(s.execute("EXPLAIN MAINTENANCE OF ghost ON a").is_err());
+        assert!(s.execute("EXPLAIN MAINTENANCE OF jv3 ON ghost").is_err());
+    }
+
+    #[test]
+    fn aggregate_views_in_sql() {
+        let mut s = session();
+        let out = s
+            .execute_one(
+                "CREATE VIEW agg USING AUXILIARY RELATION AS \
+                 SELECT x.c, COUNT(*), SUM(y.d) FROM a x, b y WHERE x.c = y.d \
+                 GROUP BY x.c",
+            )
+            .unwrap();
+        assert!(out.message.contains("5 groups"), "{}", out.message);
+
+        // 4 a-rows × 4 b-rows per value initially; the hidden __count
+        // column does not appear in SELECT output.
+        let rows = s.execute_one("SELECT * FROM agg").unwrap().rows.unwrap().1;
+        for r in &rows {
+            let g = r[0].as_int().unwrap();
+            assert_eq!(r.arity(), 3, "group, COUNT, SUM — no __count");
+            assert_eq!(r[1], Value::Int(16), "COUNT per group");
+            assert_eq!(r[2], Value::Int(16 * g), "SUM(d) = 16·g");
+        }
+
+        // DML folds incrementally.
+        s.execute_one("INSERT INTO a VALUES (100, 2, 'x')").unwrap();
+        s.execute_one("CHECK VIEW agg").unwrap();
+        let g2 = s
+            .execute_one("SELECT * FROM agg WHERE c = 2")
+            .unwrap()
+            .rows
+            .unwrap()
+            .1;
+        assert_eq!(g2[0][1], Value::Int(20), "5 a-rows × 4 b-rows");
+
+        // Deleting every b-row of a group dissolves it.
+        s.execute_one("DELETE FROM b WHERE d = 3").unwrap();
+        s.execute_one("CHECK VIEW agg").unwrap();
+        let left = s.execute_one("SELECT * FROM agg").unwrap().rows.unwrap().1;
+        assert_eq!(left.len(), 4);
+    }
+
+    #[test]
+    fn aggregate_sql_validation() {
+        let mut s = session();
+        // GROUP BY without aggregates.
+        assert!(s
+            .execute("CREATE VIEW v AS SELECT x.id FROM a x, b y WHERE x.c = y.d GROUP BY x.id")
+            .is_err());
+        // Aggregate without GROUP BY column in select.
+        assert!(s
+            .execute("CREATE VIEW v AS SELECT COUNT(*) FROM a x, b y WHERE x.c = y.d")
+            .is_err());
+        // Selected plain column missing from GROUP BY.
+        assert!(s
+            .execute(
+                "CREATE VIEW v AS SELECT x.id, x.c, COUNT(*) FROM a x, b y \
+                 WHERE x.c = y.d GROUP BY x.id"
+            )
+            .is_err());
+        // SUM of a string column.
+        assert!(s
+            .execute(
+                "CREATE VIEW v AS SELECT x.c, SUM(y.p) FROM a x, b y \
+                 WHERE x.c = y.d GROUP BY x.c"
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn drop_view_reclaims_structures() {
+        let mut s = session();
+        s.execute_one(
+            "CREATE VIEW jv USING AUXILIARY RELATION AS \
+             SELECT x.id, y.id FROM a x, b y WHERE x.c = y.d",
+        )
+        .unwrap();
+        // Base tables cannot be dropped while referenced.
+        assert!(s.execute("DROP TABLE a").is_err());
+        // ARs exist…
+        let ars_before = s
+            .cluster()
+            .catalog()
+            .ids()
+            .filter(|&id| s.cluster().def(id).unwrap().name.contains("__ar_"))
+            .count();
+        assert_eq!(ars_before, 2);
+        s.execute_one("DROP VIEW jv").unwrap();
+        // …and are gone, together with the view table.
+        let ars_after = s
+            .cluster()
+            .catalog()
+            .ids()
+            .filter(|&id| s.cluster().def(id).unwrap().name.contains("__ar_"))
+            .count();
+        assert_eq!(ars_after, 0);
+        assert!(s.execute("SELECT * FROM jv").is_err());
+        assert!(s.execute("DROP VIEW jv").is_err(), "double drop");
+        // Now the base table can go; further DML on it fails.
+        s.execute_one("DROP TABLE a").unwrap();
+        assert!(s.execute("INSERT INTO a VALUES (1, 1, 'x')").is_err());
+    }
+
+    #[test]
+    fn sql_transactions_roll_back_views() {
+        let mut s = session();
+        s.execute_one(
+            "CREATE VIEW jv USING GLOBAL INDEX AS \
+             SELECT x.id, y.id FROM a x, b y WHERE x.c = y.d",
+        )
+        .unwrap();
+        let before = s
+            .execute_one("SELECT * FROM jv")
+            .unwrap()
+            .rows
+            .unwrap()
+            .1
+            .len();
+        s.execute("BEGIN; INSERT INTO a VALUES (300, 1, 'tx'); DELETE FROM b WHERE d = 2;")
+            .unwrap();
+        let during = s
+            .execute_one("SELECT * FROM jv")
+            .unwrap()
+            .rows
+            .unwrap()
+            .1
+            .len();
+        assert_ne!(during, before, "txn changes visible before rollback");
+        s.execute_one("ROLLBACK").unwrap();
+        let after = s
+            .execute_one("SELECT * FROM jv")
+            .unwrap()
+            .rows
+            .unwrap()
+            .1
+            .len();
+        assert_eq!(after, before);
+        s.execute_one("CHECK VIEW jv").unwrap();
+        // And a committed txn sticks.
+        s.execute("BEGIN; INSERT INTO a VALUES (301, 1, 'tx2'); COMMIT")
+            .unwrap();
+        let committed = s
+            .execute_one("SELECT * FROM jv")
+            .unwrap()
+            .rows
+            .unwrap()
+            .1
+            .len();
+        assert_eq!(committed, before + 4);
+        // Discipline errors surface.
+        assert!(s.execute("COMMIT").is_err());
+    }
+
+    #[test]
+    fn delete_without_predicate_clears_table() {
+        let mut s = session();
+        s.execute_one("DELETE FROM a").unwrap();
+        let out = s.execute_one("SELECT * FROM a").unwrap();
+        assert!(out.rows.unwrap().1.is_empty());
+    }
+
+    #[test]
+    fn ambiguous_suffix_rejected() {
+        let mut s = session();
+        s.execute_one(
+            "CREATE VIEW v USING NAIVE AS SELECT x.id, y.id FROM a x, b y WHERE x.c = y.d",
+        )
+        .unwrap();
+        // Both view columns are named `…id`: the bare ref is ambiguous.
+        assert!(s.execute("SELECT * FROM v WHERE id = 1").is_err());
+    }
+}

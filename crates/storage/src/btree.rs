@@ -1,0 +1,681 @@
+//! A from-scratch B+tree over byte-string keys.
+//!
+//! Properties:
+//!
+//! * entries are `(key, value)` byte pairs ordered by the composite
+//!   `(key, value)`, so **duplicate keys** (and even duplicate entries —
+//!   multiset semantics) are fully supported: equal keys are contiguous in
+//!   leaf order and may span leaves;
+//! * leaves are chained left-to-right for ordered scans (the access path
+//!   used by sort-merge joins over clustered auxiliary relations);
+//! * nodes live in an arena and are sized by a *byte budget* equal to the
+//!   page size, so tree page counts are realistic and every node visit is
+//!   metered through the node's [`crate::BufferPool`];
+//! * deletion is lazy (no rebalancing/merging, like PostgreSQL's nbtree):
+//!   underfull leaves simply stay; this never affects correctness, only
+//!   space, and keeps the structure auditable.
+//!
+//! The tree stores raw bytes; the typed clustered / non-clustered index
+//! wrappers live in [`crate::index`].
+
+use pvm_types::{PvmError, Result};
+
+use crate::buffer::{AccessMode, PageKey, SharedBufferPool};
+use crate::page::PAGE_SIZE;
+use crate::FileId;
+
+/// Byte budget per node; splits trigger when exceeded.
+const NODE_BYTE_BUDGET: usize = PAGE_SIZE;
+/// Accounting overhead charged per entry / separator.
+const ENTRY_OVERHEAD: usize = 8;
+
+type NodeIdx = usize;
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        /// `(key, value)` pairs sorted by composite order.
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        /// Next leaf to the right.
+        next: Option<NodeIdx>,
+        /// Cached byte size of all entries.
+        bytes: usize,
+    },
+    Internal {
+        /// `seps[i]` is the minimum composite entry of `children[i + 1]`.
+        seps: Vec<(Vec<u8>, Vec<u8>)>,
+        children: Vec<NodeIdx>,
+        bytes: usize,
+    },
+}
+
+fn entry_size(k: &[u8], v: &[u8]) -> usize {
+    k.len() + v.len() + ENTRY_OVERHEAD
+}
+
+fn cmp_entry(a: &(Vec<u8>, Vec<u8>), key: &[u8], val: &[u8]) -> std::cmp::Ordering {
+    a.0.as_slice()
+        .cmp(key)
+        .then_with(|| a.1.as_slice().cmp(val))
+}
+
+/// The B+tree. See module docs.
+///
+/// ```
+/// use pvm_storage::btree::BPlusTree;
+/// use pvm_storage::{BufferPool, FileId};
+///
+/// let mut t = BPlusTree::new(FileId(0), BufferPool::shared(256));
+/// t.insert(b"k1", b"v1").unwrap();
+/// t.insert(b"k1", b"v2").unwrap(); // duplicate keys are fine
+/// assert_eq!(t.search(b"k1").len(), 2);
+/// assert!(t.delete(b"k1", b"v1"));
+/// assert_eq!(t.search(b"k1"), vec![b"v2".to_vec()]);
+/// ```
+#[derive(Debug)]
+pub struct BPlusTree {
+    file: FileId,
+    nodes: Vec<Node>,
+    root: NodeIdx,
+    buffer: SharedBufferPool,
+    len: u64,
+}
+
+impl BPlusTree {
+    pub fn new(file: FileId, buffer: SharedBufferPool) -> Self {
+        let root = Node::Leaf {
+            entries: Vec::new(),
+            next: None,
+            bytes: 0,
+        };
+        BPlusTree {
+            file,
+            nodes: vec![root],
+            root: 0,
+            buffer,
+            len: 0,
+        }
+    }
+
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of nodes ≈ pages occupied.
+    pub fn page_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut idx = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[idx] {
+            idx = children[0];
+            h += 1;
+        }
+        h
+    }
+
+    fn touch(&self, node: NodeIdx, mode: AccessMode) {
+        self.buffer
+            .lock()
+            .access(PageKey::new(self.file, node as u32), mode);
+    }
+
+    /// Descend to the leftmost leaf that could contain `(key, val)`;
+    /// records the path for split propagation.
+    fn descend(&self, key: &[u8], val: &[u8]) -> (NodeIdx, Vec<NodeIdx>) {
+        let mut path = Vec::new();
+        let mut idx = self.root;
+        loop {
+            self.touch(idx, AccessMode::Read);
+            match &self.nodes[idx] {
+                Node::Leaf { .. } => return (idx, path),
+                Node::Internal { seps, children, .. } => {
+                    path.push(idx);
+                    // First separator strictly greater than probe bounds the
+                    // child on its left; probe >= sep means the right child's
+                    // range includes it.
+                    let pos = seps.partition_point(|s| cmp_entry(s, key, val).is_le());
+                    idx = children[pos];
+                }
+            }
+        }
+    }
+
+    /// Insert an entry. Duplicates (same key, same or different value) are
+    /// allowed; the tree is a multiset.
+    pub fn insert(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+        if entry_size(key, val) > NODE_BYTE_BUDGET / 2 {
+            return Err(PvmError::CapacityExceeded(format!(
+                "index entry of {} bytes exceeds half a page",
+                entry_size(key, val)
+            )));
+        }
+        let (leaf, path) = self.descend(key, val);
+        self.touch(leaf, AccessMode::Write);
+        let Node::Leaf { entries, bytes, .. } = &mut self.nodes[leaf] else {
+            unreachable!("descend returns a leaf")
+        };
+        let pos = entries.partition_point(|e| cmp_entry(e, key, val).is_le());
+        entries.insert(pos, (key.to_vec(), val.to_vec()));
+        *bytes += entry_size(key, val);
+        self.len += 1;
+        self.split_if_needed(leaf, path);
+        Ok(())
+    }
+
+    fn split_if_needed(&mut self, mut idx: NodeIdx, mut path: Vec<NodeIdx>) {
+        loop {
+            let needs_split = match &self.nodes[idx] {
+                Node::Leaf { entries, bytes, .. } => *bytes > NODE_BYTE_BUDGET && entries.len() > 1,
+                Node::Internal { seps, bytes, .. } => *bytes > NODE_BYTE_BUDGET && seps.len() > 2,
+            };
+            if !needs_split {
+                return;
+            }
+            let (sep, new_idx) = self.split(idx);
+            match path.pop() {
+                Some(parent) => {
+                    self.touch(parent, AccessMode::Write);
+                    let Node::Internal {
+                        seps,
+                        children,
+                        bytes,
+                    } = &mut self.nodes[parent]
+                    else {
+                        unreachable!("path nodes are internal")
+                    };
+                    let pos = seps.partition_point(|s| cmp_entry(s, &sep.0, &sep.1).is_le());
+                    *bytes += entry_size(&sep.0, &sep.1);
+                    seps.insert(pos, sep);
+                    children.insert(pos + 1, new_idx);
+                    idx = parent;
+                }
+                None => {
+                    // Split reached the root: grow the tree by one level.
+                    let bytes = entry_size(&sep.0, &sep.1);
+                    let new_root = Node::Internal {
+                        seps: vec![sep],
+                        children: vec![idx, new_idx],
+                        bytes,
+                    };
+                    self.nodes.push(new_root);
+                    self.root = self.nodes.len() - 1;
+                    self.touch(self.root, AccessMode::Write);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Split node `idx` in half; returns `(separator, right node idx)`.
+    /// The separator is the minimum entry of the right node.
+    fn split(&mut self, idx: NodeIdx) -> ((Vec<u8>, Vec<u8>), NodeIdx) {
+        self.touch(idx, AccessMode::Write);
+        let new_idx = self.nodes.len();
+        match &mut self.nodes[idx] {
+            Node::Leaf {
+                entries,
+                next,
+                bytes,
+            } => {
+                let mid = entries.len() / 2;
+                let right_entries: Vec<_> = entries.split_off(mid);
+                let right_bytes: usize = right_entries.iter().map(|(k, v)| entry_size(k, v)).sum();
+                *bytes -= right_bytes;
+                let sep = right_entries[0].clone();
+                let right = Node::Leaf {
+                    entries: right_entries,
+                    next: next.take(),
+                    bytes: right_bytes,
+                };
+                // Re-link: left.next = right (right inherited left's old next).
+                if let Node::Leaf { next, .. } = &mut self.nodes[idx] {
+                    *next = Some(new_idx);
+                }
+                self.nodes.push(right);
+                self.touch(new_idx, AccessMode::Write);
+                (sep, new_idx)
+            }
+            Node::Internal {
+                seps,
+                children,
+                bytes,
+            } => {
+                // Promote the middle separator.
+                let mid = seps.len() / 2;
+                let mut right_seps = seps.split_off(mid);
+                let promoted = right_seps.remove(0);
+                let right_children = children.split_off(mid + 1);
+                let right_bytes: usize = right_seps.iter().map(|(k, v)| entry_size(k, v)).sum();
+                *bytes -= right_bytes + entry_size(&promoted.0, &promoted.1);
+                let right = Node::Internal {
+                    seps: right_seps,
+                    children: right_children,
+                    bytes: right_bytes,
+                };
+                self.nodes.push(right);
+                self.touch(new_idx, AccessMode::Write);
+                (promoted, new_idx)
+            }
+        }
+    }
+
+    /// All values stored under `key`, in value order. Touches the descent
+    /// path plus every leaf holding matches.
+    pub fn search(&self, key: &[u8]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let (mut leaf, _) = self.descend(key, &[]);
+        loop {
+            let Node::Leaf { entries, next, .. } = &self.nodes[leaf] else {
+                unreachable!()
+            };
+            let start = entries.partition_point(|e| e.0.as_slice() < key);
+            for (k, v) in &entries[start..] {
+                if k.as_slice() == key {
+                    out.push(v.clone());
+                } else {
+                    // Passed beyond `key`: no match can follow.
+                    return out;
+                }
+            }
+            // Consumed this leaf to its end; matches may continue right.
+            match next {
+                Some(n) => {
+                    leaf = *n;
+                    self.touch(leaf, AccessMode::Read);
+                }
+                None => return out,
+            }
+        }
+    }
+
+    /// Whether any entry has exactly `(key, val)`.
+    pub fn contains(&self, key: &[u8], val: &[u8]) -> bool {
+        let (mut leaf, _) = self.descend(key, val);
+        loop {
+            let Node::Leaf { entries, next, .. } = &self.nodes[leaf] else {
+                unreachable!()
+            };
+            let pos = entries.partition_point(|e| cmp_entry(e, key, val).is_lt());
+            if let Some(e) = entries.get(pos) {
+                return cmp_entry(e, key, val).is_eq();
+            }
+            match next {
+                Some(n) => {
+                    leaf = *n;
+                    self.touch(leaf, AccessMode::Read);
+                }
+                None => return false,
+            }
+        }
+    }
+
+    /// Remove **one** entry equal to `(key, val)`. Returns true if removed.
+    pub fn delete(&mut self, key: &[u8], val: &[u8]) -> bool {
+        let (mut leaf, _) = self.descend(key, val);
+        loop {
+            let Node::Leaf {
+                entries,
+                next,
+                bytes,
+            } = &mut self.nodes[leaf]
+            else {
+                unreachable!()
+            };
+            let pos = entries.partition_point(|e| cmp_entry(e, key, val).is_lt());
+            if let Some(e) = entries.get(pos) {
+                if cmp_entry(e, key, val).is_eq() {
+                    *bytes -= entry_size(key, val);
+                    entries.remove(pos);
+                    self.len -= 1;
+                    self.touch(leaf, AccessMode::Write);
+                    return true;
+                }
+                return false;
+            }
+            // Reached end of this leaf without a greater entry: continue
+            // right (the entry may start the next leaf).
+            match *next {
+                Some(n) => {
+                    leaf = n;
+                    self.touch(leaf, AccessMode::Read);
+                }
+                None => return false,
+            }
+        }
+    }
+
+    /// Remove **all** entries with `key`, returning their values.
+    pub fn delete_all(&mut self, key: &[u8]) -> Vec<Vec<u8>> {
+        let vals = self.search(key);
+        for v in &vals {
+            let removed = self.delete(key, v);
+            debug_assert!(removed);
+        }
+        vals
+    }
+
+    fn leftmost_leaf(&self) -> NodeIdx {
+        let mut idx = self.root;
+        loop {
+            self.touch(idx, AccessMode::Read);
+            match &self.nodes[idx] {
+                Node::Leaf { .. } => return idx,
+                Node::Internal { children, .. } => idx = children[0],
+            }
+        }
+    }
+
+    /// Ordered scan of all entries (clustered scan access path). Touches
+    /// every leaf.
+    pub fn scan(&self) -> BTreeScan<'_> {
+        let leaf = self.leftmost_leaf();
+        BTreeScan {
+            tree: self,
+            leaf: Some(leaf),
+            pos: 0,
+        }
+    }
+
+    /// Ordered scan starting at the first entry with `key >= from`.
+    pub fn scan_from(&self, from: &[u8]) -> BTreeScan<'_> {
+        let (leaf, _) = self.descend(from, &[]);
+        let pos = match &self.nodes[leaf] {
+            Node::Leaf { entries, .. } => entries.partition_point(|e| e.0.as_slice() < from),
+            _ => unreachable!(),
+        };
+        BTreeScan {
+            tree: self,
+            leaf: Some(leaf),
+            pos,
+        }
+    }
+
+    /// Internal consistency check used by tests: order, separator bounds,
+    /// leaf-chain completeness, byte accounting.
+    pub fn check_invariants(&self) -> Result<()> {
+        // 1. Every leaf's entries are sorted; bytes match.
+        for node in &self.nodes {
+            if let Node::Leaf { entries, bytes, .. } = node {
+                let mut prev: Option<&(Vec<u8>, Vec<u8>)> = None;
+                let mut sz = 0usize;
+                for e in entries {
+                    if let Some(p) = prev {
+                        if cmp_entry(p, &e.0, &e.1).is_gt() {
+                            return Err(PvmError::Corrupt("leaf out of order".into()));
+                        }
+                    }
+                    sz += entry_size(&e.0, &e.1);
+                    prev = Some(e);
+                }
+                if sz != *bytes {
+                    return Err(PvmError::Corrupt("leaf byte accounting drift".into()));
+                }
+            }
+        }
+        // 2. Chain from the leftmost leaf yields len() sorted entries.
+        let mut count = 0u64;
+        let mut prev: Option<(Vec<u8>, Vec<u8>)> = None;
+        for (k, v) in self.scan() {
+            if let Some(p) = &prev {
+                if cmp_entry(p, &k, &v).is_gt() {
+                    return Err(PvmError::Corrupt("scan out of order".into()));
+                }
+            }
+            prev = Some((k, v));
+            count += 1;
+        }
+        if count != self.len {
+            return Err(PvmError::Corrupt(format!(
+                "scan count {count} != len {len}",
+                len = self.len
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Ordered iterator over `(key, value)` pairs.
+pub struct BTreeScan<'a> {
+    tree: &'a BPlusTree,
+    leaf: Option<NodeIdx>,
+    pos: usize,
+}
+
+impl Iterator for BTreeScan<'_> {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.leaf?;
+            match &self.tree.nodes[leaf] {
+                Node::Leaf { entries, next, .. } => {
+                    if let Some(e) = entries.get(self.pos) {
+                        self.pos += 1;
+                        return Some(e.clone());
+                    }
+                    self.leaf = *next;
+                    self.pos = 0;
+                    if let Some(n) = self.leaf {
+                        self.tree.touch(n, AccessMode::Read);
+                    }
+                }
+                _ => unreachable!("scan only visits leaves"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+
+    fn tree() -> BPlusTree {
+        BPlusTree::new(FileId(10), BufferPool::shared(1024))
+    }
+
+    fn key(i: u64) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_search_small() {
+        let mut t = tree();
+        t.insert(&key(5), b"five").unwrap();
+        t.insert(&key(3), b"three").unwrap();
+        t.insert(&key(9), b"nine").unwrap();
+        assert_eq!(t.search(&key(3)), vec![b"three".to_vec()]);
+        assert_eq!(t.search(&key(9)), vec![b"nine".to_vec()]);
+        assert!(t.search(&key(4)).is_empty());
+        assert_eq!(t.len(), 3);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn many_inserts_split_correctly() {
+        let mut t = tree();
+        let n = 5000u64;
+        // Insert in a scrambled order.
+        for i in 0..n {
+            let k = (i * 2654435761) % n;
+            t.insert(&key(k), &k.to_be_bytes()).unwrap();
+        }
+        assert_eq!(t.len(), n);
+        assert!(
+            t.page_count() > 10,
+            "5000 entries must split into many nodes"
+        );
+        assert!(t.height() >= 2);
+        t.check_invariants().unwrap();
+        for probe in [0u64, 1, n / 2, n - 1] {
+            assert_eq!(t.search(&key(probe)).len(), 1, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_supported() {
+        let mut t = tree();
+        for i in 0..100u64 {
+            t.insert(&key(42), &i.to_be_bytes()).unwrap();
+        }
+        t.insert(&key(41), b"l").unwrap();
+        t.insert(&key(43), b"r").unwrap();
+        let hits = t.search(&key(42));
+        assert_eq!(hits.len(), 100);
+        // Values come back in value order.
+        for (i, v) in hits.iter().enumerate() {
+            assert_eq!(v, &(i as u64).to_be_bytes().to_vec());
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicates_spanning_many_leaves() {
+        let mut t = tree();
+        let big = vec![7u8; 512];
+        for i in 0..200u64 {
+            let mut v = big.clone();
+            v.extend_from_slice(&i.to_be_bytes());
+            t.insert(&key(1), &v).unwrap();
+        }
+        assert!(t.page_count() > 10, "duplicates must span leaves");
+        assert_eq!(t.search(&key(1)).len(), 200);
+        assert!(t.search(&key(0)).is_empty());
+        assert!(t.search(&key(2)).is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        let mut t = tree();
+        t.insert(b"k", b"v").unwrap();
+        t.insert(b"k", b"v").unwrap();
+        assert_eq!(t.search(b"k").len(), 2);
+        assert!(t.delete(b"k", b"v"));
+        assert_eq!(t.search(b"k").len(), 1);
+        assert!(t.delete(b"k", b"v"));
+        assert!(!t.delete(b"k", b"v"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delete_across_leaves() {
+        let mut t = tree();
+        let n = 3000u64;
+        for i in 0..n {
+            t.insert(&key(i), &i.to_be_bytes()).unwrap();
+        }
+        for i in (0..n).step_by(3) {
+            assert!(t.delete(&key(i), &i.to_be_bytes()), "delete {i}");
+        }
+        assert_eq!(t.len(), n - n.div_ceil(3));
+        for i in 0..n {
+            let expect = i % 3 != 0;
+            assert_eq!(!t.search(&key(i)).is_empty(), expect, "probe {i}");
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_all_returns_values() {
+        let mut t = tree();
+        for i in 0..10u64 {
+            t.insert(&key(7), &i.to_be_bytes()).unwrap();
+        }
+        let vals = t.delete_all(&key(7));
+        assert_eq!(vals.len(), 10);
+        assert!(t.search(&key(7)).is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ordered_scan() {
+        let mut t = tree();
+        for i in (0..1000u64).rev() {
+            t.insert(&key(i), b"").unwrap();
+        }
+        let keys: Vec<u64> = t
+            .scan()
+            .map(|(k, _)| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(keys.len(), 1000);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn scan_from_midpoint() {
+        let mut t = tree();
+        for i in 0..100u64 {
+            t.insert(&key(i), b"").unwrap();
+        }
+        let got: Vec<u64> = t
+            .scan_from(&key(90))
+            .map(|(k, _)| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(got, (90..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn contains_exact_entry() {
+        let mut t = tree();
+        t.insert(b"a", b"1").unwrap();
+        assert!(t.contains(b"a", b"1"));
+        assert!(!t.contains(b"a", b"2"));
+        assert!(!t.contains(b"b", b"1"));
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut t = tree();
+        let huge = vec![0u8; NODE_BYTE_BUDGET];
+        assert!(t.insert(b"k", &huge).is_err());
+    }
+
+    #[test]
+    fn page_accesses_metered() {
+        let bp = BufferPool::shared(0);
+        let mut t = BPlusTree::new(FileId(20), bp.clone());
+        for i in 0..500u64 {
+            t.insert(&key(i), &i.to_be_bytes()).unwrap();
+        }
+        bp.lock().reset_counters();
+        let _ = t.search(&key(250));
+        let io = bp.lock().io_snapshot();
+        let h = t.height() as u64;
+        assert!(
+            io.page_reads >= h && io.page_reads <= h + 2,
+            "search should touch ≈height pages, got {} for height {h}",
+            io.page_reads
+        );
+    }
+
+    #[test]
+    fn search_with_hot_cache_is_cheap() {
+        let bp = BufferPool::shared(4096);
+        let mut t = BPlusTree::new(FileId(21), bp.clone());
+        for i in 0..2000u64 {
+            t.insert(&key(i), &i.to_be_bytes()).unwrap();
+        }
+        let _ = t.search(&key(1000)); // warm the path
+        bp.lock().reset_counters();
+        let _ = t.search(&key(1000));
+        assert_eq!(
+            bp.lock().io_snapshot().page_reads,
+            0,
+            "hot path must be all hits"
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! Buffer-pool model with LRU replacement and physical-I/O metering.
+//!
+//! The simulator keeps every page resident in process memory for
+//! correctness; what a real system would have done at the disk is decided
+//! here. The pool tracks which `(file, page)` keys *would* be cached given
+//! a memory budget of `capacity` pages:
+//!
+//! * an access to a cached key is a **hit** (no physical I/O);
+//! * an access to an uncached key is a **miss** — one `PageRead` is
+//!   charged, and if the evicted frame is dirty one `PageWrite` is charged;
+//! * write accesses mark the frame dirty; dirty frames are written back on
+//!   eviction or [`BufferPool::flush_all`].
+//!
+//! This mirrors how the paper's model charges I/Os (`SEARCH`/`FETCH` are
+//! page reads that may be absorbed by the cache) while keeping the engine
+//! deterministic.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pvm_types::{CostKind, CostLedger, CostSnapshot};
+
+use crate::FileId;
+use pvm_types::PageId;
+
+/// Key of one page frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageKey {
+    pub file: FileId,
+    pub page: PageId,
+}
+
+impl PageKey {
+    pub fn new(file: FileId, page: u32) -> Self {
+        PageKey {
+            file,
+            page: PageId(page),
+        }
+    }
+}
+
+/// Whether an access reads or writes the page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    Read,
+    Write,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    key: PageKey,
+    dirty: bool,
+    /// LRU timestamp (monotone counter).
+    last_used: u64,
+}
+
+/// The buffer-pool model. See module docs.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    clock: u64,
+    frames: HashMap<PageKey, Frame>,
+    ledger: CostLedger,
+    hits: u64,
+    misses: u64,
+}
+
+/// Shared handle: every storage structure of a node points at the node's
+/// single pool.
+pub type SharedBufferPool = Arc<Mutex<BufferPool>>;
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages. A capacity of 0 disables
+    /// caching entirely (every access is physical).
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            capacity,
+            clock: 0,
+            frames: HashMap::with_capacity(capacity.min(1 << 20)),
+            ledger: CostLedger::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Wrap in the shared handle used across a node's storage structures.
+    pub fn shared(capacity: usize) -> SharedBufferPool {
+        Arc::new(Mutex::new(BufferPool::new(capacity)))
+    }
+
+    /// Record an access to `key`; returns true on a cache hit.
+    pub fn access(&mut self, key: PageKey, mode: AccessMode) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(f) = self.frames.get_mut(&key) {
+            f.last_used = clock;
+            if mode == AccessMode::Write {
+                f.dirty = true;
+            }
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        self.ledger.record(CostKind::PageRead, 1);
+        if self.capacity == 0 {
+            // No caching: writes hit "disk" immediately.
+            if mode == AccessMode::Write {
+                self.ledger.record(CostKind::PageWrite, 1);
+            }
+            return false;
+        }
+        if self.frames.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.frames.insert(
+            key,
+            Frame {
+                key,
+                dirty: mode == AccessMode::Write,
+                last_used: clock,
+            },
+        );
+        false
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(victim) = self
+            .frames
+            .values()
+            .min_by_key(|f| f.last_used)
+            .map(|f| f.key)
+        {
+            let frame = self.frames.remove(&victim).expect("victim exists");
+            if frame.dirty {
+                self.ledger.record(CostKind::PageWrite, 1);
+            }
+        }
+    }
+
+    /// Write back all dirty frames (counts one `PageWrite` each) without
+    /// evicting them.
+    pub fn flush_all(&mut self) {
+        let mut dirty = 0;
+        for f in self.frames.values_mut() {
+            if f.dirty {
+                dirty += 1;
+                f.dirty = false;
+            }
+        }
+        self.ledger.record(CostKind::PageWrite, dirty);
+    }
+
+    /// Drop every frame without write-back (used between experiment runs to
+    /// cold-start the cache without charging I/O).
+    pub fn clear_cold(&mut self) {
+        self.frames.clear();
+    }
+
+    /// Forget pages of `file` (e.g. after dropping a table). Dirty pages of
+    /// a dropped file need no write-back.
+    pub fn discard_file(&mut self, file: FileId) {
+        self.frames.retain(|k, _| k.file != file);
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Physical I/O counters accumulated so far.
+    pub fn io_snapshot(&self) -> CostSnapshot {
+        self.ledger.snapshot()
+    }
+
+    /// Reset I/O counters and hit/miss stats (cache contents are kept).
+    pub fn reset_counters(&mut self) {
+        self.ledger.reset();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(f: u32, p: u32) -> PageKey {
+        PageKey::new(FileId(f), p)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut bp = BufferPool::new(4);
+        assert!(!bp.access(key(0, 0), AccessMode::Read));
+        assert!(bp.access(key(0, 0), AccessMode::Read));
+        assert_eq!(bp.hits(), 1);
+        assert_eq!(bp.misses(), 1);
+        assert_eq!(bp.io_snapshot().page_reads, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut bp = BufferPool::new(2);
+        bp.access(key(0, 0), AccessMode::Read);
+        bp.access(key(0, 1), AccessMode::Read);
+        bp.access(key(0, 0), AccessMode::Read); // page 0 now most recent
+        bp.access(key(0, 2), AccessMode::Read); // evicts page 1
+        assert!(
+            bp.access(key(0, 0), AccessMode::Read),
+            "page 0 should still be cached"
+        );
+        assert!(
+            !bp.access(key(0, 1), AccessMode::Read),
+            "page 1 should have been evicted"
+        );
+    }
+
+    #[test]
+    fn dirty_eviction_counts_write() {
+        let mut bp = BufferPool::new(1);
+        bp.access(key(0, 0), AccessMode::Write);
+        bp.access(key(0, 1), AccessMode::Read); // evicts dirty page 0
+        let io = bp.io_snapshot();
+        assert_eq!(io.page_reads, 2);
+        assert_eq!(io.page_writes, 1);
+    }
+
+    #[test]
+    fn flush_all_writes_dirty_once() {
+        let mut bp = BufferPool::new(8);
+        bp.access(key(0, 0), AccessMode::Write);
+        bp.access(key(0, 1), AccessMode::Write);
+        bp.access(key(0, 2), AccessMode::Read);
+        bp.flush_all();
+        assert_eq!(bp.io_snapshot().page_writes, 2);
+        bp.flush_all();
+        assert_eq!(
+            bp.io_snapshot().page_writes,
+            2,
+            "second flush finds nothing dirty"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_all_physical() {
+        let mut bp = BufferPool::new(0);
+        bp.access(key(0, 0), AccessMode::Read);
+        bp.access(key(0, 0), AccessMode::Read);
+        assert_eq!(bp.misses(), 2);
+        assert_eq!(bp.hits(), 0);
+        let mut bp = BufferPool::new(0);
+        bp.access(key(0, 0), AccessMode::Write);
+        assert_eq!(bp.io_snapshot().page_writes, 1);
+    }
+
+    #[test]
+    fn discard_file_drops_without_writeback() {
+        let mut bp = BufferPool::new(4);
+        bp.access(key(7, 0), AccessMode::Write);
+        bp.access(key(8, 0), AccessMode::Read);
+        bp.discard_file(FileId(7));
+        assert_eq!(bp.resident(), 1);
+        assert_eq!(bp.io_snapshot().page_writes, 0);
+    }
+
+    #[test]
+    fn reset_counters_keeps_cache() {
+        let mut bp = BufferPool::new(4);
+        bp.access(key(0, 0), AccessMode::Read);
+        bp.reset_counters();
+        assert_eq!(bp.io_snapshot().page_reads, 0);
+        assert!(
+            bp.access(key(0, 0), AccessMode::Read),
+            "cache contents survive reset"
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! Slotted pages.
+//!
+//! Layout of an 8 KiB page:
+//!
+//! ```text
+//! +--------------+-----------------------+ .... +----------------------+
+//! | header (4 B) | slot dir (4 B / slot) | free | tuple data (grows ←) |
+//! +--------------+-----------------------+ .... +----------------------+
+//! ```
+//!
+//! * header: `slot_count: u16`, `free_end: u16` (offset one past the start
+//!   of the lowest tuple).
+//! * slot: `offset: u16`, `len: u16`. A slot whose len has the high bit
+//!   set is a tombstone; its offset and payload length stay intact, so a
+//!   transaction abort can resurrect the tuple in place
+//!   ([`Page::undelete`]) — rids stay stable across delete+undo, which
+//!   the global-index method depends on. A slot with `offset == 0` is a
+//!   *reclaimed* tombstone (its bytes were compacted away).
+//!
+//! Deleted space is reclaimed by [`Page::compact`], which the heap file
+//! triggers when an insert would otherwise fail despite sufficient dead
+//! space (and which the heap suppresses while a transaction is open).
+
+use pvm_types::{PvmError, Result, SlotId};
+
+/// Page size in bytes. 8 KiB, a common RDBMS default.
+pub const PAGE_SIZE: usize = 8192;
+
+const HEADER_LEN: usize = 4;
+const SLOT_LEN: usize = 4;
+/// High bit of a slot's len field marks a tombstone.
+const TOMBSTONE_BIT: u16 = 0x8000;
+
+/// One slotted page of raw tuple bytes.
+#[derive(Clone)]
+pub struct Page {
+    buf: Box<[u8; PAGE_SIZE]>,
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("slots", &self.slot_count())
+            .field("live", &self.live_count())
+            .field("free", &self.free_space())
+            .finish()
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A fresh, empty page.
+    pub fn new() -> Self {
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        // free_end starts at PAGE_SIZE (no tuples yet).
+        buf[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_be_bytes());
+        Page { buf }
+    }
+
+    fn read_u16(&self, off: usize) -> u16 {
+        u16::from_be_bytes([self.buf[off], self.buf[off + 1]])
+    }
+
+    fn write_u16(&mut self, off: usize, v: u16) {
+        self.buf[off..off + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Number of slots ever allocated (including tombstones).
+    pub fn slot_count(&self) -> usize {
+        self.read_u16(0) as usize
+    }
+
+    fn free_end(&self) -> usize {
+        // free_end == 0 encodes PAGE_SIZE is impossible since header writes
+        // PAGE_SIZE (8192 fits in u16? 8192 < 65536, fine).
+        self.read_u16(2) as usize
+    }
+
+    /// Raw slot: (offset, len-with-flag).
+    fn slot_raw(&self, i: usize) -> (usize, u16) {
+        let base = HEADER_LEN + i * SLOT_LEN;
+        (self.read_u16(base) as usize, self.read_u16(base + 2))
+    }
+
+    /// Decoded slot: (offset, payload len, tombstoned).
+    fn slot(&self, i: usize) -> (usize, usize, bool) {
+        let (off, raw) = self.slot_raw(i);
+        (
+            off,
+            (raw & !TOMBSTONE_BIT) as usize,
+            raw & TOMBSTONE_BIT != 0,
+        )
+    }
+
+    fn set_slot(&mut self, i: usize, offset: usize, len: usize, tombstoned: bool) {
+        let base = HEADER_LEN + i * SLOT_LEN;
+        self.write_u16(base, offset as u16);
+        let raw = len as u16 | if tombstoned { TOMBSTONE_BIT } else { 0 };
+        self.write_u16(base + 2, raw);
+    }
+
+    /// Number of live (non-tombstoned) tuples.
+    pub fn live_count(&self) -> usize {
+        (0..self.slot_count())
+            .filter(|&i| {
+                let (off, _, dead) = self.slot(i);
+                off != 0 && !dead
+            })
+            .count()
+    }
+
+    /// Bytes currently available for a new tuple **with** a new slot entry.
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER_LEN + self.slot_count() * SLOT_LEN;
+        self.free_end()
+            .saturating_sub(dir_end)
+            .saturating_sub(SLOT_LEN)
+    }
+
+    /// Dead bytes held by tombstoned tuples (reclaimable by compaction).
+    pub fn dead_space(&self) -> usize {
+        (0..self.slot_count())
+            .map(|i| {
+                let (off, len, dead) = self.slot(i);
+                if dead && off != 0 {
+                    len
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// Largest tuple that fits in an empty page.
+    pub fn max_tuple_len() -> usize {
+        PAGE_SIZE - HEADER_LEN - SLOT_LEN
+    }
+
+    /// Whether a tuple of `len` bytes fits right now (without compaction).
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() >= len
+    }
+
+    /// Insert tuple bytes; returns the new slot id.
+    pub fn insert(&mut self, tuple: &[u8]) -> Result<SlotId> {
+        if tuple.len() > Self::max_tuple_len() {
+            return Err(PvmError::CapacityExceeded(format!(
+                "tuple of {} bytes exceeds page capacity {}",
+                tuple.len(),
+                Self::max_tuple_len()
+            )));
+        }
+        if !self.fits(tuple.len()) {
+            return Err(PvmError::CapacityExceeded("page full".into()));
+        }
+        let slot_idx = self.slot_count();
+        let new_end = self.free_end() - tuple.len();
+        self.buf[new_end..new_end + tuple.len()].copy_from_slice(tuple);
+        self.write_u16(0, (slot_idx + 1) as u16);
+        self.write_u16(2, new_end as u16);
+        self.set_slot(slot_idx, new_end, tuple.len(), false);
+        Ok(SlotId(slot_idx as u16))
+    }
+
+    /// Read the tuple at `slot`. Errors on tombstones and bad slots.
+    pub fn get(&self, slot: SlotId) -> Result<&[u8]> {
+        let i = slot.0 as usize;
+        if i >= self.slot_count() {
+            return Err(PvmError::InvalidReference(format!("slot {i} out of range")));
+        }
+        let (off, len, dead) = self.slot(i);
+        if off == 0 || dead {
+            return Err(PvmError::NotFound(format!("slot {i} is deleted")));
+        }
+        Ok(&self.buf[off..off + len])
+    }
+
+    /// Tombstone the tuple at `slot`. The payload stays in place so
+    /// [`Page::undelete`] can resurrect it. Idempotent-error: deleting a
+    /// deleted slot errors (callers treat double-delete as a logic bug).
+    pub fn delete(&mut self, slot: SlotId) -> Result<()> {
+        let i = slot.0 as usize;
+        if i >= self.slot_count() {
+            return Err(PvmError::InvalidReference(format!("slot {i} out of range")));
+        }
+        let (off, len, dead) = self.slot(i);
+        if off == 0 || dead {
+            return Err(PvmError::NotFound(format!("slot {i} already deleted")));
+        }
+        self.set_slot(i, off, len, true);
+        Ok(())
+    }
+
+    /// Resurrect a tombstoned tuple in place (transaction abort). Errors
+    /// if the slot is live, reclaimed by compaction, or out of range.
+    pub fn undelete(&mut self, slot: SlotId) -> Result<()> {
+        let i = slot.0 as usize;
+        if i >= self.slot_count() {
+            return Err(PvmError::InvalidReference(format!("slot {i} out of range")));
+        }
+        let (off, len, dead) = self.slot(i);
+        if !dead {
+            return Err(PvmError::InvalidOperation(format!(
+                "slot {i} is not deleted"
+            )));
+        }
+        if off == 0 {
+            return Err(PvmError::InvalidOperation(format!(
+                "slot {i} was compacted away and cannot be resurrected"
+            )));
+        }
+        self.set_slot(i, off, len, false);
+        Ok(())
+    }
+
+    /// Iterate live `(slot, bytes)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> {
+        (0..self.slot_count()).filter_map(move |i| {
+            let (off, len, dead) = self.slot(i);
+            if off == 0 || dead {
+                None
+            } else {
+                Some((SlotId(i as u16), &self.buf[off..off + len]))
+            }
+        })
+    }
+
+    /// Compact tuple data, squeezing out dead space. Slot ids of live
+    /// tuples are preserved (RIDs stay stable); tombstoned slots are
+    /// reclaimed (offset zeroed) and can no longer be resurrected.
+    pub fn compact(&mut self) {
+        let live: Vec<(usize, Vec<u8>)> = (0..self.slot_count())
+            .filter_map(|i| {
+                let (off, len, dead) = self.slot(i);
+                if off == 0 || dead {
+                    None
+                } else {
+                    Some((i, self.buf[off..off + len].to_vec()))
+                }
+            })
+            .collect();
+        let mut end = PAGE_SIZE;
+        for (i, bytes) in live {
+            end -= bytes.len();
+            self.buf[end..end + bytes.len()].copy_from_slice(&bytes);
+            self.set_slot(i, end, bytes.len(), false);
+        }
+        // Reclaim tombstones: offset 0, no resurrect.
+        for i in 0..self.slot_count() {
+            let (off, _, dead) = self.slot(i);
+            if off == 0 || dead {
+                self.set_slot(i, 0, 0, true);
+            }
+        }
+        self.write_u16(2, end as u16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = Page::new();
+        let s1 = p.insert(b"hello").unwrap();
+        let s2 = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(s1).unwrap(), b"hello");
+        assert_eq!(p.get(s2).unwrap(), b"world!");
+        assert_eq!(p.live_count(), 2);
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut p = Page::new();
+        let s = p.insert(b"x").unwrap();
+        p.delete(s).unwrap();
+        assert!(p.get(s).is_err());
+        assert!(p.delete(s).is_err());
+        assert_eq!(p.live_count(), 0);
+        assert_eq!(p.dead_space(), 1);
+    }
+
+    #[test]
+    fn fill_until_full() {
+        let mut p = Page::new();
+        let tuple = [0u8; 100];
+        let mut n = 0;
+        while p.fits(100) {
+            p.insert(&tuple).unwrap();
+            n += 1;
+        }
+        assert!(
+            n >= 70,
+            "8 KiB page should hold many 100-byte tuples, got {n}"
+        );
+        assert!(p.insert(&tuple).is_err());
+    }
+
+    #[test]
+    fn oversized_tuple_rejected() {
+        let mut p = Page::new();
+        let huge = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            p.insert(&huge),
+            Err(PvmError::CapacityExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn compaction_reclaims_and_preserves_slots() {
+        let mut p = Page::new();
+        let s1 = p.insert(b"aaaa").unwrap();
+        let s2 = p.insert(b"bbbb").unwrap();
+        let s3 = p.insert(b"cccc").unwrap();
+        p.delete(s2).unwrap();
+        let free_before = p.free_space();
+        p.compact();
+        assert!(p.free_space() >= free_before + 4);
+        assert_eq!(p.get(s1).unwrap(), b"aaaa");
+        assert_eq!(p.get(s3).unwrap(), b"cccc");
+        assert!(p.get(s2).is_err());
+        assert_eq!(p.dead_space(), 0);
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut p = Page::new();
+        let _a = p.insert(b"a").unwrap();
+        let b = p.insert(b"b").unwrap();
+        let _c = p.insert(b"c").unwrap();
+        p.delete(b).unwrap();
+        let got: Vec<&[u8]> = p.iter().map(|(_, t)| t).collect();
+        assert_eq!(got, vec![b"a".as_ref(), b"c".as_ref()]);
+    }
+
+    #[test]
+    fn out_of_range_slot_errors() {
+        let p = Page::new();
+        assert!(p.get(SlotId(0)).is_err());
+        let mut p = Page::new();
+        assert!(p.delete(SlotId(9)).is_err());
+    }
+}

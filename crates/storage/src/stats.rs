@@ -1,0 +1,195 @@
+//! Per-table statistics: row/byte counts and per-column distinct-value
+//! estimates, maintained incrementally on insert/delete.
+//!
+//! Distinct counting hashes values to 64 bits and keeps exact hash
+//! multiplicities up to a cap, after which the estimate freezes (marked
+//! approximate). This is enough for the join-selectivity arithmetic the
+//! multi-way maintenance planner needs (`N` = matching tuples per value).
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use pvm_types::Row;
+
+/// Cap on tracked distinct hashes per column before freezing.
+const DISTINCT_CAP: usize = 1 << 20;
+
+#[derive(Debug, Clone, Default)]
+struct ColumnStats {
+    /// hash(value) → multiplicity.
+    counts: HashMap<u64, u64>,
+    frozen: bool,
+    frozen_distinct: u64,
+}
+
+impl ColumnStats {
+    fn hash_of(v: &pvm_types::Value) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    fn on_insert(&mut self, v: &pvm_types::Value) {
+        if self.frozen {
+            return;
+        }
+        *self.counts.entry(Self::hash_of(v)).or_insert(0) += 1;
+        if self.counts.len() > DISTINCT_CAP {
+            self.frozen_distinct = self.counts.len() as u64;
+            self.counts.clear();
+            self.frozen = true;
+        }
+    }
+
+    fn on_delete(&mut self, v: &pvm_types::Value) {
+        if self.frozen {
+            return;
+        }
+        let h = Self::hash_of(v);
+        if let Some(c) = self.counts.get_mut(&h) {
+            *c -= 1;
+            if *c == 0 {
+                self.counts.remove(&h);
+            }
+        }
+    }
+
+    fn distinct(&self) -> u64 {
+        if self.frozen {
+            self.frozen_distinct
+        } else {
+            self.counts.len() as u64
+        }
+    }
+}
+
+/// Statistics for one table (or auxiliary relation) at one node.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    rows: u64,
+    bytes: u64,
+    columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    pub fn new(arity: usize) -> Self {
+        TableStats {
+            rows: 0,
+            bytes: 0,
+            columns: vec![ColumnStats::default(); arity],
+        }
+    }
+
+    pub fn on_insert(&mut self, row: &Row) {
+        self.rows += 1;
+        self.bytes += row.byte_size() as u64;
+        for (c, v) in self.columns.iter_mut().zip(row.values()) {
+            c.on_insert(v);
+        }
+    }
+
+    pub fn on_delete(&mut self, row: &Row) {
+        self.rows = self.rows.saturating_sub(1);
+        self.bytes = self.bytes.saturating_sub(row.byte_size() as u64);
+        for (c, v) in self.columns.iter_mut().zip(row.values()) {
+            c.on_delete(v);
+        }
+    }
+
+    pub fn row_count(&self) -> u64 {
+        self.rows
+    }
+
+    /// Total stored tuple bytes (heap payload, excluding page overhead).
+    pub fn byte_size(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Distinct values in `column` (estimate; exact below the cap).
+    pub fn distinct(&self, column: usize) -> u64 {
+        self.columns.get(column).map_or(0, |c| c.distinct())
+    }
+
+    /// Expected matches per join-key value: `rows / distinct(column)`,
+    /// the `N` of the paper's model. Returns 0.0 for empty tables.
+    pub fn matches_per_value(&self, column: usize) -> f64 {
+        let d = self.distinct(column);
+        if d == 0 {
+            0.0
+        } else {
+            self.rows as f64 / d as f64
+        }
+    }
+
+    /// Merge node-local stats into cluster-wide stats.
+    pub fn merge(&mut self, other: &TableStats) {
+        self.rows += other.rows;
+        self.bytes += other.bytes;
+        for (a, b) in self.columns.iter_mut().zip(&other.columns) {
+            if a.frozen || b.frozen {
+                a.frozen_distinct = a.distinct().max(b.distinct());
+                a.frozen = true;
+                a.counts.clear();
+                continue;
+            }
+            for (h, c) in &b.counts {
+                *a.counts.entry(*h).or_insert(0) += c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvm_types::row;
+
+    #[test]
+    fn counts_and_bytes() {
+        let mut s = TableStats::new(2);
+        let r = row![1, "abc"];
+        s.on_insert(&r);
+        s.on_insert(&r);
+        assert_eq!(s.row_count(), 2);
+        assert_eq!(s.byte_size(), 2 * r.byte_size() as u64);
+        s.on_delete(&r);
+        assert_eq!(s.row_count(), 1);
+    }
+
+    #[test]
+    fn distinct_tracks_inserts_and_deletes() {
+        let mut s = TableStats::new(1);
+        for i in 0..100 {
+            s.on_insert(&row![i % 10]);
+        }
+        assert_eq!(s.distinct(0), 10);
+        assert!((s.matches_per_value(0) - 10.0).abs() < 1e-9);
+        // Delete all rows with value 0.
+        for _ in 0..10 {
+            s.on_delete(&row![0]);
+        }
+        assert_eq!(s.distinct(0), 9);
+    }
+
+    #[test]
+    fn empty_table_matches_zero() {
+        let s = TableStats::new(1);
+        assert_eq!(s.matches_per_value(0), 0.0);
+        assert_eq!(s.distinct(5), 0, "out-of-range column reports 0");
+    }
+
+    #[test]
+    fn merge_combines_nodes() {
+        let mut a = TableStats::new(1);
+        let mut b = TableStats::new(1);
+        for i in 0..5 {
+            a.on_insert(&row![i]);
+        }
+        for i in 3..8 {
+            b.on_insert(&row![i]);
+        }
+        a.merge(&b);
+        assert_eq!(a.row_count(), 10);
+        assert_eq!(a.distinct(0), 8);
+    }
+}

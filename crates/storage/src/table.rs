@@ -1,0 +1,549 @@
+//! Table storage: a heap file (stable RIDs), an optional clustered index,
+//! any number of secondary indexes, and incrementally maintained
+//! statistics.
+//!
+//! Abstract-op accounting follows §3.1.1 of the paper and is charged into
+//! the [`CostLedger`] the caller passes in:
+//!
+//! * [`TableStorage::insert`] charges one `INSERT`;
+//! * [`TableStorage::index_search`] charges one `SEARCH`, plus one `FETCH`
+//!   per matching row when the probe goes through a non-clustered index
+//!   (clustered probes return rows straight from the leaf — free fetches);
+//! * [`TableStorage::fetch`] (RID lookup, the global-index access path)
+//!   charges one `FETCH`.
+//!
+//! Physical page traffic is metered independently by the shared
+//! [`crate::BufferPool`] every structure of the node points at.
+
+use pvm_types::{CostKind, CostLedger, PvmError, Result, Rid, Row, SchemaRef};
+
+use crate::buffer::SharedBufferPool;
+use crate::heap::HeapFile;
+use crate::index::{ClusteredIndex, IndexDescriptor, IndexKind, NonClusteredIndex};
+use crate::stats::TableStats;
+use crate::FileId;
+
+/// Physical organization of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Organization {
+    /// Plain heap.
+    Heap,
+    /// Heap + clustered index on `key` (models "relation clustered on its
+    /// partitioning attribute").
+    Clustered { key: Vec<usize> },
+}
+
+/// One table's storage at one node.
+#[derive(Debug)]
+pub struct TableStorage {
+    name: String,
+    schema: SchemaRef,
+    organization: Organization,
+    heap: HeapFile,
+    clustered: Option<ClusteredIndex>,
+    secondary: Vec<(IndexDescriptor, NonClusteredIndex)>,
+    stats: TableStats,
+    buffer: SharedBufferPool,
+    next_file: u32,
+}
+
+impl TableStorage {
+    /// Create table storage. `file_base` seeds FileIds for the heap and all
+    /// indexes of this table (each table gets a disjoint range from its
+    /// node).
+    pub fn new(
+        name: impl Into<String>,
+        schema: SchemaRef,
+        organization: Organization,
+        file_base: u32,
+        buffer: SharedBufferPool,
+    ) -> Self {
+        let name = name.into();
+        let heap = HeapFile::new(FileId(file_base), buffer.clone());
+        let clustered = match &organization {
+            Organization::Heap => None,
+            Organization::Clustered { key } => Some(ClusteredIndex::new(
+                FileId(file_base + 1),
+                key.clone(),
+                buffer.clone(),
+            )),
+        };
+        let arity = schema.arity();
+        TableStorage {
+            name,
+            schema,
+            organization,
+            heap,
+            clustered,
+            secondary: Vec::new(),
+            stats: TableStats::new(arity),
+            buffer,
+            next_file: file_base + 2,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    pub fn organization(&self) -> &Organization {
+        &self.organization
+    }
+
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    pub fn row_count(&self) -> u64 {
+        self.heap.len()
+    }
+
+    /// Heap data pages (the paper's `|R|` in pages).
+    pub fn heap_pages(&self) -> usize {
+        self.heap.page_count()
+    }
+
+    /// Pages across heap + all indexes (storage-overhead accounting).
+    pub fn total_pages(&self) -> usize {
+        self.heap.page_count()
+            + self.clustered.as_ref().map_or(0, |c| c.page_count())
+            + self
+                .secondary
+                .iter()
+                .map(|(_, ix)| ix.page_count())
+                .sum::<usize>()
+    }
+
+    /// Add a secondary (non-clustered) index over `key` columns,
+    /// backfilling from existing rows.
+    pub fn create_secondary_index(
+        &mut self,
+        name: impl Into<String>,
+        key: Vec<usize>,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.secondary.iter().any(|(d, _)| d.name == name) {
+            return Err(PvmError::AlreadyExists(format!("index '{name}'")));
+        }
+        for &c in &key {
+            if c >= self.schema.arity() {
+                return Err(PvmError::InvalidReference(format!("key column {c}")));
+            }
+        }
+        let mut ix =
+            NonClusteredIndex::new(FileId(self.next_file), key.clone(), self.buffer.clone());
+        self.next_file += 1;
+        for (rid, bytes) in self.heap.scan() {
+            let row = Row::decode(&bytes)?;
+            ix.insert(&row, rid)?;
+        }
+        self.secondary
+            .push((IndexDescriptor::new(name, key, IndexKind::NonClustered), ix));
+        Ok(())
+    }
+
+    /// Descriptors of all indexes (clustered first, if any).
+    pub fn indexes(&self) -> Vec<IndexDescriptor> {
+        let mut out = Vec::new();
+        if let Some(c) = &self.clustered {
+            out.push(IndexDescriptor::new(
+                format!("{}_clustered", self.name),
+                c.key_columns().to_vec(),
+                IndexKind::Clustered,
+            ));
+        }
+        for (d, _) in &self.secondary {
+            out.push(d.clone());
+        }
+        out
+    }
+
+    /// Does an index (clustered or secondary) exist whose key is exactly
+    /// `key`?
+    pub fn has_index_on(&self, key: &[usize]) -> bool {
+        self.best_index_on(key).is_some()
+    }
+
+    fn best_index_on(&self, key: &[usize]) -> Option<IndexKind> {
+        if let Some(c) = &self.clustered {
+            if c.key_columns() == key {
+                return Some(IndexKind::Clustered);
+            }
+        }
+        if self.secondary.iter().any(|(d, _)| d.key == key) {
+            return Some(IndexKind::NonClustered);
+        }
+        None
+    }
+
+    /// Insert a row. Charges one `INSERT`.
+    pub fn insert(&mut self, row: Row, ledger: &mut CostLedger) -> Result<Rid> {
+        self.schema.check_row(&row)?;
+        let rid = self.heap.insert(&row.encode())?;
+        if let Some(c) = &mut self.clustered {
+            c.insert(&row)?;
+        }
+        for (_, ix) in &mut self.secondary {
+            ix.insert(&row, rid)?;
+        }
+        self.stats.on_insert(&row);
+        ledger.record(CostKind::Insert, 1);
+        Ok(rid)
+    }
+
+    /// Read the row at `rid` without abstract-op charge (physical page
+    /// traffic is still metered).
+    pub fn get(&self, rid: Rid) -> Result<Row> {
+        Row::decode(&self.heap.get(rid)?)
+    }
+
+    /// Fetch the row at `rid`, charging one `FETCH` — the access performed
+    /// when following a (global or local) non-clustered index entry.
+    pub fn fetch(&self, rid: Rid, ledger: &mut CostLedger) -> Result<Row> {
+        ledger.record(CostKind::Fetch, 1);
+        self.get(rid)
+    }
+
+    /// Delete the row at `rid`. Returns the deleted row.
+    pub fn delete(&mut self, rid: Rid, ledger: &mut CostLedger) -> Result<Row> {
+        let row = self.get(rid)?;
+        self.heap.delete(rid)?;
+        if let Some(c) = &mut self.clustered {
+            c.delete(&row)?;
+        }
+        for (_, ix) in &mut self.secondary {
+            ix.delete(&row, rid)?;
+        }
+        self.stats.on_delete(&row);
+        // Deletion is charged like an insert: locate + write back.
+        ledger.record(CostKind::Insert, 1);
+        Ok(row)
+    }
+
+    /// Delete one row equal to `row` (located via the best index on
+    /// `key_hint` columns if available, else by scan). Returns true if a
+    /// row was deleted.
+    pub fn delete_row(
+        &mut self,
+        row: &Row,
+        key_hint: &[usize],
+        ledger: &mut CostLedger,
+    ) -> Result<bool> {
+        let rid = self.locate(row, key_hint, ledger)?;
+        match rid {
+            Some(rid) => {
+                self.delete(rid, ledger)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Find the RID of one row equal to `row` (public entry point used by
+    /// the global-index maintainer, which must learn a row's rid before
+    /// deleting it so the matching index entry can be removed).
+    pub fn find_rid(
+        &self,
+        row: &Row,
+        key_hint: &[usize],
+        ledger: &mut CostLedger,
+    ) -> Result<Option<Rid>> {
+        self.locate(row, key_hint, ledger)
+    }
+
+    /// Resurrect the row at `rid` (transaction abort): the heap tuple is
+    /// un-tombstoned in place and every index entry re-added. The caller
+    /// supplies the row (captured in the undo record) so indexes need no
+    /// heap read.
+    pub fn undelete(&mut self, rid: Rid, row: &Row) -> Result<()> {
+        self.heap.undelete(rid)?;
+        if let Some(c) = &mut self.clustered {
+            c.insert(row)?;
+        }
+        for (_, ix) in &mut self.secondary {
+            ix.insert(row, rid)?;
+        }
+        self.stats.on_insert(row);
+        Ok(())
+    }
+
+    /// Toggle tombstone preservation on the heap (open transaction).
+    pub fn set_preserve_tombstones(&mut self, preserve: bool) {
+        self.heap.set_preserve_tombstones(preserve);
+    }
+
+    /// Probe the clustered index without abstract-op charging (physical
+    /// page traffic is still metered). Used where the paper's model prices
+    /// the access as something other than a SEARCH — e.g. the single FETCH
+    /// charged per node when a distributed-clustered global index fans out.
+    pub fn clustered_search(&self, key_values: &Row) -> Result<Vec<Row>> {
+        match &self.clustered {
+            Some(c) => c.search(key_values),
+            None => Err(PvmError::InvalidOperation(format!(
+                "table '{}' has no clustered index",
+                self.name
+            ))),
+        }
+    }
+
+    /// Find the RID of one row equal to `row`.
+    fn locate(
+        &self,
+        row: &Row,
+        key_hint: &[usize],
+        ledger: &mut CostLedger,
+    ) -> Result<Option<Rid>> {
+        if !key_hint.is_empty() {
+            if let Some((_, ix)) = self.secondary.iter().find(|(d, _)| d.key == key_hint) {
+                ledger.record(CostKind::Search, 1);
+                let key_vals = row.project(key_hint)?;
+                for rid in ix.search(&key_vals)? {
+                    if &self.fetch(rid, ledger)? == row {
+                        return Ok(Some(rid));
+                    }
+                }
+                return Ok(None);
+            }
+        }
+        // Fall back to a scan.
+        for (rid, bytes) in self.heap.scan() {
+            if &Row::decode(&bytes)? == row {
+                return Ok(Some(rid));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Probe an index whose key columns are exactly `key`, returning all
+    /// matching rows. Charges one `SEARCH`; non-clustered probes charge one
+    /// `FETCH` per matching row as well.
+    pub fn index_search(
+        &self,
+        key: &[usize],
+        key_values: &Row,
+        ledger: &mut CostLedger,
+    ) -> Result<Vec<Row>> {
+        if let Some(c) = &self.clustered {
+            if c.key_columns() == key {
+                ledger.record(CostKind::Search, 1);
+                return c.search(key_values);
+            }
+        }
+        if let Some((_, ix)) = self.secondary.iter().find(|(d, _)| d.key == key) {
+            ledger.record(CostKind::Search, 1);
+            let rids = ix.search(key_values)?;
+            let mut rows = Vec::with_capacity(rids.len());
+            for rid in rids {
+                rows.push(self.fetch(rid, ledger)?);
+            }
+            return Ok(rows);
+        }
+        Err(PvmError::NotFound(format!(
+            "index on {key:?} of table '{}'",
+            self.name
+        )))
+    }
+
+    /// Full scan of `(rid, row)` pairs.
+    pub fn scan(&self) -> Result<Vec<(Rid, Row)>> {
+        self.heap
+            .scan()
+            .map(|(rid, b)| Ok((rid, Row::decode(&b)?)))
+            .collect()
+    }
+
+    /// Ordered scan through the clustered index (sort-merge access path).
+    pub fn clustered_scan(&self) -> Result<Vec<Row>> {
+        match &self.clustered {
+            Some(c) => c.scan().collect(),
+            None => Err(PvmError::InvalidOperation(format!(
+                "table '{}' has no clustered index",
+                self.name
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use pvm_types::{row, Column, Schema, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Column::int("k"),
+            Column::int("c"),
+            Column::str("payload"),
+        ])
+        .into_ref()
+    }
+
+    fn heap_table() -> TableStorage {
+        TableStorage::new(
+            "t",
+            schema(),
+            Organization::Heap,
+            0,
+            BufferPool::shared(512),
+        )
+    }
+
+    fn clustered_table() -> TableStorage {
+        TableStorage::new(
+            "t",
+            schema(),
+            Organization::Clustered { key: vec![1] },
+            0,
+            BufferPool::shared(512),
+        )
+    }
+
+    #[test]
+    fn insert_charges_one_insert_op() {
+        let mut t = heap_table();
+        let mut l = CostLedger::new();
+        t.insert(row![1, 2, "x"], &mut l).unwrap();
+        assert_eq!(l.snapshot().inserts, 1);
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn schema_enforced() {
+        let mut t = heap_table();
+        let mut l = CostLedger::new();
+        assert!(t.insert(row![1, 2], &mut l).is_err());
+        assert!(t.insert(row!["wrong", 2, "x"], &mut l).is_err());
+    }
+
+    #[test]
+    fn clustered_search_no_fetch() {
+        let mut t = clustered_table();
+        let mut l = CostLedger::new();
+        for i in 0..20 {
+            t.insert(row![i, i % 5, "p"], &mut l).unwrap();
+        }
+        l.reset();
+        let rows = t.index_search(&[1], &row![3], &mut l).unwrap();
+        assert_eq!(rows.len(), 4);
+        let s = l.snapshot();
+        assert_eq!(s.searches, 1);
+        assert_eq!(s.fetches, 0, "clustered probe returns rows from the leaf");
+    }
+
+    #[test]
+    fn nonclustered_search_fetches_per_row() {
+        let mut t = heap_table();
+        let mut l = CostLedger::new();
+        for i in 0..20 {
+            t.insert(row![i, i % 5, "p"], &mut l).unwrap();
+        }
+        t.create_secondary_index("t_c", vec![1]).unwrap();
+        l.reset();
+        let rows = t.index_search(&[1], &row![3], &mut l).unwrap();
+        assert_eq!(rows.len(), 4);
+        let s = l.snapshot();
+        assert_eq!(s.searches, 1);
+        assert_eq!(
+            s.fetches, 4,
+            "one FETCH per matching row through a non-clustered index"
+        );
+    }
+
+    #[test]
+    fn missing_index_errors() {
+        let t = heap_table();
+        let mut l = CostLedger::new();
+        assert!(t.index_search(&[1], &row![3], &mut l).is_err());
+    }
+
+    #[test]
+    fn delete_maintains_indexes_and_stats() {
+        let mut t = heap_table();
+        t.create_secondary_index("t_c", vec![1]).unwrap();
+        let mut l = CostLedger::new();
+        let rid = t.insert(row![1, 7, "x"], &mut l).unwrap();
+        t.insert(row![2, 7, "y"], &mut l).unwrap();
+        t.delete(rid, &mut l).unwrap();
+        let rows = t.index_search(&[1], &row![7], &mut l).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(2));
+        assert_eq!(t.stats().row_count(), 1);
+    }
+
+    #[test]
+    fn delete_row_by_value() {
+        let mut t = heap_table();
+        t.create_secondary_index("t_c", vec![1]).unwrap();
+        let mut l = CostLedger::new();
+        t.insert(row![1, 7, "x"], &mut l).unwrap();
+        assert!(t.delete_row(&row![1, 7, "x"], &[1], &mut l).unwrap());
+        assert!(!t.delete_row(&row![1, 7, "x"], &[1], &mut l).unwrap());
+        assert_eq!(t.row_count(), 0);
+        // Fallback path without index hint.
+        t.insert(row![5, 5, "z"], &mut l).unwrap();
+        assert!(t.delete_row(&row![5, 5, "z"], &[], &mut l).unwrap());
+    }
+
+    #[test]
+    fn backfilled_index_sees_existing_rows() {
+        let mut t = heap_table();
+        let mut l = CostLedger::new();
+        for i in 0..10 {
+            t.insert(row![i, 1, "x"], &mut l).unwrap();
+        }
+        t.create_secondary_index("late", vec![1]).unwrap();
+        let rows = t.index_search(&[1], &row![1], &mut l).unwrap();
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = heap_table();
+        t.create_secondary_index("a", vec![0]).unwrap();
+        assert!(t.create_secondary_index("a", vec![1]).is_err());
+        assert!(t.create_secondary_index("b", vec![99]).is_err());
+    }
+
+    #[test]
+    fn clustered_scan_ordered() {
+        let mut t = clustered_table();
+        let mut l = CostLedger::new();
+        for i in (0..30).rev() {
+            t.insert(row![i, i, "x"], &mut l).unwrap();
+        }
+        let rows = t.clustered_scan().unwrap();
+        let keys: Vec<i64> = rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert_eq!(keys, (0..30).collect::<Vec<_>>());
+        assert!(heap_table().clustered_scan().is_err());
+    }
+
+    #[test]
+    fn update_via_delete_insert_keeps_consistency() {
+        let mut t = clustered_table();
+        let mut l = CostLedger::new();
+        let rid = t.insert(row![1, 2, "old"], &mut l).unwrap();
+        t.delete(rid, &mut l).unwrap();
+        t.insert(row![1, 3, "new"], &mut l).unwrap();
+        assert!(t.index_search(&[1], &row![2], &mut l).unwrap().is_empty());
+        assert_eq!(t.index_search(&[1], &row![3], &mut l).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn page_accounting_nonzero() {
+        let mut t = clustered_table();
+        let mut l = CostLedger::new();
+        for i in 0..100 {
+            t.insert(row![i, i, "payloadpayload"], &mut l).unwrap();
+        }
+        assert!(t.heap_pages() >= 1);
+        assert!(
+            t.total_pages() > t.heap_pages(),
+            "clustered index occupies pages too"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Cost accounting primitives.
+//!
+//! The paper's analytical model measures maintenance work in four abstract
+//! operations — `SEND`, `SEARCH`, `FETCH`, `INSERT` — and converts the last
+//! three to I/Os (`SEARCH` = 1, `FETCH` = 1, `INSERT` = 2). The engine
+//! meters the same operations while actually executing maintenance plans,
+//! plus raw buffer-pool page traffic, so model predictions and measured
+//! counts are directly comparable.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// The abstract operations of the paper's cost model, plus physical page
+/// traffic observed at the buffer pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostKind {
+    /// One network message between two nodes.
+    Send,
+    /// One index search (descent to a leaf).
+    Search,
+    /// One fetch of a tuple through a non-clustered index entry.
+    Fetch,
+    /// One insertion into a table / auxiliary relation / global index / view.
+    Insert,
+    /// One physical page read at the buffer pool.
+    PageRead,
+    /// One physical page write at the buffer pool.
+    PageWrite,
+}
+
+/// I/O weights for converting abstract ops to I/Os. Defaults follow §3.1.1
+/// of the paper: SEARCH = 1 I/O, FETCH = 1 I/O, INSERT = 2 I/Os; SEND is
+/// excluded from I/O totals ("the time spent on SEND is much smaller").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoWeights {
+    pub search: f64,
+    pub fetch: f64,
+    pub insert: f64,
+    /// Weight of one SEND when a combined time metric is wanted; zero in
+    /// the paper's I/O-only accounting.
+    pub send: f64,
+}
+
+impl Default for IoWeights {
+    fn default() -> Self {
+        IoWeights {
+            search: 1.0,
+            fetch: 1.0,
+            insert: 2.0,
+            send: 0.0,
+        }
+    }
+}
+
+impl IoWeights {
+    /// Weighted total for a snapshot, in I/Os.
+    pub fn total(&self, s: &CostSnapshot) -> f64 {
+        s.searches as f64 * self.search
+            + s.fetches as f64 * self.fetch
+            + s.inserts as f64 * self.insert
+            + s.sends as f64 * self.send
+    }
+}
+
+/// Latencies for converting op counts into simulated elapsed time — the
+/// "seconds" axis of the paper's Figure 14. Defaults: 8 ms per I/O (a
+/// 2002-era disk access, matching the paper's testbed generation) and
+/// 0.1 ms per SEND ("the time spent on SEND is much smaller").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyProfile {
+    pub io_ms: f64,
+    pub send_ms: f64,
+}
+
+impl Default for LatencyProfile {
+    fn default() -> Self {
+        LatencyProfile {
+            io_ms: 8.0,
+            send_ms: 0.1,
+        }
+    }
+}
+
+impl LatencyProfile {
+    /// Elapsed time one node spends on the ops in `s`, in milliseconds.
+    pub fn node_time_ms(&self, s: &CostSnapshot) -> f64 {
+        s.total_io() * self.io_ms + s.sends as f64 * self.send_ms
+    }
+}
+
+/// An immutable copy of counter state; supports diffing so callers can
+/// meter a region (`after - before`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CostSnapshot {
+    pub sends: u64,
+    pub searches: u64,
+    pub fetches: u64,
+    pub inserts: u64,
+    pub page_reads: u64,
+    pub page_writes: u64,
+    pub bytes_sent: u64,
+}
+
+impl CostSnapshot {
+    /// Paper "total workload" in I/Os with the default weights.
+    pub fn total_io(&self) -> f64 {
+        IoWeights::default().total(self)
+    }
+
+    /// All abstract operations, including SENDs (used when reporting the
+    /// full op breakdown of §3.1.1).
+    pub fn total_ops(&self) -> u64 {
+        self.sends + self.searches + self.fetches + self.inserts
+    }
+
+    pub fn is_zero(&self) -> bool {
+        *self == CostSnapshot::default()
+    }
+}
+
+impl Add for CostSnapshot {
+    type Output = CostSnapshot;
+    fn add(self, o: CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            sends: self.sends + o.sends,
+            searches: self.searches + o.searches,
+            fetches: self.fetches + o.fetches,
+            inserts: self.inserts + o.inserts,
+            page_reads: self.page_reads + o.page_reads,
+            page_writes: self.page_writes + o.page_writes,
+            bytes_sent: self.bytes_sent + o.bytes_sent,
+        }
+    }
+}
+
+impl AddAssign for CostSnapshot {
+    fn add_assign(&mut self, o: CostSnapshot) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for CostSnapshot {
+    type Output = CostSnapshot;
+    /// Saturating diff: `after - before` for metering a region.
+    fn sub(self, o: CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            sends: self.sends.saturating_sub(o.sends),
+            searches: self.searches.saturating_sub(o.searches),
+            fetches: self.fetches.saturating_sub(o.fetches),
+            inserts: self.inserts.saturating_sub(o.inserts),
+            page_reads: self.page_reads.saturating_sub(o.page_reads),
+            page_writes: self.page_writes.saturating_sub(o.page_writes),
+            bytes_sent: self.bytes_sent.saturating_sub(o.bytes_sent),
+        }
+    }
+}
+
+impl fmt::Display for CostSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "send={} search={} fetch={} insert={} (≈{:.0} I/Os; pages r={} w={})",
+            self.sends,
+            self.searches,
+            self.fetches,
+            self.inserts,
+            self.total_io(),
+            self.page_reads,
+            self.page_writes
+        )
+    }
+}
+
+/// A mutable cost counter. One ledger lives in each simulated node; the
+/// interconnect holds its own for SENDs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostLedger {
+    snap: CostSnapshot,
+}
+
+impl CostLedger {
+    pub fn new() -> Self {
+        CostLedger::default()
+    }
+
+    /// Record `n` occurrences of `kind`.
+    pub fn record(&mut self, kind: CostKind, n: u64) {
+        match kind {
+            CostKind::Send => self.snap.sends += n,
+            CostKind::Search => self.snap.searches += n,
+            CostKind::Fetch => self.snap.fetches += n,
+            CostKind::Insert => self.snap.inserts += n,
+            CostKind::PageRead => self.snap.page_reads += n,
+            CostKind::PageWrite => self.snap.page_writes += n,
+        }
+    }
+
+    /// Record a SEND carrying `bytes` payload bytes.
+    pub fn record_send(&mut self, bytes: u64) {
+        self.snap.sends += 1;
+        self.snap.bytes_sent += bytes;
+    }
+
+    pub fn snapshot(&self) -> CostSnapshot {
+        self.snap
+    }
+
+    pub fn reset(&mut self) {
+        self.snap = CostSnapshot::default();
+    }
+
+    /// Fold another ledger's counts into this one (cluster aggregation).
+    pub fn absorb(&mut self, other: &CostLedger) {
+        self.snap += other.snap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_weights() {
+        let mut l = CostLedger::new();
+        l.record(CostKind::Search, 3);
+        l.record(CostKind::Insert, 1);
+        l.record(CostKind::Fetch, 2);
+        l.record(CostKind::Send, 5);
+        let s = l.snapshot();
+        // 3*1 + 2*1 + 1*2 = 7 I/Os; sends excluded by default.
+        assert_eq!(s.total_io(), 7.0);
+        assert_eq!(s.total_ops(), 11);
+        let w = IoWeights {
+            send: 0.1,
+            ..Default::default()
+        };
+        assert!((w.total(&s) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_meters_regions() {
+        let mut l = CostLedger::new();
+        l.record(CostKind::Search, 10);
+        let before = l.snapshot();
+        l.record(CostKind::Search, 4);
+        l.record(CostKind::Insert, 1);
+        let delta = l.snapshot() - before;
+        assert_eq!(delta.searches, 4);
+        assert_eq!(delta.inserts, 1);
+        assert_eq!(delta.total_io(), 6.0);
+    }
+
+    #[test]
+    fn absorb_aggregates() {
+        let mut a = CostLedger::new();
+        let mut b = CostLedger::new();
+        a.record(CostKind::PageRead, 2);
+        b.record(CostKind::PageRead, 3);
+        b.record_send(100);
+        a.absorb(&b);
+        let s = a.snapshot();
+        assert_eq!(s.page_reads, 5);
+        assert_eq!(s.sends, 1);
+        assert_eq!(s.bytes_sent, 100);
+    }
+
+    #[test]
+    fn saturating_diff_never_underflows() {
+        let a = CostSnapshot::default();
+        let mut l = CostLedger::new();
+        l.record(CostKind::Send, 1);
+        let d = a - l.snapshot();
+        assert!(d.is_zero());
+    }
+}

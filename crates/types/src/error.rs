@@ -1,0 +1,62 @@
+//! Error type shared by the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T, E = PvmError> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the PVM stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PvmError {
+    /// A named object (table, view, index, column) does not exist.
+    NotFound(String),
+    /// A named object already exists.
+    AlreadyExists(String),
+    /// A row or value violates a schema.
+    SchemaMismatch(String),
+    /// On-disk / in-page bytes failed to decode.
+    Corrupt(String),
+    /// An operation was asked of a node/page/slot that does not exist.
+    InvalidReference(String),
+    /// The requested operation is not valid in the current state.
+    InvalidOperation(String),
+    /// Storage capacity exceeded (e.g. tuple larger than a page).
+    CapacityExceeded(String),
+}
+
+impl fmt::Display for PvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PvmError::NotFound(s) => write!(f, "not found: {s}"),
+            PvmError::AlreadyExists(s) => write!(f, "already exists: {s}"),
+            PvmError::SchemaMismatch(s) => write!(f, "schema mismatch: {s}"),
+            PvmError::Corrupt(s) => write!(f, "corrupt data: {s}"),
+            PvmError::InvalidReference(s) => write!(f, "invalid reference: {s}"),
+            PvmError::InvalidOperation(s) => write!(f, "invalid operation: {s}"),
+            PvmError::CapacityExceeded(s) => write!(f, "capacity exceeded: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases = [
+            PvmError::NotFound("t".into()),
+            PvmError::AlreadyExists("t".into()),
+            PvmError::SchemaMismatch("x".into()),
+            PvmError::Corrupt("y".into()),
+            PvmError::InvalidReference("z".into()),
+            PvmError::InvalidOperation("w".into()),
+            PvmError::CapacityExceeded("v".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Minimal predicate / projection expressions.
+//!
+//! The paper's auxiliary relations are selections + projections of base
+//! relations (`AR_R = σπ(R)`); this module provides exactly that much
+//! expression language: conjunctions of `column ⊙ literal` comparisons and
+//! ordered column projections.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, Row, Schema, Value};
+
+/// Comparison operators for predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, l: &Value, r: &Value) -> bool {
+        // SQL-ish semantics: any comparison with NULL is false.
+        if l.is_null() || r.is_null() {
+            return false;
+        }
+        let ord = l.cmp(r);
+        match self {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }
+    }
+}
+
+/// One `column ⊙ literal` term.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    pub column: usize,
+    pub op: CmpOp,
+    pub literal: Value,
+}
+
+/// A conjunction of comparisons. The empty conjunction is `TRUE`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Predicate {
+    terms: Vec<Comparison>,
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn always() -> Self {
+        Predicate::default()
+    }
+
+    /// Single-term predicate.
+    pub fn cmp(column: usize, op: CmpOp, literal: impl Into<Value>) -> Self {
+        Predicate {
+            terms: vec![Comparison {
+                column,
+                op,
+                literal: literal.into(),
+            }],
+        }
+    }
+
+    /// AND another term onto this predicate.
+    pub fn and(mut self, column: usize, op: CmpOp, literal: impl Into<Value>) -> Self {
+        self.terms.push(Comparison {
+            column,
+            op,
+            literal: literal.into(),
+        });
+        self
+    }
+
+    pub fn is_trivial(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    pub fn terms(&self) -> &[Comparison] {
+        &self.terms
+    }
+
+    /// Evaluate against a row. Out-of-range columns evaluate to false
+    /// rather than panicking so corrupted plans fail closed.
+    pub fn eval(&self, row: &Row) -> bool {
+        self.terms.iter().all(|t| match row.get(t.column) {
+            Some(v) => t.op.eval(v, &t.literal),
+            None => false,
+        })
+    }
+
+    /// Estimated selectivity for planning: each equality term contributes
+    /// `1/distinct`-ish 0.1, inequalities 0.33 (textbook defaults).
+    pub fn estimated_selectivity(&self) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| match t.op {
+                CmpOp::Eq => 0.1,
+                CmpOp::Ne => 0.9,
+                _ => 0.33,
+            })
+            .product()
+    }
+}
+
+/// An ordered projection of column indices. `Projection::all(n)` is the
+/// identity over an `n`-column schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Projection {
+    indices: Vec<usize>,
+}
+
+impl Projection {
+    pub fn new(indices: Vec<usize>) -> Self {
+        Projection { indices }
+    }
+
+    /// Identity projection over `arity` columns.
+    pub fn all(arity: usize) -> Self {
+        Projection {
+            indices: (0..arity).collect(),
+        }
+    }
+
+    /// Build from column names against a schema.
+    pub fn by_names(schema: &Schema, names: &[&str]) -> Result<Self> {
+        let mut indices = Vec::with_capacity(names.len());
+        for n in names {
+            indices.push(schema.index_of(n)?);
+        }
+        Ok(Projection { indices })
+    }
+
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    pub fn arity(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True if this projection keeps every column of an `arity`-wide schema
+    /// in order.
+    pub fn is_identity_for(&self, arity: usize) -> bool {
+        self.indices.len() == arity && self.indices.iter().copied().eq(0..arity)
+    }
+
+    pub fn apply(&self, row: &Row) -> Result<Row> {
+        row.project(&self.indices)
+    }
+
+    pub fn output_schema(&self, input: &Schema) -> Result<Schema> {
+        input.project(&self.indices)
+    }
+
+    /// Union of kept columns with another projection (sorted, deduped) —
+    /// used when merging auxiliary relations that serve several views.
+    pub fn union(&self, other: &Projection) -> Projection {
+        let mut v: Vec<usize> = self
+            .indices
+            .iter()
+            .chain(other.indices.iter())
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        Projection { indices: v }
+    }
+
+    /// Whether every column this projection keeps is also kept by `other`.
+    pub fn subset_of(&self, other: &Projection) -> bool {
+        self.indices.iter().all(|i| other.indices.contains(i))
+    }
+
+    /// Position of original column `col` in the projected output, if kept.
+    pub fn position_of(&self, col: usize) -> Option<usize> {
+        self.indices.iter().position(|&i| i == col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{row, Column};
+
+    #[test]
+    fn predicate_eval() {
+        let r = row![5, "x"];
+        assert!(Predicate::always().eval(&r));
+        assert!(Predicate::cmp(0, CmpOp::Eq, 5).eval(&r));
+        assert!(!Predicate::cmp(0, CmpOp::Eq, 6).eval(&r));
+        assert!(Predicate::cmp(0, CmpOp::Ge, 5)
+            .and(1, CmpOp::Eq, "x")
+            .eval(&r));
+        assert!(!Predicate::cmp(0, CmpOp::Gt, 5).eval(&r));
+        assert!(Predicate::cmp(0, CmpOp::Ne, 4).eval(&r));
+        assert!(Predicate::cmp(0, CmpOp::Le, 5).eval(&r));
+        assert!(Predicate::cmp(0, CmpOp::Lt, 6).eval(&r));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let r = Row::new(vec![Value::Null]);
+        assert!(!Predicate::cmp(0, CmpOp::Eq, Value::Null).eval(&r));
+        assert!(!Predicate::cmp(0, CmpOp::Ne, 1).eval(&r));
+    }
+
+    #[test]
+    fn out_of_range_column_is_false() {
+        let r = row![1];
+        assert!(!Predicate::cmp(5, CmpOp::Eq, 1).eval(&r));
+    }
+
+    #[test]
+    fn projection_apply() {
+        let r = row![1, "x", 2.0];
+        let p = Projection::new(vec![2, 0]);
+        assert_eq!(p.apply(&r).unwrap(), row![2.0, 1]);
+        assert!(Projection::new(vec![7]).apply(&r).is_err());
+    }
+
+    #[test]
+    fn projection_identity_and_union() {
+        assert!(Projection::all(3).is_identity_for(3));
+        assert!(!Projection::new(vec![0, 2]).is_identity_for(3));
+        let u = Projection::new(vec![2, 0]).union(&Projection::new(vec![1, 2]));
+        assert_eq!(u.indices(), &[0, 1, 2]);
+        assert!(Projection::new(vec![0]).subset_of(&u));
+        assert!(!Projection::new(vec![5]).subset_of(&u));
+    }
+
+    #[test]
+    fn projection_by_names() {
+        let s = Schema::new(vec![Column::int("a"), Column::int("b")]);
+        let p = Projection::by_names(&s, &["b"]).unwrap();
+        assert_eq!(p.indices(), &[1]);
+        assert!(Projection::by_names(&s, &["zz"]).is_err());
+    }
+
+    #[test]
+    fn selectivity_defaults() {
+        let p = Predicate::cmp(0, CmpOp::Eq, 1);
+        assert!((p.estimated_selectivity() - 0.1).abs() < 1e-12);
+        assert!((Predicate::always().estimated_selectivity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn position_of_maps_columns() {
+        let p = Projection::new(vec![3, 1]);
+        assert_eq!(p.position_of(1), Some(1));
+        assert_eq!(p.position_of(3), Some(0));
+        assert_eq!(p.position_of(0), None);
+    }
+}

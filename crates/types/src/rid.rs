@@ -1,0 +1,171 @@
+//! Row identifiers: local (page, slot) and global (node, local rid).
+//!
+//! A *global row id* is the unit stored by the global-index maintenance
+//! method of the paper: `(node id, local row id at that node)`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one data-server node of the parallel RDBMS.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u16)
+    }
+}
+
+/// Page number within one storage file.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PageId(pub u32);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Slot number within one page.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SlotId(pub u16);
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Local row id: a (page, slot) address within one node's heap file.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Rid {
+    pub page: PageId,
+    pub slot: SlotId,
+}
+
+impl Rid {
+    pub fn new(page: u32, slot: u16) -> Self {
+        Rid {
+            page: PageId(page),
+            slot: SlotId(slot),
+        }
+    }
+
+    /// Stable byte encoding used when rids are stored as index payloads.
+    pub fn encode(&self) -> [u8; 6] {
+        let mut out = [0u8; 6];
+        out[..4].copy_from_slice(&self.page.0.to_be_bytes());
+        out[4..].copy_from_slice(&self.slot.0.to_be_bytes());
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> crate::Result<Rid> {
+        if buf.len() < 6 {
+            return Err(crate::PvmError::Corrupt("truncated rid".into()));
+        }
+        let page = u32::from_be_bytes(buf[..4].try_into().expect("len checked"));
+        let slot = u16::from_be_bytes(buf[4..6].try_into().expect("len checked"));
+        Ok(Rid::new(page, slot))
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+/// Global row id: `(node, local rid)` — the payload of a global index entry
+/// in the paper's global-index maintenance method.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct GlobalRid {
+    pub node: NodeId,
+    pub rid: Rid,
+}
+
+impl GlobalRid {
+    pub fn new(node: NodeId, rid: Rid) -> Self {
+        GlobalRid { node, rid }
+    }
+
+    /// Stable byte encoding (2-byte node + 6-byte rid).
+    pub fn encode(&self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[..2].copy_from_slice(&self.node.0.to_be_bytes());
+        out[2..].copy_from_slice(&self.rid.encode());
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> crate::Result<GlobalRid> {
+        if buf.len() < 8 {
+            return Err(crate::PvmError::Corrupt("truncated global rid".into()));
+        }
+        let node = u16::from_be_bytes(buf[..2].try_into().expect("len checked"));
+        let rid = Rid::decode(&buf[2..])?;
+        Ok(GlobalRid {
+            node: NodeId(node),
+            rid,
+        })
+    }
+}
+
+impl fmt::Display for GlobalRid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.rid, self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rid_roundtrip() {
+        let r = Rid::new(123456, 789);
+        assert_eq!(Rid::decode(&r.encode()).unwrap(), r);
+        assert!(Rid::decode(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn global_rid_roundtrip() {
+        let g = GlobalRid::new(NodeId(7), Rid::new(42, 3));
+        assert_eq!(GlobalRid::decode(&g.encode()).unwrap(), g);
+        assert!(GlobalRid::decode(&[0u8; 5]).is_err());
+    }
+
+    #[test]
+    fn ordering_is_node_major() {
+        let a = GlobalRid::new(NodeId(1), Rid::new(999, 999));
+        let b = GlobalRid::new(NodeId(2), Rid::new(0, 0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_forms() {
+        let g = GlobalRid::new(NodeId(3), Rid::new(4, 5));
+        assert_eq!(g.to_string(), "p4:s5@node3");
+    }
+}

@@ -1,0 +1,226 @@
+//! Rows: ordered tuples of [`Value`]s with a compact binary encoding.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PvmError, Result, Value};
+
+/// An ordered tuple of values. Rows are schema-agnostic; validation against
+/// a [`crate::Schema`] happens at table boundaries.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Row(Vec<Value>);
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+
+    /// Value at `idx`, or an error naming the index.
+    pub fn try_get(&self, idx: usize) -> Result<&Value> {
+        self.0
+            .get(idx)
+            .ok_or_else(|| PvmError::InvalidReference(format!("row column {idx}")))
+    }
+
+    pub fn set(&mut self, idx: usize, v: Value) -> Result<()> {
+        let slot = self
+            .0
+            .get_mut(idx)
+            .ok_or_else(|| PvmError::InvalidReference(format!("row column {idx}")))?;
+        *slot = v;
+        Ok(())
+    }
+
+    /// New row keeping only the columns at `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Result<Row> {
+        let mut out = Vec::with_capacity(indices.len());
+        for &i in indices {
+            out.push(self.try_get(i)?.clone());
+        }
+        Ok(Row(out))
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Row(v)
+    }
+
+    /// Estimated stored size in bytes (2-byte count header + values).
+    pub fn byte_size(&self) -> usize {
+        2 + self.0.iter().map(Value::byte_size).sum::<usize>()
+    }
+
+    /// Serialize to a standalone byte buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_size());
+        out.extend_from_slice(&(self.0.len() as u16).to_be_bytes());
+        for v in &self.0 {
+            v.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Deserialize a row previously produced by [`Row::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Row> {
+        let (row, used) = Self::decode_from(buf)?;
+        if used != buf.len() {
+            return Err(PvmError::Corrupt(format!(
+                "trailing {} bytes after row",
+                buf.len() - used
+            )));
+        }
+        Ok(row)
+    }
+
+    /// Deserialize a row from the front of `buf`, returning bytes consumed.
+    pub fn decode_from(buf: &[u8]) -> Result<(Row, usize)> {
+        let n: [u8; 2] = buf
+            .get(..2)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| PvmError::Corrupt("truncated row header".into()))?;
+        let n = u16::from_be_bytes(n) as usize;
+        let mut values = Vec::with_capacity(n);
+        let mut off = 2;
+        for _ in 0..n {
+            let (v, used) = Value::decode_from(&buf[off..])?;
+            values.push(v);
+            off += used;
+        }
+        Ok((Row(values), off))
+    }
+
+    /// Encode the values at `indices` as a composite key (order-preserving
+    /// per component).
+    pub fn encode_key(&self, indices: &[usize]) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        for &i in indices {
+            self.try_get(i)?.encode_into(&mut out);
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v)
+    }
+}
+
+impl std::ops::Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+/// Build a row from literal-ish values: `row![1, "x", 2.5]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Row {
+        Row::new(vec![
+            Value::Int(7),
+            Value::from("hi"),
+            Value::Float(1.25),
+            Value::Null,
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let r = sample();
+        let enc = r.encode();
+        assert_eq!(Row::decode(&enc).unwrap(), r);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut enc = sample().encode();
+        enc.push(0xAB);
+        assert!(Row::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let r = sample();
+        let p = r.project(&[2, 0]).unwrap();
+        assert_eq!(p, Row::new(vec![Value::Float(1.25), Value::Int(7)]));
+        assert!(r.project(&[99]).is_err());
+        let c = p.concat(&Row::new(vec![Value::Bool(true)]));
+        assert_eq!(c.arity(), 3);
+    }
+
+    #[test]
+    fn composite_key_orders() {
+        let a = row![1, "a"];
+        let b = row![1, "b"];
+        let c = row![2, "a"];
+        let ka = a.encode_key(&[0, 1]).unwrap();
+        let kb = b.encode_key(&[0, 1]).unwrap();
+        let kc = c.encode_key(&[0, 1]).unwrap();
+        assert!(ka < kb && kb < kc);
+    }
+
+    #[test]
+    fn byte_size_tracks_encoding() {
+        let r = sample();
+        assert_eq!(r.byte_size(), r.encode().len());
+    }
+
+    #[test]
+    fn row_macro() {
+        let r = row![1, "x", 2.5, true];
+        assert_eq!(r.arity(), 4);
+        assert_eq!(r[0], Value::Int(1));
+        assert_eq!(r[3], Value::Bool(true));
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut r = sample();
+        r.set(0, Value::Int(99)).unwrap();
+        assert_eq!(r.try_get(0).unwrap(), &Value::Int(99));
+        assert!(r.set(42, Value::Null).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Value distributions for join attributes.
+//!
+//! The analytical model assumes inserted tuples are "uniformly distributed
+//! on the join attribute" (assumption 9); [`Zipf`] lets experiments probe
+//! what skew does to the methods (skew concentrates AR/GI work on fewer
+//! nodes and inflates `N` for hot values).
+
+use rand::{Rng, RngCore};
+
+/// A distribution over `0..domain` join-attribute values. Object-safe so
+/// experiment harnesses can sweep `Box<dyn Distribution>` values.
+pub trait Distribution {
+    /// Number of distinct values.
+    fn domain(&self) -> u64;
+    /// Sample one value.
+    fn sample(&self, rng: &mut dyn RngCore) -> u64;
+}
+
+/// Uniform over `0..domain`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    domain: u64,
+}
+
+impl Uniform {
+    pub fn new(domain: u64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        Uniform { domain }
+    }
+}
+
+impl Distribution for Uniform {
+    fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    fn sample(&self, mut rng: &mut dyn RngCore) -> u64 {
+        (&mut rng).gen_range(0..self.domain)
+    }
+}
+
+/// Zipf over `0..domain` with exponent `s` (via inverse-CDF lookup on a
+/// precomputed table; exact, O(log domain) per sample).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, cdf[i] = P(value <= i).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(domain: u64, s: f64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(domain as usize);
+        let mut total = 0.0;
+        for i in 1..=domain {
+            total += 1.0 / (i as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+}
+
+impl Distribution for Zipf {
+    fn domain(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    fn sample(&self, mut rng: &mut dyn RngCore) -> u64 {
+        let u: f64 = (&mut rng).gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_covers_domain_evenly() {
+        let d = Uniform::new(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "uniform too skewed: {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_small_values() {
+        let d = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0u32;
+        const SAMPLES: u32 = 10_000;
+        for _ in 0..SAMPLES {
+            if d.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s = 1 over 100 values, the top 10 values carry ~56% of mass.
+        assert!(head > SAMPLES / 2, "zipf head too light: {head}");
+        assert!(head < SAMPLES * 7 / 10);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let d = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c));
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let u = Uniform::new(3);
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(u.sample(&mut rng) < 3);
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(u.domain(), 3);
+        assert_eq!(z.domain(), 3);
+    }
+}

@@ -1,0 +1,324 @@
+//! The TPC-R-shaped dataset of the paper's §3.3 Teradata experiments.
+//!
+//! Three relations following the standard TPC-R schema (Table 1 of the
+//! paper), with the partitioning the paper states (underlined attributes):
+//!
+//! * `customer(custkey, acctbal, name)` — partitioned on `custkey`;
+//! * `orders(orderkey, custkey, totalprice)` — partitioned on `orderkey`;
+//! * `lineitem(orderkey, partkey, suppkey, extendedprice, discount)` —
+//!   partitioned on `partkey`.
+//!
+//! Match structure, exactly as in the paper: *each customer tuple matches
+//! one orders tuple on custkey; each orders tuple matches 4 lineitem
+//! tuples on orderkey.* Paper scale is 0.15M / 1.5M / 6M rows (25 / 178 /
+//! 764 MB); [`TpcrScale`] keeps the 1 : 10 : 40 row ratio at any size.
+//!
+//! The two views under test:
+//!
+//! * **JV1** = customer ⋈ orders on custkey
+//!   (`select c.custkey, c.acctbal, o.orderkey, o.totalprice …`);
+//! * **JV2** = customer ⋈ orders ⋈ lineitem on custkey and orderkey.
+
+use pvm_core::{JoinViewDef, ViewColumn, ViewEdge};
+use pvm_engine::{Cluster, TableDef, TableId};
+use pvm_types::{row, Column, Result, Row, Schema};
+
+/// Scale knob: everything derives from the number of customers, keeping
+/// the paper's 1 : 10 : 40 ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpcrScale {
+    pub customers: u64,
+}
+
+impl TpcrScale {
+    /// The paper's Table 1 (0.15M customers). Too large for unit tests;
+    /// used by the figure benches at reduced ratio.
+    pub fn paper() -> Self {
+        TpcrScale { customers: 150_000 }
+    }
+
+    /// A small scale for tests and examples.
+    pub fn tiny() -> Self {
+        TpcrScale { customers: 200 }
+    }
+
+    pub fn orders(&self) -> u64 {
+        self.customers * 10
+    }
+
+    pub fn lineitems(&self) -> u64 {
+        self.orders() * 4
+    }
+}
+
+/// Table ids of an installed TPC-R dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct TpcrTables {
+    pub customer: TableId,
+    pub orders: TableId,
+    pub lineitem: TableId,
+}
+
+/// Generator + installer for the dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct TpcrDataset {
+    pub scale: TpcrScale,
+}
+
+impl TpcrDataset {
+    pub fn new(scale: TpcrScale) -> Self {
+        TpcrDataset { scale }
+    }
+
+    pub fn customer_schema() -> Schema {
+        Schema::new(vec![
+            Column::int("custkey"),
+            Column::float("acctbal"),
+            Column::str("name"),
+        ])
+    }
+
+    pub fn orders_schema() -> Schema {
+        Schema::new(vec![
+            Column::int("orderkey"),
+            Column::int("custkey"),
+            Column::float("totalprice"),
+        ])
+    }
+
+    pub fn lineitem_schema() -> Schema {
+        Schema::new(vec![
+            Column::int("orderkey"),
+            Column::int("partkey"),
+            Column::int("suppkey"),
+            Column::float("extendedprice"),
+            Column::float("discount"),
+        ])
+    }
+
+    /// Customer rows. Custkeys `0..customers`.
+    pub fn customer_rows(&self) -> Vec<Row> {
+        (0..self.scale.customers)
+            .map(|k| {
+                row![
+                    k as i64,
+                    (k % 10_000) as f64 / 100.0,
+                    format!("Customer#{k:09}")
+                ]
+            })
+            .collect()
+    }
+
+    /// Orders rows. Only every 10th order belongs to an existing customer
+    /// key range slot — the paper's setup has 10× more orders than
+    /// customers yet *each customer matches exactly one order*: custkey of
+    /// order `o` is `o` when `o < customers`, else a key beyond the
+    /// customer range (so it matches nothing).
+    pub fn orders_rows(&self) -> Vec<Row> {
+        let c = self.scale.customers as i64;
+        (0..self.scale.orders())
+            .map(|o| {
+                let custkey = if (o as i64) < c {
+                    o as i64
+                } else {
+                    c + o as i64
+                };
+                row![o as i64, custkey, (o % 100_000) as f64 / 10.0]
+            })
+            .collect()
+    }
+
+    /// Lineitem rows: 4 per order, on the order's key.
+    pub fn lineitem_rows(&self) -> Vec<Row> {
+        let mut out = Vec::with_capacity(self.scale.lineitems() as usize);
+        for o in 0..self.scale.orders() {
+            for l in 0..4 {
+                let i = o * 4 + l;
+                out.push(row![
+                    o as i64,
+                    (i % 200_000) as i64,
+                    (i % 10_000) as i64,
+                    (i % 1_000_000) as f64 / 100.0,
+                    (i % 11) as f64 / 100.0
+                ]);
+            }
+        }
+        out
+    }
+
+    /// Create and load the three tables. Partitioning per the paper;
+    /// clustered on the partitioning attribute (Teradata behaviour).
+    pub fn install(&self, cluster: &mut Cluster) -> Result<TpcrTables> {
+        let customer = cluster.create_table(TableDef::hash_clustered(
+            "customer",
+            Self::customer_schema().into_ref(),
+            0,
+        ))?;
+        let orders = cluster.create_table(TableDef::hash_clustered(
+            "orders",
+            Self::orders_schema().into_ref(),
+            0,
+        ))?;
+        let lineitem = cluster.create_table(TableDef::hash_clustered(
+            "lineitem",
+            Self::lineitem_schema().into_ref(),
+            1,
+        ))?;
+        cluster.insert(customer, self.customer_rows())?;
+        cluster.insert(orders, self.orders_rows())?;
+        cluster.insert(lineitem, self.lineitem_rows())?;
+        Ok(TpcrTables {
+            customer,
+            orders,
+            lineitem,
+        })
+    }
+
+    /// Fresh customer delta rows (keys beyond every existing custkey range)
+    /// that each match exactly one existing order — the §3.3 insert
+    /// workload ("these tuples each have one matching tuple in the orders
+    /// relation"). Orders `customers..2·customers` carry custkeys
+    /// `2·customers..3·customers`, so delta custkeys target that range.
+    pub fn customer_delta(&self, count: u64) -> Vec<Row> {
+        let c = self.scale.customers as i64;
+        (0..count as i64)
+            .map(|i| {
+                let custkey = 2 * c + i; // matches order (c + i)'s custkey
+                row![custkey, 0.0, format!("DeltaCustomer#{i:09}")]
+            })
+            .collect()
+    }
+
+    /// JV1 = customer ⋈ orders on custkey, projecting
+    /// (custkey, acctbal, orderkey, totalprice); partitioned on custkey.
+    pub fn jv1() -> JoinViewDef {
+        JoinViewDef {
+            name: "jv1".into(),
+            relations: vec!["customer".into(), "orders".into()],
+            edges: vec![ViewEdge::new(ViewColumn::new(0, 0), ViewColumn::new(1, 1))],
+            projection: vec![
+                ViewColumn::new(0, 0), // c.custkey
+                ViewColumn::new(0, 1), // c.acctbal
+                ViewColumn::new(1, 0), // o.orderkey
+                ViewColumn::new(1, 2), // o.totalprice
+            ],
+            partition_column: 0,
+        }
+    }
+
+    /// Revenue-per-customer aggregate over JV1's join:
+    /// `SELECT c.custkey, COUNT(*), SUM(o.totalprice) FROM customer c,
+    /// orders o WHERE c.custkey = o.custkey GROUP BY c.custkey`.
+    pub fn revenue_view() -> (JoinViewDef, pvm_core::AggShape) {
+        let def = JoinViewDef {
+            name: "revenue".into(),
+            relations: vec!["customer".into(), "orders".into()],
+            edges: vec![ViewEdge::new(ViewColumn::new(0, 0), ViewColumn::new(1, 1))],
+            projection: vec![
+                ViewColumn::new(0, 0), // group: custkey
+                ViewColumn::new(1, 2), // summed: totalprice
+            ],
+            partition_column: 0,
+        };
+        let shape = pvm_core::AggShape {
+            group_by: vec![0],
+            aggregates: vec![pvm_core::AggSpec::count(), pvm_core::AggSpec::sum(1)],
+        };
+        (def, shape)
+    }
+
+    /// JV2 = customer ⋈ orders ⋈ lineitem, projecting
+    /// (custkey, acctbal, orderkey, totalprice, discount, extendedprice).
+    pub fn jv2() -> JoinViewDef {
+        JoinViewDef {
+            name: "jv2".into(),
+            relations: vec!["customer".into(), "orders".into(), "lineitem".into()],
+            edges: vec![
+                ViewEdge::new(ViewColumn::new(0, 0), ViewColumn::new(1, 1)),
+                ViewEdge::new(ViewColumn::new(1, 0), ViewColumn::new(2, 0)),
+            ],
+            projection: vec![
+                ViewColumn::new(0, 0), // c.custkey
+                ViewColumn::new(0, 1), // c.acctbal
+                ViewColumn::new(1, 0), // o.orderkey
+                ViewColumn::new(1, 2), // o.totalprice
+                ViewColumn::new(2, 4), // l.discount
+                ViewColumn::new(2, 3), // l.extendedprice
+            ],
+            partition_column: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvm_engine::ClusterConfig;
+    use pvm_types::Value;
+
+    #[test]
+    fn scale_ratios() {
+        let s = TpcrScale::paper();
+        assert_eq!(s.customers, 150_000);
+        assert_eq!(s.orders(), 1_500_000);
+        assert_eq!(s.lineitems(), 6_000_000);
+    }
+
+    #[test]
+    fn each_customer_matches_one_order() {
+        let d = TpcrDataset::new(TpcrScale::tiny());
+        let customers = d.customer_rows();
+        let orders = d.orders_rows();
+        for c in &customers {
+            let ck = &c[0];
+            let matches = orders.iter().filter(|o| &o[1] == ck).count();
+            assert_eq!(matches, 1, "custkey {ck} must match exactly one order");
+        }
+    }
+
+    #[test]
+    fn each_order_matches_four_lineitems() {
+        let d = TpcrDataset::new(TpcrScale::tiny());
+        let lineitems = d.lineitem_rows();
+        let orders = d.orders_rows();
+        assert_eq!(lineitems.len(), orders.len() * 4);
+        let probe = &orders[17][0];
+        let matches = lineitems.iter().filter(|l| &l[0] == probe).count();
+        assert_eq!(matches, 4);
+    }
+
+    #[test]
+    fn install_and_views_validate() {
+        let mut cluster = Cluster::new(ClusterConfig::new(2).with_buffer_pages(512));
+        let d = TpcrDataset::new(TpcrScale { customers: 50 });
+        let t = d.install(&mut cluster).unwrap();
+        assert_eq!(cluster.row_count(t.customer).unwrap(), 50);
+        assert_eq!(cluster.row_count(t.orders).unwrap(), 500);
+        assert_eq!(cluster.row_count(t.lineitem).unwrap(), 2000);
+        TpcrDataset::jv1().validate(&cluster).unwrap();
+        TpcrDataset::jv2().validate(&cluster).unwrap();
+    }
+
+    #[test]
+    fn delta_customers_match_one_order_each() {
+        let d = TpcrDataset::new(TpcrScale::tiny());
+        let orders = d.orders_rows();
+        for delta in d.customer_delta(16) {
+            let matches = orders.iter().filter(|o| o[1] == delta[0]).count();
+            assert_eq!(
+                matches, 1,
+                "delta custkey {} must match one order",
+                delta[0]
+            );
+        }
+    }
+
+    #[test]
+    fn delta_keys_are_fresh() {
+        let d = TpcrDataset::new(TpcrScale::tiny());
+        let existing: Vec<Value> = d.customer_rows().iter().map(|r| r[0].clone()).collect();
+        for delta in d.customer_delta(8) {
+            assert!(!existing.contains(&delta[0]));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: create a parallel cluster, define a materialized join
+//! view, and watch each maintenance method propagate one insert.
+//!
+//! ```sh
+//! cargo run -p pvm --example quickstart
+//! ```
+
+use pvm::prelude::*;
+
+fn main() -> Result<()> {
+    // An 8-node shared-nothing cluster, 100 buffer pages per node.
+    println!("== pvm quickstart: 8-node cluster, JV = A ⋈ B on A.c = B.d ==\n");
+
+    for method in [
+        MaintenanceMethod::Naive,
+        MaintenanceMethod::AuxiliaryRelation,
+        MaintenanceMethod::GlobalIndex,
+    ] {
+        let mut cluster = Cluster::new(ClusterConfig::new(8).with_buffer_pages(512));
+
+        // Base relations A(a, c) and B(b, d), hash-partitioned on their
+        // first columns — NOT on the join attributes (the hard case).
+        let schema = |k: &str, j: &str| {
+            Schema::new(vec![Column::int(k), Column::int(j), Column::str("payload")]).into_ref()
+        };
+        let a = cluster.create_table(TableDef::hash_heap("A", schema("a", "c"), 0))?;
+        let b = cluster.create_table(TableDef::hash_heap("B", schema("b", "d"), 0))?;
+
+        // 1,000 B rows over 100 join values → each insert into A joins
+        // with N = 10 B tuples.
+        cluster.insert(a, (0..100).map(|i| row![i, i % 100, "a-row"]).collect())?;
+        cluster.insert(b, (0..1000).map(|i| row![i, i % 100, "b-row"]).collect())?;
+
+        // The materialized view, maintained under `method`.
+        let def = JoinViewDef::two_way("JV", "A", "B", 1, 1, 3, 3);
+        let mut view = MaintainedView::create(&mut cluster, def, method)?;
+
+        // One single-node insert into A…
+        let out = view.apply(&mut cluster, 0, &Delta::insert_one(row![9999, 42, "new"]))?;
+
+        // …and what it cost under this method.
+        println!("method: {}", method.label());
+        println!("  join rows produced : {}", out.view_rows);
+        println!(
+            "  total workload     : {:>5.0} I/Os (paper model: AR=3, GI=3+N, naive=L+N)",
+            out.tw_io()
+        );
+        println!(
+            "  nodes doing work   : {:>5} of 8",
+            out.compute_active_nodes()
+        );
+        println!("  messages sent      : {:>5}", out.sends());
+        println!(
+            "  extra storage      : {:>5} pages",
+            view.storage_overhead_pages(&cluster)?
+        );
+
+        // The view is exactly the join, always.
+        view.check_consistent(&cluster)?;
+        println!("  consistency        :    ok\n");
+    }
+
+    println!("All three methods maintain identical views — they differ only in cost.");
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Interactive SQL shell over a PVM cluster — the paper's experiments,
+//! typeable.
+//!
+//! ```sh
+//! cargo run -p pvm --release --example sql_repl            # 4 nodes
+//! cargo run -p pvm --release --example sql_repl -- 8       # 8 nodes
+//! ```
+//!
+//! When stdin is not a terminal it reads a script and exits, so
+//! `cargo run … --example sql_repl < script.sql` works too. With no
+//! input at all, a short demo script runs.
+
+use std::io::{BufRead, IsTerminal, Write};
+
+use pvm::prelude::*;
+
+const DEMO: &str = "\
+CREATE TABLE customer (custkey INT, acctbal FLOAT, name STR) PARTITION BY HASH(custkey) CLUSTERED;
+CREATE TABLE orders (orderkey INT, custkey INT, totalprice FLOAT) PARTITION BY HASH(orderkey) CLUSTERED;
+INSERT INTO customer VALUES (1, 100.0, 'Alice'), (2, 70.5, 'Bob'), (3, 12.25, 'Carol');
+INSERT INTO orders VALUES (10, 1, 500.0), (11, 2, 42.0), (12, 2, 77.0);
+CREATE VIEW jv1 USING AUXILIARY RELATION AS SELECT c.custkey, c.acctbal, o.orderkey, o.totalprice FROM customer c, orders o WHERE c.custkey = o.custkey PARTITION ON c.custkey;
+CREATE VIEW revenue USING AUXILIARY RELATION AS SELECT c.custkey, COUNT(*), SUM(o.totalprice) FROM customer c, orders o WHERE c.custkey = o.custkey GROUP BY c.custkey;
+SELECT * FROM jv1;
+INSERT INTO orders VALUES (13, 3, 8.0);
+SELECT * FROM jv1 WHERE custkey = 3;
+SELECT * FROM revenue;
+CHECK VIEW jv1;
+CHECK VIEW revenue;
+EXPLAIN MAINTENANCE OF jv1 ON customer;
+SHOW TABLES;
+SHOW VIEWS;
+SHOW COST;
+";
+
+fn print_output(out: &SqlOutput) {
+    if let Some((schema, rows)) = &out.rows {
+        println!("{}", schema.names().join(" | "));
+        for r in rows {
+            let cells: Vec<String> = r.values().iter().map(|v| v.to_string()).collect();
+            println!("{}", cells.join(" | "));
+        }
+    }
+    println!("-- {}", out.message);
+}
+
+fn run_line(session: &mut Session, line: &str) {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return;
+    }
+    match session.execute(trimmed) {
+        Ok(outputs) => {
+            for out in &outputs {
+                print_output(out);
+            }
+        }
+        Err(e) => println!("!! {e}"),
+    }
+}
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let mut session = Session::new(ClusterConfig::new(nodes).with_buffer_pages(1_000));
+    let stdin = std::io::stdin();
+
+    if stdin.is_terminal() {
+        println!("pvm sql shell — {nodes} data-server nodes; end statements with ';'");
+        println!("(try: CREATE TABLE t (x INT, y INT) PARTITION BY HASH(x); )");
+        let mut buffer = String::new();
+        loop {
+            print!("pvm> ");
+            std::io::stdout().flush().ok();
+            let mut line = String::new();
+            if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+                break;
+            }
+            buffer.push_str(&line);
+            if buffer.trim_end().ends_with(';') {
+                run_line(&mut session, &std::mem::take(&mut buffer));
+            }
+        }
+        return;
+    }
+
+    // Non-interactive: read everything, else run the demo.
+    let mut script = String::new();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        script.push_str(&line);
+        script.push('\n');
+    }
+    if script.trim().is_empty() {
+        script = DEMO.to_string();
+        println!("(no input; running the built-in demo script)\n{script}");
+    }
+    for stmt in script.split(';') {
+        if !stmt.trim().is_empty() {
+            run_line(&mut session, &format!("{stmt};"));
+        }
+    }
+}

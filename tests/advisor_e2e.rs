@@ -1,0 +1,92 @@
+//! The cost-based advisor end-to-end on live clusters: estimates `N`,
+//! `|B|`, and structure sizes from real catalog statistics and recommends
+//! a method per the conclusion's heuristics.
+
+use pvm::prelude::*;
+
+fn setup() -> Cluster {
+    let mut cluster = Cluster::new(ClusterConfig::new(8).with_buffer_pages(100));
+    // Neither relation partitioned on the join attribute; B has fan-out 8.
+    SyntheticRelation::new("a", 2_000, 2_000)
+        .with_payload_len(512)
+        .install(&mut cluster)
+        .unwrap();
+    SyntheticRelation::new("b", 16_000, 2_000)
+        .with_payload_len(512)
+        .install(&mut cluster)
+        .unwrap();
+    cluster
+}
+
+fn def() -> JoinViewDef {
+    JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3)
+}
+
+#[test]
+fn small_updates_large_budget_pick_ar() {
+    let cluster = setup();
+    let advice = advise(&cluster, &def(), 64, u64::MAX).unwrap();
+    assert_eq!(advice.recommendation, Recommendation::AuxiliaryRelation);
+    assert_eq!(advice.options.len(), 3);
+}
+
+#[test]
+fn zero_budget_forces_naive() {
+    let cluster = setup();
+    let advice = advise(&cluster, &def(), 64, 0).unwrap();
+    assert_eq!(advice.recommendation, Recommendation::Naive);
+    // The unaffordable options are still priced and visible.
+    assert!(advice
+        .options
+        .iter()
+        .any(|o| o.method == Recommendation::AuxiliaryRelation && !o.affordable));
+}
+
+#[test]
+fn mid_budget_falls_back_to_global_index() {
+    let cluster = setup();
+    let full = advise(&cluster, &def(), 64, u64::MAX).unwrap();
+    let ar_pages = full
+        .options
+        .iter()
+        .find(|o| o.method == Recommendation::AuxiliaryRelation)
+        .unwrap()
+        .extra_pages;
+    let gi_pages = full
+        .options
+        .iter()
+        .find(|o| o.method == Recommendation::GlobalIndex)
+        .unwrap()
+        .extra_pages;
+    assert!(gi_pages < ar_pages, "GI must be the cheaper structure");
+    // A budget between the two affords the GI but not the AR.
+    let budget = (gi_pages + ar_pages) / 2;
+    let advice = advise(&cluster, &def(), 64, budget).unwrap();
+    assert_eq!(advice.recommendation, Recommendation::GlobalIndex);
+}
+
+#[test]
+fn estimated_params_reflect_statistics() {
+    let cluster = setup();
+    let advice = advise(&cluster, &def(), 64, u64::MAX).unwrap();
+    assert_eq!(advice.params.l, 8);
+    assert_eq!(advice.params.n, 8, "fan-out of b is 16,000 / 2,000 = 8");
+    assert!(advice.params.b_pages >= 1);
+}
+
+#[test]
+fn huge_updates_recommend_naive() {
+    let cluster = setup();
+    // Updates comparable to the relation size: the Fig. 10 regime.
+    let b_pages = cluster.heap_pages(cluster.table_id("b").unwrap()).unwrap() as u64;
+    let advice = advise(&cluster, &def(), b_pages * 50, u64::MAX).unwrap();
+    assert_eq!(advice.recommendation, Recommendation::Naive);
+}
+
+#[test]
+fn advisor_validates_the_definition() {
+    let cluster = setup();
+    let mut bad = def();
+    bad.relations[1] = "missing".into();
+    assert!(advise(&cluster, &bad, 64, 0).is_err());
+}

@@ -1,0 +1,407 @@
+//! Aggregate join views: COUNT/SUM over a maintained join, grouped —
+//! folded incrementally at the group's home node under all three
+//! maintenance methods.
+
+use pvm::core::{AggShape, AggSpec};
+use pvm::prelude::*;
+
+fn methods() -> [MaintenanceMethod; 3] {
+    [
+        MaintenanceMethod::Naive,
+        MaintenanceMethod::AuxiliaryRelation,
+        MaintenanceMethod::GlobalIndex,
+    ]
+}
+
+/// orders(id, custkey, price) ⋈ lineitem(id, orderkey, qty) style pair:
+/// a(id, g, x) joins b(id, g, y) on g. The view groups by a.g and sums
+/// b.y — revenue-per-key, the canonical warehouse aggregate.
+fn setup(l: usize) -> Cluster {
+    let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(512));
+    let schema = || {
+        Schema::new(vec![
+            Column::int("id"),
+            Column::int("g"),
+            Column::float("y"),
+        ])
+        .into_ref()
+    };
+    cluster
+        .create_table(TableDef::hash_heap("a", schema(), 0))
+        .unwrap();
+    cluster
+        .create_table(TableDef::hash_heap("b", schema(), 0))
+        .unwrap();
+    let a = cluster.table_id("a").unwrap();
+    let b = cluster.table_id("b").unwrap();
+    cluster
+        .insert(a, (0..12).map(|i| row![i, i % 4, 0.0]).collect())
+        .unwrap();
+    cluster
+        .insert(b, (0..12).map(|i| row![i, i % 4, (i % 4) as f64]).collect())
+        .unwrap();
+    cluster
+}
+
+/// Join projecting (a.g, b.y); aggregate = GROUP BY a.g: COUNT(*), SUM(b.y).
+fn agg_def() -> (JoinViewDef, AggShape) {
+    let def = JoinViewDef {
+        name: "rev".into(),
+        relations: vec!["a".into(), "b".into()],
+        edges: vec![ViewEdge::new(ViewColumn::new(0, 1), ViewColumn::new(1, 1))],
+        projection: vec![ViewColumn::new(0, 1), ViewColumn::new(1, 2)],
+        partition_column: 0,
+    };
+    let shape = AggShape {
+        group_by: vec![0],
+        aggregates: vec![AggSpec::count(), AggSpec::sum(1)],
+    };
+    (def, shape)
+}
+
+#[test]
+fn create_populates_groups() {
+    for m in methods() {
+        let mut cluster = setup(3);
+        let (def, shape) = agg_def();
+        let view = MaintainedView::create_aggregate(&mut cluster, def, shape, m).unwrap();
+        let mut rows = view.contents(&cluster).unwrap();
+        rows.sort();
+        // 4 groups; each has 3 a-rows × 3 b-rows = 9 join rows; SUM(y) =
+        // 9 · g (every matching b-row carries y = g).
+        assert_eq!(rows.len(), 4, "{m:?}");
+        for r in &rows {
+            let g = r[0].as_int().unwrap();
+            assert_eq!(r[1], Value::Int(9), "__count");
+            assert_eq!(r[2], Value::Int(9), "COUNT(*)");
+            assert_eq!(r[3], Value::Float(9.0 * g as f64), "SUM(y)");
+        }
+        view.check_consistent(&cluster).unwrap();
+    }
+}
+
+#[test]
+fn inserts_fold_and_deletes_unfold() {
+    for m in methods() {
+        let mut cluster = setup(3);
+        let (def, shape) = agg_def();
+        let mut view = MaintainedView::create_aggregate(&mut cluster, def, shape, m).unwrap();
+
+        // New a-row in group 2: +3 join rows, SUM grows by 3·2.
+        let out = view
+            .apply(&mut cluster, 0, &Delta::insert_one(row![100, 2, 0.0]))
+            .unwrap();
+        assert_eq!(out.view_rows, 3, "{m:?}");
+        view.check_consistent(&cluster).unwrap();
+        let g2 = view
+            .contents(&cluster)
+            .unwrap()
+            .into_iter()
+            .find(|r| r[0] == Value::Int(2))
+            .unwrap();
+        assert_eq!(g2[2], Value::Int(12));
+        assert_eq!(g2[3], Value::Float(24.0));
+
+        // Delete it again: back to the original aggregates.
+        view.apply(&mut cluster, 0, &Delta::Delete(vec![row![100, 2, 0.0]]))
+            .unwrap();
+        view.check_consistent(&cluster).unwrap();
+
+        // New b-row with a fresh y changes SUM for its group.
+        view.apply(&mut cluster, 1, &Delta::insert_one(row![200, 1, 10.0]))
+            .unwrap();
+        let g1 = view
+            .contents(&cluster)
+            .unwrap()
+            .into_iter()
+            .find(|r| r[0] == Value::Int(1))
+            .unwrap();
+        assert_eq!(g1[2], Value::Int(12), "3 a-rows × 4 b-rows now");
+        assert_eq!(g1[3], Value::Float(9.0 + 3.0 * 10.0));
+        view.check_consistent(&cluster).unwrap();
+    }
+}
+
+#[test]
+fn group_dissolves_at_zero_and_reforms() {
+    let mut cluster = setup(2);
+    let (def, shape) = agg_def();
+    let mut view = MaintainedView::create_aggregate(
+        &mut cluster,
+        def,
+        shape,
+        MaintenanceMethod::AuxiliaryRelation,
+    )
+    .unwrap();
+    // Remove all three a-rows of group 3 → the group must vanish.
+    let doomed: Vec<Row> = vec![row![3, 3, 0.0], row![7, 3, 0.0], row![11, 3, 0.0]];
+    view.apply(&mut cluster, 0, &Delta::Delete(doomed)).unwrap();
+    let groups = view.contents(&cluster).unwrap();
+    assert_eq!(groups.len(), 3);
+    assert!(!groups.iter().any(|r| r[0] == Value::Int(3)));
+    view.check_consistent(&cluster).unwrap();
+    // Reinsert one: the group reforms from scratch.
+    view.apply(&mut cluster, 0, &Delta::insert_one(row![300, 3, 0.0]))
+        .unwrap();
+    let g3 = view
+        .contents(&cluster)
+        .unwrap()
+        .into_iter()
+        .find(|r| r[0] == Value::Int(3))
+        .unwrap();
+    assert_eq!(g3[2], Value::Int(3), "1 a-row × 3 b-rows");
+    view.check_consistent(&cluster).unwrap();
+}
+
+#[test]
+fn updates_move_rows_between_groups() {
+    for m in methods() {
+        let mut cluster = setup(3);
+        let (def, shape) = agg_def();
+        let mut view = MaintainedView::create_aggregate(&mut cluster, def, shape, m).unwrap();
+        // Move a-row id=0 from group 0 to group 1.
+        view.apply(
+            &mut cluster,
+            0,
+            &Delta::Update {
+                old: vec![row![0, 0, 0.0]],
+                new: vec![row![0, 1, 0.0]],
+            },
+        )
+        .unwrap();
+        view.check_consistent(&cluster).unwrap();
+        let groups = view.contents(&cluster).unwrap();
+        let g0 = groups.iter().find(|r| r[0] == Value::Int(0)).unwrap();
+        let g1 = groups.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(g0[2], Value::Int(6), "{m:?}: group 0 lost one a-row (2×3)");
+        assert_eq!(g1[2], Value::Int(12), "{m:?}: group 1 gained one (4×3)");
+    }
+}
+
+#[test]
+fn multi_column_group_by() {
+    let mut cluster = Cluster::new(ClusterConfig::new(3).with_buffer_pages(512));
+    let schema =
+        || Schema::new(vec![Column::int("id"), Column::int("g"), Column::int("h")]).into_ref();
+    cluster
+        .create_table(TableDef::hash_heap("a", schema(), 0))
+        .unwrap();
+    cluster
+        .create_table(TableDef::hash_heap("b", schema(), 0))
+        .unwrap();
+    let a = cluster.table_id("a").unwrap();
+    let b = cluster.table_id("b").unwrap();
+    cluster
+        .insert(a, (0..12).map(|i| row![i, i % 2, i % 3]).collect())
+        .unwrap();
+    cluster
+        .insert(b, (0..6).map(|i| row![i, i % 2, 0]).collect())
+        .unwrap();
+    let def = JoinViewDef {
+        name: "gh".into(),
+        relations: vec!["a".into(), "b".into()],
+        edges: vec![ViewEdge::new(ViewColumn::new(0, 1), ViewColumn::new(1, 1))],
+        projection: vec![ViewColumn::new(0, 1), ViewColumn::new(0, 2)],
+        partition_column: 0,
+    };
+    let shape = AggShape {
+        group_by: vec![0, 1],
+        aggregates: vec![AggSpec::count()],
+    };
+    let mut view =
+        MaintainedView::create_aggregate(&mut cluster, def, shape, MaintenanceMethod::GlobalIndex)
+            .unwrap();
+    assert_eq!(
+        view.contents(&cluster).unwrap().len(),
+        6,
+        "2 × 3 composite groups"
+    );
+    view.check_consistent(&cluster).unwrap();
+    view.apply(&mut cluster, 0, &Delta::insert_one(row![100, 0, 2]))
+        .unwrap();
+    view.check_consistent(&cluster).unwrap();
+}
+
+#[test]
+fn methods_agree_on_aggregates() {
+    let mut results = Vec::new();
+    for m in methods() {
+        let mut cluster = setup(3);
+        let (def, shape) = agg_def();
+        let mut view = MaintainedView::create_aggregate(&mut cluster, def, shape, m).unwrap();
+        for i in 0..6 {
+            view.apply(
+                &mut cluster,
+                i % 2,
+                &Delta::insert_one(row![500 + i as i64, (i % 4) as i64, 2.5]),
+            )
+            .unwrap();
+        }
+        view.apply(&mut cluster, 0, &Delta::Delete(vec![row![0, 0, 0.0]]))
+            .unwrap();
+        let mut c = view.contents(&cluster).unwrap();
+        c.sort();
+        results.push(c);
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+}
+
+#[test]
+fn tpcr_revenue_view_end_to_end() {
+    for m in methods() {
+        let mut cluster = Cluster::new(ClusterConfig::new(4).with_buffer_pages(1_000));
+        let dataset = TpcrDataset::new(TpcrScale { customers: 100 });
+        dataset.install(&mut cluster).unwrap();
+        let (def, shape) = TpcrDataset::revenue_view();
+        let mut view = MaintainedView::create_aggregate(&mut cluster, def, shape, m).unwrap();
+        assert_eq!(
+            view.contents(&cluster).unwrap().len(),
+            100,
+            "one revenue group per matched customer"
+        );
+        // A second order for customer 5 bumps its count and sum.
+        view.apply(&mut cluster, 1, &Delta::insert_one(row![90_000, 5, 123.0]))
+            .unwrap();
+        view.check_consistent(&cluster).unwrap();
+        let g5 = view
+            .contents(&cluster)
+            .unwrap()
+            .into_iter()
+            .find(|r| r[0] == Value::Int(5))
+            .unwrap();
+        assert_eq!(g5[2], Value::Int(2), "{m:?}");
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert { rel: usize, g: i64, y: i64 },
+        DeleteExisting { rel: usize, pick: usize },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0usize..2, 0i64..5, 0i64..10).prop_map(|(rel, g, y)| Op::Insert { rel, g, y }),
+            (0usize..2, any::<usize>()).prop_map(|(rel, pick)| Op::DeleteExisting { rel, pick }),
+        ]
+    }
+
+    fn agg_cluster() -> Cluster {
+        let mut cluster = Cluster::new(ClusterConfig::new(3).with_buffer_pages(256));
+        let schema =
+            || Schema::new(vec![Column::int("id"), Column::int("g"), Column::int("y")]).into_ref();
+        cluster
+            .create_table(TableDef::hash_heap("a", schema(), 0))
+            .unwrap();
+        cluster
+            .create_table(TableDef::hash_heap("b", schema(), 0))
+            .unwrap();
+        let a = cluster.table_id("a").unwrap();
+        let b = cluster.table_id("b").unwrap();
+        cluster
+            .insert(a, (0..8).map(|i| row![i, i % 4, 1]).collect())
+            .unwrap();
+        cluster
+            .insert(b, (0..8).map(|i| row![i, i % 4, (i % 3) as i64]).collect())
+            .unwrap();
+        cluster
+    }
+
+    fn int_agg_def() -> (JoinViewDef, AggShape) {
+        let def = JoinViewDef {
+            name: "p".into(),
+            relations: vec!["a".into(), "b".into()],
+            edges: vec![ViewEdge::new(ViewColumn::new(0, 1), ViewColumn::new(1, 1))],
+            projection: vec![ViewColumn::new(0, 1), ViewColumn::new(1, 2)],
+            partition_column: 0,
+        };
+        let shape = AggShape {
+            group_by: vec![0],
+            aggregates: vec![AggSpec::count(), AggSpec::sum(1)],
+        };
+        (def, shape)
+    }
+
+    fn run_stream(ops: &[Op], method: MaintenanceMethod) -> Vec<Row> {
+        let mut cluster = agg_cluster();
+        let (def, shape) = int_agg_def();
+        let mut view = MaintainedView::create_aggregate(&mut cluster, def, shape, method).unwrap();
+        let mut live: [Vec<Row>; 2] = [
+            (0..8).map(|i| row![i, i % 4, 1]).collect(),
+            (0..8).map(|i| row![i, i % 4, (i % 3) as i64]).collect(),
+        ];
+        let mut next_id = 10_000i64;
+        for op in ops {
+            match op {
+                Op::Insert { rel, g, y } => {
+                    let r = row![next_id, *g, *y];
+                    next_id += 1;
+                    live[*rel].push(r.clone());
+                    view.apply(&mut cluster, *rel, &Delta::insert_one(r))
+                        .unwrap();
+                }
+                Op::DeleteExisting { rel, pick } => {
+                    if live[*rel].is_empty() {
+                        continue;
+                    }
+                    let idx = pick % live[*rel].len();
+                    let r = live[*rel].swap_remove(idx);
+                    view.apply(&mut cluster, *rel, &Delta::Delete(vec![r]))
+                        .unwrap();
+                }
+            }
+            view.check_consistent(&cluster).unwrap();
+        }
+        let mut c = view.contents(&cluster).unwrap();
+        c.sort();
+        c
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        /// All three methods fold to identical aggregates under random
+        /// update streams, and each stays equal to the from-scratch
+        /// aggregation at every step.
+        #[test]
+        fn aggregate_methods_agree_under_random_streams(
+            ops in proptest::collection::vec(op_strategy(), 1..15)
+        ) {
+            let naive = run_stream(&ops, MaintenanceMethod::Naive);
+            let aux = run_stream(&ops, MaintenanceMethod::AuxiliaryRelation);
+            let gi = run_stream(&ops, MaintenanceMethod::GlobalIndex);
+            prop_assert_eq!(&naive, &aux);
+            prop_assert_eq!(&naive, &gi);
+        }
+    }
+}
+
+#[test]
+fn invalid_shapes_rejected() {
+    let mut cluster = setup(2);
+    let (def, _) = agg_def();
+    let no_groups = AggShape {
+        group_by: vec![],
+        aggregates: vec![AggSpec::count()],
+    };
+    assert!(MaintainedView::create_aggregate(
+        &mut cluster,
+        def.clone(),
+        no_groups,
+        MaintenanceMethod::Naive
+    )
+    .is_err());
+    let bad_sum = AggShape {
+        group_by: vec![0],
+        aggregates: vec![AggSpec::sum(9)],
+    };
+    assert!(
+        MaintainedView::create_aggregate(&mut cluster, def, bad_sum, MaintenanceMethod::Naive)
+            .is_err()
+    );
+}

@@ -1,0 +1,210 @@
+//! Property-based correctness: under arbitrary random streams of inserts,
+//! deletes, and updates against either base relation, every maintenance
+//! method must leave the stored view identical (as a multiset) to
+//! recomputing the join from scratch — and all three methods must agree
+//! with each other.
+
+use proptest::prelude::*;
+use pvm::prelude::*;
+
+/// One random operation against the two-relation schema.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert {
+        rel: usize,
+        jval: i64,
+    },
+    DeleteExisting {
+        rel: usize,
+        pick: usize,
+    },
+    Update {
+        rel: usize,
+        pick: usize,
+        new_jval: i64,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..2, 0i64..8).prop_map(|(rel, jval)| Op::Insert { rel, jval }),
+        (0usize..2, any::<usize>()).prop_map(|(rel, pick)| Op::DeleteExisting { rel, pick }),
+        (0usize..2, any::<usize>(), 0i64..8).prop_map(|(rel, pick, new_jval)| Op::Update {
+            rel,
+            pick,
+            new_jval
+        }),
+    ]
+}
+
+fn setup(l: usize, method: MaintenanceMethod) -> (Cluster, MaintainedView) {
+    let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(256));
+    let schema =
+        || Schema::new(vec![Column::int("id"), Column::int("j"), Column::str("p")]).into_ref();
+    let a = cluster
+        .create_table(TableDef::hash_heap("a", schema(), 0))
+        .unwrap();
+    let b = cluster
+        .create_table(TableDef::hash_heap("b", schema(), 0))
+        .unwrap();
+    cluster
+        .insert(a, (0..12).map(|i| row![i, i % 4, "a"]).collect())
+        .unwrap();
+    cluster
+        .insert(b, (0..12).map(|i| row![i, i % 4, "b"]).collect())
+        .unwrap();
+    let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+    let view = MaintainedView::create(&mut cluster, def, method).unwrap();
+    (cluster, view)
+}
+
+/// Track live rows per relation so deletes/updates target real rows.
+fn run_stream(ops: &[Op], method: MaintenanceMethod) -> Vec<Row> {
+    let (mut cluster, mut view) = setup(3, method);
+    let mut live: [Vec<Row>; 2] = [
+        (0..12).map(|i| row![i, i % 4, "a"]).collect(),
+        (0..12).map(|i| row![i, i % 4, "b"]).collect(),
+    ];
+    let mut next_id = 100_000i64;
+    for op in ops {
+        match op {
+            Op::Insert { rel, jval } => {
+                let payload = if *rel == 0 { "a" } else { "b" };
+                let r = row![next_id, *jval, payload];
+                next_id += 1;
+                live[*rel].push(r.clone());
+                view.apply(&mut cluster, *rel, &Delta::insert_one(r))
+                    .unwrap();
+            }
+            Op::DeleteExisting { rel, pick } => {
+                if live[*rel].is_empty() {
+                    continue;
+                }
+                let idx = pick % live[*rel].len();
+                let r = live[*rel].swap_remove(idx);
+                view.apply(&mut cluster, *rel, &Delta::Delete(vec![r]))
+                    .unwrap();
+            }
+            Op::Update {
+                rel,
+                pick,
+                new_jval,
+            } => {
+                if live[*rel].is_empty() {
+                    continue;
+                }
+                let idx = pick % live[*rel].len();
+                let old = live[*rel][idx].clone();
+                let mut new = old.clone();
+                new.set(1, Value::Int(*new_jval)).unwrap();
+                live[*rel][idx] = new.clone();
+                view.apply(
+                    &mut cluster,
+                    *rel,
+                    &Delta::Update {
+                        old: vec![old],
+                        new: vec![new],
+                    },
+                )
+                .unwrap();
+            }
+        }
+        view.check_consistent(&cluster).unwrap();
+    }
+    let mut contents = view.contents(&cluster).unwrap();
+    contents.sort();
+    contents
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_methods_agree_under_random_streams(
+        ops in proptest::collection::vec(op_strategy(), 1..25)
+    ) {
+        let naive = run_stream(&ops, MaintenanceMethod::Naive);
+        let aux = run_stream(&ops, MaintenanceMethod::AuxiliaryRelation);
+        let gi = run_stream(&ops, MaintenanceMethod::GlobalIndex);
+        prop_assert_eq!(&naive, &aux, "naive vs auxiliary relation diverged");
+        prop_assert_eq!(&naive, &gi, "naive vs global index diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// The B+tree behind every index: arbitrary interleavings of inserts
+    /// and deletes preserve its invariants and multiset contents.
+    #[test]
+    fn btree_matches_reference_multiset(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..50, 0u64..4), 1..300)
+    ) {
+        use pvm::storage::btree::BPlusTree;
+        use pvm::storage::{BufferPool, FileId};
+        use std::collections::BTreeMap;
+
+        let mut tree = BPlusTree::new(FileId(0), BufferPool::shared(512));
+        let mut reference: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        for (is_insert, k, v) in ops {
+            let key = k.to_be_bytes();
+            let val = v.to_be_bytes();
+            if is_insert {
+                tree.insert(&key, &val).unwrap();
+                *reference.entry((k, v)).or_insert(0) += 1;
+            } else {
+                let removed = tree.delete(&key, &val);
+                let present = reference.get(&(k, v)).copied().unwrap_or(0) > 0;
+                prop_assert_eq!(removed, present);
+                if present {
+                    let c = reference.get_mut(&(k, v)).unwrap();
+                    *c -= 1;
+                    if *c == 0 {
+                        reference.remove(&(k, v));
+                    }
+                }
+            }
+        }
+        tree.check_invariants().unwrap();
+        let total: u64 = reference.values().sum();
+        prop_assert_eq!(tree.len(), total);
+        for k in 0..50u64 {
+            let expect: usize = reference
+                .iter()
+                .filter(|((rk, _), _)| *rk == k)
+                .map(|(_, c)| *c as usize)
+                .sum();
+            prop_assert_eq!(tree.search(&k.to_be_bytes()).len(), expect);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Row encoding round-trips arbitrary values.
+    #[test]
+    fn row_encoding_roundtrips(
+        ints in proptest::collection::vec(any::<i64>(), 0..6),
+        s in ".*",
+        f in any::<f64>(),
+    ) {
+        let mut vals: Vec<Value> = ints.into_iter().map(Value::Int).collect();
+        vals.push(Value::Str(s));
+        vals.push(Value::Float(f));
+        vals.push(Value::Null);
+        let row = Row::new(vals);
+        let decoded = Row::decode(&row.encode()).unwrap();
+        prop_assert_eq!(decoded, row);
+    }
+
+    /// Hash partitioning sends equal join values to equal nodes for any
+    /// cluster size — the property the AR and GI methods rely on.
+    #[test]
+    fn partitioning_colocates_equal_values(v in any::<i64>(), l in 1usize..300) {
+        let n1 = PartitionSpec::route_value(&Value::Int(v), l);
+        let n2 = PartitionSpec::route_value(&Value::Int(v), l);
+        prop_assert_eq!(n1, n2);
+        prop_assert!(n1.index() < l);
+    }
+}

@@ -1,0 +1,198 @@
+//! Experiment-regression suite: one test per paper table/figure, pinning
+//! the *shape* each harness must reproduce (see EXPERIMENTS.md). If a
+//! refactor changes any of these, a figure has silently changed.
+
+use pvm::prelude::*;
+
+#[test]
+fn fig07_shape() {
+    // AR flat at 3; GI plateau at 3+N = 13 once L ≥ N; naive linear.
+    let io = |v, l| tw(v, &ModelParams::paper_defaults(l)).io();
+    for l in [1, 2, 8, 64, 512] {
+        assert_eq!(io(MethodVariant::AuxRel, l), 3);
+        assert_eq!(io(MethodVariant::NaiveClustered, l), l);
+        assert_eq!(io(MethodVariant::NaiveNonClustered, l), l + 10);
+    }
+    assert_eq!(io(MethodVariant::GiDistClustered, 4), 7); // K = L below N
+    for l in [16, 64, 512] {
+        assert_eq!(io(MethodVariant::GiDistClustered, l), 13);
+        assert_eq!(io(MethodVariant::GiDistNonClustered, l), 13);
+    }
+}
+
+#[test]
+fn fig08_shape() {
+    // GI interpolates between AR and naive as N grows (L = 32).
+    let at = |n| {
+        let p = ModelParams::paper_defaults(32).with_n(n);
+        (
+            tw(MethodVariant::AuxRel, &p).io(),
+            tw(MethodVariant::GiDistNonClustered, &p).io(),
+            tw(MethodVariant::NaiveNonClustered, &p).io(),
+        )
+    };
+    let (ar, gi, naive) = at(1);
+    assert!(gi - ar <= 1, "N=1: GI hugs AR ({gi} vs {ar})");
+    let (_, gi, naive_big) = at(100);
+    assert!(
+        gi as f64 / naive_big as f64 > 0.75,
+        "N=100: GI approaches naive"
+    );
+    let _ = naive;
+}
+
+#[test]
+fn fig09_shape() {
+    // Index regime, |A| = 400: AR = 3·⌈A/L⌉; naive-clustered index path
+    // flat at 400.
+    for l in [2, 8, 32, 128] {
+        let p = ModelParams::paper_defaults(l).with_a(400);
+        let ar = response_time(MethodVariant::AuxRel, &p);
+        assert_eq!(ar.index_io, 3.0 * 400u64.div_ceil(l) as f64);
+        let naive = response_time(MethodVariant::NaiveClustered, &p);
+        assert_eq!(naive.index_io, 400.0);
+    }
+}
+
+#[test]
+fn fig10_shape() {
+    // Sort-merge regime, |A| = 6,500 ≥ |B| pages: naive-clustered beats
+    // AR and GI at every L.
+    for l in [2, 8, 32, 128, 512] {
+        let p = ModelParams::paper_defaults(l).with_a(6_500);
+        let naive = response_time(MethodVariant::NaiveClustered, &p).io();
+        assert!(
+            naive < response_time(MethodVariant::AuxRel, &p).io(),
+            "L={l}"
+        );
+        assert!(
+            naive < response_time(MethodVariant::GiDistClustered, &p).io(),
+            "L={l}"
+        );
+    }
+}
+
+#[test]
+fn fig11_shape() {
+    // Plateau order at L = 128: naive ≪ GI ≪ AR.
+    let plateau = |v: MethodVariant| {
+        (1..)
+            .find(|&a| {
+                let r = response_time(v, &ModelParams::paper_defaults(128).with_a(a));
+                r.sort_merge_io <= r.index_io
+            })
+            .unwrap()
+    };
+    let naive = plateau(MethodVariant::NaiveClustered);
+    let gi = plateau(MethodVariant::GiDistClustered);
+    let ar = plateau(MethodVariant::AuxRel);
+    assert!(naive < 100, "naive plateaus almost immediately: {naive}");
+    assert!(naive * 5 < gi, "GI plateaus much later: {gi}");
+    assert!(gi * 5 < ar, "AR plateaus much later still: {ar}");
+    assert!(ar > 6_000, "AR plateau near |B| pages: {ar}");
+}
+
+#[test]
+fn fig12_shape() {
+    // Step-wise AR behaviour at multiples of L = 128.
+    let at = |a| {
+        response_time(
+            MethodVariant::AuxRel,
+            &ModelParams::paper_defaults(128).with_a(a),
+        )
+        .io()
+    };
+    assert_eq!(at(1), at(128));
+    assert_eq!(at(129), 2.0 * at(128));
+    assert_eq!(at(257), 3.0 * at(128));
+}
+
+#[test]
+fn table1_shape() {
+    let s = TpcrScale { customers: 500 };
+    assert_eq!(s.orders(), 5_000);
+    assert_eq!(s.lineitems(), 20_000);
+    let d = TpcrDataset::new(s);
+    // The fan-outs every figure depends on.
+    let orders = d.orders_rows();
+    let customers = d.customer_rows();
+    let matched = customers
+        .iter()
+        .filter(|c| orders.iter().any(|o| o[1] == c[0]))
+        .count();
+    assert_eq!(matched, 500, "every customer matches an order");
+}
+
+#[test]
+fn fig13_fig14_agreement_small_scale() {
+    // Predicted (model) vs measured (engine) JV1 speedups agree within
+    // 20% at every node count — the paper's "Figures 13 and 14 match
+    // well", as a regression assertion.
+    for l in [2u64, 4, 8] {
+        let predicted = predict_chain(64, l, &[ChainStep::new(1.0)]).speedup();
+        let measure = |method| {
+            let mut cluster = Cluster::new(ClusterConfig::new(l as usize).with_buffer_pages(1_000));
+            let dataset = TpcrDataset::new(TpcrScale { customers: 150 });
+            dataset.install(&mut cluster).unwrap();
+            let mut view =
+                MaintainedView::create(&mut cluster, TpcrDataset::jv1(), method).unwrap();
+            let out = view
+                .apply(&mut cluster, 0, &Delta::Insert(dataset.customer_delta(64)))
+                .unwrap();
+            out.compute.response_time_io()
+        };
+        let measured = measure(MaintenanceMethod::Naive)
+            / measure(MaintenanceMethod::AuxiliaryRelation).max(1.0);
+        let ratio = measured / predicted;
+        assert!(
+            (0.8..=1.25).contains(&ratio),
+            "L={l}: {measured:.2} vs {predicted:.2}"
+        );
+    }
+}
+
+#[test]
+fn mixed_workload_shape() {
+    // The intro claim at small scale: naive turns 1-node txns into
+    // all-node txns; AR keeps them single-node per step.
+    let l = 6;
+    let run = |method: Option<MaintenanceMethod>| {
+        let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(1_024));
+        let a = SyntheticRelation::new("a", 200, 50);
+        a.install(&mut cluster).unwrap();
+        SyntheticRelation::new("b", 500, 50)
+            .install(&mut cluster)
+            .unwrap();
+        let mut view = method.map(|m| {
+            MaintainedView::create(
+                &mut cluster,
+                JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3),
+                m,
+            )
+            .unwrap()
+        });
+        let a_id = cluster.table_id("a").unwrap();
+        let mut nodes_touched = 0usize;
+        for row in a.delta(20, &Uniform::new(50), 3) {
+            match &mut view {
+                Some(v) => {
+                    let out = v.apply(&mut cluster, 0, &Delta::insert_one(row)).unwrap();
+                    nodes_touched += out.compute_active_nodes().max(1);
+                }
+                None => {
+                    cluster.insert(a_id, vec![row]).unwrap();
+                    nodes_touched += 1;
+                }
+            }
+        }
+        nodes_touched as f64 / 20.0
+    };
+    assert_eq!(run(None), 1.0);
+    assert_eq!(run(Some(MaintenanceMethod::Naive)), l as f64);
+    assert_eq!(run(Some(MaintenanceMethod::AuxiliaryRelation)), 1.0);
+    let gi = run(Some(MaintenanceMethod::GlobalIndex));
+    assert!(
+        gi > 1.0 && gi <= 1.0 + 10f64.min(l as f64),
+        "GI in between: {gi}"
+    );
+}

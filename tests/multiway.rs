@@ -1,0 +1,332 @@
+//! Multi-relation views (§2.2): chains, cycles, and four-way joins under
+//! all three maintenance methods, plus the auxiliary-relation-set rule
+//! and the statistics-driven chain choice.
+
+use pvm::prelude::*;
+
+fn methods() -> [MaintenanceMethod; 3] {
+    [
+        MaintenanceMethod::Naive,
+        MaintenanceMethod::AuxiliaryRelation,
+        MaintenanceMethod::GlobalIndex,
+    ]
+}
+
+fn schema3() -> Schema {
+    Schema::new(vec![Column::int("id"), Column::int("x"), Column::int("y")])
+}
+
+/// A(id, x, y) ⋈ B on x ⋈ C on y: A.x = B.x, B.y = C.y.
+fn chain_cluster(l: usize) -> Cluster {
+    let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(512));
+    for name in ["a", "b", "c"] {
+        cluster
+            .create_table(TableDef::hash_heap(name, schema3().into_ref(), 0))
+            .unwrap();
+    }
+    let a = cluster.table_id("a").unwrap();
+    let b = cluster.table_id("b").unwrap();
+    let c = cluster.table_id("c").unwrap();
+    cluster
+        .insert(a, (0..15).map(|i| row![i, i % 5, 0]).collect())
+        .unwrap();
+    cluster
+        .insert(b, (0..15).map(|i| row![i, i % 5, i % 3]).collect())
+        .unwrap();
+    cluster
+        .insert(c, (0..9).map(|i| row![i, 0, i % 3]).collect())
+        .unwrap();
+    cluster
+}
+
+fn chain_def() -> JoinViewDef {
+    JoinViewDef {
+        name: "jv3".into(),
+        relations: vec!["a".into(), "b".into(), "c".into()],
+        edges: vec![
+            ViewEdge::new(ViewColumn::new(0, 1), ViewColumn::new(1, 1)),
+            ViewEdge::new(ViewColumn::new(1, 2), ViewColumn::new(2, 2)),
+        ],
+        projection: vec![
+            ViewColumn::new(0, 0),
+            ViewColumn::new(1, 0),
+            ViewColumn::new(2, 0),
+            ViewColumn::new(0, 1),
+        ],
+        partition_column: 0,
+    }
+}
+
+#[test]
+fn three_way_chain_all_methods_all_relations() {
+    for m in methods() {
+        let mut cluster = chain_cluster(4);
+        let mut view = MaintainedView::create(&mut cluster, chain_def(), m).unwrap();
+        view.check_consistent(&cluster).unwrap();
+        // Insert into each relation in turn (§2.2's three cases).
+        view.apply(&mut cluster, 0, &Delta::insert_one(row![100, 2, 0]))
+            .unwrap();
+        view.check_consistent(&cluster).unwrap();
+        view.apply(&mut cluster, 1, &Delta::insert_one(row![100, 2, 1]))
+            .unwrap();
+        view.check_consistent(&cluster).unwrap();
+        view.apply(&mut cluster, 2, &Delta::insert_one(row![100, 0, 1]))
+            .unwrap();
+        view.check_consistent(&cluster).unwrap();
+        // And deletes.
+        view.apply(&mut cluster, 1, &Delta::Delete(vec![row![0, 0, 0]]))
+            .unwrap();
+        view.check_consistent(&cluster).unwrap();
+    }
+}
+
+#[test]
+fn middle_relation_update_uses_both_sides() {
+    // Updating B requires joining the delta with BOTH A and C — the
+    // paper's case (2): "we use AR_B1 and AR_B2 … AR_A and AR_C".
+    for m in methods() {
+        let mut cluster = chain_cluster(4);
+        let mut view = MaintainedView::create(&mut cluster, chain_def(), m).unwrap();
+        let before = view.contents(&cluster).unwrap().len();
+        // B row matching 3 A rows (x = 2) and 3 C rows (y = 1).
+        let out = view
+            .apply(&mut cluster, 1, &Delta::insert_one(row![500, 2, 1]))
+            .unwrap();
+        assert_eq!(out.view_rows, 9, "{m:?}");
+        assert_eq!(view.contents(&cluster).unwrap().len(), before + 9);
+        view.check_consistent(&cluster).unwrap();
+    }
+}
+
+/// Cyclic triangle: A.x = B.x, B.y = C.y, C.x = A.y — the closing edge
+/// must act as a filter.
+fn triangle_cluster_and_def(l: usize) -> (Cluster, JoinViewDef) {
+    let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(512));
+    for name in ["a", "b", "c"] {
+        cluster
+            .create_table(TableDef::hash_heap(name, schema3().into_ref(), 0))
+            .unwrap();
+    }
+    let a = cluster.table_id("a").unwrap();
+    let b = cluster.table_id("b").unwrap();
+    let c = cluster.table_id("c").unwrap();
+    // Triangles: (x, y) rows engineered so only some close.
+    cluster
+        .insert(a, (0..12).map(|i| row![i, i % 4, i % 3]).collect())
+        .unwrap();
+    cluster
+        .insert(b, (0..12).map(|i| row![i, i % 4, i % 5]).collect())
+        .unwrap();
+    cluster
+        .insert(c, (0..12).map(|i| row![i, i % 3, i % 5]).collect())
+        .unwrap();
+    let def = JoinViewDef {
+        name: "tri".into(),
+        relations: vec!["a".into(), "b".into(), "c".into()],
+        edges: vec![
+            ViewEdge::new(ViewColumn::new(0, 1), ViewColumn::new(1, 1)), // A.x = B.x
+            ViewEdge::new(ViewColumn::new(1, 2), ViewColumn::new(2, 2)), // B.y = C.y
+            ViewEdge::new(ViewColumn::new(2, 1), ViewColumn::new(0, 2)), // C.x = A.y
+        ],
+        projection: vec![
+            ViewColumn::new(0, 0),
+            ViewColumn::new(1, 0),
+            ViewColumn::new(2, 0),
+        ],
+        partition_column: 0,
+    };
+    (cluster, def)
+}
+
+#[test]
+fn cyclic_triangle_all_methods() {
+    for m in methods() {
+        let (mut cluster, def) = triangle_cluster_and_def(3);
+        let mut view = MaintainedView::create(&mut cluster, def, m).unwrap();
+        view.check_consistent(&cluster).unwrap();
+        for rel in 0..3 {
+            view.apply(
+                &mut cluster,
+                rel,
+                &Delta::insert_one(row![200 + rel as i64, 1, 1]),
+            )
+            .unwrap();
+            view.check_consistent(&cluster).unwrap();
+        }
+        for rel in 0..3 {
+            view.apply(&mut cluster, rel, &Delta::Delete(vec![row![0, 0, 0]]))
+                .unwrap();
+            view.check_consistent(&cluster).unwrap();
+        }
+    }
+}
+
+#[test]
+fn four_way_chain() {
+    let mut cluster = Cluster::new(ClusterConfig::new(3).with_buffer_pages(512));
+    for name in ["r0", "r1", "r2", "r3"] {
+        cluster
+            .create_table(TableDef::hash_heap(name, schema3().into_ref(), 0))
+            .unwrap();
+    }
+    for name in ["r0", "r1", "r2", "r3"] {
+        let id = cluster.table_id(name).unwrap();
+        cluster
+            .insert(id, (0..10).map(|i| row![i, i % 2, i % 3]).collect())
+            .unwrap();
+    }
+    let def = JoinViewDef {
+        name: "jv4".into(),
+        relations: vec!["r0".into(), "r1".into(), "r2".into(), "r3".into()],
+        edges: vec![
+            ViewEdge::new(ViewColumn::new(0, 1), ViewColumn::new(1, 1)),
+            ViewEdge::new(ViewColumn::new(1, 2), ViewColumn::new(2, 2)),
+            ViewEdge::new(ViewColumn::new(2, 1), ViewColumn::new(3, 1)),
+        ],
+        projection: vec![
+            ViewColumn::new(0, 0),
+            ViewColumn::new(1, 0),
+            ViewColumn::new(2, 0),
+            ViewColumn::new(3, 0),
+        ],
+        partition_column: 0,
+    };
+    for m in methods() {
+        let mut c2 = Cluster::new(ClusterConfig::new(3).with_buffer_pages(512));
+        for name in ["r0", "r1", "r2", "r3"] {
+            c2.create_table(TableDef::hash_heap(name, schema3().into_ref(), 0))
+                .unwrap();
+        }
+        for name in ["r0", "r1", "r2", "r3"] {
+            let id = c2.table_id(name).unwrap();
+            c2.insert(id, (0..10).map(|i| row![i, i % 2, i % 3]).collect())
+                .unwrap();
+        }
+        let mut view = MaintainedView::create(&mut c2, def.clone(), m).unwrap();
+        view.check_consistent(&c2).unwrap();
+        view.apply(&mut c2, 2, &Delta::insert_one(row![99, 1, 2]))
+            .unwrap();
+        view.check_consistent(&c2).unwrap();
+        view.apply(&mut c2, 0, &Delta::Delete(vec![row![3, 1, 0]]))
+            .unwrap();
+        view.check_consistent(&c2).unwrap();
+    }
+    let _ = cluster;
+}
+
+#[test]
+fn ar_set_follows_the_paper_rule() {
+    // §2.2: keep an AR of R_i partitioned on each join attribute of R_i
+    // unless R_i is already partitioned on it. For the chain view with all
+    // relations partitioned on `id`, that is: AR_A(x), AR_B(x), AR_B(y),
+    // AR_C(y) → 4 ARs.
+    let mut cluster = chain_cluster(2);
+    let view = MaintainedView::create(
+        &mut cluster,
+        chain_def(),
+        MaintenanceMethod::AuxiliaryRelation,
+    )
+    .unwrap();
+    let ar_tables: Vec<String> = cluster
+        .catalog()
+        .ids()
+        .filter_map(|id| {
+            let name = cluster.def(id).unwrap().name.clone();
+            name.contains("__ar_").then_some(name)
+        })
+        .collect();
+    assert_eq!(ar_tables.len(), 4, "chain view needs 4 ARs: {ar_tables:?}");
+    assert!(ar_tables.iter().any(|n| n.contains("ar_a_1")));
+    assert!(ar_tables.iter().any(|n| n.contains("ar_b_1")));
+    assert!(ar_tables.iter().any(|n| n.contains("ar_b_2")));
+    assert!(ar_tables.iter().any(|n| n.contains("ar_c_2")));
+    let _ = view;
+}
+
+#[test]
+fn copartitioned_relation_needs_no_ar() {
+    // If B is partitioned on the join attribute, no AR_B is created.
+    let mut cluster = Cluster::new(ClusterConfig::new(2).with_buffer_pages(512));
+    cluster
+        .create_table(TableDef::hash_heap("a", schema3().into_ref(), 0))
+        .unwrap();
+    // B partitioned (and clustered) on x — the join attribute.
+    cluster
+        .create_table(TableDef::hash_clustered("b", schema3().into_ref(), 1))
+        .unwrap();
+    let a = cluster.table_id("a").unwrap();
+    let b = cluster.table_id("b").unwrap();
+    cluster
+        .insert(a, (0..10).map(|i| row![i, i % 3, 0]).collect())
+        .unwrap();
+    cluster
+        .insert(b, (0..10).map(|i| row![i, i % 3, 0]).collect())
+        .unwrap();
+    let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+    let mut view =
+        MaintainedView::create(&mut cluster, def, MaintenanceMethod::AuxiliaryRelation).unwrap();
+    let ar_count = cluster
+        .catalog()
+        .ids()
+        .filter(|&id| cluster.def(id).unwrap().name.contains("__ar_"))
+        .count();
+    assert_eq!(ar_count, 1, "only A needs an AR; B is co-partitioned");
+    // Maintenance still works in both directions.
+    view.apply(&mut cluster, 0, &Delta::insert_one(row![100, 1, 0]))
+        .unwrap();
+    view.apply(&mut cluster, 1, &Delta::insert_one(row![100, 1, 0]))
+        .unwrap();
+    view.check_consistent(&cluster).unwrap();
+}
+
+#[test]
+fn planner_prefers_low_fanout_chain() {
+    // The §2.2 optimization problem: from A, the planner may probe B
+    // (fanout 1) or C (fanout 30). It must pick B first.
+    let mut cluster = Cluster::new(ClusterConfig::new(2).with_buffer_pages(1024));
+    for name in ["a", "b", "c"] {
+        cluster
+            .create_table(TableDef::hash_heap(name, schema3().into_ref(), 0))
+            .unwrap();
+    }
+    let a = cluster.table_id("a").unwrap();
+    let b = cluster.table_id("b").unwrap();
+    let c = cluster.table_id("c").unwrap();
+    cluster
+        .insert(a, (0..10).map(|i| row![i, i, i]).collect())
+        .unwrap();
+    // B: distinct x per row → fanout 1.
+    cluster
+        .insert(b, (0..10).map(|i| row![i, i, i]).collect())
+        .unwrap();
+    // C: 300 rows over 10 x-values → fanout 30.
+    cluster
+        .insert(c, (0..300).map(|i| row![i, i % 10, 0]).collect())
+        .unwrap();
+    // Triangle-ish: A joins both B and C directly on x.
+    let def = JoinViewDef {
+        name: "opt".into(),
+        relations: vec!["a".into(), "b".into(), "c".into()],
+        edges: vec![
+            ViewEdge::new(ViewColumn::new(0, 1), ViewColumn::new(1, 1)),
+            ViewEdge::new(ViewColumn::new(0, 1), ViewColumn::new(2, 1)),
+        ],
+        projection: vec![
+            ViewColumn::new(0, 0),
+            ViewColumn::new(1, 0),
+            ViewColumn::new(2, 0),
+        ],
+        partition_column: 0,
+    };
+    let fanout = |rel: usize, _col: usize| if rel == 1 { 1.0 } else { 30.0 };
+    let plan = pvm::core::plan_chain(&def, 0, fanout).unwrap();
+    assert_eq!(plan[0].rel, 1, "low-fanout B must be probed first");
+    assert_eq!(plan[1].rel, 2);
+
+    // End-to-end with real statistics, too.
+    let mut view =
+        MaintainedView::create(&mut cluster, def, MaintenanceMethod::AuxiliaryRelation).unwrap();
+    view.apply(&mut cluster, 0, &Delta::insert_one(row![999, 5, 0]))
+        .unwrap();
+    view.check_consistent(&cluster).unwrap();
+}
