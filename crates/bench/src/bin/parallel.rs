@@ -1,0 +1,98 @@
+//! Threaded-runtime speedup: identical auxiliary-relation maintenance
+//! work on the sequential backend vs. `pvm-runtime`'s one-thread-per-node
+//! backend, swept over cluster sizes. Because the runtime is
+//! cost-deterministic (see `tests/parallel_equivalence.rs`), the two
+//! backends do *exactly* the same counted work — the only thing threading
+//! changes is wall-clock time, which is what this bin measures.
+//!
+//! Emits one JSON object per line (plus the usual aligned table) so the
+//! series can be plotted directly: speedup should grow with `L` while
+//! per-node work still dominates the per-step barrier cost — provided
+//! the host actually has cores to run the node threads on (`cores` is
+//! included in every JSON row; with one core the best possible result
+//! is parity). On glibc, run with `MALLOC_ARENA_MAX=1` when measuring
+//! on few cores: scoped step threads are short-lived, and letting each
+//! one pull a fresh malloc arena otherwise dominates the measurement.
+
+use std::time::Instant;
+
+use pvm::prelude::*;
+use pvm_bench::{header, series_labels, series_row};
+
+/// Rows preloaded into the probed relation `b`.
+const B_ROWS: i64 = 160_000;
+/// Distinct join values → each delta tuple matches `B_ROWS / DOMAIN`.
+const DOMAIN: i64 = 160_000;
+/// Delta tuples inserted into `a` per measured apply — large enough that
+/// the §3.1.2 cost-based choice flips every node to a local scan + hash
+/// join, the CPU-heavy / message-light regime where threading pays.
+const DELTA: i64 = 8_000;
+
+fn setup(l: usize) -> (Cluster, MaintainedView) {
+    let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(8192));
+    let schema =
+        || Schema::new(vec![Column::int("id"), Column::int("j"), Column::str("p")]).into_ref();
+    cluster
+        .create_table(TableDef::hash_heap("a", schema(), 0))
+        .unwrap();
+    let b = cluster
+        .create_table(TableDef::hash_heap("b", schema(), 0))
+        .unwrap();
+    cluster
+        .insert(b, (0..B_ROWS).map(|i| row![i, i % DOMAIN, "b"]).collect())
+        .unwrap();
+    let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+    let mut view =
+        MaintainedView::create(&mut cluster, def, MaintenanceMethod::AuxiliaryRelation).unwrap();
+    view.set_join_policy(JoinPolicy::CostBased);
+    (cluster, view)
+}
+
+fn delta() -> Delta {
+    Delta::Insert(
+        (0..DELTA)
+            .map(|i| row![1_000_000 + i, i % DOMAIN, "a"])
+            .collect(),
+    )
+}
+
+/// Apply the delta on any backend, returning (wall ms, view rows).
+fn run<B: Backend>(backend: &mut B, view: &mut MaintainedView) -> (f64, u64) {
+    let d = delta();
+    let t0 = Instant::now();
+    let out = view.apply(backend, 0, &d).unwrap();
+    (t0.elapsed().as_secs_f64() * 1e3, out.view_rows)
+}
+
+fn main() {
+    header(
+        "parallel",
+        "threaded runtime wall-clock speedup over the sequential backend (AR method)",
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host cores: {cores}");
+    series_labels("L", &["seq ms", "thr ms", "speedup"]);
+    let mut json_rows = Vec::new();
+    for l in [1usize, 2, 4, 8] {
+        let (seq_cluster, mut seq_view) = setup(l);
+        let mut seq = seq_cluster;
+        let (seq_ms, seq_rows) = run(&mut seq, &mut seq_view);
+
+        let (thr_cluster, mut thr_view) = setup(l);
+        let mut thr = ThreadedCluster::from_cluster(thr_cluster);
+        let (thr_ms, thr_rows) = run(&mut thr, &mut thr_view);
+
+        assert_eq!(seq_rows, thr_rows, "backends computed different views");
+        let speedup = seq_ms / thr_ms;
+        series_row(l, &[seq_ms, thr_ms, speedup]);
+        json_rows.push(format!(
+            "{{\"l\": {l}, \"cores\": {cores}, \"seq_ms\": {seq_ms:.3}, \"thr_ms\": {thr_ms:.3}, \"speedup\": {speedup:.3}, \"view_rows\": {seq_rows}}}"
+        ));
+    }
+    println!();
+    for row in &json_rows {
+        println!("{row}");
+    }
+}

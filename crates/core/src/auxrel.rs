@@ -23,8 +23,8 @@
 
 use std::collections::HashMap;
 
-use pvm_engine::{Cluster, NetPayload, TableDef, TableId};
-use pvm_types::{NodeId, PvmError, Result, Row};
+use pvm_engine::{Backend, Cluster, NetPayload, TableDef, TableId};
+use pvm_types::{PvmError, Result, Row};
 
 use crate::chain::{self, ChainMode, JoinPolicy, ProbeTarget};
 use crate::layout::Layout;
@@ -58,31 +58,35 @@ pub struct AuxState {
 /// Route each placed delta row to the home node of every AR in `ars` (one
 /// SEND per row per AR) and apply it there. Shared by per-view
 /// maintenance and the cross-view [`crate::minimize::ArPool`].
-pub(crate) fn update_ars(
-    cluster: &mut Cluster,
+pub(crate) fn update_ars<B: Backend>(
+    backend: &mut B,
     ars: &[ArInfo],
     placed: &[(Row, pvm_types::GlobalRid)],
     insert: bool,
 ) -> Result<()> {
+    let l = backend.node_count();
     for info in ars {
-        for (row, grid) in placed {
-            let src = grid.node;
-            let projected = row.project(&info.keep_cols)?;
-            let dst = cluster.route(info.table, &projected)?;
-            cluster.send(
-                src,
-                dst,
-                NetPayload::DeltaRows {
-                    table: info.table,
-                    rows: vec![projected],
-                },
-            )?;
-        }
+        let spec = backend.engine().def(info.table)?.partitioning.clone();
+        backend.step(|ctx| {
+            for (row, grid) in placed {
+                if grid.node != ctx.id() {
+                    continue;
+                }
+                let projected = row.project(&info.keep_cols)?;
+                let dst = spec.route(&projected, l, 0)?;
+                ctx.send(
+                    dst,
+                    NetPayload::DeltaRows {
+                        table: info.table,
+                        rows: vec![projected],
+                    },
+                )?;
+            }
+            Ok(())
+        })?;
         // Drain and apply at every node.
-        for n in 0..cluster.node_count() {
-            let node_id = NodeId::from(n);
-            let msgs = cluster.fabric_mut().recv_all(node_id);
-            for env in msgs {
+        backend.step(|ctx| {
+            for env in ctx.drain() {
                 let NetPayload::DeltaRows {
                     table: ar_table,
                     rows,
@@ -92,16 +96,16 @@ pub(crate) fn update_ars(
                         "unexpected payload during AR update".into(),
                     ));
                 };
-                let node = cluster.node_mut(node_id)?;
                 for r in rows {
                     if insert {
-                        node.insert(ar_table, r)?;
+                        ctx.node.insert(ar_table, r)?;
                     } else {
-                        node.delete_row(ar_table, &r, &[info.key_pos])?;
+                        ctx.node.delete_row(ar_table, &r, &[info.key_pos])?;
                     }
                 }
             }
-        }
+            Ok(())
+        })?;
     }
     Ok(())
 }
@@ -191,8 +195,8 @@ fn probe_target(
 
 /// Propagate an already-applied base update (`placed` rows on relation
 /// `rel`) to the view, updating this view's ARs along the way.
-pub(crate) fn apply(
-    cluster: &mut Cluster,
+pub(crate) fn apply<B: Backend>(
+    backend: &mut B,
     handle: &ViewHandle,
     state: &AuxState,
     rel: usize,
@@ -201,15 +205,16 @@ pub(crate) fn apply(
     policy: JoinPolicy,
 ) -> Result<MaintenanceOutcome> {
     let table = handle.base[rel];
-    let arity = cluster.def(table)?.schema.arity();
+    let arity = backend.engine().def(table)?.schema.arity();
 
     // Base phase performed by the caller.
-    let base = cluster.meter().finish(cluster);
+    let g = backend.start_meter();
+    let base = backend.finish_meter(&g);
 
     // Phase: update the auxiliary relations of the updated relation —
     // unless a shared pool owns them (then the pool's single update
     // already happened and this view charges nothing).
-    let guard = cluster.meter();
+    let guard = backend.start_meter();
     if !state.shared {
         let my_ars: Vec<ArInfo> = state
             .ars
@@ -217,33 +222,33 @@ pub(crate) fn apply(
             .filter(|((r, _), _)| *r == rel)
             .map(|(_, info)| info.clone())
             .collect();
-        update_ars(cluster, &my_ars, placed, insert)?;
+        update_ars(backend, &my_ars, placed, insert)?;
     }
-    let aux = guard.finish(cluster);
+    let aux = backend.finish_meter(&guard);
 
     // Phase: compute the view changes by chaining through the ARs.
-    let guard = cluster.meter();
-    let fanout = crate::view_stats_fanout(cluster, handle)?;
+    let guard = backend.start_meter();
+    let fanout = crate::view_stats_fanout(backend.engine(), handle)?;
     let plan = plan_chain(&handle.def, rel, fanout)?;
-    let mut staged = chain::stage_delta(cluster, placed)?;
+    let mut staged = chain::stage_delta(backend.node_count(), placed)?;
     let mut layout = Layout::single(rel, (0..arity).collect());
     for step in &plan {
-        let target = probe_target(cluster, handle, state, step.rel, step.probe_col)?;
-        staged = chain::probe_step(cluster, staged, &layout, step, &target, policy)?;
+        let target = probe_target(backend.engine(), handle, state, step.rel, step.probe_col)?;
+        staged = chain::probe_step(backend, staged, &layout, step, &target, policy)?;
         layout.push(step.rel, target.carried.clone());
     }
-    chain::ship_to_view(cluster, handle, staged, &layout)?;
-    let compute = guard.finish(cluster);
+    chain::ship_to_view(backend, handle, staged, &layout)?;
+    let compute = backend.finish_meter(&guard);
 
     // Phase: apply the changes to the view.
-    let guard = cluster.meter();
+    let guard = backend.start_meter();
     let mode = if insert {
         ChainMode::Insert
     } else {
         ChainMode::Delete
     };
-    let view_rows = chain::apply_at_view(cluster, handle, mode)?;
-    let view = guard.finish(cluster);
+    let view_rows = chain::apply_at_view(backend, handle, mode)?;
+    let view = backend.finish_meter(&guard);
 
     Ok(MaintenanceOutcome {
         base,

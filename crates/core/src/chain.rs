@@ -5,8 +5,13 @@
 //! next relation. This module owns the common pieces: per-node staging of
 //! partials, filter evaluation for cyclic join graphs, and the final
 //! routing of completed join rows to the view's home nodes.
+//!
+//! Everything here is expressed against [`Backend::step`] — one closure
+//! per node, sends delivered at the next step — so the same driver code
+//! runs on the sequential cluster and on the threaded runtime with
+//! identical counted costs.
 
-use pvm_engine::{Cluster, NetPayload, TableId};
+use pvm_engine::{Backend, Cluster, NetPayload, NodeState, TableId};
 use pvm_types::{NodeId, Result, Row};
 
 use crate::layout::Layout;
@@ -47,11 +52,8 @@ pub(crate) fn empty_staged(l: usize) -> Staged {
 
 /// Place the delta rows at the base-relation nodes where the base update
 /// put (or found) them. No SENDs: the rows are already there.
-pub(crate) fn stage_delta(
-    cluster: &Cluster,
-    placed: &[(Row, pvm_types::GlobalRid)],
-) -> Result<Staged> {
-    let mut staged = empty_staged(cluster.node_count());
+pub(crate) fn stage_delta(l: usize, placed: &[(Row, pvm_types::GlobalRid)]) -> Result<Staged> {
+    let mut staged = empty_staged(l);
     for (row, grid) in placed {
         staged[grid.node.index()].push(row.clone());
     }
@@ -124,18 +126,19 @@ pub enum JoinPolicy {
 /// receiving node(s) — by index probes, or by one local scan when
 /// [`JoinPolicy::CostBased`] finds it cheaper. Filter and concatenate
 /// matches either way.
-pub(crate) fn probe_step(
-    cluster: &mut Cluster,
+pub(crate) fn probe_step<B: Backend>(
+    backend: &mut B,
     staged: Staged,
     layout: &Layout,
     step: &crate::planner::PlanStep,
     target: &ProbeTarget,
     policy: JoinPolicy,
 ) -> Result<Staged> {
-    let l = cluster.node_count();
+    let l = backend.node_count();
     let anchor_pos = layout.position(step.anchor)?;
-    for (src, partials) in staged.into_iter().enumerate() {
-        for partial in partials {
+    let staged = &staged;
+    backend.step(|ctx| {
+        for partial in &staged[ctx.id().index()] {
             let payload = NetPayload::DeltaRows {
                 table: target.table,
                 rows: vec![partial.clone()],
@@ -143,19 +146,16 @@ pub(crate) fn probe_step(
             if target.partitioned_on_key {
                 let v = partial.try_get(anchor_pos)?;
                 let dst = pvm_engine::PartitionSpec::route_value(v, l);
-                cluster.send(NodeId::from(src), dst, payload)?;
+                ctx.send(dst, payload)?;
             } else {
-                cluster.broadcast(NodeId::from(src), &payload)?;
+                ctx.broadcast(&payload)?;
             }
         }
-    }
-    let mut next = empty_staged(l);
-    #[allow(clippy::needless_range_loop)] // `cluster` is mutably borrowed inside
-    for dst in 0..l {
-        let node_id = NodeId::from(dst);
-        let msgs = cluster.fabric_mut().recv_all(node_id);
+        Ok(())
+    })?;
+    backend.step(|ctx| {
         let mut partials = Vec::new();
-        for env in msgs {
+        for env in ctx.drain() {
             let NetPayload::DeltaRows { rows, .. } = env.payload else {
                 return Err(pvm_types::PvmError::InvalidOperation(
                     "unexpected payload during probe step".into(),
@@ -164,48 +164,37 @@ pub(crate) fn probe_step(
             partials.extend(rows);
         }
         if partials.is_empty() {
-            continue;
+            return Ok(Vec::new());
         }
-        let use_scan = policy == JoinPolicy::CostBased
-            && scan_beats_probes(cluster, node_id, target, partials.len())?;
+        let use_scan =
+            policy == JoinPolicy::CostBased && scan_beats_probes(ctx.node, target, partials.len())?;
         if use_scan {
-            next[dst] = scan_join_at_node(
-                cluster, node_id, target, &partials, layout, step, anchor_pos,
-            )?;
+            scan_join_at_node(ctx.node, target, &partials, layout, step, anchor_pos)
         } else {
+            let mut out = Vec::new();
             for partial in partials {
                 let v = partial.try_get(anchor_pos)?.clone();
-                let matches = cluster.node_mut(node_id)?.index_search(
-                    target.table,
-                    &target.key,
-                    &Row::new(vec![v]),
-                )?;
+                let matches =
+                    ctx.node
+                        .index_search(target.table, &target.key, &Row::new(vec![v]))?;
                 for m in matches {
                     if filters_ok(&partial, layout, step, &m, &target.carried)? {
-                        next[dst].push(partial.concat(&m));
+                        out.push(partial.concat(&m));
                     }
                 }
             }
+            Ok(out)
         }
-    }
-    Ok(next)
+    })
 }
 
 /// §3.1.2 plan choice at one node: index nested loops costs one SEARCH per
 /// received partial plus (for non-clustered access) the expected fetches;
 /// a scan join costs the local fragment's pages, read once.
-fn scan_beats_probes(
-    cluster: &Cluster,
-    node: NodeId,
-    target: &ProbeTarget,
-    partials: usize,
-) -> Result<bool> {
-    let storage = cluster.node(node)?.storage(target.table)?;
+fn scan_beats_probes(node: &NodeState, target: &ProbeTarget, partials: usize) -> Result<bool> {
+    let storage = node.storage(target.table)?;
     let scan_cost = storage.heap_pages().max(1) as f64;
-    let fetch_per_probe = if cluster
-        .node(node)?
-        .is_clustered_on(target.table, &target.key)
-    {
+    let fetch_per_probe = if node.is_clustered_on(target.table, &target.key) {
         0.0
     } else {
         storage.stats().matches_per_value(target.key[0])
@@ -217,10 +206,8 @@ fn scan_beats_probes(
 /// Scan the local fragment once (charged as `pages` FETCH I/Os, the
 /// model's sort-merge accounting) and hash-join it with the received
 /// partials in memory.
-#[allow(clippy::too_many_arguments)]
 fn scan_join_at_node(
-    cluster: &mut Cluster,
-    node: NodeId,
+    node: &mut NodeState,
     target: &ProbeTarget,
     partials: &[Row],
     layout: &Layout,
@@ -228,16 +215,9 @@ fn scan_join_at_node(
     anchor_pos: usize,
 ) -> Result<Vec<Row>> {
     use std::collections::HashMap;
-    let pages = {
-        let storage = cluster.node(node)?.storage(target.table)?;
-        storage.heap_pages().max(1) as u64
-    };
-    cluster
-        .node_mut(node)?
-        .ledger_mut()
-        .record(pvm_types::CostKind::Fetch, pages);
-    let rows: Vec<Row> = cluster
-        .node(node)?
+    let pages = node.storage(target.table)?.heap_pages().max(1) as u64;
+    node.ledger_mut().record(pvm_types::CostKind::Fetch, pages);
+    let rows: Vec<Row> = node
         .storage(target.table)?
         .scan()?
         .into_iter()
@@ -272,20 +252,27 @@ fn scan_join_at_node(
 /// Project completed partials to view rows and ship them to the view's
 /// home nodes (part of the *compute* phase — the model's `K·SEND` toward
 /// node k). One message per producing node per destination.
-pub(crate) fn ship_to_view(
-    cluster: &mut Cluster,
+pub(crate) fn ship_to_view<B: Backend>(
+    backend: &mut B,
     handle: &ViewHandle,
     staged: Staged,
     layout: &Layout,
 ) -> Result<()> {
-    let l = cluster.node_count();
-    for (src, partials) in staged.into_iter().enumerate() {
+    let l = backend.node_count();
+    let view_spec = backend
+        .engine()
+        .def(handle.view_table)?
+        .partitioning
+        .clone();
+    let staged = &staged;
+    backend.step(|ctx| {
+        let partials = &staged[ctx.id().index()];
         if partials.is_empty() {
-            continue;
+            return Ok(());
         }
         let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
         for partial in partials {
-            let view_row = layout.project(&partial, &handle.def.projection)?;
+            let view_row = layout.project(partial, &handle.def.projection)?;
             // Aggregate views route by the group key's hash (stored rows
             // lead with the group columns; shipped rows are still in
             // projection layout).
@@ -293,7 +280,7 @@ pub(crate) fn ship_to_view(
                 Some(shape) => {
                     pvm_engine::PartitionSpec::route_value(view_row.try_get(shape.group_by[0])?, l)
                 }
-                None => cluster.route(handle.view_table, &view_row)?,
+                None => view_spec.route(&view_row, l, 0)?,
             };
             by_dst[dst.index()].push(view_row);
         }
@@ -301,8 +288,7 @@ pub(crate) fn ship_to_view(
             if rows.is_empty() {
                 continue;
             }
-            cluster.send(
-                NodeId::from(src),
+            ctx.send(
                 NodeId::from(dst),
                 NetPayload::ResultRows {
                     table: handle.view_table,
@@ -310,24 +296,22 @@ pub(crate) fn ship_to_view(
                 },
             )?;
         }
-    }
+        Ok(())
+    })?;
     Ok(())
 }
 
 /// Drain shipped view rows at every node and apply them (the *view*
 /// phase). Returns the number of view rows affected.
-pub(crate) fn apply_at_view(
-    cluster: &mut Cluster,
+pub(crate) fn apply_at_view<B: Backend>(
+    backend: &mut B,
     handle: &ViewHandle,
     mode: ChainMode,
 ) -> Result<u64> {
-    let l = cluster.node_count();
-    let mut affected = 0u64;
     let pcol = handle.view_pcol;
-    for n in 0..l {
-        let node_id = NodeId::from(n);
-        let msgs = cluster.fabric_mut().recv_all(node_id);
-        for env in msgs {
+    let per_node = backend.step(|ctx| {
+        let mut affected = 0u64;
+        for env in ctx.drain() {
             let NetPayload::ResultRows { table, rows } = env.payload else {
                 return Err(pvm_types::PvmError::InvalidOperation(
                     "unexpected payload at view-apply".into(),
@@ -336,15 +320,14 @@ pub(crate) fn apply_at_view(
             debug_assert_eq!(table, handle.view_table);
             match &handle.agg {
                 None => {
-                    let node = cluster.node_mut(node_id)?;
                     for row in rows {
                         match mode {
                             ChainMode::Insert => {
-                                node.insert(handle.view_table, row)?;
+                                ctx.node.insert(handle.view_table, row)?;
                                 affected += 1;
                             }
                             ChainMode::Delete => {
-                                if node.delete_row(handle.view_table, &row, &[pcol])? {
+                                if ctx.node.delete_row(handle.view_table, &row, &[pcol])? {
                                     affected += 1;
                                 }
                             }
@@ -359,8 +342,7 @@ pub(crate) fn apply_at_view(
                     let group_cols = shape.stored_group_positions();
                     for projected in rows {
                         fold_into_group(
-                            cluster,
-                            node_id,
+                            ctx.node,
                             handle.view_table,
                             shape,
                             &group_cols,
@@ -372,14 +354,14 @@ pub(crate) fn apply_at_view(
                 }
             }
         }
-    }
-    Ok(affected)
+        Ok(affected)
+    })?;
+    Ok(per_node.into_iter().sum())
 }
 
 /// Upsert one shipped join row into its aggregate group at `node`.
 fn fold_into_group(
-    cluster: &mut Cluster,
-    node_id: NodeId,
+    node: &mut NodeState,
     view_table: TableId,
     shape: &crate::aggregate::AggShape,
     group_cols: &[usize],
@@ -387,7 +369,6 @@ fn fold_into_group(
     sign: i64,
 ) -> Result<()> {
     let key = Row::new(shape.group_key(projected)?);
-    let node = cluster.node_mut(node_id)?;
     let existing = node.index_search(view_table, group_cols, &key)?;
     match existing.first() {
         Some(stored) => {

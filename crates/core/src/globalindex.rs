@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 
-use pvm_engine::{Cluster, NetPayload, PartitionSpec, TableDef, TableId};
+use pvm_engine::{Backend, Cluster, NetPayload, PartitionSpec, TableDef, TableId};
 use pvm_types::{Column, CostKind, GlobalRid, NodeId, PvmError, Result, Rid, Row, Schema, Value};
 
 use crate::chain::{self, ChainMode, JoinPolicy, ProbeTarget, Staged};
@@ -116,9 +116,11 @@ pub(crate) fn install(cluster: &mut Cluster, handle: &ViewHandle) -> Result<GiSt
 
 /// One two-hop GI probe step: route partials to the GI's home nodes,
 /// search the GI, fan out `(partial, rid list)` messages to the `K` nodes
-/// holding matches, fetch and join there.
-fn gi_probe_step(
-    cluster: &mut Cluster,
+/// holding matches, fetch and join there. Each hop is one backend step,
+/// so the two hops never interleave — sends during the GI-search step are
+/// not delivered until the fetch step begins.
+fn gi_probe_step<B: Backend>(
+    backend: &mut B,
     staged: Staged,
     layout: &Layout,
     step: &PlanStep,
@@ -126,16 +128,16 @@ fn gi_probe_step(
     base_table: TableId,
     base_arity: usize,
 ) -> Result<Staged> {
-    let l = cluster.node_count();
+    let l = backend.node_count();
     let anchor_pos = layout.position(step.anchor)?;
 
     // Hop 1: route each partial to the GI node of its probe value.
-    for (src, partials) in staged.into_iter().enumerate() {
-        for partial in partials {
+    let staged = &staged;
+    backend.step(|ctx| {
+        for partial in &staged[ctx.id().index()] {
             let v = partial.try_get(anchor_pos)?;
             let dst = PartitionSpec::route_value(v, l);
-            cluster.send(
-                NodeId::from(src),
+            ctx.send(
                 dst,
                 NetPayload::DeltaRows {
                     table: gi_table,
@@ -143,16 +145,12 @@ fn gi_probe_step(
                 },
             )?;
         }
-    }
+        Ok(())
+    })?;
 
-    // At the GI nodes: search, group rids by holder node. Buffer the
-    // fan-out sends until every hop-1 message is drained, so the two hops
-    // never interleave in the queues.
-    let mut fanout: Vec<(NodeId, NodeId, NetPayload)> = Vec::new();
-    for j in 0..l {
-        let node_id = NodeId::from(j);
-        let msgs = cluster.fabric_mut().recv_all(node_id);
-        for env in msgs {
+    // At the GI nodes: search, group rids by holder node, fan out.
+    backend.step(|ctx| {
+        for env in ctx.drain() {
             let NetPayload::DeltaRows { rows, .. } = env.payload else {
                 return Err(PvmError::InvalidOperation(
                     "unexpected payload at GI probe".into(),
@@ -160,10 +158,7 @@ fn gi_probe_step(
             };
             for partial in rows {
                 let v = partial.try_get(anchor_pos)?.clone();
-                let entries =
-                    cluster
-                        .node_mut(node_id)?
-                        .index_search(gi_table, &[0], &Row::new(vec![v]))?;
+                let entries = ctx.node.index_search(gi_table, &[0], &Row::new(vec![v]))?;
                 let mut by_node: HashMap<NodeId, Vec<GlobalRid>> = HashMap::new();
                 for e in &entries {
                     let grid = decode_entry(e)?;
@@ -173,31 +168,26 @@ fn gi_probe_step(
                 dsts.sort();
                 for dst in dsts {
                     let rids = by_node.remove(&dst).expect("key present");
-                    fanout.push((
-                        node_id,
+                    ctx.send(
                         dst,
                         NetPayload::RowWithRids {
                             table: base_table,
                             row: partial.clone(),
                             rids,
                         },
-                    ));
+                    )?;
                 }
             }
         }
-    }
-    for (src, dst, payload) in fanout {
-        cluster.send(src, dst, payload)?;
-    }
+        Ok(())
+    })?;
 
     // Hop 2: fetch and join at the holder nodes.
-    let mut next = chain::empty_staged(l);
     let carried: Vec<usize> = (0..base_arity).collect();
-    #[allow(clippy::needless_range_loop)] // `cluster` is mutably borrowed inside
-    for t in 0..l {
-        let node_id = NodeId::from(t);
-        let msgs = cluster.fabric_mut().recv_all(node_id);
-        for env in msgs {
+    let carried = &carried;
+    backend.step(|ctx| {
+        let mut out = Vec::new();
+        for env in ctx.drain() {
             let NetPayload::RowWithRids {
                 table,
                 row: partial,
@@ -209,44 +199,38 @@ fn gi_probe_step(
                 ));
             };
             debug_assert_eq!(table, base_table);
-            let clustered = cluster
-                .node(node_id)?
-                .is_clustered_on(base_table, &[step.probe_col]);
+            let clustered = ctx.node.is_clustered_on(base_table, &[step.probe_col]);
             let matches: Vec<Row> = if clustered {
                 // Distributed clustered: all local matches sit on one leaf
                 // page — the model charges one FETCH per node.
                 let v = partial.try_get(anchor_pos)?.clone();
-                cluster
-                    .node_mut(node_id)?
-                    .ledger_mut()
-                    .record(CostKind::Fetch, 1);
-                cluster
-                    .node(node_id)?
+                ctx.node.ledger_mut().record(CostKind::Fetch, 1);
+                ctx.node
                     .storage(base_table)?
                     .clustered_search(&Row::new(vec![v]))?
             } else {
                 // Distributed non-clustered: one FETCH per matching tuple.
-                let mut out = Vec::with_capacity(rids.len());
+                let mut fetched = Vec::with_capacity(rids.len());
                 for grid in &rids {
-                    debug_assert_eq!(grid.node, node_id);
-                    out.push(cluster.node_mut(node_id)?.fetch(base_table, grid.rid)?);
+                    debug_assert_eq!(grid.node, ctx.id());
+                    fetched.push(ctx.node.fetch(base_table, grid.rid)?);
                 }
-                out
+                fetched
             };
             for m in matches {
-                if chain::filters_ok(&partial, layout, step, &m, &carried)? {
-                    next[t].push(partial.concat(&m));
+                if chain::filters_ok(&partial, layout, step, &m, carried)? {
+                    out.push(partial.concat(&m));
                 }
             }
         }
-    }
-    Ok(next)
+        Ok(out)
+    })
 }
 
 /// Propagate an already-applied base update (`placed` rows with their
 /// global rids, on relation `rel`) to the view, updating this view's GIs.
-pub(crate) fn apply(
-    cluster: &mut Cluster,
+pub(crate) fn apply<B: Backend>(
+    backend: &mut B,
     handle: &ViewHandle,
     state: &GiState,
     rel: usize,
@@ -255,13 +239,15 @@ pub(crate) fn apply(
     policy: JoinPolicy,
 ) -> Result<MaintenanceOutcome> {
     let table = handle.base[rel];
-    let arity = cluster.def(table)?.schema.arity();
+    let arity = backend.engine().def(table)?.schema.arity();
+    let l = backend.node_count();
 
     // Base phase performed by the caller (which captured the rids).
-    let base = cluster.meter().finish(cluster);
+    let g = backend.start_meter();
+    let base = backend.finish_meter(&g);
 
     // Phase: update the global indices of the updated relation.
-    let guard = cluster.meter();
+    let guard = backend.start_meter();
     let my_gis: Vec<(usize, TableId)> = state
         .gis
         .iter()
@@ -269,52 +255,56 @@ pub(crate) fn apply(
         .map(|(&(_, c), info)| (c, info.table))
         .collect();
     for &(c, gi_table) in &my_gis {
-        for (row, grid) in placed {
-            let entry = gi_entry(row[c].clone(), *grid);
-            let dst = cluster.route(gi_table, &entry)?;
-            cluster.send(
-                grid.node,
-                dst,
-                NetPayload::DeltaRows {
-                    table: gi_table,
-                    rows: vec![entry],
-                },
-            )?;
-        }
-        for n in 0..cluster.node_count() {
-            let node_id = NodeId::from(n);
-            let msgs = cluster.fabric_mut().recv_all(node_id);
-            for env in msgs {
+        let spec = backend.engine().def(gi_table)?.partitioning.clone();
+        backend.step(|ctx| {
+            for (row, grid) in placed {
+                if grid.node != ctx.id() {
+                    continue;
+                }
+                let entry = gi_entry(row[c].clone(), *grid);
+                let dst = spec.route(&entry, l, 0)?;
+                ctx.send(
+                    dst,
+                    NetPayload::DeltaRows {
+                        table: gi_table,
+                        rows: vec![entry],
+                    },
+                )?;
+            }
+            Ok(())
+        })?;
+        backend.step(|ctx| {
+            for env in ctx.drain() {
                 let NetPayload::DeltaRows { table: t, rows } = env.payload else {
                     return Err(PvmError::InvalidOperation(
                         "unexpected payload during GI update".into(),
                     ));
                 };
-                let node = cluster.node_mut(node_id)?;
                 for r in rows {
                     if insert {
-                        node.insert(t, r)?;
+                        ctx.node.insert(t, r)?;
                     } else {
-                        node.delete_row(t, &r, &[0])?;
+                        ctx.node.delete_row(t, &r, &[0])?;
                     }
                 }
             }
-        }
+            Ok(())
+        })?;
     }
-    let aux = guard.finish(cluster);
+    let aux = backend.finish_meter(&guard);
 
     // Phase: compute the view changes.
-    let guard = cluster.meter();
-    let fanout = crate::view_stats_fanout(cluster, handle)?;
+    let guard = backend.start_meter();
+    let fanout = crate::view_stats_fanout(backend.engine(), handle)?;
     let plan = plan_chain(&handle.def, rel, fanout)?;
-    let mut staged = chain::stage_delta(cluster, placed)?;
+    let mut staged = chain::stage_delta(l, placed)?;
     let mut layout = Layout::single(rel, (0..arity).collect());
     for step in &plan {
         let target_table = handle.base[step.rel];
-        let target_arity = cluster.def(target_table)?.schema.arity();
+        let target_arity = backend.engine().def(target_table)?.schema.arity();
         if let Some(info) = state.gis.get(&(step.rel, step.probe_col)) {
             staged = gi_probe_step(
-                cluster,
+                backend,
                 staged,
                 &layout,
                 step,
@@ -325,7 +315,7 @@ pub(crate) fn apply(
         } else {
             // Base relation partitioned on the attribute: direct routed
             // probe, as in the other methods.
-            let def = cluster.def(target_table)?;
+            let def = backend.engine().def(target_table)?;
             if !def.partitioning.is_on(step.probe_col) {
                 return Err(PvmError::InvalidOperation(format!(
                     "no global index for ({}, {}) and base not partitioned on it",
@@ -338,22 +328,22 @@ pub(crate) fn apply(
                 key: vec![step.probe_col],
                 partitioned_on_key: true,
             };
-            staged = chain::probe_step(cluster, staged, &layout, step, &target, policy)?;
+            staged = chain::probe_step(backend, staged, &layout, step, &target, policy)?;
         }
         layout.push(step.rel, (0..target_arity).collect());
     }
-    chain::ship_to_view(cluster, handle, staged, &layout)?;
-    let compute = guard.finish(cluster);
+    chain::ship_to_view(backend, handle, staged, &layout)?;
+    let compute = backend.finish_meter(&guard);
 
     // Phase: apply the changes to the view.
-    let guard = cluster.meter();
+    let guard = backend.start_meter();
     let mode = if insert {
         ChainMode::Insert
     } else {
         ChainMode::Delete
     };
-    let view_rows = chain::apply_at_view(cluster, handle, mode)?;
-    let view = guard.finish(cluster);
+    let view_rows = chain::apply_at_view(backend, handle, mode)?;
+    let view = backend.finish_meter(&guard);
 
     Ok(MaintenanceOutcome {
         base,

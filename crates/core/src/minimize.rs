@@ -87,7 +87,7 @@ pub fn columns_saved(reqs: &[ArRequirement]) -> usize {
 
 use std::collections::HashMap;
 
-use pvm_engine::{Cluster, TableDef};
+use pvm_engine::{Backend, Cluster, TableDef};
 use pvm_types::{GlobalRid, PvmError, Result, Row};
 
 use crate::auxrel::{self, ArInfo};
@@ -221,9 +221,9 @@ impl ArPool {
 
     /// Propagate one already-applied base delta into every pool AR of
     /// `relation` — exactly once, regardless of how many views share them.
-    pub fn apply_base_delta(
+    pub fn apply_base_delta<B: Backend>(
         &self,
-        cluster: &mut Cluster,
+        backend: &mut B,
         relation: &str,
         placed: &[(Row, GlobalRid)],
         insert: bool,
@@ -234,7 +234,7 @@ impl ArPool {
             .filter(|((base, _), _)| base == relation)
             .map(|(_, info)| info.clone())
             .collect();
-        auxrel::update_ars(cluster, &mine, placed, insert)
+        auxrel::update_ars(backend, &mine, placed, insert)
     }
 
     /// Total pages occupied by the pool's ARs.

@@ -12,7 +12,7 @@
 //!   which nodes these matching tuples reside" — the expensive all-node
 //!   operation that motivates the paper.
 
-use pvm_engine::Cluster;
+use pvm_engine::{Backend, Cluster};
 use pvm_types::{Result, Row};
 
 use crate::chain::{self, ChainMode, JoinPolicy, ProbeTarget};
@@ -34,8 +34,8 @@ pub(crate) fn install(cluster: &mut Cluster, handle: &ViewHandle) -> Result<()> 
 
 /// Propagate an already-applied base update (`placed` rows on relation
 /// `rel`) to the view.
-pub(crate) fn apply(
-    cluster: &mut Cluster,
+pub(crate) fn apply<B: Backend>(
+    backend: &mut B,
     handle: &ViewHandle,
     rel: usize,
     placed: &[(Row, pvm_types::GlobalRid)],
@@ -43,43 +43,44 @@ pub(crate) fn apply(
     policy: JoinPolicy,
 ) -> Result<MaintenanceOutcome> {
     let table = handle.base[rel];
-    let arity = cluster.def(table)?.schema.arity();
+    let arity = backend.engine().def(table)?.schema.arity();
 
     // Base phase is performed by the caller; naive maintains no auxiliary
     // structures either.
-    let base = cluster.meter().finish(cluster);
-    let aux = cluster.meter().finish(cluster);
+    let g = backend.start_meter();
+    let base = backend.finish_meter(&g);
+    let aux = backend.finish_meter(&g);
 
     // Phase: compute the view changes.
-    let guard = cluster.meter();
-    let fanout = crate::view_stats_fanout(cluster, handle)?;
+    let guard = backend.start_meter();
+    let fanout = crate::view_stats_fanout(backend.engine(), handle)?;
     let plan = plan_chain(&handle.def, rel, fanout)?;
-    let mut staged = chain::stage_delta(cluster, placed)?;
+    let mut staged = chain::stage_delta(backend.node_count(), placed)?;
     let mut layout = Layout::single(rel, (0..arity).collect());
     for step in &plan {
         let target_table = handle.base[step.rel];
-        let def = cluster.def(target_table)?;
+        let def = backend.engine().def(target_table)?;
         let target = ProbeTarget {
             table: target_table,
             carried: (0..def.schema.arity()).collect(),
             key: vec![step.probe_col],
             partitioned_on_key: def.partitioning.is_on(step.probe_col),
         };
-        staged = chain::probe_step(cluster, staged, &layout, step, &target, policy)?;
+        staged = chain::probe_step(backend, staged, &layout, step, &target, policy)?;
         layout.push(step.rel, target.carried.clone());
     }
-    chain::ship_to_view(cluster, handle, staged, &layout)?;
-    let compute = guard.finish(cluster);
+    chain::ship_to_view(backend, handle, staged, &layout)?;
+    let compute = backend.finish_meter(&guard);
 
     // Phase: apply the changes to the view.
-    let guard = cluster.meter();
+    let guard = backend.start_meter();
     let mode = if insert {
         ChainMode::Insert
     } else {
         ChainMode::Delete
     };
-    let view_rows = chain::apply_at_view(cluster, handle, mode)?;
-    let view = guard.finish(cluster);
+    let view_rows = chain::apply_at_view(backend, handle, mode)?;
+    let view = backend.finish_meter(&guard);
 
     Ok(MaintenanceOutcome {
         base,

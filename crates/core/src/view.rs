@@ -1,7 +1,7 @@
 //! [`MaintainedView`]: a materialized join view plus the machinery that
 //! keeps it consistent under one of the three maintenance methods.
 
-use pvm_engine::{exec, Cluster, MeterReport, PartitionSpec, TableDef, TableId};
+use pvm_engine::{exec, Backend, Cluster, MeterReport, PartitionSpec, TableDef, TableId};
 use pvm_storage::Organization;
 use pvm_types::{PvmError, Result, Row};
 
@@ -416,10 +416,11 @@ impl MaintainedView {
 
     /// Apply a delta on base relation `rel` (by definition index),
     /// maintaining base table, method structures, and the view. Returns
-    /// the phase-split cost report.
-    pub fn apply(
+    /// the phase-split cost report. Works against any [`Backend`] — the
+    /// sequential [`Cluster`] or a threaded runtime.
+    pub fn apply<B: Backend>(
         &mut self,
-        cluster: &mut Cluster,
+        backend: &mut B,
         rel: usize,
         delta: &Delta,
     ) -> Result<MaintenanceOutcome> {
@@ -432,11 +433,11 @@ impl MaintainedView {
         let (deletes, inserts) = delta.phases();
         let mut outcome: Option<MaintenanceOutcome> = None;
         if let Some(rows) = deletes {
-            let o = self.apply_rows(cluster, rel, rows, false)?;
+            let o = self.apply_rows(backend, rel, rows, false)?;
             outcome = Some(o);
         }
         if let Some(rows) = inserts {
-            let o = self.apply_rows(cluster, rel, rows, true)?;
+            let o = self.apply_rows(backend, rel, rows, true)?;
             outcome = Some(match outcome {
                 Some(prev) => prev.merge(o),
                 None => o,
@@ -445,15 +446,15 @@ impl MaintainedView {
         outcome.ok_or_else(|| PvmError::InvalidOperation("empty delta".into()))
     }
 
-    fn apply_rows(
+    fn apply_rows<B: Backend>(
         &mut self,
-        cluster: &mut Cluster,
+        backend: &mut B,
         rel: usize,
         rows: &[Row],
         insert: bool,
     ) -> Result<MaintenanceOutcome> {
-        let (base, placed) = update_base(cluster, self.handle.base[rel], rows, insert)?;
-        let mut outcome = self.apply_prepared(cluster, rel, &placed, insert)?;
+        let (base, placed) = update_base(backend, self.handle.base[rel], rows, insert)?;
+        let mut outcome = self.apply_prepared(backend, rel, &placed, insert)?;
         outcome.base = base;
         Ok(outcome)
     }
@@ -463,9 +464,9 @@ impl MaintainedView {
     /// occupied (insert) or vacated (delete). This is the entry point for
     /// maintaining several views over one shared base update; see
     /// [`maintain_all`]. The returned outcome's `base` phase is empty.
-    pub fn apply_prepared(
+    pub fn apply_prepared<B: Backend>(
         &mut self,
-        cluster: &mut Cluster,
+        backend: &mut B,
         rel: usize,
         placed: &[(Row, pvm_types::GlobalRid)],
         insert: bool,
@@ -479,14 +480,14 @@ impl MaintainedView {
         let handle = &self.handle;
         let policy = self.policy;
         match self.method {
-            MaintenanceMethod::Naive => naive::apply(cluster, handle, rel, placed, insert, policy),
+            MaintenanceMethod::Naive => naive::apply(backend, handle, rel, placed, insert, policy),
             MaintenanceMethod::AuxiliaryRelation => {
                 let state = self.aux.as_ref().expect("aux state installed");
-                auxrel::apply(cluster, handle, state, rel, placed, insert, policy)
+                auxrel::apply(backend, handle, state, rel, placed, insert, policy)
             }
             MaintenanceMethod::GlobalIndex => {
                 let state = self.gi.as_ref().expect("gi state installed");
-                globalindex::apply(cluster, handle, state, rel, placed, insert, policy)
+                globalindex::apply(backend, handle, state, rel, placed, insert, policy)
             }
         }
     }
@@ -513,20 +514,20 @@ impl MaintainedView {
     /// auxiliary-structure update, and view update commit or roll back as
     /// one unit. On error, every node's DML is undone (deleted rows come
     /// back at their original rids) and the error is returned.
-    pub fn apply_atomic(
+    pub fn apply_atomic<B: Backend>(
         &mut self,
-        cluster: &mut Cluster,
+        backend: &mut B,
         rel: usize,
         delta: &Delta,
     ) -> Result<MaintenanceOutcome> {
-        cluster.begin_txn()?;
-        match self.apply(cluster, rel, delta) {
+        backend.begin_txn()?;
+        match self.apply(backend, rel, delta) {
             Ok(outcome) => {
-                cluster.commit_txn()?;
+                backend.commit_txn()?;
                 Ok(outcome)
             }
             Err(e) => {
-                cluster.abort_txn()?;
+                backend.abort_txn()?;
                 Err(e)
             }
         }
@@ -585,15 +586,16 @@ impl MaintainedView {
 /// plus each row's global rid placement (occupied on insert, vacated on
 /// delete). Rows absent at delete time are skipped — they contribute no
 /// view delta.
-pub(crate) fn update_base(
-    cluster: &mut Cluster,
+pub(crate) fn update_base<B: Backend>(
+    backend: &mut B,
     table: TableId,
     rows: &[Row],
     insert: bool,
 ) -> Result<(MeterReport, Vec<(Row, pvm_types::GlobalRid)>)> {
     use pvm_types::GlobalRid;
-    let guard = cluster.meter();
+    let guard = backend.start_meter();
     let mut placed = Vec::with_capacity(rows.len());
+    let cluster = backend.engine_mut();
     if insert {
         for (row, (node, rid)) in rows.iter().zip(cluster.insert(table, rows.to_vec())?) {
             placed.push((row.clone(), GlobalRid::new(node, rid)));
@@ -609,7 +611,7 @@ pub(crate) fn update_base(
             placed.push((row.clone(), GlobalRid::new(home, rid)));
         }
     }
-    Ok((guard.finish(cluster), placed))
+    Ok((backend.finish_meter(&guard), placed))
 }
 
 /// Maintain several views over one shared base-relation delta: the base
@@ -618,24 +620,24 @@ pub(crate) fn update_base(
 /// situation §2.1.2 discusses. Views that do not reference `relation` are
 /// left untouched. Returns one outcome per view, in input order (the
 /// shared base phase is reported on the first maintained view).
-pub fn maintain_all(
-    cluster: &mut Cluster,
+pub fn maintain_all<B: Backend>(
+    backend: &mut B,
     views: &mut [&mut MaintainedView],
     relation: &str,
     delta: &Delta,
 ) -> Result<Vec<MaintenanceOutcome>> {
-    let table = cluster.table_id(relation)?;
+    let table = backend.engine().table_id(relation)?;
     let mut outcomes: Vec<Option<MaintenanceOutcome>> = views.iter().map(|_| None).collect();
     let (deletes, inserts) = delta.phases();
     for (rows, insert) in [(deletes, false), (inserts, true)] {
         let Some(rows) = rows else { continue };
-        let (base, placed) = update_base(cluster, table, rows, insert)?;
+        let (base, placed) = update_base(backend, table, rows, insert)?;
         let mut base = Some(base);
         for (i, view) in views.iter_mut().enumerate() {
             let Ok(rel) = view.handle.def.relation_index(relation) else {
                 continue;
             };
-            let mut out = view.apply_prepared(cluster, rel, &placed, insert)?;
+            let mut out = view.apply_prepared(backend, rel, &placed, insert)?;
             if let Some(b) = base.take() {
                 out.base = b;
             }
@@ -651,9 +653,9 @@ pub fn maintain_all(
                 if first.is_none() {
                     *first = Some(MaintenanceOutcome {
                         base: b.clone(),
-                        aux: empty_report(cluster),
-                        compute: empty_report(cluster),
-                        view: empty_report(cluster),
+                        aux: empty_report(backend),
+                        compute: empty_report(backend),
+                        view: empty_report(backend),
                         view_rows: 0,
                     });
                 }
@@ -686,36 +688,37 @@ pub fn maintain_all(
         .collect())
 }
 
-fn empty_report(cluster: &Cluster) -> MeterReport {
-    cluster.meter().finish(cluster)
+fn empty_report<B: Backend>(backend: &B) -> MeterReport {
+    let guard = backend.start_meter();
+    backend.finish_meter(&guard)
 }
 
 /// [`maintain_all`] for pool-backed views: the base table is updated
 /// once, **each shared AR is updated once** (by the pool), and then every
 /// view's compute/apply phases run. The pool's AR-update cost is reported
 /// in the first outcome's `aux` phase.
-pub fn maintain_all_pooled(
-    cluster: &mut Cluster,
+pub fn maintain_all_pooled<B: Backend>(
+    backend: &mut B,
     pool: &crate::minimize::ArPool,
     views: &mut [&mut MaintainedView],
     relation: &str,
     delta: &Delta,
 ) -> Result<Vec<MaintenanceOutcome>> {
-    let table = cluster.table_id(relation)?;
+    let table = backend.engine().table_id(relation)?;
     let mut outcomes: Vec<Option<MaintenanceOutcome>> = views.iter().map(|_| None).collect();
     let (deletes, inserts) = delta.phases();
     for (rows, insert) in [(deletes, false), (inserts, true)] {
         let Some(rows) = rows else { continue };
-        let (base, placed) = update_base(cluster, table, rows, insert)?;
-        let guard = cluster.meter();
-        pool.apply_base_delta(cluster, relation, &placed, insert)?;
-        let pool_aux = guard.finish(cluster);
+        let (base, placed) = update_base(backend, table, rows, insert)?;
+        let guard = backend.start_meter();
+        pool.apply_base_delta(backend, relation, &placed, insert)?;
+        let pool_aux = backend.finish_meter(&guard);
         let mut shared_phases = Some((base, pool_aux));
         for (i, view) in views.iter_mut().enumerate() {
             let Ok(rel) = view.handle.def.relation_index(relation) else {
                 continue;
             };
-            let mut out = view.apply_prepared(cluster, rel, &placed, insert)?;
+            let mut out = view.apply_prepared(backend, rel, &placed, insert)?;
             if let Some((b, a)) = shared_phases.take() {
                 out.base = b;
                 out.aux = a;

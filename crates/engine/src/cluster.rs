@@ -203,6 +203,13 @@ impl Cluster {
         &mut self.fabric
     }
 
+    /// Split-borrow the node slice and the fabric together, so per-node
+    /// work can run against node state while sends charge the fabric —
+    /// the borrow shape every [`crate::backend::Backend`] step needs.
+    pub fn nodes_and_fabric_mut(&mut self) -> (&mut [NodeState], &mut Fabric<NetPayload>) {
+        (&mut self.nodes, &mut self.fabric)
+    }
+
     // ---------------------------------------------------------------- DDL
 
     /// Create a table at every node and register it in the catalog.

@@ -12,6 +12,7 @@
 //! (naive / auxiliary relation / global index) live in `pvm-core` and are
 //! expressed purely in terms of this crate's API.
 
+pub mod backend;
 pub mod catalog;
 pub mod cluster;
 pub mod exec;
@@ -21,6 +22,7 @@ pub mod node;
 pub mod partition;
 pub mod wal;
 
+pub use backend::{Backend, StepCtx, StepSink};
 pub use catalog::{Catalog, TableDef, TableId};
 pub use cluster::{Cluster, ClusterConfig};
 pub use message::NetPayload;

@@ -30,7 +30,9 @@ impl MessageSize for NetPayload {
             NetPayload::DeltaRows { rows, .. } | NetPayload::ResultRows { rows, .. } => {
                 4 + rows.iter().map(Row::byte_size).sum::<usize>()
             }
-            NetPayload::RowWithRids { row, rids, .. } => 4 + row.byte_size() + rids.len() * 8,
+            NetPayload::RowWithRids { row, rids, .. } => {
+                4 + row.byte_size() + rids.iter().map(MessageSize::byte_size).sum::<usize>()
+            }
         }
     }
 }

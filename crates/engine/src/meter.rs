@@ -21,25 +21,45 @@ pub struct MeterGuard {
 
 impl MeterGuard {
     pub fn start(cluster: &Cluster) -> Self {
-        MeterGuard {
-            per_node: cluster
+        MeterGuard::from_snapshots(
+            cluster
                 .nodes()
                 .iter()
                 .map(|n| n.combined_snapshot())
                 .collect(),
-            net: cluster.fabric().ledger().snapshot(),
-        }
+            cluster.fabric().ledger().snapshot(),
+        )
     }
 
     pub fn finish(&self, cluster: &Cluster) -> MeterReport {
-        let per_node = cluster
-            .nodes()
-            .iter()
+        self.finish_with(
+            cluster.nodes().iter().map(|n| n.combined_snapshot()),
+            cluster.fabric().ledger().snapshot(),
+        )
+    }
+
+    /// Build a guard from raw "before" snapshots — the entry point for
+    /// [`crate::backend::Backend`] implementations whose interconnect
+    /// counters live outside the cluster's [`pvm_net::Fabric`].
+    pub fn from_snapshots(per_node: Vec<CostSnapshot>, net: CostSnapshot) -> Self {
+        MeterGuard { per_node, net }
+    }
+
+    /// Diff "now" snapshots against this guard's captured baseline.
+    pub fn finish_with(
+        &self,
+        per_node_now: impl IntoIterator<Item = CostSnapshot>,
+        net_now: CostSnapshot,
+    ) -> MeterReport {
+        let per_node = per_node_now
+            .into_iter()
             .zip(&self.per_node)
-            .map(|(n, before)| n.combined_snapshot() - *before)
+            .map(|(now, before)| now - *before)
             .collect();
-        let net = cluster.fabric().ledger().snapshot() - self.net;
-        MeterReport { per_node, net }
+        MeterReport {
+            per_node,
+            net: net_now - self.net,
+        }
     }
 }
 

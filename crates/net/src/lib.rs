@@ -41,7 +41,50 @@ impl MessageSize for pvm_types::Row {
 
 impl MessageSize for pvm_types::GlobalRid {
     fn byte_size(&self) -> usize {
-        8
+        // Derived from the actual wire encoding so byte accounting stays
+        // honest if the rid layout ever changes width.
+        self.encode().len()
+    }
+}
+
+/// The node-facing interface to the interconnect, abstracted over the
+/// delivery mechanism. [`Fabric`] is the deterministic single-threaded
+/// implementation; `pvm-runtime` provides a channel-backed one where
+/// each node runs on its own thread. Implementations must preserve the
+/// metering contract: one `SEND` (plus payload bytes) per message
+/// between distinct nodes, local deliveries uncharged unless configured
+/// otherwise, and per-`(src, dst)` FIFO ordering on delivery.
+pub trait Transport<P: MessageSize> {
+    /// Number of nodes this transport connects.
+    fn node_count(&self) -> usize;
+
+    /// Point-to-point send from `src` to `dst`.
+    fn send(&mut self, src: NodeId, dst: NodeId, payload: P) -> Result<()>;
+
+    /// Drain every message queued for `dst`.
+    fn recv_all(&mut self, dst: NodeId) -> Vec<Envelope<P>>;
+
+    /// Send copies of `payload` to each node in `dsts`.
+    fn multicast(&mut self, src: NodeId, dsts: &[NodeId], payload: &P) -> Result<()>
+    where
+        P: Clone,
+    {
+        for &d in dsts {
+            self.send(src, d, payload.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Send copies of `payload` to every node (including `src`, whose
+    /// copy is an uncharged local delivery by default).
+    fn broadcast(&mut self, src: NodeId, payload: &P) -> Result<()>
+    where
+        P: Clone,
+    {
+        for d in 0..self.node_count() {
+            self.send(src, NodeId::from(d), payload.clone())?;
+        }
+        Ok(())
     }
 }
 
@@ -177,6 +220,20 @@ impl<P: MessageSize> Fabric<P> {
     }
 }
 
+impl<P: MessageSize> Transport<P> for Fabric<P> {
+    fn node_count(&self) -> usize {
+        Fabric::node_count(self)
+    }
+
+    fn send(&mut self, src: NodeId, dst: NodeId, payload: P) -> Result<()> {
+        Fabric::send(self, src, dst, payload)
+    }
+
+    fn recv_all(&mut self, dst: NodeId) -> Vec<Envelope<P>> {
+        Fabric::recv_all(self, dst)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +316,28 @@ mod tests {
         assert!(f.send(NodeId(0), NodeId(9), Msg(0)).is_err());
         assert!(f.send(NodeId(9), NodeId(0), Msg(0)).is_err());
         assert!(f.recv_all(NodeId(9)).is_empty());
+    }
+
+    #[test]
+    fn global_rid_size_matches_encoding() {
+        use pvm_types::{GlobalRid, Rid};
+        let g = GlobalRid::new(NodeId(3), Rid::new(7, 2));
+        assert_eq!(g.byte_size(), g.encode().len());
+    }
+
+    #[test]
+    fn fabric_usable_through_transport_trait() {
+        fn exercise<T: Transport<Msg>>(t: &mut T) {
+            t.broadcast(NodeId(0), &Msg(1)).unwrap();
+            t.multicast(NodeId(1), &[NodeId(0)], &Msg(2)).unwrap();
+            assert_eq!(t.node_count(), 3);
+            assert_eq!(t.recv_all(NodeId(0)).len(), 2);
+        }
+        let mut f = fabric(3);
+        exercise(&mut f);
+        // Trait defaults route through `send`, so charging is identical
+        // to the inherent methods: broadcast L-1, multicast 1.
+        assert_eq!(f.ledger().snapshot().sends, 3);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! | [`pvm_storage`] | slotted pages, buffer pool, B+tree, tables |
 //! | [`pvm_net`] | simulated interconnect with SEND metering |
 //! | [`pvm_engine`] | the parallel RDBMS: catalog, partitioning, DML, joins |
+//! | [`pvm_runtime`] | threaded per-node execution with a channel interconnect |
 //! | [`pvm_core`] | the three maintenance methods, planner, advisor |
 //! | [`pvm_model`] | the paper's analytical cost model |
 //! | [`pvm_workload`] | TPC-R-shaped data and synthetic workloads |
@@ -55,6 +56,7 @@ pub use pvm_core as core;
 pub use pvm_engine as engine;
 pub use pvm_model as model;
 pub use pvm_net as net;
+pub use pvm_runtime as runtime;
 pub use pvm_sql as sql;
 pub use pvm_storage as storage;
 pub use pvm_types as types;
@@ -66,11 +68,12 @@ pub mod prelude {
         advise, maintain_all, maintain_all_pooled, Advice, ArPool, Delta, JoinPolicy, JoinViewDef,
         MaintainedView, MaintenanceMethod, MaintenanceOutcome, ViewColumn, ViewEdge,
     };
-    pub use pvm_engine::{Cluster, ClusterConfig, PartitionSpec, TableDef, TableId};
+    pub use pvm_engine::{Backend, Cluster, ClusterConfig, PartitionSpec, TableDef, TableId};
     pub use pvm_model::{
         choose_method, predict_chain, response_time, savings_vs_naive, tw, ChainStep, ChooserInput,
         MethodVariant, ModelParams, Recommendation,
     };
+    pub use pvm_runtime::{RuntimeConfig, ThreadedCluster};
     pub use pvm_sql::{Session, SqlOutput};
     pub use pvm_storage::Organization;
     pub use pvm_types::{

@@ -586,7 +586,12 @@ impl Session {
         rows.sort();
         // Hide the aggregate views' internal `__count` bookkeeping column.
         let visible: Vec<usize> = (0..schema.arity())
-            .filter(|&i| schema.column(i).map(|c| c.name != "__count").unwrap_or(true))
+            .filter(|&i| {
+                schema
+                    .column(i)
+                    .map(|c| c.name != "__count")
+                    .unwrap_or(true)
+            })
             .collect();
         let (schema, rows) = if visible.len() == schema.arity() {
             (schema, rows)

@@ -226,8 +226,12 @@ fn ddl_including_drops_replays() {
 fn aggregate_views_recover_too() {
     use pvm::core::{AggShape, AggSpec};
     let mut cluster = wal_cluster(3);
-    SyntheticRelation::new("a", 24, 4).install(&mut cluster).unwrap();
-    SyntheticRelation::new("b", 24, 4).install(&mut cluster).unwrap();
+    SyntheticRelation::new("a", 24, 4)
+        .install(&mut cluster)
+        .unwrap();
+    SyntheticRelation::new("b", 24, 4)
+        .install(&mut cluster)
+        .unwrap();
     let def = JoinViewDef::two_way("agg", "a", "b", 1, 1, 3, 3);
     let shape = AggShape {
         group_by: vec![1],
