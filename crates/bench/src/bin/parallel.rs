@@ -14,10 +14,16 @@
 //! on few cores: scoped step threads are short-lived, and letting each
 //! one pull a fresh malloc arena otherwise dominates the measurement.
 
+//!
+//! Pass `--trace <path>` to instead run a compact traced round covering
+//! all three maintenance methods on the threaded backend and write a
+//! Chrome `trace_event` file (open in Perfetto / `chrome://tracing`)
+//! plus a JSONL event dump and per-phase metric summaries.
+
 use std::time::Instant;
 
 use pvm::prelude::*;
-use pvm_bench::{header, series_labels, series_row};
+use pvm_bench::{capture_trace, header, series_labels, series_row, trace_arg};
 
 /// Rows preloaded into the probed relation `b`.
 const B_ROWS: i64 = 160_000;
@@ -65,6 +71,14 @@ fn run<B: Backend>(backend: &mut B, view: &mut MaintainedView) -> (f64, u64) {
 }
 
 fn main() {
+    if let Some(path) = trace_arg() {
+        header(
+            "parallel --trace",
+            "three-method traced round, threaded backend",
+        );
+        capture_trace(&path, 4, true);
+        return;
+    }
     header(
         "parallel",
         "threaded runtime wall-clock speedup over the sequential backend (AR method)",

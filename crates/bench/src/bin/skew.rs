@@ -16,8 +16,14 @@
 //! GI imbalance grows with the Zipf exponent, eroding (but not erasing)
 //! their response-time advantage.
 
+//!
+//! Pass `--trace <path>` to instead run a compact traced round covering
+//! all three maintenance methods on the sequential backend and write a
+//! Chrome `trace_event` file plus a JSONL event dump and per-phase
+//! metric summaries.
+
 use pvm::prelude::*;
-use pvm_bench::{header, series_labels, series_row};
+use pvm_bench::{capture_trace, header, series_labels, series_row, trace_arg};
 
 const L: usize = 8;
 const DELTA: u64 = 256;
@@ -59,6 +65,14 @@ fn delta_rows(dist: &dyn Distribution, seed: u64) -> Vec<Row> {
 }
 
 fn main() {
+    if let Some(path) = trace_arg() {
+        header(
+            "skew --trace",
+            "three-method traced round, sequential backend",
+        );
+        capture_trace(&path, L, false);
+        return;
+    }
     header(
         "Skew ablation",
         &format!(

@@ -9,6 +9,91 @@
 //! the same aligned, diff-friendly format recorded in `EXPERIMENTS.md`.
 
 use std::fmt::Display;
+use std::path::{Path, PathBuf};
+
+/// Parse a `--trace <path>` flag from the process arguments.
+pub fn trace_arg() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Run one compact maintenance round with all three methods (as three
+/// views over the same base tables) under a recording trace sink, then
+/// write a Chrome `trace_event` file to `path`, a JSONL event dump next
+/// to it (`.jsonl`), and print per-phase metric summaries as JSON lines.
+///
+/// The capture is deliberately small — tracing a full sweep would bury
+/// the timeline — and runs on the threaded backend when `threaded` so
+/// transport batching and barrier-wait metrics show up too.
+pub fn capture_trace(path: &Path, l: usize, threaded: bool) {
+    use pvm::obs::{chrome_trace, jsonl, MemorySink};
+    use pvm::prelude::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(2048));
+    let schema =
+        || Schema::new(vec![Column::int("id"), Column::int("j"), Column::str("p")]).into_ref();
+    cluster
+        .create_table(TableDef::hash_heap("a", schema(), 0))
+        .unwrap();
+    let b = cluster
+        .create_table(TableDef::hash_heap("b", schema(), 0))
+        .unwrap();
+    cluster
+        .insert(b, (0..64i64).map(|i| row![i, i % 16, "b"]).collect())
+        .unwrap();
+    let mut views = Vec::new();
+    for (name, method) in [
+        ("jv_naive", MaintenanceMethod::Naive),
+        ("jv_ar", MaintenanceMethod::AuxiliaryRelation),
+        ("jv_gi", MaintenanceMethod::GlobalIndex),
+    ] {
+        let def = JoinViewDef::two_way(name, "a", "b", 1, 1, 3, 3);
+        views.push(MaintainedView::create(&mut cluster, def, method).unwrap());
+    }
+    let sink = Arc::new(MemorySink::new(l));
+    cluster.set_trace_sink(sink.clone());
+    let obs = cluster.obs_handle();
+    let delta = Delta::Insert((0..32i64).map(|i| row![10_000 + i, i % 16, "a"]).collect());
+    let mut view_refs: Vec<&mut MaintainedView> = views.iter_mut().collect();
+    if threaded {
+        let mut backend = ThreadedCluster::from_cluster(cluster);
+        maintain_all(&mut backend, &mut view_refs, "a", &delta).unwrap();
+    } else {
+        maintain_all(&mut cluster, &mut view_refs, "a", &delta).unwrap();
+    }
+
+    let events = sink.events();
+    std::fs::write(path, chrome_trace(&events)).expect("write chrome trace");
+    std::fs::write(path.with_extension("jsonl"), jsonl(&events)).expect("write jsonl trace");
+
+    // Per-(method, phase) roll-up of the captured events.
+    let mut agg: BTreeMap<(&str, &str), (u64, u64)> = BTreeMap::new();
+    for e in &events {
+        let m = e.method.map(|m| m.label()).unwrap_or("engine");
+        let slot = agg.entry((m, e.phase.label())).or_default();
+        slot.0 += 1;
+        slot.1 += e.count;
+    }
+    for ((m, p), (n, rows)) in &agg {
+        println!(
+            "{{\"trace_summary\": true, \"method\": \"{m}\", \"phase\": \"{p}\", \
+             \"events\": {n}, \"rows\": {rows}}}"
+        );
+    }
+    println!("{}", obs.metrics().to_json());
+    println!(
+        "trace: {} events -> {} (+ .jsonl)",
+        events.len(),
+        path.display()
+    );
+}
 
 /// Print a figure/table header.
 pub fn header(id: &str, caption: &str) {

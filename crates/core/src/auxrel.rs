@@ -24,6 +24,7 @@
 use std::collections::HashMap;
 
 use pvm_engine::{Backend, Cluster, NetPayload, TableDef, TableId};
+use pvm_obs::{MethodTag, Phase};
 use pvm_types::{PvmError, Result, Row};
 
 use crate::chain::{self, ChainMode, JoinPolicy, ProbeTarget};
@@ -63,6 +64,7 @@ pub(crate) fn update_ars<B: Backend>(
     ars: &[ArInfo],
     placed: &[(Row, pvm_types::GlobalRid)],
     insert: bool,
+    method: MethodTag,
 ) -> Result<()> {
     let l = backend.node_count();
     for info in ars {
@@ -74,6 +76,16 @@ pub(crate) fn update_ars<B: Backend>(
                 }
                 let projected = row.project(&info.keep_cols)?;
                 let dst = spec.route(&projected, l, 0)?;
+                if ctx.tracing() {
+                    ctx.trace(Phase::Route, method)
+                        .key(projected.try_get(info.key_pos)?.to_string())
+                        .count(1)
+                        .emit();
+                    ctx.obs()
+                        .metrics()
+                        .histogram(pvm_obs::metric::fanout(method))
+                        .observe(1);
+                }
                 ctx.send(
                     dst,
                     NetPayload::DeltaRows {
@@ -86,6 +98,7 @@ pub(crate) fn update_ars<B: Backend>(
         })?;
         // Drain and apply at every node.
         backend.step(|ctx| {
+            let mut applied = 0u64;
             for env in ctx.drain() {
                 let NetPayload::DeltaRows {
                     table: ar_table,
@@ -102,6 +115,15 @@ pub(crate) fn update_ars<B: Backend>(
                     } else {
                         ctx.node.delete_row(ar_table, &r, &[info.key_pos])?;
                     }
+                    applied += 1;
+                }
+            }
+            if applied > 0 {
+                ctx.count_work(applied);
+                if ctx.tracing() {
+                    ctx.trace_span(Phase::IndexUpdate, method)
+                        .count(applied)
+                        .emit();
                 }
             }
             Ok(())
@@ -215,6 +237,7 @@ pub(crate) fn apply<B: Backend>(
     // unless a shared pool owns them (then the pool's single update
     // already happened and this view charges nothing).
     let guard = backend.start_meter();
+    let mark = chain::phase_mark(backend);
     if !state.shared {
         let my_ars: Vec<ArInfo> = state
             .ars
@@ -222,32 +245,45 @@ pub(crate) fn apply<B: Backend>(
             .filter(|((r, _), _)| *r == rel)
             .map(|(_, info)| info.clone())
             .collect();
-        update_ars(backend, &my_ars, placed, insert)?;
+        update_ars(backend, &my_ars, placed, insert, MethodTag::AuxRel)?;
     }
+    chain::coord_phase(backend, Phase::Aux, MethodTag::AuxRel, mark);
     let aux = backend.finish_meter(&guard);
 
     // Phase: compute the view changes by chaining through the ARs.
     let guard = backend.start_meter();
+    let mark = chain::phase_mark(backend);
     let fanout = crate::view_stats_fanout(backend.engine(), handle)?;
     let plan = plan_chain(&handle.def, rel, fanout)?;
     let mut staged = chain::stage_delta(backend.node_count(), placed)?;
     let mut layout = Layout::single(rel, (0..arity).collect());
     for step in &plan {
         let target = probe_target(backend.engine(), handle, state, step.rel, step.probe_col)?;
-        staged = chain::probe_step(backend, staged, &layout, step, &target, policy)?;
+        staged = chain::probe_step(
+            backend,
+            staged,
+            &layout,
+            step,
+            &target,
+            policy,
+            MethodTag::AuxRel,
+        )?;
         layout.push(step.rel, target.carried.clone());
     }
-    chain::ship_to_view(backend, handle, staged, &layout)?;
+    chain::ship_to_view(backend, handle, staged, &layout, MethodTag::AuxRel)?;
+    chain::coord_phase(backend, Phase::Compute, MethodTag::AuxRel, mark);
     let compute = backend.finish_meter(&guard);
 
     // Phase: apply the changes to the view.
     let guard = backend.start_meter();
+    let mark = chain::phase_mark(backend);
     let mode = if insert {
         ChainMode::Insert
     } else {
         ChainMode::Delete
     };
-    let view_rows = chain::apply_at_view(backend, handle, mode)?;
+    let view_rows = chain::apply_at_view(backend, handle, mode, MethodTag::AuxRel)?;
+    chain::coord_phase(backend, Phase::View, MethodTag::AuxRel, mark);
     let view = backend.finish_meter(&guard);
 
     Ok(MaintenanceOutcome {

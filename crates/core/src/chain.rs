@@ -12,6 +12,7 @@
 //! identical counted costs.
 
 use pvm_engine::{Backend, Cluster, NetPayload, NodeState, TableId};
+use pvm_obs::{metric, MethodTag, Phase, TraceEvent, COORD};
 use pvm_types::{NodeId, Result, Row};
 
 use crate::layout::Layout;
@@ -34,6 +35,27 @@ pub(crate) fn ensure_join_index(cluster: &mut Cluster, table: TableId, col: usiz
         cluster.create_secondary_index(table, format!("{name}_jattr{col}"), vec![col])?;
     }
     Ok(())
+}
+
+/// Logical-clock reading taken at the start of a driver phase; pair with
+/// [`coord_phase`] to bracket the phase on the trace timeline.
+pub(crate) fn phase_mark<B: Backend>(backend: &B) -> u64 {
+    backend.engine().obs_handle().now()
+}
+
+/// Emit a coordinator-scope span for a driver phase that ran from logical
+/// mark `t0` (see [`phase_mark`]) to now. Steps executed inside the phase
+/// carry clock values `t0+1 ..= now`, so the span covers
+/// `[t0 + 1, now + 1)`. Phases that ran no steps emit nothing.
+pub(crate) fn coord_phase<B: Backend>(backend: &B, phase: Phase, method: MethodTag, t0: u64) {
+    let obs = backend.engine().obs_handle();
+    if !obs.enabled() {
+        return;
+    }
+    let t1 = obs.now();
+    if t1 > t0 {
+        obs.emit(TraceEvent::span(phase, COORD, t0 + 1, t1 + 1).with_method(method));
+    }
 }
 
 /// Whether the chain's output is inserted into or deleted from the view.
@@ -133,6 +155,7 @@ pub(crate) fn probe_step<B: Backend>(
     step: &crate::planner::PlanStep,
     target: &ProbeTarget,
     policy: JoinPolicy,
+    method: MethodTag,
 ) -> Result<Staged> {
     let l = backend.node_count();
     let anchor_pos = layout.position(step.anchor)?;
@@ -143,6 +166,21 @@ pub(crate) fn probe_step<B: Backend>(
                 table: target.table,
                 rows: vec![partial.clone()],
             };
+            // Fan-out K of this partial: one routed destination, or all
+            // L nodes for the naive broadcast.
+            let k = if target.partitioned_on_key {
+                1
+            } else {
+                l as u64
+            };
+            if ctx.tracing() {
+                let key = partial.try_get(anchor_pos)?.to_string();
+                ctx.trace(Phase::Route, method).key(key).count(k).emit();
+                ctx.obs()
+                    .metrics()
+                    .histogram(metric::fanout(method))
+                    .observe(k);
+            }
             if target.partitioned_on_key {
                 let v = partial.try_get(anchor_pos)?;
                 let dst = pvm_engine::PartitionSpec::route_value(v, l);
@@ -166,10 +204,16 @@ pub(crate) fn probe_step<B: Backend>(
         if partials.is_empty() {
             return Ok(Vec::new());
         }
+        ctx.count_work(partials.len() as u64);
         let use_scan =
             policy == JoinPolicy::CostBased && scan_beats_probes(ctx.node, target, partials.len())?;
-        if use_scan {
-            scan_join_at_node(ctx.node, target, &partials, layout, step, anchor_pos)
+        if ctx.tracing() {
+            ctx.trace_span(Phase::Probe, method)
+                .count(partials.len() as u64)
+                .emit();
+        }
+        let out = if use_scan {
+            scan_join_at_node(ctx.node, target, &partials, layout, step, anchor_pos)?
         } else {
             let mut out = Vec::new();
             for partial in partials {
@@ -183,8 +227,14 @@ pub(crate) fn probe_step<B: Backend>(
                     }
                 }
             }
-            Ok(out)
+            out
+        };
+        if ctx.tracing() && !out.is_empty() {
+            ctx.trace_span(Phase::Join, method)
+                .count(out.len() as u64)
+                .emit();
         }
+        Ok(out)
     })
 }
 
@@ -257,6 +307,7 @@ pub(crate) fn ship_to_view<B: Backend>(
     handle: &ViewHandle,
     staged: Staged,
     layout: &Layout,
+    method: MethodTag,
 ) -> Result<()> {
     let l = backend.node_count();
     let view_spec = backend
@@ -269,6 +320,11 @@ pub(crate) fn ship_to_view<B: Backend>(
         let partials = &staged[ctx.id().index()];
         if partials.is_empty() {
             return Ok(());
+        }
+        if ctx.tracing() {
+            ctx.trace_span(Phase::Ship, method)
+                .count(partials.len() as u64)
+                .emit();
         }
         let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
         for partial in partials {
@@ -307,6 +363,7 @@ pub(crate) fn apply_at_view<B: Backend>(
     backend: &mut B,
     handle: &ViewHandle,
     mode: ChainMode,
+    method: MethodTag,
 ) -> Result<u64> {
     let pcol = handle.view_pcol;
     let per_node = backend.step(|ctx| {
@@ -352,6 +409,14 @@ pub(crate) fn apply_at_view<B: Backend>(
                         affected += 1;
                     }
                 }
+            }
+        }
+        if affected > 0 {
+            ctx.count_work(affected);
+            if ctx.tracing() {
+                ctx.trace_span(Phase::ViewApply, method)
+                    .count(affected)
+                    .emit();
             }
         }
         Ok(affected)

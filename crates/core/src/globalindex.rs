@@ -23,6 +23,7 @@
 use std::collections::HashMap;
 
 use pvm_engine::{Backend, Cluster, NetPayload, PartitionSpec, TableDef, TableId};
+use pvm_obs::{metric, MethodTag, Phase};
 use pvm_types::{Column, CostKind, GlobalRid, NodeId, PvmError, Result, Rid, Row, Schema, Value};
 
 use crate::chain::{self, ChainMode, JoinPolicy, ProbeTarget, Staged};
@@ -137,6 +138,12 @@ fn gi_probe_step<B: Backend>(
         for partial in &staged[ctx.id().index()] {
             let v = partial.try_get(anchor_pos)?;
             let dst = PartitionSpec::route_value(v, l);
+            if ctx.tracing() {
+                ctx.trace(Phase::Route, MethodTag::GlobalIndex)
+                    .key(v.to_string())
+                    .count(1)
+                    .emit();
+            }
             ctx.send(
                 dst,
                 NetPayload::DeltaRows {
@@ -150,6 +157,7 @@ fn gi_probe_step<B: Backend>(
 
     // At the GI nodes: search, group rids by holder node, fan out.
     backend.step(|ctx| {
+        let mut probed = 0u64;
         for env in ctx.drain() {
             let NetPayload::DeltaRows { rows, .. } = env.payload else {
                 return Err(PvmError::InvalidOperation(
@@ -166,6 +174,15 @@ fn gi_probe_step<B: Backend>(
                 }
                 let mut dsts: Vec<NodeId> = by_node.keys().copied().collect();
                 dsts.sort();
+                // The paper's K: how many holder nodes this delta actually
+                // fans out to (K <= min(N, L)).
+                if ctx.tracing() {
+                    ctx.obs()
+                        .metrics()
+                        .histogram(metric::fanout(MethodTag::GlobalIndex))
+                        .observe(dsts.len() as u64);
+                }
+                probed += 1;
                 for dst in dsts {
                     let rids = by_node.remove(&dst).expect("key present");
                     ctx.send(
@@ -179,6 +196,14 @@ fn gi_probe_step<B: Backend>(
                 }
             }
         }
+        if probed > 0 {
+            ctx.count_work(probed);
+            if ctx.tracing() {
+                ctx.trace_span(Phase::Probe, MethodTag::GlobalIndex)
+                    .count(probed)
+                    .emit();
+            }
+        }
         Ok(())
     })?;
 
@@ -187,6 +212,7 @@ fn gi_probe_step<B: Backend>(
     let carried = &carried;
     backend.step(|ctx| {
         let mut out = Vec::new();
+        let mut joined = 0u64;
         for env in ctx.drain() {
             let NetPayload::RowWithRids {
                 table,
@@ -217,10 +243,19 @@ fn gi_probe_step<B: Backend>(
                 }
                 fetched
             };
+            joined += 1;
             for m in matches {
                 if chain::filters_ok(&partial, layout, step, &m, carried)? {
                     out.push(partial.concat(&m));
                 }
+            }
+        }
+        if joined > 0 {
+            ctx.count_work(joined);
+            if ctx.tracing() {
+                ctx.trace_span(Phase::Join, MethodTag::GlobalIndex)
+                    .count(out.len() as u64)
+                    .emit();
             }
         }
         Ok(out)
@@ -248,6 +283,7 @@ pub(crate) fn apply<B: Backend>(
 
     // Phase: update the global indices of the updated relation.
     let guard = backend.start_meter();
+    let mark = chain::phase_mark(backend);
     let my_gis: Vec<(usize, TableId)> = state
         .gis
         .iter()
@@ -274,6 +310,7 @@ pub(crate) fn apply<B: Backend>(
             Ok(())
         })?;
         backend.step(|ctx| {
+            let mut applied = 0u64;
             for env in ctx.drain() {
                 let NetPayload::DeltaRows { table: t, rows } = env.payload else {
                     return Err(PvmError::InvalidOperation(
@@ -286,15 +323,26 @@ pub(crate) fn apply<B: Backend>(
                     } else {
                         ctx.node.delete_row(t, &r, &[0])?;
                     }
+                    applied += 1;
+                }
+            }
+            if applied > 0 {
+                ctx.count_work(applied);
+                if ctx.tracing() {
+                    ctx.trace_span(Phase::IndexUpdate, MethodTag::GlobalIndex)
+                        .count(applied)
+                        .emit();
                 }
             }
             Ok(())
         })?;
     }
+    chain::coord_phase(backend, Phase::Aux, MethodTag::GlobalIndex, mark);
     let aux = backend.finish_meter(&guard);
 
     // Phase: compute the view changes.
     let guard = backend.start_meter();
+    let mark = chain::phase_mark(backend);
     let fanout = crate::view_stats_fanout(backend.engine(), handle)?;
     let plan = plan_chain(&handle.def, rel, fanout)?;
     let mut staged = chain::stage_delta(l, placed)?;
@@ -328,21 +376,32 @@ pub(crate) fn apply<B: Backend>(
                 key: vec![step.probe_col],
                 partitioned_on_key: true,
             };
-            staged = chain::probe_step(backend, staged, &layout, step, &target, policy)?;
+            staged = chain::probe_step(
+                backend,
+                staged,
+                &layout,
+                step,
+                &target,
+                policy,
+                MethodTag::GlobalIndex,
+            )?;
         }
         layout.push(step.rel, (0..target_arity).collect());
     }
-    chain::ship_to_view(backend, handle, staged, &layout)?;
+    chain::ship_to_view(backend, handle, staged, &layout, MethodTag::GlobalIndex)?;
+    chain::coord_phase(backend, Phase::Compute, MethodTag::GlobalIndex, mark);
     let compute = backend.finish_meter(&guard);
 
     // Phase: apply the changes to the view.
     let guard = backend.start_meter();
+    let mark = chain::phase_mark(backend);
     let mode = if insert {
         ChainMode::Insert
     } else {
         ChainMode::Delete
     };
-    let view_rows = chain::apply_at_view(backend, handle, mode)?;
+    let view_rows = chain::apply_at_view(backend, handle, mode, MethodTag::GlobalIndex)?;
+    chain::coord_phase(backend, Phase::View, MethodTag::GlobalIndex, mark);
     let view = backend.finish_meter(&guard);
 
     Ok(MaintenanceOutcome {

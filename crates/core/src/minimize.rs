@@ -234,7 +234,7 @@ impl ArPool {
             .filter(|((base, _), _)| base == relation)
             .map(|(_, info)| info.clone())
             .collect();
-        auxrel::update_ars(backend, &mine, placed, insert)
+        auxrel::update_ars(backend, &mine, placed, insert, pvm_obs::MethodTag::AuxRel)
     }
 
     /// Total pages occupied by the pool's ARs.

@@ -13,6 +13,7 @@
 //!   operation that motivates the paper.
 
 use pvm_engine::{Backend, Cluster};
+use pvm_obs::{MethodTag, Phase};
 use pvm_types::{Result, Row};
 
 use crate::chain::{self, ChainMode, JoinPolicy, ProbeTarget};
@@ -53,6 +54,7 @@ pub(crate) fn apply<B: Backend>(
 
     // Phase: compute the view changes.
     let guard = backend.start_meter();
+    let mark = chain::phase_mark(backend);
     let fanout = crate::view_stats_fanout(backend.engine(), handle)?;
     let plan = plan_chain(&handle.def, rel, fanout)?;
     let mut staged = chain::stage_delta(backend.node_count(), placed)?;
@@ -66,20 +68,31 @@ pub(crate) fn apply<B: Backend>(
             key: vec![step.probe_col],
             partitioned_on_key: def.partitioning.is_on(step.probe_col),
         };
-        staged = chain::probe_step(backend, staged, &layout, step, &target, policy)?;
+        staged = chain::probe_step(
+            backend,
+            staged,
+            &layout,
+            step,
+            &target,
+            policy,
+            MethodTag::Naive,
+        )?;
         layout.push(step.rel, target.carried.clone());
     }
-    chain::ship_to_view(backend, handle, staged, &layout)?;
+    chain::ship_to_view(backend, handle, staged, &layout, MethodTag::Naive)?;
+    chain::coord_phase(backend, Phase::Compute, MethodTag::Naive, mark);
     let compute = backend.finish_meter(&guard);
 
     // Phase: apply the changes to the view.
     let guard = backend.start_meter();
+    let mark = chain::phase_mark(backend);
     let mode = if insert {
         ChainMode::Insert
     } else {
         ChainMode::Delete
     };
-    let view_rows = chain::apply_at_view(backend, handle, mode)?;
+    let view_rows = chain::apply_at_view(backend, handle, mode, MethodTag::Naive)?;
+    chain::coord_phase(backend, Phase::View, MethodTag::Naive, mark);
     let view = backend.finish_meter(&guard);
 
     Ok(MaintenanceOutcome {

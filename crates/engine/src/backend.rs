@@ -25,6 +25,7 @@
 //!   any transport-level batching.
 
 use pvm_net::{Envelope, Fabric, Transport};
+use pvm_obs::{metric, MethodTag, Obs, Phase, TraceEvent};
 use pvm_types::{CostSnapshot, NodeId, Result};
 
 use crate::cluster::Cluster;
@@ -56,6 +57,8 @@ pub struct StepCtx<'a> {
     pub node: &'a mut NodeState,
     inbox: Vec<Envelope<NetPayload>>,
     sink: &'a mut dyn StepSink,
+    obs: &'a Obs,
+    step: u64,
 }
 
 impl<'a> StepCtx<'a> {
@@ -65,6 +68,8 @@ impl<'a> StepCtx<'a> {
         node: &'a mut NodeState,
         inbox: Vec<Envelope<NetPayload>>,
         sink: &'a mut dyn StepSink,
+        obs: &'a Obs,
+        step: u64,
     ) -> Self {
         StepCtx {
             id,
@@ -72,6 +77,8 @@ impl<'a> StepCtx<'a> {
             node,
             inbox,
             sink,
+            obs,
+            step,
         }
     }
 
@@ -81,6 +88,54 @@ impl<'a> StepCtx<'a> {
 
     pub fn node_count(&self) -> usize {
         self.node_count
+    }
+
+    /// Logical step (epoch) this context executes in.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// The cluster's observability handle.
+    pub fn obs(&self) -> &Obs {
+        self.obs
+    }
+
+    /// True when a trace sink is recording — check before building
+    /// per-delta events so keys/strings aren't allocated for nothing.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.obs.enabled()
+    }
+
+    /// Build an instant lifecycle event on this node at the current step
+    /// (for fine-grained per-tuple marks).
+    pub fn trace(&self, phase: Phase, method: MethodTag) -> TraceEventSlot<'_> {
+        TraceEventSlot {
+            obs: self.obs,
+            ev: TraceEvent::instant(phase, self.id.index() as u32, self.step).with_method(method),
+        }
+    }
+
+    /// Build a one-epoch span on this node — the node-level summary of a
+    /// lifecycle phase executed during this step; renders as a visible
+    /// span on the node's timeline track.
+    pub fn trace_span(&self, phase: Phase, method: MethodTag) -> TraceEventSlot<'_> {
+        TraceEventSlot {
+            obs: self.obs,
+            ev: TraceEvent::span(phase, self.id.index() as u32, self.step, self.step + 1)
+                .with_method(method),
+        }
+    }
+
+    /// Bump this node's work-share counter (skew detection); gated so an
+    /// untraced run pays only the `enabled` load.
+    pub fn count_work(&self, units: u64) {
+        if self.tracing() {
+            self.obs
+                .metrics()
+                .counter(&metric::work_share(self.id.index() as u32))
+                .add(units);
+        }
     }
 
     /// Take every message addressed to this node this step.
@@ -100,6 +155,58 @@ impl<'a> StepCtx<'a> {
             self.sink.send(self.id, NodeId::from(d), payload.clone())?;
         }
         Ok(())
+    }
+}
+
+/// A trace event under construction (from [`StepCtx::trace`]); records to
+/// the sink on [`TraceEventSlot::emit`]. A dropped slot emits nothing.
+pub struct TraceEventSlot<'a> {
+    obs: &'a Obs,
+    ev: TraceEvent,
+}
+
+impl TraceEventSlot<'_> {
+    pub fn key(mut self, key: impl Into<String>) -> Self {
+        self.ev = self.ev.with_key(key);
+        self
+    }
+
+    pub fn peer(mut self, peer: NodeId) -> Self {
+        self.ev = self.ev.with_peer(peer.index() as u32);
+        self
+    }
+
+    pub fn bytes(mut self, bytes: u64) -> Self {
+        self.ev = self.ev.with_bytes(bytes);
+        self
+    }
+
+    pub fn count(mut self, count: u64) -> Self {
+        self.ev = self.ev.with_count(count);
+        self
+    }
+
+    pub fn emit(self) {
+        self.obs.emit(self.ev);
+    }
+}
+
+/// Per-step inbox instrumentation shared by both backends so their
+/// traces and metrics are comparable: always observes the inbox-depth
+/// histogram; when tracing, emits a `Recv` instant per non-empty inbox
+/// with message count and byte volume.
+pub fn note_inbox(obs: &Obs, step: u64, node: NodeId, inbox: &[Envelope<NetPayload>]) {
+    use pvm_net::MessageSize;
+    obs.metrics()
+        .histogram(metric::INBOX_DEPTH)
+        .observe(inbox.len() as u64);
+    if obs.enabled() && !inbox.is_empty() {
+        let bytes: u64 = inbox.iter().map(|e| e.payload.byte_size() as u64).sum();
+        obs.emit(
+            TraceEvent::instant(Phase::Recv, node.index() as u32, step)
+                .with_count(inbox.len() as u64)
+                .with_bytes(bytes),
+        );
     }
 }
 
@@ -135,22 +242,12 @@ pub trait Backend {
 
     /// Begin metering a phase (node counters + backend interconnect).
     fn start_meter(&self) -> MeterGuard {
-        MeterGuard::from_snapshots(
-            self.engine()
-                .nodes()
-                .iter()
-                .map(|n| n.combined_snapshot())
-                .collect(),
-            self.net_snapshot(),
-        )
+        MeterGuard::from_snapshots(self.engine().node_snapshots(), self.net_snapshot())
     }
 
     /// Close a metered phase started with [`Backend::start_meter`].
     fn finish_meter(&self, guard: &MeterGuard) -> MeterReport {
-        guard.finish_with(
-            self.engine().nodes().iter().map(|n| n.combined_snapshot()),
-            self.net_snapshot(),
-        )
+        guard.finish_with(self.engine().node_snapshots(), self.net_snapshot())
     }
 
     fn begin_txn(&mut self) -> Result<()> {
@@ -188,6 +285,8 @@ impl Backend for Cluster {
         F: Fn(&mut StepCtx<'_>) -> Result<R> + Sync,
     {
         let l = Cluster::node_count(self);
+        let obs = self.obs_handle();
+        let step = obs.begin_step();
         // Deliver everything queued before the step began. Sends made
         // *during* the step land in the fabric queues and are picked up
         // by the next step's pre-drain — the epoch semantics the threaded
@@ -198,7 +297,8 @@ impl Backend for Cluster {
         let (nodes, fabric) = self.nodes_and_fabric_mut();
         let mut out = Vec::with_capacity(l);
         for (i, (node, inbox)) in nodes.iter_mut().zip(inboxes).enumerate() {
-            let mut ctx = StepCtx::new(NodeId::from(i), l, node, inbox, fabric);
+            note_inbox(&obs, step, NodeId::from(i), &inbox);
+            let mut ctx = StepCtx::new(NodeId::from(i), l, node, inbox, fabric, &obs, step);
             out.push(f(&mut ctx)?);
         }
         Ok(out)

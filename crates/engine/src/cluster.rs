@@ -1,7 +1,10 @@
 //! The cluster: `L` nodes, a catalog, and the interconnect.
 
+use std::sync::Arc;
+
 use pvm_net::{Fabric, NetConfig};
-use pvm_types::{NodeId, PvmError, Result, Row};
+use pvm_obs::{Obs, TraceSink};
+use pvm_types::{CostSnapshot, NodeId, PvmError, Result, Row};
 
 use crate::catalog::{Catalog, TableDef, TableId};
 use crate::message::NetPayload;
@@ -71,6 +74,9 @@ pub struct Cluster {
     rr_seq: u64,
     txn_active: bool,
     wal: Option<crate::node::WalSink>,
+    /// Observability handle, shared with the fabric (and with the
+    /// threaded runtime's transport when one wraps this cluster).
+    obs: Arc<Obs>,
 }
 
 impl Cluster {
@@ -88,15 +94,37 @@ impl Cluster {
         } else {
             None
         };
+        let obs = Arc::new(Obs::new());
+        let mut fabric = Fabric::new(config.nodes, config.net);
+        fabric.set_obs(obs.clone());
         Cluster {
             config,
             catalog: Catalog::new(),
             nodes,
-            fabric: Fabric::new(config.nodes, config.net),
+            fabric,
             rr_seq: 0,
             txn_active: false,
             wal,
+            obs,
         }
+    }
+
+    /// The cluster's observability handle (tracing gate, metrics
+    /// registry, logical step clock). Cheap to clone; disabled — and
+    /// therefore cost-free on hot paths — until a sink is installed.
+    pub fn obs_handle(&self) -> Arc<Obs> {
+        self.obs.clone()
+    }
+
+    /// Install a trace sink and start recording lifecycle events.
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) {
+        self.obs.install(sink);
+    }
+
+    /// Current combined (abstract-op + page-I/O) counters of every node,
+    /// in node order — the baseline/closing capture used by metering.
+    pub fn node_snapshots(&self) -> Vec<CostSnapshot> {
+        self.nodes.iter().map(|n| n.combined_snapshot()).collect()
     }
 
     fn log_wal(&self, rec: crate::wal::WalRecord) {

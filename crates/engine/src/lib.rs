@@ -22,7 +22,7 @@ pub mod node;
 pub mod partition;
 pub mod wal;
 
-pub use backend::{Backend, StepCtx, StepSink};
+pub use backend::{note_inbox, Backend, StepCtx, StepSink, TraceEventSlot};
 pub use catalog::{Catalog, TableDef, TableId};
 pub use cluster::{Cluster, ClusterConfig};
 pub use message::NetPayload;

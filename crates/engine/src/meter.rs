@@ -22,18 +22,14 @@ pub struct MeterGuard {
 impl MeterGuard {
     pub fn start(cluster: &Cluster) -> Self {
         MeterGuard::from_snapshots(
-            cluster
-                .nodes()
-                .iter()
-                .map(|n| n.combined_snapshot())
-                .collect(),
+            cluster.node_snapshots(),
             cluster.fabric().ledger().snapshot(),
         )
     }
 
     pub fn finish(&self, cluster: &Cluster) -> MeterReport {
         self.finish_with(
-            cluster.nodes().iter().map(|n| n.combined_snapshot()),
+            cluster.node_snapshots(),
             cluster.fabric().ledger().snapshot(),
         )
     }
@@ -46,12 +42,27 @@ impl MeterGuard {
     }
 
     /// Diff "now" snapshots against this guard's captured baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of "now" snapshots differs from the baseline's
+    /// node count — that means the guard is being finished against a
+    /// different cluster (or one that was resized mid-region), and a
+    /// silently truncated report would misattribute costs.
     pub fn finish_with(
         &self,
         per_node_now: impl IntoIterator<Item = CostSnapshot>,
         net_now: CostSnapshot,
     ) -> MeterReport {
-        let per_node = per_node_now
+        let now: Vec<CostSnapshot> = per_node_now.into_iter().collect();
+        assert_eq!(
+            now.len(),
+            self.per_node.len(),
+            "MeterGuard::finish_with: {} snapshots for a {}-node baseline",
+            now.len(),
+            self.per_node.len()
+        );
+        let per_node = now
             .into_iter()
             .zip(&self.per_node)
             .map(|(now, before)| now - *before)
@@ -176,5 +187,66 @@ mod tests {
         assert_eq!(r.response_time_io(), 0.0);
         assert_eq!(r.response_time_pages(), 0);
         assert_eq!(r.active_nodes(), 0);
+    }
+
+    #[test]
+    fn finish_with_diffs_against_baseline() {
+        let guard = MeterGuard::from_snapshots(
+            vec![snap(10, 2), snap(0, 0)],
+            CostSnapshot {
+                sends: 3,
+                bytes_sent: 30,
+                ..Default::default()
+            },
+        );
+        let report = guard.finish_with(
+            vec![snap(15, 2), snap(4, 1)],
+            CostSnapshot {
+                sends: 5,
+                bytes_sent: 80,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.per_node, vec![snap(5, 0), snap(4, 1)]);
+        assert_eq!(report.net.sends, 2);
+        assert_eq!(report.net.bytes_sent, 50);
+        // Finishing again against the same "now" is idempotent — the
+        // guard's baseline is immutable.
+        let again = guard.finish_with(vec![snap(15, 2), snap(4, 1)], CostSnapshot::default());
+        assert_eq!(again.per_node, report.per_node);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 snapshots for a 2-node baseline")]
+    fn finish_with_rejects_node_count_mismatch() {
+        let guard = MeterGuard::from_snapshots(vec![snap(0, 0); 2], CostSnapshot::default());
+        guard.finish_with(vec![snap(0, 0); 3], CostSnapshot::default());
+    }
+
+    #[test]
+    fn response_time_is_busiest_node_not_sum() {
+        // Two nodes at 3 I/Os each: TW doubles, response time does not —
+        // the parallelism the paper's §3.1.2 metric captures.
+        let r = MeterReport {
+            per_node: vec![snap(3, 0), snap(3, 0)],
+            net: CostSnapshot::default(),
+        };
+        assert_eq!(r.total_workload_io(), 6.0);
+        assert_eq!(r.response_time_io(), 3.0);
+    }
+
+    #[test]
+    fn page_metrics_and_totals() {
+        let pages = |r, w| CostSnapshot {
+            page_reads: r,
+            page_writes: w,
+            ..Default::default()
+        };
+        let r = MeterReport {
+            per_node: vec![pages(4, 1), pages(2, 2)],
+            net: CostSnapshot::default(),
+        };
+        assert_eq!(r.response_time_pages(), 5);
+        assert_eq!(r.total_pages(), 9);
     }
 }

@@ -12,7 +12,9 @@
 //! model's worst case exactly).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
+use pvm_obs::{Obs, Phase, TraceEvent};
 use pvm_types::{CostLedger, NodeId, PvmError, Result};
 
 /// Anything sendable must report a payload size for byte accounting.
@@ -112,6 +114,9 @@ pub struct Fabric<P> {
     ledger: CostLedger,
     sends_by_src: Vec<u64>,
     delivered: u64,
+    /// Observability handle; trace emission is gated on `obs.enabled()`
+    /// and never touches the cost ledger.
+    obs: Option<Arc<Obs>>,
 }
 
 impl<P: MessageSize> Fabric<P> {
@@ -123,7 +128,14 @@ impl<P: MessageSize> Fabric<P> {
             ledger: CostLedger::new(),
             sends_by_src: vec![0; nodes],
             delivered: 0,
+            obs: None,
         }
+    }
+
+    /// Attach the cluster's observability handle so sends show up in
+    /// recorded traces.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(obs);
     }
 
     pub fn node_count(&self) -> usize {
@@ -148,6 +160,15 @@ impl<P: MessageSize> Fabric<P> {
         if src != dst || self.config.charge_local_delivery {
             self.ledger.record_send(payload.byte_size() as u64);
             self.sends_by_src[src.index()] += 1;
+        }
+        if let Some(obs) = &self.obs {
+            if obs.enabled() {
+                obs.emit(
+                    TraceEvent::instant(Phase::Send, src.index() as u32, obs.now())
+                        .with_peer(dst.index() as u32)
+                        .with_bytes(payload.byte_size() as u64),
+                );
+            }
         }
         self.queues[dst.index()].push_back(Envelope { src, dst, payload });
         Ok(())

@@ -1,0 +1,243 @@
+//! Exporters: JSONL event dumps and Chrome `trace_event` timelines.
+//!
+//! Both are hand-rolled (the workspace is offline and carries no JSON
+//! dependency) and keyed on *logical step time* — one backend epoch is
+//! rendered as 1000 µs — so the emitted files are byte-identical across
+//! the sequential and threaded backends for the same workload.
+
+use crate::event::{TraceEvent, COORD};
+use std::fmt::Write;
+
+/// Escape `s` as a JSON string literal (with surrounding quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn event_json(ev: &TraceEvent) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"phase\":{},\"node\":{},\"step_begin\":{},\"step_end\":{}",
+        json_string(ev.phase.label()),
+        if ev.node == COORD { -1 } else { ev.node as i64 },
+        ev.step_begin,
+        ev.step_end
+    );
+    if let Some(m) = ev.method {
+        let _ = write!(out, ",\"method\":{}", json_string(m.label()));
+    }
+    if let Some(p) = ev.peer {
+        let _ = write!(out, ",\"peer\":{p}");
+    }
+    if let Some(k) = &ev.key {
+        let _ = write!(out, ",\"key\":{}", json_string(k));
+    }
+    if ev.bytes > 0 {
+        let _ = write!(out, ",\"bytes\":{}", ev.bytes);
+    }
+    if ev.count > 0 {
+        let _ = write!(out, ",\"count\":{}", ev.count);
+    }
+    out.push('}');
+    out
+}
+
+/// Render events as JSON Lines: one self-contained JSON object per line.
+pub fn jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Microseconds per logical step in the exported timeline. Arbitrary but
+/// fixed: makes one epoch one visible millisecond in Perfetto.
+const US_PER_STEP: u64 = 1000;
+
+/// Track id for a node (coordinator gets track 0, nodes get 1..).
+fn tid(node: u32) -> u32 {
+    if node == COORD {
+        0
+    } else {
+        node + 1
+    }
+}
+
+fn chrome_args(ev: &TraceEvent) -> String {
+    let mut args = String::from("{");
+    let mut first = true;
+    let mut field = |out: &mut String, body: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&body);
+    };
+    if let Some(m) = ev.method {
+        field(&mut args, format!("\"method\":{}", json_string(m.label())));
+    }
+    field(&mut args, format!("\"step\":{}", ev.step_begin));
+    if let Some(p) = ev.peer {
+        field(&mut args, format!("\"peer\":{p}"));
+    }
+    if let Some(k) = &ev.key {
+        field(&mut args, format!("\"key\":{}", json_string(k)));
+    }
+    if ev.bytes > 0 {
+        field(&mut args, format!("\"bytes\":{}", ev.bytes));
+    }
+    if ev.count > 0 {
+        field(&mut args, format!("\"count\":{}", ev.count));
+    }
+    args.push('}');
+    args
+}
+
+/// Render events as a Chrome `trace_event` JSON document, loadable in
+/// `chrome://tracing` or Perfetto. Spans become "X" (complete) events,
+/// instants become "i" events; each node is a thread (named via "M"
+/// metadata), the coordinator is thread 0.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, body: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&body);
+    };
+
+    // Thread-name metadata for every track that appears.
+    let mut tracks: Vec<u32> = events.iter().map(|e| e.node).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    for node in &tracks {
+        let name = if *node == COORD {
+            "coordinator".to_string()
+        } else {
+            format!("node {node}")
+        };
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+                tid(*node),
+                json_string(&name)
+            ),
+        );
+    }
+
+    for ev in events {
+        let cat = ev.method.map(|m| m.label()).unwrap_or("engine");
+        let ts = ev.step_begin * US_PER_STEP;
+        if ev.is_span() {
+            let dur = (ev.step_end - ev.step_begin) * US_PER_STEP;
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"X\",\"name\":{},\"cat\":{},\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{}}}",
+                    json_string(ev.phase.label()),
+                    json_string(cat),
+                    tid(ev.node),
+                    ts,
+                    dur,
+                    chrome_args(ev)
+                ),
+            );
+        } else {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"i\",\"name\":{},\"cat\":{},\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\"args\":{}}}",
+                    json_string(ev.phase.label()),
+                    json_string(cat),
+                    tid(ev.node),
+                    ts,
+                    chrome_args(ev)
+                ),
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MethodTag, Phase};
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::span(Phase::Base, COORD, 1, 3).with_method(MethodTag::Naive),
+            TraceEvent::instant(Phase::Send, 0, 1)
+                .with_peer(1)
+                .with_bytes(64)
+                .with_key("j=\"x\""),
+            TraceEvent::span(Phase::Join, 1, 2, 3)
+                .with_method(MethodTag::AuxRel)
+                .with_count(2),
+        ]
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{01}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let out = jsonl(&sample());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        assert!(lines[0].contains("\"node\":-1"));
+        assert!(lines[1].contains("\"key\":\"j=\\\"x\\\"\""));
+        assert!(lines[2].contains("\"method\":\"auxrel\""));
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_spans_and_instants() {
+        let out = chrome_trace(&sample());
+        assert!(out.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(out.ends_with("]}"));
+        // Coordinator + two nodes appear as named tracks.
+        assert!(out.contains("\"name\":\"coordinator\""));
+        assert!(out.contains("\"name\":\"node 0\""));
+        assert!(out.contains("\"name\":\"node 1\""));
+        // Span: base runs steps 1..3 → ts 1000, dur 2000.
+        assert!(out.contains("\"ph\":\"X\",\"name\":\"base\",\"cat\":\"naive\",\"pid\":1,\"tid\":0,\"ts\":1000,\"dur\":2000"));
+        // Instant on node 0's track (tid 1).
+        assert!(out.contains("\"ph\":\"i\",\"name\":\"send\""));
+        assert!(out.contains("\"tid\":1,\"ts\":1000,\"s\":\"t\""));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        assert_eq!(
+            chrome_trace(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+        assert_eq!(jsonl(&[]), "");
+    }
+}

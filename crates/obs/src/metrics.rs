@@ -1,0 +1,315 @@
+//! Metrics registry: monotonic counters and fixed-bucket histograms.
+//!
+//! All instruments are plain atomics — safe to update from node worker
+//! threads and never touching the engine's counted-cost ledgers. Unlike
+//! trace events, metrics are cheap enough to stay on unconditionally
+//! for per-step health signals (inbox depth, barrier wait, batch
+//! occupancy); per-delta metrics (fan-out, work share) are gated on
+//! `Obs::enabled` by their call sites.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Well-known metric names and bucket layouts, so producers (engine,
+/// runtime, core) and consumers (bench summaries) agree on spelling.
+pub mod metric {
+    /// Histogram (µs): how long each node waited at the epoch barrier,
+    /// i.e. `max(per-node step wall time) - own step wall time`.
+    pub const BARRIER_WAIT_US: &str = "runtime.barrier_wait_us";
+    /// Histogram: messages waiting in a node's inbox at step start.
+    pub const INBOX_DEPTH: &str = "backend.inbox_depth";
+    /// Histogram: payloads per flushed transport batch (vs
+    /// `RuntimeConfig::batch_size`).
+    pub const BATCH_OCCUPANCY: &str = "runtime.batch_occupancy";
+    /// Histogram: SEND fan-out `K` per routed delta tuple, per method.
+    pub const FANOUT_NAIVE: &str = "method.naive.fanout";
+    pub const FANOUT_AUXREL: &str = "method.auxrel.fanout";
+    pub const FANOUT_GI: &str = "method.global-index.fanout";
+    /// Counter prefix: per-node units of maintenance work (probes +
+    /// joins + applies handled), for skew detection. Full name is
+    /// `work.node<N>`.
+    pub const WORK_SHARE_PREFIX: &str = "work.node";
+
+    /// Per-node work-share counter name.
+    pub fn work_share(node: u32) -> String {
+        format!("{WORK_SHARE_PREFIX}{node}")
+    }
+
+    /// The fan-out histogram for a maintenance method.
+    pub fn fanout(method: crate::MethodTag) -> &'static str {
+        match method {
+            crate::MethodTag::Naive => FANOUT_NAIVE,
+            crate::MethodTag::AuxRel => FANOUT_AUXREL,
+            crate::MethodTag::GlobalIndex => FANOUT_GI,
+        }
+    }
+
+    /// Bucket upper bounds for µs-scale wait histograms.
+    pub const US_BOUNDS: &[u64] = &[10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000];
+    /// Bucket upper bounds for small-count histograms (depths, fan-out,
+    /// batch occupancy).
+    pub const COUNT_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024];
+
+    /// Bounds appropriate for a well-known metric name.
+    pub fn bounds_for(name: &str) -> &'static [u64] {
+        if name.ends_with("_us") {
+            US_BOUNDS
+        } else {
+            COUNT_BOUNDS
+        }
+    }
+}
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket histogram: `bounds[i]` is the inclusive upper bound of
+/// bucket `i`; one overflow bucket catches everything above the last
+/// bound. Tracks sum and count for mean computation.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    total: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            total: self.total.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    /// `counts.len() == bounds.len() + 1`; last entry is the overflow.
+    pub counts: Vec<u64>,
+    pub sum: u64,
+    pub total: u64,
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+}
+
+/// String-keyed registry of counters and histograms. Instruments are
+/// created on first use and shared via `Arc`, so hot paths can cache the
+/// handle and skip the map lookup.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter map poisoned");
+        match map.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Arc::new(Counter::default());
+                map.insert(name.to_string(), c.clone());
+                c
+            }
+        }
+    }
+
+    /// Get or create the histogram named `name` with the well-known
+    /// bucket layout for that name ([`metric::bounds_for`]).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, metric::bounds_for(name))
+    }
+
+    /// Get or create a histogram with explicit bounds (bounds are only
+    /// used on first creation).
+    pub fn histogram_with(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram map poisoned");
+        match map.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = Arc::new(Histogram::new(bounds));
+                map.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
+    /// Names and values of all counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Names and snapshots of all histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Render the whole registry as one JSON object:
+    /// `{"counters":{...},"histograms":{name:{"buckets":[...],"counts":[...],"sum":n,"total":n,"max":n,"mean":x}}}`.
+    ///
+    /// Hand-rolled because the workspace is offline and carries no JSON
+    /// dependency; names are restricted to identifier-ish characters so
+    /// no escaping is needed, but we escape defensively anyway.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", crate::export::json_string(name), v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"buckets\":{:?},\"counts\":{:?},\"sum\":{},\"total\":{},\"max\":{},\"mean\":{:.3}}}",
+                crate::export::json_string(name),
+                h.bounds,
+                h.counts,
+                h.sum,
+                h.total,
+                h.max,
+                h.mean()
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let reg = MetricsRegistry::default();
+        let c = reg.counter("work.node0");
+        c.inc();
+        c.add(4);
+        // Second lookup returns the same instrument.
+        assert_eq!(reg.counter("work.node0").get(), 5);
+        assert_eq!(reg.counters(), vec![("work.node0".to_string(), 5)]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[1, 4, 16]);
+        for v in [0, 1, 2, 5, 100] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![2, 1, 1, 1]); // <=1, <=4, <=16, overflow
+        assert_eq!(snap.total, 5);
+        assert_eq!(snap.sum, 108);
+        assert_eq!(snap.max, 100);
+        assert!((snap.mean() - 21.6).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[4, 1]);
+    }
+
+    #[test]
+    fn registry_json_is_valid_shape() {
+        let reg = MetricsRegistry::default();
+        reg.counter("a").inc();
+        reg.histogram_with("h", &[1, 2]).observe(3);
+        let json = reg.to_json();
+        assert!(json.starts_with("{\"counters\":{\"a\":1}"));
+        assert!(json.contains("\"h\":{\"buckets\":[1, 2]"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn wellknown_bounds_pick_by_suffix() {
+        assert_eq!(
+            metric::bounds_for(metric::BARRIER_WAIT_US),
+            metric::US_BOUNDS
+        );
+        assert_eq!(
+            metric::bounds_for(metric::INBOX_DEPTH),
+            metric::COUNT_BOUNDS
+        );
+        assert_eq!(metric::work_share(3), "work.node3");
+    }
+}

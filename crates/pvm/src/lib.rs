@@ -48,6 +48,7 @@
 //! | [`pvm_net`] | simulated interconnect with SEND metering |
 //! | [`pvm_engine`] | the parallel RDBMS: catalog, partitioning, DML, joins |
 //! | [`pvm_runtime`] | threaded per-node execution with a channel interconnect |
+//! | [`pvm_obs`] | structured trace events, metrics, Chrome-trace export |
 //! | [`pvm_core`] | the three maintenance methods, planner, advisor |
 //! | [`pvm_model`] | the paper's analytical cost model |
 //! | [`pvm_workload`] | TPC-R-shaped data and synthetic workloads |
@@ -56,6 +57,7 @@ pub use pvm_core as core;
 pub use pvm_engine as engine;
 pub use pvm_model as model;
 pub use pvm_net as net;
+pub use pvm_obs as obs;
 pub use pvm_runtime as runtime;
 pub use pvm_sql as sql;
 pub use pvm_storage as storage;
@@ -73,6 +75,7 @@ pub mod prelude {
         choose_method, predict_chain, response_time, savings_vs_naive, tw, ChainStep, ChooserInput,
         MethodVariant, ModelParams, Recommendation,
     };
+    pub use pvm_obs::{chrome_trace, jsonl, MemorySink, MetricsRegistry, Obs, TraceSink};
     pub use pvm_runtime::{RuntimeConfig, ThreadedCluster};
     pub use pvm_sql::{Session, SqlOutput};
     pub use pvm_storage::Organization;

@@ -29,8 +29,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 
-use pvm_engine::{Backend, Cluster, ClusterConfig, NetPayload, StepCtx, StepSink};
+use pvm_engine::{note_inbox, Backend, Cluster, ClusterConfig, NetPayload, StepCtx, StepSink};
 use pvm_net::{Envelope, MessageSize, Transport};
+use pvm_obs::{metric, Histogram, Obs, Phase, TraceEvent};
 use pvm_types::{CostSnapshot, NodeId, PvmError, Result};
 
 /// Runtime tuning knobs.
@@ -93,6 +94,10 @@ pub struct ChannelTransport<P> {
     direct_seqs: Vec<Vec<u64>>,
     /// Delivered (sorted) but not yet drained messages, per destination.
     staged: Vec<Vec<Envelope<P>>>,
+    /// Observability handle; trace emission gated, never touches charges.
+    obs: Option<Arc<Obs>>,
+    /// Cached batch-occupancy histogram so flushes skip the registry.
+    batch_hist: Option<Arc<Histogram>>,
 }
 
 impl<P: MessageSize> ChannelTransport<P> {
@@ -107,7 +112,16 @@ impl<P: MessageSize> ChannelTransport<P> {
             counters: Arc::new(Counters::default()),
             direct_seqs: vec![vec![0; node_count]; node_count],
             staged: (0..node_count).map(|_| Vec::new()).collect(),
+            obs: None,
+            batch_hist: None,
         }
+    }
+
+    /// Attach the cluster's observability handle so sends and batch
+    /// occupancy show up in traces and metrics.
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.batch_hist = Some(obs.metrics().histogram(metric::BATCH_OCCUPANCY));
+        self.obs = Some(obs);
     }
 
     /// A sending handle for one node's thread. Endpoints of one epoch
@@ -122,6 +136,8 @@ impl<P: MessageSize> ChannelTransport<P> {
             seqs: vec![0; self.node_count],
             buffers: (0..self.node_count).map(|_| Vec::new()).collect(),
             counters: Arc::clone(&self.counters),
+            obs: self.obs.clone(),
+            batch_hist: self.batch_hist.clone(),
         }
     }
 
@@ -192,6 +208,15 @@ impl<P: MessageSize> Transport<P> for ChannelTransport<P> {
                 .bytes
                 .fetch_add(payload.byte_size() as u64, Ordering::Relaxed);
         }
+        if let Some(obs) = &self.obs {
+            if obs.enabled() {
+                obs.emit(
+                    TraceEvent::instant(Phase::Send, src.index() as u32, obs.now())
+                        .with_peer(dst.index() as u32)
+                        .with_bytes(payload.byte_size() as u64),
+                );
+            }
+        }
         let seq = self.direct_seqs[src.index()][dst.index()];
         self.direct_seqs[src.index()][dst.index()] += 1;
         self.txs[dst.index()]
@@ -222,6 +247,8 @@ pub struct Endpoint<P> {
     seqs: Vec<u64>,
     buffers: Vec<Vec<P>>,
     counters: Arc<Counters>,
+    obs: Option<Arc<Obs>>,
+    batch_hist: Option<Arc<Histogram>>,
 }
 
 impl<P: MessageSize> Endpoint<P> {
@@ -231,6 +258,15 @@ impl<P: MessageSize> Endpoint<P> {
             self.counters
                 .bytes
                 .fetch_add(payload.byte_size() as u64, Ordering::Relaxed);
+        }
+        if let Some(obs) = &self.obs {
+            if obs.enabled() {
+                obs.emit(
+                    TraceEvent::instant(Phase::Send, self.src.index() as u32, obs.now())
+                        .with_peer(dst.index() as u32)
+                        .with_bytes(payload.byte_size() as u64),
+                );
+            }
         }
         let d = dst.index();
         self.buffers[d].push(payload);
@@ -245,6 +281,9 @@ impl<P: MessageSize> Endpoint<P> {
             return Ok(());
         }
         let payloads = std::mem::take(&mut self.buffers[d]);
+        if let Some(h) = &self.batch_hist {
+            h.observe(payloads.len() as u64);
+        }
         let seq = self.seqs[d];
         self.seqs[d] += 1;
         self.txs[d]
@@ -298,11 +337,12 @@ impl ThreadedCluster {
 
     pub fn with_runtime(cluster: Cluster, config: RuntimeConfig) -> Self {
         let charge_local = cluster.config().net.charge_local_delivery;
-        let transport = ChannelTransport::new(
+        let mut transport = ChannelTransport::new(
             Cluster::node_count(&cluster),
             config.batch_size,
             charge_local,
         );
+        transport.set_obs(cluster.obs_handle());
         ThreadedCluster {
             inner: cluster,
             transport,
@@ -343,6 +383,8 @@ impl Backend for ThreadedCluster {
         F: Fn(&mut StepCtx<'_>) -> Result<R> + Sync,
     {
         let l = Cluster::node_count(&self.inner);
+        let obs = self.inner.obs_handle();
+        let step = obs.begin_step();
         // Inboxes for this step: last epoch's channel deliveries first
         // (they were sent earlier), then anything the coordinator routed
         // through the fabric between steps.
@@ -351,20 +393,23 @@ impl Backend for ThreadedCluster {
         let (nodes, fabric) = self.inner.nodes_and_fabric_mut();
         for (dst, inbox) in inboxes.iter_mut().enumerate() {
             inbox.extend(fabric.recv_all(NodeId::from(dst)));
+            note_inbox(&obs, step, NodeId::from(dst), inbox);
         }
         let endpoints: Vec<Endpoint<NetPayload>> = (0..l)
             .map(|i| self.transport.endpoint(NodeId::from(i)))
             .collect();
 
         let f = &f;
-        let results: Vec<Result<R>> = std::thread::scope(|scope| {
+        let obs_ref = &obs;
+        let outcomes: Vec<(std::time::Duration, Result<R>)> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(l);
             for ((node, inbox), mut endpoint) in nodes.iter_mut().zip(inboxes).zip(endpoints) {
                 handles.push(scope.spawn(move || {
+                    let started = std::time::Instant::now();
                     let id = node.id();
-                    let mut ctx = StepCtx::new(id, l, node, inbox, &mut endpoint);
+                    let mut ctx = StepCtx::new(id, l, node, inbox, &mut endpoint, obs_ref, step);
                     let r = f(&mut ctx);
-                    endpoint.finish().and(r)
+                    (started.elapsed(), endpoint.finish().and(r))
                 }));
             }
             handles
@@ -372,10 +417,19 @@ impl Backend for ThreadedCluster {
                 .map(|h| h.join().expect("node thread panicked"))
                 .collect()
         });
+        // Barrier-wait metric: how long each node idled at the epoch
+        // barrier while the slowest node finished its step. Wall-clock
+        // is fine here — only *trace timestamps* and counted costs must
+        // be deterministic, and those use the logical clock / ledgers.
+        let slowest = outcomes.iter().map(|(d, _)| *d).max().unwrap_or_default();
+        let hist = obs.metrics().histogram(metric::BARRIER_WAIT_US);
+        for (dur, _) in &outcomes {
+            hist.observe((slowest - *dur).as_micros() as u64);
+        }
         // Epoch barrier has passed (scope joined); sort this epoch's
         // traffic into next step's inboxes.
         self.transport.deliver();
-        results.into_iter().collect()
+        outcomes.into_iter().map(|(_, r)| r).collect()
     }
 
     fn abort_txn(&mut self) -> Result<()> {

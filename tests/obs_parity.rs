@@ -1,0 +1,227 @@
+//! Observability is free where it counts: installing a recording
+//! [`TraceSink`] must not change a single counted cost. The same update
+//! stream, run with the default no-op sink and with a `MemorySink`
+//! installed, must leave identical view contents, identical per-node
+//! `SEARCH`/`FETCH`/`INSERT` snapshots, and identical interconnect
+//! SEND/byte totals — on both the sequential and the threaded backend,
+//! for all three maintenance methods. Tracing reads the world; it never
+//! charges it.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use pvm::obs::{MemorySink, COORD};
+use pvm::prelude::*;
+use pvm_engine::MeterReport;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { rel: usize, jval: i64 },
+    DeleteExisting { rel: usize, pick: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..2, 0i64..6).prop_map(|(rel, jval)| Op::Insert { rel, jval }),
+        (0usize..2, any::<usize>()).prop_map(|(rel, pick)| Op::DeleteExisting { rel, pick }),
+    ]
+}
+
+fn setup(l: usize, method: MaintenanceMethod) -> (Cluster, MaintainedView) {
+    let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(256));
+    let schema =
+        || Schema::new(vec![Column::int("id"), Column::int("j"), Column::str("p")]).into_ref();
+    let a = cluster
+        .create_table(TableDef::hash_heap("a", schema(), 0))
+        .unwrap();
+    let b = cluster
+        .create_table(TableDef::hash_heap("b", schema(), 0))
+        .unwrap();
+    cluster
+        .insert(a, (0..10).map(|i| row![i, i % 3, "a"]).collect())
+        .unwrap();
+    cluster
+        .insert(b, (0..10).map(|i| row![i, i % 3, "b"]).collect())
+        .unwrap();
+    let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+    let view = MaintainedView::create(&mut cluster, def, method).unwrap();
+    (cluster, view)
+}
+
+fn run_stream<B: Backend>(
+    backend: &mut B,
+    view: &mut MaintainedView,
+    ops: &[Op],
+) -> (Vec<Row>, MeterReport) {
+    let mut live: [Vec<Row>; 2] = [
+        (0..10).map(|i| row![i, i % 3, "a"]).collect(),
+        (0..10).map(|i| row![i, i % 3, "b"]).collect(),
+    ];
+    let mut next_id = 100_000i64;
+    let guard = backend.start_meter();
+    for op in ops {
+        match op {
+            Op::Insert { rel, jval } => {
+                let payload = if *rel == 0 { "a" } else { "b" };
+                let r = row![next_id, *jval, payload];
+                next_id += 1;
+                live[*rel].push(r.clone());
+                view.apply(backend, *rel, &Delta::insert_one(r)).unwrap();
+            }
+            Op::DeleteExisting { rel, pick } => {
+                if live[*rel].is_empty() {
+                    continue;
+                }
+                let idx = pick % live[*rel].len();
+                let r = live[*rel].swap_remove(idx);
+                view.apply(backend, *rel, &Delta::Delete(vec![r])).unwrap();
+            }
+        }
+    }
+    let report = backend.finish_meter(&guard);
+    let mut contents = view.contents(backend.engine()).unwrap();
+    contents.sort();
+    (contents, report)
+}
+
+fn methods() -> [MaintenanceMethod; 3] {
+    [
+        MaintenanceMethod::Naive,
+        MaintenanceMethod::AuxiliaryRelation,
+        MaintenanceMethod::GlobalIndex,
+    ]
+}
+
+type RunResult = (Vec<Row>, MeterReport, usize);
+
+/// Run `ops` on one backend kind, optionally with a recording sink.
+/// Returns contents, costs, and how many trace events were captured.
+fn run_once(
+    l: usize,
+    method: MaintenanceMethod,
+    ops: &[Op],
+    threaded: bool,
+    record: bool,
+) -> RunResult {
+    let (mut cluster, mut view) = setup(l, method);
+    let sink = Arc::new(MemorySink::new(l));
+    if record {
+        cluster.set_trace_sink(sink.clone());
+    }
+    let (contents, report) = if threaded {
+        let mut thr = ThreadedCluster::from_cluster(cluster);
+        run_stream(&mut thr, &mut view, ops)
+    } else {
+        run_stream(&mut cluster, &mut view, ops)
+    };
+    (contents, report, sink.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// The tentpole guarantee: counted costs are bit-identical with the
+    /// no-op sink and with a recording sink, on both backends.
+    #[test]
+    fn tracing_never_changes_counted_costs(
+        ops in proptest::collection::vec(op_strategy(), 1..16)
+    ) {
+        for method in methods() {
+            for threaded in [false, true] {
+                let (c0, r0, n0) = run_once(3, method, &ops, threaded, false);
+                let (c1, r1, n1) = run_once(3, method, &ops, threaded, true);
+
+                prop_assert_eq!(n0, 0, "{:?}: no-op run captured events", method);
+                prop_assert!(n1 > 0, "{:?}: recording run captured nothing", method);
+                prop_assert_eq!(&c0, &c1, "{:?} threaded={}: contents", method, threaded);
+                prop_assert_eq!(
+                    &r0.per_node, &r1.per_node,
+                    "{:?} threaded={}: per-node costs diverged under tracing",
+                    method, threaded
+                );
+                prop_assert_eq!(
+                    r0.net, r1.net,
+                    "{:?} threaded={}: interconnect costs diverged under tracing",
+                    method, threaded
+                );
+            }
+        }
+    }
+}
+
+/// Trace timestamps are logical step numbers, so the event stream itself
+/// is deterministic: two identical sequential runs produce the exact
+/// same events, and the threaded backend produces the same *set* of
+/// node-local events at the same steps (only coordinator wall-clock
+/// phases could differ, and they are step-keyed too).
+#[test]
+fn sequential_trace_is_deterministic() {
+    let ops: Vec<Op> = (0..8)
+        .map(|i| Op::Insert {
+            rel: i % 2,
+            jval: i as i64 % 3,
+        })
+        .collect();
+    let mut reference: Option<Vec<String>> = None;
+    for _ in 0..2 {
+        let (mut cluster, mut view) = setup(3, MaintenanceMethod::AuxiliaryRelation);
+        let sink = Arc::new(MemorySink::new(3));
+        cluster.set_trace_sink(sink.clone());
+        run_stream(&mut cluster, &mut view, &ops);
+        let lines: Vec<String> = sink.events().iter().map(|e| format!("{e:?}")).collect();
+        match &reference {
+            None => reference = Some(lines),
+            Some(r) => assert_eq!(r, &lines, "identical runs traced differently"),
+        }
+    }
+}
+
+/// Sequential and threaded backends agree on the *node-local* event
+/// stream (everything except barrier/batch internals): same phases at
+/// the same logical steps on the same nodes.
+#[test]
+fn threaded_trace_matches_sequential_per_node_events() {
+    let ops: Vec<Op> = (0..8)
+        .map(|i| Op::Insert {
+            rel: i % 2,
+            jval: i as i64 % 3,
+        })
+        .collect();
+    let mut streams = Vec::new();
+    for threaded in [false, true] {
+        let (mut cluster, mut view) = setup(3, MaintenanceMethod::GlobalIndex);
+        let sink = Arc::new(MemorySink::new(3));
+        cluster.set_trace_sink(sink.clone());
+        if threaded {
+            let mut thr = ThreadedCluster::from_cluster(cluster);
+            run_stream(&mut thr, &mut view, &ops);
+        } else {
+            run_stream(&mut cluster, &mut view, &ops);
+        }
+        let mut lines: Vec<String> = sink
+            .events()
+            .iter()
+            .filter(|e| e.node != COORD)
+            .map(|e| {
+                format!(
+                    "{}..{} n{} {:?} {:?} k={:?} p={:?} b={} c={}",
+                    e.step_begin,
+                    e.step_end,
+                    e.node,
+                    e.phase,
+                    e.method,
+                    e.key,
+                    e.peer,
+                    e.bytes,
+                    e.count
+                )
+            })
+            .collect();
+        lines.sort();
+        streams.push(lines);
+    }
+    assert_eq!(
+        streams[0], streams[1],
+        "backends disagree on node-local trace events"
+    );
+}
