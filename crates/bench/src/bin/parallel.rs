@@ -19,11 +19,23 @@
 //! all three maintenance methods on the threaded backend and write a
 //! Chrome `trace_event` file (open in Perfetto / `chrome://tracing`)
 //! plus a JSONL event dump and per-phase metric summaries.
+//!
+//! Pass `--faults <seed>:<rate>` to instead run a compact fault-injection
+//! round: the same maintenance work on both backends wrapped in
+//! `pvm_faults::FaultTolerant`, asserting the faulted view contents match
+//! a fault-free run and printing the fault/reliability counters as JSON.
+//!
+//! The default mode also writes the *counted* (wall-clock-free) costs per
+//! `L` to `BENCH_parallel.json` (path overridable via the
+//! `BENCH_PARALLEL_OUT` env var). Counted costs are deterministic, so CI
+//! diffs this file against the committed copy at the repo root and fails
+//! on regressions — see the `bench-build` job.
 
 use std::time::Instant;
 
 use pvm::prelude::*;
 use pvm_bench::{capture_trace, header, series_labels, series_row, trace_arg};
+use pvm_faults::{FaultPlan, FaultTolerant};
 
 /// Rows preloaded into the probed relation `b`.
 const B_ROWS: i64 = 160_000;
@@ -62,12 +74,114 @@ fn delta() -> Delta {
     )
 }
 
-/// Apply the delta on any backend, returning (wall ms, view rows).
-fn run<B: Backend>(backend: &mut B, view: &mut MaintainedView) -> (f64, u64) {
+/// Apply the delta on any backend, returning (wall ms, outcome).
+fn run<B: Backend>(backend: &mut B, view: &mut MaintainedView) -> (f64, MaintenanceOutcome) {
     let d = delta();
     let t0 = Instant::now();
     let out = view.apply(backend, 0, &d).unwrap();
-    (t0.elapsed().as_secs_f64() * 1e3, out.view_rows)
+    (t0.elapsed().as_secs_f64() * 1e3, out)
+}
+
+/// Interconnect bytes charged across all four maintenance phases.
+fn outcome_bytes(out: &MaintenanceOutcome) -> u64 {
+    out.base.net.bytes_sent
+        + out.aux.net.bytes_sent
+        + out.compute.net.bytes_sent
+        + out.view.net.bytes_sent
+}
+
+/// `--faults <seed>:<rate>` argument, if present.
+fn faults_arg() -> Option<(u64, f64)> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--faults" {
+            let spec = args.next().expect("--faults takes <seed>:<rate>");
+            let (seed, rate) = spec.split_once(':').expect("--faults takes <seed>:<rate>");
+            return Some((
+                seed.parse().expect("fault seed must be an integer"),
+                rate.parse().expect("fault rate must be a float"),
+            ));
+        }
+    }
+    None
+}
+
+/// Compact fault-injection round: a smaller workload than the speedup
+/// sweep (settlement under faults multiplies message rounds), run on both
+/// backends behind `FaultTolerant`, checked bit-identical to a fault-free
+/// run.
+fn faults_mode(seed: u64, rate: f64) {
+    const L: usize = 4;
+    const ROWS: i64 = 2_000;
+    const FDOMAIN: i64 = 50;
+    const FDELTA: i64 = 200;
+
+    header(
+        "parallel --faults",
+        "fault-injected maintenance vs. fault-free baseline, both backends",
+    );
+    let setup = || {
+        let mut cluster = Cluster::new(ClusterConfig::new(L).with_buffer_pages(1024));
+        let schema =
+            || Schema::new(vec![Column::int("id"), Column::int("j"), Column::str("p")]).into_ref();
+        cluster
+            .create_table(TableDef::hash_heap("a", schema(), 0))
+            .unwrap();
+        let b = cluster
+            .create_table(TableDef::hash_heap("b", schema(), 0))
+            .unwrap();
+        cluster
+            .insert(b, (0..ROWS).map(|i| row![i, i % FDOMAIN, "b"]).collect())
+            .unwrap();
+        let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+        let view = MaintainedView::create(&mut cluster, def, MaintenanceMethod::AuxiliaryRelation)
+            .unwrap();
+        (cluster, view)
+    };
+    let fdelta = Delta::Insert(
+        (0..FDELTA)
+            .map(|i| row![1_000_000 + i, i % FDOMAIN, "a"])
+            .collect(),
+    );
+    let contents = |cluster: &Cluster, view: &MaintainedView| -> Vec<Row> {
+        let mut rows = cluster.scan_all(view.view_table()).unwrap();
+        rows.sort();
+        rows
+    };
+
+    // Fault-free baseline on the bare sequential backend.
+    let (mut base, mut base_view) = setup();
+    let out = base_view.apply(&mut base, 0, &fdelta).unwrap();
+    let expect = contents(&base, &base_view);
+    println!("baseline view rows: {}", out.view_rows);
+
+    for threaded in [false, true] {
+        let plan = FaultPlan::uniform(seed, rate);
+        let (cluster, mut view) = setup();
+        let (name, faulted_contents, wire, link) = if threaded {
+            let mut ft = FaultTolerant::threaded(ThreadedCluster::from_cluster(cluster), plan);
+            view.apply(&mut ft, 0, &fdelta).unwrap();
+            let (wire, link) = (ft.wire_stats(), ft.link_stats());
+            let cluster = ft.into_inner().into_cluster();
+            ("threaded", contents(&cluster, &view), wire, link)
+        } else {
+            let mut ft = FaultTolerant::sequential(cluster, plan);
+            view.apply(&mut ft, 0, &fdelta).unwrap();
+            let (wire, link) = (ft.wire_stats(), ft.link_stats());
+            let cluster = ft.into_inner();
+            ("sequential", contents(&cluster, &view), wire, link)
+        };
+        assert_eq!(
+            faulted_contents, expect,
+            "{name}: faulted run diverged from fault-free baseline (seed={seed} rate={rate})"
+        );
+        println!(
+            "{{\"mode\": \"faults\", \"seed\": {seed}, \"rate\": {rate}, \"backend\": \"{name}\", \
+             \"drops\": {}, \"dups\": {}, \"delays\": {}, \"retries\": {}, \
+             \"dup_suppressed\": {}, \"acks\": {}, \"match\": true}}",
+            wire.drops, wire.dups, wire.delays, link.retries, link.dup_suppressed, link.acks_sent
+        );
+    }
 }
 
 fn main() {
@@ -77,6 +191,10 @@ fn main() {
             "three-method traced round, threaded backend",
         );
         capture_trace(&path, 4, true);
+        return;
+    }
+    if let Some((seed, rate)) = faults_arg() {
+        faults_mode(seed, rate);
         return;
     }
     header(
@@ -89,24 +207,45 @@ fn main() {
     println!("host cores: {cores}");
     series_labels("L", &["seq ms", "thr ms", "speedup"]);
     let mut json_rows = Vec::new();
+    let mut counted_rows = Vec::new();
     for l in [1usize, 2, 4, 8] {
         let (seq_cluster, mut seq_view) = setup(l);
         let mut seq = seq_cluster;
-        let (seq_ms, seq_rows) = run(&mut seq, &mut seq_view);
+        let (seq_ms, seq_out) = run(&mut seq, &mut seq_view);
 
         let (thr_cluster, mut thr_view) = setup(l);
         let mut thr = ThreadedCluster::from_cluster(thr_cluster);
-        let (thr_ms, thr_rows) = run(&mut thr, &mut thr_view);
+        let (thr_ms, thr_out) = run(&mut thr, &mut thr_view);
 
-        assert_eq!(seq_rows, thr_rows, "backends computed different views");
+        let seq_rows = seq_out.view_rows;
+        assert_eq!(
+            seq_rows, thr_out.view_rows,
+            "backends computed different views"
+        );
         let speedup = seq_ms / thr_ms;
         series_row(l, &[seq_ms, thr_ms, speedup]);
         json_rows.push(format!(
             "{{\"l\": {l}, \"cores\": {cores}, \"seq_ms\": {seq_ms:.3}, \"thr_ms\": {thr_ms:.3}, \"speedup\": {speedup:.3}, \"view_rows\": {seq_rows}}}"
+        ));
+        // Counted costs only — no wall-clock — so the file is
+        // machine-independent and deterministic run to run.
+        counted_rows.push(format!(
+            "    {{\"l\": {l}, \"view_rows\": {seq_rows}, \"tw_io\": {:.1}, \"sends\": {}, \"bytes\": {}}}",
+            seq_out.tw_io(),
+            seq_out.sends(),
+            outcome_bytes(&seq_out)
         ));
     }
     println!();
     for row in &json_rows {
         println!("{row}");
     }
+    let out_path =
+        std::env::var("BENCH_PARALLEL_OUT").unwrap_or_else(|_| "BENCH_parallel.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"parallel\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        counted_rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write counted-cost JSON");
+    println!("\ncounted costs written to {out_path}");
 }

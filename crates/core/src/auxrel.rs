@@ -20,6 +20,12 @@
 //!   update join view JV;              (cheap)
 //! end transaction
 //! ```
+//!
+//! **Delivery assumptions.** Each hop of the single-node chain assumes
+//! its routed delta arrives **exactly once, next step**: a lost message
+//! would strand the chain mid-flight, a duplicate would insert the AR /
+//! view rows twice. The reliability layer (`pvm_net::reliable`) restores
+//! both guarantees under fault injection without the driver noticing.
 
 use std::collections::HashMap;
 

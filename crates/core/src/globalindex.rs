@@ -19,6 +19,14 @@
 //! Space: one `(value, node, page, slot)` entry per base tuple — far less
 //! than an auxiliary relation's σπ copy, at the price of the fan-out and
 //! the fetches.
+//!
+//! **Delivery assumptions.** The fan-out step is the most
+//! delivery-sensitive of the three methods: the rid lists shipped to the
+//! `K` fetch nodes must each arrive **exactly once, next step**, and the
+//! rids must still be valid when they arrive — which is why crash
+//! recovery replays the WAL physically (reproducing rid assignment) and
+//! the reliability layer (`pvm_net::reliable`) suppresses duplicates by
+//! per-pair sequence number rather than by payload equality.
 
 use std::collections::HashMap;
 

@@ -11,6 +11,14 @@
 //!   and probed against every local fragment, because "we do not know at
 //!   which nodes these matching tuples reside" — the expensive all-node
 //!   operation that motivates the paper.
+//!
+//! **Delivery assumptions.** The driver's step chain assumes the
+//! transport delivers every broadcast copy **exactly once, in the step
+//! after it was sent** — a dropped copy would silently lose view rows at
+//! one node, a duplicate would double-apply them. Under fault injection
+//! these guarantees are restored *under* the driver by the reliability
+//! layer (`pvm_net::reliable`, driven by `pvm-faults`), so the chain
+//! logic itself stays delivery-oblivious.
 
 use pvm_engine::{Backend, Cluster};
 use pvm_obs::{MethodTag, Phase};

@@ -380,6 +380,22 @@ impl MaintainedView {
         self.handle.view_table
     }
 
+    /// Tables of the method's auxiliary structures (AR tables, GI
+    /// tables), sorted. Together with the view table and the base
+    /// tables these are exactly the state a fault-equivalence check
+    /// must find bit-identical to a fault-free run.
+    pub fn method_tables(&self) -> Vec<TableId> {
+        let mut out = Vec::new();
+        if let Some(aux) = &self.aux {
+            out.extend(aux.ars.values().map(|info| info.table));
+        }
+        if let Some(gi) = &self.gi {
+            out.extend(gi.gis.values().map(|info| info.table));
+        }
+        out.sort();
+        out
+    }
+
     /// Current contents of the stored view (cluster-wide).
     pub fn contents(&self, cluster: &Cluster) -> Result<Vec<Row>> {
         cluster.scan_all(self.handle.view_table)

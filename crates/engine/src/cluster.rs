@@ -449,6 +449,38 @@ impl Cluster {
         Ok((out, guard.finish(self)))
     }
 
+    /// Simulate a fail-stop crash of one node: its in-memory state is
+    /// discarded and rebuilt from the cluster WAL via
+    /// [`crate::replay_node`] — DDL plus this node's own DML, in log
+    /// order, reproducing rid assignment exactly. The rest of the
+    /// cluster is untouched; messages in flight to the node are the
+    /// caller's problem (the fault layer re-delivers unacknowledged
+    /// frames).
+    ///
+    /// Requires WAL logging ([`ClusterConfig::with_wal`]) and no open
+    /// transaction (a crashed node's volatile undo log cannot be
+    /// reconstructed mid-transaction). Returns the number of DML records
+    /// replayed.
+    pub fn crash_node(&mut self, id: NodeId) -> Result<usize> {
+        let Some(wal) = &self.wal else {
+            return Err(PvmError::InvalidOperation(
+                "crash_node requires WAL logging (ClusterConfig::with_wal)".into(),
+            ));
+        };
+        if self.txn_active {
+            return Err(PvmError::InvalidOperation(
+                "cannot crash a node inside an open transaction".into(),
+            ));
+        }
+        self.node(id)?; // range check before we commit to anything
+        let log = wal.lock().clone();
+        let mut fresh = NodeState::new(id, self.config.buffer_pages);
+        let replayed = crate::wal::replay_node(&mut fresh, &log)?;
+        fresh.set_wal(self.wal.clone());
+        self.nodes[id.index()] = fresh;
+        Ok(replayed)
+    }
+
     /// Zero every counter (nodes, buffers, fabric).
     pub fn reset_counters(&mut self) {
         for n in &mut self.nodes {

@@ -29,4 +29,4 @@ pub use message::NetPayload;
 pub use meter::{MeterGuard, MeterReport};
 pub use node::NodeState;
 pub use partition::PartitionSpec;
-pub use wal::{recover, Wal, WalRecord};
+pub use wal::{recover, replay_node, Wal, WalRecord};

@@ -22,6 +22,7 @@ use pvm_types::{Column, DataType, NodeId, PvmError, Result, Rid, Row, Schema};
 
 use crate::catalog::TableDef;
 use crate::cluster::{Cluster, ClusterConfig};
+use crate::node::NodeState;
 use crate::partition::PartitionSpec;
 
 /// One log record.
@@ -512,6 +513,148 @@ pub fn recover(config: ClusterConfig, wal: &Wal) -> Result<Cluster> {
     // Recovery work should not pollute the recovered cluster's meters.
     cluster.reset_counters();
     Ok(cluster)
+}
+
+/// Rebuild ONE node's state from the cluster-wide WAL: redo the DDL
+/// (which runs at every node) plus this node's own DML, then undo the
+/// node's operations of an unfinished trailing transaction.
+///
+/// This is the single-node recovery path behind
+/// [`Cluster::crash_node`](crate::Cluster::crash_node): the rest of the
+/// cluster keeps its live state and only the crashed node is replayed.
+/// Catalog ids are mirrored by construction — the catalog assigns
+/// monotonically increasing ids and never reuses a dropped one, so a
+/// local counter that advances on every `CreateTable` reproduces the
+/// exact id every record referred to, even across drop/re-create of the
+/// same name.
+///
+/// The cluster WAL interleaves records from all nodes, but each node's
+/// own subsequence is in its execution order (and DDL is
+/// coordinator-ordered), so per-node replay reproduces rid assignment
+/// exactly — the property the global-index method depends on.
+///
+/// Returns the number of DML records replayed for this node (the
+/// "recovery replay length" surfaced by the fault layer's metrics).
+pub fn replay_node(node: &mut NodeState, wal: &Wal) -> Result<usize> {
+    let me = node.id();
+    let mut open_txn_start: Option<usize> = None;
+    for (i, r) in wal.records().iter().enumerate() {
+        match r {
+            WalRecord::TxnBegin => open_txn_start = Some(i),
+            WalRecord::TxnCommit | WalRecord::TxnAbort => open_txn_start = None,
+            _ => {}
+        }
+    }
+
+    let mut next_id: u32 = 0;
+    let mut ids: std::collections::HashMap<String, crate::catalog::TableId> =
+        std::collections::HashMap::new();
+    let lookup = |ids: &std::collections::HashMap<String, crate::catalog::TableId>,
+                  table: &str|
+     -> Result<crate::catalog::TableId> {
+        ids.get(table)
+            .copied()
+            .ok_or_else(|| PvmError::Corrupt(format!("WAL references unknown table '{table}'")))
+    };
+    let mut replayed = 0usize;
+
+    for rec in wal.records() {
+        match rec {
+            WalRecord::CreateTable {
+                name,
+                columns,
+                partition,
+                clustered_key,
+            } => {
+                let id = crate::catalog::TableId(next_id);
+                next_id += 1;
+                node.create_table(
+                    id,
+                    &def_from_record(name, columns, *partition, clustered_key),
+                )?;
+                ids.insert(name.clone(), id);
+            }
+            WalRecord::CreateIndex { table, index, key } => {
+                let id = lookup(&ids, table)?;
+                node.storage_mut(id)?
+                    .create_secondary_index(index.clone(), key.clone())?;
+            }
+            WalRecord::DropTable { name } => {
+                let id = lookup(&ids, name)?;
+                ids.remove(name);
+                node.drop_table(id)?;
+            }
+            WalRecord::Insert {
+                table,
+                node: n,
+                rid,
+                row,
+            } if *n == me => {
+                let id = lookup(&ids, table)?;
+                let got = node.insert(id, row.clone())?;
+                if got != *rid {
+                    return Err(PvmError::Corrupt(format!(
+                        "replay divergence: expected {rid}, got {got} in '{table}'"
+                    )));
+                }
+                replayed += 1;
+            }
+            WalRecord::Delete {
+                table,
+                node: n,
+                rid,
+                ..
+            } if *n == me => {
+                let id = lookup(&ids, table)?;
+                node.delete_rid(id, *rid)?;
+                replayed += 1;
+            }
+            WalRecord::Undelete {
+                table,
+                node: n,
+                rid,
+                row,
+            } if *n == me => {
+                let id = lookup(&ids, table)?;
+                node.storage_mut(id)?.undelete(*rid, row)?;
+                replayed += 1;
+            }
+            _ => {}
+        }
+    }
+
+    if let Some(start) = open_txn_start {
+        for rec in wal.records()[start..].iter().rev() {
+            match rec {
+                WalRecord::Insert {
+                    table,
+                    node: n,
+                    rid,
+                    ..
+                } if *n == me => {
+                    let id = lookup(&ids, table)?;
+                    node.delete_rid(id, *rid)?;
+                }
+                WalRecord::Delete {
+                    table,
+                    node: n,
+                    rid,
+                    row,
+                } if *n == me => {
+                    let id = lookup(&ids, table)?;
+                    node.storage_mut(id)?.undelete(*rid, row)?;
+                }
+                WalRecord::Undelete { node: n, .. } if *n == me => {
+                    return Err(PvmError::Corrupt(
+                        "undelete inside an open transaction".into(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    node.reset_counters();
+    Ok(replayed)
 }
 
 #[cfg(test)]

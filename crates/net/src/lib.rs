@@ -17,6 +17,10 @@ use std::sync::Arc;
 use pvm_obs::{Obs, Phase, TraceEvent};
 use pvm_types::{CostLedger, NodeId, PvmError, Result};
 
+pub mod reliable;
+
+pub use reliable::{Backoff, Frame, LinkStats, ReliableLink};
+
 /// Anything sendable must report a payload size for byte accounting.
 pub trait MessageSize {
     /// Approximate wire size of the payload in bytes.
@@ -238,6 +242,21 @@ impl<P: MessageSize> Fabric<P> {
         self.ledger.reset();
         self.sends_by_src.iter_mut().for_each(|c| *c = 0);
         self.delivered = 0;
+    }
+}
+
+/// Read access to a transport's charged-cost totals, for wrappers (like
+/// the fault layer) that must report the traffic they generated on top
+/// of whatever the inner engine charged.
+pub trait TransportCounters {
+    /// `(sends, bytes_sent)` charged so far.
+    fn counters(&self) -> (u64, u64);
+}
+
+impl<P: MessageSize> TransportCounters for Fabric<P> {
+    fn counters(&self) -> (u64, u64) {
+        let snap = self.ledger.snapshot();
+        (snap.sends, snap.bytes_sent)
     }
 }
 

@@ -30,6 +30,22 @@ pub mod metric {
     /// joins + applies handled), for skew detection. Full name is
     /// `work.node<N>`.
     pub const WORK_SHARE_PREFIX: &str = "work.node";
+    /// Counter: data frames discarded by the fault injector.
+    pub const FAULT_DROPS: &str = "faults.drops";
+    /// Counter: data frames duplicated by the fault injector.
+    pub const FAULT_DUPS: &str = "faults.dups";
+    /// Counter: data frames deferred by the fault injector.
+    pub const FAULT_DELAYS: &str = "faults.delays";
+    /// Counter: retransmissions issued by the reliability layer.
+    pub const FAULT_RETRIES: &str = "faults.retries";
+    /// Counter: duplicate frames suppressed by sequence number.
+    pub const FAULT_DUP_SUPPRESSED: &str = "faults.dup_suppressed";
+    /// Counter: acknowledgement frames sent.
+    pub const FAULT_ACKS: &str = "faults.acks";
+    /// Counter: node crashes injected.
+    pub const FAULT_CRASHES: &str = "faults.crashes";
+    /// Counter: WAL records replayed while recovering crashed nodes.
+    pub const FAULT_RECOVERY_REPLAYED: &str = "faults.recovery_replayed";
 
     /// Per-node work-share counter name.
     pub fn work_share(node: u32) -> String {

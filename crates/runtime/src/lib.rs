@@ -196,6 +196,12 @@ impl<P: MessageSize> ChannelTransport<P> {
     }
 }
 
+impl<P: MessageSize> pvm_net::TransportCounters for ChannelTransport<P> {
+    fn counters(&self) -> (u64, u64) {
+        self.totals()
+    }
+}
+
 impl<P: MessageSize> Transport<P> for ChannelTransport<P> {
     fn node_count(&self) -> usize {
         self.node_count

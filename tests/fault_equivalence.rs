@@ -1,0 +1,415 @@
+//! Fault equivalence: for every `(seed, fault rate, method, backend)`
+//! swept, a run under injected message faults (drop / duplicate / delay)
+//! plus a scheduled node crash must leave the view, the method's
+//! auxiliary structures (ARs / GIs), and the base tables **bit-identical**
+//! to a fault-free run — the reliability layer and WAL replay mask the
+//! faults completely below the `Backend::step` contract.
+//!
+//! The sweep is environment-configurable so CI failures reproduce
+//! locally with one variable:
+//!
+//! ```text
+//! PVM_FAULT_REPRO="seed:rate:backend:method" \
+//!     cargo test -p pvm-faults --test fault_equivalence
+//! ```
+//!
+//! Also configurable: `PVM_FAULT_SEEDS` (comma-separated),
+//! `PVM_FAULT_RATES`, `PVM_FAULT_BACKENDS` (`sequential,threaded`),
+//! `PVM_FAULT_METHODS` (`naive,auxrel,global-index`).
+
+use proptest::prelude::*;
+use pvm::prelude::*;
+use pvm_faults::{FaultPlan, FaultTolerant, FaultyTransport, SplitMix64};
+use pvm_net::{Envelope, Fabric, MessageSize, NetConfig, Transport};
+
+// ------------------------------------------------------------- workload
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { rel: usize, jval: i64 },
+    DeleteExisting { rel: usize, pick: usize },
+}
+
+/// Deterministic op stream from a seed (used by the sweep; the proptest
+/// below drives random streams through the same harness).
+fn gen_ops(seed: u64, n: usize) -> Vec<Op> {
+    let mut rng = SplitMix64::new(seed ^ 0xD1B54A32D192ED03);
+    (0..n)
+        .map(|_| {
+            if rng.below(4) < 3 {
+                Op::Insert {
+                    rel: rng.below(2) as usize,
+                    jval: rng.below(6) as i64,
+                }
+            } else {
+                Op::DeleteExisting {
+                    rel: rng.below(2) as usize,
+                    pick: rng.next_u64() as usize,
+                }
+            }
+        })
+        .collect()
+}
+
+fn setup(l: usize, method: MaintenanceMethod) -> (Cluster, MaintainedView) {
+    // WAL on: crash recovery needs it, and it must be on in the baseline
+    // too so both runs execute identical code paths.
+    let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(256).with_wal());
+    let schema =
+        || Schema::new(vec![Column::int("id"), Column::int("j"), Column::str("p")]).into_ref();
+    let a = cluster
+        .create_table(TableDef::hash_heap("a", schema(), 0))
+        .unwrap();
+    let b = cluster
+        .create_table(TableDef::hash_heap("b", schema(), 0))
+        .unwrap();
+    cluster
+        .insert(a, (0..10).map(|i| row![i, i % 3, "a"]).collect())
+        .unwrap();
+    cluster
+        .insert(b, (0..10).map(|i| row![i, i % 3, "b"]).collect())
+        .unwrap();
+    let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+    let view = MaintainedView::create(&mut cluster, def, method).unwrap();
+    (cluster, view)
+}
+
+fn apply_ops<B: Backend>(backend: &mut B, view: &mut MaintainedView, ops: &[Op]) -> Result<()> {
+    let mut live: [Vec<Row>; 2] = [
+        (0..10).map(|i| row![i, i % 3, "a"]).collect(),
+        (0..10).map(|i| row![i, i % 3, "b"]).collect(),
+    ];
+    let mut next_id = 100_000i64;
+    for op in ops {
+        match op {
+            Op::Insert { rel, jval } => {
+                let payload = if *rel == 0 { "a" } else { "b" };
+                let r = row![next_id, *jval, payload];
+                next_id += 1;
+                live[*rel].push(r.clone());
+                view.apply(backend, *rel, &Delta::insert_one(r))?;
+            }
+            Op::DeleteExisting { rel, pick } => {
+                if live[*rel].is_empty() {
+                    continue;
+                }
+                let idx = pick % live[*rel].len();
+                let r = live[*rel].swap_remove(idx);
+                view.apply(backend, *rel, &Delta::Delete(vec![r]))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Everything the tentpole demands be bit-identical: the stored view,
+/// the method's AR/GI tables, and the base tables — each sorted.
+fn state_snapshot<B: Backend>(backend: &B, view: &MaintainedView) -> Vec<Vec<Row>> {
+    let c = backend.engine();
+    let mut tables = vec![view.view_table()];
+    tables.extend(view.method_tables());
+    tables.push(c.table_id("a").unwrap());
+    tables.push(c.table_id("b").unwrap());
+    tables
+        .into_iter()
+        .map(|t| {
+            let mut rows = c.scan_all(t).unwrap();
+            rows.sort();
+            rows
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ the sweep
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackendKind {
+    Sequential,
+    Threaded,
+}
+
+impl BackendKind {
+    fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "sequential" => Some(BackendKind::Sequential),
+            "threaded" => Some(BackendKind::Threaded),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            BackendKind::Sequential => "sequential",
+            BackendKind::Threaded => "threaded",
+        }
+    }
+}
+
+fn parse_method(s: &str) -> Option<MaintenanceMethod> {
+    match s.trim() {
+        "naive" => Some(MaintenanceMethod::Naive),
+        "auxrel" => Some(MaintenanceMethod::AuxiliaryRelation),
+        "global-index" => Some(MaintenanceMethod::GlobalIndex),
+        _ => None,
+    }
+}
+
+fn method_name(m: MaintenanceMethod) -> &'static str {
+    match m {
+        MaintenanceMethod::Naive => "naive",
+        MaintenanceMethod::AuxiliaryRelation => "auxrel",
+        MaintenanceMethod::GlobalIndex => "global-index",
+    }
+}
+
+fn env_list<T>(name: &str, default: Vec<T>, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    match std::env::var(name) {
+        Ok(v) if !v.trim().is_empty() => v
+            .split(',')
+            .map(|s| {
+                parse(s).unwrap_or_else(|| panic!("{name}: cannot parse element '{}'", s.trim()))
+            })
+            .collect(),
+        _ => default,
+    }
+}
+
+/// The plan the sweep uses for one `(seed, rate)` cell: uniform message
+/// faults plus one scheduled crash early in the run (rate 0.0 still
+/// crashes — that cell isolates the recovery path from message faults).
+fn sweep_plan(seed: u64, rate: f64, l: usize) -> FaultPlan {
+    FaultPlan::uniform(seed, rate).with_crash(NodeId((seed % l as u64) as u16), 2 + seed % 6)
+}
+
+/// Run one sweep cell; panics with a one-env-var repro line on any
+/// divergence or error.
+fn check_case(seed: u64, rate: f64, backend: BackendKind, method: MaintenanceMethod) {
+    const L: usize = 3;
+    let ops = gen_ops(seed, 15);
+    let plan = sweep_plan(seed, rate, L);
+    let repro = format!(
+        "PVM_FAULT_REPRO=\"{}:{}:{}:{}\" cargo test -p pvm-faults --test fault_equivalence",
+        seed,
+        rate,
+        backend.name(),
+        method_name(method)
+    );
+    let fail = |what: &str| -> ! {
+        panic!(
+            "fault equivalence FAILED ({what})\n  case: seed={seed} rate={rate} \
+             backend={} method={}\n  plan: {plan}\n  repro: {repro}",
+            backend.name(),
+            method_name(method)
+        )
+    };
+
+    // Fault-free baseline on the same backend kind.
+    let (expected, baseline_view_ok) = match backend {
+        BackendKind::Sequential => {
+            let (mut c, mut view) = setup(L, method);
+            if apply_ops(&mut c, &mut view, &ops).is_err() {
+                fail("baseline run errored");
+            }
+            (state_snapshot(&c, &view), view.check_consistent(&c).is_ok())
+        }
+        BackendKind::Threaded => {
+            let (c, mut view) = setup(L, method);
+            let mut thr = ThreadedCluster::from_cluster(c);
+            if apply_ops(&mut thr, &mut view, &ops).is_err() {
+                fail("baseline run errored");
+            }
+            (
+                state_snapshot(&thr, &view),
+                view.check_consistent(thr.engine()).is_ok(),
+            )
+        }
+    };
+    assert!(baseline_view_ok, "baseline inconsistent — harness bug");
+
+    // The same workload under faults.
+    match backend {
+        BackendKind::Sequential => {
+            let (c, mut view) = setup(L, method);
+            let mut ft = FaultTolerant::sequential(c, plan.clone());
+            if apply_ops(&mut ft, &mut view, &ops).is_err() {
+                fail("faulted run errored");
+            }
+            if state_snapshot(&ft, &view) != expected {
+                fail("state diverged from fault-free run");
+            }
+            if view.check_consistent(ft.engine()).is_err() {
+                fail("faulted view inconsistent with recomputed join");
+            }
+            // Sanity: at the sweep's top rate the cell must actually
+            // have injected something (low rates can legitimately draw
+            // zero faults on low-traffic methods).
+            if rate >= 0.15 {
+                let s = ft.wire_stats();
+                assert!(
+                    s.drops + s.dups + s.delays > 0,
+                    "rate {rate} injected nothing — sweep is vacuous ({repro})"
+                );
+            }
+        }
+        BackendKind::Threaded => {
+            let (c, mut view) = setup(L, method);
+            let mut ft = FaultTolerant::threaded(ThreadedCluster::from_cluster(c), plan.clone());
+            if apply_ops(&mut ft, &mut view, &ops).is_err() {
+                fail("faulted run errored");
+            }
+            if state_snapshot(&ft, &view) != expected {
+                fail("state diverged from fault-free run");
+            }
+            if view.check_consistent(ft.engine()).is_err() {
+                fail("faulted view inconsistent with recomputed join");
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_sweep() {
+    // One-cell repro mode: PVM_FAULT_REPRO="seed:rate:backend:method".
+    if let Ok(repro) = std::env::var("PVM_FAULT_REPRO") {
+        let parts: Vec<&str> = repro.split(':').collect();
+        assert_eq!(
+            parts.len(),
+            4,
+            "PVM_FAULT_REPRO must be seed:rate:backend:method"
+        );
+        let seed: u64 = parts[0].trim().parse().expect("repro seed");
+        let rate: f64 = parts[1].trim().parse().expect("repro rate");
+        let backend = BackendKind::parse(parts[2]).expect("repro backend");
+        let method = parse_method(parts[3]).expect("repro method");
+        check_case(seed, rate, backend, method);
+        return;
+    }
+
+    let seeds = env_list("PVM_FAULT_SEEDS", vec![1, 7, 42], |s| s.parse().ok());
+    let rates = env_list("PVM_FAULT_RATES", vec![0.0, 0.05, 0.2], |s| s.parse().ok());
+    let backends = env_list(
+        "PVM_FAULT_BACKENDS",
+        vec![BackendKind::Sequential, BackendKind::Threaded],
+        BackendKind::parse,
+    );
+    let methods = env_list(
+        "PVM_FAULT_METHODS",
+        vec![
+            MaintenanceMethod::Naive,
+            MaintenanceMethod::AuxiliaryRelation,
+            MaintenanceMethod::GlobalIndex,
+        ],
+        parse_method,
+    );
+
+    for &seed in &seeds {
+        for &rate in &rates {
+            for &backend in &backends {
+                for &method in &methods {
+                    check_case(seed, rate, backend, method);
+                }
+            }
+        }
+    }
+}
+
+/// Fault counters are surfaced through the cluster's pvm-obs metrics
+/// registry, not just the wrapper's accessors.
+#[test]
+fn fault_counters_surface_in_obs() {
+    let (c, mut view) = setup(3, MaintenanceMethod::AuxiliaryRelation);
+    let obs = c.obs_handle();
+    let mut ft = FaultTolerant::sequential(c, sweep_plan(7, 0.2, 3));
+    apply_ops(&mut ft, &mut view, &gen_ops(7, 15)).unwrap();
+    let counters = obs.metrics().counters();
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(get("faults.drops"), ft.wire_stats().drops);
+    assert_eq!(get("faults.retries"), ft.link_stats().retries);
+    assert_eq!(get("faults.crashes"), ft.crashes());
+    assert_eq!(get("faults.recovery_replayed"), ft.recovery_replayed());
+    assert!(ft.crashes() > 0, "the sweep plan's crash fired");
+    assert!(
+        ft.recovery_replayed() > 0,
+        "recovery replayed a WAL suffix for the crashed node"
+    );
+}
+
+// ------------------------------------------- zero-fault identity checks
+
+#[derive(Debug, Clone, PartialEq)]
+struct Msg(u64);
+
+impl MessageSize for Msg {
+    fn byte_size(&self) -> usize {
+        8
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..2, 0i64..6).prop_map(|(rel, jval)| Op::Insert { rel, jval }),
+        (0usize..2, any::<usize>()).prop_map(|(rel, pick)| Op::DeleteExisting { rel, pick }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// A zero-fault `FaultyTransport` is a strict identity wrapper: for
+    /// any send schedule, per-step delivery order and counted costs are
+    /// exactly the bare transport's.
+    #[test]
+    fn zero_fault_transport_is_identity(
+        sched in proptest::collection::vec((0usize..4, 0usize..4, any::<u64>()), 1..40)
+    ) {
+        let mut bare: Fabric<Msg> = Fabric::new(4, NetConfig::default());
+        let mut wrapped = FaultyTransport::new(
+            Fabric::<Msg>::new(4, NetConfig::default()),
+            FaultPlan::none(123),
+        );
+        // Interleave sends and per-step drains.
+        for (chunk_no, chunk) in sched.chunks(5).enumerate() {
+            for &(src, dst, v) in chunk {
+                bare.send(NodeId(src as u16), NodeId(dst as u16), Msg(v)).unwrap();
+                Transport::send(&mut wrapped, NodeId(src as u16), NodeId(dst as u16), Msg(v))
+                    .unwrap();
+            }
+            wrapped.advance_step();
+            let dst = NodeId((chunk_no % 4) as u16);
+            let a: Vec<Envelope<Msg>> = bare.recv_all(dst);
+            let b: Vec<Envelope<Msg>> = wrapped.recv_all(dst);
+            prop_assert_eq!(a, b, "delivery order diverged");
+        }
+        let bare_snap = bare.ledger().snapshot();
+        let (sends, bytes) = pvm_net::TransportCounters::counters(&wrapped);
+        prop_assert_eq!(bare_snap.sends, sends);
+        prop_assert_eq!(bare_snap.bytes_sent, bytes);
+        prop_assert_eq!(wrapped.stats(), pvm_faults::FaultStats::default());
+    }
+
+    /// A zero-fault `FaultTolerant` backend leaves the same state as the
+    /// bare backend for any op stream (costs differ only by the reliable
+    /// link's uncounted Data headers — i.e. not at all — plus acks,
+    /// which a fault-free epoch never needs... so contents AND costs
+    /// could be compared; contents are what the tentpole demands).
+    #[test]
+    fn zero_fault_backend_matches_bare(
+        ops in proptest::collection::vec(op_strategy(), 1..12)
+    ) {
+        let (mut bare, mut bare_view) = setup(3, MaintenanceMethod::GlobalIndex);
+        apply_ops(&mut bare, &mut bare_view, &ops).unwrap();
+        let expected = state_snapshot(&bare, &bare_view);
+
+        let (c, mut view) = setup(3, MaintenanceMethod::GlobalIndex);
+        let mut ft = FaultTolerant::sequential(c, FaultPlan::none(5));
+        apply_ops(&mut ft, &mut view, &ops).unwrap();
+        prop_assert_eq!(state_snapshot(&ft, &view), expected);
+        prop_assert_eq!(ft.link_stats().retries, 0, "no spurious retransmissions");
+    }
+}

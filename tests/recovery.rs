@@ -266,6 +266,63 @@ fn aggregate_views_recover_too() {
 }
 
 #[test]
+fn open_txn_wal_round_trips_and_recovers_on_both_backends() {
+    // A WAL snapshotted while a transaction is still open must survive a
+    // `to_bytes`/`from_bytes` round-trip byte-for-byte — the trailing
+    // Begin with no Commit/Abort is a legal serialized state, not an
+    // error — and recovery from the round-tripped log must undo the
+    // loser. Drive the in-transaction DML through the view-maintenance
+    // step machinery on both backends.
+    fn drive<B: Backend>(backend: &mut B, view: &mut MaintainedView) {
+        backend.begin_txn().unwrap();
+        view.apply(backend, 0, &Delta::insert_one(row![500, 1, "loser"]))
+            .unwrap();
+        view.apply(backend, 1, &Delta::Delete(vec![row![0, 0, "x".repeat(32)]]))
+            .unwrap();
+        // Transaction deliberately left open: the "crash" lands here.
+    }
+
+    for threaded in [false, true] {
+        let mut cluster = wal_cluster(2);
+        SyntheticRelation::new("a", 20, 4)
+            .install(&mut cluster)
+            .unwrap();
+        SyntheticRelation::new("b", 20, 4)
+            .install(&mut cluster)
+            .unwrap();
+        let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+        let mut view =
+            MaintainedView::create(&mut cluster, def, MaintenanceMethod::AuxiliaryRelation)
+                .unwrap();
+        let committed = snapshot(&cluster);
+
+        let wal = if threaded {
+            let mut thr = ThreadedCluster::from_cluster(cluster);
+            drive(&mut thr, &mut view);
+            let cluster = thr.into_cluster();
+            let wal = cluster.wal_snapshot().unwrap();
+            drop(cluster); // crash with the txn still open
+            wal
+        } else {
+            drive(&mut cluster, &mut view);
+            let wal = cluster.wal_snapshot().unwrap();
+            drop(cluster); // crash with the txn still open
+            wal
+        };
+
+        let back = Wal::from_bytes(&wal.to_bytes()).unwrap();
+        assert_eq!(back, wal, "threaded={threaded}: open-txn WAL round-trip");
+
+        let recovered = recover(ClusterConfig::new(2).with_buffer_pages(256), &back).unwrap();
+        assert_eq!(
+            snapshot(&recovered),
+            committed,
+            "threaded={threaded}: open txn undone on recovery"
+        );
+    }
+}
+
+#[test]
 fn wal_disabled_means_no_snapshot() {
     let cluster = Cluster::new(ClusterConfig::new(2));
     assert!(cluster.wal_snapshot().is_none());
