@@ -81,24 +81,28 @@ pub(crate) fn update_ars<B: Backend>(
                     continue;
                 }
                 let projected = row.project(&info.keep_cols)?;
-                let dst = spec.route(&projected, l, 0)?;
+                // One destination for hash (and salted-heavy) rows; every
+                // spread-set replica for a replicated heavy value.
+                let dsts = spec.route_all(&projected, l, 0)?;
                 if ctx.tracing() {
                     ctx.trace(Phase::Route, method)
                         .key(projected.try_get(info.key_pos)?.to_string())
-                        .count(1)
+                        .count(dsts.len() as u64)
                         .emit();
                     ctx.obs()
                         .metrics()
                         .histogram(pvm_obs::metric::fanout(method))
-                        .observe(1);
+                        .observe(dsts.len() as u64);
                 }
-                ctx.send(
-                    dst,
-                    NetPayload::DeltaRows {
-                        table: info.table,
-                        rows: vec![projected],
-                    },
-                )?;
+                for dst in dsts {
+                    ctx.send(
+                        dst,
+                        NetPayload::DeltaRows {
+                            table: info.table,
+                            rows: vec![projected.clone()],
+                        },
+                    )?;
+                }
             }
             Ok(())
         })?;
@@ -203,7 +207,7 @@ fn probe_target(
             table: info.table,
             carried: info.keep_cols.clone(),
             key: vec![info.key_pos],
-            partitioned_on_key: true,
+            routing: Some(cluster.def(info.table)?.partitioning.clone()),
         });
     }
     let table = handle.base[rel];
@@ -217,7 +221,7 @@ fn probe_target(
         table,
         carried: (0..def.schema.arity()).collect(),
         key: vec![probe_col],
-        partitioned_on_key: true,
+        routing: Some(def.partitioning.clone()),
     })
 }
 

@@ -109,9 +109,11 @@ pub(crate) fn filters_ok(
 }
 
 /// How one chain step locates matching tuples: which table is probed,
-/// which base columns its stored rows carry, and whether partials can be
-/// *routed* to a single node (the table is partitioned on the probe
-/// attribute) or must be *broadcast* (the naive method's case 2).
+/// which base columns its stored rows carry, and how partials reach the
+/// nodes holding matches — *routed* through the probed table's
+/// partitioning spec (one node for hash/light values, the spread set for
+/// heavy values of a skew-aware spec) or *broadcast* to all nodes (the
+/// naive method's case 2).
 #[derive(Debug, Clone)]
 pub(crate) struct ProbeTarget {
     pub table: TableId,
@@ -120,8 +122,10 @@ pub(crate) struct ProbeTarget {
     pub carried: Vec<usize>,
     /// Index key, in stored-schema positions.
     pub key: Vec<usize>,
-    /// Route partials by hash (true) or broadcast them to all nodes.
-    pub partitioned_on_key: bool,
+    /// `Some(spec)`: route each partial via the spec's
+    /// [`probe_nodes`](pvm_engine::PartitionSpec::probe_nodes); `None`:
+    /// broadcast.
+    pub routing: Option<pvm_engine::PartitionSpec>,
 }
 
 /// How a node joins its received delta share with the local fragment of
@@ -166,27 +170,43 @@ pub(crate) fn probe_step<B: Backend>(
                 table: target.table,
                 rows: vec![partial.clone()],
             };
-            // Fan-out K of this partial: one routed destination, or all
-            // L nodes for the naive broadcast.
-            let k = if target.partitioned_on_key {
-                1
-            } else {
-                l as u64
-            };
-            if ctx.tracing() {
-                let key = partial.try_get(anchor_pos)?.to_string();
-                ctx.trace(Phase::Route, method).key(key).count(k).emit();
-                ctx.obs()
-                    .metrics()
-                    .histogram(metric::fanout(method))
-                    .observe(k);
-            }
-            if target.partitioned_on_key {
-                let v = partial.try_get(anchor_pos)?;
-                let dst = pvm_engine::PartitionSpec::route_value(v, l);
-                ctx.send(dst, payload)?;
-            } else {
-                ctx.broadcast(&payload)?;
+            match &target.routing {
+                Some(spec) => {
+                    // Fan-out K of this partial: one routed destination
+                    // for hash/light values, the spread set for heavy
+                    // values of a skew-aware spec.
+                    let v = partial.try_get(anchor_pos)?;
+                    let dsts = spec.probe_nodes(v, l, pvm_engine::hash_row(partial))?;
+                    if ctx.tracing() {
+                        let k = dsts.len() as u64;
+                        ctx.trace(Phase::Route, method)
+                            .key(v.to_string())
+                            .count(k)
+                            .emit();
+                        ctx.obs()
+                            .metrics()
+                            .histogram(metric::fanout(method))
+                            .observe(k);
+                        note_heavy_light(ctx, spec, v, k);
+                    }
+                    for dst in dsts {
+                        ctx.send(dst, payload.clone())?;
+                    }
+                }
+                None => {
+                    if ctx.tracing() {
+                        let key = partial.try_get(anchor_pos)?.to_string();
+                        ctx.trace(Phase::Route, method)
+                            .key(key)
+                            .count(l as u64)
+                            .emit();
+                        ctx.obs()
+                            .metrics()
+                            .histogram(metric::fanout(method))
+                            .observe(l as u64);
+                    }
+                    ctx.broadcast(&payload)?;
+                }
             }
         }
         Ok(())
@@ -236,6 +256,27 @@ pub(crate) fn probe_step<B: Backend>(
         }
         Ok(out)
     })
+}
+
+/// Record the sketch hit/miss and spread fan-out metrics for one routed
+/// probe value against a (possibly heavy-light) partitioning spec. Only
+/// called when tracing is enabled; plain hash specs record nothing.
+pub(crate) fn note_heavy_light(
+    ctx: &pvm_engine::StepCtx<'_>,
+    spec: &pvm_engine::PartitionSpec,
+    v: &pvm_types::Value,
+    fanout: u64,
+) {
+    if !matches!(spec, pvm_engine::PartitionSpec::HeavyLight { .. }) {
+        return;
+    }
+    let metrics = ctx.obs().metrics();
+    if spec.is_heavy(v) {
+        metrics.counter(metric::SKEW_HEAVY_HITS).inc();
+        metrics.histogram(metric::SPREAD_FANOUT).observe(fanout);
+    } else {
+        metrics.counter(metric::SKEW_LIGHT_MISSES).inc();
+    }
 }
 
 /// §3.1.2 plan choice at one node: index nested loops costs one SEARCH per
@@ -334,7 +375,7 @@ pub(crate) fn ship_to_view<B: Backend>(
             // projection layout).
             let dst = match &handle.agg {
                 Some(shape) => {
-                    pvm_engine::PartitionSpec::route_value(view_row.try_get(shape.group_by[0])?, l)
+                    pvm_engine::PartitionSpec::route_value(view_row.try_get(shape.group_by[0])?, l)?
                 }
                 None => view_spec.route(&view_row, l, 0)?,
             };

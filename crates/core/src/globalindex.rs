@@ -30,7 +30,7 @@
 
 use std::collections::HashMap;
 
-use pvm_engine::{Backend, Cluster, NetPayload, PartitionSpec, TableDef, TableId};
+use pvm_engine::{Backend, Cluster, NetPayload, TableDef, TableId};
 use pvm_obs::{metric, MethodTag, Phase};
 use pvm_types::{Column, CostKind, GlobalRid, NodeId, PvmError, Result, Rid, Row, Schema, Value};
 
@@ -139,26 +139,34 @@ fn gi_probe_step<B: Backend>(
 ) -> Result<Staged> {
     let l = backend.node_count();
     let anchor_pos = layout.position(step.anchor)?;
+    let gi_spec = backend.engine().def(gi_table)?.partitioning.clone();
 
-    // Hop 1: route each partial to the GI node of its probe value.
+    // Hop 1: route each partial to the GI node(s) of its probe value —
+    // one hash node normally; under a heavy-light spec, hot values are
+    // salted to one of their replicated spread nodes (each replica holds
+    // the complete entry list) or fanned across the salted spread set.
     let staged = &staged;
+    let gi_spec = &gi_spec;
     backend.step(|ctx| {
         for partial in &staged[ctx.id().index()] {
             let v = partial.try_get(anchor_pos)?;
-            let dst = PartitionSpec::route_value(v, l);
+            let dsts = gi_spec.probe_nodes(v, l, pvm_engine::hash_row(partial))?;
             if ctx.tracing() {
                 ctx.trace(Phase::Route, MethodTag::GlobalIndex)
                     .key(v.to_string())
-                    .count(1)
+                    .count(dsts.len() as u64)
                     .emit();
+                chain::note_heavy_light(ctx, gi_spec, v, dsts.len() as u64);
             }
-            ctx.send(
-                dst,
-                NetPayload::DeltaRows {
-                    table: gi_table,
-                    rows: vec![partial.clone()],
-                },
-            )?;
+            for dst in dsts {
+                ctx.send(
+                    dst,
+                    NetPayload::DeltaRows {
+                        table: gi_table,
+                        rows: vec![partial.clone()],
+                    },
+                )?;
+            }
         }
         Ok(())
     })?;
@@ -306,14 +314,17 @@ pub(crate) fn apply<B: Backend>(
                     continue;
                 }
                 let entry = gi_entry(row[c].clone(), *grid);
-                let dst = spec.route(&entry, l, 0)?;
-                ctx.send(
-                    dst,
-                    NetPayload::DeltaRows {
-                        table: gi_table,
-                        rows: vec![entry],
-                    },
-                )?;
+                // Replicated heavy entries go to every spread-set node;
+                // everything else has a single home.
+                for dst in spec.route_all(&entry, l, 0)? {
+                    ctx.send(
+                        dst,
+                        NetPayload::DeltaRows {
+                            table: gi_table,
+                            rows: vec![entry.clone()],
+                        },
+                    )?;
+                }
             }
             Ok(())
         })?;
@@ -382,7 +393,7 @@ pub(crate) fn apply<B: Backend>(
                 table: target_table,
                 carried: (0..target_arity).collect(),
                 key: vec![step.probe_col],
-                partitioned_on_key: true,
+                routing: Some(def.partitioning.clone()),
             };
             staged = chain::probe_step(
                 backend,

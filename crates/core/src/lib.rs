@@ -39,6 +39,7 @@ pub mod layout;
 pub mod minimize;
 pub mod naive;
 pub mod planner;
+pub mod skew;
 pub mod view;
 pub mod viewdef;
 
@@ -80,6 +81,7 @@ pub use layout::Layout;
 pub use minimize::ArPool;
 pub use planner::{plan_chain, PlanStep};
 pub use pvm_model::Recommendation;
+pub use skew::{RebalanceReport, SkewConfig, SkewState};
 pub use view::{
     maintain_all, maintain_all_pooled, MaintainedView, MaintenanceMethod, MaintenanceOutcome,
 };

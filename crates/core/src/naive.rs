@@ -74,7 +74,10 @@ pub(crate) fn apply<B: Backend>(
             table: target_table,
             carried: (0..def.schema.arity()).collect(),
             key: vec![step.probe_col],
-            partitioned_on_key: def.partitioning.is_on(step.probe_col),
+            routing: def
+                .partitioning
+                .is_on(step.probe_col)
+                .then(|| def.partitioning.clone()),
         };
         staged = chain::probe_step(
             backend,

@@ -1,7 +1,9 @@
 //! [`MaintainedView`]: a materialized join view plus the machinery that
 //! keeps it consistent under one of the three maintenance methods.
 
-use pvm_engine::{exec, Backend, Cluster, MeterReport, PartitionSpec, TableDef, TableId};
+use pvm_engine::{
+    exec, Backend, Cluster, MeterReport, PartitionSpec, SpreadMode, TableDef, TableId,
+};
 use pvm_storage::Organization;
 use pvm_types::{PvmError, Result, Row};
 
@@ -9,6 +11,7 @@ use crate::auxrel::{self, AuxState};
 use crate::delta::Delta;
 use crate::globalindex::{self, GiState};
 use crate::naive;
+use crate::skew::{RebalanceReport, RebalancedTable, SkewConfig, SkewState};
 use crate::viewdef::JoinViewDef;
 
 /// The three maintenance methods of the paper.
@@ -126,6 +129,10 @@ pub struct MaintainedView {
     policy: crate::chain::JoinPolicy,
     aux: Option<AuxState>,
     gi: Option<GiState>,
+    /// Heavy-light skew handling: per-class traffic sketches, enabled via
+    /// [`MaintainedView::create_skewed`] /
+    /// [`MaintainedView::enable_skew_handling`].
+    skew: Option<SkewState>,
 }
 
 impl MaintainedView {
@@ -184,6 +191,7 @@ impl MaintainedView {
             policy: crate::chain::JoinPolicy::default(),
             aux,
             gi,
+            skew: None,
         };
         view.populate(cluster)?;
         Ok(view)
@@ -279,6 +287,7 @@ impl MaintainedView {
             policy: crate::chain::JoinPolicy::default(),
             aux: Some(aux),
             gi: None,
+            skew: None,
         };
         view.populate(cluster)?;
         Ok(view)
@@ -355,6 +364,7 @@ impl MaintainedView {
             policy: crate::chain::JoinPolicy::default(),
             aux,
             gi,
+            skew: None,
         };
         view.populate(cluster)?;
         Ok(view)
@@ -493,6 +503,12 @@ impl MaintainedView {
                 self.handle.def.name
             )));
         }
+        if let Some(skew) = &mut self.skew {
+            // Inserts and deletes both cause routed probes and structure
+            // updates, so both count as traffic.
+            let rows: Vec<Row> = placed.iter().map(|(r, _)| r.clone()).collect();
+            skew.observe(rel, &rows)?;
+        }
         let handle = &self.handle;
         let policy = self.policy;
         match self.method {
@@ -506,6 +522,166 @@ impl MaintainedView {
                 globalindex::apply(backend, handle, state, rel, placed, insert, policy)
             }
         }
+    }
+
+    /// [`MaintainedView::create`] plus
+    /// [`MaintainedView::enable_skew_handling`] in one call: the method's
+    /// structures come up heavy-light-partitioned (with an empty heavy
+    /// set, i.e. bit-identical to plain hash) and every maintained delta
+    /// feeds the traffic sketches. Call
+    /// [`MaintainedView::rebalance`] once traffic has been observed to
+    /// actually spread the hot values.
+    pub fn create_skewed(
+        cluster: &mut Cluster,
+        def: JoinViewDef,
+        method: MaintenanceMethod,
+        config: SkewConfig,
+    ) -> Result<MaintainedView> {
+        let mut view = MaintainedView::create(cluster, def, method)?;
+        view.enable_skew_handling(cluster, config)?;
+        Ok(view)
+    }
+
+    /// Turn on heavy-light skew handling (§ "Skew handling" in the
+    /// README): every AR table is re-declared
+    /// `HeavyLight{mode: Salt}` on its partitioning attribute and every
+    /// GI table `HeavyLight{mode: Replicate}` on its key column — with an
+    /// **empty heavy set**, so routing (and all counted costs) stay
+    /// bit-identical to plain hash until [`MaintainedView::rebalance`]
+    /// freezes observed heavy values in. From this call on, every delta
+    /// the view maintains is also fed to the per-join-attribute-class
+    /// frequency sketches.
+    ///
+    /// Only the method's private structures are reorganized — base
+    /// relations keep their partitioning (a base already partitioned on
+    /// the join attribute serves probes as before, un-spread). Errors for
+    /// the naive method (no structures to reorganize) and for pool-shared
+    /// ARs (other views route by the pool's specs).
+    pub fn enable_skew_handling(
+        &mut self,
+        cluster: &mut Cluster,
+        config: SkewConfig,
+    ) -> Result<()> {
+        match self.method {
+            MaintenanceMethod::Naive => {
+                return Err(PvmError::InvalidOperation(
+                    "naive maintenance has no auxiliary structures to spread; \
+                     skew handling applies to AR / GI views"
+                        .into(),
+                ));
+            }
+            MaintenanceMethod::AuxiliaryRelation => {
+                let aux = self.aux.as_ref().expect("aux state installed");
+                if aux.shared {
+                    return Err(PvmError::InvalidOperation(
+                        "pool-shared auxiliary relations cannot be reorganized per-view".into(),
+                    ));
+                }
+                for info in aux.ars.values() {
+                    let spec = PartitionSpec::heavy_light(
+                        info.key_pos,
+                        Vec::new(),
+                        config.spread,
+                        SpreadMode::Salt,
+                    );
+                    cluster.repartition(info.table, spec)?;
+                }
+            }
+            MaintenanceMethod::GlobalIndex => {
+                let gi = self.gi.as_ref().expect("gi state installed");
+                for info in gi.gis.values() {
+                    // GI entries are (key, node, page, slot): key is column 0.
+                    let spec = PartitionSpec::heavy_light(
+                        0,
+                        Vec::new(),
+                        config.spread,
+                        SpreadMode::Replicate,
+                    );
+                    cluster.repartition(info.table, spec)?;
+                }
+            }
+        }
+        self.skew = Some(SkewState::new(&self.handle.def, config));
+        Ok(())
+    }
+
+    /// Feed the skew sketches with delta traffic on relation `rel`
+    /// without maintaining anything — for pre-training on a known
+    /// workload before the first [`MaintainedView::rebalance`]. No-op
+    /// when skew handling is off.
+    pub fn train_skew(&mut self, rel: usize, rows: &[Row]) -> Result<()> {
+        if let Some(skew) = &mut self.skew {
+            skew.observe(rel, rows)?;
+        }
+        Ok(())
+    }
+
+    /// The live skew state, when skew handling is enabled.
+    pub fn skew_state(&self) -> Option<&SkewState> {
+        self.skew.as_ref()
+    }
+
+    /// Freeze the currently-observed heavy values into the AR / GI
+    /// partitioning specs and migrate rows accordingly (light values keep
+    /// their hash homes; heavy AR rows are salted over their spread set,
+    /// heavy GI entries replicated across it). Not metered — this is a
+    /// reorganization utility, not a maintenance transaction. Returns
+    /// what moved; a no-op (empty report entries, `rows_moved = 0`) when
+    /// the heavy sets are unchanged.
+    pub fn rebalance<B: Backend>(&mut self, backend: &mut B) -> Result<RebalanceReport> {
+        let Some(skew) = &self.skew else {
+            return Err(PvmError::InvalidOperation(
+                "skew handling is not enabled for this view".into(),
+            ));
+        };
+        let config = skew.config;
+        let mut report = RebalanceReport::default();
+        let mut plans: Vec<(TableId, PartitionSpec, usize)> = Vec::new();
+        if let Some(aux) = &self.aux {
+            for (&(rel, c), info) in &aux.ars {
+                let heavy = skew.heavy_for(rel, c);
+                let n = heavy.len();
+                let spec = PartitionSpec::heavy_light(
+                    info.key_pos,
+                    heavy,
+                    config.spread,
+                    SpreadMode::Salt,
+                );
+                plans.push((info.table, spec, n));
+            }
+        }
+        if let Some(gi) = &self.gi {
+            for (&(rel, c), info) in &gi.gis {
+                let heavy = skew.heavy_for(rel, c);
+                let n = heavy.len();
+                // A GI is *written* by deltas on its own relation (entry
+                // per delta tuple) and *probed* by deltas on the other
+                // relations of the class. Replicating heavy entries is
+                // right for the probe-dominant side (probes salt to one
+                // replica) but multiplies writes by the spread factor, so
+                // a write-dominant GI salts its heavy entries instead —
+                // writes spread, and the rarer probes fan out over the
+                // spread set and union disjoint entry lists.
+                let (own, cross) = skew.traffic_split(rel, c);
+                let mode = if own > cross {
+                    SpreadMode::Salt
+                } else {
+                    SpreadMode::Replicate
+                };
+                let spec = PartitionSpec::heavy_light(0, heavy, config.spread, mode);
+                plans.push((info.table, spec, n));
+            }
+        }
+        plans.sort_by_key(|(t, _, _)| *t);
+        for (table, spec, heavy_values) in plans {
+            let rows_moved = backend.engine_mut().repartition(table, spec)?;
+            report.tables.push(RebalancedTable {
+                table,
+                heavy_values,
+                rows_moved,
+            });
+        }
+        Ok(report)
     }
 
     /// Extra storage (pages) the method's structures occupy — zero for

@@ -105,6 +105,19 @@ impl Catalog {
             .ok_or_else(|| PvmError::NotFound(format!("{id}")))
     }
 
+    /// Replace a table's partitioning spec in place. This is the catalog
+    /// half of a reorganization — callers that change where existing rows
+    /// belong must also move them (see `Cluster::repartition`).
+    pub fn set_partitioning(&mut self, id: TableId, spec: PartitionSpec) -> Result<()> {
+        let def = self
+            .defs
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| PvmError::NotFound(format!("{id}")))?;
+        def.partitioning = spec;
+        Ok(())
+    }
+
     pub fn id_of(&self, name: &str) -> Result<TableId> {
         self.by_name
             .get(name)

@@ -321,34 +321,44 @@ impl Cluster {
         def.partitioning.route(row, self.node_count(), self.rr_seq)
     }
 
-    /// Client-side insert: route each row to its home node and insert
+    /// Client-side insert: route each row to its home node(s) and insert
     /// there. (Client→node delivery is not a metered inter-node SEND.)
+    /// Returns the **primary** placement per row; heavy-light replicate
+    /// tables additionally store copies at the rest of the spread set.
     pub fn insert(&mut self, id: TableId, rows: Vec<Row>) -> Result<Vec<(NodeId, pvm_types::Rid)>> {
         let def = self.catalog.get(id)?.clone();
         let l = self.node_count();
         let mut out = Vec::with_capacity(rows.len());
         for row in rows {
-            let node = def.partitioning.route(&row, l, self.rr_seq)?;
+            let dsts = def.partitioning.route_all(&row, l, self.rr_seq)?;
             self.rr_seq += 1;
-            let rid = self.nodes[node.index()].insert(id, row)?;
-            out.push((node, rid));
+            let rid = self.nodes[dsts[0].index()].insert(id, row.clone())?;
+            for copy in &dsts[1..] {
+                self.nodes[copy.index()].insert(id, row.clone())?;
+            }
+            out.push((dsts[0], rid));
         }
         Ok(out)
     }
 
-    /// Delete rows by value (each row routed to its home node, deleted via
-    /// `key_hint` index when available). Round-robin tables have no
+    /// Delete rows by value (each row routed to its home node(s), deleted
+    /// via `key_hint` index when available — heavy-light replicate tables
+    /// drop every spread-set copy). Round-robin tables have no
     /// value-derived home, so their rows are sought at every node.
-    /// Returns how many were deleted.
+    /// Returns how many distinct rows were deleted.
     pub fn delete(&mut self, id: TableId, rows: &[Row], key_hint: &[usize]) -> Result<usize> {
         let def = self.catalog.get(id)?.clone();
         let l = self.node_count();
         let mut deleted = 0;
         for row in rows {
             match def.partitioning {
-                crate::partition::PartitionSpec::Hash { .. } => {
-                    let node = def.partitioning.route(row, l, 0)?;
-                    if self.nodes[node.index()].delete_row(id, row, key_hint)? {
+                crate::partition::PartitionSpec::Hash { .. }
+                | crate::partition::PartitionSpec::HeavyLight { .. } => {
+                    let mut hit = false;
+                    for node in def.partitioning.route_all(row, l, 0)? {
+                        hit |= self.nodes[node.index()].delete_row(id, row, key_hint)?;
+                    }
+                    if hit {
                         deleted += 1;
                     }
                 }
@@ -363,6 +373,64 @@ impl Cluster {
             }
         }
         Ok(deleted)
+    }
+
+    /// Reorganize `id` under a new value-derived partitioning spec: every
+    /// stored row is pulled from its current primary placement, the
+    /// catalog is updated, and the rows are re-inserted under `spec`
+    /// (client-side, like bulk load — no metered SENDs). Replicated
+    /// spread-set copies are collapsed to their primary before the move,
+    /// so the logical multiset is preserved exactly. Returns the number of
+    /// logical rows re-placed.
+    ///
+    /// The WAL logs the physical deletes/inserts (per-node crash replay
+    /// stays rid-exact), but the spec swap itself is not a logged DDL:
+    /// after a full-cluster [`crate::recover`], the table routes as plain
+    /// hash again and `repartition` must be re-applied.
+    pub fn repartition(
+        &mut self,
+        id: TableId,
+        spec: crate::partition::PartitionSpec,
+    ) -> Result<u64> {
+        if self.txn_active {
+            return Err(PvmError::InvalidOperation(
+                "DDL is not allowed inside a transaction".into(),
+            ));
+        }
+        if spec.column().is_none() {
+            return Err(PvmError::InvalidOperation(
+                "repartition requires a value-derived (hash / heavy-light) spec".into(),
+            ));
+        }
+        let old = self.catalog.get(id)?.partitioning.clone();
+        if old == spec {
+            return Ok(0);
+        }
+        let l = self.node_count();
+        // Collect each logical row once: a stored copy counts iff this
+        // node is its primary home under the old spec.
+        // (A round-robin source has exactly one copy per row wherever it
+        // sits, so every stored row is primary.)
+        let primary_only = old.column().is_some();
+        let mut logical = Vec::new();
+        for n in &self.nodes {
+            for (_, row) in n.storage(id)?.scan()? {
+                if !primary_only || old.route(&row, l, 0)? == n.id() {
+                    logical.push(row);
+                }
+            }
+        }
+        // Drop every stored copy, swap the spec, re-insert.
+        for n in &mut self.nodes {
+            let all: Vec<_> = n.storage(id)?.scan()?;
+            for (rid, _) in all {
+                n.delete_rid(id, rid)?;
+            }
+        }
+        self.catalog.set_partitioning(id, spec)?;
+        let moved = logical.len() as u64;
+        self.insert(id, logical)?;
+        Ok(moved)
     }
 
     /// All rows of table `id` across the cluster (oracle / bulk-load

@@ -147,7 +147,7 @@ pub fn distributed_hash_join(
                 if v.is_null() {
                     continue;
                 }
-                by_dst[PartitionSpec::route_value(v, l).index()].push(row);
+                by_dst[PartitionSpec::route_value(v, l)?.index()].push(row);
             }
             outboxes.push(by_dst);
         }

@@ -20,6 +20,7 @@ pub mod message;
 pub mod meter;
 pub mod node;
 pub mod partition;
+pub mod sketch;
 pub mod wal;
 
 pub use backend::{note_inbox, Backend, StepCtx, StepSink, TraceEventSlot};
@@ -28,5 +29,6 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use message::NetPayload;
 pub use meter::{MeterGuard, MeterReport};
 pub use node::NodeState;
-pub use partition::PartitionSpec;
+pub use partition::{hash_row, hash_value, PartitionSpec, SpreadMode};
+pub use sketch::SpaceSaving;
 pub use wal::{recover, replay_node, Wal, WalRecord};

@@ -1,0 +1,179 @@
+//! Deterministic space-saving (Misra–Gries style) frequency sketch over
+//! join-attribute [`Value`]s.
+//!
+//! The skew-handling layer (see [`crate::partition::PartitionSpec::HeavyLight`])
+//! needs to know which join-attribute values are *heavy* in the update /
+//! probe traffic of a maintained view. Exact counting is unbounded, so we
+//! keep the classic space-saving summary: at most `capacity` counters;
+//! an untracked arrival evicts the current minimum and inherits its count
+//! (which is why reported counts are upper bounds with error ≤ the evicted
+//! minimum). Every value with true frequency ≥ `total / capacity` is
+//! guaranteed to be tracked.
+//!
+//! Everything here is deterministic: ties on the minimum are broken by
+//! `Value` order, iteration order never depends on hash randomization, and
+//! the same observation sequence yields the same summary on every run and
+//! platform — a requirement, because the heavy set is baked into routing
+//! decisions that both backends must make identically.
+
+use std::collections::BTreeMap;
+
+use pvm_types::Value;
+
+/// Space-saving frequency sketch with at most `capacity` tracked values.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// Tracked values → (count upper bound, overestimation error).
+    /// A `BTreeMap` keyed by `Value` keeps eviction tie-breaks and
+    /// iteration deterministic.
+    counters: BTreeMap<Value, (u64, u64)>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// A sketch tracking at most `capacity` distinct values (≥ 1).
+    pub fn new(capacity: usize) -> SpaceSaving {
+        SpaceSaving {
+            capacity: capacity.max(1),
+            counters: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Record one arrival of `v`.
+    pub fn observe(&mut self, v: &Value) {
+        self.total += 1;
+        if let Some((count, _)) = self.counters.get_mut(v) {
+            *count += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(v.clone(), (1, 0));
+            return;
+        }
+        // Evict the minimum count; among equal minima the smallest value
+        // (BTreeMap order) goes, so eviction is deterministic.
+        let (evict, min) = self
+            .counters
+            .iter()
+            .min_by(|(va, (ca, _)), (vb, (cb, _))| ca.cmp(cb).then_with(|| va.cmp(vb)))
+            .map(|(v, (c, _))| (v.clone(), *c))
+            .expect("capacity >= 1, sketch non-empty");
+        self.counters.remove(&evict);
+        self.counters.insert(v.clone(), (min + 1, min));
+    }
+
+    /// Total observations so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count upper bound for `v` (0 if untracked).
+    pub fn estimate(&self, v: &Value) -> u64 {
+        self.counters.get(v).map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    /// Values whose *guaranteed* count (upper bound minus overestimation
+    /// error) reaches `min_share` of the observed total, sorted by value.
+    /// The guaranteed lower bound keeps evicted-and-reinserted light
+    /// values from masquerading as heavy.
+    pub fn heavy_values(&self, min_share: f64) -> Vec<Value> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let threshold = (min_share * self.total as f64).max(1.0);
+        self.counters
+            .iter()
+            .filter(|(_, &(count, err))| (count - err) as f64 >= threshold)
+            .map(|(v, _)| v.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(seq: &[i64]) -> SpaceSaving {
+        let mut s = SpaceSaving::new(4);
+        for &i in seq {
+            s.observe(&Value::Int(i));
+        }
+        s
+    }
+
+    #[test]
+    fn exact_when_capacity_suffices() {
+        let mut s = SpaceSaving::new(8);
+        for i in 0..4i64 {
+            for _ in 0..=i {
+                s.observe(&Value::Int(i));
+            }
+        }
+        assert_eq!(s.total(), 10);
+        for i in 0..4i64 {
+            assert_eq!(s.estimate(&Value::Int(i)), (i + 1) as u64);
+        }
+        assert_eq!(
+            s.heavy_values(0.3),
+            vec![Value::Int(2), Value::Int(3)],
+            "2 sits exactly on the 0.3 threshold (inclusive), 3 clears it"
+        );
+        assert_eq!(
+            s.heavy_values(0.35),
+            vec![Value::Int(3)],
+            "only 3 has share >= 0.35"
+        );
+    }
+
+    #[test]
+    fn heavy_hitters_survive_eviction_pressure() {
+        // 2 hot values among a long tail wider than the capacity.
+        let mut seq = Vec::new();
+        for round in 0..50i64 {
+            seq.push(7_000);
+            seq.push(7_001);
+            seq.push(round); // tail: each light value appears once
+        }
+        let s = ints(&seq);
+        let heavy = s.heavy_values(0.2);
+        assert_eq!(heavy, vec![Value::Int(7_000), Value::Int(7_001)]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let seq: Vec<i64> = (0..500).map(|i| (i * i) % 37).collect();
+        let a = ints(&seq);
+        let b = ints(&seq);
+        assert_eq!(a.heavy_values(0.05), b.heavy_values(0.05));
+        for i in 0..37 {
+            assert_eq!(a.estimate(&Value::Int(i)), b.estimate(&Value::Int(i)));
+        }
+    }
+
+    #[test]
+    fn empty_sketch_reports_nothing() {
+        let s = SpaceSaving::new(4);
+        assert_eq!(s.total(), 0);
+        assert!(s.heavy_values(0.0).is_empty());
+        assert_eq!(s.estimate(&Value::Int(1)), 0);
+    }
+
+    #[test]
+    fn capacity_zero_clamps_to_one() {
+        let mut s = SpaceSaving::new(0);
+        s.observe(&Value::Int(1));
+        s.observe(&Value::Int(1));
+        assert_eq!(s.estimate(&Value::Int(1)), 2);
+    }
+
+    #[test]
+    fn heavy_values_sorted() {
+        let s = ints(&[9, 9, 9, 2, 2, 2, 5, 5, 5]);
+        assert_eq!(
+            s.heavy_values(0.2),
+            vec![Value::Int(2), Value::Int(5), Value::Int(9)]
+        );
+    }
+}

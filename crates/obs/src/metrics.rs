@@ -30,6 +30,15 @@ pub mod metric {
     /// joins + applies handled), for skew detection. Full name is
     /// `work.node<N>`.
     pub const WORK_SHARE_PREFIX: &str = "work.node";
+    /// Counter: routed probe values classified **heavy** by a
+    /// heavy-light partitioning spec (sketch hit).
+    pub const SKEW_HEAVY_HITS: &str = "skew.heavy_hits";
+    /// Counter: routed probe values classified **light** (sketch miss —
+    /// plain single-node hash routing was used).
+    pub const SKEW_LIGHT_MISSES: &str = "skew.light_misses";
+    /// Histogram: destinations per heavy-value probe (the spread-set
+    /// fan-out for salted specs; 1 for replicated specs).
+    pub const SPREAD_FANOUT: &str = "skew.spread_fanout";
     /// Counter: data frames discarded by the fault injector.
     pub const FAULT_DROPS: &str = "faults.drops";
     /// Counter: data frames duplicated by the fault injector.

@@ -68,9 +68,12 @@ pub use pvm_workload as workload;
 pub mod prelude {
     pub use pvm_core::{
         advise, maintain_all, maintain_all_pooled, Advice, ArPool, Delta, JoinPolicy, JoinViewDef,
-        MaintainedView, MaintenanceMethod, MaintenanceOutcome, ViewColumn, ViewEdge,
+        MaintainedView, MaintenanceMethod, MaintenanceOutcome, RebalanceReport, SkewConfig,
+        SkewState, ViewColumn, ViewEdge,
     };
-    pub use pvm_engine::{Backend, Cluster, ClusterConfig, PartitionSpec, TableDef, TableId};
+    pub use pvm_engine::{
+        Backend, Cluster, ClusterConfig, PartitionSpec, SpaceSaving, SpreadMode, TableDef, TableId,
+    };
     pub use pvm_model::{
         choose_method, predict_chain, response_time, savings_vs_naive, tw, ChainStep, ChooserInput,
         MethodVariant, ModelParams, Recommendation,

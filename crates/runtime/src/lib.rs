@@ -601,6 +601,56 @@ mod tests {
     }
 
     #[test]
+    fn heavy_light_repartition_matches_sequential_placement() {
+        // Reorganizing a table to a heavy-light spec goes through the
+        // threaded backend's engine access (`MaintainedView::rebalance`
+        // path) and must land every row on exactly the node the
+        // sequential backend picks — routing is backend-independent.
+        use pvm_engine::{PartitionSpec, SpreadMode};
+        use pvm_types::Value;
+        let rows: Vec<Row> = (0..32).map(|i| row![i, i % 4]).collect();
+        let build = || {
+            let mut c = small_cluster();
+            let t = c.table_id("t").unwrap();
+            c.insert(t, rows.clone()).unwrap();
+            (c, t)
+        };
+        let (mut seq, t) = build();
+        let mut thr = ThreadedCluster::from_cluster(build().0);
+        let spec = PartitionSpec::heavy_light(1, vec![Value::Int(0)], 2, SpreadMode::Salt);
+        let moved_seq = seq.repartition(t, spec.clone()).unwrap();
+        let moved_thr = thr.engine_mut().repartition(t, spec).unwrap();
+        assert_eq!(moved_seq, moved_thr, "identical migration volume");
+        for node in 0..4u16 {
+            let id = NodeId::from(node as usize);
+            let mut on_seq: Vec<Row> = seq
+                .node(id)
+                .unwrap()
+                .storage(t)
+                .unwrap()
+                .scan()
+                .unwrap()
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect();
+            let mut on_thr: Vec<Row> = thr
+                .engine()
+                .node(id)
+                .unwrap()
+                .storage(t)
+                .unwrap()
+                .scan()
+                .unwrap()
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect();
+            on_seq.sort();
+            on_thr.sort();
+            assert_eq!(on_seq, on_thr, "node {node}: row placement diverged");
+        }
+    }
+
+    #[test]
     fn abort_clears_inflight_traffic() {
         let mut tc = ThreadedCluster::new(ClusterConfig::new(2));
         tc.begin_txn().unwrap();

@@ -71,7 +71,10 @@ impl Distribution for Zipf {
 
     fn sample(&self, mut rng: &mut dyn RngCore) -> u64 {
         let u: f64 = (&mut rng).gen();
-        self.cdf.partition_point(|&c| c < u) as u64
+        // The normalized cdf's last entry should be 1.0, but floating-point
+        // rounding can leave it a few ulps *below* a drawn u, in which case
+        // partition_point returns `domain` — out of range. Clamp.
+        (self.cdf.partition_point(|&c| c < u) as u64).min(self.cdf.len() as u64 - 1)
     }
 }
 
@@ -119,6 +122,21 @@ mod tests {
         }
         for c in counts {
             assert!((700..1300).contains(&c));
+        }
+    }
+
+    #[test]
+    fn zipf_sample_clamps_when_cdf_rounds_low() {
+        // Regression: normalization can leave cdf.last() a few ulps below
+        // 1.0; a drawn u above it used to make partition_point return
+        // `domain` — one past the valid range. Use an adversarially low
+        // last entry so roughly half the draws hit the overflow path.
+        let d = Zipf {
+            cdf: vec![0.25, 0.5],
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) < 2, "sample escaped the domain");
         }
     }
 

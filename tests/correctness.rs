@@ -202,8 +202,8 @@ proptest! {
     /// cluster size — the property the AR and GI methods rely on.
     #[test]
     fn partitioning_colocates_equal_values(v in any::<i64>(), l in 1usize..300) {
-        let n1 = PartitionSpec::route_value(&Value::Int(v), l);
-        let n2 = PartitionSpec::route_value(&Value::Int(v), l);
+        let n1 = PartitionSpec::route_value(&Value::Int(v), l).unwrap();
+        let n2 = PartitionSpec::route_value(&Value::Int(v), l).unwrap();
         prop_assert_eq!(n1, n2);
         prop_assert!(n1.index() < l);
     }

@@ -101,7 +101,7 @@ fn clustered_variants_match_model() {
             // holder-node count k is what the engine fans out to. The
             // model's K = min(N, L) is the uniform-distribution bound.
             let holders: std::collections::HashSet<NodeId> = (0..n)
-                .map(|i| PartitionSpec::route_value(&Value::Int((30 + 60 * i) as i64), l))
+                .map(|i| PartitionSpec::route_value(&Value::Int((30 + 60 * i) as i64), l).unwrap())
                 .collect();
             let k = holders.len() as u64;
             assert!(k <= n.min(l as u64), "actual K bounded by min(N, L)");
