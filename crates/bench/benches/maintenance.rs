@@ -7,6 +7,16 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pvm::prelude::*;
 
+/// Per-group sample override, reduced under `PVM_BENCH_QUICK=1` (see
+/// [`config`]).
+fn group_samples(default: usize) -> usize {
+    if std::env::var("PVM_BENCH_QUICK").is_ok() {
+        default.min(3)
+    } else {
+        default
+    }
+}
+
 fn setup(l: usize, method: MaintenanceMethod) -> (Cluster, MaintainedView) {
     let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(2048));
     SyntheticRelation::new("a", 1_000, 100)
@@ -47,7 +57,7 @@ fn bench_single_insert(c: &mut Criterion) {
 
 fn bench_batch_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("maintenance/batch_128_8_nodes");
-    group.sample_size(10);
+    group.sample_size(group_samples(10));
     for (name, method) in [
         ("naive", MaintenanceMethod::Naive),
         ("aux_rel", MaintenanceMethod::AuxiliaryRelation),
@@ -75,6 +85,38 @@ fn bench_batch_insert(c: &mut Criterion) {
 /// Ablation: three-way view maintenance with the statistics-driven chain
 /// vs. a deliberately bad fixed order (big-fanout relation first). The
 /// §2.2 optimization problem, measured.
+/// Destination coalescing vs. the per-row pipeline: the same 128-row
+/// delta through AR maintenance on 8 nodes, packed one-message-per-
+/// populated-destination (default) vs. one-message-per-row (oracle).
+/// Both produce bit-identical views; coalescing wins on message count
+/// and encode work.
+fn bench_batch_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance/batch_policy_128_8_nodes");
+    group.sample_size(group_samples(10));
+    for (name, batch) in [
+        ("coalesced", BatchPolicy::Coalesced),
+        ("per_row", BatchPolicy::PerRow),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let (cluster, mut view) = setup(8, MaintenanceMethod::AuxiliaryRelation);
+                    view.set_batch_policy(batch);
+                    let rows: Vec<Row> = (0..128)
+                        .map(|i| row![50_000 + i as i64, (i % 100) as i64, "d"])
+                        .collect();
+                    (cluster, view, rows)
+                },
+                |(mut cluster, mut view, rows)| {
+                    view.apply(&mut cluster, 0, &Delta::Insert(rows)).unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 fn bench_planner_ablation(c: &mut Criterion) {
     fn setup_threeway() -> (Cluster, TableId) {
         let mut cluster = Cluster::new(ClusterConfig::new(4).with_buffer_pages(2048));
@@ -178,9 +220,23 @@ fn bench_aggregate(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sample count for the group: `PVM_BENCH_QUICK=1` drops to 5 samples so
+/// CI can run the suite as a cheap trend signal on every PR (numbers are
+/// archived as an artifact, never gated — wall clock on shared runners
+/// is too noisy to fail on).
+fn config() -> Criterion {
+    let samples = if std::env::var("PVM_BENCH_QUICK").is_ok() {
+        5
+    } else {
+        20
+    };
+    Criterion::default().sample_size(samples)
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_single_insert, bench_batch_insert, bench_planner_ablation, bench_aggregate
+    config = config();
+    targets = bench_single_insert, bench_batch_insert, bench_batch_policy,
+        bench_planner_ablation, bench_aggregate
 }
 criterion_main!(benches);

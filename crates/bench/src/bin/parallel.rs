@@ -205,7 +205,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     println!("host cores: {cores}");
-    series_labels("L", &["seq ms", "thr ms", "speedup"]);
+    series_labels("L", &["seq ms", "thr ms", "speedup", "rows/s"]);
     let mut json_rows = Vec::new();
     let mut counted_rows = Vec::new();
     for l in [1usize, 2, 4, 8] {
@@ -223,9 +223,12 @@ fn main() {
             "backends computed different views"
         );
         let speedup = seq_ms / thr_ms;
-        series_row(l, &[seq_ms, thr_ms, speedup]);
+        // Wall-clock maintenance throughput on the threaded backend:
+        // delta rows pushed through the full pipeline per second.
+        let rows_per_sec = DELTA as f64 / (thr_ms / 1e3);
+        series_row(l, &[seq_ms, thr_ms, speedup, rows_per_sec]);
         json_rows.push(format!(
-            "{{\"l\": {l}, \"cores\": {cores}, \"seq_ms\": {seq_ms:.3}, \"thr_ms\": {thr_ms:.3}, \"speedup\": {speedup:.3}, \"view_rows\": {seq_rows}}}"
+            "{{\"l\": {l}, \"cores\": {cores}, \"seq_ms\": {seq_ms:.3}, \"thr_ms\": {thr_ms:.3}, \"speedup\": {speedup:.3}, \"rows_per_sec\": {rows_per_sec:.0}, \"view_rows\": {seq_rows}}}"
         ));
         // Counted costs only — no wall-clock — so the file is
         // machine-independent and deterministic run to run.

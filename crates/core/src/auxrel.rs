@@ -33,7 +33,7 @@ use pvm_engine::{Backend, Cluster, NetPayload, TableDef, TableId};
 use pvm_obs::{MethodTag, Phase};
 use pvm_types::{PvmError, Result, Row};
 
-use crate::chain::{self, ChainMode, JoinPolicy, ProbeTarget};
+use crate::chain::{self, BatchPolicy, ChainMode, JoinPolicy, ProbeTarget};
 use crate::layout::Layout;
 use crate::minimize;
 use crate::planner::plan_chain;
@@ -62,20 +62,23 @@ pub struct AuxState {
     pub shared: bool,
 }
 
-/// Route each placed delta row to the home node of every AR in `ars` (one
-/// SEND per row per AR) and apply it there. Shared by per-view
-/// maintenance and the cross-view [`crate::minimize::ArPool`].
+/// Route each placed delta row to the home node of every AR in `ars`
+/// (one SEND per row per AR per-row; one SEND per populated destination
+/// when coalesced) and apply it there. Shared by per-view maintenance
+/// and the cross-view [`crate::minimize::ArPool`].
 pub(crate) fn update_ars<B: Backend>(
     backend: &mut B,
     ars: &[ArInfo],
     placed: &[(Row, pvm_types::GlobalRid)],
     insert: bool,
+    batch: BatchPolicy,
     method: MethodTag,
 ) -> Result<()> {
     let l = backend.node_count();
     for info in ars {
         let spec = backend.engine().def(info.table)?.partitioning.clone();
         backend.step(|ctx| {
+            let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
             for (row, grid) in placed {
                 if grid.node != ctx.id() {
                     continue;
@@ -94,12 +97,41 @@ pub(crate) fn update_ars<B: Backend>(
                         .histogram(pvm_obs::metric::fanout(method))
                         .observe(dsts.len() as u64);
                 }
-                for dst in dsts {
+                match batch {
+                    BatchPolicy::Coalesced => {
+                        for dst in dsts {
+                            by_dst[dst.index()].push(projected.clone());
+                        }
+                    }
+                    BatchPolicy::PerRow => {
+                        for dst in dsts {
+                            ctx.send(
+                                dst,
+                                NetPayload::DeltaRows {
+                                    table: info.table,
+                                    rows: vec![projected.clone()],
+                                },
+                            )?;
+                        }
+                    }
+                }
+            }
+            if batch == BatchPolicy::Coalesced {
+                for (dst, rows) in by_dst.into_iter().enumerate() {
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    if ctx.tracing() {
+                        ctx.obs()
+                            .metrics()
+                            .histogram(pvm_obs::metric::BATCH_ROWS_PER_MSG)
+                            .observe(rows.len() as u64);
+                    }
                     ctx.send(
-                        dst,
+                        pvm_types::NodeId::from(dst),
                         NetPayload::DeltaRows {
                             table: info.table,
-                            rows: vec![projected.clone()],
+                            rows,
                         },
                     )?;
                 }
@@ -227,6 +259,7 @@ fn probe_target(
 
 /// Propagate an already-applied base update (`placed` rows on relation
 /// `rel`) to the view, updating this view's ARs along the way.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn apply<B: Backend>(
     backend: &mut B,
     handle: &ViewHandle,
@@ -235,6 +268,7 @@ pub(crate) fn apply<B: Backend>(
     placed: &[(Row, pvm_types::GlobalRid)],
     insert: bool,
     policy: JoinPolicy,
+    batch: BatchPolicy,
 ) -> Result<MaintenanceOutcome> {
     let table = handle.base[rel];
     let arity = backend.engine().def(table)?.schema.arity();
@@ -255,7 +289,7 @@ pub(crate) fn apply<B: Backend>(
             .filter(|((r, _), _)| *r == rel)
             .map(|(_, info)| info.clone())
             .collect();
-        update_ars(backend, &my_ars, placed, insert, MethodTag::AuxRel)?;
+        update_ars(backend, &my_ars, placed, insert, batch, MethodTag::AuxRel)?;
     }
     chain::coord_phase(backend, Phase::Aux, MethodTag::AuxRel, mark);
     let aux = backend.finish_meter(&guard);
@@ -276,6 +310,7 @@ pub(crate) fn apply<B: Backend>(
             step,
             &target,
             policy,
+            batch,
             MethodTag::AuxRel,
         )?;
         layout.push(step.rel, target.carried.clone());

@@ -146,12 +146,34 @@ pub enum JoinPolicy {
     CostBased,
 }
 
+/// How a maintenance phase moves and probes a delta batch.
+///
+/// The two policies produce bit-identical view/AR/GI contents — per-row
+/// order within every (src, dst) pair is preserved by coalescing, and
+/// backends deliver inboxes in (src, send-order) — so [`BatchPolicy::PerRow`]
+/// serves as the parity oracle (`tests/batch_equivalence.rs`) while
+/// [`BatchPolicy::Coalesced`] is what runs by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// Group delta rows by destination before shipping (one multi-row
+    /// message per (src, dst, phase) instead of one per row) and probe
+    /// receiving indexes once per *distinct* join value (merge-cursor
+    /// group probes). Counted bytes are unchanged up to shared frame
+    /// headers; SENDs and SEARCHes amortize across the batch.
+    #[default]
+    Coalesced,
+    /// One message per routed row and one index descent per probe — the
+    /// paper's literal per-tuple pipeline.
+    PerRow,
+}
+
 /// Execute one probe step shared by the naive and auxiliary-relation
-/// methods: distribute each partial (routed or broadcast, one message per
-/// partial, as the model charges per-tuple SENDs), then join at the
-/// receiving node(s) — by index probes, or by one local scan when
-/// [`JoinPolicy::CostBased`] finds it cheaper. Filter and concatenate
-/// matches either way.
+/// methods: distribute the partials (routed or broadcast — per-row, or
+/// destination-coalesced under [`BatchPolicy::Coalesced`]), then join at
+/// the receiving node(s) — by index probes (grouped per distinct value
+/// when coalesced), or by one local scan when [`JoinPolicy::CostBased`]
+/// finds it cheaper. Filter and concatenate matches either way.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn probe_step<B: Backend>(
     backend: &mut B,
     staged: Staged,
@@ -159,18 +181,19 @@ pub(crate) fn probe_step<B: Backend>(
     step: &crate::planner::PlanStep,
     target: &ProbeTarget,
     policy: JoinPolicy,
+    batch: BatchPolicy,
     method: MethodTag,
 ) -> Result<Staged> {
     let l = backend.node_count();
     let anchor_pos = layout.position(step.anchor)?;
     let staged = &staged;
     backend.step(|ctx| {
+        // Destination coalescing: per-row order within each (src, dst)
+        // pair follows staged order, so receivers drain the exact row
+        // sequence the per-row path would deliver.
+        let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
         for partial in &staged[ctx.id().index()] {
-            let payload = NetPayload::DeltaRows {
-                table: target.table,
-                rows: vec![partial.clone()],
-            };
-            match &target.routing {
+            let dsts = match &target.routing {
                 Some(spec) => {
                     // Fan-out K of this partial: one routed destination
                     // for hash/light values, the spread set for heavy
@@ -189,9 +212,7 @@ pub(crate) fn probe_step<B: Backend>(
                             .observe(k);
                         note_heavy_light(ctx, spec, v, k);
                     }
-                    for dst in dsts {
-                        ctx.send(dst, payload.clone())?;
-                    }
+                    dsts
                 }
                 None => {
                     if ctx.tracing() {
@@ -205,8 +226,46 @@ pub(crate) fn probe_step<B: Backend>(
                             .histogram(metric::fanout(method))
                             .observe(l as u64);
                     }
-                    ctx.broadcast(&payload)?;
+                    // Broadcast reaches every node, own included (the
+                    // self copy is an uncharged local delivery).
+                    (0..l).map(NodeId::from).collect()
                 }
+            };
+            match batch {
+                BatchPolicy::Coalesced => {
+                    for dst in dsts {
+                        by_dst[dst.index()].push(partial.clone());
+                    }
+                }
+                BatchPolicy::PerRow => {
+                    let payload = NetPayload::DeltaRows {
+                        table: target.table,
+                        rows: vec![partial.clone()],
+                    };
+                    for dst in dsts {
+                        ctx.send(dst, payload.clone())?;
+                    }
+                }
+            }
+        }
+        if batch == BatchPolicy::Coalesced {
+            for (dst, rows) in by_dst.into_iter().enumerate() {
+                if rows.is_empty() {
+                    continue;
+                }
+                if ctx.tracing() {
+                    ctx.obs()
+                        .metrics()
+                        .histogram(metric::BATCH_ROWS_PER_MSG)
+                        .observe(rows.len() as u64);
+                }
+                ctx.send(
+                    NodeId::from(dst),
+                    NetPayload::DeltaRows {
+                        table: target.table,
+                        rows,
+                    },
+                )?;
             }
         }
         Ok(())
@@ -225,8 +284,21 @@ pub(crate) fn probe_step<B: Backend>(
             return Ok(Vec::new());
         }
         ctx.count_work(partials.len() as u64);
+        // The §3.1.2 comparison prices what the probe path would really
+        // pay: one SEARCH per partial per-row, one per *distinct* join
+        // value when the batch group-probes.
+        let probes = match batch {
+            BatchPolicy::PerRow => partials.len(),
+            BatchPolicy::Coalesced => {
+                let mut seen = std::collections::HashSet::new();
+                for p in &partials {
+                    seen.insert(p.try_get(anchor_pos)?);
+                }
+                seen.len()
+            }
+        };
         let use_scan =
-            policy == JoinPolicy::CostBased && scan_beats_probes(ctx.node, target, partials.len())?;
+            policy == JoinPolicy::CostBased && scan_beats_probes(ctx.node, target, probes)?;
         if ctx.tracing() {
             ctx.trace_span(Phase::Probe, method)
                 .count(partials.len() as u64)
@@ -235,19 +307,47 @@ pub(crate) fn probe_step<B: Backend>(
         let out = if use_scan {
             scan_join_at_node(ctx.node, target, &partials, layout, step, anchor_pos)?
         } else {
-            let mut out = Vec::new();
-            for partial in partials {
-                let v = partial.try_get(anchor_pos)?.clone();
-                let matches =
-                    ctx.node
-                        .index_search(target.table, &target.key, &Row::new(vec![v]))?;
-                for m in matches {
-                    if filters_ok(&partial, layout, step, &m, &target.carried)? {
-                        out.push(partial.concat(&m));
+            match batch {
+                BatchPolicy::Coalesced => {
+                    let values: Vec<pvm_types::Value> = partials
+                        .iter()
+                        .map(|p| Ok(p.try_get(anchor_pos)?.clone()))
+                        .collect::<Result<_>>()?;
+                    if ctx.tracing() {
+                        note_group_probe_fanin(ctx, &values);
                     }
+                    let match_lists = pvm_engine::exec::group_probe(
+                        ctx.node,
+                        target.table,
+                        &target.key,
+                        &values,
+                    )?;
+                    let mut out = Vec::new();
+                    for (partial, matches) in partials.iter().zip(&match_lists) {
+                        for m in matches {
+                            if filters_ok(partial, layout, step, m, &target.carried)? {
+                                out.push(partial.concat(m));
+                            }
+                        }
+                    }
+                    out
+                }
+                BatchPolicy::PerRow => {
+                    let mut out = Vec::new();
+                    for partial in &partials {
+                        let v = partial.try_get(anchor_pos)?.clone();
+                        let matches =
+                            ctx.node
+                                .index_search(target.table, &target.key, &Row::new(vec![v]))?;
+                        for m in matches {
+                            if filters_ok(partial, layout, step, &m, &target.carried)? {
+                                out.push(partial.concat(&m));
+                            }
+                        }
+                    }
+                    out
                 }
             }
-            out
         };
         if ctx.tracing() && !out.is_empty() {
             ctx.trace_span(Phase::Join, method)
@@ -256,6 +356,20 @@ pub(crate) fn probe_step<B: Backend>(
         }
         Ok(out)
     })
+}
+
+/// Record how many probes share each group-probe descent (duplicates per
+/// distinct join value). Only called when tracing is enabled.
+pub(crate) fn note_group_probe_fanin(ctx: &pvm_engine::StepCtx<'_>, values: &[pvm_types::Value]) {
+    let mut counts: std::collections::HashMap<&pvm_types::Value, u64> =
+        std::collections::HashMap::new();
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let hist = ctx.obs().metrics().histogram(metric::GROUP_PROBE_FANIN);
+    for (_, c) in counts {
+        hist.observe(c);
+    }
 }
 
 /// Record the sketch hit/miss and spread fan-out metrics for one routed
@@ -280,9 +394,10 @@ pub(crate) fn note_heavy_light(
 }
 
 /// §3.1.2 plan choice at one node: index nested loops costs one SEARCH per
-/// received partial plus (for non-clustered access) the expected fetches;
-/// a scan join costs the local fragment's pages, read once.
-fn scan_beats_probes(node: &NodeState, target: &ProbeTarget, partials: usize) -> Result<bool> {
+/// probe (`probes` = received partials per-row, distinct join values when
+/// group-probing) plus (for non-clustered access) the expected fetches; a
+/// scan join costs the local fragment's pages, read once.
+fn scan_beats_probes(node: &NodeState, target: &ProbeTarget, probes: usize) -> Result<bool> {
     let storage = node.storage(target.table)?;
     let scan_cost = storage.heap_pages().max(1) as f64;
     let fetch_per_probe = if node.is_clustered_on(target.table, &target.key) {
@@ -290,7 +405,7 @@ fn scan_beats_probes(node: &NodeState, target: &ProbeTarget, partials: usize) ->
     } else {
         storage.stats().matches_per_value(target.key[0])
     };
-    let inl_cost = partials as f64 * (1.0 + fetch_per_probe);
+    let inl_cost = probes as f64 * (1.0 + fetch_per_probe);
     Ok(scan_cost < inl_cost)
 }
 
@@ -384,6 +499,12 @@ pub(crate) fn ship_to_view<B: Backend>(
         for (dst, rows) in by_dst.into_iter().enumerate() {
             if rows.is_empty() {
                 continue;
+            }
+            if ctx.tracing() {
+                ctx.obs()
+                    .metrics()
+                    .histogram(metric::BATCH_ROWS_PER_MSG)
+                    .observe(rows.len() as u64);
             }
             ctx.send(
                 NodeId::from(dst),

@@ -34,7 +34,7 @@ use pvm_engine::{Backend, Cluster, NetPayload, TableDef, TableId};
 use pvm_obs::{metric, MethodTag, Phase};
 use pvm_types::{Column, CostKind, GlobalRid, NodeId, PvmError, Result, Rid, Row, Schema, Value};
 
-use crate::chain::{self, ChainMode, JoinPolicy, ProbeTarget, Staged};
+use crate::chain::{self, BatchPolicy, ChainMode, JoinPolicy, ProbeTarget, Staged};
 use crate::layout::Layout;
 use crate::planner::{plan_chain, PlanStep};
 use crate::view::{MaintenanceOutcome, ViewHandle};
@@ -128,6 +128,7 @@ pub(crate) fn install(cluster: &mut Cluster, handle: &ViewHandle) -> Result<GiSt
 /// holding matches, fetch and join there. Each hop is one backend step,
 /// so the two hops never interleave — sends during the GI-search step are
 /// not delivered until the fetch step begins.
+#[allow(clippy::too_many_arguments)]
 fn gi_probe_step<B: Backend>(
     backend: &mut B,
     staged: Staged,
@@ -136,6 +137,7 @@ fn gi_probe_step<B: Backend>(
     gi_table: TableId,
     base_table: TableId,
     base_arity: usize,
+    batch: BatchPolicy,
 ) -> Result<Staged> {
     let l = backend.node_count();
     let anchor_pos = layout.position(step.anchor)?;
@@ -145,9 +147,12 @@ fn gi_probe_step<B: Backend>(
     // one hash node normally; under a heavy-light spec, hot values are
     // salted to one of their replicated spread nodes (each replica holds
     // the complete entry list) or fanned across the salted spread set.
+    // Under [`BatchPolicy::Coalesced`] the routed rows are grouped per
+    // destination and shipped as one multi-row message each.
     let staged = &staged;
     let gi_spec = &gi_spec;
     backend.step(|ctx| {
+        let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
         for partial in &staged[ctx.id().index()] {
             let v = partial.try_get(anchor_pos)?;
             let dsts = gi_spec.probe_nodes(v, l, pvm_engine::hash_row(partial))?;
@@ -158,12 +163,41 @@ fn gi_probe_step<B: Backend>(
                     .emit();
                 chain::note_heavy_light(ctx, gi_spec, v, dsts.len() as u64);
             }
-            for dst in dsts {
+            match batch {
+                BatchPolicy::Coalesced => {
+                    for dst in dsts {
+                        by_dst[dst.index()].push(partial.clone());
+                    }
+                }
+                BatchPolicy::PerRow => {
+                    for dst in dsts {
+                        ctx.send(
+                            dst,
+                            NetPayload::DeltaRows {
+                                table: gi_table,
+                                rows: vec![partial.clone()],
+                            },
+                        )?;
+                    }
+                }
+            }
+        }
+        if batch == BatchPolicy::Coalesced {
+            for (dst, rows) in by_dst.into_iter().enumerate() {
+                if rows.is_empty() {
+                    continue;
+                }
+                if ctx.tracing() {
+                    ctx.obs()
+                        .metrics()
+                        .histogram(metric::BATCH_ROWS_PER_MSG)
+                        .observe(rows.len() as u64);
+                }
                 ctx.send(
-                    dst,
+                    NodeId::from(dst),
                     NetPayload::DeltaRows {
                         table: gi_table,
-                        rows: vec![partial.clone()],
+                        rows,
                     },
                 )?;
             }
@@ -171,98 +205,157 @@ fn gi_probe_step<B: Backend>(
         Ok(())
     })?;
 
-    // At the GI nodes: search, group rids by holder node, fan out.
+    // At the GI nodes: search (grouped per distinct value when
+    // coalesced), group rids by holder node, fan out.
     backend.step(|ctx| {
-        let mut probed = 0u64;
+        let mut partials = Vec::new();
         for env in ctx.drain() {
             let NetPayload::DeltaRows { rows, .. } = env.payload else {
                 return Err(PvmError::InvalidOperation(
                     "unexpected payload at GI probe".into(),
                 ));
             };
-            for partial in rows {
-                let v = partial.try_get(anchor_pos)?.clone();
-                let entries = ctx.node.index_search(gi_table, &[0], &Row::new(vec![v]))?;
-                let mut by_node: HashMap<NodeId, Vec<GlobalRid>> = HashMap::new();
-                for e in &entries {
-                    let grid = decode_entry(e)?;
-                    by_node.entry(grid.node).or_default().push(grid);
-                }
-                let mut dsts: Vec<NodeId> = by_node.keys().copied().collect();
-                dsts.sort();
-                // The paper's K: how many holder nodes this delta actually
-                // fans out to (K <= min(N, L)).
+            partials.extend(rows);
+        }
+        if partials.is_empty() {
+            return Ok(());
+        }
+        let entry_lists: Vec<Vec<Row>> = match batch {
+            BatchPolicy::Coalesced => {
+                let values: Vec<Value> = partials
+                    .iter()
+                    .map(|p| Ok(p.try_get(anchor_pos)?.clone()))
+                    .collect::<Result<_>>()?;
                 if ctx.tracing() {
-                    ctx.obs()
-                        .metrics()
-                        .histogram(metric::fanout(MethodTag::GlobalIndex))
-                        .observe(dsts.len() as u64);
+                    chain::note_group_probe_fanin(ctx, &values);
                 }
-                probed += 1;
-                for dst in dsts {
-                    let rids = by_node.remove(&dst).expect("key present");
-                    ctx.send(
-                        dst,
-                        NetPayload::RowWithRids {
-                            table: base_table,
-                            row: partial.clone(),
-                            rids,
-                        },
-                    )?;
+                pvm_engine::exec::group_probe(ctx.node, gi_table, &[0], &values)?
+            }
+            BatchPolicy::PerRow => {
+                let mut lists = Vec::with_capacity(partials.len());
+                for partial in &partials {
+                    let v = partial.try_get(anchor_pos)?.clone();
+                    lists.push(ctx.node.index_search(gi_table, &[0], &Row::new(vec![v]))?);
+                }
+                lists
+            }
+        };
+        let mut probed = 0u64;
+        let mut items_by_dst: Vec<Vec<(Row, Vec<GlobalRid>)>> = vec![Vec::new(); l];
+        for (partial, entries) in partials.iter().zip(&entry_lists) {
+            let mut by_node: HashMap<NodeId, Vec<GlobalRid>> = HashMap::new();
+            for e in entries {
+                let grid = decode_entry(e)?;
+                by_node.entry(grid.node).or_default().push(grid);
+            }
+            let mut dsts: Vec<NodeId> = by_node.keys().copied().collect();
+            dsts.sort();
+            // The paper's K: how many holder nodes this delta actually
+            // fans out to (K <= min(N, L)).
+            if ctx.tracing() {
+                ctx.obs()
+                    .metrics()
+                    .histogram(metric::fanout(MethodTag::GlobalIndex))
+                    .observe(dsts.len() as u64);
+            }
+            probed += 1;
+            for dst in dsts {
+                let rids = by_node.remove(&dst).expect("key present");
+                match batch {
+                    BatchPolicy::Coalesced => {
+                        items_by_dst[dst.index()].push((partial.clone(), rids));
+                    }
+                    BatchPolicy::PerRow => {
+                        ctx.send(
+                            dst,
+                            NetPayload::RowWithRids {
+                                table: base_table,
+                                row: partial.clone(),
+                                rids,
+                            },
+                        )?;
+                    }
                 }
             }
         }
-        if probed > 0 {
-            ctx.count_work(probed);
-            if ctx.tracing() {
-                ctx.trace_span(Phase::Probe, MethodTag::GlobalIndex)
-                    .count(probed)
-                    .emit();
+        if batch == BatchPolicy::Coalesced {
+            for (dst, items) in items_by_dst.into_iter().enumerate() {
+                if items.is_empty() {
+                    continue;
+                }
+                if ctx.tracing() {
+                    ctx.obs()
+                        .metrics()
+                        .histogram(metric::BATCH_ROWS_PER_MSG)
+                        .observe(items.len() as u64);
+                }
+                ctx.send(
+                    NodeId::from(dst),
+                    NetPayload::RowsWithRids {
+                        table: base_table,
+                        items,
+                    },
+                )?;
             }
+        }
+        ctx.count_work(probed);
+        if ctx.tracing() {
+            ctx.trace_span(Phase::Probe, MethodTag::GlobalIndex)
+                .count(probed)
+                .emit();
         }
         Ok(())
     })?;
 
-    // Hop 2: fetch and join at the holder nodes.
+    // Hop 2: fetch and join at the holder nodes. Accepts both the
+    // per-row and the coalesced rid payloads, so receivers are oblivious
+    // to the sender's batch policy.
     let carried: Vec<usize> = (0..base_arity).collect();
     let carried = &carried;
     backend.step(|ctx| {
         let mut out = Vec::new();
         let mut joined = 0u64;
         for env in ctx.drain() {
-            let NetPayload::RowWithRids {
-                table,
-                row: partial,
-                rids,
-            } = env.payload
-            else {
-                return Err(PvmError::InvalidOperation(
-                    "unexpected payload at GI fetch".into(),
-                ));
-            };
-            debug_assert_eq!(table, base_table);
-            let clustered = ctx.node.is_clustered_on(base_table, &[step.probe_col]);
-            let matches: Vec<Row> = if clustered {
-                // Distributed clustered: all local matches sit on one leaf
-                // page — the model charges one FETCH per node.
-                let v = partial.try_get(anchor_pos)?.clone();
-                ctx.node.ledger_mut().record(CostKind::Fetch, 1);
-                ctx.node
-                    .storage(base_table)?
-                    .clustered_search(&Row::new(vec![v]))?
-            } else {
-                // Distributed non-clustered: one FETCH per matching tuple.
-                let mut fetched = Vec::with_capacity(rids.len());
-                for grid in &rids {
-                    debug_assert_eq!(grid.node, ctx.id());
-                    fetched.push(ctx.node.fetch(base_table, grid.rid)?);
+            let items: Vec<(Row, Vec<GlobalRid>)> = match env.payload {
+                NetPayload::RowWithRids { table, row, rids } => {
+                    debug_assert_eq!(table, base_table);
+                    vec![(row, rids)]
                 }
-                fetched
+                NetPayload::RowsWithRids { table, items } => {
+                    debug_assert_eq!(table, base_table);
+                    items
+                }
+                _ => {
+                    return Err(PvmError::InvalidOperation(
+                        "unexpected payload at GI fetch".into(),
+                    ));
+                }
             };
-            joined += 1;
-            for m in matches {
-                if chain::filters_ok(&partial, layout, step, &m, carried)? {
-                    out.push(partial.concat(&m));
+            for (partial, rids) in items {
+                let clustered = ctx.node.is_clustered_on(base_table, &[step.probe_col]);
+                let matches: Vec<Row> = if clustered {
+                    // Distributed clustered: all local matches sit on one
+                    // leaf page — the model charges one FETCH per node.
+                    let v = partial.try_get(anchor_pos)?.clone();
+                    ctx.node.ledger_mut().record(CostKind::Fetch, 1);
+                    ctx.node
+                        .storage(base_table)?
+                        .clustered_search(&Row::new(vec![v]))?
+                } else {
+                    // Distributed non-clustered: one FETCH per matching
+                    // tuple.
+                    let mut fetched = Vec::with_capacity(rids.len());
+                    for grid in &rids {
+                        debug_assert_eq!(grid.node, ctx.id());
+                        fetched.push(ctx.node.fetch(base_table, grid.rid)?);
+                    }
+                    fetched
+                };
+                joined += 1;
+                for m in matches {
+                    if chain::filters_ok(&partial, layout, step, &m, carried)? {
+                        out.push(partial.concat(&m));
+                    }
                 }
             }
         }
@@ -280,6 +373,7 @@ fn gi_probe_step<B: Backend>(
 
 /// Propagate an already-applied base update (`placed` rows with their
 /// global rids, on relation `rel`) to the view, updating this view's GIs.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn apply<B: Backend>(
     backend: &mut B,
     handle: &ViewHandle,
@@ -288,6 +382,7 @@ pub(crate) fn apply<B: Backend>(
     placed: &[(Row, GlobalRid)],
     insert: bool,
     policy: JoinPolicy,
+    batch: BatchPolicy,
 ) -> Result<MaintenanceOutcome> {
     let table = handle.base[rel];
     let arity = backend.engine().def(table)?.schema.arity();
@@ -309,6 +404,7 @@ pub(crate) fn apply<B: Backend>(
     for &(c, gi_table) in &my_gis {
         let spec = backend.engine().def(gi_table)?.partitioning.clone();
         backend.step(|ctx| {
+            let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
             for (row, grid) in placed {
                 if grid.node != ctx.id() {
                     continue;
@@ -316,12 +412,41 @@ pub(crate) fn apply<B: Backend>(
                 let entry = gi_entry(row[c].clone(), *grid);
                 // Replicated heavy entries go to every spread-set node;
                 // everything else has a single home.
-                for dst in spec.route_all(&entry, l, 0)? {
+                match batch {
+                    BatchPolicy::Coalesced => {
+                        for dst in spec.route_all(&entry, l, 0)? {
+                            by_dst[dst.index()].push(entry.clone());
+                        }
+                    }
+                    BatchPolicy::PerRow => {
+                        for dst in spec.route_all(&entry, l, 0)? {
+                            ctx.send(
+                                dst,
+                                NetPayload::DeltaRows {
+                                    table: gi_table,
+                                    rows: vec![entry.clone()],
+                                },
+                            )?;
+                        }
+                    }
+                }
+            }
+            if batch == BatchPolicy::Coalesced {
+                for (dst, rows) in by_dst.into_iter().enumerate() {
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    if ctx.tracing() {
+                        ctx.obs()
+                            .metrics()
+                            .histogram(metric::BATCH_ROWS_PER_MSG)
+                            .observe(rows.len() as u64);
+                    }
                     ctx.send(
-                        dst,
+                        NodeId::from(dst),
                         NetPayload::DeltaRows {
                             table: gi_table,
-                            rows: vec![entry.clone()],
+                            rows,
                         },
                     )?;
                 }
@@ -378,6 +503,7 @@ pub(crate) fn apply<B: Backend>(
                 info.table,
                 target_table,
                 target_arity,
+                batch,
             )?;
         } else {
             // Base relation partitioned on the attribute: direct routed
@@ -402,6 +528,7 @@ pub(crate) fn apply<B: Backend>(
                 step,
                 &target,
                 policy,
+                batch,
                 MethodTag::GlobalIndex,
             )?;
         }

@@ -75,7 +75,7 @@ pub(crate) fn view_stats_fanout(
     }))
 }
 pub use aggregate::{AggFunc, AggShape, AggSpec};
-pub use chain::JoinPolicy;
+pub use chain::{BatchPolicy, JoinPolicy};
 pub use delta::Delta;
 pub use layout::Layout;
 pub use minimize::ArPool;

@@ -234,7 +234,14 @@ impl ArPool {
             .filter(|((base, _), _)| base == relation)
             .map(|(_, info)| info.clone())
             .collect();
-        auxrel::update_ars(backend, &mine, placed, insert, pvm_obs::MethodTag::AuxRel)
+        auxrel::update_ars(
+            backend,
+            &mine,
+            placed,
+            insert,
+            crate::chain::BatchPolicy::default(),
+            pvm_obs::MethodTag::AuxRel,
+        )
     }
 
     /// Total pages occupied by the pool's ARs.

@@ -24,7 +24,7 @@ use pvm_engine::{Backend, Cluster};
 use pvm_obs::{MethodTag, Phase};
 use pvm_types::{Result, Row};
 
-use crate::chain::{self, ChainMode, JoinPolicy, ProbeTarget};
+use crate::chain::{self, BatchPolicy, ChainMode, JoinPolicy, ProbeTarget};
 use crate::layout::Layout;
 use crate::planner::plan_chain;
 use crate::view::{MaintenanceOutcome, ViewHandle};
@@ -50,6 +50,7 @@ pub(crate) fn apply<B: Backend>(
     placed: &[(Row, pvm_types::GlobalRid)],
     insert: bool,
     policy: JoinPolicy,
+    batch: BatchPolicy,
 ) -> Result<MaintenanceOutcome> {
     let table = handle.base[rel];
     let arity = backend.engine().def(table)?.schema.arity();
@@ -86,6 +87,7 @@ pub(crate) fn apply<B: Backend>(
             step,
             &target,
             policy,
+            batch,
             MethodTag::Naive,
         )?;
         layout.push(step.rel, target.carried.clone());

@@ -135,12 +135,22 @@ impl SkewState {
     /// deletes are both traffic — each causes routed probes and structure
     /// updates). Null join values never route, so they are not observed.
     pub fn observe(&mut self, rel: usize, rows: &[Row]) -> Result<()> {
+        self.observe_rows(rel, rows.iter())
+    }
+
+    /// [`SkewState::observe`] over any re-iterable row source — lets
+    /// callers holding `(Row, rid)` pairs observe without materializing a
+    /// cloned `Vec<Row>` first.
+    pub fn observe_rows<'a, I>(&mut self, rel: usize, rows: I) -> Result<()>
+    where
+        I: Iterator<Item = &'a Row> + Clone,
+    {
         for (&(r, col), &class) in &self.class_of {
             if r != rel {
                 continue;
             }
             let mut seen = 0u64;
-            for row in rows {
+            for row in rows.clone() {
                 let v = row.try_get(col)?;
                 if !v.is_null() {
                     self.sketches[class].observe(v);

@@ -127,6 +127,7 @@ pub struct MaintainedView {
     handle: ViewHandle,
     method: MaintenanceMethod,
     policy: crate::chain::JoinPolicy,
+    batch: crate::chain::BatchPolicy,
     aux: Option<AuxState>,
     gi: Option<GiState>,
     /// Heavy-light skew handling: per-class traffic sketches, enabled via
@@ -189,6 +190,7 @@ impl MaintainedView {
             handle,
             method,
             policy: crate::chain::JoinPolicy::default(),
+            batch: crate::chain::BatchPolicy::default(),
             aux,
             gi,
             skew: None,
@@ -285,6 +287,7 @@ impl MaintainedView {
             handle,
             method: MaintenanceMethod::AuxiliaryRelation,
             policy: crate::chain::JoinPolicy::default(),
+            batch: crate::chain::BatchPolicy::default(),
             aux: Some(aux),
             gi: None,
             skew: None,
@@ -306,6 +309,21 @@ impl MaintainedView {
     /// The active join policy.
     pub fn join_policy(&self) -> crate::chain::JoinPolicy {
         self.policy
+    }
+
+    /// Choose how maintenance messages are packed:
+    /// [`crate::chain::BatchPolicy::Coalesced`] (default; one multi-row
+    /// message per populated destination, with grouped probes on the
+    /// receive side) or [`crate::chain::BatchPolicy::PerRow`] (the
+    /// one-message-per-delta-row pipeline, kept as the equivalence
+    /// oracle). Both produce bit-identical view contents.
+    pub fn set_batch_policy(&mut self, batch: crate::chain::BatchPolicy) {
+        self.batch = batch;
+    }
+
+    /// The active batch policy.
+    pub fn batch_policy(&self) -> crate::chain::BatchPolicy {
+        self.batch
     }
 
     /// Create an **aggregate** join view: `SELECT group…, COUNT/SUM …
@@ -362,6 +380,7 @@ impl MaintainedView {
             handle,
             method,
             policy: crate::chain::JoinPolicy::default(),
+            batch: crate::chain::BatchPolicy::default(),
             aux,
             gi,
             skew: None,
@@ -505,21 +524,24 @@ impl MaintainedView {
         }
         if let Some(skew) = &mut self.skew {
             // Inserts and deletes both cause routed probes and structure
-            // updates, so both count as traffic.
-            let rows: Vec<Row> = placed.iter().map(|(r, _)| r.clone()).collect();
-            skew.observe(rel, &rows)?;
+            // updates, so both count as traffic. Observed straight off
+            // `placed` — no cloned row staging.
+            skew.observe_rows(rel, placed.iter().map(|(r, _)| r))?;
         }
         let handle = &self.handle;
         let policy = self.policy;
+        let batch = self.batch;
         match self.method {
-            MaintenanceMethod::Naive => naive::apply(backend, handle, rel, placed, insert, policy),
+            MaintenanceMethod::Naive => {
+                naive::apply(backend, handle, rel, placed, insert, policy, batch)
+            }
             MaintenanceMethod::AuxiliaryRelation => {
                 let state = self.aux.as_ref().expect("aux state installed");
-                auxrel::apply(backend, handle, state, rel, placed, insert, policy)
+                auxrel::apply(backend, handle, state, rel, placed, insert, policy, batch)
             }
             MaintenanceMethod::GlobalIndex => {
                 let state = self.gi.as_ref().expect("gi state installed");
-                globalindex::apply(backend, handle, state, rel, placed, insert, policy)
+                globalindex::apply(backend, handle, state, rel, placed, insert, policy, batch)
             }
         }
     }

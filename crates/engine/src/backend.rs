@@ -21,8 +21,11 @@
 //! * each node's inbox is ordered by `(src, per-(src,dst) send order)` —
 //!   the order the sequential backend produces naturally;
 //! * each send charges one `SEND` plus payload bytes unless it is an
-//!   uncharged local delivery (see [`pvm_net::NetConfig`]), regardless of
-//!   any transport-level batching.
+//!   uncharged local delivery (see [`pvm_net::NetConfig`]). Charges are
+//!   per *payload*: transport-level channel batching (the runtime's
+//!   `batch_size`) is cost-invisible, while payload-level destination
+//!   coalescing — a driver packing N rows into one multi-row payload —
+//!   is, by design, 1 SEND where the per-row pipeline charged N.
 
 use pvm_net::{Envelope, Fabric, Transport};
 use pvm_obs::{metric, MethodTag, Obs, Phase, TraceEvent};

@@ -115,6 +115,22 @@ pub fn multiway_join(relations: &[Vec<Row>], edges: &[JoinEdge]) -> Result<Vec<R
     Ok(current)
 }
 
+/// Vectorized local probe kernel of the batched maintenance pipeline:
+/// index-search `table` once per *distinct* value in `values` (single
+/// key-column probes in arrival order). The result is aligned to
+/// `values`; duplicate probes share their representative's match list,
+/// descent, and — through a non-clustered index — its FETCHes, per
+/// [`crate::node::NodeState::index_search_batch`].
+pub fn group_probe(
+    node: &mut crate::node::NodeState,
+    table: crate::TableId,
+    key: &[usize],
+    values: &[Value],
+) -> Result<Vec<Vec<Row>>> {
+    let key_rows: Vec<Row> = values.iter().map(|v| Row::new(vec![v.clone()])).collect();
+    node.index_search_batch(table, key, &key_rows)
+}
+
 /// Distributed ad-hoc equi-join `left ⋈ right` on
 /// `left[lcol] = right[rcol]` — the *query* side of the paper's mixed
 /// workload. Both relations are repartitioned by the join attribute
@@ -347,6 +363,33 @@ mod tests {
             cluster.fabric().ledger().snapshot().sends > 0,
             "repartition was metered"
         );
+    }
+
+    #[test]
+    fn group_probe_matches_per_value_search_for_less() {
+        use crate::{Cluster, ClusterConfig, TableDef};
+        use pvm_types::{Column, NodeId, Schema};
+
+        let mut cluster = Cluster::new(ClusterConfig::new(1).with_buffer_pages(256));
+        let schema = Schema::new(vec![Column::int("id"), Column::int("j")]).into_ref();
+        let t = cluster
+            .create_table(TableDef::hash_clustered("t", schema, 1))
+            .unwrap();
+        cluster
+            .insert(t, (0..40).map(|i| row![i, i % 8]).collect())
+            .unwrap();
+        let node = cluster.node_mut(NodeId(0)).unwrap();
+        let before = node.ledger().snapshot();
+        let values: Vec<Value> = [3i64, 5, 3, 3, 99].iter().map(|&v| Value::Int(v)).collect();
+        let batched = group_probe(node, t, &[1], &values).unwrap();
+        let searches = node.ledger().snapshot().searches - before.searches;
+        assert_eq!(searches, 3, "one SEARCH per distinct probe value");
+        for (v, hits) in values.iter().zip(&batched) {
+            let per_row = node
+                .index_search(t, &[1], &Row::new(vec![v.clone()]))
+                .unwrap();
+            assert_eq!(hits, &per_row);
+        }
     }
 
     #[test]

@@ -22,6 +22,14 @@ pub enum NetPayload {
         row: Row,
         rids: Vec<GlobalRid>,
     },
+    /// Several delta rows, each paired with the global rids of its match
+    /// partners at the destination — the destination-coalesced form of
+    /// [`NetPayload::RowWithRids`]: one message per (src, dst) pair
+    /// instead of one per row, same bytes up to the shared frame header.
+    RowsWithRids {
+        table: TableId,
+        items: Vec<(Row, Vec<GlobalRid>)>,
+    },
 }
 
 impl MessageSize for NetPayload {
@@ -32,6 +40,14 @@ impl MessageSize for NetPayload {
             }
             NetPayload::RowWithRids { row, rids, .. } => {
                 4 + row.byte_size() + rids.iter().map(MessageSize::byte_size).sum::<usize>()
+            }
+            NetPayload::RowsWithRids { items, .. } => {
+                4 + items
+                    .iter()
+                    .map(|(row, rids)| {
+                        row.byte_size() + rids.iter().map(MessageSize::byte_size).sum::<usize>()
+                    })
+                    .sum::<usize>()
             }
         }
     }
@@ -66,5 +82,23 @@ mod tests {
             rids: vec![GlobalRid::new(NodeId(0), Rid::new(0, 0)); 3],
         };
         assert_eq!(with_rids.byte_size() - no_rids.byte_size(), 24);
+    }
+
+    #[test]
+    fn coalesced_rid_payload_charges_one_header_for_all_items() {
+        // Two singleton RowWithRids vs one RowsWithRids carrying both:
+        // identical row/rid bytes, one 4-byte header saved per extra item.
+        let r = row![1, "abc"];
+        let rids = vec![GlobalRid::new(NodeId(1), Rid::new(2, 3)); 2];
+        let single = NetPayload::RowWithRids {
+            table: TableId(0),
+            row: r.clone(),
+            rids: rids.clone(),
+        };
+        let coalesced = NetPayload::RowsWithRids {
+            table: TableId(0),
+            items: vec![(r.clone(), rids.clone()), (r, rids)],
+        };
+        assert_eq!(coalesced.byte_size(), 2 * single.byte_size() - 4);
     }
 }

@@ -203,6 +203,23 @@ impl NodeState {
         t.index_search(key, key_values, ledger)
     }
 
+    /// Probe a local index with a whole batch of key rows at once (see
+    /// [`TableStorage::index_search_batch`]: one SEARCH per *distinct*
+    /// key; duplicates share their representative's result and FETCHes).
+    pub fn index_search_batch(
+        &mut self,
+        id: TableId,
+        key: &[usize],
+        key_values: &[Row],
+    ) -> Result<Vec<Vec<Row>>> {
+        let ledger = &mut self.ledger;
+        let t = self
+            .tables
+            .get(&id)
+            .ok_or_else(|| PvmError::NotFound(format!("{id}")))?;
+        t.index_search_batch(key, key_values, ledger)
+    }
+
     /// Fetch a local row by rid (one `FETCH`).
     pub fn fetch(&mut self, id: TableId, rid: Rid) -> Result<Row> {
         let ledger = &mut self.ledger;

@@ -39,6 +39,13 @@ pub mod metric {
     /// Histogram: destinations per heavy-value probe (the spread-set
     /// fan-out for salted specs; 1 for replicated specs).
     pub const SPREAD_FANOUT: &str = "skew.spread_fanout";
+    /// Histogram: delta rows carried per destination-coalesced payload
+    /// (one sample per message sent by a batched route/ship phase) — the
+    /// amortization the vectorized pipeline buys over per-row sends.
+    pub const BATCH_ROWS_PER_MSG: &str = "batch.rows_per_message";
+    /// Histogram: probes sharing one group-probe descent (duplicates per
+    /// distinct join-attribute value at a receiving node).
+    pub const GROUP_PROBE_FANIN: &str = "batch.group_probe_fanin";
     /// Counter: data frames discarded by the fault injector.
     pub const FAULT_DROPS: &str = "faults.drops";
     /// Counter: data frames duplicated by the fault injector.

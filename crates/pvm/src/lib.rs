@@ -67,9 +67,9 @@ pub use pvm_workload as workload;
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use pvm_core::{
-        advise, maintain_all, maintain_all_pooled, Advice, ArPool, Delta, JoinPolicy, JoinViewDef,
-        MaintainedView, MaintenanceMethod, MaintenanceOutcome, RebalanceReport, SkewConfig,
-        SkewState, ViewColumn, ViewEdge,
+        advise, maintain_all, maintain_all_pooled, Advice, ArPool, BatchPolicy, Delta, JoinPolicy,
+        JoinViewDef, MaintainedView, MaintenanceMethod, MaintenanceOutcome, RebalanceReport,
+        SkewConfig, SkewState, ViewColumn, ViewEdge,
     };
     pub use pvm_engine::{
         Backend, Cluster, ClusterConfig, PartitionSpec, SpaceSaving, SpreadMode, TableDef, TableId,

@@ -301,6 +301,66 @@ impl BPlusTree {
         }
     }
 
+    /// Batched [`BPlusTree::search`] for `keys` sorted ascending and
+    /// distinct. Probes share a merge-style cursor over the leaf chain:
+    /// a key whose start position falls inside the leaf where the
+    /// previous probe stopped reuses that (pinned) leaf instead of
+    /// re-descending from the root, so duplicate-heavy batches and
+    /// adjacent leaves are touched once rather than once per probe.
+    pub fn search_many(&self, keys: &[Vec<u8>]) -> Vec<Vec<Vec<u8>>> {
+        let mut out = Vec::with_capacity(keys.len());
+        let mut cursor: Option<NodeIdx> = None;
+        for (i, key) in keys.iter().enumerate() {
+            debug_assert!(
+                i == 0 || keys[i - 1].as_slice() < key.as_slice(),
+                "search_many keys must be sorted and distinct"
+            );
+            let in_cursor = cursor.is_some_and(|leaf| {
+                let Node::Leaf { entries, .. } = &self.nodes[leaf] else {
+                    unreachable!()
+                };
+                match (entries.first(), entries.last()) {
+                    // The lower bound is strict: entries in earlier leaves
+                    // sort <= this leaf's first entry, so `first < key`
+                    // guarantees no match lives left of the cursor (equal
+                    // keys could straddle the boundary otherwise).
+                    (Some(first), Some(last)) => {
+                        first.0.as_slice() < key.as_slice() && key.as_slice() <= last.0.as_slice()
+                    }
+                    _ => false,
+                }
+            });
+            let mut leaf = match cursor.filter(|_| in_cursor) {
+                Some(l) => l,
+                None => self.descend(key, &[]).0,
+            };
+            let mut matches = Vec::new();
+            'scan: loop {
+                let Node::Leaf { entries, next, .. } = &self.nodes[leaf] else {
+                    unreachable!()
+                };
+                let start = entries.partition_point(|e| e.0.as_slice() < key.as_slice());
+                for (k, v) in &entries[start..] {
+                    if k == key {
+                        matches.push(v.clone());
+                    } else {
+                        break 'scan;
+                    }
+                }
+                match next {
+                    Some(n) => {
+                        leaf = *n;
+                        self.touch(leaf, AccessMode::Read);
+                    }
+                    None => break 'scan,
+                }
+            }
+            cursor = Some(leaf);
+            out.push(matches);
+        }
+        out
+    }
+
     /// Whether any entry has exactly `(key, val)`.
     pub fn contains(&self, key: &[u8], val: &[u8]) -> bool {
         let (mut leaf, _) = self.descend(key, val);
@@ -556,6 +616,42 @@ mod tests {
         assert!(t.search(&key(0)).is_empty());
         assert!(t.search(&key(2)).is_empty());
         t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn search_many_matches_per_key_search() {
+        let mut t = tree();
+        let n = 3000u64;
+        for i in 0..n {
+            let k = (i * 2654435761) % 500; // heavy duplication, scrambled
+            t.insert(&key(k), &i.to_be_bytes()).unwrap();
+        }
+        // Sorted distinct probes: present, absent, dense runs, extremes.
+        let probes: Vec<Vec<u8>> = (0..600u64).step_by(3).map(key).collect();
+        let batched = t.search_many(&probes);
+        assert_eq!(batched.len(), probes.len());
+        for (k, hits) in probes.iter().zip(&batched) {
+            assert_eq!(hits, &t.search(k), "probe {k:?}");
+        }
+    }
+
+    #[test]
+    fn search_many_duplicates_across_leaf_boundaries() {
+        // Duplicate runs long enough that one key's matches span several
+        // leaves and the next key starts mid-chain: the cursor must not
+        // skip matches straddling a leaf boundary.
+        let mut t = tree();
+        let big = vec![7u8; 512];
+        for k in [1u64, 2, 3] {
+            for i in 0..80u64 {
+                let mut v = big.clone();
+                v.extend_from_slice(&i.to_be_bytes());
+                t.insert(&key(k), &v).unwrap();
+            }
+        }
+        let probes: Vec<Vec<u8>> = (0..5u64).map(key).collect();
+        let got: Vec<usize> = t.search_many(&probes).iter().map(Vec::len).collect();
+        assert_eq!(got, vec![0, 80, 80, 80, 0]);
     }
 
     #[test]

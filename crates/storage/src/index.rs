@@ -40,11 +40,59 @@ impl IndexDescriptor {
     }
 }
 
+/// Group a batch of encoded probe keys for deduplicated searching:
+/// returns `(distinct, slot, rep)` where `distinct` holds the sorted
+/// distinct keys, `slot[i]` is input `i`'s position in `distinct`, and
+/// `rep[i]` is the *first* input position carrying a key equal to input
+/// `i`'s — so `rep[i] == i` exactly once per distinct key, which is
+/// where callers charge the one shared SEARCH (and FETCHes).
+fn batch_groups(encoded: &[Vec<u8>]) -> (Vec<Vec<u8>>, Vec<usize>, Vec<usize>) {
+    let mut order: Vec<usize> = (0..encoded.len()).collect();
+    order.sort_by(|&a, &b| encoded[a].cmp(&encoded[b]).then(a.cmp(&b)));
+    let mut distinct: Vec<Vec<u8>> = Vec::new();
+    let mut first: Vec<usize> = Vec::new();
+    let mut slot = vec![0usize; encoded.len()];
+    for &i in &order {
+        if distinct.last().map(Vec::as_slice) != Some(encoded[i].as_slice()) {
+            distinct.push(encoded[i].clone());
+            first.push(i);
+        }
+        slot[i] = distinct.len() - 1;
+    }
+    let rep = slot.iter().map(|&s| first[s]).collect();
+    (distinct, slot, rep)
+}
+
+/// Spread per-distinct-key results back out to per-input alignment:
+/// duplicates clone their representative's result, each representative
+/// takes its result by move.
+fn align_to_inputs<T: Clone + Default>(
+    mut per_distinct: Vec<T>,
+    slot: &[usize],
+    rep: &[usize],
+) -> Vec<T> {
+    let mut out: Vec<T> = vec![T::default(); slot.len()];
+    for i in 0..slot.len() {
+        if rep[i] != i {
+            out[i] = per_distinct[slot[i]].clone();
+        }
+    }
+    for i in 0..slot.len() {
+        if rep[i] == i {
+            out[i] = std::mem::take(&mut per_distinct[slot[i]]);
+        }
+    }
+    out
+}
+
 /// Clustered index: key → row bytes in the leaves.
 #[derive(Debug)]
 pub struct ClusteredIndex {
     key: Vec<usize>,
     tree: BPlusTree,
+    /// Reused key/value encode buffers for the write paths.
+    scratch_key: Vec<u8>,
+    scratch_val: Vec<u8>,
 }
 
 impl ClusteredIndex {
@@ -52,6 +100,8 @@ impl ClusteredIndex {
         ClusteredIndex {
             key,
             tree: BPlusTree::new(file, buffer),
+            scratch_key: Vec::new(),
+            scratch_val: Vec::new(),
         }
     }
 
@@ -73,14 +123,20 @@ impl ClusteredIndex {
     }
 
     pub fn insert(&mut self, row: &Row) -> Result<()> {
-        let k = row.encode_key(&self.key)?;
-        self.tree.insert(&k, &row.encode())
+        self.scratch_key.clear();
+        row.encode_key_into(&self.key, &mut self.scratch_key)?;
+        self.scratch_val.clear();
+        row.encode_into(&mut self.scratch_val);
+        self.tree.insert(&self.scratch_key, &self.scratch_val)
     }
 
     /// Remove one copy of `row`. Returns true if present.
     pub fn delete(&mut self, row: &Row) -> Result<bool> {
-        let k = row.encode_key(&self.key)?;
-        Ok(self.tree.delete(&k, &row.encode()))
+        self.scratch_key.clear();
+        row.encode_key_into(&self.key, &mut self.scratch_key)?;
+        self.scratch_val.clear();
+        row.encode_into(&mut self.scratch_val);
+        Ok(self.tree.delete(&self.scratch_key, &self.scratch_val))
     }
 
     /// All rows whose key columns equal `key_values`.
@@ -91,6 +147,27 @@ impl ClusteredIndex {
             .iter()
             .map(|b| Row::decode(b))
             .collect()
+    }
+
+    /// Batched [`ClusteredIndex::search`]: one B-tree probe per *distinct*
+    /// key (sorted, merge-cursor — see [`BPlusTree::search_many`]);
+    /// duplicate probes share the representative's result. Returns the
+    /// match lists aligned to `key_values` plus the representative map
+    /// `rep`, where `rep[i]` is the first input position whose key equals
+    /// input `i`'s (`rep[i] == i` exactly once per distinct key).
+    pub fn search_batch(&self, key_values: &[Row]) -> Result<(Vec<Vec<Row>>, Vec<usize>)> {
+        let mut encoded = Vec::with_capacity(key_values.len());
+        for kv in key_values {
+            encoded.push(kv.encode_key(&(0..kv.arity()).collect::<Vec<_>>())?);
+        }
+        let (distinct, slot, rep) = batch_groups(&encoded);
+        let decoded: Vec<Vec<Row>> = self
+            .tree
+            .search_many(&distinct)
+            .iter()
+            .map(|hits| hits.iter().map(|b| Row::decode(b)).collect())
+            .collect::<Result<_>>()?;
+        Ok((align_to_inputs(decoded, &slot, &rep), rep))
     }
 
     /// Ordered scan of all rows (key order) — the sort-merge access path.
@@ -109,6 +186,8 @@ impl ClusteredIndex {
 pub struct NonClusteredIndex {
     key: Vec<usize>,
     tree: BPlusTree,
+    /// Reused key encode buffer for the write paths.
+    scratch_key: Vec<u8>,
 }
 
 impl NonClusteredIndex {
@@ -116,6 +195,7 @@ impl NonClusteredIndex {
         NonClusteredIndex {
             key,
             tree: BPlusTree::new(file, buffer),
+            scratch_key: Vec::new(),
         }
     }
 
@@ -136,13 +216,15 @@ impl NonClusteredIndex {
     }
 
     pub fn insert(&mut self, row: &Row, rid: Rid) -> Result<()> {
-        let k = row.encode_key(&self.key)?;
-        self.tree.insert(&k, &rid.encode())
+        self.scratch_key.clear();
+        row.encode_key_into(&self.key, &mut self.scratch_key)?;
+        self.tree.insert(&self.scratch_key, &rid.encode())
     }
 
     pub fn delete(&mut self, row: &Row, rid: Rid) -> Result<bool> {
-        let k = row.encode_key(&self.key)?;
-        Ok(self.tree.delete(&k, &rid.encode()))
+        self.scratch_key.clear();
+        row.encode_key_into(&self.key, &mut self.scratch_key)?;
+        Ok(self.tree.delete(&self.scratch_key, &rid.encode()))
     }
 
     /// RIDs of all rows whose key columns equal `key_values`.
@@ -153,6 +235,24 @@ impl NonClusteredIndex {
             .iter()
             .map(|b| Rid::decode(b))
             .collect()
+    }
+
+    /// Batched [`NonClusteredIndex::search`] with the same distinct-key
+    /// dedup contract as [`ClusteredIndex::search_batch`]: rid lists
+    /// aligned to `key_values`, plus the representative map `rep`.
+    pub fn search_batch(&self, key_values: &[Row]) -> Result<(Vec<Vec<Rid>>, Vec<usize>)> {
+        let mut encoded = Vec::with_capacity(key_values.len());
+        for kv in key_values {
+            encoded.push(kv.encode_key(&(0..kv.arity()).collect::<Vec<_>>())?);
+        }
+        let (distinct, slot, rep) = batch_groups(&encoded);
+        let decoded: Vec<Vec<Rid>> = self
+            .tree
+            .search_many(&distinct)
+            .iter()
+            .map(|hits| hits.iter().map(|b| Rid::decode(b)).collect())
+            .collect::<Result<_>>()?;
+        Ok((align_to_inputs(decoded, &slot, &rep), rep))
     }
 
     #[doc(hidden)]
@@ -209,6 +309,49 @@ mod tests {
         let hits = ix.search(&row![1, "a"]).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0][2], pvm_types::Value::Int(10));
+    }
+
+    #[test]
+    fn batch_groups_dedups_and_maps_representatives() {
+        let enc: Vec<Vec<u8>> = [b"b", b"a", b"b", b"a", b"c"]
+            .iter()
+            .map(|k| k.to_vec())
+            .collect();
+        let (distinct, slot, rep) = batch_groups(&enc);
+        assert_eq!(distinct, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+        assert_eq!(slot, vec![1, 0, 1, 0, 2]);
+        assert_eq!(rep, vec![0, 1, 0, 1, 4]);
+    }
+
+    #[test]
+    fn clustered_search_batch_matches_per_key() {
+        let mut ix = ClusteredIndex::new(FileId(1), vec![0], BufferPool::shared(256));
+        for i in 0..100 {
+            ix.insert(&row![i % 10, i]).unwrap();
+        }
+        // Unsorted probes with duplicates and misses.
+        let probes: Vec<Row> = [3i64, 7, 3, 42, 0, 3].iter().map(|&v| row![v]).collect();
+        let (hits, rep) = ix.search_batch(&probes).unwrap();
+        assert_eq!(hits.len(), probes.len());
+        for (p, h) in probes.iter().zip(&hits) {
+            assert_eq!(h, &ix.search(p).unwrap());
+        }
+        assert_eq!(rep, vec![0, 1, 0, 3, 4, 0]);
+    }
+
+    #[test]
+    fn nonclustered_search_batch_matches_per_key() {
+        let mut ix = NonClusteredIndex::new(FileId(2), vec![1], BufferPool::shared(256));
+        for i in 0..40u32 {
+            ix.insert(&row![i as i64, (i % 4) as i64], Rid::new(i, 0))
+                .unwrap();
+        }
+        let probes: Vec<Row> = [2i64, 2, 9, 0].iter().map(|&v| row![v]).collect();
+        let (hits, rep) = ix.search_batch(&probes).unwrap();
+        for (p, h) in probes.iter().zip(&hits) {
+            assert_eq!(h, &ix.search(p).unwrap());
+        }
+        assert_eq!(rep, vec![0, 0, 2, 3]);
     }
 
     #[test]

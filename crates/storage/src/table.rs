@@ -348,6 +348,56 @@ impl TableStorage {
         )))
     }
 
+    /// Batched [`TableStorage::index_search`] over many probe rows at
+    /// once: the B-tree is walked with a merge-style cursor over the
+    /// *distinct* probe keys (duplicates share their representative's
+    /// descent and result), so a batch charges one `SEARCH` per distinct
+    /// key — and, for non-clustered indexes, one `FETCH` per matching rid
+    /// per distinct key — instead of per probe. Results are aligned to
+    /// `key_values`, duplicates included.
+    pub fn index_search_batch(
+        &self,
+        key: &[usize],
+        key_values: &[Row],
+        ledger: &mut CostLedger,
+    ) -> Result<Vec<Vec<Row>>> {
+        if key_values.is_empty() {
+            return Ok(Vec::new());
+        }
+        if let Some(c) = &self.clustered {
+            if c.key_columns() == key {
+                let (rows, rep) = c.search_batch(key_values)?;
+                let distinct = rep.iter().enumerate().filter(|&(i, &r)| i == r).count();
+                ledger.record(CostKind::Search, distinct as u64);
+                return Ok(rows);
+            }
+        }
+        if let Some((_, ix)) = self.secondary.iter().find(|(d, _)| d.key == key) {
+            let (rid_lists, rep) = ix.search_batch(key_values)?;
+            let mut out: Vec<Vec<Row>> = vec![Vec::new(); key_values.len()];
+            for i in 0..key_values.len() {
+                if rep[i] == i {
+                    ledger.record(CostKind::Search, 1);
+                    let mut rows = Vec::with_capacity(rid_lists[i].len());
+                    for &rid in &rid_lists[i] {
+                        rows.push(self.fetch(rid, ledger)?);
+                    }
+                    out[i] = rows;
+                }
+            }
+            for i in 0..key_values.len() {
+                if rep[i] != i {
+                    out[i] = out[rep[i]].clone();
+                }
+            }
+            return Ok(out);
+        }
+        Err(PvmError::NotFound(format!(
+            "index on {key:?} of table '{}'",
+            self.name
+        )))
+    }
+
     /// Full scan of `(rid, row)` pairs.
     pub fn scan(&self) -> Result<Vec<(Rid, Row)>> {
         self.heap
@@ -459,6 +509,46 @@ mod tests {
         let t = heap_table();
         let mut l = CostLedger::new();
         assert!(t.index_search(&[1], &row![3], &mut l).is_err());
+        assert!(t.index_search_batch(&[1], &[row![3]], &mut l).is_err());
+    }
+
+    #[test]
+    fn batch_search_charges_per_distinct_key_clustered() {
+        let mut t = clustered_table();
+        let mut l = CostLedger::new();
+        for i in 0..20 {
+            t.insert(row![i, i % 5, "p"], &mut l).unwrap();
+        }
+        l.reset();
+        let probes = [row![3], row![1], row![3], row![3], row![9]];
+        let hits = t.index_search_batch(&[1], &probes, &mut l).unwrap();
+        for (p, h) in probes.iter().zip(&hits) {
+            let mut per_row = CostLedger::new();
+            assert_eq!(h, &t.index_search(&[1], p, &mut per_row).unwrap());
+        }
+        let s = l.snapshot();
+        assert_eq!(s.searches, 3, "one SEARCH per distinct key, not per probe");
+        assert_eq!(s.fetches, 0);
+    }
+
+    #[test]
+    fn batch_search_charges_per_distinct_key_nonclustered() {
+        let mut t = heap_table();
+        let mut l = CostLedger::new();
+        for i in 0..20 {
+            t.insert(row![i, i % 5, "p"], &mut l).unwrap();
+        }
+        t.create_secondary_index("t_c", vec![1]).unwrap();
+        l.reset();
+        let probes = [row![3], row![3], row![0]];
+        let hits = t.index_search_batch(&[1], &probes, &mut l).unwrap();
+        assert!(hits.iter().all(|h| h.len() == 4));
+        let s = l.snapshot();
+        assert_eq!(s.searches, 2);
+        assert_eq!(
+            s.fetches, 8,
+            "duplicate probes share the representative's FETCHes"
+        );
     }
 
     #[test]

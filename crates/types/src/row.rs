@@ -73,11 +73,17 @@ impl Row {
     /// Serialize to a standalone byte buffer.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.byte_size());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serialize into a caller-owned buffer (appended), so hot paths can
+    /// reuse one allocation across many rows.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.0.len() as u16).to_be_bytes());
         for v in &self.0 {
-            v.encode_into(&mut out);
+            v.encode_into(out);
         }
-        out
     }
 
     /// Deserialize a row previously produced by [`Row::encode`].
@@ -113,10 +119,17 @@ impl Row {
     /// per component).
     pub fn encode_key(&self, indices: &[usize]) -> Result<Vec<u8>> {
         let mut out = Vec::new();
-        for &i in indices {
-            self.try_get(i)?.encode_into(&mut out);
-        }
+        self.encode_key_into(indices, &mut out)?;
         Ok(out)
+    }
+
+    /// [`Row::encode_key`] into a caller-owned buffer (appended), for
+    /// encode-buffer reuse on index write paths.
+    pub fn encode_key_into(&self, indices: &[usize], out: &mut Vec<u8>) -> Result<()> {
+        for &i in indices {
+            self.try_get(i)?.encode_into(out);
+        }
+        Ok(())
     }
 }
 
