@@ -269,6 +269,7 @@ pub(crate) fn apply<B: Backend>(
     insert: bool,
     policy: JoinPolicy,
     batch: BatchPolicy,
+    capture: bool,
 ) -> Result<MaintenanceOutcome> {
     let table = handle.base[rel];
     let arity = backend.engine().def(table)?.schema.arity();
@@ -327,7 +328,8 @@ pub(crate) fn apply<B: Backend>(
     } else {
         ChainMode::Delete
     };
-    let view_rows = chain::apply_at_view(backend, handle, mode, MethodTag::AuxRel)?;
+    let (view_rows, view_changes) =
+        chain::apply_at_view(backend, handle, mode, MethodTag::AuxRel, capture)?;
     chain::coord_phase(backend, Phase::View, MethodTag::AuxRel, mark);
     let view = backend.finish_meter(&guard);
 
@@ -337,5 +339,6 @@ pub(crate) fn apply<B: Backend>(
         compute,
         view,
         view_rows,
+        view_changes,
     })
 }

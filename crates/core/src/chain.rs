@@ -520,16 +520,24 @@ pub(crate) fn ship_to_view<B: Backend>(
 }
 
 /// Drain shipped view rows at every node and apply them (the *view*
-/// phase). Returns the number of view rows affected.
+/// phase). Returns the number of view rows affected plus — when
+/// `capture` is set — the physical view-row changes (`true` = insert,
+/// `false` = delete) for the serving tier. Concatenating per-node
+/// captures in node order is deterministic on both backends: routing
+/// sends a given view row to exactly one node, and within a node the
+/// apply order follows the drained payload order, which is fixed by the
+/// step barrier. With `capture` off this path clones nothing.
 pub(crate) fn apply_at_view<B: Backend>(
     backend: &mut B,
     handle: &ViewHandle,
     mode: ChainMode,
     method: MethodTag,
-) -> Result<u64> {
+    capture: bool,
+) -> Result<(u64, Vec<(Row, bool)>)> {
     let pcol = handle.view_pcol;
     let per_node = backend.step(|ctx| {
         let mut affected = 0u64;
+        let mut captured: Vec<(Row, bool)> = Vec::new();
         for env in ctx.drain() {
             let NetPayload::ResultRows { table, rows } = env.payload else {
                 return Err(pvm_types::PvmError::InvalidOperation(
@@ -542,11 +550,17 @@ pub(crate) fn apply_at_view<B: Backend>(
                     for row in rows {
                         match mode {
                             ChainMode::Insert => {
+                                if capture {
+                                    captured.push((row.clone(), true));
+                                }
                                 ctx.node.insert(handle.view_table, row)?;
                                 affected += 1;
                             }
                             ChainMode::Delete => {
                                 if ctx.node.delete_row(handle.view_table, &row, &[pcol])? {
+                                    if capture {
+                                        captured.push((row, false));
+                                    }
                                     affected += 1;
                                 }
                             }
@@ -567,6 +581,7 @@ pub(crate) fn apply_at_view<B: Backend>(
                             &group_cols,
                             &projected,
                             sign,
+                            capture.then_some(&mut captured),
                         )?;
                         affected += 1;
                     }
@@ -581,12 +596,21 @@ pub(crate) fn apply_at_view<B: Backend>(
                     .emit();
             }
         }
-        Ok(affected)
+        Ok((affected, captured))
     })?;
-    Ok(per_node.into_iter().sum())
+    let mut total = 0u64;
+    let mut changes = Vec::new();
+    for (affected, captured) in per_node {
+        total += affected;
+        changes.extend(captured);
+    }
+    Ok((total, changes))
 }
 
 /// Upsert one shipped join row into its aggregate group at `node`.
+/// When `captured` is supplied, the group fold is recorded as physical
+/// stored-row changes: delete of the old group row, insert of the
+/// updated (or initial) one.
 fn fold_into_group(
     node: &mut NodeState,
     view_table: TableId,
@@ -594,13 +618,21 @@ fn fold_into_group(
     group_cols: &[usize],
     projected: &Row,
     sign: i64,
+    captured: Option<&mut Vec<(Row, bool)>>,
 ) -> Result<()> {
     let key = Row::new(shape.group_key(projected)?);
     let existing = node.index_search(view_table, group_cols, &key)?;
     match existing.first() {
         Some(stored) => {
             node.delete_row(view_table, stored, group_cols)?;
-            if let Some(updated) = shape.fold(stored, projected, sign)? {
+            let updated = shape.fold(stored, projected, sign)?;
+            if let Some(cap) = captured {
+                cap.push((stored.clone(), false));
+                if let Some(u) = &updated {
+                    cap.push((u.clone(), true));
+                }
+            }
+            if let Some(updated) = updated {
                 node.insert(view_table, updated)?;
             }
         }
@@ -610,7 +642,11 @@ fn fold_into_group(
                     "aggregate delete hit a missing group".into(),
                 ));
             }
-            node.insert(view_table, shape.initial_row(projected)?)?;
+            let init = shape.initial_row(projected)?;
+            if let Some(cap) = captured {
+                cap.push((init.clone(), true));
+            }
+            node.insert(view_table, init)?;
         }
     }
     Ok(())

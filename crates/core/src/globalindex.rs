@@ -383,6 +383,7 @@ pub(crate) fn apply<B: Backend>(
     insert: bool,
     policy: JoinPolicy,
     batch: BatchPolicy,
+    capture: bool,
 ) -> Result<MaintenanceOutcome> {
     let table = handle.base[rel];
     let arity = backend.engine().def(table)?.schema.arity();
@@ -546,7 +547,8 @@ pub(crate) fn apply<B: Backend>(
     } else {
         ChainMode::Delete
     };
-    let view_rows = chain::apply_at_view(backend, handle, mode, MethodTag::GlobalIndex)?;
+    let (view_rows, view_changes) =
+        chain::apply_at_view(backend, handle, mode, MethodTag::GlobalIndex, capture)?;
     chain::coord_phase(backend, Phase::View, MethodTag::GlobalIndex, mark);
     let view = backend.finish_meter(&guard);
 
@@ -556,5 +558,6 @@ pub(crate) fn apply<B: Backend>(
         compute,
         view,
         view_rows,
+        view_changes,
     })
 }

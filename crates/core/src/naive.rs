@@ -43,6 +43,7 @@ pub(crate) fn install(cluster: &mut Cluster, handle: &ViewHandle) -> Result<()> 
 
 /// Propagate an already-applied base update (`placed` rows on relation
 /// `rel`) to the view.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn apply<B: Backend>(
     backend: &mut B,
     handle: &ViewHandle,
@@ -51,6 +52,7 @@ pub(crate) fn apply<B: Backend>(
     insert: bool,
     policy: JoinPolicy,
     batch: BatchPolicy,
+    capture: bool,
 ) -> Result<MaintenanceOutcome> {
     let table = handle.base[rel];
     let arity = backend.engine().def(table)?.schema.arity();
@@ -104,7 +106,8 @@ pub(crate) fn apply<B: Backend>(
     } else {
         ChainMode::Delete
     };
-    let view_rows = chain::apply_at_view(backend, handle, mode, MethodTag::Naive)?;
+    let (view_rows, view_changes) =
+        chain::apply_at_view(backend, handle, mode, MethodTag::Naive, capture)?;
     chain::coord_phase(backend, Phase::View, MethodTag::Naive, mark);
     let view = backend.finish_meter(&guard);
 
@@ -114,5 +117,6 @@ pub(crate) fn apply<B: Backend>(
         compute,
         view,
         view_rows,
+        view_changes,
     })
 }

@@ -4,6 +4,7 @@
 use pvm_engine::{
     exec, Backend, Cluster, MeterReport, PartitionSpec, SpreadMode, TableDef, TableId,
 };
+use pvm_serve::{ServePublisher, ServeReader};
 use pvm_storage::Organization;
 use pvm_types::{PvmError, Result, Row};
 
@@ -69,6 +70,11 @@ pub struct MaintenanceOutcome {
     pub view: MeterReport,
     /// Join rows inserted into / deleted from the view.
     pub view_rows: u64,
+    /// Physical view-row changes (`true` = insert, `false` = delete) in
+    /// application order — captured only while the view is serving
+    /// snapshots, then drained into the open batch for publication at
+    /// commit. Empty otherwise.
+    pub view_changes: Vec<(Row, bool)>,
 }
 
 impl MaintenanceOutcome {
@@ -117,8 +123,21 @@ impl MaintenanceOutcome {
         merge_reports(&mut self.compute, &other.compute);
         merge_reports(&mut self.view, &other.view);
         self.view_rows += other.view_rows;
+        self.view_changes.extend(other.view_changes);
         self
     }
+}
+
+/// One maintenance batch in flight: everything between a batch-begin and
+/// its commit (one [`MaintainedView::apply`] call, or one
+/// [`maintain_all`] round across its delete+insert phases). The epoch at
+/// entry is recorded so commit can assert it never moved mid-batch.
+#[derive(Debug)]
+struct BatchState {
+    entry_epoch: u64,
+    /// Captured physical view-row changes, in application order —
+    /// populated only while serving.
+    captured: Vec<(Row, bool)>,
 }
 
 /// A materialized join view maintained under a fixed method.
@@ -134,6 +153,22 @@ pub struct MaintainedView {
     /// [`MaintainedView::create_skewed`] /
     /// [`MaintainedView::enable_skew_handling`].
     skew: Option<SkewState>,
+    /// Monotonic maintenance epoch: advances exactly once per committed
+    /// batch, regardless of [`crate::chain::BatchPolicy`] and of how many
+    /// delete/insert phases the batch contained.
+    epoch: u64,
+    /// The batch currently being applied, if any.
+    open_batch: Option<BatchState>,
+    /// Snapshot-serving tier, when enabled
+    /// ([`MaintainedView::enable_serving`]): commit publishes each
+    /// batch's captured view changes here at the new epoch.
+    serve: Option<ServePublisher>,
+    /// Batches committed inside a still-open cluster transaction:
+    /// `(epoch, changes)` held back from the serving tier until the
+    /// transaction's commit point ([`MaintainedView::publish_pending`]) —
+    /// or rewound on abort ([`MaintainedView::discard_pending`]). Readers
+    /// never observe an epoch that could still roll back.
+    pending_publish: Vec<(u64, Vec<(Row, bool)>)>,
 }
 
 impl MaintainedView {
@@ -194,6 +229,10 @@ impl MaintainedView {
             aux,
             gi,
             skew: None,
+            epoch: 0,
+            open_batch: None,
+            serve: None,
+            pending_publish: Vec::new(),
         };
         view.populate(cluster)?;
         Ok(view)
@@ -291,6 +330,10 @@ impl MaintainedView {
             aux: Some(aux),
             gi: None,
             skew: None,
+            epoch: 0,
+            open_batch: None,
+            serve: None,
+            pending_publish: Vec::new(),
         };
         view.populate(cluster)?;
         Ok(view)
@@ -384,6 +427,10 @@ impl MaintainedView {
             aux,
             gi,
             skew: None,
+            epoch: 0,
+            open_batch: None,
+            serve: None,
+            pending_publish: Vec::new(),
         };
         view.populate(cluster)?;
         Ok(view)
@@ -475,6 +522,25 @@ impl MaintainedView {
                 self.handle.def.name
             )));
         }
+        self.begin_batch();
+        match self.apply_phases(backend, rel, delta) {
+            Ok(outcome) => {
+                self.commit_batch(backend.in_txn());
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.abort_batch();
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_phases<B: Backend>(
+        &mut self,
+        backend: &mut B,
+        rel: usize,
+        delta: &Delta,
+    ) -> Result<MaintenanceOutcome> {
         let (deletes, inserts) = delta.phases();
         let mut outcome: Option<MaintenanceOutcome> = None;
         if let Some(rows) = deletes {
@@ -489,6 +555,80 @@ impl MaintainedView {
             });
         }
         outcome.ok_or_else(|| PvmError::InvalidOperation("empty delta".into()))
+    }
+
+    /// Open a maintenance batch: record the entry epoch so commit can
+    /// assert that nothing advanced it mid-batch. One batch is exactly one
+    /// epoch tick — [`MaintainedView::commit_batch`] is the *only* place
+    /// the epoch moves, so Coalesced and PerRow batch policies (and
+    /// multi-phase deltas) all advance it exactly once per applied batch.
+    fn begin_batch(&mut self) {
+        assert!(
+            self.open_batch.is_none(),
+            "view '{}': batch opened while another is in flight",
+            self.handle.def.name
+        );
+        self.open_batch = Some(BatchState {
+            entry_epoch: self.epoch,
+            captured: Vec::new(),
+        });
+    }
+
+    /// Commit the open batch: advance the epoch by exactly one and — when
+    /// serving — publish the batch's captured view changes at the new
+    /// epoch (link first, epoch visible second; see `pvm-serve`). With
+    /// `defer` set (a cluster transaction is open), the publication is
+    /// held in `pending_publish` until [`MaintainedView::publish_pending`]
+    /// runs at the transaction's commit point.
+    fn commit_batch(&mut self, defer: bool) {
+        let batch = self
+            .open_batch
+            .take()
+            .expect("batch commit without an open batch");
+        assert_eq!(
+            self.epoch, batch.entry_epoch,
+            "view '{}': epoch advanced mid-batch under {:?} policy",
+            self.handle.def.name, self.batch
+        );
+        self.epoch += 1;
+        if self.serve.is_some() {
+            if defer {
+                self.pending_publish.push((self.epoch, batch.captured));
+            } else {
+                self.publish_pending();
+                self.serve
+                    .as_ref()
+                    .expect("serving")
+                    .publish(self.epoch, batch.captured);
+            }
+        }
+    }
+
+    /// Release every batch held back by an open transaction to the
+    /// serving tier — the transaction's commit point. No-op when nothing
+    /// is pending.
+    pub fn publish_pending(&mut self) {
+        if let Some(serve) = &self.serve {
+            for (epoch, changes) in self.pending_publish.drain(..) {
+                serve.publish(epoch, changes);
+            }
+        }
+    }
+
+    /// Drop every held-back publication and rewind the epoch to the last
+    /// *published* state — the transaction abort path. Safe because
+    /// readers never saw the pending epochs (nothing was published), and
+    /// the engine's rollback restores the stored view to exactly the
+    /// published state.
+    pub fn discard_pending(&mut self) {
+        self.epoch -= self.pending_publish.len() as u64;
+        self.pending_publish.clear();
+    }
+
+    /// Drop the open batch (if any) without advancing the epoch — the
+    /// failed maintenance path. Safe to call with no batch open.
+    fn abort_batch(&mut self) {
+        self.open_batch = None;
     }
 
     fn apply_rows<B: Backend>(
@@ -528,22 +668,92 @@ impl MaintainedView {
             // `placed` — no cloned row staging.
             skew.observe_rows(rel, placed.iter().map(|(r, _)| r))?;
         }
+        // Called outside an `apply` / `maintain_all` batch, this single
+        // phase is its own batch (and its own epoch tick).
+        let standalone = self.open_batch.is_none();
+        if standalone {
+            self.begin_batch();
+        }
         let handle = &self.handle;
         let policy = self.policy;
         let batch = self.batch;
-        match self.method {
+        let capture = self.serve.is_some();
+        let result = match self.method {
             MaintenanceMethod::Naive => {
-                naive::apply(backend, handle, rel, placed, insert, policy, batch)
+                naive::apply(backend, handle, rel, placed, insert, policy, batch, capture)
             }
             MaintenanceMethod::AuxiliaryRelation => {
                 let state = self.aux.as_ref().expect("aux state installed");
-                auxrel::apply(backend, handle, state, rel, placed, insert, policy, batch)
+                auxrel::apply(
+                    backend, handle, state, rel, placed, insert, policy, batch, capture,
+                )
             }
             MaintenanceMethod::GlobalIndex => {
                 let state = self.gi.as_ref().expect("gi state installed");
-                globalindex::apply(backend, handle, state, rel, placed, insert, policy, batch)
+                globalindex::apply(
+                    backend, handle, state, rel, placed, insert, policy, batch, capture,
+                )
+            }
+        };
+        match result {
+            Ok(mut outcome) => {
+                if let Some(open) = &mut self.open_batch {
+                    open.captured.append(&mut outcome.view_changes);
+                }
+                if standalone {
+                    self.commit_batch(backend.in_txn());
+                }
+                Ok(outcome)
+            }
+            Err(e) => {
+                if standalone {
+                    self.abort_batch();
+                }
+                Err(e)
             }
         }
+    }
+
+    /// The view's maintenance epoch: 0 at creation, +1 per committed
+    /// batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Start serving MVCC snapshots of this view: seed a `pvm-serve`
+    /// delta chain with the current contents at the current epoch, and
+    /// from the next batch commit on publish every batch's physical view
+    /// changes at its new epoch. Returns a cloneable [`ServeReader`] —
+    /// hand one to each reader session/thread. The cluster's [`Obs`]
+    /// handle gates the `serve.*` metrics, so serving charges nothing
+    /// while observability is off.
+    pub fn enable_serving<B: Backend>(&mut self, backend: &B) -> Result<ServeReader> {
+        if self.serve.is_some() {
+            return Err(PvmError::InvalidOperation(format!(
+                "view '{}' is already serving snapshots",
+                self.handle.def.name
+            )));
+        }
+        if self.open_batch.is_some() || backend.in_txn() {
+            return Err(PvmError::InvalidOperation(
+                "cannot enable serving while a maintenance batch or transaction is open".into(),
+            ));
+        }
+        let rows = self.contents(backend.engine())?;
+        let publisher = ServePublisher::new(
+            &self.handle.def.name,
+            self.epoch,
+            rows,
+            Some(backend.engine().obs_handle()),
+        );
+        let reader = publisher.reader();
+        self.serve = Some(publisher);
+        Ok(reader)
+    }
+
+    /// A fresh read handle onto the serving tier, when enabled.
+    pub fn serve_reader(&self) -> Option<ServeReader> {
+        self.serve.as_ref().map(|p| p.reader())
     }
 
     /// [`MaintainedView::create`] plus
@@ -738,10 +948,12 @@ impl MaintainedView {
         match self.apply(backend, rel, delta) {
             Ok(outcome) => {
                 backend.commit_txn()?;
+                self.publish_pending();
                 Ok(outcome)
             }
             Err(e) => {
                 backend.abort_txn()?;
+                self.discard_pending();
                 Err(e)
             }
         }
@@ -841,6 +1053,40 @@ pub fn maintain_all<B: Backend>(
     delta: &Delta,
 ) -> Result<Vec<MaintenanceOutcome>> {
     let table = backend.engine().table_id(relation)?;
+    // One maintain_all round is one batch — and one epoch tick — on every
+    // view that joins the relation, even when the delta splits into a
+    // delete and an insert phase.
+    for view in views.iter_mut() {
+        if view.handle.def.relation_index(relation).is_ok() {
+            view.begin_batch();
+        }
+    }
+    match maintain_all_phases(backend, views, table, relation, delta) {
+        Ok(outcomes) => {
+            let defer = backend.in_txn();
+            for view in views.iter_mut() {
+                if view.open_batch.is_some() {
+                    view.commit_batch(defer);
+                }
+            }
+            Ok(outcomes)
+        }
+        Err(e) => {
+            for view in views.iter_mut() {
+                view.abort_batch();
+            }
+            Err(e)
+        }
+    }
+}
+
+fn maintain_all_phases<B: Backend>(
+    backend: &mut B,
+    views: &mut [&mut MaintainedView],
+    table: TableId,
+    relation: &str,
+    delta: &Delta,
+) -> Result<Vec<MaintenanceOutcome>> {
     let mut outcomes: Vec<Option<MaintenanceOutcome>> = views.iter().map(|_| None).collect();
     let (deletes, inserts) = delta.phases();
     for (rows, insert) in [(deletes, false), (inserts, true)] {
@@ -871,6 +1117,7 @@ pub fn maintain_all<B: Backend>(
                         compute: empty_report(backend),
                         view: empty_report(backend),
                         view_rows: 0,
+                        view_changes: Vec::new(),
                     });
                 }
             }
@@ -878,28 +1125,33 @@ pub fn maintain_all<B: Backend>(
     }
     Ok(outcomes
         .into_iter()
-        .map(|o| {
-            o.unwrap_or_else(|| MaintenanceOutcome {
-                base: MeterReport {
-                    per_node: Vec::new(),
-                    net: Default::default(),
-                },
-                aux: MeterReport {
-                    per_node: Vec::new(),
-                    net: Default::default(),
-                },
-                compute: MeterReport {
-                    per_node: Vec::new(),
-                    net: Default::default(),
-                },
-                view: MeterReport {
-                    per_node: Vec::new(),
-                    net: Default::default(),
-                },
-                view_rows: 0,
-            })
-        })
+        .map(|o| o.unwrap_or_else(untouched_outcome))
         .collect())
+}
+
+/// The outcome reported for a view the delta's relation does not join:
+/// empty reports, nothing maintained.
+fn untouched_outcome() -> MaintenanceOutcome {
+    MaintenanceOutcome {
+        base: MeterReport {
+            per_node: Vec::new(),
+            net: Default::default(),
+        },
+        aux: MeterReport {
+            per_node: Vec::new(),
+            net: Default::default(),
+        },
+        compute: MeterReport {
+            per_node: Vec::new(),
+            net: Default::default(),
+        },
+        view: MeterReport {
+            per_node: Vec::new(),
+            net: Default::default(),
+        },
+        view_rows: 0,
+        view_changes: Vec::new(),
+    }
 }
 
 fn empty_report<B: Backend>(backend: &B) -> MeterReport {
@@ -919,54 +1171,58 @@ pub fn maintain_all_pooled<B: Backend>(
     delta: &Delta,
 ) -> Result<Vec<MaintenanceOutcome>> {
     let table = backend.engine().table_id(relation)?;
-    let mut outcomes: Vec<Option<MaintenanceOutcome>> = views.iter().map(|_| None).collect();
-    let (deletes, inserts) = delta.phases();
-    for (rows, insert) in [(deletes, false), (inserts, true)] {
-        let Some(rows) = rows else { continue };
-        let (base, placed) = update_base(backend, table, rows, insert)?;
-        let guard = backend.start_meter();
-        pool.apply_base_delta(backend, relation, &placed, insert)?;
-        let pool_aux = backend.finish_meter(&guard);
-        let mut shared_phases = Some((base, pool_aux));
-        for (i, view) in views.iter_mut().enumerate() {
-            let Ok(rel) = view.handle.def.relation_index(relation) else {
-                continue;
-            };
-            let mut out = view.apply_prepared(backend, rel, &placed, insert)?;
-            if let Some((b, a)) = shared_phases.take() {
-                out.base = b;
-                out.aux = a;
-            }
-            outcomes[i] = Some(match outcomes[i].take() {
-                Some(prev) => prev.merge(out),
-                None => out,
-            });
+    for view in views.iter_mut() {
+        if view.handle.def.relation_index(relation).is_ok() {
+            view.begin_batch();
         }
     }
-    Ok(outcomes
-        .into_iter()
-        .map(|o| {
-            o.unwrap_or(MaintenanceOutcome {
-                base: MeterReport {
-                    per_node: Vec::new(),
-                    net: Default::default(),
-                },
-                aux: MeterReport {
-                    per_node: Vec::new(),
-                    net: Default::default(),
-                },
-                compute: MeterReport {
-                    per_node: Vec::new(),
-                    net: Default::default(),
-                },
-                view: MeterReport {
-                    per_node: Vec::new(),
-                    net: Default::default(),
-                },
-                view_rows: 0,
-            })
-        })
-        .collect())
+    let result: Result<Vec<MaintenanceOutcome>> = (|| {
+        let mut outcomes: Vec<Option<MaintenanceOutcome>> = views.iter().map(|_| None).collect();
+        let (deletes, inserts) = delta.phases();
+        for (rows, insert) in [(deletes, false), (inserts, true)] {
+            let Some(rows) = rows else { continue };
+            let (base, placed) = update_base(backend, table, rows, insert)?;
+            let guard = backend.start_meter();
+            pool.apply_base_delta(backend, relation, &placed, insert)?;
+            let pool_aux = backend.finish_meter(&guard);
+            let mut shared_phases = Some((base, pool_aux));
+            for (i, view) in views.iter_mut().enumerate() {
+                let Ok(rel) = view.handle.def.relation_index(relation) else {
+                    continue;
+                };
+                let mut out = view.apply_prepared(backend, rel, &placed, insert)?;
+                if let Some((b, a)) = shared_phases.take() {
+                    out.base = b;
+                    out.aux = a;
+                }
+                outcomes[i] = Some(match outcomes[i].take() {
+                    Some(prev) => prev.merge(out),
+                    None => out,
+                });
+            }
+        }
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.unwrap_or_else(untouched_outcome))
+            .collect())
+    })();
+    match result {
+        Ok(outcomes) => {
+            let defer = backend.in_txn();
+            for view in views.iter_mut() {
+                if view.open_batch.is_some() {
+                    view.commit_batch(defer);
+                }
+            }
+            Ok(outcomes)
+        }
+        Err(e) => {
+            for view in views.iter_mut() {
+                view.abort_batch();
+            }
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1255,5 +1511,172 @@ mod tests {
             "auxiliary relation"
         );
         assert_eq!(MaintenanceMethod::GlobalIndex.label(), "global index");
+    }
+
+    #[test]
+    fn epoch_advances_once_per_batch_under_both_policies() {
+        // The BatchPolicy/epoch contract made explicit: one apply() call
+        // is one batch is one epoch tick — whether messages are coalesced
+        // or sent per row, and whether the delta is a plain insert or an
+        // update (delete phase + insert phase).
+        use crate::chain::BatchPolicy;
+        for m in methods() {
+            for policy in [BatchPolicy::Coalesced, BatchPolicy::PerRow] {
+                let (mut cluster, _, _) = setup(4);
+                let mut view = MaintainedView::create(&mut cluster, jv_def(), m).unwrap();
+                view.set_batch_policy(policy);
+                assert_eq!(view.epoch(), 0);
+                view.apply(&mut cluster, 0, &Delta::Insert(vec![row![100, 3, "x"]]))
+                    .unwrap();
+                assert_eq!(view.epoch(), 1, "{m:?}/{policy:?}: one insert batch");
+                view.apply(
+                    &mut cluster,
+                    0,
+                    &Delta::Update {
+                        old: vec![row![100, 3, "x"]],
+                        new: vec![row![100, 5, "x"]],
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    view.epoch(),
+                    2,
+                    "{m:?}/{policy:?}: a two-phase update is still one batch"
+                );
+                // A failed batch must not tick the epoch.
+                assert!(view
+                    .apply(&mut cluster, 9, &Delta::insert_one(row![1]))
+                    .is_err());
+                assert_eq!(view.epoch(), 2, "{m:?}/{policy:?}: failed batch ticked");
+            }
+        }
+    }
+
+    #[test]
+    fn serving_snapshots_track_the_stored_view() {
+        // Every committed batch publishes exactly the view delta: a
+        // snapshot taken after each commit matches the stored contents
+        // (and the recompute oracle) at that moment, and older pinned
+        // snapshots keep reading their own epoch.
+        for m in methods() {
+            let (mut cluster, _, _) = setup(4);
+            let mut view = MaintainedView::create(&mut cluster, jv_def(), m).unwrap();
+            let reader = view.enable_serving(&cluster).unwrap();
+            let s0 = reader.snapshot();
+            let mut at_s0 = view.contents(&cluster).unwrap();
+            at_s0.sort();
+
+            view.apply(&mut cluster, 0, &Delta::Insert(vec![row![100, 3, "x"]]))
+                .unwrap();
+            view.apply(&mut cluster, 1, &Delta::Delete(vec![row![0, 0, "b0"]]))
+                .unwrap();
+            assert_eq!(reader.current_epoch(), 2, "{m:?}");
+
+            let mut stored = view.contents(&cluster).unwrap();
+            stored.sort();
+            assert_eq!(reader.snapshot().rows(), stored, "{m:?}: head snapshot");
+            assert_eq!(s0.rows(), at_s0, "{m:?}: pinned epoch-0 snapshot");
+        }
+    }
+
+    #[test]
+    fn serving_aggregate_views_folds_group_changes() {
+        use crate::aggregate::{AggShape, AggSpec};
+        let (mut cluster, _, _) = setup(4);
+        let def = jv_def();
+        let shape = AggShape {
+            group_by: vec![1],
+            aggregates: vec![AggSpec::count()],
+        };
+        let mut view = MaintainedView::create_aggregate(
+            &mut cluster,
+            def,
+            shape,
+            MaintenanceMethod::AuxiliaryRelation,
+        )
+        .unwrap();
+        let reader = view.enable_serving(&cluster).unwrap();
+        view.apply(&mut cluster, 0, &Delta::Insert(vec![row![100, 3, "x"]]))
+            .unwrap();
+        let mut stored = view.contents(&cluster).unwrap();
+        stored.sort();
+        assert_eq!(reader.snapshot().rows(), stored);
+        view.apply(&mut cluster, 0, &Delta::Delete(vec![row![100, 3, "x"]]))
+            .unwrap();
+        let mut stored = view.contents(&cluster).unwrap();
+        stored.sort();
+        assert_eq!(reader.snapshot().rows(), stored);
+    }
+
+    #[test]
+    fn enable_serving_twice_is_rejected() {
+        let (mut cluster, _, _) = setup(2);
+        let mut view =
+            MaintainedView::create(&mut cluster, jv_def(), MaintenanceMethod::Naive).unwrap();
+        view.enable_serving(&cluster).unwrap();
+        assert!(view.enable_serving(&cluster).is_err());
+        assert!(view.serve_reader().is_some());
+    }
+
+    #[test]
+    fn transactions_defer_publication_until_commit() {
+        let (mut cluster, _, _) = setup(4);
+        let mut view =
+            MaintainedView::create(&mut cluster, jv_def(), MaintenanceMethod::Naive).unwrap();
+        let reader = view.enable_serving(&cluster).unwrap();
+        let delta = Delta::Insert(vec![row![100, 3, "x"]]);
+
+        // Aborted transaction: readers never saw the epoch, and the
+        // rewind keeps view epoch == published head.
+        cluster.begin_txn().unwrap();
+        view.apply(&mut cluster, 0, &delta).unwrap();
+        assert_eq!(view.epoch(), 1);
+        assert_eq!(reader.current_epoch(), 0, "publication waits for commit");
+        cluster.abort_txn().unwrap();
+        view.discard_pending();
+        assert_eq!(view.epoch(), 0);
+        let mut stored = view.contents(&cluster).unwrap();
+        stored.sort();
+        assert_eq!(reader.snapshot().rows(), stored);
+
+        // Committed transaction: the commit point releases the epoch.
+        cluster.begin_txn().unwrap();
+        view.apply(&mut cluster, 0, &delta).unwrap();
+        cluster.commit_txn().unwrap();
+        view.publish_pending();
+        assert_eq!(reader.current_epoch(), 1);
+        let mut stored = view.contents(&cluster).unwrap();
+        stored.sort();
+        assert_eq!(reader.snapshot().rows(), stored);
+    }
+
+    #[test]
+    fn maintain_all_ticks_each_joining_view_once() {
+        let (mut cluster, _, _) = setup(4);
+        let mut v1 =
+            MaintainedView::create(&mut cluster, jv_def(), MaintenanceMethod::Naive).unwrap();
+        let mut def2 = jv_def();
+        def2.name = "jv2".into();
+        let mut v2 =
+            MaintainedView::create(&mut cluster, def2, MaintenanceMethod::GlobalIndex).unwrap();
+        let r1 = v1.enable_serving(&cluster).unwrap();
+        let r2 = v2.enable_serving(&cluster).unwrap();
+        maintain_all(
+            &mut cluster,
+            &mut [&mut v1, &mut v2],
+            "a",
+            &Delta::Update {
+                old: vec![row![0, 0, "a0"]],
+                new: vec![row![0, 4, "a0"]],
+            },
+        )
+        .unwrap();
+        assert_eq!((v1.epoch(), v2.epoch()), (1, 1), "one tick per view");
+        let mut c1 = v1.contents(&cluster).unwrap();
+        c1.sort();
+        let mut c2 = v2.contents(&cluster).unwrap();
+        c2.sort();
+        assert_eq!(r1.snapshot().rows(), c1);
+        assert_eq!(r2.snapshot().rows(), c2);
     }
 }

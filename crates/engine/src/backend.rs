@@ -264,6 +264,14 @@ pub trait Backend {
     fn abort_txn(&mut self) -> Result<()> {
         self.engine_mut().abort_txn()
     }
+
+    /// Whether a cluster transaction is open. External publication (e.g.
+    /// the snapshot-serving tier) must hold its output until the commit
+    /// point: changes made inside an open transaction may still roll
+    /// back.
+    fn in_txn(&self) -> bool {
+        self.engine().in_txn()
+    }
 }
 
 /// The sequential backend: nodes run in order 0..L on the calling thread,

@@ -62,6 +62,14 @@ pub mod metric {
     pub const FAULT_CRASHES: &str = "faults.crashes";
     /// Counter: WAL records replayed while recovering crashed nodes.
     pub const FAULT_RECOVERY_REPLAYED: &str = "faults.recovery_replayed";
+    /// Histogram: how many epochs behind the published head a snapshot
+    /// read was (0 = reading the freshest state).
+    pub const SERVE_SNAPSHOT_AGE: &str = "serve.snapshot_age_epochs";
+    /// Histogram: unfolded delta links in a served view's chain at
+    /// publish time (GC pressure signal).
+    pub const SERVE_CHAIN_LEN: &str = "serve.chain_len";
+    /// Histogram (µs): wall time of one snapshot read (scan or lookup).
+    pub const SERVE_READ_US: &str = "serve.read_us";
 
     /// Per-node work-share counter name.
     pub fn work_share(node: u32) -> String {

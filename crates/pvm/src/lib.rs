@@ -49,6 +49,7 @@
 //! | [`pvm_engine`] | the parallel RDBMS: catalog, partitioning, DML, joins |
 //! | [`pvm_runtime`] | threaded per-node execution with a channel interconnect |
 //! | [`pvm_obs`] | structured trace events, metrics, Chrome-trace export |
+//! | [`pvm_serve`] | MVCC snapshot serving: epochs, delta chains, pinned reads |
 //! | [`pvm_core`] | the three maintenance methods, planner, advisor |
 //! | [`pvm_model`] | the paper's analytical cost model |
 //! | [`pvm_workload`] | TPC-R-shaped data and synthetic workloads |
@@ -59,6 +60,7 @@ pub use pvm_model as model;
 pub use pvm_net as net;
 pub use pvm_obs as obs;
 pub use pvm_runtime as runtime;
+pub use pvm_serve as serve;
 pub use pvm_sql as sql;
 pub use pvm_storage as storage;
 pub use pvm_types as types;
@@ -80,6 +82,7 @@ pub mod prelude {
     };
     pub use pvm_obs::{chrome_trace, jsonl, MemorySink, MetricsRegistry, Obs, TraceSink};
     pub use pvm_runtime::{RuntimeConfig, ThreadedCluster};
+    pub use pvm_serve::{ServePublisher, ServeReader, Snapshot};
     pub use pvm_sql::{Session, SqlOutput};
     pub use pvm_storage::Organization;
     pub use pvm_types::{

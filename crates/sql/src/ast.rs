@@ -147,6 +147,9 @@ pub enum Statement {
     },
     /// `BEGIN [TRANSACTION]`.
     Begin,
+    /// `BEGIN SNAPSHOT`: pin one MVCC snapshot per served view; every
+    /// view SELECT until `COMMIT`/`ROLLBACK` reads those pinned epochs.
+    BeginSnapshot,
     /// `COMMIT`.
     Commit,
     /// `ROLLBACK` / `ABORT`.

@@ -152,6 +152,9 @@ impl Parser {
             return Err(err("expected VIEW or TABLE after DROP"));
         }
         if self.eat_kw("BEGIN") {
+            if self.eat_kw("SNAPSHOT") {
+                return Ok(Statement::BeginSnapshot);
+            }
             self.eat_kw("TRANSACTION");
             return Ok(Statement::Begin);
         }
@@ -636,6 +639,19 @@ mod tests {
                 Statement::Begin,
                 Statement::Rollback,
                 Statement::Rollback,
+            ]
+        );
+    }
+
+    #[test]
+    fn begin_snapshot_parses() {
+        let s = parse("BEGIN SNAPSHOT; COMMIT; begin snapshot").unwrap();
+        assert_eq!(
+            s,
+            vec![
+                Statement::BeginSnapshot,
+                Statement::Commit,
+                Statement::BeginSnapshot,
             ]
         );
     }

@@ -1,10 +1,13 @@
 //! Statement execution: a [`Session`] owns a cluster and its views and
 //! keeps every view maintained across SQL DML.
 
+use std::collections::HashMap;
+
 use pvm_core::{
     maintain_all, Delta, JoinViewDef, MaintainedView, MaintenanceMethod, ViewColumn, ViewEdge,
 };
 use pvm_engine::{Cluster, ClusterConfig, PartitionSpec, TableDef};
+use pvm_serve::Snapshot;
 use pvm_storage::Organization;
 use pvm_types::{CostSnapshot, Predicate, PvmError, Result, Row, Schema, SchemaRef, Value};
 
@@ -52,6 +55,10 @@ impl SqlOutput {
 pub struct Session {
     cluster: Cluster,
     views: Vec<MaintainedView>,
+    /// `BEGIN SNAPSHOT` session: one pinned [`Snapshot`] per served view,
+    /// keyed by view name. While `Some`, every view SELECT reads its
+    /// pinned epoch — maintenance keeps streaming underneath.
+    snapshots: Option<HashMap<String, Snapshot>>,
 }
 
 impl Session {
@@ -59,6 +66,7 @@ impl Session {
         Session {
             cluster: Cluster::new(config),
             views: Vec::new(),
+            snapshots: None,
         }
     }
 
@@ -132,15 +140,33 @@ impl Session {
             Statement::DropView { name } => self.drop_view(name),
             Statement::DropTable { name } => self.drop_table(name),
             Statement::Begin => {
+                if self.snapshots.is_some() {
+                    return Err(PvmError::InvalidOperation(
+                        "a snapshot session is open; COMMIT or ROLLBACK it first".into(),
+                    ));
+                }
                 self.cluster.begin_txn()?;
                 Ok(SqlOutput::message("transaction started"))
             }
+            Statement::BeginSnapshot => self.begin_snapshot(),
             Statement::Commit => {
+                if self.snapshots.take().is_some() {
+                    return Ok(SqlOutput::message("snapshot session released"));
+                }
                 self.cluster.commit_txn()?;
+                for v in &mut self.views {
+                    v.publish_pending();
+                }
                 Ok(SqlOutput::message("committed"))
             }
             Statement::Rollback => {
+                if self.snapshots.take().is_some() {
+                    return Ok(SqlOutput::message("snapshot session released"));
+                }
                 self.cluster.abort_txn()?;
+                for v in &mut self.views {
+                    v.discard_pending();
+                }
                 Ok(SqlOutput::message("rolled back"))
             }
         }
@@ -153,6 +179,9 @@ impl Session {
             .position(|v| v.def().name == name)
             .ok_or_else(|| PvmError::NotFound(format!("view '{name}'")))?;
         let view = self.views.remove(idx);
+        if let Some(pinned) = &mut self.snapshots {
+            pinned.remove(&name);
+        }
         view.destroy(&mut self.cluster)?;
         Ok(SqlOutput::message(format!("dropped view {name}")))
     }
@@ -398,7 +427,7 @@ impl Session {
                 }
             }
         };
-        let view = if agg_items.is_empty() {
+        let mut view = if agg_items.is_empty() {
             MaintainedView::create(&mut self.cluster, def, resolved_method)?
         } else {
             let shape = pvm_core::AggShape {
@@ -407,6 +436,11 @@ impl Session {
             };
             MaintainedView::create_aggregate(&mut self.cluster, def, shape, resolved_method)?
         };
+        // Serve snapshots from epoch 0 onward. Inside a transaction the
+        // seed contents could still roll back, so serving stays off there.
+        if !self.cluster.in_txn() {
+            view.enable_serving(&self.cluster)?;
+        }
         let rows = view.contents(&self.cluster)?.len();
         let kind = if agg_items.is_empty() {
             "rows"
@@ -574,6 +608,14 @@ impl Session {
     }
 
     fn select(&mut self, table: String, predicate: Vec<WhereTerm>) -> Result<SqlOutput> {
+        // View reads outside a transaction go through the snapshot tier;
+        // inside one they must see the session's own uncommitted changes,
+        // so they scan the stored table directly.
+        if self.is_view_table(&table) && !self.cluster.in_txn() {
+            if let Some(out) = self.select_view_snapshot(&table, &predicate)? {
+                return Ok(out);
+            }
+        }
         let id = self.cluster.table_id(&table)?;
         let schema = self.cluster.def(id)?.schema.clone();
         let pred = Self::build_predicate(&schema, &predicate)?;
@@ -584,7 +626,55 @@ impl Session {
             .filter(|r| pred.eval(r))
             .collect();
         rows.sort();
-        // Hide the aggregate views' internal `__count` bookkeeping column.
+        let (schema, rows) = Self::hide_count(schema, rows)?;
+        let n = rows.len();
+        Ok(SqlOutput {
+            message: format!("{n} rows"),
+            rows: Some((schema, rows)),
+        })
+    }
+
+    /// Serve a view SELECT from an MVCC snapshot: the one pinned by an
+    /// open `BEGIN SNAPSHOT` session, or a fresh per-statement snapshot.
+    /// Returns `None` when the view is not serving (falls back to a scan).
+    fn select_view_snapshot(
+        &self,
+        table: &str,
+        predicate: &[WhereTerm],
+    ) -> Result<Option<SqlOutput>> {
+        let fresh;
+        let snap: &Snapshot =
+            if let Some(pinned) = self.snapshots.as_ref().and_then(|m| m.get(table)) {
+                pinned
+            } else {
+                let view = self
+                    .views
+                    .iter()
+                    .find(|v| v.def().name == table)
+                    .expect("caller checked is_view_table");
+                match view.serve_reader() {
+                    Some(reader) => {
+                        fresh = reader.snapshot();
+                        &fresh
+                    }
+                    None => return Ok(None),
+                }
+            };
+        let id = self.cluster.table_id(table)?;
+        let schema = self.cluster.def(id)?.schema.clone();
+        let pred = Self::build_predicate(&schema, predicate)?;
+        let rows: Vec<Row> = snap.rows().into_iter().filter(|r| pred.eval(r)).collect();
+        let epoch = snap.epoch();
+        let (schema, rows) = Self::hide_count(schema, rows)?;
+        let n = rows.len();
+        Ok(Some(SqlOutput {
+            message: format!("{n} rows (snapshot epoch {epoch})"),
+            rows: Some((schema, rows)),
+        }))
+    }
+
+    /// Hide the aggregate views' internal `__count` bookkeeping column.
+    fn hide_count(schema: SchemaRef, rows: Vec<Row>) -> Result<(SchemaRef, Vec<Row>)> {
         let visible: Vec<usize> = (0..schema.arity())
             .filter(|&i| {
                 schema
@@ -593,21 +683,42 @@ impl Session {
                     .unwrap_or(true)
             })
             .collect();
-        let (schema, rows) = if visible.len() == schema.arity() {
-            (schema, rows)
-        } else {
-            let schema = std::sync::Arc::new(schema.project(&visible)?);
-            let rows = rows
-                .into_iter()
-                .map(|r| r.project(&visible))
-                .collect::<Result<_>>()?;
-            (schema, rows)
-        };
-        let n = rows.len();
-        Ok(SqlOutput {
-            message: format!("{n} rows"),
-            rows: Some((schema, rows)),
-        })
+        if visible.len() == schema.arity() {
+            return Ok((schema, rows));
+        }
+        let schema = std::sync::Arc::new(schema.project(&visible)?);
+        let rows = rows
+            .into_iter()
+            .map(|r| r.project(&visible))
+            .collect::<Result<_>>()?;
+        Ok((schema, rows))
+    }
+
+    /// `BEGIN SNAPSHOT`: pin the current epoch of every serving view so
+    /// subsequent view SELECTs read one consistent state while maintenance
+    /// keeps streaming underneath.
+    fn begin_snapshot(&mut self) -> Result<SqlOutput> {
+        if self.cluster.in_txn() {
+            return Err(PvmError::InvalidOperation(
+                "BEGIN SNAPSHOT is not allowed inside a transaction".into(),
+            ));
+        }
+        if self.snapshots.is_some() {
+            return Err(PvmError::InvalidOperation(
+                "a snapshot session is already open".into(),
+            ));
+        }
+        let mut pinned = HashMap::new();
+        for v in &self.views {
+            if let Some(reader) = v.serve_reader() {
+                pinned.insert(v.def().name.clone(), reader.snapshot());
+            }
+        }
+        let n = pinned.len();
+        self.snapshots = Some(pinned);
+        Ok(SqlOutput::message(format!(
+            "snapshot session open ({n} views pinned)"
+        )))
     }
 
     fn show_tables(&self) -> Result<SqlOutput> {
@@ -1036,6 +1147,65 @@ mod tests {
         assert_eq!(committed, before + 4);
         // Discipline errors surface.
         assert!(s.execute("COMMIT").is_err());
+    }
+
+    #[test]
+    fn snapshot_sessions_pin_view_epochs() {
+        let mut s = session();
+        s.execute_one(
+            "CREATE VIEW jv USING AUXILIARY RELATION AS \
+             SELECT x.id, y.id FROM a x, b y WHERE x.c = y.d",
+        )
+        .unwrap();
+        let before = s.execute_one("SELECT * FROM jv").unwrap();
+        assert!(
+            before.message.contains("snapshot epoch 0"),
+            "{}",
+            before.message
+        );
+        let before_n = before.rows.unwrap().1.len();
+
+        let out = s.execute_one("BEGIN SNAPSHOT").unwrap();
+        assert!(out.message.contains("1 views pinned"), "{}", out.message);
+
+        // Maintenance streams in underneath the pinned snapshot…
+        s.execute_one("INSERT INTO a VALUES (400, 1, 'n')").unwrap();
+        let pinned = s.execute_one("SELECT * FROM jv").unwrap();
+        assert!(
+            pinned.message.contains("snapshot epoch 0"),
+            "{}",
+            pinned.message
+        );
+        assert_eq!(pinned.rows.unwrap().1.len(), before_n);
+
+        // …and becomes visible once the session releases.
+        let out = s.execute_one("COMMIT").unwrap();
+        assert!(out.message.contains("snapshot session released"));
+        let after = s.execute_one("SELECT * FROM jv").unwrap();
+        assert!(
+            after.message.contains("snapshot epoch 1"),
+            "{}",
+            after.message
+        );
+        assert_eq!(after.rows.unwrap().1.len(), before_n + 4);
+    }
+
+    #[test]
+    fn snapshot_session_discipline() {
+        let mut s = session();
+        s.execute_one(
+            "CREATE VIEW jv USING NAIVE AS SELECT x.id, y.id FROM a x, b y WHERE x.c = y.d",
+        )
+        .unwrap();
+        s.execute_one("BEGIN SNAPSHOT").unwrap();
+        assert!(s.execute("BEGIN SNAPSHOT").is_err(), "nested snapshot");
+        assert!(s.execute("BEGIN").is_err(), "txn under snapshot session");
+        let out = s.execute_one("ROLLBACK").unwrap();
+        assert!(out.message.contains("snapshot session released"));
+        // Snapshots do not mix with transactions the other way either.
+        s.execute_one("BEGIN").unwrap();
+        assert!(s.execute("BEGIN SNAPSHOT").is_err());
+        s.execute_one("ROLLBACK").unwrap();
     }
 
     #[test]

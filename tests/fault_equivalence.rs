@@ -313,6 +313,92 @@ fn fault_sweep() {
     }
 }
 
+/// A reader thread snapshotting *while* a faulted run (message faults
+/// plus a scheduled crash and WAL replay) streams maintenance must only
+/// ever observe states the fault-free sequential oracle produced at the
+/// same epoch — recovery never publishes a torn or divergent epoch.
+#[test]
+fn snapshot_reads_match_oracle_during_recovery() {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const L: usize = 3;
+    let method = MaintenanceMethod::AuxiliaryRelation;
+    let ops = gen_ops(42, 15);
+
+    // Fault-free sequential oracle: sorted view contents at every epoch.
+    let mut oracle: HashMap<u64, Vec<Row>> = HashMap::new();
+    {
+        let (mut c, mut view) = setup(L, method);
+        let record = |c: &Cluster, view: &MaintainedView, oracle: &mut HashMap<u64, Vec<Row>>| {
+            let mut rows = c.scan_all(view.view_table()).unwrap();
+            rows.sort();
+            oracle.insert(view.epoch(), rows);
+        };
+        record(&c, &view, &mut oracle);
+        let mut live: [Vec<Row>; 2] = [
+            (0..10).map(|i| row![i, i % 3, "a"]).collect(),
+            (0..10).map(|i| row![i, i % 3, "b"]).collect(),
+        ];
+        let mut next_id = 100_000i64;
+        for op in &ops {
+            match op {
+                Op::Insert { rel, jval } => {
+                    let payload = if *rel == 0 { "a" } else { "b" };
+                    let r = row![next_id, *jval, payload];
+                    next_id += 1;
+                    live[*rel].push(r.clone());
+                    view.apply(&mut c, *rel, &Delta::insert_one(r)).unwrap();
+                }
+                Op::DeleteExisting { rel, pick } => {
+                    if live[*rel].is_empty() {
+                        continue;
+                    }
+                    let idx = pick % live[*rel].len();
+                    let r = live[*rel].swap_remove(idx);
+                    view.apply(&mut c, *rel, &Delta::Delete(vec![r])).unwrap();
+                }
+            }
+            record(&c, &view, &mut oracle);
+        }
+    }
+
+    // The same workload under faults, with a live reader alongside.
+    let (c, mut view) = setup(L, method);
+    let mut ft = FaultTolerant::sequential(c, sweep_plan(42, 0.2, L));
+    let reader = view.enable_serving(&ft).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let reader = reader.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut reads: Vec<(u64, Vec<Row>)> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let s = reader.snapshot();
+                reads.push((s.epoch(), s.rows()));
+            }
+            reads
+        })
+    };
+    apply_ops(&mut ft, &mut view, &ops).unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let reads = handle.join().unwrap();
+
+    assert!(ft.crashes() > 0, "the crash fired during the serving run");
+    assert!(!reads.is_empty(), "the reader made progress");
+    for (epoch, rows) in &reads {
+        assert_eq!(
+            rows, &oracle[epoch],
+            "reader observed a state the fault-free oracle never produced at epoch {epoch}"
+        );
+    }
+    // And the final epoch's snapshot is the oracle's final state.
+    let fin = reader.snapshot();
+    assert_eq!(fin.epoch(), view.epoch());
+    assert_eq!(&fin.rows(), &oracle[&view.epoch()]);
+}
+
 /// Fault counters are surfaced through the cluster's pvm-obs metrics
 /// registry, not just the wrapper's accessors.
 #[test]

@@ -176,6 +176,109 @@ fn sequential_trace_is_deterministic() {
     }
 }
 
+/// The serving tier holds itself to the same standard as tracing:
+/// enabling snapshot serving (change capture + per-batch publication)
+/// must not move a single counted cost — same contents, same per-node
+/// SEARCH/FETCH/INSERT, same interconnect totals, for every method on
+/// both backends.
+#[test]
+fn serving_never_changes_counted_costs() {
+    let ops: Vec<Op> = (0..10)
+        .map(|i| {
+            if i % 4 == 3 {
+                Op::DeleteExisting {
+                    rel: i % 2,
+                    pick: i,
+                }
+            } else {
+                Op::Insert {
+                    rel: i % 2,
+                    jval: i as i64 % 3,
+                }
+            }
+        })
+        .collect();
+    for method in methods() {
+        for threaded in [false, true] {
+            let mut results: Vec<(Vec<Row>, MeterReport)> = Vec::new();
+            for serving in [false, true] {
+                let (cluster, mut view) = setup(3, method);
+                let run = if threaded {
+                    let mut thr = ThreadedCluster::from_cluster(cluster);
+                    let reader = serving.then(|| view.enable_serving(&thr).unwrap());
+                    let run = run_stream(&mut thr, &mut view, &ops);
+                    if let Some(r) = &reader {
+                        assert_eq!(r.snapshot().rows(), run.0, "snapshot lags the view");
+                    }
+                    run
+                } else {
+                    let mut cluster = cluster;
+                    let reader = serving.then(|| view.enable_serving(&cluster).unwrap());
+                    let run = run_stream(&mut cluster, &mut view, &ops);
+                    if let Some(r) = &reader {
+                        assert_eq!(r.snapshot().rows(), run.0, "snapshot lags the view");
+                    }
+                    run
+                };
+                results.push(run);
+            }
+            let (c0, r0) = &results[0];
+            let (c1, r1) = &results[1];
+            assert_eq!(c0, c1, "{method:?} threaded={threaded}: contents");
+            assert_eq!(
+                &r0.per_node, &r1.per_node,
+                "{method:?} threaded={threaded}: per-node costs diverged under serving"
+            );
+            assert_eq!(
+                r0.net, r1.net,
+                "{method:?} threaded={threaded}: interconnect costs diverged under serving"
+            );
+        }
+    }
+}
+
+/// `serve.*` metrics ride the same gate as tracing: nothing registers
+/// while the obs gate is off, and publication + reads register once a
+/// sink is installed.
+#[test]
+fn serve_metrics_respect_the_obs_gate() {
+    let total = |cluster: &Cluster, name: &str| {
+        cluster
+            .obs_handle()
+            .metrics()
+            .histogram(name)
+            .snapshot()
+            .total
+    };
+    let ops: Vec<Op> = (0..4)
+        .map(|i| Op::Insert {
+            rel: i % 2,
+            jval: i as i64 % 3,
+        })
+        .collect();
+    for record in [false, true] {
+        let (mut cluster, mut view) = setup(3, MaintenanceMethod::AuxiliaryRelation);
+        if record {
+            cluster.set_trace_sink(Arc::new(MemorySink::new(3)));
+        }
+        let reader = view.enable_serving(&cluster).unwrap();
+        run_stream(&mut cluster, &mut view, &ops);
+        let _ = reader.snapshot().rows();
+        for name in [
+            pvm::obs::metric::SERVE_CHAIN_LEN,
+            pvm::obs::metric::SERVE_READ_US,
+            pvm::obs::metric::SERVE_SNAPSHOT_AGE,
+        ] {
+            let n = total(&cluster, name);
+            if record {
+                assert!(n > 0, "{name} did not register while obs was enabled");
+            } else {
+                assert_eq!(n, 0, "{name} registered while obs was disabled");
+            }
+        }
+    }
+}
+
 /// Sequential and threaded backends agree on the *node-local* event
 /// stream (everything except barrier/batch internals): same phases at
 /// the same logical steps on the same nodes.
