@@ -34,7 +34,10 @@
 use std::time::Instant;
 
 use pvm::prelude::*;
-use pvm_bench::{capture_trace, header, series_labels, series_row, trace_arg};
+use pvm_bench::{
+    capture_trace, enable_metrics, header, metrics_arg, series_labels, series_row, trace_arg,
+    write_metrics,
+};
 use pvm_faults::{FaultPlan, FaultTolerant};
 
 /// Rows preloaded into the probed relation `b`.
@@ -208,10 +211,19 @@ fn main() {
     series_labels("L", &["seq ms", "thr ms", "speedup", "rows/s"]);
     let mut json_rows = Vec::new();
     let mut counted_rows = Vec::new();
+    let metrics = metrics_arg();
     for l in [1usize, 2, 4, 8] {
         let (seq_cluster, mut seq_view) = setup(l);
         let mut seq = seq_cluster;
+        if metrics.is_some() {
+            enable_metrics(&seq);
+        }
         let (seq_ms, seq_out) = run(&mut seq, &mut seq_view);
+        // Overwritten each sweep point: the file left behind is the
+        // largest configuration's registry.
+        if let Some(path) = &metrics {
+            write_metrics(path, &seq);
+        }
 
         let (thr_cluster, mut thr_view) = setup(l);
         let mut thr = ThreadedCluster::from_cluster(thr_cluster);

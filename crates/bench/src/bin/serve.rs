@@ -30,7 +30,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pvm::prelude::*;
-use pvm_bench::{header, series_labels, series_row};
+use pvm_bench::{enable_metrics, header, metrics_arg, series_labels, series_row, write_metrics};
 
 /// Reader think time between point reads.
 const THINK: Duration = Duration::from_millis(2);
@@ -162,9 +162,17 @@ struct Pass {
     p99_us: u64,
 }
 
-fn run_pass(cfg: &Config, oracle: &Arc<Vec<EpochOracle>>, readers: usize) -> Pass {
+fn run_pass(
+    cfg: &Config,
+    oracle: &Arc<Vec<EpochOracle>>,
+    readers: usize,
+    metrics: Option<&std::path::Path>,
+) -> Pass {
     let empty_hash = hash_rows(&[]);
     let (mut cluster, mut view) = setup(cfg);
+    if metrics.is_some() {
+        enable_metrics(&cluster);
+    }
     let reader = view.enable_serving(&cluster).unwrap();
     let stop = Arc::new(AtomicBool::new(false));
     let handles: Vec<_> = (0..readers)
@@ -218,6 +226,10 @@ fn run_pass(cfg: &Config, oracle: &Arc<Vec<EpochOracle>>, readers: usize) -> Pas
         oracle[cfg.batches as usize].full,
         "final snapshot diverged from the oracle"
     );
+    // Overwritten per pass: the file left behind is the serving pass.
+    if let Some(path) = metrics {
+        write_metrics(path, &cluster);
+    }
     Pass {
         readers,
         rows_per_s: (cfg.batches * cfg.delta as u64) as f64 / secs,
@@ -252,8 +264,9 @@ fn main() {
 
     series_labels("R", &["rows/s", "reads", "p50 us", "p99 us"]);
     let mut passes = Vec::new();
+    let metrics = metrics_arg();
     for readers in [0, READERS] {
-        let pass = run_pass(&cfg, &oracle, readers);
+        let pass = run_pass(&cfg, &oracle, readers, metrics.as_deref());
         series_row(
             pass.readers,
             &[

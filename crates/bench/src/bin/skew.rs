@@ -30,7 +30,10 @@
 //! metric summaries.
 
 use pvm::prelude::*;
-use pvm_bench::{capture_trace, header, series_labels, series_row, trace_arg};
+use pvm_bench::{
+    capture_trace, enable_metrics, header, metrics_arg, series_labels, series_row, trace_arg,
+    write_metrics,
+};
 
 const L: usize = 8;
 const DELTA: u64 = 256;
@@ -45,7 +48,11 @@ struct Measured {
 }
 
 fn measure(method: MaintenanceMethod, skew: Option<SkewConfig>, rows: &[Row]) -> Measured {
+    let metrics = metrics_arg();
     let mut cluster = Cluster::new(ClusterConfig::new(L).with_buffer_pages(2048));
+    if metrics.is_some() {
+        enable_metrics(&cluster);
+    }
     let a = SyntheticRelation::new("a", 100, 100);
     a.install(&mut cluster).unwrap();
     // The probed relation: hash-partitioned on id, locally clustered on
@@ -99,6 +106,11 @@ fn measure(method: MaintenanceMethod, skew: Option<SkewConfig>, rows: &[Row]) ->
     let avg = per_node.iter().sum::<f64>() / per_node.len() as f64;
     if std::env::var("BENCH_SKEW_DEBUG").is_ok() {
         eprintln!("{method:?} skew={}: {per_node:?}", skew.is_some());
+    }
+    // Overwritten per run: the file left behind is the last
+    // (method, distribution) combination's registry.
+    if let Some(path) = &metrics {
+        write_metrics(path, &cluster);
     }
     Measured {
         io: busiest,

@@ -22,6 +22,36 @@ pub fn trace_arg() -> Option<PathBuf> {
     None
 }
 
+/// Parse a `--metrics <path>` flag from the process arguments: where to
+/// write a Prometheus text-exposition dump of the metrics registry when
+/// the run finishes.
+pub fn metrics_arg() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--metrics" {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Flip a cluster's obs gate on (with a [`pvm::obs::NoopSink`]) so gated
+/// metrics — work shares, inbox depths, per-view batch counters — are
+/// collected for a later [`write_metrics`] dump. Counted costs are
+/// unaffected (see `tests/obs_parity.rs`).
+pub fn enable_metrics(cluster: &pvm::prelude::Cluster) {
+    use std::sync::Arc;
+    cluster.set_trace_sink(Arc::new(pvm::obs::NoopSink));
+}
+
+/// Write `cluster`'s metrics registry to `path` in Prometheus text
+/// exposition format (0.0.4).
+pub fn write_metrics(path: &Path, cluster: &pvm::prelude::Cluster) {
+    let text = pvm::obs::prometheus(cluster.obs_handle().metrics());
+    std::fs::write(path, text).expect("write metrics exposition");
+    println!("metrics: prometheus exposition -> {}", path.display());
+}
+
 /// Run one compact maintenance round with all three methods (as three
 /// views over the same base tables) under a recording trace sink, then
 /// write a Chrome `trace_event` file to `path`, a JSONL event dump next

@@ -83,6 +83,7 @@ pub use planner::{plan_chain, PlanStep};
 pub use pvm_model::Recommendation;
 pub use skew::{RebalanceReport, SkewConfig, SkewState};
 pub use view::{
-    maintain_all, maintain_all_pooled, MaintainedView, MaintenanceMethod, MaintenanceOutcome,
+    maintain_all, maintain_all_pooled, BatchCostRecord, MaintainedView, MaintenanceMethod,
+    MaintenanceOutcome,
 };
 pub use viewdef::{JoinViewDef, ViewColumn, ViewEdge};

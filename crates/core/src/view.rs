@@ -128,6 +128,79 @@ impl MaintenanceOutcome {
     }
 }
 
+/// Observed counted costs of one committed maintenance batch, split into
+/// the paper's phases — the raw material behind `EXPLAIN ANALYZE
+/// MAINTENANCE` and the `pvm_metrics` view counters. Recorded only while
+/// the cluster's obs gate is on; pure bookkeeping over already-computed
+/// [`MeterReport`]s, so it can never move a counted cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchCostRecord {
+    /// Epoch the batch committed at.
+    pub epoch: u64,
+    /// Delta rows pushed through maintenance in this batch.
+    pub delta_rows: u64,
+    /// I/O charged to updating the base relation (0 when the base update
+    /// was shared across views via [`maintain_all`]).
+    pub base_io: f64,
+    /// I/O charged to auxiliary-structure updates (ARs / GI).
+    pub aux_io: f64,
+    /// I/O charged to computing the view delta (probe + join + ship).
+    pub compute_io: f64,
+    /// I/O charged to installing the view delta.
+    pub view_io: f64,
+    /// Busiest-node response time over aux + compute (I/Os).
+    pub response_io: f64,
+    /// Interconnect messages charged across all phases.
+    pub sends: u64,
+    /// Interconnect payload bytes across all phases.
+    pub bytes: u64,
+    /// Nodes that did abstract work in the compute phase.
+    pub compute_nodes: u64,
+}
+
+impl BatchCostRecord {
+    fn empty() -> Self {
+        BatchCostRecord {
+            epoch: 0,
+            delta_rows: 0,
+            base_io: 0.0,
+            aux_io: 0.0,
+            compute_io: 0.0,
+            view_io: 0.0,
+            response_io: 0.0,
+            sends: 0,
+            bytes: 0,
+            compute_nodes: 0,
+        }
+    }
+
+    /// The paper's TW for this batch: aux + compute I/O.
+    pub fn tw_io(&self) -> f64 {
+        self.aux_io + self.compute_io
+    }
+
+    fn add_outcome(&mut self, rows: u64, outcome: &MaintenanceOutcome) {
+        self.delta_rows += rows;
+        self.aux_io += outcome.aux.total_workload_io();
+        self.compute_io += outcome.compute.total_workload_io();
+        self.view_io += outcome.view.total_workload_io();
+        self.response_io += outcome.response_io();
+        self.sends += outcome.sends();
+        self.bytes += outcome.aux.net.bytes_sent
+            + outcome.compute.net.bytes_sent
+            + outcome.view.net.bytes_sent;
+        self.compute_nodes = self
+            .compute_nodes
+            .max(outcome.compute_active_nodes() as u64);
+    }
+
+    fn add_base(&mut self, base: &MeterReport) {
+        self.base_io += base.total_workload_io();
+        self.sends += base.sends();
+        self.bytes += base.net.bytes_sent;
+    }
+}
+
 /// One maintenance batch in flight: everything between a batch-begin and
 /// its commit (one [`MaintainedView::apply`] call, or one
 /// [`maintain_all`] round across its delete+insert phases). The epoch at
@@ -138,6 +211,8 @@ struct BatchState {
     /// Captured physical view-row changes, in application order —
     /// populated only while serving.
     captured: Vec<(Row, bool)>,
+    /// Observed-cost accumulator — `Some` only while the obs gate is on.
+    cost: Option<BatchCostRecord>,
 }
 
 /// A materialized join view maintained under a fixed method.
@@ -169,6 +244,14 @@ pub struct MaintainedView {
     /// or rewound on abort ([`MaintainedView::discard_pending`]). Readers
     /// never observe an epoch that could still roll back.
     pending_publish: Vec<(u64, Vec<(Row, bool)>)>,
+    /// Cached cluster observability handle — captured on first apply so
+    /// batch commit (which has no backend in scope) can gate and publish
+    /// per-view metrics.
+    obs: Option<std::sync::Arc<pvm_obs::Obs>>,
+    /// Ring of the last [`MaintainedView::COST_HISTORY`] committed-batch
+    /// cost records, newest last. Populated only while the obs gate is
+    /// on; read by `EXPLAIN ANALYZE MAINTENANCE`.
+    recent_costs: std::collections::VecDeque<BatchCostRecord>,
 }
 
 impl MaintainedView {
@@ -233,6 +316,8 @@ impl MaintainedView {
             open_batch: None,
             serve: None,
             pending_publish: Vec::new(),
+            obs: None,
+            recent_costs: std::collections::VecDeque::new(),
         };
         view.populate(cluster)?;
         Ok(view)
@@ -334,6 +419,8 @@ impl MaintainedView {
             open_batch: None,
             serve: None,
             pending_publish: Vec::new(),
+            obs: None,
+            recent_costs: std::collections::VecDeque::new(),
         };
         view.populate(cluster)?;
         Ok(view)
@@ -431,6 +518,8 @@ impl MaintainedView {
             open_batch: None,
             serve: None,
             pending_publish: Vec::new(),
+            obs: None,
+            recent_costs: std::collections::VecDeque::new(),
         };
         view.populate(cluster)?;
         Ok(view)
@@ -571,6 +660,7 @@ impl MaintainedView {
         self.open_batch = Some(BatchState {
             entry_epoch: self.epoch,
             captured: Vec::new(),
+            cost: None,
         });
     }
 
@@ -591,6 +681,27 @@ impl MaintainedView {
             self.handle.def.name, self.batch
         );
         self.epoch += 1;
+        if let Some(mut cost) = batch.cost {
+            cost.epoch = self.epoch;
+            if self.recent_costs.len() == Self::COST_HISTORY {
+                self.recent_costs.pop_front();
+            }
+            self.recent_costs.push_back(cost);
+            // Publish the aggregate per-view counters under stable names.
+            // `self.obs` is set by the apply path that built `cost`;
+            // counters never feed back into counted costs.
+            if let Some(obs) = self.obs.as_ref().filter(|o| o.enabled()) {
+                let m = obs.metrics();
+                let name = &self.handle.def.name;
+                m.counter(&pvm_obs::metric::view_batches(name)).inc();
+                m.counter(&pvm_obs::metric::view_delta_rows(name))
+                    .add(cost.delta_rows);
+                m.counter(&pvm_obs::metric::view_tw_milli_io(name))
+                    .add((cost.tw_io() * 1000.0).round() as u64);
+                m.counter(&pvm_obs::metric::view_sends(name))
+                    .add(cost.sends);
+            }
+        }
         if self.serve.is_some() {
             if defer {
                 self.pending_publish.push((self.epoch, batch.captured));
@@ -640,6 +751,9 @@ impl MaintainedView {
     ) -> Result<MaintenanceOutcome> {
         let (base, placed) = update_base(backend, self.handle.base[rel], rows, insert)?;
         let mut outcome = self.apply_prepared(backend, rel, &placed, insert)?;
+        if let Some(cost) = self.open_batch.as_mut().and_then(|b| b.cost.as_mut()) {
+            cost.add_base(&base);
+        }
         outcome.base = base;
         Ok(outcome)
     }
@@ -700,6 +814,17 @@ impl MaintainedView {
                 if let Some(open) = &mut self.open_batch {
                     open.captured.append(&mut outcome.view_changes);
                 }
+                let obs = self
+                    .obs
+                    .get_or_insert_with(|| backend.engine().obs_handle())
+                    .clone();
+                if obs.enabled() {
+                    if let Some(open) = &mut self.open_batch {
+                        open.cost
+                            .get_or_insert_with(BatchCostRecord::empty)
+                            .add_outcome(placed.len() as u64, &outcome);
+                    }
+                }
                 if standalone {
                     self.commit_batch(backend.in_txn());
                 }
@@ -718,6 +843,17 @@ impl MaintainedView {
     /// batch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// How many committed-batch cost records are retained for
+    /// introspection ([`MaintainedView::recent_costs`]).
+    pub const COST_HISTORY: usize = 32;
+
+    /// Observed per-batch cost records, oldest first — at most
+    /// [`MaintainedView::COST_HISTORY`] of them, recorded only while the
+    /// cluster's obs gate was on at apply time.
+    pub fn recent_costs(&self) -> impl ExactSizeIterator<Item = &BatchCostRecord> {
+        self.recent_costs.iter()
     }
 
     /// Start serving MVCC snapshots of this view: seed a `pvm-serve`

@@ -203,13 +203,21 @@ pub fn note_inbox(obs: &Obs, step: u64, node: NodeId, inbox: &[Envelope<NetPaylo
     obs.metrics()
         .histogram(metric::INBOX_DEPTH)
         .observe(inbox.len() as u64);
-    if obs.enabled() && !inbox.is_empty() {
-        let bytes: u64 = inbox.iter().map(|e| e.payload.byte_size() as u64).sum();
-        obs.emit(
-            TraceEvent::instant(Phase::Recv, node.index() as u32, step)
-                .with_count(inbox.len() as u64)
-                .with_bytes(bytes),
-        );
+    if obs.enabled() {
+        // Per-node depth rides the gate (one histogram per node is too
+        // much bookkeeping to keep always-on); the cluster-wide
+        // histogram above stays unconditional as a health signal.
+        obs.metrics()
+            .histogram(&metric::inbox_depth(node.index() as u32))
+            .observe(inbox.len() as u64);
+        if !inbox.is_empty() {
+            let bytes: u64 = inbox.iter().map(|e| e.payload.byte_size() as u64).sum();
+            obs.emit(
+                TraceEvent::instant(Phase::Recv, node.index() as u32, step)
+                    .with_count(inbox.len() as u64)
+                    .with_bytes(bytes),
+            );
+        }
     }
 }
 

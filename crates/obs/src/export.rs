@@ -1,11 +1,14 @@
-//! Exporters: JSONL event dumps and Chrome `trace_event` timelines.
+//! Exporters: JSONL event dumps, Chrome `trace_event` timelines, and
+//! Prometheus text exposition for the metrics registry.
 //!
-//! Both are hand-rolled (the workspace is offline and carries no JSON
-//! dependency) and keyed on *logical step time* — one backend epoch is
-//! rendered as 1000 µs — so the emitted files are byte-identical across
-//! the sequential and threaded backends for the same workload.
+//! All are hand-rolled (the workspace is offline and carries no JSON
+//! dependency). The trace exporters are keyed on *logical step time* —
+//! one backend epoch is rendered as 1000 µs — so the emitted files are
+//! byte-identical across the sequential and threaded backends for the
+//! same workload.
 
 use crate::event::{TraceEvent, COORD};
+use crate::metrics::MetricsRegistry;
 use std::fmt::Write;
 
 /// Escape `s` as a JSON string literal (with surrounding quotes).
@@ -179,6 +182,48 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     out
 }
 
+/// Sanitize a registry metric name into a legal Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, with every other character mapped to `_`
+/// and a `pvm_` namespace prefix prepended.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("pvm_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render the whole registry in the Prometheus text exposition format
+/// (version 0.0.4): counters as `counter` families, histograms as
+/// `histogram` families with cumulative `_bucket{le="..."}` series plus
+/// the conventional `_sum` and `_count`.
+pub fn prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counters() {
+        let name = prometheus_name(&name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, snap) in registry.histograms() {
+        let name = prometheus_name(&name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, bound) in snap.bounds.iter().enumerate() {
+            cumulative += snap.counts[i];
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.total);
+        let _ = writeln!(out, "{name}_sum {}", snap.sum);
+        let _ = writeln!(out, "{name}_count {}", snap.total);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +275,35 @@ mod tests {
         // Instant on node 0's track (tid 1).
         assert!(out.contains("\"ph\":\"i\",\"name\":\"send\""));
         assert!(out.contains("\"tid\":1,\"ts\":1000,\"s\":\"t\""));
+    }
+
+    #[test]
+    fn prometheus_exposition_follows_conventions() {
+        let reg = MetricsRegistry::default();
+        reg.counter("work.node0").add(7);
+        let h = reg.histogram_with("serve.read_us", &[10, 100]);
+        for v in [5, 50, 500] {
+            h.observe(v);
+        }
+        let out = prometheus(&reg);
+        assert!(out.contains("# TYPE pvm_work_node0 counter\npvm_work_node0 7\n"));
+        assert!(out.contains("# TYPE pvm_serve_read_us histogram\n"));
+        // Buckets are cumulative and end with +Inf == count.
+        assert!(out.contains("pvm_serve_read_us_bucket{le=\"10\"} 1\n"));
+        assert!(out.contains("pvm_serve_read_us_bucket{le=\"100\"} 2\n"));
+        assert!(out.contains("pvm_serve_read_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("pvm_serve_read_us_sum 555\n"));
+        assert!(out.contains("pvm_serve_read_us_count 3\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("two fields");
+            assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn prometheus_of_empty_registry_is_empty() {
+        assert_eq!(prometheus(&MetricsRegistry::default()), "");
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //!
 //! Structured observability for the parallel view-maintenance engine:
 //! trace events, a pluggable [`TraceSink`], a metrics registry, and
-//! exporters (JSONL and Chrome `trace_event` timelines).
+//! exporters (JSONL and Chrome `trace_event` timelines, plus Prometheus
+//! text exposition for the registry). The bounded [`RingSink`] keeps a
+//! fixed-size window of recent events for live lineage introspection.
 //!
 //! The paper's evaluation is built on *aggregate* cost counters — total
 //! workload and busiest-node response time. This crate adds the
@@ -36,9 +38,9 @@ mod metrics;
 mod sink;
 
 pub use event::{MethodTag, Phase, TraceEvent, COORD};
-pub use export::{chrome_trace, jsonl};
+pub use export::{chrome_trace, jsonl, prometheus};
 pub use metrics::{metric, Counter, Histogram, HistogramSnapshot, MetricsRegistry};
-pub use sink::{MemorySink, NoopSink, TraceSink};
+pub use sink::{MemorySink, NoopSink, RingSink, TraceSink};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};

@@ -70,10 +70,43 @@ pub mod metric {
     pub const SERVE_CHAIN_LEN: &str = "serve.chain_len";
     /// Histogram (µs): wall time of one snapshot read (scan or lookup).
     pub const SERVE_READ_US: &str = "serve.read_us";
+    /// Histogram prefix: per-node inbox depth at step start (gated on
+    /// `Obs::enabled`, unlike the always-on cluster-wide
+    /// [`INBOX_DEPTH`]). Full name is `backend.inbox_depth.node<N>`.
+    pub const INBOX_DEPTH_NODE_PREFIX: &str = "backend.inbox_depth.node";
+    /// Counter-name prefix for per-view observed-cost summaries published
+    /// at batch commit: `view.<name>.<field>`.
+    pub const VIEW_PREFIX: &str = "view.";
 
     /// Per-node work-share counter name.
     pub fn work_share(node: u32) -> String {
         format!("{WORK_SHARE_PREFIX}{node}")
+    }
+
+    /// Per-node inbox-depth histogram name.
+    pub fn inbox_depth(node: u32) -> String {
+        format!("{INBOX_DEPTH_NODE_PREFIX}{node}")
+    }
+
+    /// Counter: maintenance batches committed for `view`.
+    pub fn view_batches(view: &str) -> String {
+        format!("{VIEW_PREFIX}{view}.batches")
+    }
+
+    /// Counter: delta rows pushed through maintenance for `view`.
+    pub fn view_delta_rows(view: &str) -> String {
+        format!("{VIEW_PREFIX}{view}.delta_rows")
+    }
+
+    /// Counter: cumulative TW (aux + compute I/O) for `view`, in
+    /// milli-I/Os (counters are integers; 1 I/O = 1000 units).
+    pub fn view_tw_milli_io(view: &str) -> String {
+        format!("{VIEW_PREFIX}{view}.tw_milli_io")
+    }
+
+    /// Counter: interconnect sends charged to maintenance of `view`.
+    pub fn view_sends(view: &str) -> String {
+        format!("{VIEW_PREFIX}{view}.sends")
     }
 
     /// The fan-out histogram for a maintenance method.
@@ -185,12 +218,65 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Exact mean over every observation, **including** the open-ended
+    /// overflow bucket: computed from the tracked `sum`/`total`, never
+    /// estimated from bucket midpoints, so overflow observations are
+    /// weighted at their true values rather than being attributed to the
+    /// last bound.
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
             0.0
         } else {
             self.sum as f64 / self.total as f64
         }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the bucket where the cumulative count crosses `q · total`.
+    ///
+    /// Bucket `i` covers `(bounds[i-1], bounds[i]]` (the first bucket
+    /// starts at 0). The open-ended overflow bucket is handled
+    /// explicitly: it interpolates between the last bound and the
+    /// observed `max`, instead of pretending everything above the last
+    /// bound sits *at* the last bound. Returns 0.0 for an empty
+    /// histogram; `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.total as f64;
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let upto = seen + count;
+            if (upto as f64) >= rank {
+                let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // Overflow bucket: open-ended above the last bound,
+                    // so the observed max is the only honest upper edge.
+                    self.max.max(lo)
+                };
+                let frac = (rank - seen as f64) / count as f64;
+                return lo as f64 + (hi - lo) as f64 * frac.clamp(0.0, 1.0);
+            }
+            seen = upto;
+        }
+        self.max as f64
+    }
+
+    /// Convenience: the median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: the 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -327,6 +413,46 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_bounds() {
         Histogram::new(&[4, 1]);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::new(&[10, 20, 40]);
+        // 4 observations in (10, 20], 4 in (20, 40].
+        for v in [12, 14, 16, 18, 25, 30, 35, 40] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // Median: rank 4.0 lands exactly at the end of bucket (10, 20].
+        assert!((snap.p50() - 20.0).abs() < 1e-9, "{}", snap.p50());
+        // 25th percentile: rank 2.0 → halfway through (10, 20].
+        assert!((snap.quantile(0.25) - 15.0).abs() < 1e-9);
+        // q=0 floors at the lower edge of the first non-empty bucket.
+        assert_eq!(snap.quantile(0.0), 10.0);
+        assert_eq!(snap.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_uses_observed_max() {
+        let h = Histogram::new(&[10]);
+        for v in [5, 100, 200, 1000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // p99 lands in the overflow bucket: must exceed the last bound
+        // and interpolate toward the observed max, never stick at 10.
+        let p99 = snap.p99();
+        assert!(p99 > 10.0, "overflow attributed to last bound: {p99}");
+        assert!(p99 <= 1000.0, "beyond observed max: {p99}");
+        assert_eq!(snap.quantile(1.0), 1000.0);
+        // Mean stays exact (sum/total), untouched by bucket edges.
+        assert!((snap.mean() - 326.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let snap = Histogram::new(&[1, 2]).snapshot();
+        assert_eq!(snap.quantile(0.5), 0.0);
     }
 
     #[test]

@@ -1,7 +1,9 @@
-//! Trace sinks: the recording trait, the default no-op, and the
-//! per-node-buffered in-memory recorder.
+//! Trace sinks: the recording trait, the default no-op, the
+//! per-node-buffered in-memory recorder, and the bounded ring buffer
+//! that backs live lineage introspection.
 
 use crate::event::{TraceEvent, COORD};
+use std::collections::VecDeque;
 use std::sync::Mutex;
 
 /// Destination for trace events. Implementations must be callable from
@@ -80,6 +82,85 @@ impl TraceSink for MemorySink {
     }
 }
 
+/// Bounded ring-buffer sink: keeps the most recent `capacity` events and
+/// silently evicts the oldest. Memory use is fixed no matter how long
+/// the system runs, so this sink can stay installed for the lifetime of
+/// an interactive session — it is what backs the `pvm_lineage` system
+/// table. One shared buffer (unlike [`MemorySink`]'s per-node buffers):
+/// eviction order must be global, and introspection sessions trade a
+/// little contention for a bounded, chronologically-merged window.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+#[derive(Debug)]
+struct RingState {
+    events: VecDeque<TraceEvent>,
+    /// Monotonic arrival stamp; survives eviction so `recent()` output
+    /// keeps a stable global order.
+    next_seq: u64,
+}
+
+impl RingSink {
+    /// A sink retaining at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            state: Mutex::new(RingState {
+                events: VecDeque::new(),
+                next_seq: 0,
+            }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        let state = self.state.lock().expect("ring sink poisoned");
+        state.events.iter().cloned().collect()
+    }
+
+    /// Events recorded over the sink's lifetime (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.state.lock().expect("ring sink poisoned").next_seq
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("ring sink poisoned").events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every retained event (the lifetime count keeps counting).
+    pub fn clear(&self) {
+        self.state
+            .lock()
+            .expect("ring sink poisoned")
+            .events
+            .clear();
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, mut ev: TraceEvent) {
+        let mut state = self.state.lock().expect("ring sink poisoned");
+        ev.seq = state.next_seq;
+        state.next_seq += 1;
+        if state.events.len() == self.capacity {
+            state.events.pop_front();
+        }
+        state.events.push_back(ev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +180,34 @@ mod tests {
             .collect();
         // step 2: node 0 then coordinator; step 4: node 0 then node 1.
         assert_eq!(got, vec![(2, 0), (2, COORD), (4, 0), (4, 1)]);
+    }
+
+    #[test]
+    fn ring_sink_bounds_retention_and_keeps_newest() {
+        let sink = RingSink::new(3);
+        assert!(sink.is_empty());
+        for i in 0..5 {
+            sink.record(TraceEvent::instant(Phase::Route, 0, i));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.recorded(), 5);
+        let steps: Vec<u64> = sink.recent().iter().map(|e| e.step_begin).collect();
+        assert_eq!(steps, vec![2, 3, 4], "oldest evicted, order preserved");
+        let seqs: Vec<u64> = sink.recent().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "seq survives eviction");
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.recorded(), 5);
+    }
+
+    #[test]
+    fn ring_sink_capacity_floors_at_one() {
+        let sink = RingSink::new(0);
+        assert_eq!(sink.capacity(), 1);
+        sink.record(TraceEvent::instant(Phase::Probe, 1, 7));
+        sink.record(TraceEvent::instant(Phase::Ship, 1, 8));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.recent()[0].step_begin, 8);
     }
 
     #[test]

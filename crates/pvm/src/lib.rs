@@ -69,9 +69,9 @@ pub use pvm_workload as workload;
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use pvm_core::{
-        advise, maintain_all, maintain_all_pooled, Advice, ArPool, BatchPolicy, Delta, JoinPolicy,
-        JoinViewDef, MaintainedView, MaintenanceMethod, MaintenanceOutcome, RebalanceReport,
-        SkewConfig, SkewState, ViewColumn, ViewEdge,
+        advise, maintain_all, maintain_all_pooled, Advice, ArPool, BatchCostRecord, BatchPolicy,
+        Delta, JoinPolicy, JoinViewDef, MaintainedView, MaintenanceMethod, MaintenanceOutcome,
+        RebalanceReport, SkewConfig, SkewState, ViewColumn, ViewEdge,
     };
     pub use pvm_engine::{
         Backend, Cluster, ClusterConfig, PartitionSpec, SpaceSaving, SpreadMode, TableDef, TableId,
@@ -80,7 +80,9 @@ pub mod prelude {
         choose_method, predict_chain, response_time, savings_vs_naive, tw, ChainStep, ChooserInput,
         MethodVariant, ModelParams, Recommendation,
     };
-    pub use pvm_obs::{chrome_trace, jsonl, MemorySink, MetricsRegistry, Obs, TraceSink};
+    pub use pvm_obs::{
+        chrome_trace, jsonl, prometheus, MemorySink, MetricsRegistry, Obs, RingSink, TraceSink,
+    };
     pub use pvm_runtime::{RuntimeConfig, ThreadedCluster};
     pub use pvm_serve::{ServePublisher, ServeReader, Snapshot};
     pub use pvm_sql::{Session, SqlOutput};

@@ -337,6 +337,29 @@ impl ServeReader {
     pub fn view_name(&self) -> String {
         self.core.name.clone()
     }
+
+    /// Live snapshots currently pinning an epoch of this view (the sum
+    /// over all pinned epochs — one snapshot holds exactly one pin).
+    pub fn pinned_snapshots(&self) -> usize {
+        self.core
+            .pins
+            .lock()
+            .expect("serve pins lock")
+            .values()
+            .sum()
+    }
+
+    /// The oldest epoch a live snapshot still pins, if any — the GC
+    /// floor candidate.
+    pub fn oldest_pinned_epoch(&self) -> Option<u64> {
+        self.core
+            .pins
+            .lock()
+            .expect("serve pins lock")
+            .keys()
+            .next()
+            .copied()
+    }
 }
 
 /// A consistent read of one view at one epoch. Holding it pins the
@@ -471,12 +494,18 @@ mod tests {
         p.publish(3, vec![(row![3], true)]);
         // Floor = 1: link 1 folds, links 2 and 3 stay.
         assert_eq!(r.chain_len(), 2);
+        assert_eq!(r.pinned_snapshots(), 2);
+        assert_eq!(r.oldest_pinned_epoch(), Some(1));
         assert_eq!(s1.rows(), vec![row![1]]);
         assert_eq!(s2.rows(), vec![row![1], row![2]]);
         drop(s1);
         assert_eq!(r.chain_len(), 1, "floor moved to s2's epoch");
+        assert_eq!(r.pinned_snapshots(), 1);
+        assert_eq!(r.oldest_pinned_epoch(), Some(2));
         drop(s2);
         assert_eq!(r.chain_len(), 0);
+        assert_eq!(r.pinned_snapshots(), 0);
+        assert_eq!(r.oldest_pinned_epoch(), None);
     }
 
     #[test]

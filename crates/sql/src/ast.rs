@@ -131,11 +131,15 @@ pub enum Statement {
     CheckView {
         name: String,
     },
-    /// `EXPLAIN MAINTENANCE OF view ON relation`: show the §2.2 join
-    /// chain the planner would use for a delta on `relation`.
+    /// `EXPLAIN [ANALYZE] MAINTENANCE OF view ON relation`: show the
+    /// §2.2 join chain the planner would use for a delta on `relation`.
+    /// With `analyze`, annotate the static plan with observed per-phase
+    /// counted costs from the view's recent maintenance batches and the
+    /// advisor's predicted cost, side by side.
     ExplainMaintenance {
         view: String,
         relation: String,
+        analyze: bool,
     },
     /// `DROP VIEW name`: destroy the view and its maintenance structures.
     DropView {

@@ -1,0 +1,220 @@
+//! Virtual system catalog: the `pvm_*` tables that expose the live
+//! metrics registry, per-view maintenance state, serve-tier health, and
+//! recent delta lineage as ordinary SQL relations.
+//!
+//! Nothing here is stored — every SELECT synthesizes rows from the
+//! cluster's [`pvm_obs::Obs`] handle, the session's views, and the
+//! session's bounded lineage [`RingSink`]. Reading a system table charges
+//! no counted cost (the registry and sink are observers, never ledgers),
+//! so introspection can run mid-workload without perturbing the paper's
+//! numbers.
+
+use pvm_core::MaintainedView;
+use pvm_engine::Cluster;
+use pvm_obs::{metric, RingSink, COORD};
+use pvm_types::{Column, Result, Row, Schema, SchemaRef, Value};
+
+/// Names of the virtual system tables, in catalog order.
+pub const SYSTEM_TABLES: &[&str] = &[
+    "pvm_metrics",
+    "pvm_histograms",
+    "pvm_views",
+    "pvm_nodes",
+    "pvm_lineage",
+];
+
+/// Is `name` a virtual system table?
+pub fn is_system_table(name: &str) -> bool {
+    SYSTEM_TABLES.contains(&name)
+}
+
+/// Synthesize the named system table. Returns `None` when `name` is not
+/// a system table; rows come back unsorted and unfiltered — the caller
+/// applies WHERE and ordering like for any other relation.
+pub fn system_table(
+    name: &str,
+    cluster: &Cluster,
+    views: &[MaintainedView],
+    lineage: &RingSink,
+) -> Result<Option<(SchemaRef, Vec<Row>)>> {
+    Ok(match name {
+        "pvm_metrics" => Some(metrics_table(cluster)),
+        "pvm_histograms" => Some(histograms_table(cluster)),
+        "pvm_views" => Some(views_table(cluster, views)?),
+        "pvm_nodes" => Some(nodes_table(cluster)),
+        "pvm_lineage" => Some(lineage_table(lineage)),
+        _ => None,
+    })
+}
+
+/// `pvm_metrics(name, value)`: every registry counter.
+fn metrics_table(cluster: &Cluster) -> (SchemaRef, Vec<Row>) {
+    let schema = Schema::new(vec![Column::str("name"), Column::int("value")]).into_ref();
+    let obs = cluster.obs_handle();
+    let rows = obs
+        .metrics()
+        .counters()
+        .into_iter()
+        .map(|(name, value)| Row::new(vec![Value::from(name), Value::Int(value as i64)]))
+        .collect();
+    (schema, rows)
+}
+
+/// `pvm_histograms(name, count, mean, p50, p99, max)`: every registry
+/// histogram, with quantiles estimated by in-bucket interpolation
+/// ([`pvm_obs::HistogramSnapshot::quantile`]).
+fn histograms_table(cluster: &Cluster) -> (SchemaRef, Vec<Row>) {
+    let schema = Schema::new(vec![
+        Column::str("name"),
+        Column::int("count"),
+        Column::float("mean"),
+        Column::float("p50"),
+        Column::float("p99"),
+        Column::int("max"),
+    ])
+    .into_ref();
+    let obs = cluster.obs_handle();
+    let rows = obs
+        .metrics()
+        .histograms()
+        .into_iter()
+        .map(|(name, snap)| {
+            Row::new(vec![
+                Value::from(name),
+                Value::Int(snap.total as i64),
+                Value::Float(snap.mean()),
+                Value::Float(snap.p50()),
+                Value::Float(snap.p99()),
+                Value::Int(snap.max as i64),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}
+
+/// `pvm_views(view, method, epoch, rows, chain_len, pinned_snapshots)`:
+/// one row per maintained view, with serve-tier chain length and live
+/// snapshot pins (0 when the view is not serving).
+fn views_table(cluster: &Cluster, views: &[MaintainedView]) -> Result<(SchemaRef, Vec<Row>)> {
+    let schema = Schema::new(vec![
+        Column::str("view"),
+        Column::str("method"),
+        Column::int("epoch"),
+        Column::int("rows"),
+        Column::int("chain_len"),
+        Column::int("pinned_snapshots"),
+    ])
+    .into_ref();
+    let mut rows = Vec::with_capacity(views.len());
+    for v in views {
+        let (chain_len, pins) = match v.serve_reader() {
+            Some(r) => (r.chain_len() as i64, r.pinned_snapshots() as i64),
+            None => (0, 0),
+        };
+        rows.push(Row::new(vec![
+            Value::from(v.def().name.clone()),
+            Value::from(v.method().label()),
+            Value::Int(v.epoch() as i64),
+            Value::Int(cluster.row_count(v.view_table())? as i64),
+            Value::Int(chain_len),
+            Value::Int(pins),
+        ]));
+    }
+    Ok((schema, rows))
+}
+
+/// `pvm_nodes(node, searches, fetches, inserts, sends, work_units,
+/// work_share, inbox_p50, inbox_max, faults_masked)`: one row per node.
+/// `work_units`/`inbox_*` are obs-gated metrics (0 until a sink is
+/// installed); `faults_masked` is the cluster-wide count of
+/// link-layer-masked faults (retries + suppressed duplicates) — fault
+/// masking happens in the interconnect, not at one node.
+fn nodes_table(cluster: &Cluster) -> (SchemaRef, Vec<Row>) {
+    let schema = Schema::new(vec![
+        Column::int("node"),
+        Column::int("searches"),
+        Column::int("fetches"),
+        Column::int("inserts"),
+        Column::int("sends"),
+        Column::int("work_units"),
+        Column::float("work_share"),
+        Column::float("inbox_p50"),
+        Column::int("inbox_max"),
+        Column::int("faults_masked"),
+    ])
+    .into_ref();
+    let obs = cluster.obs_handle();
+    let m = obs.metrics();
+    let snapshots = cluster.node_snapshots();
+    let work: Vec<u64> = (0..snapshots.len())
+        .map(|n| m.counter(&metric::work_share(n as u32)).get())
+        .collect();
+    let total_work: u64 = work.iter().sum();
+    let masked =
+        m.counter(metric::FAULT_RETRIES).get() + m.counter(metric::FAULT_DUP_SUPPRESSED).get();
+    let rows = snapshots
+        .iter()
+        .enumerate()
+        .map(|(n, snap)| {
+            let inbox = m.histogram(&metric::inbox_depth(n as u32)).snapshot();
+            let share = if total_work == 0 {
+                0.0
+            } else {
+                work[n] as f64 / total_work as f64
+            };
+            Row::new(vec![
+                Value::Int(n as i64),
+                Value::Int(snap.searches as i64),
+                Value::Int(snap.fetches as i64),
+                Value::Int(snap.inserts as i64),
+                Value::Int(snap.sends as i64),
+                Value::Int(work[n] as i64),
+                Value::Float(share),
+                Value::Float(inbox.p50()),
+                Value::Int(inbox.max as i64),
+                Value::Int(masked as i64),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}
+
+/// `pvm_lineage(seq, step_begin, step_end, node, phase, method, key,
+/// peer, rows, bytes)`: the session's bounded window of recent trace
+/// events, oldest first — the per-delta `route → probe → ship →
+/// view-apply` lifecycle as recorded by the [`RingSink`]. `node`/`peer`
+/// are -1 for coordinator-scope / absent.
+fn lineage_table(lineage: &RingSink) -> (SchemaRef, Vec<Row>) {
+    let schema = Schema::new(vec![
+        Column::int("seq"),
+        Column::int("step_begin"),
+        Column::int("step_end"),
+        Column::int("node"),
+        Column::str("phase"),
+        Column::str("method"),
+        Column::str("key"),
+        Column::int("peer"),
+        Column::int("rows"),
+        Column::int("bytes"),
+    ])
+    .into_ref();
+    let rows = lineage
+        .recent()
+        .into_iter()
+        .map(|ev| {
+            Row::new(vec![
+                Value::Int(ev.seq as i64),
+                Value::Int(ev.step_begin as i64),
+                Value::Int(ev.step_end as i64),
+                Value::Int(if ev.node == COORD { -1 } else { ev.node as i64 }),
+                Value::from(ev.phase.label()),
+                Value::from(ev.method.map(|m| m.label()).unwrap_or("")),
+                Value::from(ev.key.unwrap_or_default()),
+                Value::Int(ev.peer.map(|p| p as i64).unwrap_or(-1)),
+                Value::Int(ev.count as i64),
+                Value::Int(ev.bytes as i64),
+            ])
+        })
+        .collect();
+    (schema, rows)
+}

@@ -30,6 +30,7 @@
 //! joins are not this crate's job).
 
 pub mod ast;
+pub mod introspect;
 pub mod lexer;
 pub mod parser;
 pub mod session;

@@ -165,12 +165,17 @@ impl Parser {
             return Ok(Statement::Rollback);
         }
         if self.eat_kw("EXPLAIN") {
+            let analyze = self.eat_kw("ANALYZE");
             self.expect_kw("MAINTENANCE")?;
             self.expect_kw("OF")?;
             let view = self.ident()?;
             self.expect_kw("ON")?;
             let relation = self.ident()?;
-            return Ok(Statement::ExplainMaintenance { view, relation });
+            return Ok(Statement::ExplainMaintenance {
+                view,
+                relation,
+                analyze,
+            });
         }
         Err(err(format!(
             "unrecognized statement start: {:?}",
@@ -663,10 +668,21 @@ mod tests {
             s,
             vec![Statement::ExplainMaintenance {
                 view: "jv2".into(),
-                relation: "customer".into()
+                relation: "customer".into(),
+                analyze: false,
+            }]
+        );
+        let s = parse("explain analyze maintenance of jv2 on customer").unwrap();
+        assert_eq!(
+            s,
+            vec![Statement::ExplainMaintenance {
+                view: "jv2".into(),
+                relation: "customer".into(),
+                analyze: true,
             }]
         );
         assert!(parse("EXPLAIN jv2").is_err());
+        assert!(parse("EXPLAIN ANALYZE jv2").is_err());
     }
 
     #[test]

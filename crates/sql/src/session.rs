@@ -2,16 +2,19 @@
 //! keeps every view maintained across SQL DML.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pvm_core::{
     maintain_all, Delta, JoinViewDef, MaintainedView, MaintenanceMethod, ViewColumn, ViewEdge,
 };
 use pvm_engine::{Cluster, ClusterConfig, PartitionSpec, TableDef};
+use pvm_obs::RingSink;
 use pvm_serve::Snapshot;
 use pvm_storage::Organization;
 use pvm_types::{CostSnapshot, Predicate, PvmError, Result, Row, Schema, SchemaRef, Value};
 
 use crate::ast::{ColumnRef, MethodSpec, Statement, ViewSelect, WhereTerm};
+use crate::introspect;
 use crate::parser::parse;
 
 /// Result of one statement.
@@ -59,15 +62,34 @@ pub struct Session {
     /// keyed by view name. While `Some`, every view SELECT reads its
     /// pinned epoch — maintenance keeps streaming underneath.
     snapshots: Option<HashMap<String, Snapshot>>,
+    /// Bounded window of recent trace events, installed as the cluster's
+    /// sink at session creation — backs the `pvm_lineage` system table
+    /// and keeps the obs gate on so gated metrics register. Counted
+    /// costs are unaffected (see `tests/obs_parity.rs`).
+    lineage: Arc<RingSink>,
 }
+
+/// Trace events the session retains for `pvm_lineage`. A few thousand is
+/// enough to cover several maintenance batches while staying a bounded,
+/// cache-friendly allocation.
+const LINEAGE_CAPACITY: usize = 4096;
 
 impl Session {
     pub fn new(config: ClusterConfig) -> Self {
+        let cluster = Cluster::new(config);
+        let lineage = Arc::new(RingSink::new(LINEAGE_CAPACITY));
+        cluster.set_trace_sink(lineage.clone());
         Session {
-            cluster: Cluster::new(config),
+            cluster,
             views: Vec::new(),
             snapshots: None,
+            lineage,
         }
+    }
+
+    /// The session's bounded lineage recorder (the `pvm_lineage` source).
+    pub fn lineage(&self) -> &RingSink {
+        &self.lineage
     }
 
     pub fn cluster(&self) -> &Cluster {
@@ -134,9 +156,11 @@ impl Session {
             Statement::ShowViews => self.show_views(),
             Statement::ShowCost => self.show_cost(),
             Statement::CheckView { name } => self.check_view(name),
-            Statement::ExplainMaintenance { view, relation } => {
-                self.explain_maintenance(view, relation)
-            }
+            Statement::ExplainMaintenance {
+                view,
+                relation,
+                analyze,
+            } => self.explain_maintenance(view, relation, analyze),
             Statement::DropView { name } => self.drop_view(name),
             Statement::DropTable { name } => self.drop_table(name),
             Statement::Begin => {
@@ -207,7 +231,12 @@ impl Session {
         Ok(SqlOutput::message(format!("dropped table {name}")))
     }
 
-    fn explain_maintenance(&self, view_name: String, relation: String) -> Result<SqlOutput> {
+    fn explain_maintenance(
+        &self,
+        view_name: String,
+        relation: String,
+        analyze: bool,
+    ) -> Result<SqlOutput> {
         let view = self
             .views
             .iter()
@@ -215,6 +244,9 @@ impl Session {
             .ok_or_else(|| PvmError::NotFound(format!("view '{view_name}'")))?;
         let rel = view.def().relation_index(&relation)?;
         let plan = view.plan_for(&self.cluster, rel)?;
+        if analyze {
+            return self.explain_analyze(view, &relation, &plan);
+        }
         let schema = Schema::new(vec![
             pvm_types::Column::int("step"),
             pvm_types::Column::str("probe_relation"),
@@ -225,32 +257,12 @@ impl Session {
         .into_ref();
         let mut rows = Vec::new();
         for (i, step) in plan.iter().enumerate() {
-            let probe_rel = &view.def().relations[step.rel];
-            let probe_schema = {
-                let id = self.cluster.table_id(probe_rel)?;
-                self.cluster.def(id)?.schema.clone()
-            };
-            let anchor_rel = &view.def().relations[step.anchor.rel];
-            let anchor_schema = {
-                let id = self.cluster.table_id(anchor_rel)?;
-                self.cluster.def(id)?.schema.clone()
-            };
+            let (probe_rel, on_column, anchor) = self.plan_step_names(view, step)?;
             rows.push(Row::new(vec![
                 Value::Int(i as i64 + 1),
-                Value::from(probe_rel.clone()),
-                Value::from(
-                    probe_schema
-                        .column(step.probe_col)
-                        .map(|c| c.name.clone())
-                        .unwrap_or_else(|| step.probe_col.to_string()),
-                ),
-                Value::from(format!(
-                    "{anchor_rel}.{}",
-                    anchor_schema
-                        .column(step.anchor.col)
-                        .map(|c| c.name.clone())
-                        .unwrap_or_else(|| step.anchor.col.to_string())
-                )),
+                Value::from(probe_rel),
+                Value::from(on_column),
+                Value::from(anchor),
                 Value::Int(step.filters.len() as i64),
             ]));
         }
@@ -259,6 +271,170 @@ impl Session {
                 "maintenance chain for Δ{relation} → {view_name} ({} method)",
                 view.method().label()
             ),
+            rows: Some((schema, rows)),
+        })
+    }
+
+    /// Human-readable names for one §2.2 plan step.
+    fn plan_step_names(
+        &self,
+        view: &MaintainedView,
+        step: &pvm_core::planner::PlanStep,
+    ) -> Result<(String, String, String)> {
+        let probe_rel = view.def().relations[step.rel].clone();
+        let probe_schema = {
+            let id = self.cluster.table_id(&probe_rel)?;
+            self.cluster.def(id)?.schema.clone()
+        };
+        let anchor_rel = &view.def().relations[step.anchor.rel];
+        let anchor_schema = {
+            let id = self.cluster.table_id(anchor_rel)?;
+            self.cluster.def(id)?.schema.clone()
+        };
+        let on_column = probe_schema
+            .column(step.probe_col)
+            .map(|c| c.name.clone())
+            .unwrap_or_else(|| step.probe_col.to_string());
+        let anchor = format!(
+            "{anchor_rel}.{}",
+            anchor_schema
+                .column(step.anchor.col)
+                .map(|c| c.name.clone())
+                .unwrap_or_else(|| step.anchor.col.to_string())
+        );
+        Ok((probe_rel, on_column, anchor))
+    }
+
+    /// `EXPLAIN ANALYZE MAINTENANCE`: the static §2.2 chain annotated
+    /// with observed per-phase counted costs averaged over the view's
+    /// last [`MaintainedView::COST_HISTORY`] committed batches, plus the
+    /// §3.1 advisor's predicted busiest-node response time for the same
+    /// batch size — prediction and reality in one result set.
+    fn explain_analyze(
+        &self,
+        view: &MaintainedView,
+        relation: &str,
+        plan: &[pvm_core::planner::PlanStep],
+    ) -> Result<SqlOutput> {
+        let schema = Schema::new(vec![
+            pvm_types::Column::str("section"),
+            pvm_types::Column::int("step"),
+            pvm_types::Column::str("phase"),
+            pvm_types::Column::str("detail"),
+            pvm_types::Column::int("batches"),
+            pvm_types::Column::float("mean_io"),
+            pvm_types::Column::float("mean_rows"),
+            pvm_types::Column::float("mean_sends"),
+        ])
+        .into_ref();
+        let mut rows = Vec::new();
+        for (i, step) in plan.iter().enumerate() {
+            let (probe_rel, on_column, anchor) = self.plan_step_names(view, step)?;
+            rows.push(Row::new(vec![
+                Value::from("plan"),
+                Value::Int(i as i64 + 1),
+                Value::from("probe"),
+                Value::from(format!(
+                    "{probe_rel}.{on_column} anchored at {anchor} ({} extra filters)",
+                    step.filters.len()
+                )),
+                Value::Int(0),
+                Value::Float(0.0),
+                Value::Float(0.0),
+                Value::Float(0.0),
+            ]));
+        }
+
+        let costs: Vec<&pvm_core::BatchCostRecord> = view.recent_costs().collect();
+        let n = costs.len();
+        let mean = |f: &dyn Fn(&pvm_core::BatchCostRecord) -> f64| -> f64 {
+            if n == 0 {
+                0.0
+            } else {
+                costs.iter().map(|c| f(c)).sum::<f64>() / n as f64
+            }
+        };
+        let mean_rows = mean(&|c| c.delta_rows as f64);
+        let observed_response = mean(&|c| c.response_io);
+        let phases: [(&str, f64, &str); 6] = [
+            ("base", mean(&|c| c.base_io), "update the base relation"),
+            ("aux", mean(&|c| c.aux_io), "update ARs / global indices"),
+            (
+                "compute",
+                mean(&|c| c.compute_io),
+                "route + probe + join + ship the view delta",
+            ),
+            ("view", mean(&|c| c.view_io), "install the view delta"),
+            (
+                "tw",
+                mean(&|c| c.tw_io()),
+                "total extra workload (aux + compute)",
+            ),
+            (
+                "response",
+                observed_response,
+                "busiest-node response time over aux + compute",
+            ),
+        ];
+        for (i, (phase, io, detail)) in phases.iter().enumerate() {
+            rows.push(Row::new(vec![
+                Value::from("observed"),
+                Value::Int(i as i64 + 1),
+                Value::from(*phase),
+                Value::from(*detail),
+                Value::Int(n as i64),
+                Value::Float(*io),
+                Value::Float(mean_rows),
+                Value::Float(mean(&|c| c.sends as f64)),
+            ]));
+        }
+
+        // Predicted cost from the §3.1 analytical model, priced for the
+        // observed mean batch size so the comparison is like-for-like.
+        let a_tuples = (mean_rows.round() as u64).max(1);
+        let advice = pvm_core::advise(&self.cluster, view.def(), a_tuples, u64::MAX)?;
+        let wanted = match view.method() {
+            MaintenanceMethod::Naive => pvm_core::Recommendation::Naive,
+            MaintenanceMethod::AuxiliaryRelation => pvm_core::Recommendation::AuxiliaryRelation,
+            MaintenanceMethod::GlobalIndex => pvm_core::Recommendation::GlobalIndex,
+        };
+        let predicted = advice
+            .options
+            .iter()
+            .find(|o| o.method == wanted)
+            .map(|o| o.response_io)
+            .unwrap_or(0.0);
+        rows.push(Row::new(vec![
+            Value::from("predicted"),
+            Value::Int(1),
+            Value::from("response"),
+            Value::from(format!(
+                "advisor model for the {} method at {a_tuples} tuples/batch",
+                view.method().label()
+            )),
+            Value::Int(n as i64),
+            Value::Float(predicted),
+            Value::Float(a_tuples as f64),
+            Value::Float(0.0),
+        ]));
+
+        let message = if n == 0 {
+            format!(
+                "Δ{relation} → {} ({} method): no observed batches yet — run some DML first \
+                 (predicted response {predicted:.1} I/Os)",
+                view.def().name,
+                view.method().label()
+            )
+        } else {
+            format!(
+                "Δ{relation} → {} ({} method): predicted response {predicted:.1} I/Os vs \
+                 observed {observed_response:.1} I/Os over the last {n} batches",
+                view.def().name,
+                view.method().label()
+            )
+        };
+        Ok(SqlOutput {
+            message,
             rows: Some((schema, rows)),
         })
     }
@@ -516,6 +692,11 @@ impl Session {
                 "'{table}' is a materialized view; update its base relations instead"
             )));
         }
+        if introspect::is_system_table(table) {
+            return Err(PvmError::InvalidOperation(format!(
+                "'{table}' is a read-only system table"
+            )));
+        }
         Ok(())
     }
 
@@ -608,6 +789,21 @@ impl Session {
     }
 
     fn select(&mut self, table: String, predicate: Vec<WhereTerm>) -> Result<SqlOutput> {
+        // Virtual system tables resolve first (they shadow any stored
+        // table of the same name): rows are synthesized from the live
+        // registry / views / lineage ring, then filtered like any scan.
+        if let Some((schema, unfiltered)) =
+            introspect::system_table(&table, &self.cluster, &self.views, &self.lineage)?
+        {
+            let pred = Self::build_predicate(&schema, &predicate)?;
+            let mut rows: Vec<Row> = unfiltered.into_iter().filter(|r| pred.eval(r)).collect();
+            rows.sort();
+            let n = rows.len();
+            return Ok(SqlOutput {
+                message: format!("{n} rows ({table} system table)"),
+                rows: Some((schema, rows)),
+            });
+        }
         // View reads outside a transaction go through the snapshot tier;
         // inside one they must see the session's own uncommitted changes,
         // so they scan the stored table directly.
@@ -1225,5 +1421,199 @@ mod tests {
         .unwrap();
         // Both view columns are named `…id`: the bare ref is ambiguous.
         assert!(s.execute("SELECT * FROM v WHERE id = 1").is_err());
+    }
+
+    #[test]
+    fn system_tables_expose_live_state() {
+        let mut s = session();
+        s.execute_one(
+            "CREATE VIEW jv USING AUXILIARY RELATION AS \
+             SELECT x.id, x.c, y.id FROM a x, b y WHERE x.c = y.d \
+             PARTITION ON x.id",
+        )
+        .unwrap();
+        s.execute_one("INSERT INTO a VALUES (100, 1, 'n')").unwrap();
+
+        // pvm_metrics: counters exist and the per-view batch counter ticked.
+        let out = s.execute_one("SELECT * FROM pvm_metrics").unwrap();
+        let (schema, rows) = out.rows.unwrap();
+        assert_eq!(schema.columns().len(), 2);
+        assert!(!rows.is_empty(), "registry should have counters");
+        let batches = rows
+            .iter()
+            .find(|r| r.values()[0] == Value::from("view.jv.batches"))
+            .expect("view.jv.batches counter");
+        assert_eq!(batches.values()[1], Value::Int(1));
+
+        // pvm_views: one well-formed row for jv at epoch 1.
+        let out = s.execute_one("SELECT * FROM pvm_views").unwrap();
+        let (schema, rows) = out.rows.unwrap();
+        assert_eq!(
+            schema
+                .columns()
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            [
+                "view",
+                "method",
+                "epoch",
+                "rows",
+                "chain_len",
+                "pinned_snapshots"
+            ]
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values()[0], Value::from("jv"));
+        assert_eq!(rows[0].values()[1], Value::from("auxiliary relation"));
+        assert_eq!(rows[0].values()[2], Value::Int(1));
+        assert!(matches!(rows[0].values()[3], Value::Int(n) if n > 0));
+
+        // pvm_nodes: one row per node, shares sum to ~1 once work exists.
+        let out = s.execute_one("SELECT * FROM pvm_nodes").unwrap();
+        let rows = out.rows.unwrap().1;
+        assert_eq!(rows.len(), 4);
+        let share: f64 = rows
+            .iter()
+            .map(|r| match r.values()[6] {
+                Value::Float(f) => f,
+                _ => panic!("work_share must be FLOAT"),
+            })
+            .sum();
+        assert!((share - 1.0).abs() < 1e-9, "shares sum to {share}");
+
+        // pvm_histograms: every row carries p50 <= p99 <= max.
+        let out = s.execute_one("SELECT * FROM pvm_histograms").unwrap();
+        let rows = out.rows.unwrap().1;
+        assert!(!rows.is_empty());
+        for r in &rows {
+            let (p50, p99) = match (&r.values()[3], &r.values()[4]) {
+                (Value::Float(a), Value::Float(b)) => (*a, *b),
+                other => panic!("quantiles must be FLOAT, got {other:?}"),
+            };
+            let max = match r.values()[5] {
+                Value::Int(m) => m as f64,
+                _ => panic!("max must be INT"),
+            };
+            assert!(p50 <= p99 && p99 <= max, "p50 {p50} p99 {p99} max {max}");
+        }
+
+        // pvm_lineage: the insert's maintenance left a span trail with
+        // the route → probe → ship → view-apply lifecycle phases.
+        let out = s.execute_one("SELECT * FROM pvm_lineage").unwrap();
+        let rows = out.rows.unwrap().1;
+        assert!(!rows.is_empty(), "lineage ring should have events");
+        let phases: std::collections::HashSet<String> = rows
+            .iter()
+            .map(|r| match &r.values()[4] {
+                Value::Str(p) => p.clone(),
+                other => panic!("phase must be STR, got {other:?}"),
+            })
+            .collect();
+        for want in ["route", "probe", "view-apply"] {
+            assert!(phases.contains(want), "missing phase {want}: {phases:?}");
+        }
+
+        // WHERE works on system tables like on any relation.
+        let out = s
+            .execute_one("SELECT * FROM pvm_nodes WHERE node = 2")
+            .unwrap();
+        let rows = out.rows.unwrap().1;
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values()[0], Value::Int(2));
+    }
+
+    #[test]
+    fn system_tables_are_read_only() {
+        let mut s = session();
+        for stmt in [
+            "INSERT INTO pvm_metrics VALUES ('x', 1)",
+            "DELETE FROM pvm_views",
+            "UPDATE pvm_nodes SET node = 0",
+            "DROP TABLE pvm_lineage",
+        ] {
+            assert!(s.execute(stmt).is_err(), "{stmt} must be rejected");
+        }
+    }
+
+    #[test]
+    fn explain_analyze_compares_prediction_to_observation() {
+        let mut s = session();
+        s.execute_one(
+            "CREATE VIEW jv USING GLOBAL INDEX AS \
+             SELECT x.id, x.c, y.id FROM a x, b y WHERE x.c = y.d \
+             PARTITION ON x.id",
+        )
+        .unwrap();
+
+        // Before any DML: plan + predicted rows, zero observed batches.
+        let out = s
+            .execute_one("EXPLAIN ANALYZE MAINTENANCE OF jv ON a")
+            .unwrap();
+        assert!(
+            out.message.contains("no observed batches yet"),
+            "{}",
+            out.message
+        );
+        let (schema, rows) = out.rows.unwrap();
+        assert_eq!(
+            schema
+                .columns()
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            [
+                "section",
+                "step",
+                "phase",
+                "detail",
+                "batches",
+                "mean_io",
+                "mean_rows",
+                "mean_sends"
+            ]
+        );
+        assert!(rows.iter().any(|r| r.values()[0] == Value::from("plan")));
+        assert!(rows
+            .iter()
+            .any(|r| r.values()[0] == Value::from("predicted")));
+
+        // After some batches the observed section carries live means.
+        for i in 0..3 {
+            s.execute_one(&format!("INSERT INTO a VALUES ({}, 1, 'n')", 200 + i))
+                .unwrap();
+        }
+        let out = s
+            .execute_one("EXPLAIN ANALYZE MAINTENANCE OF jv ON a")
+            .unwrap();
+        assert!(
+            out.message.contains("predicted response")
+                && out.message.contains("over the last 3 batches"),
+            "{}",
+            out.message
+        );
+        let rows = out.rows.unwrap().1;
+        let observed: Vec<_> = rows
+            .iter()
+            .filter(|r| r.values()[0] == Value::from("observed"))
+            .collect();
+        assert_eq!(observed.len(), 6, "base/aux/compute/view/tw/response");
+        for r in &observed {
+            assert_eq!(r.values()[4], Value::Int(3), "3 batches observed");
+            assert_eq!(r.values()[6], Value::Float(1.0), "1 delta row per batch");
+        }
+        let response = observed
+            .iter()
+            .find(|r| r.values()[2] == Value::from("response"))
+            .unwrap();
+        assert!(
+            matches!(response.values()[5], Value::Float(io) if io > 0.0),
+            "observed response I/O must be positive"
+        );
+
+        // Plain EXPLAIN (no ANALYZE) keeps the static chain shape.
+        let out = s.execute_one("EXPLAIN MAINTENANCE OF jv ON a").unwrap();
+        let (schema, _) = out.rows.unwrap();
+        assert_eq!(schema.columns()[0].name, "step");
     }
 }

@@ -279,6 +279,208 @@ fn serve_metrics_respect_the_obs_gate() {
     }
 }
 
+/// The introspection path holds the same line as tracing and serving:
+/// installing the bounded [`RingSink`] the SQL session uses for
+/// `pvm_lineage` — which also turns on per-batch cost recording for
+/// `EXPLAIN ANALYZE MAINTENANCE` — must not move a single counted cost,
+/// for every method on both backends.
+#[test]
+fn introspection_sink_never_changes_counted_costs() {
+    let ops: Vec<Op> = (0..10)
+        .map(|i| {
+            if i % 4 == 3 {
+                Op::DeleteExisting {
+                    rel: i % 2,
+                    pick: i,
+                }
+            } else {
+                Op::Insert {
+                    rel: i % 2,
+                    jval: i as i64 % 3,
+                }
+            }
+        })
+        .collect();
+    for method in methods() {
+        for threaded in [false, true] {
+            let mut results: Vec<(Vec<Row>, MeterReport)> = Vec::new();
+            for introspect in [false, true] {
+                let (mut cluster, mut view) = setup(3, method);
+                let sink = Arc::new(RingSink::new(1024));
+                if introspect {
+                    cluster.set_trace_sink(sink.clone());
+                }
+                let run = if threaded {
+                    let mut thr = ThreadedCluster::from_cluster(cluster);
+                    run_stream(&mut thr, &mut view, &ops)
+                } else {
+                    run_stream(&mut cluster, &mut view, &ops)
+                };
+                if introspect {
+                    assert!(!sink.is_empty(), "{method:?}: ring captured nothing");
+                    assert_eq!(
+                        view.recent_costs().len(),
+                        ops.len(),
+                        "{method:?}: one cost record per committed batch"
+                    );
+                    assert!(
+                        view.recent_costs().all(|c| c.response_io > 0.0),
+                        "{method:?}: observed response I/O must be positive"
+                    );
+                } else {
+                    assert_eq!(
+                        view.recent_costs().len(),
+                        0,
+                        "{method:?}: cost history must stay empty with obs off"
+                    );
+                }
+                results.push(run);
+            }
+            let (c0, r0) = &results[0];
+            let (c1, r1) = &results[1];
+            assert_eq!(c0, c1, "{method:?} threaded={threaded}: contents");
+            assert_eq!(
+                &r0.per_node, &r1.per_node,
+                "{method:?} threaded={threaded}: per-node costs diverged under introspection"
+            );
+            assert_eq!(
+                r0.net, r1.net,
+                "{method:?} threaded={threaded}: interconnect costs diverged under introspection"
+            );
+        }
+    }
+}
+
+/// A deliberately small JSON well-formedness checker for the exporter
+/// shape tests — validates structure, not semantics.
+fn json_ok(s: &str) -> bool {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    fn value(b: &[u8], i: usize) -> Option<usize> {
+        let i = skip_ws(b, i);
+        match b.get(i)? {
+            b'{' => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Some(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return None;
+                    }
+                    i = value(b, i + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i)? {
+                        b',' => i += 1,
+                        b'}' => return Some(i + 1),
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Some(i + 1);
+                }
+                loop {
+                    i = value(b, i)?;
+                    i = skip_ws(b, i);
+                    match b.get(i)? {
+                        b',' => i += 1,
+                        b']' => return Some(i + 1),
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => string(b, i),
+            b't' => s_lit(b, i, b"true"),
+            b'f' => s_lit(b, i, b"false"),
+            b'n' => s_lit(b, i, b"null"),
+            _ => number(b, i),
+        }
+    }
+    fn string(b: &[u8], i: usize) -> Option<usize> {
+        if b.get(i) != Some(&b'"') {
+            return None;
+        }
+        let mut i = i + 1;
+        while let Some(&c) = b.get(i) {
+            match c {
+                b'"' => return Some(i + 1),
+                b'\\' => i += 2,
+                _ => i += 1,
+            }
+        }
+        None
+    }
+    fn s_lit(b: &[u8], i: usize, lit: &[u8]) -> Option<usize> {
+        b.get(i..i + lit.len())
+            .filter(|s| *s == lit)
+            .map(|_| i + lit.len())
+    }
+    fn number(b: &[u8], mut i: usize) -> Option<usize> {
+        let start = i;
+        if b.get(i) == Some(&b'-') {
+            i += 1;
+        }
+        while let Some(&c) = b.get(i) {
+            if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        (i > start).then_some(i)
+    }
+    let b = s.as_bytes();
+    match value(b, 0) {
+        Some(end) => skip_ws(b, end) == b.len(),
+        None => false,
+    }
+}
+
+/// Exporter shape: one AR batch's trace exports as well-formed JSONL and
+/// a well-formed Chrome `trace_event` document, both carrying the
+/// route → probe → ship → view-apply span names.
+#[test]
+fn exporters_emit_wellformed_lifecycle_spans() {
+    let (mut cluster, mut view) = setup(3, MaintenanceMethod::AuxiliaryRelation);
+    let sink = Arc::new(MemorySink::new(3));
+    cluster.set_trace_sink(sink.clone());
+    let ops = vec![Op::Insert { rel: 0, jval: 1 }];
+    run_stream(&mut cluster, &mut view, &ops);
+    let events = sink.events();
+    assert!(!events.is_empty());
+
+    let jsonl = pvm::obs::jsonl(&events);
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), events.len(), "one JSONL line per event");
+    for line in &lines {
+        assert!(json_ok(line), "malformed JSONL line: {line}");
+    }
+
+    let chrome = pvm::obs::chrome_trace(&events);
+    assert!(json_ok(&chrome), "malformed Chrome trace document");
+
+    for span in ["route", "probe", "ship", "view-apply"] {
+        let needle = format!("\"{span}\"");
+        assert!(
+            lines.iter().any(|l| l.contains(&needle)),
+            "JSONL missing {span} span"
+        );
+        assert!(
+            chrome.contains(&format!("\"name\":\"{span}\"")),
+            "Chrome trace missing {span} span"
+        );
+    }
+}
+
 /// Sequential and threaded backends agree on the *node-local* event
 /// stream (everything except barrier/batch internals): same phases at
 /// the same logical steps on the same nodes.
