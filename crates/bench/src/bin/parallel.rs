@@ -208,7 +208,10 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     println!("host cores: {cores}");
-    series_labels("L", &["seq ms", "thr ms", "speedup", "rows/s"]);
+    series_labels(
+        "L",
+        &["seq ms", "barrier ms", "pipe ms", "pipe speedup", "rows/s"],
+    );
     let mut json_rows = Vec::new();
     let mut counted_rows = Vec::new();
     let metrics = metrics_arg();
@@ -225,6 +228,12 @@ fn main() {
             write_metrics(path, &seq);
         }
 
+        // The threaded runtime both ways: lockstep per-step barriers vs.
+        // watermark-driven pipelining (the default).
+        let (bar_cluster, mut bar_view) = setup(l);
+        let mut bar = ThreadedCluster::with_runtime(bar_cluster, RuntimeConfig::barriered());
+        let (bar_ms, bar_out) = run(&mut bar, &mut bar_view);
+
         let (thr_cluster, mut thr_view) = setup(l);
         let mut thr = ThreadedCluster::from_cluster(thr_cluster);
         let (thr_ms, thr_out) = run(&mut thr, &mut thr_view);
@@ -234,13 +243,19 @@ fn main() {
             seq_rows, thr_out.view_rows,
             "backends computed different views"
         );
+        assert_eq!(
+            seq_rows, bar_out.view_rows,
+            "barriered backend computed a different view"
+        );
         let speedup = seq_ms / thr_ms;
-        // Wall-clock maintenance throughput on the threaded backend:
-        // delta rows pushed through the full pipeline per second.
+        let pipeline_speedup = bar_ms / thr_ms;
+        // Wall-clock maintenance throughput: delta rows pushed through
+        // the full pipeline per second, on each threaded configuration.
         let rows_per_sec = DELTA as f64 / (thr_ms / 1e3);
-        series_row(l, &[seq_ms, thr_ms, speedup, rows_per_sec]);
+        let rows_per_sec_barrier = DELTA as f64 / (bar_ms / 1e3);
+        series_row(l, &[seq_ms, bar_ms, thr_ms, pipeline_speedup, rows_per_sec]);
         json_rows.push(format!(
-            "{{\"l\": {l}, \"cores\": {cores}, \"seq_ms\": {seq_ms:.3}, \"thr_ms\": {thr_ms:.3}, \"speedup\": {speedup:.3}, \"rows_per_sec\": {rows_per_sec:.0}, \"view_rows\": {seq_rows}}}"
+            "{{\"l\": {l}, \"cores\": {cores}, \"seq_ms\": {seq_ms:.3}, \"thr_barrier_ms\": {bar_ms:.3}, \"thr_ms\": {thr_ms:.3}, \"speedup\": {speedup:.3}, \"pipeline_speedup\": {pipeline_speedup:.3}, \"rows_per_sec\": {rows_per_sec:.0}, \"rows_per_sec_barrier\": {rows_per_sec_barrier:.0}, \"view_rows\": {seq_rows}}}"
         ));
         // Counted costs only — no wall-clock — so the file is
         // machine-independent and deterministic run to run.
@@ -257,9 +272,19 @@ fn main() {
     }
     let out_path =
         std::env::var("BENCH_PARALLEL_OUT").unwrap_or_else(|_| "BENCH_parallel.json".to_string());
+    // `rows` holds counted costs only — machine-independent and
+    // deterministic, diffed strictly by CI. `wall` holds the wall-clock
+    // sweep (including the barriered-vs-pipelined comparison); it is
+    // machine-dependent, so CI gates it loosely (median of several runs,
+    // >25% regression) rather than diffing it.
     let json = format!(
-        "{{\n  \"bench\": \"parallel\",\n  \"rows\": [\n{}\n  ]\n}}\n",
-        counted_rows.join(",\n")
+        "{{\n  \"bench\": \"parallel\",\n  \"rows\": [\n{}\n  ],\n  \"wall\": [\n{}\n  ]\n}}\n",
+        counted_rows.join(",\n"),
+        json_rows
+            .iter()
+            .map(|r| format!("    {r}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
     );
     std::fs::write(&out_path, json).expect("write counted-cost JSON");
     println!("\ncounted costs written to {out_path}");

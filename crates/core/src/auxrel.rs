@@ -65,7 +65,10 @@ pub struct AuxState {
 /// Route each placed delta row to the home node of every AR in `ars`
 /// (one SEND per row per AR per-row; one SEND per populated destination
 /// when coalesced) and apply it there. Shared by per-view maintenance
-/// and the cross-view [`crate::minimize::ArPool`].
+/// and the cross-view [`crate::minimize::ArPool`]. All ARs ride **one**
+/// stage program (route stage + send-free apply stage per AR), so a
+/// pipelined backend overlaps one AR's apply with the next AR's routing
+/// instead of barriering twice per AR.
 pub(crate) fn update_ars<B: Backend>(
     backend: &mut B,
     ars: &[ArInfo],
@@ -74,10 +77,16 @@ pub(crate) fn update_ars<B: Backend>(
     batch: BatchPolicy,
     method: MethodTag,
 ) -> Result<()> {
+    if ars.is_empty() {
+        return Ok(());
+    }
     let l = backend.node_count();
+    let mut program = pvm_engine::StepProgram::new();
     for info in ars {
         let spec = backend.engine().def(info.table)?.partitioning.clone();
-        backend.step(|ctx| {
+        let route_info = info.clone();
+        program = program.stage(move |ctx, _| {
+            let info = &route_info;
             let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
             for (row, grid) in placed {
                 if grid.node != ctx.id() {
@@ -136,10 +145,11 @@ pub(crate) fn update_ars<B: Backend>(
                     )?;
                 }
             }
-            Ok(())
-        })?;
+            Ok(Vec::new())
+        });
         // Drain and apply at every node.
-        backend.step(|ctx| {
+        let key_pos = info.key_pos;
+        program = program.local_stage(move |ctx, _| {
             let mut applied = 0u64;
             for env in ctx.drain() {
                 let NetPayload::DeltaRows {
@@ -155,7 +165,7 @@ pub(crate) fn update_ars<B: Backend>(
                     if insert {
                         ctx.node.insert(ar_table, r)?;
                     } else {
-                        ctx.node.delete_row(ar_table, &r, &[info.key_pos])?;
+                        ctx.node.delete_row(ar_table, &r, &[key_pos])?;
                     }
                     applied += 1;
                 }
@@ -168,9 +178,10 @@ pub(crate) fn update_ars<B: Backend>(
                         .emit();
                 }
             }
-            Ok(())
-        })?;
+            Ok(Vec::new())
+        });
     }
+    backend.run_stages(vec![Vec::new(); l], &program)?;
     Ok(())
 }
 
@@ -295,28 +306,34 @@ pub(crate) fn apply<B: Backend>(
     chain::coord_phase(backend, Phase::Aux, MethodTag::AuxRel, mark);
     let aux = backend.finish_meter(&guard);
 
-    // Phase: compute the view changes by chaining through the ARs.
+    // Phase: compute the view changes by chaining through the ARs — one
+    // stage program for every hop plus the ship, pipelined when the
+    // backend supports it.
     let guard = backend.start_meter();
     let mark = chain::phase_mark(backend);
+    let l = backend.node_count();
     let fanout = crate::view_stats_fanout(backend.engine(), handle)?;
     let plan = plan_chain(&handle.def, rel, fanout)?;
-    let mut staged = chain::stage_delta(backend.node_count(), placed)?;
+    let staged = chain::stage_delta(l, placed)?;
     let mut layout = Layout::single(rel, (0..arity).collect());
+    let mut program = pvm_engine::StepProgram::new();
     for step in &plan {
         let target = probe_target(backend.engine(), handle, state, step.rel, step.probe_col)?;
-        staged = chain::probe_step(
-            backend,
-            staged,
+        let carried = target.carried.clone();
+        program = chain::push_probe_step(
+            program,
             &layout,
             step,
-            &target,
+            target,
             policy,
             batch,
             MethodTag::AuxRel,
+            l,
         )?;
-        layout.push(step.rel, target.carried.clone());
+        layout.push(step.rel, carried);
     }
-    chain::ship_to_view(backend, handle, staged, &layout, MethodTag::AuxRel)?;
+    program = chain::push_ship_stage(backend, program, handle, &layout, MethodTag::AuxRel)?;
+    backend.run_stages(staged, &program)?;
     chain::coord_phase(backend, Phase::Compute, MethodTag::AuxRel, mark);
     let compute = backend.finish_meter(&guard);
 

@@ -6,12 +6,16 @@
 //! partials, filter evaluation for cyclic join graphs, and the final
 //! routing of completed join rows to the view's home nodes.
 //!
-//! Everything here is expressed against [`Backend::step`] — one closure
-//! per node, sends delivered at the next step — so the same driver code
-//! runs on the sequential cluster and on the threaded runtime with
-//! identical counted costs.
+//! Everything here is expressed as [`StepProgram`] stages — one closure
+//! per node per stage, sends delivered at the next stage — so the same
+//! driver code runs on the sequential cluster (lockstep, one barrier per
+//! stage) and on the threaded runtime's watermark-pipelined scheduler
+//! with identical counted costs. Builders (`push_probe_step`,
+//! `push_ship_stage`) append stages to a phase's program; the driver runs
+//! the whole program with one [`Backend::run_stages`] call, letting fast
+//! nodes run ahead of slow ones across every hop of the chain.
 
-use pvm_engine::{Backend, Cluster, NetPayload, NodeState, TableId};
+use pvm_engine::{Backend, Cluster, NetPayload, NodeState, StepProgram, TableId};
 use pvm_obs::{metric, MethodTag, Phase, TraceEvent, COORD};
 use pvm_types::{NodeId, Result, Row};
 
@@ -167,32 +171,39 @@ pub enum BatchPolicy {
     PerRow,
 }
 
-/// Execute one probe step shared by the naive and auxiliary-relation
-/// methods: distribute the partials (routed or broadcast — per-row, or
-/// destination-coalesced under [`BatchPolicy::Coalesced`]), then join at
-/// the receiving node(s) — by index probes (grouped per distinct value
-/// when coalesced), or by one local scan when [`JoinPolicy::CostBased`]
-/// finds it cheaper. Filter and concatenate matches either way.
+/// Append one probe step (shared by the naive and auxiliary-relation
+/// methods) to a phase program: a **route stage** distributing the
+/// carried partials (routed or broadcast — per-row, or
+/// destination-coalesced under [`BatchPolicy::Coalesced`]), then a
+/// send-free **probe stage** joining at the receiving node(s) — by index
+/// probes (grouped per distinct value when coalesced), or by one local
+/// scan when [`JoinPolicy::CostBased`] finds it cheaper. Filter and
+/// concatenate matches either way; the joined partials become the carry
+/// for the next step's route stage.
+///
+/// `layout` and `step` are captured by value: the program snapshots each
+/// hop's prefix layout at build time, while the driver's live layout
+/// advances past it.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn probe_step<B: Backend>(
-    backend: &mut B,
-    staged: Staged,
+pub(crate) fn push_probe_step<'p>(
+    program: StepProgram<'p>,
     layout: &Layout,
     step: &crate::planner::PlanStep,
-    target: &ProbeTarget,
+    target: ProbeTarget,
     policy: JoinPolicy,
     batch: BatchPolicy,
     method: MethodTag,
-) -> Result<Staged> {
-    let l = backend.node_count();
+    l: usize,
+) -> Result<StepProgram<'p>> {
     let anchor_pos = layout.position(step.anchor)?;
-    let staged = &staged;
-    backend.step(|ctx| {
+    let route_target = target.clone();
+    let program = program.stage(move |ctx, partials| {
+        let target = &route_target;
         // Destination coalescing: per-row order within each (src, dst)
-        // pair follows staged order, so receivers drain the exact row
+        // pair follows carry order, so receivers drain the exact row
         // sequence the per-row path would deliver.
         let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
-        for partial in &staged[ctx.id().index()] {
+        for partial in &partials {
             let dsts = match &target.routing {
                 Some(spec) => {
                     // Fan-out K of this partial: one routed destination
@@ -227,14 +238,18 @@ pub(crate) fn probe_step<B: Backend>(
                             .observe(l as u64);
                     }
                     // Broadcast reaches every node, own included (the
-                    // self copy is an uncharged local delivery).
+                    // self copy is an uncharged local delivery). Under
+                    // Coalesced the rows ship below as one multicast
+                    // payload shared across edges.
                     (0..l).map(NodeId::from).collect()
                 }
             };
             match batch {
                 BatchPolicy::Coalesced => {
-                    for dst in dsts {
-                        by_dst[dst.index()].push(partial.clone());
+                    if target.routing.is_some() {
+                        for dst in dsts {
+                            by_dst[dst.index()].push(partial.clone());
+                        }
                     }
                 }
                 BatchPolicy::PerRow => {
@@ -249,28 +264,53 @@ pub(crate) fn probe_step<B: Backend>(
             }
         }
         if batch == BatchPolicy::Coalesced {
-            for (dst, rows) in by_dst.into_iter().enumerate() {
-                if rows.is_empty() {
-                    continue;
-                }
-                if ctx.tracing() {
-                    ctx.obs()
-                        .metrics()
-                        .histogram(metric::BATCH_ROWS_PER_MSG)
-                        .observe(rows.len() as u64);
-                }
-                ctx.send(
-                    NodeId::from(dst),
-                    NetPayload::DeltaRows {
+            if target.routing.is_none() {
+                // Broadcast-coalesced: every destination receives the
+                // identical full partial list, so encode it once and
+                // multicast — byte and SEND charges are exactly the
+                // per-destination clones' (self copy stays a local
+                // delivery), but the payload is allocated once.
+                if !partials.is_empty() {
+                    if ctx.tracing() {
+                        let h = ctx.obs().metrics().histogram(metric::BATCH_ROWS_PER_MSG);
+                        for _ in 0..l {
+                            h.observe(partials.len() as u64);
+                        }
+                    }
+                    ctx.broadcast(&NetPayload::DeltaRows {
                         table: target.table,
-                        rows,
-                    },
-                )?;
+                        rows: partials,
+                    })?;
+                }
+            } else {
+                for (dst, rows) in by_dst.into_iter().enumerate() {
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    if ctx.tracing() {
+                        ctx.obs()
+                            .metrics()
+                            .histogram(metric::BATCH_ROWS_PER_MSG)
+                            .observe(rows.len() as u64);
+                    }
+                    ctx.send(
+                        NodeId::from(dst),
+                        NetPayload::DeltaRows {
+                            table: target.table,
+                            rows,
+                        },
+                    )?;
+                }
             }
         }
-        Ok(())
-    })?;
-    backend.step(|ctx| {
+        Ok(Vec::new())
+    });
+    let layout = layout.clone();
+    let step = step.clone();
+    Ok(program.local_stage(move |ctx, _| {
+        let layout = &layout;
+        let step = &step;
+        let target = &target;
         let mut partials = Vec::new();
         for env in ctx.drain() {
             let NetPayload::DeltaRows { rows, .. } = env.payload else {
@@ -355,7 +395,7 @@ pub(crate) fn probe_step<B: Backend>(
                 .emit();
         }
         Ok(out)
-    })
+    }))
 }
 
 /// Record how many probes share each group-probe descent (duplicates per
@@ -455,27 +495,29 @@ fn scan_join_at_node(
     Ok(out)
 }
 
-/// Project completed partials to view rows and ship them to the view's
-/// home nodes (part of the *compute* phase — the model's `K·SEND` toward
-/// node k). One message per producing node per destination.
-pub(crate) fn ship_to_view<B: Backend>(
-    backend: &mut B,
-    handle: &ViewHandle,
-    staged: Staged,
+/// Append the final compute stage: project completed partials to view
+/// rows and ship them to the view's home nodes (the model's `K·SEND`
+/// toward node k). One message per producing node per destination. The
+/// shipped rows are this program's residual output — delivered at the
+/// next backend step, where [`apply_at_view`] drains them.
+pub(crate) fn push_ship_stage<'p, B: Backend>(
+    backend: &B,
+    program: StepProgram<'p>,
+    handle: &'p ViewHandle,
     layout: &Layout,
     method: MethodTag,
-) -> Result<()> {
+) -> Result<StepProgram<'p>> {
     let l = backend.node_count();
     let view_spec = backend
         .engine()
         .def(handle.view_table)?
         .partitioning
         .clone();
-    let staged = &staged;
-    backend.step(|ctx| {
-        let partials = &staged[ctx.id().index()];
+    let layout = layout.clone();
+    Ok(program.stage(move |ctx, partials| {
+        let layout = &layout;
         if partials.is_empty() {
-            return Ok(());
+            return Ok(Vec::new());
         }
         if ctx.tracing() {
             ctx.trace_span(Phase::Ship, method)
@@ -483,7 +525,7 @@ pub(crate) fn ship_to_view<B: Backend>(
                 .emit();
         }
         let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
-        for partial in partials {
+        for partial in &partials {
             let view_row = layout.project(partial, &handle.def.projection)?;
             // Aggregate views route by the group key's hash (stored rows
             // lead with the group columns; shipped rows are still in
@@ -514,9 +556,8 @@ pub(crate) fn ship_to_view<B: Backend>(
                 },
             )?;
         }
-        Ok(())
-    })?;
-    Ok(())
+        Ok(Vec::new())
+    }))
 }
 
 /// Drain shipped view rows at every node and apply them (the *view*

@@ -34,7 +34,7 @@ use pvm_engine::{Backend, Cluster, NetPayload, TableDef, TableId};
 use pvm_obs::{metric, MethodTag, Phase};
 use pvm_types::{Column, CostKind, GlobalRid, NodeId, PvmError, Result, Rid, Row, Schema, Value};
 
-use crate::chain::{self, BatchPolicy, ChainMode, JoinPolicy, ProbeTarget, Staged};
+use crate::chain::{self, BatchPolicy, ChainMode, JoinPolicy, ProbeTarget};
 use crate::layout::Layout;
 use crate::planner::{plan_chain, PlanStep};
 use crate::view::{MaintenanceOutcome, ViewHandle};
@@ -123,22 +123,23 @@ pub(crate) fn install(cluster: &mut Cluster, handle: &ViewHandle) -> Result<GiSt
     Ok(GiState { gis })
 }
 
-/// One two-hop GI probe step: route partials to the GI's home nodes,
-/// search the GI, fan out `(partial, rid list)` messages to the `K` nodes
-/// holding matches, fetch and join there. Each hop is one backend step,
-/// so the two hops never interleave — sends during the GI-search step are
-/// not delivered until the fetch step begins.
+/// Append one two-hop GI probe step to a phase program: route partials to
+/// the GI's home nodes, search the GI, fan out `(partial, rid list)`
+/// messages to the `K` nodes holding matches, fetch and join there. Each
+/// hop is one program stage, so the two hops never interleave at a node —
+/// a stage's sends are not consumed until the receiver's next stage — but
+/// a pipelined backend overlaps different nodes' hops freely.
 #[allow(clippy::too_many_arguments)]
-fn gi_probe_step<B: Backend>(
-    backend: &mut B,
-    staged: Staged,
+fn push_gi_probe_step<'p>(
+    backend: &impl Backend,
+    program: pvm_engine::StepProgram<'p>,
     layout: &Layout,
     step: &PlanStep,
     gi_table: TableId,
     base_table: TableId,
     base_arity: usize,
     batch: BatchPolicy,
-) -> Result<Staged> {
+) -> Result<pvm_engine::StepProgram<'p>> {
     let l = backend.node_count();
     let anchor_pos = layout.position(step.anchor)?;
     let gi_spec = backend.engine().def(gi_table)?.partitioning.clone();
@@ -149,11 +150,10 @@ fn gi_probe_step<B: Backend>(
     // the complete entry list) or fanned across the salted spread set.
     // Under [`BatchPolicy::Coalesced`] the routed rows are grouped per
     // destination and shipped as one multi-row message each.
-    let staged = &staged;
-    let gi_spec = &gi_spec;
-    backend.step(|ctx| {
+    let program = program.stage(move |ctx, partials| {
+        let gi_spec = &gi_spec;
         let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
-        for partial in &staged[ctx.id().index()] {
+        for partial in &partials {
             let v = partial.try_get(anchor_pos)?;
             let dsts = gi_spec.probe_nodes(v, l, pvm_engine::hash_row(partial))?;
             if ctx.tracing() {
@@ -202,12 +202,12 @@ fn gi_probe_step<B: Backend>(
                 )?;
             }
         }
-        Ok(())
-    })?;
+        Ok(Vec::new())
+    });
 
     // At the GI nodes: search (grouped per distinct value when
     // coalesced), group rids by holder node, fan out.
-    backend.step(|ctx| {
+    let program = program.stage(move |ctx, _| {
         let mut partials = Vec::new();
         for env in ctx.drain() {
             let NetPayload::DeltaRows { rows, .. } = env.payload else {
@@ -218,7 +218,7 @@ fn gi_probe_step<B: Backend>(
             partials.extend(rows);
         }
         if partials.is_empty() {
-            return Ok(());
+            return Ok(Vec::new());
         }
         let entry_lists: Vec<Vec<Row>> = match batch {
             BatchPolicy::Coalesced => {
@@ -304,15 +304,20 @@ fn gi_probe_step<B: Backend>(
                 .count(probed)
                 .emit();
         }
-        Ok(())
-    })?;
+        Ok(Vec::new())
+    });
 
     // Hop 2: fetch and join at the holder nodes. Accepts both the
     // per-row and the coalesced rid payloads, so receivers are oblivious
-    // to the sender's batch policy.
+    // to the sender's batch policy. Send-free: the joined partials carry
+    // forward to the next step's route stage.
     let carried: Vec<usize> = (0..base_arity).collect();
-    let carried = &carried;
-    backend.step(|ctx| {
+    let layout = layout.clone();
+    let step = step.clone();
+    Ok(program.local_stage(move |ctx, _| {
+        let carried = &carried;
+        let layout = &layout;
+        let step = &step;
         let mut out = Vec::new();
         let mut joined = 0u64;
         for env in ctx.drain() {
@@ -368,7 +373,7 @@ fn gi_probe_step<B: Backend>(
             }
         }
         Ok(out)
-    })
+    }))
 }
 
 /// Propagate an already-applied base update (`placed` rows with their
@@ -393,7 +398,10 @@ pub(crate) fn apply<B: Backend>(
     let g = backend.start_meter();
     let base = backend.finish_meter(&g);
 
-    // Phase: update the global indices of the updated relation.
+    // Phase: update the global indices of the updated relation. All GIs
+    // ride one stage program (route + send-free apply per GI) so a
+    // pipelined backend overlaps one GI's apply with the next one's
+    // routing.
     let guard = backend.start_meter();
     let mark = chain::phase_mark(backend);
     let my_gis: Vec<(usize, TableId)> = state
@@ -402,103 +410,111 @@ pub(crate) fn apply<B: Backend>(
         .filter(|((r, _), _)| *r == rel)
         .map(|(&(_, c), info)| (c, info.table))
         .collect();
-    for &(c, gi_table) in &my_gis {
-        let spec = backend.engine().def(gi_table)?.partitioning.clone();
-        backend.step(|ctx| {
-            let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
-            for (row, grid) in placed {
-                if grid.node != ctx.id() {
-                    continue;
-                }
-                let entry = gi_entry(row[c].clone(), *grid);
-                // Replicated heavy entries go to every spread-set node;
-                // everything else has a single home.
-                match batch {
-                    BatchPolicy::Coalesced => {
-                        for dst in spec.route_all(&entry, l, 0)? {
-                            by_dst[dst.index()].push(entry.clone());
-                        }
-                    }
-                    BatchPolicy::PerRow => {
-                        for dst in spec.route_all(&entry, l, 0)? {
-                            ctx.send(
-                                dst,
-                                NetPayload::DeltaRows {
-                                    table: gi_table,
-                                    rows: vec![entry.clone()],
-                                },
-                            )?;
-                        }
-                    }
-                }
-            }
-            if batch == BatchPolicy::Coalesced {
-                for (dst, rows) in by_dst.into_iter().enumerate() {
-                    if rows.is_empty() {
+    if !my_gis.is_empty() {
+        let mut program = pvm_engine::StepProgram::new();
+        for &(c, gi_table) in &my_gis {
+            let spec = backend.engine().def(gi_table)?.partitioning.clone();
+            program = program.stage(move |ctx, _| {
+                let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
+                for (row, grid) in placed {
+                    if grid.node != ctx.id() {
                         continue;
                     }
+                    let entry = gi_entry(row[c].clone(), *grid);
+                    // Replicated heavy entries go to every spread-set
+                    // node; everything else has a single home.
+                    match batch {
+                        BatchPolicy::Coalesced => {
+                            for dst in spec.route_all(&entry, l, 0)? {
+                                by_dst[dst.index()].push(entry.clone());
+                            }
+                        }
+                        BatchPolicy::PerRow => {
+                            for dst in spec.route_all(&entry, l, 0)? {
+                                ctx.send(
+                                    dst,
+                                    NetPayload::DeltaRows {
+                                        table: gi_table,
+                                        rows: vec![entry.clone()],
+                                    },
+                                )?;
+                            }
+                        }
+                    }
+                }
+                if batch == BatchPolicy::Coalesced {
+                    for (dst, rows) in by_dst.into_iter().enumerate() {
+                        if rows.is_empty() {
+                            continue;
+                        }
+                        if ctx.tracing() {
+                            ctx.obs()
+                                .metrics()
+                                .histogram(metric::BATCH_ROWS_PER_MSG)
+                                .observe(rows.len() as u64);
+                        }
+                        ctx.send(
+                            NodeId::from(dst),
+                            NetPayload::DeltaRows {
+                                table: gi_table,
+                                rows,
+                            },
+                        )?;
+                    }
+                }
+                Ok(Vec::new())
+            });
+            program = program.local_stage(move |ctx, _| {
+                let mut applied = 0u64;
+                for env in ctx.drain() {
+                    let NetPayload::DeltaRows { table: t, rows } = env.payload else {
+                        return Err(PvmError::InvalidOperation(
+                            "unexpected payload during GI update".into(),
+                        ));
+                    };
+                    for r in rows {
+                        if insert {
+                            ctx.node.insert(t, r)?;
+                        } else {
+                            ctx.node.delete_row(t, &r, &[0])?;
+                        }
+                        applied += 1;
+                    }
+                }
+                if applied > 0 {
+                    ctx.count_work(applied);
                     if ctx.tracing() {
-                        ctx.obs()
-                            .metrics()
-                            .histogram(metric::BATCH_ROWS_PER_MSG)
-                            .observe(rows.len() as u64);
+                        ctx.trace_span(Phase::IndexUpdate, MethodTag::GlobalIndex)
+                            .count(applied)
+                            .emit();
                     }
-                    ctx.send(
-                        NodeId::from(dst),
-                        NetPayload::DeltaRows {
-                            table: gi_table,
-                            rows,
-                        },
-                    )?;
                 }
-            }
-            Ok(())
-        })?;
-        backend.step(|ctx| {
-            let mut applied = 0u64;
-            for env in ctx.drain() {
-                let NetPayload::DeltaRows { table: t, rows } = env.payload else {
-                    return Err(PvmError::InvalidOperation(
-                        "unexpected payload during GI update".into(),
-                    ));
-                };
-                for r in rows {
-                    if insert {
-                        ctx.node.insert(t, r)?;
-                    } else {
-                        ctx.node.delete_row(t, &r, &[0])?;
-                    }
-                    applied += 1;
-                }
-            }
-            if applied > 0 {
-                ctx.count_work(applied);
-                if ctx.tracing() {
-                    ctx.trace_span(Phase::IndexUpdate, MethodTag::GlobalIndex)
-                        .count(applied)
-                        .emit();
-                }
-            }
-            Ok(())
-        })?;
+                Ok(Vec::new())
+            });
+        }
+        backend.run_stages(vec![Vec::new(); l], &program)?;
     }
     chain::coord_phase(backend, Phase::Aux, MethodTag::GlobalIndex, mark);
     let aux = backend.finish_meter(&guard);
 
-    // Phase: compute the view changes.
+    // Phase: compute the view changes — one stage program covering every
+    // probe hop (two stages per GI hop, plus the final ship), so a
+    // pipelined backend overlaps the hops instead of barriering between
+    // them.
     let guard = backend.start_meter();
     let mark = chain::phase_mark(backend);
     let fanout = crate::view_stats_fanout(backend.engine(), handle)?;
     let plan = plan_chain(&handle.def, rel, fanout)?;
-    let mut staged = chain::stage_delta(l, placed)?;
+    let staged = chain::stage_delta(l, placed)?;
     let mut layout = Layout::single(rel, (0..arity).collect());
+    let mut program = pvm_engine::StepProgram::new();
     for step in &plan {
         let target_table = handle.base[step.rel];
         let target_arity = backend.engine().def(target_table)?.schema.arity();
         if let Some(info) = state.gis.get(&(step.rel, step.probe_col)) {
-            staged = gi_probe_step(
+            program = push_gi_probe_step(
                 backend,
-                staged,
+                program,
                 &layout,
                 step,
                 info.table,
@@ -522,20 +538,21 @@ pub(crate) fn apply<B: Backend>(
                 key: vec![step.probe_col],
                 routing: Some(def.partitioning.clone()),
             };
-            staged = chain::probe_step(
-                backend,
-                staged,
+            program = chain::push_probe_step(
+                program,
                 &layout,
                 step,
-                &target,
+                target,
                 policy,
                 batch,
                 MethodTag::GlobalIndex,
+                l,
             )?;
         }
         layout.push(step.rel, (0..target_arity).collect());
     }
-    chain::ship_to_view(backend, handle, staged, &layout, MethodTag::GlobalIndex)?;
+    program = chain::push_ship_stage(backend, program, handle, &layout, MethodTag::GlobalIndex)?;
+    backend.run_stages(staged, &program)?;
     chain::coord_phase(backend, Phase::Compute, MethodTag::GlobalIndex, mark);
     let compute = backend.finish_meter(&guard);
 

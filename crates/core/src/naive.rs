@@ -63,13 +63,17 @@ pub(crate) fn apply<B: Backend>(
     let base = backend.finish_meter(&g);
     let aux = backend.finish_meter(&g);
 
-    // Phase: compute the view changes.
+    // Phase: compute the view changes — one stage program covering every
+    // probe hop plus the final ship, so a pipelined backend overlaps the
+    // hops instead of barriering between them.
     let guard = backend.start_meter();
     let mark = chain::phase_mark(backend);
+    let l = backend.node_count();
     let fanout = crate::view_stats_fanout(backend.engine(), handle)?;
     let plan = plan_chain(&handle.def, rel, fanout)?;
-    let mut staged = chain::stage_delta(backend.node_count(), placed)?;
+    let staged = chain::stage_delta(l, placed)?;
     let mut layout = Layout::single(rel, (0..arity).collect());
+    let mut program = pvm_engine::StepProgram::new();
     for step in &plan {
         let target_table = handle.base[step.rel];
         let def = backend.engine().def(target_table)?;
@@ -82,19 +86,21 @@ pub(crate) fn apply<B: Backend>(
                 .is_on(step.probe_col)
                 .then(|| def.partitioning.clone()),
         };
-        staged = chain::probe_step(
-            backend,
-            staged,
+        let carried = target.carried.clone();
+        program = chain::push_probe_step(
+            program,
             &layout,
             step,
-            &target,
+            target,
             policy,
             batch,
             MethodTag::Naive,
+            l,
         )?;
-        layout.push(step.rel, target.carried.clone());
+        layout.push(step.rel, carried);
     }
-    chain::ship_to_view(backend, handle, staged, &layout, MethodTag::Naive)?;
+    program = chain::push_ship_stage(backend, program, handle, &layout, MethodTag::Naive)?;
+    backend.run_stages(staged, &program)?;
     chain::coord_phase(backend, Phase::Compute, MethodTag::Naive, mark);
     let compute = backend.finish_meter(&guard);
 

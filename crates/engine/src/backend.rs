@@ -29,7 +29,7 @@
 
 use pvm_net::{Envelope, Fabric, Transport};
 use pvm_obs::{metric, MethodTag, Obs, Phase, TraceEvent};
-use pvm_types::{CostSnapshot, NodeId, Result};
+use pvm_types::{CostSnapshot, NodeId, Result, Row};
 
 use crate::cluster::Cluster;
 use crate::message::NetPayload;
@@ -41,6 +41,19 @@ use crate::node::NodeState;
 /// them into per-destination channels for the next epoch.
 pub trait StepSink {
     fn send(&mut self, src: NodeId, dst: NodeId, payload: NetPayload) -> Result<()>;
+
+    /// Send a copy of `payload` to every node `0..node_count` (a
+    /// broadcast; the sender's own copy is a local delivery). The default
+    /// clones per destination; transports that can share one allocation
+    /// across edges (the pipelined runtime's `Arc`-framed multicast)
+    /// override this — charging is per destination either way, so the
+    /// optimization never moves a counted cost.
+    fn send_all(&mut self, src: NodeId, node_count: usize, payload: &NetPayload) -> Result<()> {
+        for d in 0..node_count {
+            self.send(src, NodeId::from(d), payload.clone())?;
+        }
+        Ok(())
+    }
 }
 
 impl StepSink for Fabric<NetPayload> {
@@ -62,6 +75,10 @@ pub struct StepCtx<'a> {
     sink: &'a mut dyn StepSink,
     obs: &'a Obs,
     step: u64,
+    /// Cleared by [`StepCtx::forbid_sends`] for stages declared
+    /// send-free; a send from such a stage is a driver bug that would
+    /// silently break watermark accounting, so it fails loudly.
+    sends_allowed: bool,
 }
 
 impl<'a> StepCtx<'a> {
@@ -82,7 +99,17 @@ impl<'a> StepCtx<'a> {
             sink,
             obs,
             step,
+            sends_allowed: true,
         }
+    }
+
+    /// Declare this step send-free: any subsequent [`StepCtx::send`] or
+    /// [`StepCtx::broadcast`] fails. Stage programs call this for stages
+    /// registered via [`StepProgram::local_stage`] — the pipelined
+    /// runtime skips watermark punctuation after such stages, so a stray
+    /// send would be silently lost rather than delivered late.
+    pub fn forbid_sends(&mut self) {
+        self.sends_allowed = false;
     }
 
     pub fn id(&self) -> NodeId {
@@ -148,16 +175,25 @@ impl<'a> StepCtx<'a> {
 
     /// Send to `dst`; delivered at the start of the next step.
     pub fn send(&mut self, dst: NodeId, payload: NetPayload) -> Result<()> {
+        self.check_sends()?;
         self.sink.send(self.id, dst, payload)
     }
 
     /// Send a copy to every node (this node's own copy is an uncharged
     /// local delivery by default, as with [`Fabric::broadcast`]).
     pub fn broadcast(&mut self, payload: &NetPayload) -> Result<()> {
-        for d in 0..self.node_count {
-            self.sink.send(self.id, NodeId::from(d), payload.clone())?;
+        self.check_sends()?;
+        self.sink.send_all(self.id, self.node_count, payload)
+    }
+
+    fn check_sends(&self) -> Result<()> {
+        if self.sends_allowed {
+            Ok(())
+        } else {
+            Err(pvm_types::PvmError::InvalidOperation(
+                "send from a stage declared send-free (StepProgram::local_stage)".into(),
+            ))
         }
-        Ok(())
     }
 }
 
@@ -221,6 +257,135 @@ pub fn note_inbox(obs: &Obs, step: u64, node: NodeId, inbox: &[Envelope<NetPaylo
     }
 }
 
+/// The per-node closure of one stage in a [`StepProgram`]: receives the
+/// node's step context plus the node-local carry rows left by the
+/// previous stage, and returns the carry for the next stage.
+pub type StageFn<'p> = dyn Fn(&mut StepCtx<'_>, Vec<Row>) -> Result<Vec<Row>> + Sync + 'p;
+
+/// One stage of a [`StepProgram`]: the per-node closure plus its
+/// **send-scope declaration**. A sending stage is followed by step-close
+/// punctuation on every edge (receivers must watermark-wait before
+/// consuming its output); a local stage sends nothing, so the stage
+/// boundary after it needs no synchronization at all — nodes run
+/// straight through it.
+pub struct Stage<'p> {
+    run: Box<StageFn<'p>>,
+    sends: bool,
+}
+
+impl<'p> Stage<'p> {
+    /// Whether this stage may send (and therefore closes a watermark
+    /// boundary).
+    pub fn sends(&self) -> bool {
+        self.sends
+    }
+
+    /// Run the stage body for one node.
+    pub fn call(&self, ctx: &mut StepCtx<'_>, carry: Vec<Row>) -> Result<Vec<Row>> {
+        (self.run)(ctx, carry)
+    }
+}
+
+/// A multi-stage per-node program executed by [`Backend::run_stages`].
+///
+/// The maintenance drivers used to issue one [`Backend::step`] per phase
+/// hop, round-tripping each node's partial join rows through the
+/// coordinator between steps — which forced a cluster-wide barrier at
+/// every hop. A `StepProgram` instead declares the whole phase up front:
+/// each node threads its own carry rows (`Vec<Row>`) from stage to stage
+/// **locally**, and only genuine message hand-offs (stages registered
+/// with [`StepProgram::stage`]) create synchronization points. The
+/// default executor runs it lockstep (bit-identical to the old step
+/// chain); the threaded runtime overrides it with watermark-pipelined
+/// execution.
+#[derive(Default)]
+pub struct StepProgram<'p> {
+    stages: Vec<Stage<'p>>,
+}
+
+impl<'p> StepProgram<'p> {
+    pub fn new() -> Self {
+        StepProgram { stages: Vec::new() }
+    }
+
+    /// Append a stage that may send; its outputs are watermarked and
+    /// delivered at the start of the next stage.
+    pub fn stage(
+        mut self,
+        f: impl Fn(&mut StepCtx<'_>, Vec<Row>) -> Result<Vec<Row>> + Sync + 'p,
+    ) -> Self {
+        self.stages.push(Stage {
+            run: Box::new(f),
+            sends: true,
+        });
+        self
+    }
+
+    /// Append a send-free stage (pure node-local work on the inbox and
+    /// carry). The executor enforces the declaration via
+    /// [`StepCtx::forbid_sends`] and skips punctuation after it.
+    pub fn local_stage(
+        mut self,
+        f: impl Fn(&mut StepCtx<'_>, Vec<Row>) -> Result<Vec<Row>> + Sync + 'p,
+    ) -> Self {
+        self.stages.push(Stage {
+            run: Box::new(f),
+            sends: false,
+        });
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    pub fn stages(&self) -> &[Stage<'p>] {
+        &self.stages
+    }
+}
+
+/// Reference executor for a [`StepProgram`]: one [`Backend::step`] per
+/// stage, carries handed across stages on the coordinator. This is the
+/// lockstep oracle the pipelined runtime must reproduce cost-for-cost,
+/// and the path every barrier-style backend (sequential cluster, fault
+/// wrapper) uses.
+pub fn run_stages_lockstep<B: Backend>(
+    backend: &mut B,
+    init: Vec<Vec<Row>>,
+    program: &StepProgram<'_>,
+) -> Result<Vec<Vec<Row>>> {
+    let l = backend.node_count();
+    if init.len() != l {
+        return Err(pvm_types::PvmError::InvalidOperation(format!(
+            "stage program init carries {} nodes, cluster has {l}",
+            init.len()
+        )));
+    }
+    let mut carry = init;
+    for stage in program.stages() {
+        let slots: Vec<std::sync::Mutex<Option<Vec<Row>>>> = carry
+            .into_iter()
+            .map(|c| std::sync::Mutex::new(Some(c)))
+            .collect();
+        carry = backend.step(|ctx| {
+            if !stage.sends() {
+                ctx.forbid_sends();
+            }
+            let mine = slots[ctx.id().index()]
+                .lock()
+                .expect("carry slot poisoned")
+                .take()
+                .expect("stage executed twice on one node");
+            stage.call(ctx, mine)
+        })?;
+    }
+    Ok(carry)
+}
+
 /// An execution backend: a [`Cluster`] plus a strategy for running
 /// per-node steps. Maintenance drivers are generic over this trait;
 /// everything that is *not* per-node parallel work (DDL, routing,
@@ -246,6 +411,25 @@ pub trait Backend {
     where
         R: Send,
         F: Fn(&mut StepCtx<'_>) -> Result<R> + Sync;
+
+    /// Run a whole multi-stage program, threading each node's carry rows
+    /// across stages. `init[i]` is node `i`'s initial carry; the return
+    /// value is each node's carry after the final stage. The default is
+    /// the lockstep reference ([`run_stages_lockstep`]): one barriered
+    /// [`Backend::step`] per stage. Backends with a pipelined scheduler
+    /// override this to let nodes run ahead on their own watermarks —
+    /// any override must keep counted costs bit-identical to the
+    /// default.
+    fn run_stages(
+        &mut self,
+        init: Vec<Vec<Row>>,
+        program: &StepProgram<'_>,
+    ) -> Result<Vec<Vec<Row>>>
+    where
+        Self: Sized,
+    {
+        run_stages_lockstep(self, init, program)
+    }
 
     fn node_count(&self) -> usize {
         self.engine().node_count()

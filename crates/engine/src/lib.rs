@@ -23,7 +23,9 @@ pub mod partition;
 pub mod sketch;
 pub mod wal;
 
-pub use backend::{note_inbox, Backend, StepCtx, StepSink, TraceEventSlot};
+pub use backend::{
+    note_inbox, run_stages_lockstep, Backend, Stage, StepCtx, StepProgram, StepSink, TraceEventSlot,
+};
 pub use catalog::{Catalog, TableDef, TableId};
 pub use cluster::{Cluster, ClusterConfig};
 pub use message::NetPayload;

@@ -53,6 +53,76 @@ impl MessageSize for pvm_types::GlobalRid {
     }
 }
 
+/// One frame on a pipelined per-edge channel: either a payload stamped
+/// with the logical step it was sent in, or step-close **punctuation** —
+/// the sender's promise that it has emitted everything it will ever emit
+/// for that step on this edge. A receiver that has seen `Close(k)` on all
+/// of its inbound edges holds the complete step-`k` input and may execute
+/// step `k + 1` immediately, without a cluster-wide barrier.
+///
+/// Multicast payloads ride as [`PipeFrame::Shared`]: the fan-out stage
+/// builds the payload once and every edge carries a reference-counted
+/// handle plus the pre-measured byte size, so a broadcast is encoded and
+/// measured once rather than deep-cloned per destination (the transport
+/// extension of the driver-level `encode_into` scratch-buffer
+/// discipline). Byte *charging* is still per destination — sharing the
+/// allocation never changes counted costs.
+#[derive(Debug)]
+pub enum PipeFrame<P> {
+    /// A payload sent during logical step `step`.
+    Payload { step: u64, payload: P },
+    /// A multicast payload sent during `step`, shared across edges;
+    /// `bytes` is the payload's wire size, measured once at send time.
+    Shared {
+        step: u64,
+        payload: Arc<P>,
+        bytes: u64,
+    },
+    /// Step-close punctuation: nothing further will arrive on this edge
+    /// for `step`.
+    Close { step: u64 },
+}
+
+impl<P> PipeFrame<P> {
+    /// The logical step this frame belongs to.
+    pub fn step(&self) -> u64 {
+        match self {
+            PipeFrame::Payload { step, .. }
+            | PipeFrame::Shared { step, .. }
+            | PipeFrame::Close { step } => *step,
+        }
+    }
+
+    /// The carried payload, if any: owned frames move it out, shared
+    /// frames unwrap the handle (cloning only when other edges still
+    /// hold references).
+    pub fn into_payload(self) -> Option<P>
+    where
+        P: Clone,
+    {
+        match self {
+            PipeFrame::Payload { payload, .. } => Some(payload),
+            PipeFrame::Shared { payload, .. } => {
+                Some(Arc::try_unwrap(payload).unwrap_or_else(|shared| (*shared).clone()))
+            }
+            PipeFrame::Close { .. } => None,
+        }
+    }
+}
+
+impl<P: MessageSize> MessageSize for PipeFrame<P> {
+    fn byte_size(&self) -> usize {
+        match self {
+            PipeFrame::Payload { payload, .. } => 8 + payload.byte_size(),
+            PipeFrame::Shared { bytes, .. } => 8 + *bytes as usize,
+            // Punctuation is control traffic: 8 bytes of step number. It
+            // is never charged as a SEND — the cost model counts payload
+            // messages only.
+            PipeFrame::Close { .. } => 8,
+        }
+    }
+}
+
 /// The node-facing interface to the interconnect, abstracted over the
 /// delivery mechanism. [`Fabric`] is the deterministic single-threaded
 /// implementation; `pvm-runtime` provides a channel-backed one where

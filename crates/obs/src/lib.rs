@@ -127,6 +127,16 @@ impl Obs {
     pub fn begin_step(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
+
+    /// Reserve `n` consecutive logical steps at once and return the first
+    /// of them. A pipelined backend runs a whole stage program without
+    /// returning to the coordinator between steps, so it claims the
+    /// program's step numbers up front; the resulting timeline is
+    /// identical to `n` individual [`Obs::begin_step`] calls, keeping
+    /// trace timestamps aligned with lockstep execution.
+    pub fn begin_steps(&self, n: u64) -> u64 {
+        self.clock.fetch_add(n, Ordering::Relaxed) + 1
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +165,17 @@ mod tests {
         assert_eq!(obs.begin_step(), 1);
         assert_eq!(obs.begin_step(), 2);
         assert_eq!(obs.now(), 2);
+    }
+
+    #[test]
+    fn begin_steps_matches_repeated_begin_step() {
+        let a = Obs::new();
+        let b = Obs::new();
+        let first = a.begin_steps(3);
+        for i in 0..3 {
+            assert_eq!(b.begin_step(), first + i);
+        }
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.begin_steps(1), a.now());
     }
 }

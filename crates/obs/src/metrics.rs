@@ -15,8 +15,18 @@ use std::sync::{Arc, Mutex};
 /// runtime, core) and consumers (bench summaries) agree on spelling.
 pub mod metric {
     /// Histogram (µs): how long each node waited at the epoch barrier,
-    /// i.e. `max(per-node step wall time) - own step wall time`.
+    /// i.e. `max(per-node step wall time) - own step wall time`. Only
+    /// the plain single-step path observes this; pipelined stage
+    /// programs replace it with [`WATERMARK_LAG_US`].
     pub const BARRIER_WAIT_US: &str = "runtime.barrier_wait_us";
+    /// Histogram (µs): time a node spent waiting at a watermark boundary
+    /// for step-close punctuation from its inbound edges — the pipelined
+    /// runtime's (much smaller) replacement for the barrier wait.
+    pub const WATERMARK_LAG_US: &str = "pipeline.watermark_lag_us";
+    /// Histogram: at each stage start, how many logical steps this node
+    /// is ahead of the slowest node in the pipeline — the run-ahead the
+    /// barrier used to forbid (always 0 under lockstep execution).
+    pub const RUN_AHEAD_STEPS: &str = "pipeline.run_ahead_steps";
     /// Histogram: messages waiting in a node's inbox at step start.
     pub const INBOX_DEPTH: &str = "backend.inbox_depth";
     /// Histogram: payloads per flushed transport batch (vs

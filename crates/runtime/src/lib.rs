@@ -25,14 +25,20 @@
 //!   messages, but every logical payload still charges one `SEND` plus
 //!   its bytes, so batch size never shows up in the cost model.
 
+mod pipeline;
+pub mod spsc;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 
-use pvm_engine::{note_inbox, Backend, Cluster, ClusterConfig, NetPayload, StepCtx, StepSink};
+use pvm_engine::{
+    note_inbox, run_stages_lockstep, Backend, Cluster, ClusterConfig, NetPayload, StepCtx,
+    StepProgram, StepSink,
+};
 use pvm_net::{Envelope, MessageSize, Transport};
 use pvm_obs::{metric, Histogram, Obs, Phase, TraceEvent};
-use pvm_types::{CostSnapshot, NodeId, PvmError, Result};
+use pvm_types::{CostSnapshot, NodeId, PvmError, Result, Row};
 
 /// Runtime tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -41,11 +47,24 @@ pub struct RuntimeConfig {
     /// transport-level optimization: `SEND` accounting is per payload
     /// regardless of this value.
     pub batch_size: usize,
+    /// Execute [`StepProgram`]s with watermark pipelining (nodes run
+    /// ahead on per-edge step-close punctuation) instead of one epoch
+    /// barrier per stage. Counted costs are identical either way; `false`
+    /// is the barriered baseline the `parallel` bench compares against.
+    pub pipeline: bool,
+    /// Capacity of each per-(src, dst) SPSC ring in the pipelined mesh,
+    /// in frames. Bounds how far a fast producer runs ahead of a slow
+    /// consumer on one edge.
+    pub edge_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        RuntimeConfig { batch_size: 64 }
+        RuntimeConfig {
+            batch_size: 64,
+            pipeline: true,
+            edge_capacity: 256,
+        }
     }
 }
 
@@ -53,6 +72,16 @@ impl RuntimeConfig {
     pub fn with_batch_size(batch_size: usize) -> Self {
         RuntimeConfig {
             batch_size: batch_size.max(1),
+            ..RuntimeConfig::default()
+        }
+    }
+
+    /// The barriered baseline: stage programs run lockstep, one epoch
+    /// barrier per stage.
+    pub fn barriered() -> Self {
+        RuntimeConfig {
+            pipeline: false,
+            ..RuntimeConfig::default()
         }
     }
 }
@@ -193,6 +222,26 @@ impl<P: MessageSize> ChannelTransport<P> {
     /// True when nothing is staged for delivery.
     pub fn quiescent(&self) -> bool {
         self.staged.iter().all(Vec::is_empty)
+    }
+
+    /// Whether same-node deliveries charge a `SEND`.
+    pub(crate) fn charge_local(&self) -> bool {
+        self.charge_local
+    }
+
+    /// The shared interconnect counters (for sinks that charge outside
+    /// this transport's endpoints, e.g. the pipelined ring mesh).
+    pub(crate) fn counters_handle(&self) -> Arc<Counters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Stage already-charged envelopes for `dst`'s next `recv_all` /
+    /// `take_staged`, ahead of any later channel arrivals. The pipelined
+    /// executor parks a program's final-stage sends here so they are
+    /// delivered at the next backend step, exactly as the epoch barrier
+    /// would have delivered them.
+    pub(crate) fn stage(&mut self, dst: usize, envelopes: Vec<Envelope<P>>) {
+        self.staged[dst].extend(envelopes);
     }
 }
 
@@ -444,6 +493,20 @@ impl Backend for ThreadedCluster {
         self.transport.clear();
         self.inner.abort_txn()
     }
+
+    fn run_stages(
+        &mut self,
+        init: Vec<Vec<Row>>,
+        program: &StepProgram<'_>,
+    ) -> Result<Vec<Vec<Row>>> {
+        // A single node has nothing to overlap with — the pipelined path
+        // would only add ring traffic and scope overhead — so L=1 runs
+        // lockstep regardless of configuration.
+        if !self.config.pipeline || self.node_count() == 1 || program.is_empty() {
+            return run_stages_lockstep(self, init, program);
+        }
+        pipeline::run_pipelined(self, init, program)
+    }
 }
 
 #[cfg(test)]
@@ -648,6 +711,203 @@ mod tests {
             on_thr.sort();
             assert_eq!(on_seq, on_thr, "node {node}: row placement diverged");
         }
+    }
+
+    fn count_payload_rows(envs: Vec<Envelope<NetPayload>>) -> usize {
+        envs.into_iter()
+            .map(|e| {
+                let NetPayload::ResultRows { rows, .. } = e.payload else {
+                    unreachable!()
+                };
+                rows.len()
+            })
+            .sum()
+    }
+
+    /// A 3-stage program exercising routed sends, a multicast, and a
+    /// send-free tail: every backend must agree on carries and charges.
+    fn probe_like_program<'p>() -> StepProgram<'p> {
+        StepProgram::new()
+            .stage(|ctx, carry| {
+                // Route: each node ships its carry rows to node (i+1)%L
+                // and broadcasts one marker row.
+                let l = ctx.node_count();
+                let dst = NodeId::from((ctx.id().index() + 1) % l);
+                ctx.send(
+                    dst,
+                    NetPayload::ResultRows {
+                        table: pvm_engine::TableId(0),
+                        rows: carry,
+                    },
+                )?;
+                ctx.broadcast(&payload(vec![row![-1]]))?;
+                Ok(Vec::new())
+            })
+            .stage(|ctx, _| {
+                // Forward every received row onward to node 0.
+                let rows: Vec<Row> = ctx
+                    .drain()
+                    .into_iter()
+                    .flat_map(|e| {
+                        let NetPayload::ResultRows { rows, .. } = e.payload else {
+                            unreachable!()
+                        };
+                        rows
+                    })
+                    .collect();
+                let n = rows.len() as i64;
+                ctx.send(NodeId::from(0), payload(rows))?;
+                Ok(vec![row![n]])
+            })
+            .local_stage(|ctx, carry| {
+                let received = count_payload_rows(ctx.drain()) as i64;
+                Ok(carry.into_iter().chain([row![received]]).collect())
+            })
+    }
+
+    #[test]
+    fn pipelined_matches_lockstep_carries_and_charges() {
+        let init = |l: usize| -> Vec<Vec<Row>> {
+            (0..l)
+                .map(|i| vec![row![i as i64], row![10 + i as i64]])
+                .collect()
+        };
+        let mut barriered = ThreadedCluster::with_runtime(
+            Cluster::new(ClusterConfig::new(4)),
+            RuntimeConfig::barriered(),
+        );
+        let mut pipelined = ThreadedCluster::new(ClusterConfig::new(4));
+        assert!(
+            pipelined.runtime_config().pipeline,
+            "pipelining is the default"
+        );
+        let program = probe_like_program();
+        let carries_b = barriered.run_stages(init(4), &program).unwrap();
+        let carries_p = pipelined.run_stages(init(4), &program).unwrap();
+        assert_eq!(carries_b, carries_p, "per-node carries identical");
+        assert_eq!(
+            barriered.transport.totals(),
+            pipelined.transport.totals(),
+            "charged SEND/byte totals identical"
+        );
+        // And both advanced the logical clock by exactly one tick per stage.
+        assert_eq!(
+            barriered.engine().obs_handle().now(),
+            pipelined.engine().obs_handle().now()
+        );
+    }
+
+    #[test]
+    fn pipelined_final_stage_sends_arrive_next_step() {
+        let mut tc = ThreadedCluster::new(ClusterConfig::new(3));
+        let program = StepProgram::new().stage(|ctx, _| {
+            ctx.send(NodeId::from(0), payload(vec![row![ctx.id().0 as i64]]))?;
+            Ok(Vec::new())
+        });
+        tc.run_stages(vec![Vec::new(); 3], &program).unwrap();
+        // The program's last sends are residuals: delivered at the start
+        // of the next backend step, in (src asc, send order).
+        let seen = tc
+            .step(|ctx| Ok(ctx.drain().iter().map(|e| e.src.0).collect::<Vec<u16>>()))
+            .unwrap();
+        assert_eq!(seen[0], vec![0, 1, 2]);
+        assert!(seen[1].is_empty() && seen[2].is_empty());
+    }
+
+    #[test]
+    fn pipelined_sees_prior_step_traffic_at_stage_zero() {
+        let mut tc = ThreadedCluster::new(ClusterConfig::new(2));
+        tc.step(|ctx| {
+            ctx.send(NodeId::from(1), payload(vec![row![ctx.id().0 as i64]]))?;
+            Ok(())
+        })
+        .unwrap();
+        let program = StepProgram::new()
+            .local_stage(|ctx, _| Ok(vec![row![count_payload_rows(ctx.drain()) as i64]]));
+        let carries = tc.run_stages(vec![Vec::new(); 2], &program).unwrap();
+        assert_eq!(carries, vec![vec![row![0]], vec![row![2]]]);
+    }
+
+    #[test]
+    fn local_stage_send_is_rejected() {
+        let mut tc = ThreadedCluster::new(ClusterConfig::new(2));
+        let program = StepProgram::new().local_stage(|ctx, _| {
+            ctx.send(NodeId::from(0), payload(vec![row![1]]))?;
+            Ok(Vec::new())
+        });
+        let err = tc.run_stages(vec![Vec::new(); 2], &program).unwrap_err();
+        assert!(err.to_string().contains("send-free"), "got: {err}");
+    }
+
+    #[test]
+    fn pipelined_stage_error_surfaces_root_cause() {
+        let mut tc = ThreadedCluster::new(ClusterConfig::new(4));
+        let program = StepProgram::new()
+            .stage(|ctx, _| {
+                if ctx.id().index() == 2 {
+                    return Err(PvmError::InvalidOperation("node 2 exploded".into()));
+                }
+                ctx.broadcast(&payload(vec![row![1]]))?;
+                Ok(Vec::new())
+            })
+            .local_stage(|ctx, _| {
+                ctx.drain();
+                Ok(Vec::new())
+            });
+        let err = tc.run_stages(vec![Vec::new(); 4], &program).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            PvmError::InvalidOperation("node 2 exploded".into()).to_string()
+        );
+        // The backend stays usable after the failed program.
+        let seen = tc.step(|ctx| Ok(ctx.drain().len())).unwrap();
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn pipelined_multicast_charges_match_barriered_broadcast() {
+        // An Arc-shared multicast frame must charge exactly what per-dst
+        // clones charge: L-1 sends (self copy local) and identical bytes.
+        for config in [RuntimeConfig::default(), RuntimeConfig::barriered()] {
+            let mut tc = ThreadedCluster::with_runtime(Cluster::new(ClusterConfig::new(3)), config);
+            let program = StepProgram::new().stage(|ctx, _| {
+                ctx.broadcast(&payload(vec![row![7, 8, 9]]))?;
+                Ok(Vec::new())
+            });
+            tc.run_stages(vec![Vec::new(); 3], &program).unwrap();
+            let (sends, bytes) = tc.transport.totals();
+            assert_eq!(sends, 3 * 2, "each node: L-1 charged copies");
+            assert_eq!(bytes % sends, 0, "every copy charged the same size");
+        }
+    }
+
+    #[test]
+    fn tiny_edge_capacity_still_completes() {
+        // Capacity 2 forces constant full-ring backpressure; the
+        // drain-own-inbound discipline must still terminate with the
+        // right answer.
+        let config = RuntimeConfig {
+            edge_capacity: 2,
+            ..RuntimeConfig::default()
+        };
+        let mut tc = ThreadedCluster::with_runtime(Cluster::new(ClusterConfig::new(4)), config);
+        let program = StepProgram::new()
+            .stage(|ctx, _| {
+                for i in 0..64 {
+                    ctx.send(
+                        NodeId::from(i % ctx.node_count()),
+                        payload(vec![row![i as i64]]),
+                    )?;
+                }
+                Ok(Vec::new())
+            })
+            .local_stage(|ctx, _| Ok(vec![row![count_payload_rows(ctx.drain()) as i64]]));
+        let carries = tc.run_stages(vec![Vec::new(); 4], &program).unwrap();
+        let total: i64 = carries
+            .iter()
+            .map(|c| c[0].try_get(0).unwrap().as_int().unwrap())
+            .sum();
+        assert_eq!(total, 4 * 64, "every routed row arrived exactly once");
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Model-checked concurrency tests for the pipelined runtime's two
+//! load-bearing orderings, run under `--features loom-check`:
+//!
+//! ```text
+//! cargo test -p pvm-runtime --features loom-check --test loom_model
+//! ```
+//!
+//! With the real `loom` crate in the dependency slot these explore every
+//! interleaving of the modeled atomics; with the bundled offline shim
+//! they run as bounded stress tests over real threads. Either way the
+//! assertions are the same:
+//!
+//! 1. **SPSC publish/consume** — a frame pushed into a per-edge ring is
+//!    fully visible to the consumer once `pop` returns it (the
+//!    Release-store of `tail` happens-before the Acquire-load), frames
+//!    arrive in push order, and nothing is lost or duplicated across a
+//!    full/empty boundary.
+//! 2. **Watermark delivery** — a sender's step-close punctuation is
+//!    observed only after every payload frame of that step, so a
+//!    receiver that collects until `Close(k)` has the step's complete
+//!    input.
+//! 3. **Epoch publication** — the serve tier's pattern (write snapshot
+//!    state, then publish the epoch with a Release store; readers
+//!    Acquire-load the epoch first) never exposes a published epoch
+//!    without its state. `pvm-serve` has no runtime dependency, so the
+//!    ordering is modeled abstractly here with the same atomics.
+
+#![cfg(feature = "loom-check")]
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+use pvm_net::PipeFrame;
+use pvm_runtime::spsc;
+
+/// Frames cross the ring in push order, none lost, none duplicated —
+/// including across a wrap of the (tiny) ring buffer.
+#[test]
+fn spsc_publish_consume_is_fifo_and_lossless() {
+    loom::model(|| {
+        let (mut tx, mut rx) = spsc::ring::<u64>(2);
+        let producer = loom::thread::spawn(move || {
+            for i in 0..4u64 {
+                let mut v = i;
+                while let Err(back) = tx.push(v) {
+                    v = back;
+                    loom::thread::yield_now();
+                }
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 4 {
+            match rx.pop() {
+                Some(v) => got.push(v),
+                None => loom::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert!(rx.pop().is_none(), "ring empty after draining");
+    });
+}
+
+/// The watermark protocol: the sender pushes a step's payload frames and
+/// then one `Close` punctuation. A receiver that pops until `Close(k)`
+/// must have seen every payload of step `k` first — the close can never
+/// overtake a payload.
+#[test]
+fn watermark_close_never_overtakes_payloads() {
+    loom::model(|| {
+        let (mut tx, mut rx) = spsc::ring::<PipeFrame<u64>>(4);
+        let sender = loom::thread::spawn(move || {
+            for step in 1..=2u64 {
+                for payload in 0..2u64 {
+                    let mut f = PipeFrame::Payload {
+                        step,
+                        payload: step * 10 + payload,
+                    };
+                    while let Err(back) = tx.push(f) {
+                        f = back;
+                        loom::thread::yield_now();
+                    }
+                }
+                let mut close = PipeFrame::<u64>::Close { step };
+                while let Err(back) = tx.push(close) {
+                    close = back;
+                    loom::thread::yield_now();
+                }
+            }
+        });
+        for step in 1..=2u64 {
+            let mut payloads = Vec::new();
+            loop {
+                match rx.pop() {
+                    Some(PipeFrame::Close { step: s }) => {
+                        assert_eq!(s, step, "closes arrive in step order");
+                        break;
+                    }
+                    Some(f) => {
+                        assert_eq!(f.step(), step, "no frame leaks across a close");
+                        payloads.push(f.into_payload().unwrap());
+                    }
+                    None => loom::thread::yield_now(),
+                }
+            }
+            assert_eq!(
+                payloads,
+                vec![step * 10, step * 10 + 1],
+                "close observed only after the step's complete input"
+            );
+        }
+        sender.join().unwrap();
+    });
+}
+
+/// Serve-tier epoch publication: state is written before the epoch is
+/// Release-published; a reader that Acquire-loads the epoch must see the
+/// matching state — never a fresh epoch over stale rows.
+#[test]
+fn epoch_publication_orders_state_before_epoch() {
+    loom::model(|| {
+        let state = Arc::new(AtomicU64::new(0));
+        let epoch = Arc::new(AtomicU64::new(0));
+        let writer = {
+            let (state, epoch) = (state.clone(), epoch.clone());
+            loom::thread::spawn(move || {
+                state.store(42, Ordering::Relaxed);
+                epoch.store(1, Ordering::Release);
+            })
+        };
+        let e = epoch.load(Ordering::Acquire);
+        if e == 1 {
+            assert_eq!(
+                state.load(Ordering::Relaxed),
+                42,
+                "published epoch exposed without its state"
+            );
+        }
+        writer.join().unwrap();
+    });
+}

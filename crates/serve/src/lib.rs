@@ -528,12 +528,18 @@ mod tests {
                 let r = p.reader();
                 let stop = stop.clone();
                 std::thread::spawn(move || {
+                    // At least one read even if this thread is not
+                    // scheduled until after the writer finishes (single
+                    // loaded core): check `stop` after reading.
                     let mut reads = 0u64;
-                    while !stop.load(Ordering::Relaxed) {
+                    loop {
                         let s = r.snapshot();
                         let rows = s.rows();
                         assert_eq!(rows, vec![row![s.epoch() as i64]], "torn epoch");
                         reads += 1;
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
                     }
                     reads
                 })

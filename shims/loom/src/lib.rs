@@ -1,0 +1,76 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) concurrency
+//! model checker, API-compatible with the subset `pvm-runtime`'s
+//! `loom-check` tests use.
+//!
+//! The real loom exhaustively explores thread interleavings under the C11
+//! memory model by replacing `std::sync` primitives with tracked
+//! versions. This build environment has no registry access, so this shim
+//! substitutes **stress iteration**: [`model`] runs the closure many
+//! times on real OS threads with real atomics, relying on scheduler
+//! nondeterminism (plus explicit yields in the code under test) to shake
+//! out ordering bugs. That is strictly weaker than loom's exhaustive
+//! exploration — it can miss rare interleavings — but it exercises the
+//! same test bodies unchanged, so swapping in the real crate when a
+//! registry is available needs no source edits.
+//!
+//! Semantics preserved: `cell::UnsafeCell`'s `with`/`with_mut` access
+//! API, `sync::atomic` and `sync::Arc` (std re-exports; std's orderings
+//! are at least as strong as loom's simulated ones), and
+//! `thread::spawn`/`yield_now`.
+
+/// Number of stress iterations per [`model`] call. The real loom runs
+/// until the interleaving space is exhausted; we run a fixed budget
+/// chosen to keep the CI job under a minute while still interleaving
+/// meaningfully on one core (each iteration spawns fresh threads).
+const STRESS_ITERS: usize = 200;
+
+/// Run `f` repeatedly, each iteration with fresh state, mimicking
+/// `loom::model`'s entry point. Panics propagate on the first failing
+/// iteration, like a loom counterexample.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..STRESS_ITERS {
+        f();
+    }
+}
+
+pub mod cell {
+    /// Access-tracked cell in real loom; a plain `UnsafeCell` here, with
+    /// the same closure-based API.
+    #[derive(Debug, Default)]
+    pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    impl<T> UnsafeCell<T> {
+        pub fn new(data: T) -> Self {
+            UnsafeCell(std::cell::UnsafeCell::new(data))
+        }
+
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+}
+
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+pub mod hint {
+    pub use std::hint::spin_loop;
+}

@@ -373,10 +373,16 @@ fn snapshot_reads_match_oracle_during_recovery() {
         let reader = reader.clone();
         let stop = stop.clone();
         std::thread::spawn(move || {
+            // Always take at least one snapshot: on a loaded single-core
+            // host this thread may not be scheduled until after the
+            // writer finishes and raises `stop`.
             let mut reads: Vec<(u64, Vec<Row>)> = Vec::new();
-            while !stop.load(Ordering::Relaxed) {
+            loop {
                 let s = reader.snapshot();
                 reads.push((s.epoch(), s.rows()));
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
             }
             reads
         })

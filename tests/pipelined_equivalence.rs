@@ -1,0 +1,270 @@
+//! Pipelined/sequential equivalence: the watermark-driven pipelined
+//! runtime (the default `ThreadedCluster` configuration) is a wall-clock
+//! optimization only. For every maintenance method and batch policy, the
+//! same update stream must leave bit-identical view contents AND
+//! bit-identical cost-ledger totals (per-node SEARCH/FETCH/INSERT,
+//! interconnect SENDs and bytes, logical clock) across
+//!
+//! * the sequential [`Cluster`] oracle,
+//! * the barriered threaded runtime ([`RuntimeConfig::barriered`]), and
+//! * the pipelined threaded runtime (default config), including with a
+//!   tiny per-edge ring capacity that forces backpressure stalls.
+//!
+//! Faulted runs ride the same harness: a pipelined backend wrapped in
+//! [`FaultTolerant`] under message faults plus a scheduled crash must
+//! converge to the fault-free sequential oracle's view. Finally, a
+//! reader thread snapshotting *while* pipelined maintenance streams must
+//! only ever observe epoch states the sequential oracle produced —
+//! out-of-lockstep stage execution never publishes a torn epoch.
+
+use proptest::prelude::*;
+use pvm::prelude::*;
+use pvm_engine::MeterReport;
+use pvm_faults::{FaultPlan, FaultTolerant};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { rel: usize, jval: i64 },
+    DeleteExisting { rel: usize, pick: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..2, 0i64..6).prop_map(|(rel, jval)| Op::Insert { rel, jval }),
+        (0usize..2, any::<usize>()).prop_map(|(rel, pick)| Op::DeleteExisting { rel, pick }),
+    ]
+}
+
+fn setup(l: usize, method: MaintenanceMethod) -> (Cluster, MaintainedView) {
+    let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(256));
+    let schema =
+        || Schema::new(vec![Column::int("id"), Column::int("j"), Column::str("p")]).into_ref();
+    let a = cluster
+        .create_table(TableDef::hash_heap("a", schema(), 0))
+        .unwrap();
+    let b = cluster
+        .create_table(TableDef::hash_heap("b", schema(), 0))
+        .unwrap();
+    cluster
+        .insert(a, (0..10).map(|i| row![i, i % 3, "a"]).collect())
+        .unwrap();
+    cluster
+        .insert(b, (0..10).map(|i| row![i, i % 3, "b"]).collect())
+        .unwrap();
+    let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+    let view = MaintainedView::create(&mut cluster, def, method).unwrap();
+    (cluster, view)
+}
+
+fn run_stream<B: Backend>(
+    backend: &mut B,
+    view: &mut MaintainedView,
+    ops: &[Op],
+) -> (Vec<Row>, MeterReport) {
+    let mut live: [Vec<Row>; 2] = [
+        (0..10).map(|i| row![i, i % 3, "a"]).collect(),
+        (0..10).map(|i| row![i, i % 3, "b"]).collect(),
+    ];
+    let mut next_id = 100_000i64;
+    let guard = backend.start_meter();
+    for op in ops {
+        match op {
+            Op::Insert { rel, jval } => {
+                let payload = if *rel == 0 { "a" } else { "b" };
+                let r = row![next_id, *jval, payload];
+                next_id += 1;
+                live[*rel].push(r.clone());
+                view.apply(backend, *rel, &Delta::insert_one(r)).unwrap();
+            }
+            Op::DeleteExisting { rel, pick } => {
+                if live[*rel].is_empty() {
+                    continue;
+                }
+                let idx = pick % live[*rel].len();
+                let r = live[*rel].swap_remove(idx);
+                view.apply(backend, *rel, &Delta::Delete(vec![r])).unwrap();
+            }
+        }
+    }
+    let report = backend.finish_meter(&guard);
+    let mut contents = view.contents(backend.engine()).unwrap();
+    contents.sort();
+    (contents, report)
+}
+
+fn methods() -> [MaintenanceMethod; 3] {
+    [
+        MaintenanceMethod::Naive,
+        MaintenanceMethod::AuxiliaryRelation,
+        MaintenanceMethod::GlobalIndex,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// methods × batch policies × {sequential, barriered, pipelined}:
+    /// all three backends produce the same view and charge the same
+    /// costs, row for row and byte for byte.
+    #[test]
+    fn pipelined_runtime_is_cost_identical(
+        ops in proptest::collection::vec(op_strategy(), 1..16)
+    ) {
+        for method in methods() {
+            for batch in [BatchPolicy::Coalesced, BatchPolicy::PerRow] {
+                let (mut seq, mut seq_view) = setup(3, method);
+                seq_view.set_batch_policy(batch);
+                let (seq_contents, seq_report) = run_stream(&mut seq, &mut seq_view, &ops);
+
+                let configs = [
+                    ("barriered", RuntimeConfig::barriered()),
+                    ("pipelined", RuntimeConfig::default()),
+                    ("pipelined-tiny-rings", RuntimeConfig {
+                        edge_capacity: 2,
+                        ..RuntimeConfig::default()
+                    }),
+                ];
+                for (name, config) in configs {
+                    let (cluster, mut view) = setup(3, method);
+                    view.set_batch_policy(batch);
+                    let mut thr = ThreadedCluster::with_runtime(cluster, config);
+                    let (contents, report) = run_stream(&mut thr, &mut view, &ops);
+
+                    prop_assert_eq!(
+                        &seq_contents, &contents,
+                        "{:?}/{:?}/{}: view contents diverged", method, batch, name
+                    );
+                    view.check_consistent(thr.engine()).unwrap();
+                    prop_assert_eq!(
+                        &seq_report.per_node, &report.per_node,
+                        "{:?}/{:?}/{}: per-node op totals diverged", method, batch, name
+                    );
+                    prop_assert_eq!(
+                        seq_report.net, report.net,
+                        "{:?}/{:?}/{}: interconnect SEND/byte totals diverged",
+                        method, batch, name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A pipelined backend under injected message faults (drop / duplicate /
+/// delay) still converges to the fault-free sequential oracle's view:
+/// the reliability layer sits below the stage contract, so watermark
+/// delivery does not reorder what it is allowed to observe.
+#[test]
+fn pipelined_under_faults_matches_oracle() {
+    let ops: Vec<Op> = (0..14)
+        .map(|i| {
+            if i % 4 == 3 {
+                Op::DeleteExisting {
+                    rel: i % 2,
+                    pick: i * 7,
+                }
+            } else {
+                Op::Insert {
+                    rel: i % 2,
+                    jval: i as i64 % 5,
+                }
+            }
+        })
+        .collect();
+
+    for method in methods() {
+        let (mut seq, mut seq_view) = setup(3, method);
+        let (oracle, _) = run_stream(&mut seq, &mut seq_view, &ops);
+
+        for seed in [7u64, 42] {
+            let (cluster, mut view) = setup(3, method);
+            let thr = ThreadedCluster::from_cluster(cluster);
+            let mut ft = FaultTolerant::threaded(thr, FaultPlan::uniform(seed, 0.3));
+            let (contents, _) = run_stream(&mut ft, &mut view, &ops);
+            assert_eq!(
+                oracle, contents,
+                "{method:?}/seed {seed}: faulted pipelined run diverged from oracle"
+            );
+            view.check_consistent(ft.engine()).unwrap();
+        }
+    }
+}
+
+/// Snapshot isolation under pipelining: a reader thread snapshotting
+/// while the pipelined runtime streams maintenance only ever observes
+/// `(epoch, rows)` states the sequential oracle produced at that epoch —
+/// never a half-applied step, even though nodes run stages out of
+/// lockstep.
+#[test]
+fn reader_under_pipelining_sees_only_published_epochs() {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let method = MaintenanceMethod::AuxiliaryRelation;
+    let ops: Vec<Op> = (0..16)
+        .map(|i| Op::Insert {
+            rel: i % 2,
+            jval: i as i64 % 4,
+        })
+        .collect();
+
+    // Sequential oracle: sorted view contents at every published epoch.
+    let mut oracle: HashMap<u64, Vec<Row>> = HashMap::new();
+    {
+        let (mut c, mut view) = setup(3, method);
+        let mut record = |c: &Cluster, view: &MaintainedView| {
+            let mut rows = c.scan_all(view.view_table()).unwrap();
+            rows.sort();
+            oracle.insert(view.epoch(), rows);
+        };
+        record(&c, &view);
+        for (next_id, op) in (100_000i64..).zip(ops.iter()) {
+            let Op::Insert { rel, jval } = op else {
+                unreachable!()
+            };
+            let payload = if *rel == 0 { "a" } else { "b" };
+            let r = row![next_id, *jval, payload];
+            view.apply(&mut c, *rel, &Delta::insert_one(r)).unwrap();
+            record(&c, &view);
+        }
+    }
+
+    // Same stream through the pipelined runtime with a live reader.
+    let (cluster, mut view) = setup(3, method);
+    let mut thr = ThreadedCluster::from_cluster(cluster);
+    let reader = view.enable_serving(&thr).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let reader = reader.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut reads: Vec<(u64, Vec<Row>)> = Vec::new();
+            loop {
+                let s = reader.snapshot();
+                reads.push((s.epoch(), s.rows()));
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            reads
+        })
+    };
+    let (_, _) = run_stream(&mut thr, &mut view, &ops);
+    stop.store(true, Ordering::Relaxed);
+    let reads = handle.join().unwrap();
+
+    assert!(!reads.is_empty());
+    for (epoch, mut rows) in reads {
+        rows.sort();
+        let expect = oracle
+            .get(&epoch)
+            .unwrap_or_else(|| panic!("reader saw unpublished epoch {epoch}"));
+        assert_eq!(
+            &rows, expect,
+            "reader observed a state the sequential oracle never produced at epoch {epoch}"
+        );
+    }
+    let fin = reader.snapshot();
+    assert_eq!(fin.epoch(), view.epoch());
+}
