@@ -33,7 +33,7 @@ use pvm_engine::{Backend, Cluster, NetPayload, TableDef, TableId};
 use pvm_obs::{MethodTag, Phase};
 use pvm_types::{PvmError, Result, Row};
 
-use crate::chain::{self, BatchPolicy, ChainMode, JoinPolicy, ProbeTarget};
+use crate::chain::{self, BatchPolicy, ChainMode, JoinPolicy, PartialGates, ProbeTarget};
 use crate::layout::Layout;
 use crate::minimize;
 use crate::planner::plan_chain;
@@ -69,6 +69,11 @@ pub struct AuxState {
 /// stage program (route stage + send-free apply stage per AR), so a
 /// pipelined backend overlaps one AR's apply with the next AR's routing
 /// instead of barriering twice per AR.
+///
+/// Under partial state (`gates`), delta rows whose AR key value is a
+/// hole are routed but **not stored**: the entry stays a hole and is
+/// rebuilt from the base relation only when a probe needs it (refill).
+/// The coordinator mirrors the same skip when accounting bytes.
 pub(crate) fn update_ars<B: Backend>(
     backend: &mut B,
     ars: &[ArInfo],
@@ -76,6 +81,7 @@ pub(crate) fn update_ars<B: Backend>(
     insert: bool,
     batch: BatchPolicy,
     method: MethodTag,
+    gates: Option<&PartialGates>,
 ) -> Result<()> {
     if ars.is_empty() {
         return Ok(());
@@ -149,6 +155,7 @@ pub(crate) fn update_ars<B: Backend>(
         });
         // Drain and apply at every node.
         let key_pos = info.key_pos;
+        let holes = gates.and_then(|g| g.structure_holes(info.table));
         program = program.local_stage(move |ctx, _| {
             let mut applied = 0u64;
             for env in ctx.drain() {
@@ -162,6 +169,11 @@ pub(crate) fn update_ars<B: Backend>(
                     ));
                 };
                 for r in rows {
+                    if let Some(h) = holes {
+                        if h.contains(r.try_get(key_pos)?) {
+                            continue; // evicted entry: the hole persists
+                        }
+                    }
                     if insert {
                         ctx.node.insert(ar_table, r)?;
                     } else {
@@ -281,6 +293,7 @@ pub(crate) fn apply<B: Backend>(
     policy: JoinPolicy,
     batch: BatchPolicy,
     capture: bool,
+    gates: Option<&PartialGates>,
 ) -> Result<MaintenanceOutcome> {
     let table = handle.base[rel];
     let arity = backend.engine().def(table)?.schema.arity();
@@ -301,7 +314,15 @@ pub(crate) fn apply<B: Backend>(
             .filter(|((r, _), _)| *r == rel)
             .map(|(_, info)| info.clone())
             .collect();
-        update_ars(backend, &my_ars, placed, insert, batch, MethodTag::AuxRel)?;
+        update_ars(
+            backend,
+            &my_ars,
+            placed,
+            insert,
+            batch,
+            MethodTag::AuxRel,
+            gates,
+        )?;
     }
     chain::coord_phase(backend, Phase::Aux, MethodTag::AuxRel, mark);
     let aux = backend.finish_meter(&guard);
@@ -346,7 +367,7 @@ pub(crate) fn apply<B: Backend>(
         ChainMode::Delete
     };
     let (view_rows, view_changes) =
-        chain::apply_at_view(backend, handle, mode, MethodTag::AuxRel, capture)?;
+        chain::apply_at_view(backend, handle, mode, MethodTag::AuxRel, capture, gates)?;
     chain::coord_phase(backend, Phase::View, MethodTag::AuxRel, mark);
     let view = backend.finish_meter(&guard);
 

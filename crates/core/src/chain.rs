@@ -15,13 +15,67 @@
 //! the whole program with one [`Backend::run_stages`] call, letting fast
 //! nodes run ahead of slow ones across every hop of the chain.
 
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Mutex;
+
 use pvm_engine::{Backend, Cluster, NetPayload, NodeState, StepProgram, TableId};
 use pvm_obs::{metric, MethodTag, Phase, TraceEvent, COORD};
-use pvm_types::{NodeId, Result, Row};
+use pvm_types::{NodeId, Result, Row, Value};
 
 use crate::layout::Layout;
 use crate::planner::PlanStep;
 use crate::view::ViewHandle;
+
+/// Hole sets a partial view threads into its maintenance programs.
+///
+/// Borrowed by the per-node stage closures (stages carry the program's
+/// lifetime, so no `Arc` is needed): the hole sets are read-only during a
+/// batch, and the keys whose shipped view rows were actually dropped are
+/// collected behind a mutex with **set** semantics — node completion
+/// order differs across backends, but the resulting set does not, keeping
+/// partial bookkeeping deterministic.
+pub(crate) struct PartialGates {
+    /// View keys (partition-column values) that are currently holes:
+    /// shipped view rows carrying these keys are dropped, not applied.
+    pub view_holes: HashSet<Value>,
+    /// Per-structure (AR / GI table) join values that are currently
+    /// holes: delta writes to these entries are skipped — the entry
+    /// stays a hole and is rebuilt from base only on refill.
+    pub struct_holes: HashMap<TableId, HashSet<Value>>,
+    /// View keys whose rows were dropped this batch; the coordinator
+    /// bumps their `dropped_at` epoch at commit.
+    dropped: Mutex<BTreeSet<Value>>,
+}
+
+impl PartialGates {
+    pub fn new(
+        view_holes: HashSet<Value>,
+        struct_holes: HashMap<TableId, HashSet<Value>>,
+    ) -> PartialGates {
+        PartialGates {
+            view_holes,
+            struct_holes,
+            dropped: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// The hole set of one auxiliary structure, if it has any holes.
+    pub fn structure_holes(&self, table: TableId) -> Option<&HashSet<Value>> {
+        self.struct_holes.get(&table).filter(|h| !h.is_empty())
+    }
+
+    fn note_dropped(&self, key: &Value) {
+        self.dropped
+            .lock()
+            .expect("partial dropped lock")
+            .insert(key.clone());
+    }
+
+    /// Drain the keys dropped during the batch (coordinator side).
+    pub fn take_dropped(&self) -> BTreeSet<Value> {
+        std::mem::take(&mut self.dropped.lock().expect("partial dropped lock"))
+    }
+}
 
 /// Ensure `table` has some index usable for probes on `col` (a clustered
 /// index on exactly `[col]` counts); otherwise create a non-clustered
@@ -568,12 +622,19 @@ pub(crate) fn push_ship_stage<'p, B: Backend>(
 /// sends a given view row to exactly one node, and within a node the
 /// apply order follows the drained payload order, which is fixed by the
 /// step barrier. With `capture` off this path clones nothing.
+///
+/// When `gates` is supplied (the view is partial), shipped rows whose
+/// partition-column key is a hole are dropped — neither applied nor
+/// captured — and the key is recorded so the coordinator can bump its
+/// `dropped_at` epoch. Aggregate views never carry gates (partial state
+/// is gated to non-aggregate views at `enable_partial`).
 pub(crate) fn apply_at_view<B: Backend>(
     backend: &mut B,
     handle: &ViewHandle,
     mode: ChainMode,
     method: MethodTag,
     capture: bool,
+    gates: Option<&PartialGates>,
 ) -> Result<(u64, Vec<(Row, bool)>)> {
     let pcol = handle.view_pcol;
     let per_node = backend.step(|ctx| {
@@ -589,6 +650,13 @@ pub(crate) fn apply_at_view<B: Backend>(
             match &handle.agg {
                 None => {
                     for row in rows {
+                        if let Some(g) = gates {
+                            let key = row.try_get(pcol)?;
+                            if g.view_holes.contains(key) {
+                                g.note_dropped(key);
+                                continue;
+                            }
+                        }
                         match mode {
                             ChainMode::Insert => {
                                 if capture {

@@ -58,7 +58,7 @@ pub(crate) fn gi_name(view: &str, base: &str, col: usize) -> String {
 }
 
 /// Build one GI entry row: `(value, node, page, slot)`.
-fn gi_entry(value: Value, grid: GlobalRid) -> Row {
+pub(crate) fn gi_entry(value: Value, grid: GlobalRid) -> Row {
     Row::new(vec![
         value,
         Value::Int(grid.node.0 as i64),
@@ -389,6 +389,7 @@ pub(crate) fn apply<B: Backend>(
     policy: JoinPolicy,
     batch: BatchPolicy,
     capture: bool,
+    gates: Option<&chain::PartialGates>,
 ) -> Result<MaintenanceOutcome> {
     let table = handle.base[rel];
     let arity = backend.engine().def(table)?.schema.arity();
@@ -464,6 +465,7 @@ pub(crate) fn apply<B: Backend>(
                 }
                 Ok(Vec::new())
             });
+            let holes = gates.and_then(|g| g.structure_holes(gi_table));
             program = program.local_stage(move |ctx, _| {
                 let mut applied = 0u64;
                 for env in ctx.drain() {
@@ -473,6 +475,13 @@ pub(crate) fn apply<B: Backend>(
                         ));
                     };
                     for r in rows {
+                        if let Some(h) = holes {
+                            // Entry column 0 is the join value (gi_entry):
+                            // evicted values stay holes until refilled.
+                            if h.contains(r.try_get(0)?) {
+                                continue;
+                            }
+                        }
                         if insert {
                             ctx.node.insert(t, r)?;
                         } else {
@@ -564,8 +573,14 @@ pub(crate) fn apply<B: Backend>(
     } else {
         ChainMode::Delete
     };
-    let (view_rows, view_changes) =
-        chain::apply_at_view(backend, handle, mode, MethodTag::GlobalIndex, capture)?;
+    let (view_rows, view_changes) = chain::apply_at_view(
+        backend,
+        handle,
+        mode,
+        MethodTag::GlobalIndex,
+        capture,
+        gates,
+    )?;
     chain::coord_phase(backend, Phase::View, MethodTag::GlobalIndex, mark);
     let view = backend.finish_meter(&guard);
 

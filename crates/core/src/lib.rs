@@ -38,12 +38,15 @@ pub mod globalindex;
 pub mod layout;
 pub mod minimize;
 pub mod naive;
+pub mod partial;
 pub mod planner;
 pub mod skew;
 pub mod view;
 pub mod viewdef;
 
 pub use advisor::{advise, Advice};
+pub use partial::PartialStats;
+pub use pvm_engine::PartialPolicy;
 
 use pvm_engine::Cluster;
 use pvm_types::Result;

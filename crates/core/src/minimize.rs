@@ -241,6 +241,7 @@ impl ArPool {
             insert,
             crate::chain::BatchPolicy::default(),
             pvm_obs::MethodTag::AuxRel,
+            None, // pooled ARs are shared across views and never partial
         )
     }
 

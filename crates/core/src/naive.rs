@@ -24,7 +24,7 @@ use pvm_engine::{Backend, Cluster};
 use pvm_obs::{MethodTag, Phase};
 use pvm_types::{Result, Row};
 
-use crate::chain::{self, BatchPolicy, ChainMode, JoinPolicy, ProbeTarget};
+use crate::chain::{self, BatchPolicy, ChainMode, JoinPolicy, PartialGates, ProbeTarget};
 use crate::layout::Layout;
 use crate::planner::plan_chain;
 use crate::view::{MaintenanceOutcome, ViewHandle};
@@ -53,6 +53,7 @@ pub(crate) fn apply<B: Backend>(
     policy: JoinPolicy,
     batch: BatchPolicy,
     capture: bool,
+    gates: Option<&PartialGates>,
 ) -> Result<MaintenanceOutcome> {
     let table = handle.base[rel];
     let arity = backend.engine().def(table)?.schema.arity();
@@ -113,7 +114,7 @@ pub(crate) fn apply<B: Backend>(
         ChainMode::Delete
     };
     let (view_rows, view_changes) =
-        chain::apply_at_view(backend, handle, mode, MethodTag::Naive, capture)?;
+        chain::apply_at_view(backend, handle, mode, MethodTag::Naive, capture, gates)?;
     chain::coord_phase(backend, Phase::View, MethodTag::Naive, mark);
     let view = backend.finish_meter(&guard);
 

@@ -1,0 +1,536 @@
+//! Partial state: bounded-memory views with upquery-on-miss.
+//!
+//! The paper worries that "the parallel RDBMS may not have enough disk
+//! space" for the auxiliary structures; partial state attacks the same
+//! pressure from the memory side. A [`PartialPolicy`] puts a per-node
+//! byte budget on a maintained view: view partitions, AR entries, and GI
+//! entries for *cold* keys are dropped as **holes** under size-aware LRU
+//! eviction, and a read that hits a hole recomputes just that key's join
+//! result from the base relations — an **upquery** — charged on the same
+//! counted-cost ledger as maintenance.
+//!
+//! Division of labour:
+//!
+//! * [`PartialState`] (here) owns the hole sets, the per-entry byte
+//!   accounting ([`PartialBudget`]), the admission sketch, and the
+//!   `dropped_at` epoch map that keeps pinned-snapshot reads exact.
+//! * The stage programs that touch storage — upquery, structure refill,
+//!   eviction deletes, point reads — are free functions here, invoked by
+//!   `MaintainedView` (which owns the batch lifecycle).
+//! * [`crate::chain::PartialGates`] carries an immutable snapshot of the
+//!   hole sets into one batch's stage closures; dropped keys flow back
+//!   and become `dropped_at` entries at commit.
+//!
+//! ## Exactness rules
+//!
+//! A read of key `k` at epoch `e`:
+//!
+//! * `dropped_at[k] > e` — refused (`snapshot too old`): deltas for `k`
+//!   were discarded after `e`, and eviction purged `k`'s delta-chain
+//!   history, so no tier can reconstruct the old state. The reader
+//!   retries at the current epoch.
+//! * `k` is a hole and `dropped_at[k] <= e` — an upquery against the
+//!   *current* base relations is exact: every delta affecting `k` since
+//!   `dropped_at[k]` was dropped (else `dropped_at[k]` would be larger),
+//!   so `k`'s join result has not changed between `e` and now.
+//! * `k` resident — the normal read path.
+//!
+//! Structure (AR / GI) holes never affect read exactness: they are
+//! refilled from the *other* relation's base fragments — unchanged by
+//! the in-flight delta — before the compute phase probes them. Structure
+//! holes are only maintained for two-relation views; wider views keep
+//! their structures eager (the view partitions are still partial).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use pvm_engine::{
+    hash_value, Backend, Cluster, NetPayload, PartialBudget, PartialPolicy, PartitionSpec,
+    SpaceSaving, TableId,
+};
+use pvm_obs::MethodTag;
+use pvm_types::{NodeId, PvmError, Result, Row, Value};
+
+use crate::auxrel::AuxState;
+use crate::chain::{self, BatchPolicy, ChainMode, JoinPolicy, PartialGates, ProbeTarget};
+use crate::globalindex::{gi_entry, GiState};
+use crate::layout::Layout;
+use crate::planner::plan_chain;
+use crate::view::ViewHandle;
+
+/// How one maintenance structure stores its entries.
+#[derive(Debug, Clone)]
+pub(crate) enum StructKind {
+    /// σπ copy of the source relation: entries are projections onto
+    /// `keep_cols`, keyed at `key_pos` within the kept set.
+    Ar {
+        keep_cols: Vec<usize>,
+        key_pos: usize,
+    },
+    /// Global index: entries are `(value, node, page, slot)` rows, keyed
+    /// at column 0.
+    Gi,
+}
+
+/// One evictable maintenance structure of a two-relation partial view.
+#[derive(Debug, Clone)]
+pub(crate) struct StructInfo {
+    /// The AR / GI table holding the entries.
+    pub table: TableId,
+    /// The base relation the entries are derived from.
+    pub source_rel: usize,
+    pub source_table: TableId,
+    /// Column of `source_rel` that is the entry key (the join attribute).
+    pub join_col: usize,
+    /// Column of the *other* relation whose delta rows probe this
+    /// structure (well-defined because structure holes are gated to
+    /// two-relation views).
+    pub probe_col_other: usize,
+    pub kind: StructKind,
+    /// The structure table's partitioning — routes refilled entries and
+    /// mirrors byte accounting on the coordinator.
+    pub spec: PartitionSpec,
+}
+
+impl StructInfo {
+    /// Stored-entry column holding the key value.
+    pub fn key_col(&self) -> usize {
+        match &self.kind {
+            StructKind::Ar { key_pos, .. } => *key_pos,
+            StructKind::Gi => 0,
+        }
+    }
+}
+
+/// Point-in-time counters for introspection (`pvm_views`, bench).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartialStats {
+    pub budget_bytes: u64,
+    pub resident_bytes: u64,
+    pub holes: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl PartialStats {
+    /// Fraction of key reads served without an upquery.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// All partial-state bookkeeping of one maintained view.
+#[derive(Debug)]
+pub(crate) struct PartialState {
+    pub policy: PartialPolicy,
+    /// Size-aware LRU ledger over every resident entry (view partitions
+    /// and structure entries alike).
+    pub budget: PartialBudget,
+    /// Traffic sketch over view partition keys (reads and captured
+    /// writes) — its heavy set is eviction-protected until last resort.
+    pub sketch: SpaceSaving,
+    /// View partition keys currently evicted.
+    pub holes: HashSet<Value>,
+    /// Key → epoch of the latest commit that dropped deltas for it.
+    /// Monotone per key; never removed (it is the permanent floor below
+    /// which reads of the key are refused).
+    pub dropped_at: HashMap<Value, u64>,
+    /// Keys whose deltas were dropped by the batch in flight; assigned a
+    /// `dropped_at` epoch when the batch commits.
+    pending_dropped: BTreeSet<Value>,
+    /// Structure-entry holes per AR / GI table.
+    pub struct_holes: HashMap<TableId, HashSet<Value>>,
+    /// The evictable structures (empty for views wider than two
+    /// relations).
+    pub structs: Vec<StructInfo>,
+    l: usize,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl PartialState {
+    pub fn new(policy: PartialPolicy, l: usize, structs: Vec<StructInfo>) -> PartialState {
+        let mut struct_holes = HashMap::new();
+        for s in &structs {
+            struct_holes.insert(s.table, HashSet::new());
+        }
+        PartialState {
+            budget: PartialBudget::new(l, policy.budget_bytes),
+            sketch: SpaceSaving::new(policy.sketch_capacity),
+            policy,
+            holes: HashSet::new(),
+            dropped_at: HashMap::new(),
+            pending_dropped: BTreeSet::new(),
+            struct_holes,
+            structs,
+            l,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Home node of a view partition key (the view table is
+    /// hash-partitioned on its partitioning attribute).
+    pub fn home(&self, v: &Value) -> usize {
+        (hash_value(v) % self.l as u64) as usize
+    }
+
+    /// Snapshot the hole sets for one batch's stage closures.
+    pub fn gates(&self) -> PartialGates {
+        PartialGates::new(self.holes.clone(), self.struct_holes.clone())
+    }
+
+    /// Record the keys a batch's gates dropped; they get their
+    /// `dropped_at` epoch at commit.
+    pub fn note_batch_dropped(&mut self, dropped: BTreeSet<Value>) {
+        self.pending_dropped.extend(dropped);
+    }
+
+    pub fn clear_pending(&mut self) {
+        self.pending_dropped.clear();
+    }
+
+    /// Mirror the byte cost of this batch's AR / GI updates on the
+    /// coordinator. Exact: the skip condition and the destination set
+    /// (`route_all` with sequence 0) are computed exactly as the node
+    /// stages compute them, so charged bytes equal stored bytes.
+    pub fn account_struct_delta(
+        &mut self,
+        rel: usize,
+        placed: &[(Row, pvm_types::GlobalRid)],
+        insert: bool,
+    ) -> Result<()> {
+        let mut ops: Vec<(TableId, Value, usize, u64)> = Vec::new();
+        for s in &self.structs {
+            if s.source_rel != rel {
+                continue;
+            }
+            let holes = self.struct_holes.get(&s.table);
+            for (row, grid) in placed {
+                let v = &row[s.join_col];
+                if holes.is_some_and(|h| h.contains(v)) {
+                    continue;
+                }
+                let entry = match &s.kind {
+                    StructKind::Ar { keep_cols, .. } => row.project(keep_cols)?,
+                    StructKind::Gi => gi_entry(v.clone(), *grid),
+                };
+                let dsts = s.spec.route_all(&entry, self.l, 0)?;
+                let node = dsts.first().map_or(0, |d| d.index());
+                let bytes = entry.byte_size() as u64 * dsts.len() as u64;
+                ops.push((s.table, v.clone(), node, bytes));
+            }
+        }
+        for (table, v, node, bytes) in ops {
+            let key = (table, v);
+            if insert {
+                self.budget.charge(key, node, bytes);
+            } else {
+                self.budget.release(&key, bytes);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold a committed batch into the ledger: captured view changes
+    /// adjust residency bytes (hole rows were never captured), observed
+    /// keys feed the admission sketch, and this batch's dropped keys get
+    /// the committing epoch as their `dropped_at`.
+    pub fn on_commit(
+        &mut self,
+        epoch: u64,
+        pcol: usize,
+        view_table: TableId,
+        captured: &[(Row, bool)],
+    ) {
+        for (row, ins) in captured {
+            let k = &row[pcol];
+            self.sketch.observe(k);
+            let key = (view_table, k.clone());
+            let node = self.home(k);
+            let bytes = row.byte_size() as u64;
+            if *ins {
+                self.budget.charge(key, node, bytes);
+            } else {
+                self.budget.release(&key, bytes);
+            }
+        }
+        for k in std::mem::take(&mut self.pending_dropped) {
+            self.sketch.observe(&k);
+            self.dropped_at.insert(k, epoch);
+        }
+    }
+
+    /// View keys the sketch currently calls heavy — evicted only as a
+    /// last resort.
+    pub fn heavy_keys(&self) -> HashSet<Value> {
+        self.sketch
+            .heavy_values(self.policy.heavy_share)
+            .into_iter()
+            .collect()
+    }
+
+    pub fn stats(&self) -> PartialStats {
+        PartialStats {
+            budget_bytes: self.budget.budget_bytes(),
+            resident_bytes: self.budget.total_resident(),
+            holes: self.holes.len() as u64,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+/// Discover the evictable structures of a two-relation view: one
+/// [`StructInfo`] per AR / GI table, with the probe column of the
+/// opposite relation resolved from the join edge.
+pub(crate) fn collect_structs(
+    cluster: &Cluster,
+    handle: &ViewHandle,
+    aux: Option<&AuxState>,
+    gi: Option<&GiState>,
+) -> Result<Vec<StructInfo>> {
+    debug_assert_eq!(handle.def.relation_count(), 2);
+    let mut out = Vec::new();
+    let other_col = |rel: usize, col: usize| -> Result<usize> {
+        handle
+            .def
+            .edges
+            .iter()
+            .find(|e| e.end_on(rel).is_some_and(|vc| vc.col == col))
+            .and_then(|e| e.other_end(rel))
+            .map(|vc| vc.col)
+            .ok_or_else(|| PvmError::InvalidReference(format!("no join edge on ({rel}, {col})")))
+    };
+    if let Some(aux) = aux {
+        for (&(rel, col), info) in &aux.ars {
+            out.push(StructInfo {
+                table: info.table,
+                source_rel: rel,
+                source_table: handle.base[rel],
+                join_col: col,
+                probe_col_other: other_col(rel, col)?,
+                kind: StructKind::Ar {
+                    keep_cols: info.keep_cols.clone(),
+                    key_pos: info.key_pos,
+                },
+                spec: cluster.def(info.table)?.partitioning.clone(),
+            });
+        }
+    }
+    if let Some(gi) = gi {
+        for (&(rel, col), info) in &gi.gis {
+            out.push(StructInfo {
+                table: info.table,
+                source_rel: rel,
+                source_table: handle.base[rel],
+                join_col: col,
+                probe_col_other: other_col(rel, col)?,
+                kind: StructKind::Gi,
+                spec: cluster.def(info.table)?.partitioning.clone(),
+            });
+        }
+    }
+    // HashMap iteration order is arbitrary; fix it so every backend (and
+    // every run) accounts and refills in the same order.
+    out.sort_by_key(|s| s.table);
+    Ok(out)
+}
+
+/// Recompute one view key's join result from the base relations and
+/// install it into the stored view — the upquery. Anchored on the view's
+/// partitioning attribute: every node pulls its fragment's matching
+/// anchor rows, the planner's chain joins the remaining relations with
+/// naive-style base-table probes (never through AR / GI structures, so
+/// structure holes cannot poison the result), and the ship stage routes
+/// finished rows to the view's home nodes. Returns the captured physical
+/// view-row changes (all inserts).
+///
+/// The caller is responsible for removing the key from its hole set and
+/// charging the installed bytes.
+pub(crate) fn run_upquery<B: Backend>(
+    backend: &mut B,
+    handle: &ViewHandle,
+    policy: JoinPolicy,
+    batch: BatchPolicy,
+    method: MethodTag,
+    key: &Value,
+) -> Result<Vec<(Row, bool)>> {
+    let l = backend.node_count();
+    let anchor = handle.def.partition_attr();
+    let atable = handle.base[anchor.rel];
+    let adef = backend.engine().def(atable)?;
+    let arity = adef.schema.arity();
+    // When the anchor relation is partitioned on the anchor column, only
+    // its probe nodes can hold matches — skip the search elsewhere.
+    let probe_set: Option<Vec<NodeId>> = if adef.partitioning.is_on(anchor.col) {
+        Some(adef.partitioning.probe_nodes(key, l, 0)?)
+    } else {
+        None
+    };
+    let fanout = crate::view_stats_fanout(backend.engine(), handle)?;
+    let plan = plan_chain(&handle.def, anchor.rel, fanout)?;
+    let mut layout = Layout::single(anchor.rel, (0..arity).collect());
+    let mut program = pvm_engine::StepProgram::new();
+    let acol = anchor.col;
+    let k = key.clone();
+    program = program.local_stage(move |ctx, _| {
+        if probe_set.as_ref().is_some_and(|s| !s.contains(&ctx.id())) {
+            return Ok(Vec::new());
+        }
+        ctx.node
+            .index_search(atable, &[acol], &Row::new(vec![k.clone()]))
+    });
+    for step in &plan {
+        let target_table = handle.base[step.rel];
+        let def = backend.engine().def(target_table)?;
+        let target = ProbeTarget {
+            table: target_table,
+            carried: (0..def.schema.arity()).collect(),
+            key: vec![step.probe_col],
+            routing: def
+                .partitioning
+                .is_on(step.probe_col)
+                .then(|| def.partitioning.clone()),
+        };
+        let carried = target.carried.clone();
+        program = chain::push_probe_step(program, &layout, step, target, policy, batch, method, l)?;
+        layout.push(step.rel, carried);
+    }
+    program = chain::push_ship_stage(backend, program, handle, &layout, method)?;
+    backend.run_stages(chain::empty_staged(l), &program)?;
+    let (_, changes) =
+        chain::apply_at_view(backend, handle, ChainMode::Insert, method, true, None)?;
+    Ok(changes)
+}
+
+/// Rebuild one structure's entries for `needed` key values from its
+/// source relation's base fragments. Returns the installed entry rows
+/// per node, for exact byte accounting. Exact because refill runs
+/// *before* the compute phase probes the structure, and the source
+/// relation is untouched by the delta being applied (it is the other
+/// relation of a two-way join).
+pub(crate) fn run_refill<B: Backend>(
+    backend: &mut B,
+    s: &StructInfo,
+    needed: &BTreeSet<Value>,
+) -> Result<Vec<Vec<Row>>> {
+    let l = backend.node_count();
+    let spec = s.spec.clone();
+    let source = s.source_table;
+    let jcol = s.join_col;
+    let table = s.table;
+    let kind = s.kind.clone();
+    let values: Vec<Value> = needed.iter().cloned().collect();
+    let mut program = pvm_engine::StepProgram::new();
+    program = program.stage(move |ctx, _| {
+        let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
+        for v in &values {
+            let keyrow = Row::new(vec![v.clone()]);
+            match &kind {
+                StructKind::Ar { keep_cols, .. } => {
+                    for row in ctx.node.index_search(source, &[jcol], &keyrow)? {
+                        let entry = row.project(keep_cols)?;
+                        for dst in spec.route_all(&entry, l, 0)? {
+                            by_dst[dst.index()].push(entry.clone());
+                        }
+                    }
+                }
+                StructKind::Gi => {
+                    for (rid, _) in ctx.node.index_search_rids(source, &[jcol], &keyrow)? {
+                        let entry = gi_entry(v.clone(), pvm_types::GlobalRid::new(ctx.id(), rid));
+                        for dst in spec.route_all(&entry, l, 0)? {
+                            by_dst[dst.index()].push(entry.clone());
+                        }
+                    }
+                }
+            }
+        }
+        for (dst, rows) in by_dst.into_iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            ctx.send(NodeId::from(dst), NetPayload::DeltaRows { table, rows })?;
+        }
+        Ok(Vec::new())
+    });
+    program = program.local_stage(move |ctx, _| {
+        let mut installed = Vec::new();
+        for env in ctx.drain() {
+            let NetPayload::DeltaRows { table: t, rows } = env.payload else {
+                return Err(PvmError::InvalidOperation(
+                    "unexpected payload during partial refill".into(),
+                ));
+            };
+            for row in rows {
+                ctx.node.insert(t, row.clone())?;
+                installed.push(row);
+            }
+        }
+        if !installed.is_empty() {
+            ctx.count_work(installed.len() as u64);
+        }
+        Ok(installed)
+    });
+    backend.run_stages(chain::empty_staged(l), &program)
+}
+
+/// Delete every stored row of `table` whose `col` equals `key`, at every
+/// node — the eviction delete. Returns the number of rows removed.
+pub(crate) fn delete_matching<B: Backend>(
+    backend: &mut B,
+    table: TableId,
+    col: usize,
+    key: &Value,
+) -> Result<u64> {
+    let k = key.clone();
+    let per_node = backend.step(move |ctx| {
+        let keyrow = Row::new(vec![k.clone()]);
+        let mut removed = 0u64;
+        loop {
+            let matches = ctx.node.index_search(table, &[col], &keyrow)?;
+            if matches.is_empty() {
+                break;
+            }
+            let mut progressed = false;
+            for row in matches {
+                if ctx.node.delete_row(table, &row, &[col])? {
+                    removed += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if removed > 0 {
+            ctx.count_work(removed);
+        }
+        Ok(removed)
+    })?;
+    Ok(per_node.into_iter().sum())
+}
+
+/// Point-read the stored view for one partition key (the non-serving
+/// read path): search every node's fragment, concatenate in node order.
+pub(crate) fn read_stored_key<B: Backend>(
+    backend: &mut B,
+    table: TableId,
+    col: usize,
+    key: &Value,
+) -> Result<Vec<Row>> {
+    let k = key.clone();
+    let per_node = backend.step(move |ctx| {
+        ctx.node
+            .index_search(table, &[col], &Row::new(vec![k.clone()]))
+    })?;
+    Ok(per_node.into_iter().flatten().collect())
+}

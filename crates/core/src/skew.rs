@@ -185,7 +185,28 @@ impl SkewState {
     /// deltas on the other relations of the class, which **probe** it.
     pub fn traffic_split(&self, rel: usize, col: usize) -> (u64, u64) {
         let own = self.traffic.get(&(rel, col)).copied().unwrap_or(0);
-        (own, self.observed(rel, col).saturating_sub(own))
+        let observed = self.observed(rel, col);
+        // `own` is a slice of the class total: if it ever exceeds it, the
+        // sketches were reset without the traffic map (or vice versa) and
+        // the saturating subtraction below would silently zero the probe
+        // side, skewing spread-mode decisions. Fail loudly in tests.
+        debug_assert!(
+            own <= observed,
+            "traffic drift at ({rel},{col}): own {own} > observed {observed} — \
+             sketches and traffic map reset out of step (use reset_observations)"
+        );
+        (own, observed.saturating_sub(own))
+    }
+
+    /// Forget all observed traffic: class sketches **and** the per-column
+    /// traffic map, together. Resetting one without the other breaks the
+    /// `own <= observed` invariant that [`SkewState::traffic_split`]
+    /// depends on, so this is the only reset surface.
+    pub fn reset_observations(&mut self) {
+        for s in &mut self.sketches {
+            *s = SpaceSaving::new(self.config.sketch_capacity);
+        }
+        self.traffic.clear();
     }
 }
 
@@ -274,6 +295,25 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sk.observed(0, 1), 0);
+    }
+
+    #[test]
+    fn reset_clears_sketches_and_traffic_together() {
+        let def = JoinViewDef::two_way("jv", "a", "b", 1, 1, 3, 3);
+        let mut sk = SkewState::new(&def, SkewConfig::default());
+        let rows: Vec<Row> = (0..64).map(|i| row![i, 7, "x"]).collect();
+        sk.observe(0, &rows).unwrap();
+        assert_eq!(sk.traffic_split(0, 1), (64, 0));
+        assert_eq!(sk.traffic_split(1, 1), (0, 64));
+        sk.reset_observations();
+        assert_eq!(sk.observed(0, 1), 0);
+        assert!(sk.heavy_for(0, 1).is_empty());
+        // The split stays consistent after reset — a partial reset (only
+        // the sketches) would trip the debug_assert inside traffic_split.
+        assert_eq!(sk.traffic_split(0, 1), (0, 0));
+        sk.observe(1, &rows).unwrap();
+        assert_eq!(sk.traffic_split(1, 1), (64, 0));
+        assert_eq!(sk.traffic_split(0, 1), (0, 64));
     }
 
     #[test]

@@ -2,16 +2,19 @@
 //! keeps it consistent under one of the three maintenance methods.
 
 use pvm_engine::{
-    exec, Backend, Cluster, MeterReport, PartitionSpec, SpreadMode, TableDef, TableId,
+    exec, Backend, Cluster, MeterReport, PartialPolicy, PartitionSpec, SpreadMode, TableDef,
+    TableId,
 };
+use pvm_obs::MethodTag;
 use pvm_serve::{ServePublisher, ServeReader};
 use pvm_storage::Organization;
-use pvm_types::{PvmError, Result, Row};
+use pvm_types::{PvmError, Result, Row, Value};
 
 use crate::auxrel::{self, AuxState};
 use crate::delta::Delta;
 use crate::globalindex::{self, GiState};
 use crate::naive;
+use crate::partial::{self, PartialState, PartialStats};
 use crate::skew::{RebalanceReport, RebalancedTable, SkewConfig, SkewState};
 use crate::viewdef::JoinViewDef;
 
@@ -244,6 +247,10 @@ pub struct MaintainedView {
     /// or rewound on abort ([`MaintainedView::discard_pending`]). Readers
     /// never observe an epoch that could still roll back.
     pending_publish: Vec<(u64, Vec<(Row, bool)>)>,
+    /// Partial-state bookkeeping, when enabled
+    /// ([`MaintainedView::enable_partial`]): hole sets, per-entry byte
+    /// accounting, admission sketch, `dropped_at` epochs.
+    partial: Option<PartialState>,
     /// Cached cluster observability handle — captured on first apply so
     /// batch commit (which has no backend in scope) can gate and publish
     /// per-view metrics.
@@ -316,6 +323,7 @@ impl MaintainedView {
             open_batch: None,
             serve: None,
             pending_publish: Vec::new(),
+            partial: None,
             obs: None,
             recent_costs: std::collections::VecDeque::new(),
         };
@@ -419,6 +427,7 @@ impl MaintainedView {
             open_batch: None,
             serve: None,
             pending_publish: Vec::new(),
+            partial: None,
             obs: None,
             recent_costs: std::collections::VecDeque::new(),
         };
@@ -518,6 +527,7 @@ impl MaintainedView {
             open_batch: None,
             serve: None,
             pending_publish: Vec::new(),
+            partial: None,
             obs: None,
             recent_costs: std::collections::VecDeque::new(),
         };
@@ -615,6 +625,7 @@ impl MaintainedView {
         match self.apply_phases(backend, rel, delta) {
             Ok(outcome) => {
                 self.commit_batch(backend.in_txn());
+                self.enforce_partial_budget(backend)?;
                 Ok(outcome)
             }
             Err(e) => {
@@ -702,6 +713,17 @@ impl MaintainedView {
                     .add(cost.sends);
             }
         }
+        if let Some(p) = &mut self.partial {
+            // Hole rows were never captured, so captured changes are
+            // exactly the resident-byte delta; keys the gates dropped get
+            // this commit's epoch as their `dropped_at`.
+            p.on_commit(
+                self.epoch,
+                self.handle.view_pcol,
+                self.handle.view_table,
+                &batch.captured,
+            );
+        }
         if self.serve.is_some() {
             if defer {
                 self.pending_publish.push((self.epoch, batch.captured));
@@ -740,6 +762,9 @@ impl MaintainedView {
     /// failed maintenance path. Safe to call with no batch open.
     fn abort_batch(&mut self) {
         self.open_batch = None;
+        if let Some(p) = &mut self.partial {
+            p.clear_pending();
+        }
     }
 
     fn apply_rows<B: Backend>(
@@ -788,29 +813,75 @@ impl MaintainedView {
         if standalone {
             self.begin_batch();
         }
+        // Partial state: rebuild the structure entries this delta will
+        // probe (their source relation is the *other* one, untouched by
+        // this delta, so the refill is exact), then gate the batch's
+        // stages on an immutable snapshot of the hole sets.
+        let refill_err = self.partial_refill(backend, rel, placed).err();
+        if let Some(e) = refill_err {
+            if standalone {
+                self.abort_batch();
+            }
+            return Err(e);
+        }
+        let gates = self.partial.as_ref().map(PartialState::gates);
         let handle = &self.handle;
         let policy = self.policy;
         let batch = self.batch;
-        let capture = self.serve.is_some();
+        // Serving publishes captured changes; partial accounting needs
+        // them too (and must see what was dropped at the gates).
+        let capture = self.serve.is_some() || self.partial.is_some();
         let result = match self.method {
-            MaintenanceMethod::Naive => {
-                naive::apply(backend, handle, rel, placed, insert, policy, batch, capture)
-            }
+            MaintenanceMethod::Naive => naive::apply(
+                backend,
+                handle,
+                rel,
+                placed,
+                insert,
+                policy,
+                batch,
+                capture,
+                gates.as_ref(),
+            ),
             MaintenanceMethod::AuxiliaryRelation => {
                 let state = self.aux.as_ref().expect("aux state installed");
                 auxrel::apply(
-                    backend, handle, state, rel, placed, insert, policy, batch, capture,
+                    backend,
+                    handle,
+                    state,
+                    rel,
+                    placed,
+                    insert,
+                    policy,
+                    batch,
+                    capture,
+                    gates.as_ref(),
                 )
             }
             MaintenanceMethod::GlobalIndex => {
                 let state = self.gi.as_ref().expect("gi state installed");
                 globalindex::apply(
-                    backend, handle, state, rel, placed, insert, policy, batch, capture,
+                    backend,
+                    handle,
+                    state,
+                    rel,
+                    placed,
+                    insert,
+                    policy,
+                    batch,
+                    capture,
+                    gates.as_ref(),
                 )
             }
         };
         match result {
             Ok(mut outcome) => {
+                if let Some(p) = &mut self.partial {
+                    p.account_struct_delta(rel, placed, insert)?;
+                    if let Some(g) = &gates {
+                        p.note_batch_dropped(g.take_dropped());
+                    }
+                }
                 if let Some(open) = &mut self.open_batch {
                     open.captured.append(&mut outcome.view_changes);
                 }
@@ -827,6 +898,7 @@ impl MaintainedView {
                 }
                 if standalone {
                     self.commit_batch(backend.in_txn());
+                    self.enforce_partial_budget(backend)?;
                 }
                 Ok(outcome)
             }
@@ -892,6 +964,407 @@ impl MaintainedView {
         self.serve.as_ref().map(|p| p.reader())
     }
 
+    fn method_tag(&self) -> MethodTag {
+        match self.method {
+            MaintenanceMethod::Naive => MethodTag::Naive,
+            MaintenanceMethod::AuxiliaryRelation => MethodTag::AuxRel,
+            MaintenanceMethod::GlobalIndex => MethodTag::GlobalIndex,
+        }
+    }
+
+    /// Put this view under a per-node memory budget
+    /// ([`PartialPolicy::budget_bytes`]): cold view partitions — and, for
+    /// two-relation views, cold AR / GI entries — are evicted as *holes*
+    /// under size-aware LRU, and a read that hits a hole recomputes just
+    /// that key from the base relations ([`MaintainedView::read_key`]).
+    ///
+    /// Rejected for aggregate views (a group's fold state cannot be
+    /// recomputed from one key's base rows alone), pool-shared ARs
+    /// (other views read them eagerly), and skew-handled views (a
+    /// rebalance rewrites the structures the accounting tracks).
+    pub fn enable_partial<B: Backend>(
+        &mut self,
+        backend: &mut B,
+        policy: PartialPolicy,
+    ) -> Result<()> {
+        if self.partial.is_some() {
+            return Err(PvmError::InvalidOperation(format!(
+                "view '{}' is already partial",
+                self.handle.def.name
+            )));
+        }
+        if self.handle.agg.is_some() {
+            return Err(PvmError::InvalidOperation(
+                "aggregate views cannot be partial: group state is not recomputable per key".into(),
+            ));
+        }
+        if self.aux.as_ref().is_some_and(|a| a.shared) {
+            return Err(PvmError::InvalidOperation(
+                "views on pool-shared auxiliary relations cannot be partial".into(),
+            ));
+        }
+        if self.skew.is_some() {
+            return Err(PvmError::InvalidOperation(
+                "skew-handled views cannot be partial: rebalance invalidates the accounting".into(),
+            ));
+        }
+        if self.open_batch.is_some() || backend.in_txn() {
+            return Err(PvmError::InvalidOperation(
+                "cannot enable partial state while a maintenance batch or transaction is open"
+                    .into(),
+            ));
+        }
+        let cluster = backend.engine_mut();
+        // Upqueries probe the base relations naive-style regardless of
+        // the view's method, so every join attribute — and the anchor
+        // (partitioning) attribute — must be indexed.
+        naive::install(cluster, &self.handle)?;
+        let anchor = self.handle.def.partition_attr();
+        crate::chain::ensure_join_index(cluster, self.handle.base[anchor.rel], anchor.col)?;
+        let structs = if self.handle.def.relation_count() == 2 {
+            partial::collect_structs(cluster, &self.handle, self.aux.as_ref(), self.gi.as_ref())?
+        } else {
+            // Wider views keep their structures eager; only the view
+            // partitions are partial.
+            Vec::new()
+        };
+        // GI refill captures rids, which only a *secondary* index search
+        // yields; a source relation clustered on the join attribute
+        // satisfies `ensure_join_index` without one.
+        for s in &structs {
+            if let partial::StructKind::Gi = s.kind {
+                let def = cluster.def(s.source_table)?;
+                let clustered = matches!(
+                    &def.organization,
+                    Organization::Clustered { key } if key.as_slice() == [s.join_col]
+                );
+                if clustered {
+                    let name = format!("{}_pq{}", def.name, s.join_col);
+                    cluster.create_secondary_index(s.source_table, name, vec![s.join_col])?;
+                }
+            }
+        }
+        let l = cluster.node_count();
+        let mut state = PartialState::new(policy, l, structs);
+        // Everything currently materialized is resident: charge it where
+        // it is stored.
+        let pcol = self.handle.view_pcol;
+        let seeds: Vec<(TableId, usize)> = state
+            .structs
+            .iter()
+            .map(|s| (s.table, s.key_col()))
+            .collect();
+        for n in cluster.nodes() {
+            let node = n.id().index();
+            for (_, row) in n.storage(self.handle.view_table)?.scan()? {
+                state.budget.charge(
+                    (self.handle.view_table, row[pcol].clone()),
+                    node,
+                    row.byte_size() as u64,
+                );
+            }
+            for &(table, key_col) in &seeds {
+                for (_, row) in n.storage(table)?.scan()? {
+                    state.budget.charge(
+                        (table, row[key_col].clone()),
+                        node,
+                        row.byte_size() as u64,
+                    );
+                }
+            }
+        }
+        self.partial = Some(state);
+        // Evict straight down to the budget.
+        self.enforce_partial_budget(backend)?;
+        Ok(())
+    }
+
+    /// Partial-state counters, when enabled.
+    pub fn partial_stats(&self) -> Option<PartialStats> {
+        self.partial.as_ref().map(|p| p.stats())
+    }
+
+    /// View keys currently evicted, sorted — the scan path upqueries
+    /// these before reading ([`MaintainedView::ensure_all_resident`]).
+    pub fn partial_holes(&self) -> Vec<Value> {
+        match &self.partial {
+            Some(p) => {
+                let mut keys: Vec<Value> = p.holes.iter().cloned().collect();
+                keys.sort();
+                keys
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Refuse a full-scan read at `epoch` when any key's eviction fence
+    /// sits above it: eviction purged that key's chain history from the
+    /// serve tier, so the snapshot is no longer reconstructible. A no-op
+    /// for non-partial views and current-epoch reads.
+    pub fn verify_scan_epoch(&self, epoch: u64) -> Result<()> {
+        let Some(p) = &self.partial else {
+            return Ok(());
+        };
+        if let Some((k, &d)) = p.dropped_at.iter().find(|(_, &d)| d > epoch) {
+            return Err(PvmError::InvalidOperation(format!(
+                "snapshot too old: key {k} of partial view '{}' was evicted at epoch {d} \
+                 (reading at {epoch}); retry at the current epoch",
+                self.handle.def.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Make `key` readable at `epoch`: refuse reads below the key's
+    /// `dropped_at` floor (eviction purged that history everywhere — the
+    /// reader must retry at the current epoch), upquery if the key is a
+    /// hole, and record the hit / miss. A no-op for non-partial views.
+    /// Budget enforcement is left to the caller so a freshly installed
+    /// result cannot be evicted before it is read.
+    pub fn ensure_key_resident<B: Backend>(
+        &mut self,
+        backend: &mut B,
+        key: &Value,
+        epoch: u64,
+    ) -> Result<()> {
+        let view_table = self.handle.view_table;
+        let Some(p) = &mut self.partial else {
+            return Ok(());
+        };
+        if let Some(&d) = p.dropped_at.get(key) {
+            if d > epoch {
+                return Err(PvmError::InvalidOperation(format!(
+                    "snapshot too old: key {key} of partial view '{}' was evicted at epoch {d} \
+                     (reading at {epoch}); retry at the current epoch",
+                    self.handle.def.name
+                )));
+            }
+        }
+        if !p.holes.contains(key) {
+            p.hits += 1;
+            p.sketch.observe(key);
+            p.budget.touch(&(view_table, key.clone()));
+            let obs = backend.engine().obs_handle();
+            if obs.enabled() {
+                obs.metrics().counter(pvm_obs::metric::PARTIAL_HITS).inc();
+                obs.metrics()
+                    .histogram(pvm_obs::metric::PARTIAL_HIT_RATE)
+                    .observe(1000);
+            }
+            return Ok(());
+        }
+        // Miss: recompute the key from the base relations. Exact because
+        // every delta for the key since `dropped_at[key]` was dropped —
+        // its join result has not moved since `epoch` (see the module
+        // docs of `crate::partial`).
+        if backend.in_txn() || self.open_batch.is_some() {
+            return Err(PvmError::InvalidOperation(
+                "cannot upquery a partial view while a transaction or maintenance batch is open"
+                    .into(),
+            ));
+        }
+        p.misses += 1;
+        p.sketch.observe(key);
+        let t0 = std::time::Instant::now();
+        let changes = partial::run_upquery(
+            backend,
+            &self.handle,
+            self.policy,
+            self.batch,
+            self.method_tag(),
+            key,
+        )?;
+        let rows: Vec<Row> = changes
+            .into_iter()
+            .filter(|(_, ins)| *ins)
+            .map(|(r, _)| r)
+            .collect();
+        let p = self.partial.as_mut().expect("partial");
+        p.holes.remove(key);
+        let node = p.home(key);
+        let bytes: u64 = rows.iter().map(|r| r.byte_size() as u64).sum();
+        p.budget.charge((view_table, key.clone()), node, bytes);
+        if let Some(serve) = &self.serve {
+            // Fold the result into the serve-tier base — no epoch is
+            // published; `dropped_at` already fences stale readers.
+            serve.install_rows(&rows);
+        }
+        let obs = backend.engine().obs_handle();
+        if obs.enabled() {
+            let m = obs.metrics();
+            m.counter(pvm_obs::metric::PARTIAL_MISSES).inc();
+            m.histogram(pvm_obs::metric::PARTIAL_HIT_RATE).observe(0);
+            m.histogram(pvm_obs::metric::PARTIAL_UPQUERY_US)
+                .observe(t0.elapsed().as_micros() as u64);
+        }
+        Ok(())
+    }
+
+    /// Upquery every hole (in sorted key order, for determinism) so a
+    /// full scan at the current epoch sees the complete view. Returns the
+    /// number of upqueries issued. The caller should
+    /// [`MaintainedView::enforce_partial_budget`] after its read.
+    pub fn ensure_all_resident<B: Backend>(&mut self, backend: &mut B) -> Result<u64> {
+        let keys = self.partial_holes();
+        let epoch = self.epoch;
+        for k in &keys {
+            self.ensure_key_resident(backend, k, epoch)?;
+        }
+        Ok(keys.len() as u64)
+    }
+
+    /// Point-read the view at its current epoch, upquerying on a miss:
+    /// the partial read path. Serves from the MVCC snapshot tier when
+    /// enabled, else from the stored view table. Works on non-partial
+    /// views too (plain point read).
+    pub fn read_key<B: Backend>(&mut self, backend: &mut B, key: &Value) -> Result<Vec<Row>> {
+        let epoch = self.epoch;
+        self.ensure_key_resident(backend, key, epoch)?;
+        let rows = match &self.serve {
+            Some(serve) => serve.reader().snapshot().lookup(self.handle.view_pcol, key),
+            None => partial::read_stored_key(
+                backend,
+                self.handle.view_table,
+                self.handle.view_pcol,
+                key,
+            )?,
+        };
+        self.enforce_partial_budget(backend)?;
+        Ok(rows)
+    }
+
+    /// Evict entries until every node is back under the policy budget:
+    /// delete each victim's stored rows, purge its serve-tier history,
+    /// install the hole, and (for view keys) stamp `dropped_at` with the
+    /// current epoch. Heavy keys per the admission sketch go last.
+    /// Deferred while a transaction or maintenance batch is open — a
+    /// rolled-back delete would corrupt the accounting; the next
+    /// post-commit call catches up. Returns the number of entries
+    /// evicted.
+    pub fn enforce_partial_budget<B: Backend>(&mut self, backend: &mut B) -> Result<u64> {
+        let Some(p) = &self.partial else {
+            return Ok(0);
+        };
+        if backend.in_txn() || self.open_batch.is_some() {
+            return Ok(0);
+        }
+        let view_table = self.handle.view_table;
+        let pcol = self.handle.view_pcol;
+        let victims = if p.budget.over_budget() {
+            let heavy = p.heavy_keys();
+            p.budget
+                .plan_evictions(|(t, v)| *t == view_table && heavy.contains(v))
+        } else {
+            Vec::new()
+        };
+        let epoch = self.epoch;
+        let mut evicted = 0u64;
+        for key in victims {
+            let (table, v) = &key;
+            if *table == view_table {
+                partial::delete_matching(backend, view_table, pcol, v)?;
+                if let Some(serve) = &self.serve {
+                    serve.purge_matching(pcol, v);
+                }
+                let p = self.partial.as_mut().expect("partial");
+                p.holes.insert(v.clone());
+                p.dropped_at.insert(v.clone(), epoch);
+                p.budget.remove(&key);
+                p.evictions += 1;
+            } else {
+                let Some(col) = self
+                    .partial
+                    .as_ref()
+                    .expect("partial")
+                    .structs
+                    .iter()
+                    .find(|s| s.table == *table)
+                    .map(|s| s.key_col())
+                else {
+                    continue;
+                };
+                partial::delete_matching(backend, *table, col, v)?;
+                let p = self.partial.as_mut().expect("partial");
+                p.struct_holes.entry(*table).or_default().insert(v.clone());
+                p.budget.remove(&key);
+                p.evictions += 1;
+            }
+            evicted += 1;
+        }
+        let p = self.partial.as_ref().expect("partial");
+        let obs = backend.engine().obs_handle();
+        if obs.enabled() {
+            let m = obs.metrics();
+            if evicted > 0 {
+                m.counter(pvm_obs::metric::PARTIAL_EVICTIONS).add(evicted);
+            }
+            m.histogram(pvm_obs::metric::PARTIAL_RESIDENT_BYTES)
+                .observe(p.budget.total_resident());
+        }
+        Ok(evicted)
+    }
+
+    /// Rebuild the structure entries the incoming delta will probe, for
+    /// values that are currently holes — from the *other* relation's base
+    /// fragments, which this delta does not touch, so the refilled
+    /// entries are exact before the compute phase reads them.
+    fn partial_refill<B: Backend>(
+        &mut self,
+        backend: &mut B,
+        rel: usize,
+        placed: &[(Row, pvm_types::GlobalRid)],
+    ) -> Result<()> {
+        let Some(p) = &self.partial else {
+            return Ok(());
+        };
+        if p.structs.is_empty() {
+            return Ok(());
+        }
+        let mut jobs: Vec<(partial::StructInfo, std::collections::BTreeSet<Value>)> = Vec::new();
+        for s in &p.structs {
+            if s.source_rel == rel {
+                // The delta's own structures are *updated* (hole-gated),
+                // never probed by this delta.
+                continue;
+            }
+            let Some(holes) = p.struct_holes.get(&s.table) else {
+                continue;
+            };
+            if holes.is_empty() {
+                continue;
+            }
+            let mut needed = std::collections::BTreeSet::new();
+            for (row, _) in placed {
+                let v = &row[s.probe_col_other];
+                if holes.contains(v) {
+                    needed.insert(v.clone());
+                }
+            }
+            if !needed.is_empty() {
+                jobs.push((s.clone(), needed));
+            }
+        }
+        for (s, needed) in jobs {
+            let installed = partial::run_refill(backend, &s, &needed)?;
+            let p = self.partial.as_mut().expect("partial");
+            for (node, rows) in installed.iter().enumerate() {
+                for row in rows {
+                    p.budget.charge(
+                        (s.table, row[s.key_col()].clone()),
+                        node,
+                        row.byte_size() as u64,
+                    );
+                }
+            }
+            if let Some(h) = p.struct_holes.get_mut(&s.table) {
+                for v in &needed {
+                    h.remove(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// [`MaintainedView::create`] plus
     /// [`MaintainedView::enable_skew_handling`] in one call: the method's
     /// structures come up heavy-light-partitioned (with an empty heavy
@@ -930,6 +1403,13 @@ impl MaintainedView {
         cluster: &mut Cluster,
         config: SkewConfig,
     ) -> Result<()> {
+        if self.partial.is_some() {
+            return Err(PvmError::InvalidOperation(
+                "partial views cannot enable skew handling: rebalance would rewrite the \
+                 structures the partial accounting tracks"
+                    .into(),
+            ));
+        }
         match self.method {
             MaintenanceMethod::Naive => {
                 return Err(PvmError::InvalidOperation(
@@ -1085,6 +1565,7 @@ impl MaintainedView {
             Ok(outcome) => {
                 backend.commit_txn()?;
                 self.publish_pending();
+                self.enforce_partial_budget(backend)?;
                 Ok(outcome)
             }
             Err(e) => {
@@ -1203,6 +1684,11 @@ pub fn maintain_all<B: Backend>(
             for view in views.iter_mut() {
                 if view.open_batch.is_some() {
                     view.commit_batch(defer);
+                }
+            }
+            if !defer {
+                for view in views.iter_mut() {
+                    view.enforce_partial_budget(backend)?;
                 }
             }
             Ok(outcomes)
@@ -1348,6 +1834,11 @@ pub fn maintain_all_pooled<B: Backend>(
             for view in views.iter_mut() {
                 if view.open_batch.is_some() {
                     view.commit_batch(defer);
+                }
+            }
+            if !defer {
+                for view in views.iter_mut() {
+                    view.enforce_partial_budget(backend)?;
                 }
             }
             Ok(outcomes)
@@ -1814,5 +2305,173 @@ mod tests {
         c2.sort();
         assert_eq!(r1.snapshot().rows(), c1);
         assert_eq!(r2.snapshot().rows(), c2);
+    }
+
+    #[test]
+    fn partial_reads_match_oracle_after_eviction() {
+        for m in methods() {
+            let (mut cluster, _, _) = setup(4);
+            let mut view = MaintainedView::create(&mut cluster, jv_def(), m).unwrap();
+            view.enable_partial(&mut cluster, PartialPolicy::with_budget(600))
+                .unwrap();
+            assert!(
+                view.partial_stats().unwrap().evictions > 0,
+                "{m:?}: a tiny budget must evict"
+            );
+            // Maintain under holes: a new A key, a deleted B row, and
+            // deltas whose view rows land on holes and get dropped.
+            view.apply(&mut cluster, 0, &Delta::Insert(vec![row![100, 3, "a100"]]))
+                .unwrap();
+            view.apply(&mut cluster, 1, &Delta::Delete(vec![row![7, 7, "b7"]]))
+                .unwrap();
+            view.apply(&mut cluster, 1, &Delta::Insert(vec![row![50, 9, "b50"]]))
+                .unwrap();
+            let oracle = view.recompute_expected(&cluster).unwrap();
+            for k in (0..21).chain([100, 999]) {
+                let key = Value::Int(k);
+                let mut got = view.read_key(&mut cluster, &key).unwrap();
+                let mut want: Vec<Row> = oracle.iter().filter(|r| r[0] == key).cloned().collect();
+                got.sort();
+                want.sort();
+                assert_eq!(got, want, "{m:?}: key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_accounting_matches_stored_bytes_and_budget() {
+        for m in methods() {
+            let (mut cluster, _, _) = setup(4);
+            let mut view = MaintainedView::create(&mut cluster, jv_def(), m).unwrap();
+            let budget = 900u64;
+            view.enable_partial(&mut cluster, PartialPolicy::with_budget(budget))
+                .unwrap();
+            for i in 0..6i64 {
+                view.apply(
+                    &mut cluster,
+                    0,
+                    &Delta::Insert(vec![row![200 + i, i % 10, "x"]]),
+                )
+                .unwrap();
+                view.apply(
+                    &mut cluster,
+                    1,
+                    &Delta::Insert(vec![row![300 + i, i % 10, "y"]]),
+                )
+                .unwrap();
+            }
+            view.read_key(&mut cluster, &Value::Int(3)).unwrap();
+            // The ledger must equal the physically stored bytes, and every
+            // node must be back under budget after enforcement.
+            let mut tables = vec![view.view_table()];
+            tables.extend(view.method_tables());
+            let mut stored_total = 0u64;
+            for n in cluster.nodes() {
+                let mut node_bytes = 0u64;
+                for &t in &tables {
+                    for (_, r) in n.storage(t).unwrap().scan().unwrap() {
+                        node_bytes += r.byte_size() as u64;
+                    }
+                }
+                assert!(
+                    node_bytes <= budget,
+                    "{m:?}: node {} stores {node_bytes} bytes > budget {budget}",
+                    n.id().index()
+                );
+                stored_total += node_bytes;
+            }
+            let stats = view.partial_stats().unwrap();
+            assert_eq!(stats.resident_bytes, stored_total, "{m:?}: ledger drift");
+        }
+    }
+
+    #[test]
+    fn partial_refuses_reads_below_dropped_at() {
+        let (mut cluster, _, _) = setup(2);
+        let mut view =
+            MaintainedView::create(&mut cluster, jv_def(), MaintenanceMethod::AuxiliaryRelation)
+                .unwrap();
+        view.enable_partial(&mut cluster, PartialPolicy::with_budget(400))
+            .unwrap();
+        let holes = view.partial_holes();
+        assert!(!holes.is_empty());
+        let k = holes[0].clone();
+        let e0 = view.epoch();
+        // A delta for the hole key gets dropped at the gates, bumping its
+        // dropped_at past e0.
+        let Value::Int(kv) = k else { unreachable!() };
+        view.apply(&mut cluster, 0, &Delta::Insert(vec![row![kv, 3, "dup"]]))
+            .unwrap();
+        let key = Value::Int(kv);
+        let err = view
+            .ensure_key_resident(&mut cluster, &key, e0)
+            .unwrap_err();
+        assert!(err.to_string().contains("snapshot too old"), "{err}");
+        // At the current epoch the same key upqueries fine.
+        let got = view.read_key(&mut cluster, &key).unwrap();
+        let want: Vec<Row> = view
+            .recompute_expected(&cluster)
+            .unwrap()
+            .into_iter()
+            .filter(|r| r[0] == key)
+            .collect();
+        assert_eq!(got.len(), want.len());
+    }
+
+    #[test]
+    fn partial_serves_snapshot_reads_with_upquery() {
+        let (mut cluster, _, _) = setup(4);
+        let mut view =
+            MaintainedView::create(&mut cluster, jv_def(), MaintenanceMethod::GlobalIndex).unwrap();
+        view.enable_serving(&cluster).unwrap();
+        view.enable_partial(&mut cluster, PartialPolicy::with_budget(500))
+            .unwrap();
+        view.apply(&mut cluster, 1, &Delta::Insert(vec![row![60, 2, "b60"]]))
+            .unwrap();
+        let oracle = view.recompute_expected(&cluster).unwrap();
+        for k in 0..20 {
+            let key = Value::Int(k);
+            let mut got = view.read_key(&mut cluster, &key).unwrap();
+            let mut want: Vec<Row> = oracle.iter().filter(|r| r[0] == key).cloned().collect();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "key {k}");
+        }
+    }
+
+    #[test]
+    fn partial_rejected_for_aggregates_and_during_txn() {
+        let (mut cluster, _, _) = setup(2);
+        let shape = crate::aggregate::AggShape {
+            group_by: vec![1],
+            aggregates: vec![crate::aggregate::AggSpec::count()],
+        };
+        let mut agg = MaintainedView::create_aggregate(
+            &mut cluster,
+            jv_def(),
+            shape,
+            MaintenanceMethod::Naive,
+        )
+        .unwrap();
+        assert!(agg
+            .enable_partial(&mut cluster, PartialPolicy::with_budget(1 << 20))
+            .is_err());
+
+        let (mut cluster, _, _) = setup(2);
+        let mut view =
+            MaintainedView::create(&mut cluster, jv_def(), MaintenanceMethod::Naive).unwrap();
+        cluster.begin_txn().unwrap();
+        assert!(view
+            .enable_partial(&mut cluster, PartialPolicy::with_budget(1 << 20))
+            .is_err());
+        cluster.abort_txn().unwrap();
+        // With a roomy budget nothing is evicted and reads are plain hits.
+        view.enable_partial(&mut cluster, PartialPolicy::with_budget(1 << 20))
+            .unwrap();
+        assert_eq!(view.partial_stats().unwrap().evictions, 0);
+        let got = view.read_key(&mut cluster, &Value::Int(5)).unwrap();
+        assert_eq!(got.len(), 5, "key 5 joins its 5 B rows");
+        let stats = view.partial_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 0));
     }
 }

@@ -19,6 +19,7 @@ pub mod exec;
 pub mod message;
 pub mod meter;
 pub mod node;
+pub mod partial;
 pub mod partition;
 pub mod sketch;
 pub mod wal;
@@ -31,6 +32,7 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use message::NetPayload;
 pub use meter::{MeterGuard, MeterReport};
 pub use node::NodeState;
+pub use partial::{EntryKey, PartialBudget, PartialPolicy};
 pub use partition::{hash_row, hash_value, PartitionSpec, SpreadMode};
 pub use sketch::SpaceSaving;
 pub use wal::{recover, replay_node, Wal, WalRecord};

@@ -203,6 +203,22 @@ impl NodeState {
         t.index_search(key, key_values, ledger)
     }
 
+    /// Probe a local secondary index, returning `(rid, row)` pairs (see
+    /// [`TableStorage::index_search_rids`] for the charging rules).
+    pub fn index_search_rids(
+        &mut self,
+        id: TableId,
+        key: &[usize],
+        key_values: &Row,
+    ) -> Result<Vec<(pvm_types::Rid, Row)>> {
+        let ledger = &mut self.ledger;
+        let t = self
+            .tables
+            .get(&id)
+            .ok_or_else(|| PvmError::NotFound(format!("{id}")))?;
+        t.index_search_rids(key, key_values, ledger)
+    }
+
     /// Probe a local index with a whole batch of key rows at once (see
     /// [`TableStorage::index_search_batch`]: one SEARCH per *distinct*
     /// key; duplicates share their representative's result and FETCHes).

@@ -1,0 +1,306 @@
+//! Per-node memory budgets and size-aware LRU accounting for partially
+//! stateful views.
+//!
+//! A partial view keeps only its hot keys materialized; everything else
+//! is a *hole* that is recomputed on demand (an upquery). This module is
+//! the engine half of that story: a [`PartialBudget`] tracks, per node,
+//! how many bytes of view / auxiliary-relation / global-index entries are
+//! resident, stamps every entry with a **logical** LRU clock (wall clocks
+//! would make eviction order — and therefore stored state — differ across
+//! backends), and plans which entries to drop when a node exceeds its
+//! [`PartialPolicy::budget_bytes`].
+//!
+//! The budget is pure bookkeeping: the view layer owns the actual row
+//! deletion and hole installation. Keeping the accounting here, keyed by
+//! `(TableId, key value)`, lets one ledger cover all three state kinds
+//! (view partitions, AR entries, GI entries) with a single eviction
+//! order.
+
+use std::collections::{BTreeSet, HashMap};
+
+use pvm_types::Value;
+
+use crate::catalog::TableId;
+
+/// One resident entry: all rows of one key value in one table.
+pub type EntryKey = (TableId, Value);
+
+/// Partial-state policy for one maintained view.
+#[derive(Debug, Clone)]
+pub struct PartialPolicy {
+    /// Per-node resident budget in bytes across the view table and any
+    /// auxiliary structures (ARs, global indexes) the method maintains.
+    pub budget_bytes: u64,
+    /// Capacity of the SpaceSaving admission sketch observing view-key
+    /// traffic; keys it reports heavy are evicted last.
+    pub sketch_capacity: usize,
+    /// Minimum traffic share for a key to count as heavy (protected).
+    pub heavy_share: f64,
+}
+
+impl PartialPolicy {
+    /// Policy with the given per-node byte budget and default admission
+    /// settings (64-counter sketch, 5% heavy share).
+    pub fn with_budget(budget_bytes: u64) -> PartialPolicy {
+        PartialPolicy {
+            budget_bytes,
+            sketch_capacity: 64,
+            heavy_share: 0.05,
+        }
+    }
+
+    pub fn sketch_capacity(mut self, capacity: usize) -> PartialPolicy {
+        self.sketch_capacity = capacity;
+        self
+    }
+
+    pub fn heavy_share(mut self, share: f64) -> PartialPolicy {
+        self.heavy_share = share;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EntryInfo {
+    stamp: u64,
+    bytes: u64,
+    node: usize,
+}
+
+/// Size-aware LRU ledger of resident partial-state entries across all
+/// nodes of a cluster. Deterministic: the LRU order is a logical access
+/// counter, never wall time.
+#[derive(Debug)]
+pub struct PartialBudget {
+    budget_bytes: u64,
+    clock: u64,
+    entries: HashMap<EntryKey, EntryInfo>,
+    /// `(stamp, entry)` mirror of `entries`, oldest first — the same
+    /// indexing trick as `BufferPool`'s LRU and `SpaceSaving`'s
+    /// by-count set, so victim selection is O(log n).
+    lru: BTreeSet<(u64, EntryKey)>,
+    /// Resident bytes per node.
+    resident: Vec<u64>,
+}
+
+impl PartialBudget {
+    pub fn new(nodes: usize, budget_bytes: u64) -> PartialBudget {
+        PartialBudget {
+            budget_bytes,
+            clock: 0,
+            entries: HashMap::new(),
+            lru: BTreeSet::new(),
+            resident: vec![0; nodes],
+        }
+    }
+
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Resident bytes at `node`.
+    pub fn resident_bytes(&self, node: usize) -> u64 {
+        self.resident.get(node).copied().unwrap_or(0)
+    }
+
+    /// Resident bytes summed over all nodes.
+    pub fn total_resident(&self) -> u64 {
+        self.resident.iter().sum()
+    }
+
+    /// The node an entry is charged to, if resident.
+    pub fn node_of(&self, key: &EntryKey) -> Option<usize> {
+        self.entries.get(key).map(|e| e.node)
+    }
+
+    pub fn is_resident(&self, key: &EntryKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Add `bytes` to an entry (creating it at `node` if absent) and mark
+    /// it most recently used.
+    pub fn charge(&mut self, key: EntryKey, node: usize, bytes: u64) {
+        let stamp = self.tick();
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                self.lru.remove(&(e.stamp, key.clone()));
+                // Entries never migrate: keep the original home so
+                // release() drains the same per-node counter.
+                self.resident[e.node] += bytes;
+                e.bytes += bytes;
+                e.stamp = stamp;
+                self.lru.insert((stamp, key));
+            }
+            None => {
+                self.resident[node] += bytes;
+                self.entries
+                    .insert(key.clone(), EntryInfo { stamp, bytes, node });
+                self.lru.insert((stamp, key));
+            }
+        }
+    }
+
+    /// Subtract `bytes` from an entry, dropping it when it reaches zero.
+    /// Saturating: releasing more than resident clamps at zero.
+    pub fn release(&mut self, key: &EntryKey, bytes: u64) {
+        let Some(e) = self.entries.get_mut(key) else {
+            return;
+        };
+        let freed = bytes.min(e.bytes);
+        e.bytes -= freed;
+        self.resident[e.node] = self.resident[e.node].saturating_sub(freed);
+        if e.bytes == 0 {
+            let stamp = e.stamp;
+            self.entries.remove(key);
+            self.lru.remove(&(stamp, key.clone()));
+        }
+    }
+
+    /// Mark an entry most recently used (a read hit).
+    pub fn touch(&mut self, key: &EntryKey) {
+        let stamp = self.tick();
+        if let Some(e) = self.entries.get_mut(key) {
+            self.lru.remove(&(e.stamp, key.clone()));
+            e.stamp = stamp;
+            self.lru.insert((stamp, key.clone()));
+        }
+    }
+
+    /// Remove an entry entirely (it was evicted), returning its byte size.
+    pub fn remove(&mut self, key: &EntryKey) -> u64 {
+        match self.entries.remove(key) {
+            Some(e) => {
+                self.resident[e.node] = self.resident[e.node].saturating_sub(e.bytes);
+                self.lru.remove(&(e.stamp, key.clone()));
+                e.bytes
+            }
+            None => 0,
+        }
+    }
+
+    /// Whether any node currently exceeds the budget.
+    pub fn over_budget(&self) -> bool {
+        self.resident.iter().any(|&b| b > self.budget_bytes)
+    }
+
+    /// Plan which entries to evict so every node returns under budget:
+    /// walk the global LRU order oldest-first, picking entries homed at
+    /// over-budget nodes. Entries `is_protected` reports true for (heavy
+    /// keys) are skipped on the first pass and taken only if the cold
+    /// entries alone cannot free enough. Deterministic given the ledger
+    /// state. The caller deletes the actual rows and then calls
+    /// [`PartialBudget::remove`] per victim.
+    pub fn plan_evictions<F>(&self, is_protected: F) -> Vec<EntryKey>
+    where
+        F: Fn(&EntryKey) -> bool,
+    {
+        let mut excess: Vec<u64> = self
+            .resident
+            .iter()
+            .map(|&b| b.saturating_sub(self.budget_bytes))
+            .collect();
+        if excess.iter().all(|&e| e == 0) {
+            return Vec::new();
+        }
+        let mut victims = Vec::new();
+        let mut chosen: BTreeSet<EntryKey> = BTreeSet::new();
+        for protected_pass in [false, true] {
+            for (_, key) in &self.lru {
+                let e = &self.entries[key];
+                if excess[e.node] == 0 || chosen.contains(key) {
+                    continue;
+                }
+                if is_protected(key) != protected_pass {
+                    continue;
+                }
+                excess[e.node] = excess[e.node].saturating_sub(e.bytes);
+                chosen.insert(key.clone());
+                victims.push(key.clone());
+            }
+            if excess.iter().all(|&e| e == 0) {
+                break;
+            }
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(t: u32, v: i64) -> EntryKey {
+        (TableId(t), Value::Int(v))
+    }
+
+    #[test]
+    fn charge_release_track_per_node_bytes() {
+        let mut b = PartialBudget::new(2, 100);
+        b.charge(k(0, 1), 0, 40);
+        b.charge(k(0, 2), 1, 30);
+        b.charge(k(0, 1), 0, 10);
+        assert_eq!(b.resident_bytes(0), 50);
+        assert_eq!(b.resident_bytes(1), 30);
+        assert_eq!(b.total_resident(), 80);
+        b.release(&k(0, 1), 20);
+        assert_eq!(b.resident_bytes(0), 30);
+        assert!(b.is_resident(&k(0, 1)));
+        b.release(&k(0, 1), 999); // saturates, entry drops out
+        assert_eq!(b.resident_bytes(0), 0);
+        assert!(!b.is_resident(&k(0, 1)));
+        assert!(!b.over_budget());
+    }
+
+    #[test]
+    fn eviction_plan_walks_lru_oldest_first() {
+        let mut b = PartialBudget::new(1, 50);
+        b.charge(k(0, 1), 0, 30);
+        b.charge(k(0, 2), 0, 30);
+        b.charge(k(0, 3), 0, 30); // 90 resident, 40 over
+                                  // Touch key 1 so key 2 becomes the oldest.
+        b.touch(&k(0, 1));
+        let plan = b.plan_evictions(|_| false);
+        assert_eq!(plan, vec![k(0, 2), k(0, 3)]);
+        for v in &plan {
+            b.remove(v);
+        }
+        assert_eq!(b.total_resident(), 30);
+        assert!(!b.over_budget());
+    }
+
+    #[test]
+    fn protected_entries_evicted_only_as_last_resort() {
+        let mut b = PartialBudget::new(1, 10);
+        b.charge(k(0, 1), 0, 30); // oldest, but protected
+        b.charge(k(0, 2), 0, 30);
+        let hot = k(0, 1);
+        let plan = b.plan_evictions(|e| *e == hot);
+        // Cold key 2 goes first; 60-30=50 still over 10, so the protected
+        // key falls too.
+        assert_eq!(plan, vec![k(0, 2), k(0, 1)]);
+
+        let mut b = PartialBudget::new(1, 30);
+        b.charge(k(0, 1), 0, 30);
+        b.charge(k(0, 2), 0, 30);
+        let hot = k(0, 1);
+        let plan = b.plan_evictions(|e| *e == hot);
+        // Cold eviction alone reaches the budget: the hot key survives.
+        assert_eq!(plan, vec![k(0, 2)]);
+    }
+
+    #[test]
+    fn nodes_account_independently() {
+        let mut b = PartialBudget::new(2, 50);
+        b.charge(k(0, 1), 0, 60); // node 0 over
+        b.charge(k(0, 2), 1, 40); // node 1 under
+        assert!(b.over_budget());
+        let plan = b.plan_evictions(|_| false);
+        assert_eq!(plan, vec![k(0, 1)], "only the over-budget node evicts");
+        assert_eq!(b.node_of(&k(0, 2)), Some(1));
+    }
+}

@@ -16,7 +16,7 @@
 //! platform — a requirement, because the heavy set is baked into routing
 //! decisions that both backends must make identically.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use pvm_types::Value;
 
@@ -28,6 +28,11 @@ pub struct SpaceSaving {
     /// A `BTreeMap` keyed by `Value` keeps eviction tie-breaks and
     /// iteration deterministic.
     counters: BTreeMap<Value, (u64, u64)>,
+    /// `(count, value)` mirror of `counters`: the first element is always
+    /// the eviction victim (minimum count, ties broken by smallest value —
+    /// exactly the order the old full-map min scan used), so eviction is
+    /// O(log n) instead of O(capacity) per untracked arrival.
+    by_count: BTreeSet<(u64, Value)>,
     total: u64,
 }
 
@@ -37,6 +42,7 @@ impl SpaceSaving {
         SpaceSaving {
             capacity: capacity.max(1),
             counters: BTreeMap::new(),
+            by_count: BTreeSet::new(),
             total: 0,
         }
     }
@@ -45,23 +51,26 @@ impl SpaceSaving {
     pub fn observe(&mut self, v: &Value) {
         self.total += 1;
         if let Some((count, _)) = self.counters.get_mut(v) {
+            let old = *count;
             *count += 1;
+            self.by_count.remove(&(old, v.clone()));
+            self.by_count.insert((old + 1, v.clone()));
             return;
         }
         if self.counters.len() < self.capacity {
             self.counters.insert(v.clone(), (1, 0));
+            self.by_count.insert((1, v.clone()));
             return;
         }
         // Evict the minimum count; among equal minima the smallest value
-        // (BTreeMap order) goes, so eviction is deterministic.
-        let (evict, min) = self
-            .counters
-            .iter()
-            .min_by(|(va, (ca, _)), (vb, (cb, _))| ca.cmp(cb).then_with(|| va.cmp(vb)))
-            .map(|(v, (c, _))| (v.clone(), *c))
+        // goes (tuple order of the index), so eviction is deterministic.
+        let (min, evict) = self
+            .by_count
+            .pop_first()
             .expect("capacity >= 1, sketch non-empty");
         self.counters.remove(&evict);
         self.counters.insert(v.clone(), (min + 1, min));
+        self.by_count.insert((min + 1, v.clone()));
     }
 
     /// Total observations so far.
@@ -166,6 +175,64 @@ mod tests {
         s.observe(&Value::Int(1));
         s.observe(&Value::Int(1));
         assert_eq!(s.estimate(&Value::Int(1)), 2);
+    }
+
+    #[test]
+    fn indexed_eviction_matches_full_scan_reference() {
+        // The pre-index implementation: evict via a full min scan over the
+        // counter map. The `(count, value)` index must pick the same victim
+        // on every step, so estimates and heavy sets stay bit-identical.
+        struct Reference {
+            capacity: usize,
+            counters: BTreeMap<Value, (u64, u64)>,
+            total: u64,
+        }
+        impl Reference {
+            fn observe(&mut self, v: &Value) {
+                self.total += 1;
+                if let Some((count, _)) = self.counters.get_mut(v) {
+                    *count += 1;
+                    return;
+                }
+                if self.counters.len() < self.capacity {
+                    self.counters.insert(v.clone(), (1, 0));
+                    return;
+                }
+                let (evict, min) = self
+                    .counters
+                    .iter()
+                    .min_by(|(va, (ca, _)), (vb, (cb, _))| ca.cmp(cb).then_with(|| va.cmp(vb)))
+                    .map(|(v, (c, _))| (v.clone(), *c))
+                    .unwrap();
+                self.counters.remove(&evict);
+                self.counters.insert(v.clone(), (min + 1, min));
+            }
+        }
+        for capacity in [1, 2, 4, 7] {
+            let mut fast = SpaceSaving::new(capacity);
+            let mut slow = Reference {
+                capacity,
+                counters: BTreeMap::new(),
+                total: 0,
+            };
+            // Deterministic mixed traffic: collisions, ties, re-arrivals.
+            let seq: Vec<i64> = (0..2_000).map(|i: i64| (i * 31 + i * i * 7) % 23).collect();
+            for (step, &i) in seq.iter().enumerate() {
+                let v = Value::Int(i);
+                fast.observe(&v);
+                slow.observe(&v);
+                assert_eq!(
+                    fast.counters, slow.counters,
+                    "divergence at step {step} (capacity {capacity})"
+                );
+            }
+            assert_eq!(fast.total(), slow.total);
+            // The index mirrors the counters exactly.
+            assert_eq!(fast.by_count.len(), fast.counters.len());
+            for (count, v) in &fast.by_count {
+                assert_eq!(fast.counters.get(v).map(|&(c, _)| c), Some(*count));
+            }
+        }
     }
 
     #[test]

@@ -87,6 +87,22 @@ pub mod metric {
     /// Counter-name prefix for per-view observed-cost summaries published
     /// at batch commit: `view.<name>.<field>`.
     pub const VIEW_PREFIX: &str = "view.";
+    /// Counter: partial-state point reads answered from resident rows.
+    pub const PARTIAL_HITS: &str = "partial.hits";
+    /// Counter: partial-state point reads that hit a hole (each one
+    /// triggers an upquery).
+    pub const PARTIAL_MISSES: &str = "partial.misses";
+    /// Counter: entries (view keys / AR values / GI values) evicted to
+    /// holes by the per-node budget.
+    pub const PARTIAL_EVICTIONS: &str = "partial.evictions";
+    /// Histogram (µs): wall time of one upquery (recompute + install).
+    pub const PARTIAL_UPQUERY_US: &str = "partial.upquery_us";
+    /// Histogram: total resident partial-state bytes sampled after each
+    /// budget enforcement.
+    pub const PARTIAL_RESIDENT_BYTES: &str = "partial.resident_bytes";
+    /// Histogram: per-read hit indicator scaled to parts-per-thousand
+    /// (0 = miss, 1000 = hit) — the mean is the hit rate × 1000.
+    pub const PARTIAL_HIT_RATE: &str = "partial.hit_rate";
 
     /// Per-node work-share counter name.
     pub fn work_share(node: u32) -> String {
@@ -133,11 +149,25 @@ pub mod metric {
     /// Bucket upper bounds for small-count histograms (depths, fan-out,
     /// batch occupancy).
     pub const COUNT_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024];
+    /// Bucket upper bounds for byte-sized histograms (resident state).
+    pub const BYTES_BOUNDS: &[u64] = &[
+        1 << 10,
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+        4 << 20,
+        16 << 20,
+        64 << 20,
+    ];
 
     /// Bounds appropriate for a well-known metric name.
     pub fn bounds_for(name: &str) -> &'static [u64] {
         if name.ends_with("_us") {
             US_BOUNDS
+        } else if name.ends_with("_bytes") {
+            BYTES_BOUNDS
         } else {
             COUNT_BOUNDS
         }

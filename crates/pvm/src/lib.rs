@@ -71,7 +71,7 @@ pub mod prelude {
     pub use pvm_core::{
         advise, maintain_all, maintain_all_pooled, Advice, ArPool, BatchCostRecord, BatchPolicy,
         Delta, JoinPolicy, JoinViewDef, MaintainedView, MaintenanceMethod, MaintenanceOutcome,
-        RebalanceReport, SkewConfig, SkewState, ViewColumn, ViewEdge,
+        PartialPolicy, PartialStats, RebalanceReport, SkewConfig, SkewState, ViewColumn, ViewEdge,
     };
     pub use pvm_engine::{
         Backend, Cluster, ClusterConfig, PartitionSpec, SpaceSaving, SpreadMode, TableDef, TableId,

@@ -45,7 +45,7 @@ use pvm_types::{Row, Value};
 /// flow through the same representation: a group fold is captured as the
 /// delete of the stored group row followed by the insert of the updated
 /// one.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct DeltaLink {
     epoch: u64,
     changes: Vec<(Row, bool)>,
@@ -227,6 +227,48 @@ impl ServeCore {
         (st.base.clone(), links)
     }
 
+    /// Erase every trace of view rows whose column `col` equals `value`
+    /// — from the folded base *and* from every link's change list — so
+    /// the key reads as absent at **every** epoch of the chain. No epoch
+    /// is published: this is the serving half of a partial-state
+    /// eviction, where the key's history becomes a hole and readers
+    /// pinned below the eviction epoch are redirected to
+    /// invalidate-and-retry by the view layer (a purged chain must never
+    /// answer for the key) — that includes snapshots pinned *before* the
+    /// purge, which re-read the shared chain per lookup. Copy-on-write:
+    /// a read that already cloned the chain (`chain_at`) finishes against
+    /// its pre-purge Arcs.
+    fn purge_matching(&self, col: usize, value: &Value) {
+        let mut st = self.state.write().expect("serve state lock");
+        let matches = |row: &Row| row.try_get(col).map(|v| v == value).unwrap_or(false);
+        if st.base.keys().any(&matches) {
+            let base = Arc::make_mut(&mut st.base);
+            base.retain(|row, _| !matches(row));
+        }
+        for link in &mut st.links {
+            if link.changes.iter().any(|(r, _)| matches(r)) {
+                let l = Arc::make_mut(link);
+                l.changes.retain(|(r, _)| !matches(r));
+            }
+        }
+    }
+
+    /// Fold upquery-recomputed rows straight into the base multiset, with
+    /// no epoch publication — the install half of filling a hole. Exact
+    /// for every epoch ≥ the key's eviction epoch: all of the key's
+    /// changes since eviction were dropped as holes (never published), so
+    /// its recomputed current rows are its rows at each such epoch.
+    fn install_rows(&self, rows: &[Row]) {
+        if rows.is_empty() {
+            return;
+        }
+        let mut st = self.state.write().expect("serve state lock");
+        let base = Arc::make_mut(&mut st.base);
+        for r in rows {
+            *base.entry(r.clone()).or_insert(0) += 1;
+        }
+    }
+
     /// Multiset of view rows as of `epoch`.
     fn counts_at(&self, epoch: u64) -> BTreeMap<Row, u64> {
         let (base, links) = self.chain_at(epoch);
@@ -291,6 +333,18 @@ impl ServePublisher {
     /// committed at `epoch`. Epochs must arrive in order, one per batch.
     pub fn publish(&self, epoch: u64, changes: Vec<(Row, bool)>) {
         self.core.publish(epoch, changes);
+    }
+
+    /// Partial-state eviction: erase a key's rows from the whole chain
+    /// (see [`ServeCore::purge_matching`]). No epoch is published.
+    pub fn purge_matching(&self, col: usize, value: &Value) {
+        self.core.purge_matching(col, value);
+    }
+
+    /// Partial-state hole fill: fold upquery-recomputed rows into the
+    /// base (see [`ServeCore::install_rows`]). No epoch is published.
+    pub fn install_rows(&self, rows: &[Row]) {
+        self.core.install_rows(rows);
     }
 
     /// A cloneable read handle onto the same chain.
@@ -506,6 +560,39 @@ mod tests {
         assert_eq!(r.chain_len(), 0);
         assert_eq!(r.pinned_snapshots(), 0);
         assert_eq!(r.oldest_pinned_epoch(), None);
+    }
+
+    #[test]
+    fn purge_erases_a_key_at_every_epoch() {
+        let p = publisher(vec![row![1, 10], row![2, 20]]);
+        let r = p.reader();
+        p.publish(1, vec![(row![1, 11], true), (row![2, 21], true)]);
+        let pre = r.snapshot(); // pinned before the purge
+        p.purge_matching(0, &Value::Int(1));
+        // The key is gone at every epoch — base and link — including
+        // under previously pinned snapshots (which re-read the shared
+        // chain; the view layer refuses such reads via dropped_at).
+        assert!(pre.lookup(0, &Value::Int(1)).is_empty());
+        let post = r.snapshot();
+        assert!(post.lookup(0, &Value::Int(1)).is_empty());
+        assert_eq!(post.rows(), vec![row![2, 20], row![2, 21]]);
+        assert_eq!(post.epoch(), 1, "purge publishes no epoch");
+        // Untouched keys are unaffected at both epochs.
+        assert_eq!(
+            pre.lookup(0, &Value::Int(2)),
+            vec![row![2, 20], row![2, 21]]
+        );
+    }
+
+    #[test]
+    fn install_rows_fills_a_hole_without_an_epoch() {
+        let p = publisher(vec![row![2, 20]]);
+        let r = p.reader();
+        p.install_rows(&[row![1, 10], row![1, 10]]);
+        let s = r.snapshot();
+        assert_eq!(s.epoch(), 0);
+        assert_eq!(s.lookup(0, &Value::Int(1)), vec![row![1, 10], row![1, 10]]);
+        assert_eq!(s.rows(), vec![row![1, 10], row![1, 10], row![2, 20]]);
     }
 
     #[test]

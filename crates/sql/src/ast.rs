@@ -141,6 +141,12 @@ pub enum Statement {
         relation: String,
         analyze: bool,
     },
+    /// `ALTER VIEW name SET PARTIAL BUDGET n [KB|MB|GB]`: put the view
+    /// under a per-node memory budget with upquery-on-miss reads.
+    AlterViewPartial {
+        name: String,
+        budget_bytes: u64,
+    },
     /// `DROP VIEW name`: destroy the view and its maintenance structures.
     DropView {
         name: String,

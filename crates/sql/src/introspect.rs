@@ -92,9 +92,11 @@ fn histograms_table(cluster: &Cluster) -> (SchemaRef, Vec<Row>) {
     (schema, rows)
 }
 
-/// `pvm_views(view, method, epoch, rows, chain_len, pinned_snapshots)`:
-/// one row per maintained view, with serve-tier chain length and live
-/// snapshot pins (0 when the view is not serving).
+/// `pvm_views(view, method, epoch, rows, chain_len, pinned_snapshots,
+/// partial_budget, resident_bytes, evictions, hit_rate)`: one row per
+/// maintained view, with serve-tier chain length, live snapshot pins
+/// (0 when the view is not serving), and partial-state health
+/// (budget/resident/evictions 0 and hit_rate 1.0 for eager views).
 fn views_table(cluster: &Cluster, views: &[MaintainedView]) -> Result<(SchemaRef, Vec<Row>)> {
     let schema = Schema::new(vec![
         Column::str("view"),
@@ -103,6 +105,10 @@ fn views_table(cluster: &Cluster, views: &[MaintainedView]) -> Result<(SchemaRef
         Column::int("rows"),
         Column::int("chain_len"),
         Column::int("pinned_snapshots"),
+        Column::int("partial_budget"),
+        Column::int("resident_bytes"),
+        Column::int("evictions"),
+        Column::float("hit_rate"),
     ])
     .into_ref();
     let mut rows = Vec::with_capacity(views.len());
@@ -111,6 +117,15 @@ fn views_table(cluster: &Cluster, views: &[MaintainedView]) -> Result<(SchemaRef
             Some(r) => (r.chain_len() as i64, r.pinned_snapshots() as i64),
             None => (0, 0),
         };
+        let (budget, resident, evictions, hit_rate) = match v.partial_stats() {
+            Some(s) => (
+                s.budget_bytes as i64,
+                s.resident_bytes as i64,
+                s.evictions as i64,
+                s.hit_rate(),
+            ),
+            None => (0, 0, 0, 1.0),
+        };
         rows.push(Row::new(vec![
             Value::from(v.def().name.clone()),
             Value::from(v.method().label()),
@@ -118,6 +133,10 @@ fn views_table(cluster: &Cluster, views: &[MaintainedView]) -> Result<(SchemaRef
             Value::Int(cluster.row_count(v.view_table())? as i64),
             Value::Int(chain_len),
             Value::Int(pins),
+            Value::Int(budget),
+            Value::Int(resident),
+            Value::Int(evictions),
+            Value::Float(hit_rate),
         ]));
     }
     Ok((schema, rows))

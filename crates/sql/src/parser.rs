@@ -164,6 +164,9 @@ impl Parser {
         if self.eat_kw("ROLLBACK") || self.eat_kw("ABORT") {
             return Ok(Statement::Rollback);
         }
+        if self.eat_kw("ALTER") {
+            return self.alter_view();
+        }
         if self.eat_kw("EXPLAIN") {
             let analyze = self.eat_kw("ANALYZE");
             self.expect_kw("MAINTENANCE")?;
@@ -324,6 +327,36 @@ impl Parser {
                 group_by,
             },
             partition_on,
+        })
+    }
+
+    /// `ALTER VIEW name SET PARTIAL BUDGET n [KB|MB|GB]`.
+    fn alter_view(&mut self) -> Result<Statement> {
+        self.expect_kw("VIEW")?;
+        let name = self.ident()?;
+        self.expect_kw("SET")?;
+        self.expect_kw("PARTIAL")?;
+        self.expect_kw("BUDGET")?;
+        let n = match self.next()? {
+            Token::Int(v) if v > 0 => v as u64,
+            other => {
+                return Err(err(format!(
+                    "expected a positive byte budget, found {other:?}"
+                )))
+            }
+        };
+        let unit: u64 = if self.eat_kw("KB") {
+            1 << 10
+        } else if self.eat_kw("MB") {
+            1 << 20
+        } else if self.eat_kw("GB") {
+            1 << 30
+        } else {
+            1
+        };
+        Ok(Statement::AlterViewPartial {
+            name,
+            budget_bytes: n * unit,
         })
     }
 
@@ -683,6 +716,31 @@ mod tests {
         );
         assert!(parse("EXPLAIN jv2").is_err());
         assert!(parse("EXPLAIN ANALYZE jv2").is_err());
+    }
+
+    #[test]
+    fn alter_view_partial_budget() {
+        let s = parse(
+            "ALTER VIEW jv SET PARTIAL BUDGET 4096; \
+             alter view jv set partial budget 2 MB",
+        )
+        .unwrap();
+        assert_eq!(
+            s,
+            vec![
+                Statement::AlterViewPartial {
+                    name: "jv".into(),
+                    budget_bytes: 4096,
+                },
+                Statement::AlterViewPartial {
+                    name: "jv".into(),
+                    budget_bytes: 2 << 20,
+                },
+            ]
+        );
+        assert!(parse("ALTER VIEW jv SET PARTIAL BUDGET 0").is_err());
+        assert!(parse("ALTER VIEW jv SET PARTIAL BUDGET -5").is_err());
+        assert!(parse("ALTER TABLE t SET PARTIAL BUDGET 1").is_err());
     }
 
     #[test]

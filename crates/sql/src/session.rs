@@ -5,13 +5,14 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use pvm_core::{
-    maintain_all, Delta, JoinViewDef, MaintainedView, MaintenanceMethod, ViewColumn, ViewEdge,
+    maintain_all, Delta, JoinViewDef, MaintainedView, MaintenanceMethod, PartialPolicy, ViewColumn,
+    ViewEdge,
 };
 use pvm_engine::{Cluster, ClusterConfig, PartitionSpec, TableDef};
 use pvm_obs::RingSink;
 use pvm_serve::Snapshot;
 use pvm_storage::Organization;
-use pvm_types::{CostSnapshot, Predicate, PvmError, Result, Row, Schema, SchemaRef, Value};
+use pvm_types::{CmpOp, CostSnapshot, Predicate, PvmError, Result, Row, Schema, SchemaRef, Value};
 
 use crate::ast::{ColumnRef, MethodSpec, Statement, ViewSelect, WhereTerm};
 use crate::introspect;
@@ -161,6 +162,9 @@ impl Session {
                 relation,
                 analyze,
             } => self.explain_maintenance(view, relation, analyze),
+            Statement::AlterViewPartial { name, budget_bytes } => {
+                self.alter_view_partial(name, budget_bytes)
+            }
             Statement::DropView { name } => self.drop_view(name),
             Statement::DropTable { name } => self.drop_table(name),
             Statement::Begin => {
@@ -194,6 +198,28 @@ impl Session {
                 Ok(SqlOutput::message("rolled back"))
             }
         }
+    }
+
+    /// `ALTER VIEW … SET PARTIAL BUDGET`: put the view under a per-node
+    /// memory budget with upquery-on-miss reads.
+    fn alter_view_partial(&mut self, name: String, budget_bytes: u64) -> Result<SqlOutput> {
+        if self.snapshots.is_some() {
+            return Err(PvmError::InvalidOperation(
+                "cannot alter a view while a snapshot session is open".into(),
+            ));
+        }
+        let view = self
+            .views
+            .iter_mut()
+            .find(|v| v.def().name == name)
+            .ok_or_else(|| PvmError::NotFound(format!("view '{name}'")))?;
+        view.enable_partial(&mut self.cluster, PartialPolicy::with_budget(budget_bytes))?;
+        let stats = view.partial_stats().expect("just enabled");
+        Ok(SqlOutput::message(format!(
+            "view {name} is now partial ({budget_bytes} bytes/node budget, {} resident bytes, \
+             {} evicted keys)",
+            stats.resident_bytes, stats.holes
+        )))
     }
 
     fn drop_view(&mut self, name: String) -> Result<SqlOutput> {
@@ -806,15 +832,46 @@ impl Session {
         }
         // View reads outside a transaction go through the snapshot tier;
         // inside one they must see the session's own uncommitted changes,
-        // so they scan the stored table directly.
-        if self.is_view_table(&table) && !self.cluster.in_txn() {
-            if let Some(out) = self.select_view_snapshot(&table, &predicate)? {
+        // so they scan the stored table directly. Partial views upquery
+        // the keys the read needs first, and enforce the memory budget
+        // only after the rows are out.
+        if self.is_view_table(&table) {
+            if self.cluster.in_txn() {
+                let holes = self
+                    .views
+                    .iter()
+                    .find(|v| v.def().name == table)
+                    .map(|v| v.partial_holes().len())
+                    .unwrap_or(0);
+                if holes > 0 {
+                    return Err(PvmError::InvalidOperation(format!(
+                        "cannot read partial view '{table}' inside a transaction: \
+                         {holes} evicted keys need an upquery; COMMIT or ROLLBACK first"
+                    )));
+                }
+            } else {
+                self.partial_prepare(&table, &predicate)?;
+                let out = match self.select_view_snapshot(&table, &predicate)? {
+                    Some(out) => out,
+                    None => self.scan_stored(&table, &predicate)?,
+                };
+                if let Some(v) = self.views.iter_mut().find(|v| v.def().name == table) {
+                    if v.partial_stats().is_some() {
+                        v.enforce_partial_budget(&mut self.cluster)?;
+                    }
+                }
                 return Ok(out);
             }
         }
-        let id = self.cluster.table_id(&table)?;
+        self.scan_stored(&table, &predicate)
+    }
+
+    /// Filtered scan of a stored table (base relations, and views inside
+    /// a transaction or without a serve tier).
+    fn scan_stored(&self, table: &str, predicate: &[WhereTerm]) -> Result<SqlOutput> {
+        let id = self.cluster.table_id(table)?;
         let schema = self.cluster.def(id)?.schema.clone();
-        let pred = Self::build_predicate(&schema, &predicate)?;
+        let pred = Self::build_predicate(&schema, predicate)?;
         let mut rows: Vec<Row> = self
             .cluster
             .scan_all(id)?
@@ -828,6 +885,52 @@ impl Session {
             message: format!("{n} rows"),
             rows: Some((schema, rows)),
         })
+    }
+
+    /// Make a partial view's needed keys resident before a SELECT: a
+    /// key-equality predicate on the view's partition column upqueries
+    /// just that key (at the pinned epoch when a snapshot session is
+    /// open — refusing with "snapshot too old" when eviction purged the
+    /// key's history), anything else upqueries every hole so the scan
+    /// sees the complete view. A no-op for non-partial views.
+    fn partial_prepare(&mut self, table: &str, predicate: &[WhereTerm]) -> Result<()> {
+        let Some(idx) = self.views.iter().position(|v| v.def().name == table) else {
+            return Ok(());
+        };
+        if self.views[idx].partial_stats().is_none() {
+            return Ok(());
+        }
+        let id = self.cluster.table_id(table)?;
+        let schema = self.cluster.def(id)?.schema.clone();
+        let pcol = self.views[idx].def().partition_column;
+        let key = predicate.iter().find_map(|t| {
+            (t.op == CmpOp::Eq && Self::resolve_column(&schema, &t.column).ok() == Some(pcol))
+                .then(|| t.literal.clone())
+        });
+        let pinned = self
+            .snapshots
+            .as_ref()
+            .and_then(|m| m.get(table))
+            .map(|s| s.epoch());
+        let view = &mut self.views[idx];
+        match key {
+            Some(k) => {
+                let epoch = pinned.unwrap_or_else(|| view.epoch());
+                view.ensure_key_resident(&mut self.cluster, &k, epoch)?;
+            }
+            None => match pinned {
+                Some(e) => {
+                    view.verify_scan_epoch(e)?;
+                    for k in view.partial_holes() {
+                        view.ensure_key_resident(&mut self.cluster, &k, e)?;
+                    }
+                }
+                None => {
+                    view.ensure_all_resident(&mut self.cluster)?;
+                }
+            },
+        }
+        Ok(())
     }
 
     /// Serve a view SELECT from an MVCC snapshot: the one pinned by an
@@ -976,13 +1079,25 @@ impl Session {
         )))
     }
 
-    fn check_view(&self, name: String) -> Result<SqlOutput> {
-        let view = self
+    fn check_view(&mut self, name: String) -> Result<SqlOutput> {
+        let idx = self
             .views
             .iter()
-            .find(|v| v.def().name == name)
+            .position(|v| v.def().name == name)
             .ok_or_else(|| PvmError::NotFound(format!("view '{name}'")))?;
-        view.check_consistent(&self.cluster)?;
+        let view = &mut self.views[idx];
+        // A partial view legitimately stores fewer rows than the join:
+        // upquery every hole so the oracle sees the complete contents,
+        // then evict back down to budget.
+        let partial = view.partial_stats().is_some();
+        if partial {
+            view.ensure_all_resident(&mut self.cluster)?;
+        }
+        let result = view.check_consistent(&self.cluster);
+        if partial {
+            view.enforce_partial_budget(&mut self.cluster)?;
+        }
+        result?;
         Ok(SqlOutput::message(format!(
             "view {name} is consistent with its join"
         )))
@@ -1460,7 +1575,11 @@ mod tests {
                 "epoch",
                 "rows",
                 "chain_len",
-                "pinned_snapshots"
+                "pinned_snapshots",
+                "partial_budget",
+                "resident_bytes",
+                "evictions",
+                "hit_rate"
             ]
         );
         assert_eq!(rows.len(), 1);
@@ -1534,6 +1653,126 @@ mod tests {
         ] {
             assert!(s.execute(stmt).is_err(), "{stmt} must be rejected");
         }
+    }
+
+    #[test]
+    fn partial_views_in_sql() {
+        let mut s = session();
+        s.execute_one(
+            "CREATE VIEW jv USING AUXILIARY RELATION AS \
+             SELECT x.id, x.c, y.id FROM a x, b y WHERE x.c = y.d \
+             PARTITION ON x.id",
+        )
+        .unwrap();
+        // Fully eager contents are the oracle for every later read.
+        let want = s.execute_one("SELECT * FROM jv").unwrap().rows.unwrap().1;
+
+        let out = s
+            .execute_one("ALTER VIEW jv SET PARTIAL BUDGET 256")
+            .unwrap();
+        assert!(out.message.contains("is now partial"), "{}", out.message);
+
+        // The tiny budget forced evictions, visible in pvm_views.
+        let vrows = s
+            .execute_one("SELECT * FROM pvm_views")
+            .unwrap()
+            .rows
+            .unwrap()
+            .1;
+        assert_eq!(vrows[0].values()[6], Value::Int(256), "budget column");
+        assert!(
+            matches!(vrows[0].values()[8], Value::Int(e) if e > 0),
+            "evictions recorded: {:?}",
+            vrows[0]
+        );
+
+        // A point read on the partition column upqueries on miss and
+        // matches the eager oracle.
+        let got = s
+            .execute_one("SELECT * FROM jv WHERE a.id = 3")
+            .unwrap()
+            .rows
+            .unwrap()
+            .1;
+        let want_key: Vec<Row> = want
+            .iter()
+            .filter(|r| r.values()[0] == Value::Int(3))
+            .cloned()
+            .collect();
+        assert_eq!(got, want_key, "key 3 point read");
+
+        // A full scan upqueries every hole first and matches exactly.
+        let got = s.execute_one("SELECT * FROM jv").unwrap().rows.unwrap().1;
+        assert_eq!(got, want, "full scan after upquerying all holes");
+
+        // CHECK VIEW upqueries the holes before comparing against the
+        // recomputed join (a partial view legitimately stores less), then
+        // re-evicts down to budget.
+        let out = s.execute_one("CHECK VIEW jv").unwrap();
+        assert!(out.message.contains("consistent"), "{}", out.message);
+        let vrows = s
+            .execute_one("SELECT * FROM pvm_views")
+            .unwrap()
+            .rows
+            .unwrap()
+            .1;
+        assert!(
+            matches!(vrows[0].values()[7], Value::Int(r) if r <= 256 * 4),
+            "budget re-enforced after CHECK VIEW: {:?}",
+            vrows[0]
+        );
+
+        // DML still maintains the view; the new key reads back correctly.
+        s.execute_one("INSERT INTO a VALUES (100, 2, 'n')").unwrap();
+        let got = s
+            .execute_one("SELECT * FROM jv WHERE a.id = 100")
+            .unwrap()
+            .rows
+            .unwrap()
+            .1;
+        assert_eq!(got.len(), 4, "4 b-rows join the new a-row");
+
+        // Errors: unknown view, double enable.
+        assert!(s
+            .execute("ALTER VIEW ghost SET PARTIAL BUDGET 1 KB")
+            .is_err());
+        assert!(s.execute("ALTER VIEW jv SET PARTIAL BUDGET 1 KB").is_err());
+    }
+
+    #[test]
+    fn partial_view_reads_blocked_in_txn_and_old_snapshots() {
+        let mut s = session();
+        s.execute_one(
+            "CREATE VIEW jv USING NAIVE AS \
+             SELECT x.id, x.c, y.id FROM a x, b y WHERE x.c = y.d \
+             PARTITION ON x.id",
+        )
+        .unwrap();
+        s.execute_one("ALTER VIEW jv SET PARTIAL BUDGET 256")
+            .unwrap();
+
+        // Inside a transaction an upquery cannot run; reads that would
+        // need one are refused instead of returning partial rows.
+        s.execute_one("BEGIN").unwrap();
+        let err = s.execute("SELECT * FROM jv").unwrap_err();
+        assert!(err.to_string().contains("inside a transaction"), "{err}");
+        s.execute_one("ROLLBACK").unwrap();
+
+        // A pinned snapshot that predates an eviction is refused: the
+        // key's MVCC history was purged everywhere.
+        s.execute_one("BEGIN SNAPSHOT").unwrap();
+        assert!(
+            s.execute("ALTER VIEW jv SET PARTIAL BUDGET 512").is_err(),
+            "no ALTER under a snapshot session"
+        );
+        // Maintenance advances the epoch and the cap forces evictions
+        // stamped above the pinned epoch.
+        s.execute_one("INSERT INTO a VALUES (200, 1, 'n')").unwrap();
+        let err = s.execute("SELECT * FROM jv").unwrap_err();
+        assert!(err.to_string().contains("snapshot too old"), "{err}");
+        s.execute_one("COMMIT").unwrap();
+        // Released: current-epoch reads work again.
+        s.execute_one("SELECT * FROM jv").unwrap();
     }
 
     #[test]

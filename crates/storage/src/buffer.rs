@@ -15,7 +15,7 @@
 //! page reads that may be absorbed by the cache) while keeping the engine
 //! deterministic.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -25,7 +25,7 @@ use crate::FileId;
 use pvm_types::PageId;
 
 /// Key of one page frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PageKey {
     pub file: FileId,
     pub page: PageId,
@@ -49,7 +49,6 @@ pub enum AccessMode {
 
 #[derive(Debug, Clone)]
 struct Frame {
-    key: PageKey,
     dirty: bool,
     /// LRU timestamp (monotone counter).
     last_used: u64,
@@ -61,6 +60,12 @@ pub struct BufferPool {
     capacity: usize,
     clock: u64,
     frames: HashMap<PageKey, Frame>,
+    /// `(last_used, key)` mirror of `frames`: the first element is always
+    /// the LRU victim, so a full pool evicts in O(log frames) instead of
+    /// scanning every frame per miss. `last_used` stamps are unique (the
+    /// clock advances on every access), so ordering — and therefore the
+    /// victim — is identical to the old full scan.
+    lru: BTreeSet<(u64, PageKey)>,
     ledger: CostLedger,
     hits: u64,
     misses: u64,
@@ -78,6 +83,7 @@ impl BufferPool {
             capacity,
             clock: 0,
             frames: HashMap::with_capacity(capacity.min(1 << 20)),
+            lru: BTreeSet::new(),
             ledger: CostLedger::new(),
             hits: 0,
             misses: 0,
@@ -94,6 +100,8 @@ impl BufferPool {
         self.clock += 1;
         let clock = self.clock;
         if let Some(f) = self.frames.get_mut(&key) {
+            self.lru.remove(&(f.last_used, key));
+            self.lru.insert((clock, key));
             f.last_used = clock;
             if mode == AccessMode::Write {
                 f.dirty = true;
@@ -116,21 +124,16 @@ impl BufferPool {
         self.frames.insert(
             key,
             Frame {
-                key,
                 dirty: mode == AccessMode::Write,
                 last_used: clock,
             },
         );
+        self.lru.insert((clock, key));
         false
     }
 
     fn evict_lru(&mut self) {
-        if let Some(victim) = self
-            .frames
-            .values()
-            .min_by_key(|f| f.last_used)
-            .map(|f| f.key)
-        {
+        if let Some((_, victim)) = self.lru.pop_first() {
             let frame = self.frames.remove(&victim).expect("victim exists");
             if frame.dirty {
                 self.ledger.record(CostKind::PageWrite, 1);
@@ -155,12 +158,14 @@ impl BufferPool {
     /// cold-start the cache without charging I/O).
     pub fn clear_cold(&mut self) {
         self.frames.clear();
+        self.lru.clear();
     }
 
     /// Forget pages of `file` (e.g. after dropping a table). Dirty pages of
     /// a dropped file need no write-back.
     pub fn discard_file(&mut self, file: FileId) {
         self.frames.retain(|k, _| k.file != file);
+        self.lru.retain(|(_, k)| k.file != file);
     }
 
     pub fn capacity(&self) -> usize {
@@ -285,5 +290,152 @@ mod tests {
             bp.access(key(0, 0), AccessMode::Read),
             "cache contents survive reset"
         );
+    }
+}
+
+#[cfg(test)]
+mod lru_index_equivalence {
+    //! Model check: the `(last_used, key)` index must pick the exact victim
+    //! the old full-frame scan picked, so hit/miss outcomes and PageWrite
+    //! counts stay bit-identical under any access interleaving.
+
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// The pre-index implementation, verbatim: eviction scans all frames.
+    /// Carries its own frame type (with the key inline) — the production
+    /// `Frame` moved the key into the recency index.
+    struct RefFrame {
+        key: PageKey,
+        dirty: bool,
+        last_used: u64,
+    }
+
+    struct ReferencePool {
+        capacity: usize,
+        clock: u64,
+        frames: HashMap<PageKey, RefFrame>,
+        ledger: CostLedger,
+    }
+
+    impl ReferencePool {
+        fn new(capacity: usize) -> Self {
+            ReferencePool {
+                capacity,
+                clock: 0,
+                frames: HashMap::new(),
+                ledger: CostLedger::new(),
+            }
+        }
+
+        fn access(&mut self, key: PageKey, mode: AccessMode) -> bool {
+            self.clock += 1;
+            let clock = self.clock;
+            if let Some(f) = self.frames.get_mut(&key) {
+                f.last_used = clock;
+                if mode == AccessMode::Write {
+                    f.dirty = true;
+                }
+                return true;
+            }
+            self.ledger.record(CostKind::PageRead, 1);
+            if self.capacity == 0 {
+                if mode == AccessMode::Write {
+                    self.ledger.record(CostKind::PageWrite, 1);
+                }
+                return false;
+            }
+            if self.frames.len() >= self.capacity {
+                if let Some(victim) = self
+                    .frames
+                    .values()
+                    .min_by_key(|f| f.last_used)
+                    .map(|f| f.key)
+                {
+                    let frame = self.frames.remove(&victim).unwrap();
+                    if frame.dirty {
+                        self.ledger.record(CostKind::PageWrite, 1);
+                    }
+                }
+            }
+            self.frames.insert(
+                key,
+                RefFrame {
+                    key,
+                    dirty: mode == AccessMode::Write,
+                    last_used: clock,
+                },
+            );
+            false
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Access { file: u32, page: u32, write: bool },
+        FlushAll,
+        ClearCold,
+        DiscardFile(u32),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // ~3/4 accesses, the rest split across the maintenance ops.
+        (0u8..12, 0u32..3, 0u32..12, any::<bool>()).prop_map(|(sel, file, page, write)| match sel {
+            0 => Op::FlushAll,
+            1 => Op::ClearCold,
+            2 => Op::DiscardFile(file),
+            _ => Op::Access { file, page, write },
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn indexed_pool_matches_scan_reference(
+            capacity in 0usize..6,
+            ops in proptest::collection::vec(op_strategy(), 1..200),
+        ) {
+            let mut fast = BufferPool::new(capacity);
+            let mut slow = ReferencePool::new(capacity);
+            for (step, op) in ops.iter().enumerate() {
+                match *op {
+                    Op::Access { file, page, write } => {
+                        let key = PageKey::new(FileId(file), page);
+                        let mode = if write { AccessMode::Write } else { AccessMode::Read };
+                        prop_assert_eq!(
+                            fast.access(key, mode),
+                            slow.access(key, mode),
+                            "hit/miss diverged at step {}",
+                            step
+                        );
+                    }
+                    Op::FlushAll => {
+                        fast.flush_all();
+                        let mut dirty = 0;
+                        for f in slow.frames.values_mut() {
+                            if f.dirty {
+                                dirty += 1;
+                                f.dirty = false;
+                            }
+                        }
+                        slow.ledger.record(CostKind::PageWrite, dirty);
+                    }
+                    Op::ClearCold => {
+                        fast.clear_cold();
+                        slow.frames.clear();
+                    }
+                    Op::DiscardFile(file) => {
+                        fast.discard_file(FileId(file));
+                        slow.frames.retain(|k, _| k.file != FileId(file));
+                    }
+                }
+                let (fio, sio) = (fast.io_snapshot(), slow.ledger.snapshot());
+                prop_assert_eq!(fio.page_reads, sio.page_reads, "PageRead diverged at step {}", step);
+                prop_assert_eq!(fio.page_writes, sio.page_writes, "PageWrite diverged at step {}", step);
+                prop_assert_eq!(fast.resident(), slow.frames.len(), "resident diverged at step {}", step);
+            }
+        }
     }
 }

@@ -348,6 +348,35 @@ impl TableStorage {
         )))
     }
 
+    /// Probe a *secondary* index whose key columns are exactly `key`,
+    /// returning `(rid, row)` pairs — the rid-preserving variant of
+    /// [`TableStorage::index_search`] that global-index refills need to
+    /// rebuild value → global-rid entries. Charges one `SEARCH` plus one
+    /// `FETCH` per matching row, identical to the non-clustered
+    /// `index_search` path. Clustered indexes don't expose rids, so this
+    /// never consults them.
+    pub fn index_search_rids(
+        &self,
+        key: &[usize],
+        key_values: &Row,
+        ledger: &mut CostLedger,
+    ) -> Result<Vec<(Rid, Row)>> {
+        if let Some((_, ix)) = self.secondary.iter().find(|(d, _)| d.key == key) {
+            ledger.record(CostKind::Search, 1);
+            let rids = ix.search(key_values)?;
+            let mut out = Vec::with_capacity(rids.len());
+            for rid in rids {
+                let row = self.fetch(rid, ledger)?;
+                out.push((rid, row));
+            }
+            return Ok(out);
+        }
+        Err(PvmError::NotFound(format!(
+            "secondary index on {key:?} of table '{}'",
+            self.name
+        )))
+    }
+
     /// Batched [`TableStorage::index_search`] over many probe rows at
     /// once: the B-tree is walked with a merge-style cursor over the
     /// *distinct* probe keys (duplicates share their representative's
