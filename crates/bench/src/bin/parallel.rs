@@ -34,10 +34,7 @@
 use std::time::Instant;
 
 use pvm::prelude::*;
-use pvm_bench::{
-    capture_trace, enable_metrics, header, metrics_arg, series_labels, series_row, trace_arg,
-    write_metrics,
-};
+use pvm_bench::{header, series_labels, series_row, BenchArgs};
 use pvm_faults::{FaultPlan, FaultTolerant};
 
 /// Rows preloaded into the probed relation `b`.
@@ -188,12 +185,8 @@ fn faults_mode(seed: u64, rate: f64) {
 }
 
 fn main() {
-    if let Some(path) = trace_arg() {
-        header(
-            "parallel --trace",
-            "three-method traced round, threaded backend",
-        );
-        capture_trace(&path, 4, true);
+    let args = BenchArgs::parse();
+    if args.run_trace("parallel", "three-method traced round, threaded backend", 4, true) {
         return;
     }
     if let Some((seed, rate)) = faults_arg() {
@@ -214,19 +207,14 @@ fn main() {
     );
     let mut json_rows = Vec::new();
     let mut counted_rows = Vec::new();
-    let metrics = metrics_arg();
     for l in [1usize, 2, 4, 8] {
         let (seq_cluster, mut seq_view) = setup(l);
         let mut seq = seq_cluster;
-        if metrics.is_some() {
-            enable_metrics(&seq);
-        }
+        args.observe(&seq);
         let (seq_ms, seq_out) = run(&mut seq, &mut seq_view);
         // Overwritten each sweep point: the file left behind is the
         // largest configuration's registry.
-        if let Some(path) = &metrics {
-            write_metrics(path, &seq);
-        }
+        args.dump(&seq);
 
         // The threaded runtime both ways: lockstep per-step barriers vs.
         // watermark-driven pipelining (the default).

@@ -22,7 +22,7 @@
 use std::time::Instant;
 
 use pvm::prelude::*;
-use pvm_bench::{enable_metrics, header, series_labels, series_row};
+use pvm_bench::{enable_metrics, header, series_labels, series_row, BenchArgs};
 use rand::{rngs::StdRng, SeedableRng};
 
 const L: usize = 4;
@@ -38,8 +38,8 @@ struct Config {
     reads: u64,
 }
 
-fn config() -> Config {
-    if std::env::var("PVM_BENCH_QUICK").is_ok() {
+fn config(quick: bool) -> Config {
+    if quick {
         Config {
             warmup: 300,
             reads: 1_200,
@@ -184,7 +184,7 @@ fn main() {
         "partial",
         "bounded-memory view: hit rate and upquery latency vs budget fraction (AR method, L=4)",
     );
-    let cfg = config();
+    let cfg = config(BenchArgs::parse().quick);
     let full = full_resident_bytes();
     println!("fully materialized footprint: {full} bytes ({KEYS} keys, fanout {FANOUT})\n");
 

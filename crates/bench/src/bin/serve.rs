@@ -30,7 +30,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pvm::prelude::*;
-use pvm_bench::{enable_metrics, header, metrics_arg, series_labels, series_row, write_metrics};
+use pvm_bench::{header, series_labels, series_row, BenchArgs};
 
 /// Reader think time between point reads.
 const THINK: Duration = Duration::from_millis(2);
@@ -45,8 +45,8 @@ struct Config {
     batches: u64,
 }
 
-fn config() -> Config {
-    if std::env::var("PVM_BENCH_QUICK").is_ok() {
+fn config(quick: bool) -> Config {
+    if quick {
         Config {
             b_rows: 2_000,
             domain: 2_000,
@@ -162,17 +162,10 @@ struct Pass {
     p99_us: u64,
 }
 
-fn run_pass(
-    cfg: &Config,
-    oracle: &Arc<Vec<EpochOracle>>,
-    readers: usize,
-    metrics: Option<&std::path::Path>,
-) -> Pass {
+fn run_pass(cfg: &Config, oracle: &Arc<Vec<EpochOracle>>, readers: usize, args: &BenchArgs) -> Pass {
     let empty_hash = hash_rows(&[]);
     let (mut cluster, mut view) = setup(cfg);
-    if metrics.is_some() {
-        enable_metrics(&cluster);
-    }
+    args.observe(&cluster);
     let reader = view.enable_serving(&cluster).unwrap();
     let stop = Arc::new(AtomicBool::new(false));
     let handles: Vec<_> = (0..readers)
@@ -227,9 +220,7 @@ fn run_pass(
         "final snapshot diverged from the oracle"
     );
     // Overwritten per pass: the file left behind is the serving pass.
-    if let Some(path) = metrics {
-        write_metrics(path, &cluster);
-    }
+    args.dump(&cluster);
     Pass {
         readers,
         rows_per_s: (cfg.batches * cfg.delta as u64) as f64 / secs,
@@ -240,11 +231,12 @@ fn run_pass(
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     header(
         "serve",
         "closed-loop snapshot point reads vs maintenance throughput (AR method, L=4)",
     );
-    let cfg = config();
+    let cfg = config(args.quick);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -264,9 +256,8 @@ fn main() {
 
     series_labels("R", &["rows/s", "reads", "p50 us", "p99 us"]);
     let mut passes = Vec::new();
-    let metrics = metrics_arg();
     for readers in [0, READERS] {
-        let pass = run_pass(&cfg, &oracle, readers, metrics.as_deref());
+        let pass = run_pass(&cfg, &oracle, readers, &args);
         series_row(
             pass.readers,
             &[

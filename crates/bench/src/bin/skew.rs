@@ -30,10 +30,7 @@
 //! metric summaries.
 
 use pvm::prelude::*;
-use pvm_bench::{
-    capture_trace, enable_metrics, header, metrics_arg, series_labels, series_row, trace_arg,
-    write_metrics,
-};
+use pvm_bench::{header, series_labels, series_row, BenchArgs};
 
 const L: usize = 8;
 const DELTA: u64 = 256;
@@ -47,12 +44,14 @@ struct Measured {
     tw: f64,
 }
 
-fn measure(method: MaintenanceMethod, skew: Option<SkewConfig>, rows: &[Row]) -> Measured {
-    let metrics = metrics_arg();
+fn measure(
+    args: &BenchArgs,
+    method: MaintenanceMethod,
+    skew: Option<SkewConfig>,
+    rows: &[Row],
+) -> Measured {
     let mut cluster = Cluster::new(ClusterConfig::new(L).with_buffer_pages(2048));
-    if metrics.is_some() {
-        enable_metrics(&cluster);
-    }
+    args.observe(&cluster);
     let a = SyntheticRelation::new("a", 100, 100);
     a.install(&mut cluster).unwrap();
     // The probed relation: hash-partitioned on id, locally clustered on
@@ -109,9 +108,7 @@ fn measure(method: MaintenanceMethod, skew: Option<SkewConfig>, rows: &[Row]) ->
     }
     // Overwritten per run: the file left behind is the last
     // (method, distribution) combination's registry.
-    if let Some(path) = &metrics {
-        write_metrics(path, &cluster);
-    }
+    args.dump(&cluster);
     Measured {
         io: busiest,
         imb: if avg > 0.0 { busiest / avg } else { 1.0 },
@@ -128,12 +125,8 @@ fn delta_rows(dist: &dyn Distribution, seed: u64) -> Vec<Row> {
 }
 
 fn main() {
-    if let Some(path) = trace_arg() {
-        header(
-            "skew --trace",
-            "three-method traced round, sequential backend",
-        );
-        capture_trace(&path, L, false);
+    let args = BenchArgs::parse();
+    if args.run_trace("skew", "three-method traced round, sequential backend", L, false) {
         return;
     }
     header(
@@ -178,7 +171,7 @@ fn main() {
     for (label, method, skew) in runs {
         let mut vals = Vec::new();
         for (dist_label, rows) in &deltas {
-            let m = measure(method, skew, rows);
+            let m = measure(&args, method, skew, rows);
             vals.push(m.io);
             vals.push(m.imb);
             imb.insert((label, *dist_label), m.imb);

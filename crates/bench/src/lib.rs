@@ -11,6 +11,62 @@
 use std::fmt::Display;
 use std::path::{Path, PathBuf};
 
+/// The common bench-bin surface, parsed once at startup: the
+/// `--trace <path>` and `--metrics <path>` flags plus the
+/// `PVM_BENCH_QUICK` environment toggle every CI-gated bin honors.
+/// Replaces the per-bin copies of the same flag plumbing.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// `--trace <path>`: write a Chrome trace of one maintenance round
+    /// instead of running the sweep.
+    pub trace: Option<PathBuf>,
+    /// `--metrics <path>`: dump the metrics registry in Prometheus text
+    /// exposition format when the run finishes.
+    pub metrics: Option<PathBuf>,
+    /// `PVM_BENCH_QUICK` is set: shrink the sweep for CI.
+    pub quick: bool,
+}
+
+impl BenchArgs {
+    pub fn parse() -> Self {
+        BenchArgs {
+            trace: trace_arg(),
+            metrics: metrics_arg(),
+            quick: std::env::var_os("PVM_BENCH_QUICK").is_some(),
+        }
+    }
+
+    /// When `--trace` was passed, run the standard three-method traced
+    /// round ([`capture_trace`]) and return `true`: the bin should exit
+    /// without sweeping.
+    pub fn run_trace(&self, bin: &str, caption: &str, l: usize, threaded: bool) -> bool {
+        let Some(path) = &self.trace else {
+            return false;
+        };
+        header(&format!("{bin} --trace"), caption);
+        capture_trace(path, l, threaded);
+        true
+    }
+
+    /// Flip the obs gate on ([`enable_metrics`]) when a `--metrics` dump
+    /// was requested, so gated metrics are collected for [`BenchArgs::
+    /// dump`].
+    pub fn observe(&self, cluster: &pvm::prelude::Cluster) {
+        if self.metrics.is_some() {
+            enable_metrics(cluster);
+        }
+    }
+
+    /// Write the registry dump if `--metrics` was passed. Call at the
+    /// point whose registry should be left behind — callers that dump in
+    /// a loop overwrite, keeping the last configuration's registry.
+    pub fn dump(&self, cluster: &pvm::prelude::Cluster) {
+        if let Some(path) = &self.metrics {
+            write_metrics(path, cluster);
+        }
+    }
+}
+
 /// Parse a `--trace <path>` flag from the process arguments.
 pub fn trace_arg() -> Option<PathBuf> {
     let mut args = std::env::args();

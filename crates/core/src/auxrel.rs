@@ -250,7 +250,7 @@ pub(crate) fn install(cluster: &mut Cluster, handle: &ViewHandle) -> Result<AuxS
 /// Probe target for `rel` on `probe_col`: the AR if one exists, else the
 /// base relation (which install() guaranteed is partitioned on the
 /// attribute and probeable).
-fn probe_target(
+pub(crate) fn probe_target(
     cluster: &Cluster,
     handle: &ViewHandle,
     state: &AuxState,

@@ -188,7 +188,7 @@ pub(crate) struct ProbeTarget {
 
 /// How a node joins its received delta share with the local fragment of
 /// the probed relation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum JoinPolicy {
     /// Always probe the index once per delta tuple — the access path the
     /// paper's figures stipulate, and the right choice for the small
@@ -211,7 +211,7 @@ pub enum JoinPolicy {
 /// backends deliver inboxes in (src, send-order) — so [`BatchPolicy::PerRow`]
 /// serves as the parity oracle (`tests/batch_equivalence.rs`) while
 /// [`BatchPolicy::Coalesced`] is what runs by default.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BatchPolicy {
     /// Group delta rows by destination before shipping (one multi-row
     /// message per (src, dst, phase) instead of one per row) and probe

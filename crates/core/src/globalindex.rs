@@ -50,6 +50,10 @@ pub struct GiInfo {
 #[derive(Debug, Clone, Default)]
 pub struct GiState {
     pub gis: HashMap<(usize, usize), GiInfo>,
+    /// True when the GIs belong to a shared [`crate::minimize::GiPool`]:
+    /// the pool updates them once per base delta, so this view skips its
+    /// index-update phase (and never drops them on destroy).
+    pub shared: bool,
 }
 
 /// Deterministic GI table name.
@@ -82,6 +86,40 @@ fn bad_entry() -> PvmError {
     PvmError::Corrupt("malformed global-index entry".into())
 }
 
+/// Create one global index named `name` over `base_table`'s column `c`
+/// and populate it from every node's current fragment (capturing local
+/// rids). Shared by per-view [`install`] and the cross-view
+/// [`crate::minimize::GiPool`].
+pub(crate) fn create_gi(
+    cluster: &mut Cluster,
+    name: String,
+    base_table: TableId,
+    c: usize,
+) -> Result<TableId> {
+    let def = cluster.def(base_table)?.clone();
+    let key_type = def
+        .schema
+        .column(c)
+        .ok_or_else(|| PvmError::InvalidReference(format!("column {c}")))?
+        .dtype;
+    let gi_schema = Schema::new(vec![
+        Column::new("key", key_type),
+        Column::int("node"),
+        Column::int("page"),
+        Column::int("slot"),
+    ])
+    .into_ref();
+    let gi_table = cluster.create_table(TableDef::hash_clustered(name, gi_schema, 0))?;
+    let mut entries = Vec::new();
+    for n in cluster.nodes() {
+        for (rid, row) in n.storage(base_table)?.scan()? {
+            entries.push(gi_entry(row[c].clone(), GlobalRid::new(n.id(), rid)));
+        }
+    }
+    cluster.insert(gi_table, entries)?;
+    Ok(gi_table)
+}
+
 /// Create (and populate) the global indices the view needs.
 pub(crate) fn install(cluster: &mut Cluster, handle: &ViewHandle) -> Result<GiState> {
     let mut gis = HashMap::new();
@@ -92,35 +130,19 @@ pub(crate) fn install(cluster: &mut Cluster, handle: &ViewHandle) -> Result<GiSt
                 chain::ensure_join_index(cluster, table, c)?;
                 continue;
             }
-            let key_type = def
-                .schema
-                .column(c)
-                .ok_or_else(|| PvmError::InvalidReference(format!("column {c}")))?
-                .dtype;
-            let gi_schema = Schema::new(vec![
-                Column::new("key", key_type),
-                Column::int("node"),
-                Column::int("page"),
-                Column::int("slot"),
-            ])
-            .into_ref();
-            let gi_table = cluster.create_table(TableDef::hash_clustered(
+            let gi_table = create_gi(
+                cluster,
                 gi_name(&handle.def.name, &def.name, c),
-                gi_schema,
-                0,
-            ))?;
-            // Populate from every node's fragment, capturing local rids.
-            let mut entries = Vec::new();
-            for n in cluster.nodes() {
-                for (rid, row) in n.storage(table)?.scan()? {
-                    entries.push(gi_entry(row[c].clone(), GlobalRid::new(n.id(), rid)));
-                }
-            }
-            cluster.insert(gi_table, entries)?;
+                table,
+                c,
+            )?;
             gis.insert((rel, c), GiInfo { table: gi_table });
         }
     }
-    Ok(GiState { gis })
+    Ok(GiState {
+        gis,
+        shared: false,
+    })
 }
 
 /// Append one two-hop GI probe step to a phase program: route partials to
@@ -130,7 +152,7 @@ pub(crate) fn install(cluster: &mut Cluster, handle: &ViewHandle) -> Result<GiSt
 /// a stage's sends are not consumed until the receiver's next stage — but
 /// a pipelined backend overlaps different nodes' hops freely.
 #[allow(clippy::too_many_arguments)]
-fn push_gi_probe_step<'p>(
+pub(crate) fn push_gi_probe_step<'p>(
     backend: &impl Backend,
     program: pvm_engine::StepProgram<'p>,
     layout: &Layout,
@@ -376,6 +398,117 @@ fn push_gi_probe_step<'p>(
     }))
 }
 
+/// Route each placed delta row's GI entry to its home node(s) and apply
+/// it there. `gis` pairs each GI table with the base column it indexes.
+/// All GIs ride **one** stage program (route stage + send-free apply
+/// stage per GI) so a pipelined backend overlaps one GI's apply with the
+/// next one's routing. Shared by per-view maintenance and the cross-view
+/// [`crate::minimize::GiPool`].
+pub(crate) fn update_gis<B: Backend>(
+    backend: &mut B,
+    gis: &[(usize, TableId)],
+    placed: &[(Row, GlobalRid)],
+    insert: bool,
+    batch: BatchPolicy,
+    gates: Option<&chain::PartialGates>,
+) -> Result<()> {
+    if gis.is_empty() {
+        return Ok(());
+    }
+    let l = backend.node_count();
+    let mut program = pvm_engine::StepProgram::new();
+    for &(c, gi_table) in gis {
+        let spec = backend.engine().def(gi_table)?.partitioning.clone();
+        program = program.stage(move |ctx, _| {
+            let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
+            for (row, grid) in placed {
+                if grid.node != ctx.id() {
+                    continue;
+                }
+                let entry = gi_entry(row[c].clone(), *grid);
+                // Replicated heavy entries go to every spread-set
+                // node; everything else has a single home.
+                match batch {
+                    BatchPolicy::Coalesced => {
+                        for dst in spec.route_all(&entry, l, 0)? {
+                            by_dst[dst.index()].push(entry.clone());
+                        }
+                    }
+                    BatchPolicy::PerRow => {
+                        for dst in spec.route_all(&entry, l, 0)? {
+                            ctx.send(
+                                dst,
+                                NetPayload::DeltaRows {
+                                    table: gi_table,
+                                    rows: vec![entry.clone()],
+                                },
+                            )?;
+                        }
+                    }
+                }
+            }
+            if batch == BatchPolicy::Coalesced {
+                for (dst, rows) in by_dst.into_iter().enumerate() {
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    if ctx.tracing() {
+                        ctx.obs()
+                            .metrics()
+                            .histogram(metric::BATCH_ROWS_PER_MSG)
+                            .observe(rows.len() as u64);
+                    }
+                    ctx.send(
+                        NodeId::from(dst),
+                        NetPayload::DeltaRows {
+                            table: gi_table,
+                            rows,
+                        },
+                    )?;
+                }
+            }
+            Ok(Vec::new())
+        });
+        let holes = gates.and_then(|g| g.structure_holes(gi_table));
+        program = program.local_stage(move |ctx, _| {
+            let mut applied = 0u64;
+            for env in ctx.drain() {
+                let NetPayload::DeltaRows { table: t, rows } = env.payload else {
+                    return Err(PvmError::InvalidOperation(
+                        "unexpected payload during GI update".into(),
+                    ));
+                };
+                for r in rows {
+                    if let Some(h) = holes {
+                        // Entry column 0 is the join value (gi_entry):
+                        // evicted values stay holes until refilled.
+                        if h.contains(r.try_get(0)?) {
+                            continue;
+                        }
+                    }
+                    if insert {
+                        ctx.node.insert(t, r)?;
+                    } else {
+                        ctx.node.delete_row(t, &r, &[0])?;
+                    }
+                    applied += 1;
+                }
+            }
+            if applied > 0 {
+                ctx.count_work(applied);
+                if ctx.tracing() {
+                    ctx.trace_span(Phase::IndexUpdate, MethodTag::GlobalIndex)
+                        .count(applied)
+                        .emit();
+                }
+            }
+            Ok(Vec::new())
+        });
+    }
+    backend.run_stages(vec![Vec::new(); l], &program)?;
+    Ok(())
+}
+
 /// Propagate an already-applied base update (`placed` rows with their
 /// global rids, on relation `rel`) to the view, updating this view's GIs.
 #[allow(clippy::too_many_arguments)]
@@ -399,109 +532,19 @@ pub(crate) fn apply<B: Backend>(
     let g = backend.start_meter();
     let base = backend.finish_meter(&g);
 
-    // Phase: update the global indices of the updated relation. All GIs
-    // ride one stage program (route + send-free apply per GI) so a
-    // pipelined backend overlaps one GI's apply with the next one's
-    // routing.
+    // Phase: update the global indices of the updated relation — unless
+    // a shared pool owns them (then the pool's single update already
+    // happened and this view charges nothing).
     let guard = backend.start_meter();
     let mark = chain::phase_mark(backend);
-    let my_gis: Vec<(usize, TableId)> = state
-        .gis
-        .iter()
-        .filter(|((r, _), _)| *r == rel)
-        .map(|(&(_, c), info)| (c, info.table))
-        .collect();
-    if !my_gis.is_empty() {
-        let mut program = pvm_engine::StepProgram::new();
-        for &(c, gi_table) in &my_gis {
-            let spec = backend.engine().def(gi_table)?.partitioning.clone();
-            program = program.stage(move |ctx, _| {
-                let mut by_dst: Vec<Vec<Row>> = vec![Vec::new(); l];
-                for (row, grid) in placed {
-                    if grid.node != ctx.id() {
-                        continue;
-                    }
-                    let entry = gi_entry(row[c].clone(), *grid);
-                    // Replicated heavy entries go to every spread-set
-                    // node; everything else has a single home.
-                    match batch {
-                        BatchPolicy::Coalesced => {
-                            for dst in spec.route_all(&entry, l, 0)? {
-                                by_dst[dst.index()].push(entry.clone());
-                            }
-                        }
-                        BatchPolicy::PerRow => {
-                            for dst in spec.route_all(&entry, l, 0)? {
-                                ctx.send(
-                                    dst,
-                                    NetPayload::DeltaRows {
-                                        table: gi_table,
-                                        rows: vec![entry.clone()],
-                                    },
-                                )?;
-                            }
-                        }
-                    }
-                }
-                if batch == BatchPolicy::Coalesced {
-                    for (dst, rows) in by_dst.into_iter().enumerate() {
-                        if rows.is_empty() {
-                            continue;
-                        }
-                        if ctx.tracing() {
-                            ctx.obs()
-                                .metrics()
-                                .histogram(metric::BATCH_ROWS_PER_MSG)
-                                .observe(rows.len() as u64);
-                        }
-                        ctx.send(
-                            NodeId::from(dst),
-                            NetPayload::DeltaRows {
-                                table: gi_table,
-                                rows,
-                            },
-                        )?;
-                    }
-                }
-                Ok(Vec::new())
-            });
-            let holes = gates.and_then(|g| g.structure_holes(gi_table));
-            program = program.local_stage(move |ctx, _| {
-                let mut applied = 0u64;
-                for env in ctx.drain() {
-                    let NetPayload::DeltaRows { table: t, rows } = env.payload else {
-                        return Err(PvmError::InvalidOperation(
-                            "unexpected payload during GI update".into(),
-                        ));
-                    };
-                    for r in rows {
-                        if let Some(h) = holes {
-                            // Entry column 0 is the join value (gi_entry):
-                            // evicted values stay holes until refilled.
-                            if h.contains(r.try_get(0)?) {
-                                continue;
-                            }
-                        }
-                        if insert {
-                            ctx.node.insert(t, r)?;
-                        } else {
-                            ctx.node.delete_row(t, &r, &[0])?;
-                        }
-                        applied += 1;
-                    }
-                }
-                if applied > 0 {
-                    ctx.count_work(applied);
-                    if ctx.tracing() {
-                        ctx.trace_span(Phase::IndexUpdate, MethodTag::GlobalIndex)
-                            .count(applied)
-                            .emit();
-                    }
-                }
-                Ok(Vec::new())
-            });
-        }
-        backend.run_stages(vec![Vec::new(); l], &program)?;
+    if !state.shared {
+        let my_gis: Vec<(usize, TableId)> = state
+            .gis
+            .iter()
+            .filter(|((r, _), _)| *r == rel)
+            .map(|(&(_, c), info)| (c, info.table))
+            .collect();
+        update_gis(backend, &my_gis, placed, insert, batch, gates)?;
     }
     chain::coord_phase(backend, Phase::Aux, MethodTag::GlobalIndex, mark);
     let aux = backend.finish_meter(&guard);

@@ -40,6 +40,7 @@ pub mod minimize;
 pub mod naive;
 pub mod partial;
 pub mod planner;
+pub mod share;
 pub mod skew;
 pub mod view;
 pub mod viewdef;
@@ -81,9 +82,10 @@ pub use aggregate::{AggFunc, AggShape, AggSpec};
 pub use chain::{BatchPolicy, JoinPolicy};
 pub use delta::Delta;
 pub use layout::Layout;
-pub use minimize::ArPool;
+pub use minimize::{ArPool, GiPool};
 pub use planner::{plan_chain, PlanStep};
 pub use pvm_model::Recommendation;
+pub use share::{maintain_catalog, plan_groups, GroupSignature, SharedCatalog};
 pub use skew::{RebalanceReport, SkewConfig, SkewState};
 pub use view::{
     maintain_all, maintain_all_pooled, BatchCostRecord, MaintainedView, MaintenanceMethod,

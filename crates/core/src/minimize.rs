@@ -178,36 +178,66 @@ impl ArPool {
             ));
         }
         for req in &self.reqs {
-            let base_id = cluster.table_id(&req.base)?;
-            let base_def = cluster.def(base_id)?.clone();
-            let key_pos = req
-                .keep
-                .iter()
-                .position(|&k| k == req.attr)
-                .expect("join attribute always kept");
-            let schema = base_def.schema.project(&req.keep)?.into_ref();
-            let table = cluster.create_table(TableDef::hash_clustered(
-                format!("pool__ar_{}_{}", req.base, req.attr),
-                schema,
-                key_pos,
-            ))?;
-            let rows: Vec<Row> = cluster
-                .scan_all(base_id)?
-                .iter()
-                .map(|r| r.project(&req.keep))
-                .collect::<Result<_>>()?;
-            cluster.insert(table, rows)?;
-            self.ars.insert(
-                (req.base.clone(), req.attr),
-                ArInfo {
-                    table,
-                    keep_cols: req.keep.clone(),
-                    key_pos,
-                },
-            );
+            let info = materialize_ar(cluster, req)?;
+            self.ars.insert((req.base.clone(), req.attr), info);
         }
         self.materialized = true;
         Ok(())
+    }
+
+    /// Register one more view with an **already-materialized** pool,
+    /// creating or widening pool ARs in place (a first call on an empty
+    /// pool plans and materializes). A widened AR — the new view needs
+    /// columns the stored σπ copy lacks — is dropped and rebuilt from the
+    /// base relation under the same pool table name.
+    ///
+    /// Returns the `(base, attr)` keys whose AR table changed (created or
+    /// rebuilt), in sorted order: every view already bound to the pool
+    /// must rebind those keys
+    /// ([`crate::MaintainedView::rebind_ar_pool`]) before its next
+    /// maintenance.
+    pub fn enroll(
+        &mut self,
+        cluster: &mut Cluster,
+        def: &crate::JoinViewDef,
+    ) -> Result<Vec<(String, usize)>> {
+        if !self.materialized {
+            self.plan(cluster, def)?;
+            self.materialize(cluster)?;
+            let mut keys: Vec<(String, usize)> = self.ars.keys().cloned().collect();
+            keys.sort();
+            return Ok(keys);
+        }
+        def.validate(cluster)?;
+        let mut part_lookup = Vec::new();
+        for name in &def.relations {
+            let id = cluster.table_id(name)?;
+            part_lookup.push(cluster.def(id)?.partitioning.clone());
+        }
+        let mut all = self.reqs.clone();
+        all.extend(ar_requirements(def, |rel, col| part_lookup[rel].is_on(col)));
+        let merged = merge_requirements(&all);
+        let mut changed = Vec::new();
+        for req in &merged {
+            let key = (req.base.clone(), req.attr);
+            let unchanged = self.ars.contains_key(&key)
+                && self
+                    .reqs
+                    .iter()
+                    .any(|r| r.base == req.base && r.attr == req.attr && r.keep == req.keep);
+            if unchanged {
+                continue;
+            }
+            if let Some(old) = self.ars.remove(&key) {
+                cluster.drop_table(old.table)?;
+            }
+            let info = materialize_ar(cluster, req)?;
+            self.ars.insert(key.clone(), info);
+            changed.push(key);
+        }
+        self.reqs = merged;
+        changed.sort();
+        Ok(changed)
     }
 
     /// The shared AR for `(base, attr)`, if materialized.
@@ -252,6 +282,254 @@ impl ArPool {
             pages += cluster.total_pages(info.table)?;
         }
         Ok(pages)
+    }
+
+    /// Drop every pool AR table and reset the pool to empty. Called when
+    /// the last pool-bound view is destroyed.
+    pub fn release(&mut self, cluster: &mut Cluster) -> Result<()> {
+        for (_, info) in std::mem::take(&mut self.ars) {
+            cluster.drop_table(info.table)?;
+        }
+        self.reqs.clear();
+        self.materialized = false;
+        Ok(())
+    }
+}
+
+/// Create and bulk-load one pool AR from its merged requirement.
+fn materialize_ar(cluster: &mut Cluster, req: &ArRequirement) -> Result<ArInfo> {
+    let base_id = cluster.table_id(&req.base)?;
+    let base_def = cluster.def(base_id)?.clone();
+    let key_pos = req
+        .keep
+        .iter()
+        .position(|&k| k == req.attr)
+        .expect("join attribute always kept");
+    let schema = base_def.schema.project(&req.keep)?.into_ref();
+    let table = cluster.create_table(TableDef::hash_clustered(
+        format!("pool__ar_{}_{}", req.base, req.attr),
+        schema,
+        key_pos,
+    ))?;
+    let rows: Vec<Row> = cluster
+        .scan_all(base_id)?
+        .iter()
+        .map(|r| r.project(&req.keep))
+        .collect::<Result<_>>()?;
+    cluster.insert(table, rows)?;
+    Ok(ArInfo {
+        table,
+        keep_cols: req.keep.clone(),
+        key_pos,
+    })
+}
+
+/// One global-index requirement: base relation `base` indexed on its
+/// column `attr`. GIs have a fixed `(value, node, page, slot)` schema,
+/// so — unlike [`ArRequirement`] — there is no keep set to merge: two
+/// views needing the same `(base, attr)` GI need the *identical* GI.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GiRequirement {
+    pub base: String,
+    pub attr: usize,
+}
+
+/// The GI requirements of one view (mirrors [`ar_requirements`]):
+/// one per `(base relation, join attribute)` pair unless the base is
+/// already partitioned on the attribute.
+pub fn gi_requirements(
+    def: &JoinViewDef,
+    mut is_partitioned_on: impl FnMut(usize, usize) -> bool,
+) -> Vec<GiRequirement> {
+    let mut out = Vec::new();
+    for (rel, base) in def.relations.iter().enumerate() {
+        for attr in def.join_attrs_of(rel) {
+            if !is_partitioned_on(rel, attr) {
+                out.push(GiRequirement {
+                    base: base.clone(),
+                    attr,
+                });
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// A **materialized** pool of global indices shared across views — the
+/// GI analogue of [`ArPool`], extending §2.1.2's cross-view sharing to
+/// the global-index method. Because a GI's contents depend only on
+/// `(base, attr)`, sharing is exact: no union/widening step exists, and
+/// [`GiPool::enroll`] never invalidates an existing member's binding.
+///
+/// Lifecycle mirrors [`ArPool`]: [`GiPool::plan`] +
+/// [`GiPool::materialize`] (or [`GiPool::enroll`] incrementally), bind
+/// views with [`crate::MaintainedView::create_with_gi_pool`], and call
+/// [`GiPool::apply_base_delta`] once per base delta.
+#[derive(Debug, Default)]
+pub struct GiPool {
+    reqs: Vec<GiRequirement>,
+    /// Materialized GIs, keyed by (base table name, join attribute).
+    gis: HashMap<(String, usize), crate::globalindex::GiInfo>,
+    materialized: bool,
+}
+
+impl GiPool {
+    pub fn new() -> Self {
+        GiPool::default()
+    }
+
+    /// Register a view's GI needs. Must be called before
+    /// [`GiPool::materialize`].
+    pub fn plan(&mut self, cluster: &Cluster, def: &crate::JoinViewDef) -> Result<()> {
+        if self.materialized {
+            return Err(PvmError::InvalidOperation(
+                "GiPool::plan after materialize".into(),
+            ));
+        }
+        def.validate(cluster)?;
+        let mut part_lookup = Vec::new();
+        for name in &def.relations {
+            let id = cluster.table_id(name)?;
+            part_lookup.push(cluster.def(id)?.partitioning.clone());
+        }
+        self.reqs
+            .extend(gi_requirements(def, |rel, col| part_lookup[rel].is_on(col)));
+        self.reqs.sort();
+        self.reqs.dedup();
+        Ok(())
+    }
+
+    /// The merged requirements so far.
+    pub fn requirements(&self) -> &[GiRequirement] {
+        &self.reqs
+    }
+
+    /// Create and populate every required GI.
+    pub fn materialize(&mut self, cluster: &mut Cluster) -> Result<()> {
+        if self.materialized {
+            return Err(PvmError::InvalidOperation(
+                "GiPool already materialized".into(),
+            ));
+        }
+        for req in &self.reqs {
+            let base_id = cluster.table_id(&req.base)?;
+            let table = crate::globalindex::create_gi(
+                cluster,
+                format!("pool__gi_{}_{}", req.base, req.attr),
+                base_id,
+                req.attr,
+            )?;
+            self.gis.insert(
+                (req.base.clone(), req.attr),
+                crate::globalindex::GiInfo { table },
+            );
+        }
+        self.materialized = true;
+        Ok(())
+    }
+
+    /// Register one more view with an **already-materialized** pool,
+    /// creating any GIs it needs that the pool lacks (a first call on an
+    /// empty pool plans and materializes). Returns the newly created
+    /// `(base, attr)` keys in sorted order; existing members' bindings
+    /// stay valid (GIs never widen).
+    pub fn enroll(
+        &mut self,
+        cluster: &mut Cluster,
+        def: &crate::JoinViewDef,
+    ) -> Result<Vec<(String, usize)>> {
+        if !self.materialized {
+            self.plan(cluster, def)?;
+            self.materialize(cluster)?;
+            let mut keys: Vec<(String, usize)> = self.gis.keys().cloned().collect();
+            keys.sort();
+            return Ok(keys);
+        }
+        def.validate(cluster)?;
+        let mut part_lookup = Vec::new();
+        for name in &def.relations {
+            let id = cluster.table_id(name)?;
+            part_lookup.push(cluster.def(id)?.partitioning.clone());
+        }
+        let mut created = Vec::new();
+        for req in gi_requirements(def, |rel, col| part_lookup[rel].is_on(col)) {
+            let key = (req.base.clone(), req.attr);
+            if self.gis.contains_key(&key) {
+                continue;
+            }
+            let base_id = cluster.table_id(&req.base)?;
+            let table = crate::globalindex::create_gi(
+                cluster,
+                format!("pool__gi_{}_{}", req.base, req.attr),
+                base_id,
+                req.attr,
+            )?;
+            self.gis
+                .insert(key.clone(), crate::globalindex::GiInfo { table });
+            self.reqs.push(req);
+            created.push(key);
+        }
+        self.reqs.sort();
+        self.reqs.dedup();
+        created.sort();
+        Ok(created)
+    }
+
+    /// The shared GI for `(base, attr)`, if materialized.
+    pub(crate) fn gi_for(&self, base: &str, attr: usize) -> Option<&crate::globalindex::GiInfo> {
+        self.gis.get(&(base.to_owned(), attr))
+    }
+
+    pub fn is_materialized(&self) -> bool {
+        self.materialized
+    }
+
+    /// Propagate one already-applied base delta into every pool GI of
+    /// `relation` — exactly once, regardless of how many views share them.
+    pub fn apply_base_delta<B: Backend>(
+        &self,
+        backend: &mut B,
+        relation: &str,
+        placed: &[(Row, GlobalRid)],
+        insert: bool,
+    ) -> Result<()> {
+        let mut mine: Vec<(usize, pvm_engine::TableId)> = self
+            .gis
+            .iter()
+            .filter(|((base, _), _)| base == relation)
+            .map(|((_, attr), info)| (*attr, info.table))
+            .collect();
+        mine.sort();
+        crate::globalindex::update_gis(
+            backend,
+            &mine,
+            placed,
+            insert,
+            crate::chain::BatchPolicy::default(),
+            None, // pooled GIs are shared across views and never partial
+        )
+    }
+
+    /// Total pages occupied by the pool's GIs.
+    pub fn storage_pages(&self, cluster: &Cluster) -> Result<usize> {
+        let mut pages = 0;
+        for info in self.gis.values() {
+            pages += cluster.total_pages(info.table)?;
+        }
+        Ok(pages)
+    }
+
+    /// Drop every pool GI table and reset the pool to empty. Called when
+    /// the last pool-bound view is destroyed.
+    pub fn release(&mut self, cluster: &mut Cluster) -> Result<()> {
+        for (_, info) in std::mem::take(&mut self.gis) {
+            cluster.drop_table(info.table)?;
+        }
+        self.reqs.clear();
+        self.materialized = false;
+        Ok(())
     }
 }
 
@@ -330,5 +608,77 @@ mod tests {
         let once = merge_requirements(&reqs);
         let twice = merge_requirements(&once);
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn merge_same_view_twice_is_a_noop() {
+        // Planning the identical view twice (two members of a shared
+        // group) must not widen any keep set or add requirements.
+        let once = ar_requirements(&jv1(), |_, _| false);
+        let mut twice = once.clone();
+        twice.extend(once.clone());
+        assert_eq!(merge_requirements(&once), merge_requirements(&twice));
+    }
+
+    #[test]
+    fn merge_overlapping_keep_sets_union_without_duplicates() {
+        let reqs = vec![
+            ArRequirement {
+                base: "a".into(),
+                attr: 0,
+                keep: vec![0, 1, 2],
+            },
+            ArRequirement {
+                base: "a".into(),
+                attr: 0,
+                keep: vec![1, 2, 3],
+            },
+            ArRequirement {
+                base: "a".into(),
+                attr: 0,
+                keep: vec![0, 3],
+            },
+        ];
+        let merged = merge_requirements(&reqs);
+        assert_eq!(merged.len(), 1);
+        // Overlaps collapse: each column appears exactly once, sorted.
+        assert_eq!(merged[0].keep, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_orders_by_base_then_attr_regardless_of_input_order() {
+        let mk = |base: &str, attr: usize| ArRequirement {
+            base: base.into(),
+            attr,
+            keep: vec![attr],
+        };
+        let forward = vec![mk("a", 0), mk("a", 2), mk("b", 1), mk("b", 0)];
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let m1 = merge_requirements(&forward);
+        let m2 = merge_requirements(&reversed);
+        assert_eq!(m1, m2, "merged set is input-order independent");
+        let keys: Vec<(String, usize)> = m1.iter().map(|r| (r.base.clone(), r.attr)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "deterministic (base, attr) order");
+    }
+
+    #[test]
+    fn gi_requirements_dedup_and_skip_copartitioned() {
+        let reqs = gi_requirements(&jv1(), |rel, _| rel == 0);
+        assert_eq!(
+            reqs,
+            vec![GiRequirement {
+                base: "b".into(),
+                attr: 0
+            }]
+        );
+        // Same view twice: identical GI needs collapse.
+        let mut twice = gi_requirements(&jv1(), |_, _| false);
+        twice.extend(gi_requirements(&jv1(), |_, _| false));
+        twice.sort();
+        twice.dedup();
+        assert_eq!(twice, gi_requirements(&jv1(), |_, _| false));
     }
 }

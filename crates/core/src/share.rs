@@ -1,0 +1,943 @@
+//! Probe-once shared maintenance across a catalog of views.
+//!
+//! §2.1.2 observes that many views commonly join the same base relations
+//! on the same attributes, differing only in which columns they project.
+//! [`crate::view::maintain_all`] already shares the *base update* across
+//! such views, and the [`crate::minimize`] pools share the *structure
+//! updates* — but the route → probe → ship → apply chain still runs once
+//! per view per delta, so the per-delta SEARCH and SEND bill grows
+//! linearly with the number of views.
+//!
+//! This module closes that gap. Views are grouped by **join-graph
+//! signature** ([`GroupSignature`]): same maintenance method, same base
+//! relations, same (normalized) join edges, same policies, and the same
+//! probe structures (pool-shared ARs or GIs — or none, for the naive
+//! method). For each base delta, a group's chain runs **once**:
+//!
+//! 1. the common route/probe hops execute exactly as a single view's
+//!    would, carrying the *full* joined partials;
+//! 2. a group **ship** stage routes each joined partial to the union of
+//!    every member's home node (each member hashes its own partition
+//!    attribute out of the partial) — one multicast per destination set,
+//!    `Arc`-shared on the pipelined runtime, charged per destination;
+//! 3. a group **apply** stage projects the partial per member at the
+//!    member's home node and installs it, capturing per-member changes
+//!    for serving views.
+//!
+//! Member view rows are bit-identical to independent maintenance: each
+//! member's projection is applied at the same home node an independent
+//! ship would have chosen (the signature requires plain hash-partitioned
+//! view tables, so `route == hash(partition attribute)`), and per-node
+//! apply order follows drained payload order, making contents equal as
+//! multisets. Cost accounting stays honest — every logical destination of
+//! a multicast is a charged SEND, and the shared chain's reports land on
+//! the group's first member (the same convention `maintain_all` uses for
+//! the shared base phase), so totals across members equal real work done.
+
+use std::collections::HashMap;
+
+use pvm_engine::{Backend, Cluster, MeterReport, NetPayload, PartitionSpec, TableId};
+use pvm_obs::{metric, MethodTag, Phase};
+use pvm_types::{GlobalRid, NodeId, PvmError, Result, Row};
+
+use crate::chain::{self, BatchPolicy, ChainMode, JoinPolicy};
+use crate::delta::Delta;
+use crate::layout::Layout;
+use crate::minimize::{ArPool, GiPool};
+use crate::planner::plan_chain;
+use crate::view::{self, MaintainedView, MaintenanceMethod, MaintenanceOutcome};
+use crate::viewdef::ViewColumn;
+
+/// Everything that must match for two views to ride one maintenance
+/// chain. Projections (and therefore view partition attributes) may
+/// differ — the group ship/apply stages handle those per member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSignature {
+    method: MaintenanceMethod,
+    /// Base relation names, in join order (different orderings index the
+    /// edges differently, so they are distinct signatures).
+    relations: Vec<String>,
+    /// Join edges, each normalized to `(min, max)` and sorted.
+    edges: Vec<(ViewColumn, ViewColumn)>,
+    policy: JoinPolicy,
+    batch: BatchPolicy,
+    /// The probe structures the chain touches ([`MaintainedView::
+    /// method_tables`]) — identical only for pool-shared views (trivially
+    /// identical, i.e. empty, for the naive method).
+    structures: Vec<TableId>,
+}
+
+impl GroupSignature {
+    /// The signature of one maintained view, or `None` when the view is
+    /// ineligible for shared maintenance: aggregate projections, partial
+    /// state, skew handling, a non-hash-partitioned view table, or
+    /// private (non-pooled) AR/GI structures.
+    pub fn of(cluster: &Cluster, view: &MaintainedView) -> Result<Option<GroupSignature>> {
+        // AR / GI members must probe the *same* structures; only
+        // pool-shared structures can be identical across views.
+        match view.method() {
+            MaintenanceMethod::Naive => {}
+            MaintenanceMethod::AuxiliaryRelation => {
+                if !view.aux_state().is_some_and(|a| a.shared) {
+                    return Ok(None);
+                }
+            }
+            MaintenanceMethod::GlobalIndex => {
+                if !view.gi_state().is_some_and(|g| g.shared) {
+                    return Ok(None);
+                }
+            }
+        }
+        GroupSignature::build(cluster, view, view.method_tables())
+    }
+
+    /// Like [`GroupSignature::of`] but ignoring the pool-shared structure
+    /// requirement: whether the view *could* join a shared group once its
+    /// AR/GI structures are rebound to a pool. Two candidates with equal
+    /// signatures form a group after adoption. Structures are left empty
+    /// so pooled and still-private views compare equal here.
+    pub fn candidate(cluster: &Cluster, view: &MaintainedView) -> Result<Option<GroupSignature>> {
+        GroupSignature::build(cluster, view, Vec::new())
+    }
+
+    fn build(
+        cluster: &Cluster,
+        view: &MaintainedView,
+        structures: Vec<TableId>,
+    ) -> Result<Option<GroupSignature>> {
+        let handle = view.view_handle();
+        if handle.agg.is_some() || view.is_partial() || view.has_skew() {
+            return Ok(None);
+        }
+        // The group ship stage routes by hashing each member's partition
+        // attribute straight out of the joined partial; anything but a
+        // plain hash spec on the partition column would route elsewhere.
+        let spec = cluster.def(handle.view_table)?.partitioning.clone();
+        if !matches!(spec, PartitionSpec::Hash { .. }) || !spec.is_on(handle.view_pcol) {
+            return Ok(None);
+        }
+        let mut edges: Vec<(ViewColumn, ViewColumn)> = handle
+            .def
+            .edges
+            .iter()
+            .map(|e| {
+                if e.left <= e.right {
+                    (e.left, e.right)
+                } else {
+                    (e.right, e.left)
+                }
+            })
+            .collect();
+        edges.sort();
+        Ok(Some(GroupSignature {
+            method: view.method(),
+            relations: handle.def.relations.clone(),
+            edges,
+            policy: view.join_policy(),
+            batch: view.batch_policy(),
+            structures,
+        }))
+    }
+}
+
+/// Partition the views joining `relation` into shared-maintenance groups
+/// (member indices into `views`, singleton "groups" excluded — a lone
+/// view gains nothing from the group path). Group order follows first
+/// appearance, and members keep input order, so planning is deterministic.
+pub fn plan_groups(
+    cluster: &Cluster,
+    views: &[&mut MaintainedView],
+    relation: &str,
+) -> Result<Vec<Vec<usize>>> {
+    let mut groups: Vec<(GroupSignature, Vec<usize>)> = Vec::new();
+    for (i, view) in views.iter().enumerate() {
+        if view.view_handle().def.relation_index(relation).is_err() {
+            continue;
+        }
+        let Some(sig) = GroupSignature::of(cluster, view)? else {
+            continue;
+        };
+        match groups.iter_mut().find(|(s, _)| *s == sig) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((sig, vec![i])),
+        }
+    }
+    Ok(groups
+        .into_iter()
+        .filter(|(_, m)| m.len() >= 2)
+        .map(|(_, m)| m)
+        .collect())
+}
+
+/// The shared maintenance structures of a whole view catalog: one AR
+/// pool and one GI pool, updated **once** per base delta regardless of
+/// how many views are bound to them.
+#[derive(Debug, Default)]
+pub struct SharedCatalog {
+    pub ars: ArPool,
+    pub gis: GiPool,
+}
+
+impl SharedCatalog {
+    pub fn new() -> Self {
+        SharedCatalog::default()
+    }
+
+    /// Propagate one already-applied base delta into every pool structure
+    /// over `relation` — each AR and GI exactly once.
+    pub fn apply_base_delta<B: Backend>(
+        &self,
+        backend: &mut B,
+        relation: &str,
+        placed: &[(Row, GlobalRid)],
+        insert: bool,
+    ) -> Result<()> {
+        self.ars.apply_base_delta(backend, relation, placed, insert)?;
+        self.gis.apply_base_delta(backend, relation, placed, insert)
+    }
+
+    /// Total pages occupied by the catalog's shared structures.
+    pub fn storage_pages(&self, cluster: &Cluster) -> Result<usize> {
+        Ok(self.ars.storage_pages(cluster)? + self.gis.storage_pages(cluster)?)
+    }
+
+    /// Drop every shared structure and reset both pools. Called when the
+    /// last pool-bound view is destroyed.
+    pub fn release(&mut self, cluster: &mut Cluster) -> Result<()> {
+        self.ars.release(cluster)?;
+        self.gis.release(cluster)
+    }
+}
+
+/// Per-member data the group ship/apply stages need, cloned out of the
+/// handles so the stage closures borrow nothing from the views.
+struct Member {
+    view_table: TableId,
+    view_pcol: usize,
+    /// Position of the member's partition attribute in the chain's final
+    /// (full-partial) layout.
+    pcol_pos: usize,
+    projection: Vec<ViewColumn>,
+    capture: bool,
+}
+
+/// Run one group's probe-once chain for a prepared base delta: the common
+/// route/probe hops once, then ship each joined partial to the union of
+/// member home nodes and apply every member's projection there. Returns
+/// one outcome per member (in `members` order); the chain's compute and
+/// view reports land on the first member, the rest get empty reports, so
+/// summed costs equal work actually done.
+fn run_group<B: Backend>(
+    backend: &mut B,
+    views: &mut [&mut MaintainedView],
+    members: &[usize],
+    rel: usize,
+    placed: &[(Row, GlobalRid)],
+    insert: bool,
+) -> Result<Vec<MaintenanceOutcome>> {
+    let l = backend.node_count();
+    let first: &MaintainedView = &views[members[0]];
+    let handle = first.view_handle();
+    let method = first.method();
+    let tag = match method {
+        MaintenanceMethod::Naive => MethodTag::Naive,
+        MaintenanceMethod::AuxiliaryRelation => MethodTag::AuxRel,
+        MaintenanceMethod::GlobalIndex => MethodTag::GlobalIndex,
+    };
+    let policy = first.join_policy();
+    let batch = first.batch_policy();
+    let table = handle.base[rel];
+    let arity = backend.engine().def(table)?.schema.arity();
+
+    // Phase: compute — the one shared chain. Identical hop construction
+    // to the per-view drivers (`naive::apply`, `auxrel::apply`,
+    // `globalindex::apply`); only the final ship differs.
+    let guard = backend.start_meter();
+    let mark = chain::phase_mark(backend);
+    let fanout = crate::view_stats_fanout(backend.engine(), handle)?;
+    let plan = plan_chain(&handle.def, rel, fanout)?;
+    let staged = chain::stage_delta(l, placed)?;
+    let mut layout = Layout::single(rel, (0..arity).collect());
+    let mut program = pvm_engine::StepProgram::new();
+    for step in &plan {
+        match method {
+            MaintenanceMethod::Naive => {
+                let target_table = handle.base[step.rel];
+                let def = backend.engine().def(target_table)?;
+                let target = chain::ProbeTarget {
+                    table: target_table,
+                    carried: (0..def.schema.arity()).collect(),
+                    key: vec![step.probe_col],
+                    routing: def
+                        .partitioning
+                        .is_on(step.probe_col)
+                        .then(|| def.partitioning.clone()),
+                };
+                let carried = target.carried.clone();
+                program =
+                    chain::push_probe_step(program, &layout, step, target, policy, batch, tag, l)?;
+                layout.push(step.rel, carried);
+            }
+            MaintenanceMethod::AuxiliaryRelation => {
+                let state = first.aux_state().expect("aux state installed");
+                let target = crate::auxrel::probe_target(
+                    backend.engine(),
+                    handle,
+                    state,
+                    step.rel,
+                    step.probe_col,
+                )?;
+                let carried = target.carried.clone();
+                program =
+                    chain::push_probe_step(program, &layout, step, target, policy, batch, tag, l)?;
+                layout.push(step.rel, carried);
+            }
+            MaintenanceMethod::GlobalIndex => {
+                let state = first.gi_state().expect("gi state installed");
+                let target_table = handle.base[step.rel];
+                let target_arity = backend.engine().def(target_table)?.schema.arity();
+                if let Some(info) = state.gis.get(&(step.rel, step.probe_col)) {
+                    program = crate::globalindex::push_gi_probe_step(
+                        backend,
+                        program,
+                        &layout,
+                        step,
+                        info.table,
+                        target_table,
+                        target_arity,
+                        batch,
+                    )?;
+                } else {
+                    let def = backend.engine().def(target_table)?;
+                    if !def.partitioning.is_on(step.probe_col) {
+                        return Err(PvmError::InvalidOperation(format!(
+                            "no global index for ({}, {}) and base not partitioned on it",
+                            step.rel, step.probe_col
+                        )));
+                    }
+                    let target = chain::ProbeTarget {
+                        table: target_table,
+                        carried: (0..target_arity).collect(),
+                        key: vec![step.probe_col],
+                        routing: Some(def.partitioning.clone()),
+                    };
+                    program = chain::push_probe_step(
+                        program, &layout, step, target, policy, batch, tag, l,
+                    )?;
+                }
+                layout.push(step.rel, (0..target_arity).collect());
+            }
+        }
+    }
+    // Resolve every member's partition-attribute position in the final
+    // layout (pool AR keep-sets are merged over all members, so each
+    // member's projection columns are present in the carried partials).
+    let ship: Vec<Member> = members
+        .iter()
+        .map(|&i| {
+            let v: &MaintainedView = &views[i];
+            let h = v.view_handle();
+            Ok(Member {
+                view_table: h.view_table,
+                view_pcol: h.view_pcol,
+                pcol_pos: layout.position(h.def.partition_attr())?,
+                projection: h.def.projection.clone(),
+                capture: v.is_capturing(),
+            })
+        })
+        .collect::<Result<_>>()?;
+    // Group ship: one destination set per joined partial (the union of
+    // member homes, sorted), batched by identical set in first-appearance
+    // order — deterministic send order on both backends. Full partials
+    // ship, tagged with the first member's view table; the group apply
+    // below projects per member. Every listed destination is a charged
+    // SEND; the pipelined runtime shares one encoded payload across them.
+    let first_table = ship[0].view_table;
+    let positions: Vec<usize> = ship.iter().map(|m| m.pcol_pos).collect();
+    program = program.stage(move |ctx, partials| {
+        let positions = &positions;
+        if partials.is_empty() {
+            return Ok(Vec::new());
+        }
+        if ctx.tracing() {
+            ctx.trace_span(Phase::Ship, tag)
+                .count(partials.len() as u64)
+                .emit();
+        }
+        let mut batches: Vec<(Vec<NodeId>, Vec<Row>)> = Vec::new();
+        for partial in &partials {
+            let mut dsts: Vec<NodeId> = Vec::new();
+            for &pos in positions {
+                let dst = PartitionSpec::route_value(partial.try_get(pos)?, l)?;
+                if !dsts.contains(&dst) {
+                    dsts.push(dst);
+                }
+            }
+            dsts.sort();
+            match batches.iter_mut().find(|(s, _)| *s == dsts) {
+                Some((_, rows)) => rows.push(partial.clone()),
+                None => batches.push((dsts, vec![partial.clone()])),
+            }
+        }
+        for (dsts, rows) in batches {
+            if ctx.tracing() {
+                let h = ctx.obs().metrics().histogram(metric::BATCH_ROWS_PER_MSG);
+                for _ in 0..dsts.len() {
+                    h.observe(rows.len() as u64);
+                }
+            }
+            let payload = NetPayload::ResultRows {
+                table: first_table,
+                rows,
+            };
+            if dsts.len() == 1 {
+                ctx.send(dsts[0], payload)?;
+            } else {
+                ctx.multicast(&dsts, &payload)?;
+            }
+        }
+        Ok(Vec::new())
+    });
+    backend.run_stages(staged, &program)?;
+    chain::coord_phase(backend, Phase::Compute, tag, mark);
+    let compute = backend.finish_meter(&guard);
+
+    // The shared chain ran once instead of `members.len()` times; record
+    // the (estimated) savings — independent runs would each have probed
+    // the same structures and shipped their own copies.
+    let obs = backend.engine().obs_handle();
+    if obs.enabled() {
+        let saved = (members.len() - 1) as u64;
+        obs.metrics()
+            .histogram(metric::SHARE_GROUP_SIZE)
+            .observe(members.len() as u64);
+        obs.metrics()
+            .counter(metric::SHARE_PROBES_SAVED)
+            .add(saved * compute.total().searches);
+        obs.metrics()
+            .counter(metric::SHARE_SENDS_SAVED)
+            .add(saved * compute.sends());
+    }
+
+    // Phase: group view apply — drain the multicast partials once per
+    // node and install each member's projection of the rows homed there.
+    let guard = backend.start_meter();
+    let mark = chain::phase_mark(backend);
+    let mode = if insert {
+        ChainMode::Insert
+    } else {
+        ChainMode::Delete
+    };
+    let apply_layout = layout;
+    let per_node = backend.step(|ctx| {
+        let mut per_member: Vec<(u64, Vec<(Row, bool)>)> = vec![(0, Vec::new()); ship.len()];
+        for env in ctx.drain() {
+            let NetPayload::ResultRows { rows, .. } = env.payload else {
+                return Err(PvmError::InvalidOperation(
+                    "unexpected payload at group view-apply".into(),
+                ));
+            };
+            for row in rows {
+                for (m, member) in ship.iter().enumerate() {
+                    let dst = PartitionSpec::route_value(row.try_get(member.pcol_pos)?, l)?;
+                    if dst != ctx.id() {
+                        continue;
+                    }
+                    let view_row = apply_layout.project(&row, &member.projection)?;
+                    match mode {
+                        ChainMode::Insert => {
+                            if member.capture {
+                                per_member[m].1.push((view_row.clone(), true));
+                            }
+                            ctx.node.insert(member.view_table, view_row)?;
+                            per_member[m].0 += 1;
+                        }
+                        ChainMode::Delete => {
+                            if ctx
+                                .node
+                                .delete_row(member.view_table, &view_row, &[member.view_pcol])?
+                            {
+                                if member.capture {
+                                    per_member[m].1.push((view_row, false));
+                                }
+                                per_member[m].0 += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let affected: u64 = per_member.iter().map(|(a, _)| *a).sum();
+        if affected > 0 {
+            ctx.count_work(affected);
+            if ctx.tracing() {
+                ctx.trace_span(Phase::ViewApply, tag).count(affected).emit();
+            }
+        }
+        Ok(per_member)
+    })?;
+    chain::coord_phase(backend, Phase::View, tag, mark);
+    let view_report = backend.finish_meter(&guard);
+
+    // Fold per-node results in node order — deterministic on both
+    // backends for the same reason as `chain::apply_at_view`.
+    let mut totals: Vec<(u64, Vec<(Row, bool)>)> = vec![(0, Vec::new()); members.len()];
+    for node_result in per_node {
+        for (m, (affected, mut captured)) in node_result.into_iter().enumerate() {
+            totals[m].0 += affected;
+            totals[m].1.append(&mut captured);
+        }
+    }
+    let mut outcomes = Vec::with_capacity(members.len());
+    for (m, (view_rows, view_changes)) in totals.into_iter().enumerate() {
+        let (compute_r, view_r) = if m == 0 {
+            (compute.clone(), view_report.clone())
+        } else {
+            (view::empty_report(backend), view::empty_report(backend))
+        };
+        outcomes.push(MaintenanceOutcome {
+            base: view::empty_report(backend),
+            aux: view::empty_report(backend),
+            compute: compute_r,
+            view: view_r,
+            view_rows,
+            view_changes,
+        });
+    }
+    Ok(outcomes)
+}
+
+/// [`crate::view::maintain_all`] for a whole catalog: the base table is
+/// updated once, the catalog's shared structures are each updated once,
+/// and then every shared-signature group runs its chain **once** — only
+/// ungrouped views fall back to per-view maintenance. Returns one outcome
+/// per view in input order; the shared base and pool-structure phases are
+/// reported on the first maintained view. With an empty catalog and no
+/// groups this degenerates to exactly `maintain_all`.
+pub fn maintain_catalog<B: Backend>(
+    backend: &mut B,
+    catalog: &SharedCatalog,
+    views: &mut [&mut MaintainedView],
+    relation: &str,
+    delta: &Delta,
+) -> Result<Vec<MaintenanceOutcome>> {
+    let table = backend.engine().table_id(relation)?;
+    // One round is one batch — and one epoch tick — on every view that
+    // joins the relation, even when the delta splits into phases.
+    for view in views.iter_mut() {
+        if view.view_handle().def.relation_index(relation).is_ok() {
+            view.begin_batch();
+        }
+    }
+    match maintain_catalog_phases(backend, catalog, views, table, relation, delta) {
+        Ok(outcomes) => {
+            let defer = backend.in_txn();
+            for view in views.iter_mut() {
+                if view.has_open_batch() {
+                    view.commit_batch(defer);
+                }
+            }
+            if !defer {
+                for view in views.iter_mut() {
+                    view.enforce_partial_budget(backend)?;
+                }
+            }
+            Ok(outcomes)
+        }
+        Err(e) => {
+            for view in views.iter_mut() {
+                view.abort_batch();
+            }
+            Err(e)
+        }
+    }
+}
+
+fn maintain_catalog_phases<B: Backend>(
+    backend: &mut B,
+    catalog: &SharedCatalog,
+    views: &mut [&mut MaintainedView],
+    table: TableId,
+    relation: &str,
+    delta: &Delta,
+) -> Result<Vec<MaintenanceOutcome>> {
+    // Signatures cannot change mid-delta, so plan the groups once.
+    let groups = plan_groups(backend.engine(), views, relation)?;
+    let mut outcomes: Vec<Option<MaintenanceOutcome>> = views.iter().map(|_| None).collect();
+    let (deletes, inserts) = delta.phases();
+    for (rows, insert) in [(deletes, false), (inserts, true)] {
+        let Some(rows) = rows else { continue };
+        let (base, placed) = view::update_base(backend, table, rows, insert)?;
+        let guard = backend.start_meter();
+        catalog.apply_base_delta(backend, relation, &placed, insert)?;
+        let pool_aux = backend.finish_meter(&guard);
+        let mut shared_phases = Some((base, pool_aux));
+        // Probe-once groups first: one chain per group, results fanned to
+        // every member; per-member batch bookkeeping mirrors the tail of
+        // `apply_prepared`.
+        let mut group_out: HashMap<usize, MaintenanceOutcome> = HashMap::new();
+        for members in &groups {
+            let rel = views[members[0]]
+                .view_handle()
+                .def
+                .relation_index(relation)?;
+            let outs = run_group(backend, views, members, rel, &placed, insert)?;
+            for (&i, mut o) in members.iter().zip(outs) {
+                views[i].note_group_outcome(backend, placed.len() as u64, &mut o);
+                group_out.insert(i, o);
+            }
+        }
+        for (i, view) in views.iter_mut().enumerate() {
+            let Ok(rel) = view.view_handle().def.relation_index(relation) else {
+                continue;
+            };
+            let mut out = match group_out.remove(&i) {
+                Some(o) => o,
+                None => view.apply_prepared(backend, rel, &placed, insert)?,
+            };
+            if let Some((b, a)) = shared_phases.take() {
+                out.base = b;
+                // The pool's structure updates merge *into* (not replace)
+                // the first view's own aux phase: an ungrouped view with
+                // private structures still reports its own aux cost.
+                merge_report(&mut out.aux, &a);
+            }
+            outcomes[i] = Some(match outcomes[i].take() {
+                Some(prev) => prev.merge(out),
+                None => out,
+            });
+        }
+        if let Some((b, _)) = shared_phases {
+            // No view joined the relation; surface the base report anyway
+            // on the first slot if present.
+            if let Some(first) = outcomes.first_mut() {
+                if first.is_none() {
+                    *first = Some(MaintenanceOutcome {
+                        base: b.clone(),
+                        aux: view::empty_report(backend),
+                        compute: view::empty_report(backend),
+                        view: view::empty_report(backend),
+                        view_rows: 0,
+                        view_changes: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(outcomes
+        .into_iter()
+        .map(|o| o.unwrap_or_else(view::untouched_outcome))
+        .collect())
+}
+
+/// Accumulate `other`'s counters into `into` (per-node zip plus net) —
+/// the same fold [`MaintenanceOutcome::merge`] uses per phase.
+fn merge_report(into: &mut MeterReport, other: &MeterReport) {
+    for (x, y) in into.per_node.iter_mut().zip(&other.per_node) {
+        *x += *y;
+    }
+    into.net += other.net;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::Delta;
+    use crate::view::maintain_all;
+    use crate::viewdef::{JoinViewDef, ViewEdge};
+    use pvm_engine::{ClusterConfig, TableDef};
+    use pvm_types::{row, Column, Schema};
+
+    /// The view.rs fixture: A(a, c, pa) ⋈ B(b, d, pb) on c = d, neither
+    /// partitioned on the join attribute. 10 distinct join values, N = 5.
+    fn setup(l: usize) -> Cluster {
+        let mut cluster = Cluster::new(ClusterConfig::new(l).with_buffer_pages(512));
+        let a = cluster
+            .create_table(TableDef::hash_heap(
+                "a",
+                Schema::new(vec![Column::int("a"), Column::int("c"), Column::str("pa")]).into_ref(),
+                0,
+            ))
+            .unwrap();
+        let b = cluster
+            .create_table(TableDef::hash_heap(
+                "b",
+                Schema::new(vec![Column::int("b"), Column::int("d"), Column::str("pb")]).into_ref(),
+                0,
+            ))
+            .unwrap();
+        cluster
+            .insert(
+                b,
+                (0..50).map(|i| row![i, i % 10, format!("b{i}")]).collect(),
+            )
+            .unwrap();
+        cluster
+            .insert(
+                a,
+                (0..20).map(|i| row![i, i % 10, format!("a{i}")]).collect(),
+            )
+            .unwrap();
+        cluster
+    }
+
+    /// Three views over the same join graph with different projections —
+    /// and different partition attributes (A.a, A.a, B.b), so the group
+    /// ship stage genuinely fans one partial to several home nodes.
+    fn defs() -> [JoinViewDef; 3] {
+        let full = JoinViewDef::two_way("jv_full", "a", "b", 1, 1, 3, 3);
+        let slim = JoinViewDef {
+            name: "jv_slim".into(),
+            relations: vec!["a".into(), "b".into()],
+            edges: vec![ViewEdge::new(ViewColumn::new(0, 1), ViewColumn::new(1, 1))],
+            projection: vec![
+                ViewColumn::new(0, 0),
+                ViewColumn::new(0, 1),
+                ViewColumn::new(1, 2),
+            ],
+            partition_column: 0,
+        };
+        let alt = JoinViewDef {
+            name: "jv_alt".into(),
+            relations: vec!["a".into(), "b".into()],
+            edges: vec![ViewEdge::new(ViewColumn::new(0, 1), ViewColumn::new(1, 1))],
+            projection: vec![ViewColumn::new(1, 0), ViewColumn::new(0, 0)],
+            partition_column: 0,
+        };
+        [full, slim, alt]
+    }
+
+    fn create_catalog(
+        cluster: &mut Cluster,
+        method: MaintenanceMethod,
+    ) -> (SharedCatalog, Vec<MaintainedView>) {
+        let mut catalog = SharedCatalog::new();
+        match method {
+            MaintenanceMethod::Naive => {}
+            MaintenanceMethod::AuxiliaryRelation => {
+                for def in &defs() {
+                    catalog.ars.enroll(cluster, def).unwrap();
+                }
+            }
+            MaintenanceMethod::GlobalIndex => {
+                for def in &defs() {
+                    catalog.gis.enroll(cluster, def).unwrap();
+                }
+            }
+        }
+        let views = defs()
+            .into_iter()
+            .map(|def| match method {
+                MaintenanceMethod::Naive => MaintainedView::create(cluster, def, method).unwrap(),
+                MaintenanceMethod::AuxiliaryRelation => {
+                    MaintainedView::create_with_pool(cluster, def, &catalog.ars).unwrap()
+                }
+                MaintenanceMethod::GlobalIndex => {
+                    MaintainedView::create_with_gi_pool(cluster, def, &catalog.gis).unwrap()
+                }
+            })
+            .collect();
+        (catalog, views)
+    }
+
+    fn deltas() -> Vec<(&'static str, Delta)> {
+        vec![
+            (
+                "a",
+                Delta::Insert(vec![row![100, 3, "na"], row![101, 7, "nb"]]),
+            ),
+            ("b", Delta::Insert(vec![row![100, 3, "nb"]])),
+            ("a", Delta::Delete(vec![row![0, 0, "a0"]])),
+            (
+                "b",
+                Delta::Update {
+                    old: vec![row![1, 1, "b1"]],
+                    new: vec![row![1, 5, "b1"]],
+                },
+            ),
+        ]
+    }
+
+    fn run_shared_vs_independent(method: MaintenanceMethod) {
+        let mut ind = setup(4);
+        let mut ivs: Vec<MaintainedView> = defs()
+            .into_iter()
+            .map(|d| MaintainedView::create(&mut ind, d, method).unwrap())
+            .collect();
+
+        let mut shared = setup(4);
+        let (catalog, mut svs) = create_catalog(&mut shared, method);
+        {
+            let refs: Vec<&mut MaintainedView> = svs.iter_mut().collect();
+            assert_eq!(
+                plan_groups(&shared, &refs, "a").unwrap(),
+                vec![vec![0, 1, 2]],
+                "{method:?}: all three views should form one group"
+            );
+        }
+
+        let (mut ind_searches, mut shared_searches) = (0u64, 0u64);
+        for (rel, delta) in deltas() {
+            let mut irefs: Vec<&mut MaintainedView> = ivs.iter_mut().collect();
+            let iouts = maintain_all(&mut ind, &mut irefs, rel, &delta).unwrap();
+            let mut srefs: Vec<&mut MaintainedView> = svs.iter_mut().collect();
+            let souts = maintain_catalog(&mut shared, &catalog, &mut srefs, rel, &delta).unwrap();
+            for (v, (io, so)) in iouts.iter().zip(&souts).enumerate() {
+                assert_eq!(
+                    io.view_rows, so.view_rows,
+                    "{method:?}: view {v} row count diverged on {rel} delta"
+                );
+            }
+            // The shared chain's reports land on the first member only.
+            assert_eq!(souts[1].compute.total().searches, 0, "{method:?}");
+            assert_eq!(souts[2].compute.total().searches, 0, "{method:?}");
+            ind_searches += iouts.iter().map(|o| o.compute.total().searches).sum::<u64>();
+            shared_searches += souts
+                .iter()
+                .map(|o| o.compute.total().searches)
+                .sum::<u64>();
+        }
+
+        for (iv, sv) in ivs.iter().zip(&svs) {
+            let mut want = iv.contents(&ind).unwrap();
+            want.sort();
+            let mut got = sv.contents(&shared).unwrap();
+            got.sort();
+            assert_eq!(want, got, "{method:?}: shared-group contents diverged");
+            sv.check_consistent(&shared).unwrap();
+        }
+        assert!(
+            shared_searches < ind_searches,
+            "{method:?}: probe-once should search less ({shared_searches} vs {ind_searches})"
+        );
+    }
+
+    #[test]
+    fn shared_group_matches_independent_naive() {
+        run_shared_vs_independent(MaintenanceMethod::Naive);
+    }
+
+    #[test]
+    fn shared_group_matches_independent_auxrel() {
+        run_shared_vs_independent(MaintenanceMethod::AuxiliaryRelation);
+    }
+
+    #[test]
+    fn shared_group_matches_independent_gi() {
+        run_shared_vs_independent(MaintenanceMethod::GlobalIndex);
+    }
+
+    #[test]
+    fn mixed_catalog_groups_only_compatible_views() {
+        // Two pooled AR views group; a private AR view over the same join
+        // stays on the per-view path — and everything still matches an
+        // independent run.
+        let mut ind = setup(4);
+        let mut ivs: Vec<MaintainedView> = defs()
+            .into_iter()
+            .map(|d| {
+                MaintainedView::create(&mut ind, d, MaintenanceMethod::AuxiliaryRelation).unwrap()
+            })
+            .collect();
+
+        let mut shared = setup(4);
+        let mut catalog = SharedCatalog::new();
+        let [full, slim, alt] = defs();
+        catalog.ars.enroll(&mut shared, &full).unwrap();
+        catalog.ars.enroll(&mut shared, &slim).unwrap();
+        let mut svs = vec![
+            MaintainedView::create_with_pool(&mut shared, full, &catalog.ars).unwrap(),
+            MaintainedView::create_with_pool(&mut shared, slim, &catalog.ars).unwrap(),
+            MaintainedView::create(&mut shared, alt, MaintenanceMethod::AuxiliaryRelation).unwrap(),
+        ];
+        {
+            let refs: Vec<&mut MaintainedView> = svs.iter_mut().collect();
+            assert_eq!(plan_groups(&shared, &refs, "b").unwrap(), vec![vec![0, 1]]);
+        }
+        for (rel, delta) in deltas() {
+            let mut irefs: Vec<&mut MaintainedView> = ivs.iter_mut().collect();
+            maintain_all(&mut ind, &mut irefs, rel, &delta).unwrap();
+            let mut srefs: Vec<&mut MaintainedView> = svs.iter_mut().collect();
+            maintain_catalog(&mut shared, &catalog, &mut srefs, rel, &delta).unwrap();
+        }
+        for (iv, sv) in ivs.iter().zip(&svs) {
+            let mut want = iv.contents(&ind).unwrap();
+            want.sort();
+            let mut got = sv.contents(&shared).unwrap();
+            got.sort();
+            assert_eq!(want, got);
+            sv.check_consistent(&shared).unwrap();
+        }
+    }
+
+    #[test]
+    fn adopt_ar_pool_drops_private_structures() {
+        let mut cluster = setup(4);
+        let [full, _, _] = defs();
+        let mut v = MaintainedView::create(
+            &mut cluster,
+            full.clone(),
+            MaintenanceMethod::AuxiliaryRelation,
+        )
+        .unwrap();
+        assert!(!v.is_pool_shared());
+        let mut catalog = SharedCatalog::new();
+        catalog.ars.enroll(&mut cluster, &full).unwrap();
+        v.adopt_ar_pool(&mut cluster, &catalog.ars).unwrap();
+        assert!(v.is_pool_shared());
+        // The private σπ copies are gone; probes go to the pool tables.
+        assert!(cluster.table_id("jv_full__ar_a_1").is_err());
+        assert!(cluster.table_id("jv_full__ar_b_1").is_err());
+        let mut refs = vec![&mut v];
+        maintain_catalog(
+            &mut cluster,
+            &catalog,
+            &mut refs,
+            "a",
+            &Delta::Insert(vec![row![200, 4, "x"]]),
+        )
+        .unwrap();
+        v.check_consistent(&cluster).unwrap();
+    }
+
+    #[test]
+    fn adopt_gi_pool_drops_private_structures() {
+        let mut cluster = setup(4);
+        let [full, _, _] = defs();
+        let mut v =
+            MaintainedView::create(&mut cluster, full.clone(), MaintenanceMethod::GlobalIndex)
+                .unwrap();
+        assert!(!v.is_pool_shared());
+        let mut catalog = SharedCatalog::new();
+        catalog.gis.enroll(&mut cluster, &full).unwrap();
+        v.adopt_gi_pool(&mut cluster, &catalog.gis).unwrap();
+        assert!(v.is_pool_shared());
+        assert!(cluster.table_id("jv_full__gi_a_1").is_err());
+        assert!(cluster.table_id("jv_full__gi_b_1").is_err());
+        let mut refs = vec![&mut v];
+        maintain_catalog(
+            &mut cluster,
+            &catalog,
+            &mut refs,
+            "a",
+            &Delta::Insert(vec![row![200, 4, "x"]]),
+        )
+        .unwrap();
+        v.check_consistent(&cluster).unwrap();
+    }
+
+    #[test]
+    fn aggregate_and_skewed_views_are_ineligible() {
+        let mut cluster = setup(4);
+        let [full, _, _] = defs();
+        let v = MaintainedView::create(&mut cluster, full, MaintenanceMethod::Naive).unwrap();
+        let sig = GroupSignature::of(&cluster, &v).unwrap();
+        assert!(sig.is_some(), "plain hash view is eligible");
+        // A view with private (non-pooled) ARs has no shareable chain.
+        let [_, slim, _] = defs();
+        let ar =
+            MaintainedView::create(&mut cluster, slim, MaintenanceMethod::AuxiliaryRelation)
+                .unwrap();
+        assert!(GroupSignature::of(&cluster, &ar).unwrap().is_none());
+    }
+}

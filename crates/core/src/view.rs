@@ -114,7 +114,7 @@ impl MaintenanceOutcome {
         self.compute.active_nodes()
     }
 
-    fn merge(mut self, other: MaintenanceOutcome) -> MaintenanceOutcome {
+    pub(crate) fn merge(mut self, other: MaintenanceOutcome) -> MaintenanceOutcome {
         fn merge_reports(a: &mut MeterReport, b: &MeterReport) {
             for (x, y) in a.per_node.iter_mut().zip(&b.per_node) {
                 *x += *y;
@@ -259,6 +259,11 @@ pub struct MaintainedView {
     /// cost records, newest last. Populated only while the obs gate is
     /// on; read by `EXPLAIN ANALYZE MAINTENANCE`.
     recent_costs: std::collections::VecDeque<BatchCostRecord>,
+    /// Shared-maintenance group id, when a catalog planner has enrolled
+    /// this view into one (see [`crate::share`]). Purely informational:
+    /// grouping is recomputed per delta from live signatures; this id is
+    /// what introspection surfaces.
+    shared_group: Option<u64>,
 }
 
 impl MaintainedView {
@@ -326,6 +331,7 @@ impl MaintainedView {
             partial: None,
             obs: None,
             recent_costs: std::collections::VecDeque::new(),
+            shared_group: None,
         };
         view.populate(cluster)?;
         Ok(view)
@@ -430,6 +436,93 @@ impl MaintainedView {
             partial: None,
             obs: None,
             recent_costs: std::collections::VecDeque::new(),
+            shared_group: None,
+        };
+        view.populate(cluster)?;
+        Ok(view)
+    }
+
+    /// Create a global-index-maintained view whose GIs come from a
+    /// shared, already-materialized [`crate::minimize::GiPool`] — the GI
+    /// analogue of [`MaintainedView::create_with_pool`]. The pool must
+    /// cover this definition's `(base, attr)` needs (plan/enroll it
+    /// first). Use [`crate::maintain_catalog`] for updates so each shared
+    /// GI is maintained exactly once per base delta.
+    pub fn create_with_gi_pool(
+        cluster: &mut Cluster,
+        def: JoinViewDef,
+        pool: &crate::minimize::GiPool,
+    ) -> Result<MaintainedView> {
+        if !pool.is_materialized() {
+            return Err(PvmError::InvalidOperation(
+                "GiPool must be materialized before creating views against it".into(),
+            ));
+        }
+        def.validate(cluster)?;
+        let base: Vec<TableId> = def
+            .relations
+            .iter()
+            .map(|r| cluster.table_id(r))
+            .collect::<Result<_>>()?;
+
+        let schema = def.view_schema(cluster)?.into_ref();
+        let view_pcol = def.partition_column;
+        let view_table = cluster.create_table(TableDef::new(
+            def.name.clone(),
+            schema,
+            PartitionSpec::hash(view_pcol),
+            Organization::Heap,
+        ))?;
+        cluster.create_secondary_index(
+            view_table,
+            format!("{}_part", def.name),
+            vec![view_pcol],
+        )?;
+
+        let handle = ViewHandle {
+            def,
+            base,
+            view_table,
+            view_pcol,
+            agg: None,
+        };
+
+        // Bind this view's (relation, attr) pairs to the pool's GIs.
+        let mut gis = std::collections::HashMap::new();
+        for (rel, &table) in handle.base.iter().enumerate() {
+            let tdef = cluster.def(table)?.clone();
+            for c in handle.def.join_attrs_of(rel) {
+                if tdef.partitioning.is_on(c) {
+                    crate::chain::ensure_join_index(cluster, table, c)?;
+                    continue;
+                }
+                let info = pool.gi_for(&tdef.name, c).ok_or_else(|| {
+                    PvmError::NotFound(format!(
+                        "pool GI for ({}, {c}) — did you enroll() this view?",
+                        tdef.name
+                    ))
+                })?;
+                gis.insert((rel, c), info.clone());
+            }
+        }
+        let gi = GiState { gis, shared: true };
+
+        let view = MaintainedView {
+            handle,
+            method: MaintenanceMethod::GlobalIndex,
+            policy: crate::chain::JoinPolicy::default(),
+            batch: crate::chain::BatchPolicy::default(),
+            aux: None,
+            gi: Some(gi),
+            skew: None,
+            epoch: 0,
+            open_batch: None,
+            serve: None,
+            pending_publish: Vec::new(),
+            partial: None,
+            obs: None,
+            recent_costs: std::collections::VecDeque::new(),
+            shared_group: None,
         };
         view.populate(cluster)?;
         Ok(view)
@@ -530,6 +623,7 @@ impl MaintainedView {
             partial: None,
             obs: None,
             recent_costs: std::collections::VecDeque::new(),
+            shared_group: None,
         };
         view.populate(cluster)?;
         Ok(view)
@@ -569,6 +663,239 @@ impl MaintainedView {
         }
         out.sort();
         out
+    }
+
+    /// True when this view's maintenance structures belong to a shared
+    /// pool (ARs from a [`crate::minimize::ArPool`], GIs from a
+    /// [`crate::minimize::GiPool`]) — [`MaintainedView::destroy`] leaves
+    /// those tables alone.
+    pub fn is_pool_shared(&self) -> bool {
+        self.aux.as_ref().is_some_and(|a| a.shared) || self.gi.as_ref().is_some_and(|g| g.shared)
+    }
+
+    /// Shared-maintenance group id, when a catalog planner assigned one.
+    pub fn shared_group(&self) -> Option<u64> {
+        self.shared_group
+    }
+
+    /// Record (or clear) the shared-maintenance group this view belongs
+    /// to. Informational — grouping is recomputed per delta from live
+    /// signatures ([`crate::share`]); the id is what introspection shows.
+    pub fn set_shared_group(&mut self, group: Option<u64>) {
+        self.shared_group = group;
+    }
+
+    /// Re-home a private auxiliary-relation view onto a shared pool:
+    /// drop its private AR tables and bind the pool's merged ARs
+    /// instead. The pool must already cover every `(base, attr)` this
+    /// view probes — [`crate::minimize::ArPool::enroll`] its definition
+    /// first. Calling this on an already pool-bound view just rebinds.
+    pub fn adopt_ar_pool(
+        &mut self,
+        cluster: &mut Cluster,
+        pool: &crate::minimize::ArPool,
+    ) -> Result<()> {
+        if self.method != MaintenanceMethod::AuxiliaryRelation {
+            return Err(PvmError::InvalidOperation(format!(
+                "view '{}' is not auxiliary-relation maintained",
+                self.handle.def.name
+            )));
+        }
+        if self.partial.is_some() {
+            return Err(PvmError::InvalidOperation(
+                "partial views cannot adopt a shared pool".into(),
+            ));
+        }
+        if self.aux.as_ref().is_some_and(|a| a.shared) {
+            return self.rebind_ar_pool(cluster, pool);
+        }
+        // Resolve the new bindings first so a missing pool AR leaves the
+        // view's private structures intact.
+        let mut ars = std::collections::HashMap::new();
+        for (rel, &table) in self.handle.base.iter().enumerate() {
+            let tdef = cluster.def(table)?.clone();
+            for c in self.handle.def.join_attrs_of(rel) {
+                if tdef.partitioning.is_on(c) {
+                    continue;
+                }
+                let info = pool.ar_for(&tdef.name, c).ok_or_else(|| {
+                    PvmError::NotFound(format!(
+                        "pool AR for ({}, {c}) — enroll this view's definition first",
+                        tdef.name
+                    ))
+                })?;
+                ars.insert((rel, c), info.clone());
+            }
+        }
+        if let Some(old) = self.aux.take() {
+            for info in old.ars.values() {
+                cluster.drop_table(info.table)?;
+            }
+        }
+        self.aux = Some(AuxState { ars, shared: true });
+        Ok(())
+    }
+
+    /// Refresh a pool-bound view's AR bindings after the pool widened or
+    /// recreated tables ([`crate::minimize::ArPool::enroll`] returned
+    /// changed keys). Every pool-bound view must be rebound before its
+    /// next maintenance.
+    pub fn rebind_ar_pool(
+        &mut self,
+        cluster: &Cluster,
+        pool: &crate::minimize::ArPool,
+    ) -> Result<()> {
+        let Some(aux) = self.aux.as_mut() else {
+            return Err(PvmError::InvalidOperation(
+                "view has no auxiliary-relation state".into(),
+            ));
+        };
+        if !aux.shared {
+            return Err(PvmError::InvalidOperation(
+                "view is not bound to an AR pool".into(),
+            ));
+        }
+        for ((rel, c), slot) in aux.ars.iter_mut() {
+            let base_name = cluster.def(self.handle.base[*rel])?.name.clone();
+            let info = pool.ar_for(&base_name, *c).ok_or_else(|| {
+                PvmError::NotFound(format!("pool AR for ({base_name}, {c}) during rebind"))
+            })?;
+            *slot = info.clone();
+        }
+        Ok(())
+    }
+
+    /// Re-home a private global-index view onto a shared pool: drop its
+    /// private GI tables and bind the pool's GIs instead (GI analogue of
+    /// [`MaintainedView::adopt_ar_pool`]). Calling this on an already
+    /// pool-bound view just rebinds.
+    pub fn adopt_gi_pool(
+        &mut self,
+        cluster: &mut Cluster,
+        pool: &crate::minimize::GiPool,
+    ) -> Result<()> {
+        if self.method != MaintenanceMethod::GlobalIndex {
+            return Err(PvmError::InvalidOperation(format!(
+                "view '{}' is not global-index maintained",
+                self.handle.def.name
+            )));
+        }
+        if self.partial.is_some() {
+            return Err(PvmError::InvalidOperation(
+                "partial views cannot adopt a shared pool".into(),
+            ));
+        }
+        if self.gi.as_ref().is_some_and(|g| g.shared) {
+            return self.rebind_gi_pool(cluster, pool);
+        }
+        let mut gis = std::collections::HashMap::new();
+        for (rel, &table) in self.handle.base.iter().enumerate() {
+            let tdef = cluster.def(table)?.clone();
+            for c in self.handle.def.join_attrs_of(rel) {
+                if tdef.partitioning.is_on(c) {
+                    continue;
+                }
+                let info = pool.gi_for(&tdef.name, c).ok_or_else(|| {
+                    PvmError::NotFound(format!(
+                        "pool GI for ({}, {c}) — enroll this view's definition first",
+                        tdef.name
+                    ))
+                })?;
+                gis.insert((rel, c), info.clone());
+            }
+        }
+        if let Some(old) = self.gi.take() {
+            for info in old.gis.values() {
+                cluster.drop_table(info.table)?;
+            }
+        }
+        self.gi = Some(GiState { gis, shared: true });
+        Ok(())
+    }
+
+    /// Refresh a pool-bound view's GI bindings (GI analogue of
+    /// [`MaintainedView::rebind_ar_pool`]; GIs never widen, so this only
+    /// matters if the pool was rebuilt).
+    pub fn rebind_gi_pool(
+        &mut self,
+        cluster: &Cluster,
+        pool: &crate::minimize::GiPool,
+    ) -> Result<()> {
+        let Some(gi) = self.gi.as_mut() else {
+            return Err(PvmError::InvalidOperation(
+                "view has no global-index state".into(),
+            ));
+        };
+        if !gi.shared {
+            return Err(PvmError::InvalidOperation(
+                "view is not bound to a GI pool".into(),
+            ));
+        }
+        for ((rel, c), slot) in gi.gis.iter_mut() {
+            let base_name = cluster.def(self.handle.base[*rel])?.name.clone();
+            let info = pool.gi_for(&base_name, *c).ok_or_else(|| {
+                PvmError::NotFound(format!("pool GI for ({base_name}, {c}) during rebind"))
+            })?;
+            *slot = info.clone();
+        }
+        Ok(())
+    }
+
+    pub(crate) fn view_handle(&self) -> &ViewHandle {
+        &self.handle
+    }
+
+    pub(crate) fn aux_state(&self) -> Option<&AuxState> {
+        self.aux.as_ref()
+    }
+
+    pub(crate) fn gi_state(&self) -> Option<&GiState> {
+        self.gi.as_ref()
+    }
+
+    pub(crate) fn is_partial(&self) -> bool {
+        self.partial.is_some()
+    }
+
+    pub(crate) fn has_skew(&self) -> bool {
+        self.skew.is_some()
+    }
+
+    /// Whether maintenance must capture physical view-row changes for
+    /// this view (serving tier or partial accounting).
+    pub(crate) fn is_capturing(&self) -> bool {
+        self.serve.is_some() || self.partial.is_some()
+    }
+
+    pub(crate) fn has_open_batch(&self) -> bool {
+        self.open_batch.is_some()
+    }
+
+    /// Fold a group-executed maintenance outcome into this member's open
+    /// batch — the bookkeeping tail of [`MaintainedView::apply_prepared`]
+    /// for a phase whose route/probe/ship chain ran once for the whole
+    /// group ([`crate::share`]): captured view changes drain into the
+    /// batch, and the obs-gated cost record absorbs the outcome.
+    pub(crate) fn note_group_outcome<B: Backend>(
+        &mut self,
+        backend: &B,
+        delta_rows: u64,
+        outcome: &mut MaintenanceOutcome,
+    ) {
+        if let Some(open) = &mut self.open_batch {
+            open.captured.append(&mut outcome.view_changes);
+        }
+        let obs = self
+            .obs
+            .get_or_insert_with(|| backend.engine().obs_handle())
+            .clone();
+        if obs.enabled() {
+            if let Some(open) = &mut self.open_batch {
+                open.cost
+                    .get_or_insert_with(BatchCostRecord::empty)
+                    .add_outcome(delta_rows, outcome);
+            }
+        }
     }
 
     /// Current contents of the stored view (cluster-wide).
@@ -662,7 +989,7 @@ impl MaintainedView {
     /// epoch tick — [`MaintainedView::commit_batch`] is the *only* place
     /// the epoch moves, so Coalesced and PerRow batch policies (and
     /// multi-phase deltas) all advance it exactly once per applied batch.
-    fn begin_batch(&mut self) {
+    pub(crate) fn begin_batch(&mut self) {
         assert!(
             self.open_batch.is_none(),
             "view '{}': batch opened while another is in flight",
@@ -681,7 +1008,7 @@ impl MaintainedView {
     /// `defer` set (a cluster transaction is open), the publication is
     /// held in `pending_publish` until [`MaintainedView::publish_pending`]
     /// runs at the transaction's commit point.
-    fn commit_batch(&mut self, defer: bool) {
+    pub(crate) fn commit_batch(&mut self, defer: bool) {
         let batch = self
             .open_batch
             .take()
@@ -760,7 +1087,7 @@ impl MaintainedView {
 
     /// Drop the open batch (if any) without advancing the epoch — the
     /// failed maintenance path. Safe to call with no batch open.
-    fn abort_batch(&mut self) {
+    pub(crate) fn abort_batch(&mut self) {
         self.open_batch = None;
         if let Some(p) = &mut self.partial {
             p.clear_pending();
@@ -1599,8 +1926,10 @@ impl MaintainedView {
             }
         }
         if let Some(gi) = self.gi {
-            for info in gi.gis.values() {
-                cluster.drop_table(info.table)?;
+            if !gi.shared {
+                for info in gi.gis.values() {
+                    cluster.drop_table(info.table)?;
+                }
             }
         }
         Ok(())
@@ -1753,7 +2082,7 @@ fn maintain_all_phases<B: Backend>(
 
 /// The outcome reported for a view the delta's relation does not join:
 /// empty reports, nothing maintained.
-fn untouched_outcome() -> MaintenanceOutcome {
+pub(crate) fn untouched_outcome() -> MaintenanceOutcome {
     MaintenanceOutcome {
         base: MeterReport {
             per_node: Vec::new(),
@@ -1776,7 +2105,7 @@ fn untouched_outcome() -> MaintenanceOutcome {
     }
 }
 
-fn empty_report<B: Backend>(backend: &B) -> MeterReport {
+pub(crate) fn empty_report<B: Backend>(backend: &B) -> MeterReport {
     let guard = backend.start_meter();
     backend.finish_meter(&guard)
 }

@@ -54,6 +54,21 @@ pub trait StepSink {
         }
         Ok(())
     }
+
+    /// Send a copy of `payload` to each node in `dsts` — a **subset
+    /// multicast**, the group-maintenance ship path's primitive (one
+    /// joined delta fanned to every member view's home node). The default
+    /// clones per destination; transports with `Arc`-framed multicast
+    /// override this to encode once. Either way each destination is a
+    /// charged logical send (the sender's own entry stays a local
+    /// delivery, as with [`StepSink::send`]), so sharing the allocation
+    /// never moves a counted cost.
+    fn send_to(&mut self, src: NodeId, dsts: &[NodeId], payload: &NetPayload) -> Result<()> {
+        for &d in dsts {
+            self.send(src, d, payload.clone())?;
+        }
+        Ok(())
+    }
 }
 
 impl StepSink for Fabric<NetPayload> {
@@ -184,6 +199,14 @@ impl<'a> StepCtx<'a> {
     pub fn broadcast(&mut self, payload: &NetPayload) -> Result<()> {
         self.check_sends()?;
         self.sink.send_all(self.id, self.node_count, payload)
+    }
+
+    /// Send a copy to each node in `dsts` (subset multicast; see
+    /// [`StepSink::send_to`]). Callers pass each destination at most once
+    /// — every listed destination is a charged logical send.
+    pub fn multicast(&mut self, dsts: &[NodeId], payload: &NetPayload) -> Result<()> {
+        self.check_sends()?;
+        self.sink.send_to(self.id, dsts, payload)
     }
 
     fn check_sends(&self) -> Result<()> {

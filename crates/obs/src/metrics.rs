@@ -103,6 +103,18 @@ pub mod metric {
     /// Histogram: per-read hit indicator scaled to parts-per-thousand
     /// (0 = miss, 1000 = hit) — the mean is the hit rate × 1000.
     pub const PARTIAL_HIT_RATE: &str = "partial.hit_rate";
+    /// Histogram: member count of each shared-maintenance group whose
+    /// probe-once chain ran for a base delta.
+    pub const SHARE_GROUP_SIZE: &str = "share.group_size";
+    /// Counter: index SEARCHes the probe-once chain avoided vs. running
+    /// each member view independently — `(members - 1) ×` the group
+    /// chain's charged searches per delta (an estimate: independent runs
+    /// would each probe the same structures).
+    pub const SHARE_PROBES_SAVED: &str = "share.probes_saved";
+    /// Counter: interconnect SENDs avoided vs. independent maintenance —
+    /// `(members - 1) ×` the group chain's charged sends per delta (same
+    /// estimate basis as [`SHARE_PROBES_SAVED`]).
+    pub const SHARE_SENDS_SAVED: &str = "share.sends_saved";
 
     /// Per-node work-share counter name.
     pub fn work_share(node: u32) -> String {

@@ -69,9 +69,10 @@ pub use pvm_workload as workload;
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use pvm_core::{
-        advise, maintain_all, maintain_all_pooled, Advice, ArPool, BatchCostRecord, BatchPolicy,
-        Delta, JoinPolicy, JoinViewDef, MaintainedView, MaintenanceMethod, MaintenanceOutcome,
-        PartialPolicy, PartialStats, RebalanceReport, SkewConfig, SkewState, ViewColumn, ViewEdge,
+        advise, maintain_all, maintain_all_pooled, maintain_catalog, plan_groups, Advice, ArPool,
+        BatchCostRecord, BatchPolicy, Delta, GiPool, GroupSignature, JoinPolicy, JoinViewDef,
+        MaintainedView, MaintenanceMethod, MaintenanceOutcome, PartialPolicy, PartialStats,
+        RebalanceReport, SharedCatalog, SkewConfig, SkewState, ViewColumn, ViewEdge,
     };
     pub use pvm_engine::{
         Backend, Cluster, ClusterConfig, PartitionSpec, SpaceSaving, SpreadMode, TableDef, TableId,

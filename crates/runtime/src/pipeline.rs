@@ -85,6 +85,39 @@ impl Drop for AbortOnPanic<'_> {
     }
 }
 
+/// Adaptive spin-then-park backoff shared by this module's blocking
+/// loops (full-ring retry, watermark wait, termination drain). Purely a
+/// scheduling policy: callers still pump their inbound rings on every
+/// wake, so frame delivery order — and therefore every counted cost —
+/// is untouched. A short yield-spin keeps the fast path (peer actively
+/// producing) at sub-microsecond latency; past the spin budget the
+/// waiter parks for a bounded interval so a long stall (skewed peer,
+/// oversized batch on another node) stops burning a core. Timed parks
+/// need no waker protocol: the park bound caps added latency at
+/// [`Backoff::PARK_US`] per wake.
+struct Backoff {
+    spins: u32,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 128;
+    const PARK_US: u64 = 50;
+
+    fn new() -> Self {
+        Backoff { spins: 0 }
+    }
+
+    /// Wait once, escalating from `yield_now` to a bounded timed park.
+    fn wait(&mut self) {
+        if self.spins < Self::SPIN_LIMIT {
+            self.spins += 1;
+            std::thread::yield_now();
+        } else {
+            std::thread::park_timeout(std::time::Duration::from_micros(Self::PARK_US));
+        }
+    }
+}
+
 /// One worker's inbound side of the mesh: the `L` consumer handles plus
 /// per-source reorder buffers holding frames popped (to keep producers
 /// moving) but not yet consumed by a stage.
@@ -214,6 +247,7 @@ impl PipeSink<'_> {
 
     /// Push with the drain-own-inbound discipline; fails only on abort.
     fn push_frame(&mut self, dst: usize, mut frame: Frame) -> Result<()> {
+        let mut backoff = Backoff::new();
         loop {
             match self.producers[dst].push(frame) {
                 Ok(()) => return Ok(()),
@@ -223,7 +257,7 @@ impl PipeSink<'_> {
                         return Err(peer_abort());
                     }
                     self.inbound.pump();
-                    std::thread::yield_now();
+                    backoff.wait();
                 }
             }
         }
@@ -261,6 +295,27 @@ impl StepSink for PipeSink<'_> {
             self.charge(NodeId::from(d), bytes);
             self.push_frame(
                 d,
+                PipeFrame::Shared {
+                    step: self.step,
+                    payload: std::sync::Arc::clone(&shared),
+                    bytes,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    fn send_to(&mut self, src: NodeId, dsts: &[NodeId], payload: &NetPayload) -> Result<()> {
+        debug_assert_eq!(src, self.src, "pipe sink used by a foreign node");
+        // Encode-once subset multicast (the group-maintenance ship path):
+        // one shared allocation fanned to the listed destinations, charged
+        // per destination exactly as the per-clone default would.
+        let bytes = payload.byte_size() as u64;
+        let shared = std::sync::Arc::new(payload.clone());
+        for &d in dsts {
+            self.charge(d, bytes);
+            self.push_frame(
+                d.index(),
                 PipeFrame::Shared {
                     step: self.step,
                     payload: std::sync::Arc::clone(&shared),
@@ -318,6 +373,7 @@ fn run_worker(
             stage0_inbox.take().expect("stage 0 runs once")
         } else if stages[s - 1].sends() {
             let wait = Instant::now();
+            let mut backoff = Backoff::new();
             loop {
                 inbound.pump();
                 if (0..mesh.l).all(|src| inbound.close_ready(src)) {
@@ -327,7 +383,7 @@ fn run_worker(
                     outcome = Err(peer_abort());
                     break 'stages;
                 }
-                std::thread::yield_now();
+                backoff.wait();
             }
             lag_hist.observe(wait.elapsed().as_micros() as u64);
             // No `?` here: an early return would skip the termination
@@ -389,6 +445,7 @@ fn run_worker(
     // frames at us; keep our rings moving until everyone is done (or the
     // run is aborting, in which case leftover frames die with the rings).
     mesh.done.fetch_add(1, Ordering::AcqRel);
+    let mut backoff = Backoff::new();
     loop {
         if mesh.done.load(Ordering::Acquire) == mesh.l {
             break;
@@ -397,7 +454,7 @@ fn run_worker(
             break;
         }
         inbound.pump();
-        std::thread::yield_now();
+        backoff.wait();
     }
     inbound.pump();
     outcome?;

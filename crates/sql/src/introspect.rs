@@ -93,10 +93,12 @@ fn histograms_table(cluster: &Cluster) -> (SchemaRef, Vec<Row>) {
 }
 
 /// `pvm_views(view, method, epoch, rows, chain_len, pinned_snapshots,
-/// partial_budget, resident_bytes, evictions, hit_rate)`: one row per
-/// maintained view, with serve-tier chain length, live snapshot pins
-/// (0 when the view is not serving), and partial-state health
-/// (budget/resident/evictions 0 and hit_rate 1.0 for eager views).
+/// partial_budget, resident_bytes, evictions, hit_rate, shared_group)`:
+/// one row per maintained view, with serve-tier chain length, live
+/// snapshot pins (0 when the view is not serving), partial-state health
+/// (budget/resident/evictions 0 and hit_rate 1.0 for eager views), and
+/// the probe-once shared-maintenance group (`g<id>`, or `-` for a view
+/// maintained on its own chain).
 fn views_table(cluster: &Cluster, views: &[MaintainedView]) -> Result<(SchemaRef, Vec<Row>)> {
     let schema = Schema::new(vec![
         Column::str("view"),
@@ -109,6 +111,7 @@ fn views_table(cluster: &Cluster, views: &[MaintainedView]) -> Result<(SchemaRef
         Column::int("resident_bytes"),
         Column::int("evictions"),
         Column::float("hit_rate"),
+        Column::str("shared_group"),
     ])
     .into_ref();
     let mut rows = Vec::with_capacity(views.len());
@@ -137,6 +140,10 @@ fn views_table(cluster: &Cluster, views: &[MaintainedView]) -> Result<(SchemaRef
             Value::Int(resident),
             Value::Int(evictions),
             Value::Float(hit_rate),
+            Value::from(match v.shared_group() {
+                Some(g) => format!("g{g}"),
+                None => "-".to_string(),
+            }),
         ]));
     }
     Ok((schema, rows))

@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use pvm_core::{
-    maintain_all, Delta, JoinViewDef, MaintainedView, MaintenanceMethod, PartialPolicy, ViewColumn,
-    ViewEdge,
+    maintain_catalog, Delta, GroupSignature, JoinViewDef, MaintainedView, MaintenanceMethod,
+    PartialPolicy, SharedCatalog, ViewColumn, ViewEdge,
 };
 use pvm_engine::{Cluster, ClusterConfig, PartitionSpec, TableDef};
 use pvm_obs::RingSink;
@@ -68,6 +68,13 @@ pub struct Session {
     /// and keeps the obs gate on so gated metrics register. Counted
     /// costs are unaffected (see `tests/obs_parity.rs`).
     lineage: Arc<RingSink>,
+    /// Shared maintenance structures (one AR pool + one GI pool) backing
+    /// probe-once groups. Pooling is lazy: a lone view keeps private
+    /// structures; the second signature-compatible `CREATE VIEW` enrolls
+    /// both into the pool and rebinds them.
+    catalog: SharedCatalog,
+    /// Next shared-group id to hand out (`pvm_views.shared_group`).
+    next_group: u64,
 }
 
 /// Trace events the session retains for `pvm_lineage`. A few thousand is
@@ -85,6 +92,8 @@ impl Session {
             views: Vec::new(),
             snapshots: None,
             lineage,
+            catalog: SharedCatalog::new(),
+            next_group: 0,
         }
     }
 
@@ -232,7 +241,41 @@ impl Session {
         if let Some(pinned) = &mut self.snapshots {
             pinned.remove(&name);
         }
+        let group = view.shared_group();
         view.destroy(&mut self.cluster)?;
+        // Pool GC: destroy skips pool-shared structures, so once the last
+        // view bound to a pool is gone the pool's tables are reclaimed
+        // here. A surviving group of one keeps its pool bindings (the
+        // structures still serve its probes) but loses its group id —
+        // probe-once needs at least two members.
+        if !self
+            .views
+            .iter()
+            .any(|v| v.method() == MaintenanceMethod::AuxiliaryRelation && v.is_pool_shared())
+        {
+            self.catalog.ars.release(&mut self.cluster)?;
+        }
+        if !self
+            .views
+            .iter()
+            .any(|v| v.method() == MaintenanceMethod::GlobalIndex && v.is_pool_shared())
+        {
+            self.catalog.gis.release(&mut self.cluster)?;
+        }
+        if let Some(gid) = group {
+            let members: Vec<usize> = self
+                .views
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.shared_group() == Some(gid))
+                .map(|(i, _)| i)
+                .collect();
+            if members.len() < 2 {
+                for i in members {
+                    self.views[i].set_shared_group(None);
+                }
+            }
+        }
         Ok(SqlOutput::message(format!("dropped view {name}")))
     }
 
@@ -643,19 +686,110 @@ impl Session {
         if !self.cluster.in_txn() {
             view.enable_serving(&self.cluster)?;
         }
+        // Lazy pooling: a lone view keeps private structures; the second
+        // view with the same join-graph signature pulls the whole group
+        // onto the shared pool so deltas run the probe chain once.
+        let group = if agg_items.is_empty() {
+            self.enroll_shared(&mut view)?
+        } else {
+            None
+        };
         let rows = view.contents(&self.cluster)?.len();
         let kind = if agg_items.is_empty() {
             "rows"
         } else {
             "groups"
         };
+        let group_note = match group {
+            Some(gid) => format!(", shared group g{gid}"),
+            None => String::new(),
+        };
         let msg = format!(
-            "created view {name} ({} method, {rows} {kind}, {} extra pages)",
+            "created view {name} ({} method, {rows} {kind}, {} extra pages{group_note})",
             view.method().label(),
             view.storage_overhead_pages(&self.cluster)?
         );
         self.views.push(view);
         Ok(SqlOutput::message(msg))
+    }
+
+    /// Find existing views whose join-graph signature matches the new
+    /// view's ([`GroupSignature::candidate`] — same method, relations,
+    /// normalized edges, and policies; projections may differ). When
+    /// peers exist, enroll every member's definition into the session's
+    /// shared pool, rebind the group to the pooled structures, and hand
+    /// out a shared-group id. Returns the group id, or `None` when the
+    /// view stays private.
+    fn enroll_shared(&mut self, view: &mut MaintainedView) -> Result<Option<u64>> {
+        let Some(sig) = GroupSignature::candidate(&self.cluster, view)? else {
+            return Ok(None);
+        };
+        let mut peers = Vec::new();
+        for (i, v) in self.views.iter().enumerate() {
+            if GroupSignature::candidate(&self.cluster, v)?.is_some_and(|s| s == sig) {
+                peers.push(i);
+            }
+        }
+        if peers.is_empty() {
+            return Ok(None);
+        }
+        match view.method() {
+            MaintenanceMethod::Naive => {
+                // No probe structures; matching signatures group as-is.
+            }
+            MaintenanceMethod::AuxiliaryRelation => {
+                // Enrolling can widen pool keep-sets (changed keys come
+                // back non-empty), in which case every already-bound view
+                // must rebind to the rebuilt tables.
+                let mut widened = false;
+                for &i in &peers {
+                    let def = self.views[i].def().clone();
+                    widened |= !self.catalog.ars.enroll(&mut self.cluster, &def)?.is_empty();
+                }
+                widened |= !self.catalog.ars.enroll(&mut self.cluster, view.def())?.is_empty();
+                for &i in &peers {
+                    if self.views[i].is_pool_shared() {
+                        if widened {
+                            self.views[i].rebind_ar_pool(&self.cluster, &self.catalog.ars)?;
+                        }
+                    } else {
+                        self.views[i].adopt_ar_pool(&mut self.cluster, &self.catalog.ars)?;
+                    }
+                }
+                view.adopt_ar_pool(&mut self.cluster, &self.catalog.ars)?;
+            }
+            MaintenanceMethod::GlobalIndex => {
+                let mut rebuilt = false;
+                for &i in &peers {
+                    let def = self.views[i].def().clone();
+                    rebuilt |= !self.catalog.gis.enroll(&mut self.cluster, &def)?.is_empty();
+                }
+                rebuilt |= !self.catalog.gis.enroll(&mut self.cluster, view.def())?.is_empty();
+                for &i in &peers {
+                    if self.views[i].is_pool_shared() {
+                        if rebuilt {
+                            self.views[i].rebind_gi_pool(&self.cluster, &self.catalog.gis)?;
+                        }
+                    } else {
+                        self.views[i].adopt_gi_pool(&mut self.cluster, &self.catalog.gis)?;
+                    }
+                }
+                view.adopt_gi_pool(&mut self.cluster, &self.catalog.gis)?;
+            }
+        }
+        let gid = match peers.iter().find_map(|&i| self.views[i].shared_group()) {
+            Some(g) => g,
+            None => {
+                let g = self.next_group;
+                self.next_group += 1;
+                g
+            }
+        };
+        for &i in &peers {
+            self.views[i].set_shared_group(Some(gid));
+        }
+        view.set_shared_group(Some(gid));
+        Ok(Some(gid))
     }
 
     /// Resolve a WHERE column against a table schema. Qualified refs match
@@ -750,7 +884,7 @@ impl Session {
             return Ok((n as u64, String::new()));
         }
         let mut refs: Vec<&mut MaintainedView> = self.views.iter_mut().collect();
-        let outcomes = maintain_all(&mut self.cluster, &mut refs, table, &delta)?;
+        let outcomes = maintain_catalog(&mut self.cluster, &self.catalog, &mut refs, table, &delta)?;
         let view_rows: u64 = outcomes.iter().map(|o| o.view_rows).sum();
         let io: f64 = outcomes.iter().map(|o| o.tw_io()).sum();
         Ok((
@@ -1410,6 +1544,155 @@ mod tests {
         assert!(s.execute("INSERT INTO a VALUES (1, 1, 'x')").is_err());
     }
 
+    /// One row per grouped view in `pvm_views`, `shared_group` column.
+    fn shared_groups(s: &mut Session) -> Vec<(String, String)> {
+        let rows = s
+            .execute_one("SELECT * FROM pvm_views")
+            .unwrap()
+            .rows
+            .unwrap()
+            .1;
+        let unquote = |v: &Value| match v {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        };
+        rows.iter()
+            .map(|r| (unquote(&r[0]), unquote(&r[10])))
+            .collect()
+    }
+
+    #[test]
+    fn second_compatible_view_forms_shared_group() {
+        let mut s = session();
+        let out = s
+            .execute_one(
+                "CREATE VIEW jv1 USING AUXILIARY RELATION AS \
+                 SELECT x.id, x.c, y.id FROM a x, b y WHERE x.c = y.d",
+            )
+            .unwrap();
+        assert!(
+            !out.message.contains("shared group"),
+            "a lone view stays private: {}",
+            out.message
+        );
+        let out = s
+            .execute_one(
+                "CREATE VIEW jv2 USING AUXILIARY RELATION AS \
+                 SELECT y.id, y.p FROM a x, b y WHERE x.c = y.d",
+            )
+            .unwrap();
+        assert!(
+            out.message.contains("shared group g0"),
+            "second compatible view pools: {}",
+            out.message
+        );
+        assert_eq!(
+            shared_groups(&mut s),
+            vec![
+                ("jv1".to_string(), "g0".to_string()),
+                ("jv2".to_string(), "g0".to_string()),
+            ]
+        );
+        // Private AR tables were re-homed onto the pool.
+        let names: Vec<String> = s
+            .cluster()
+            .catalog()
+            .ids()
+            .map(|id| s.cluster().def(id).unwrap().name.clone())
+            .collect();
+        assert!(
+            names.iter().any(|n| n.starts_with("pool__ar_")),
+            "pool ARs exist: {names:?}"
+        );
+        assert!(
+            !names.iter().any(|n| n.starts_with("jv1__ar_")),
+            "jv1's private ARs dropped: {names:?}"
+        );
+        // Deltas run the chain once and fan results to both members.
+        let out = s.execute_one("INSERT INTO a VALUES (200, 0, 'z')").unwrap();
+        assert!(
+            out.message.contains("8 view rows maintained"),
+            "4 matches in each member: {}",
+            out.message
+        );
+        s.execute_one("CHECK VIEW jv1").unwrap();
+        s.execute_one("CHECK VIEW jv2").unwrap();
+        let metrics = s
+            .execute_one("SELECT * FROM pvm_metrics")
+            .unwrap()
+            .rows
+            .unwrap()
+            .1;
+        let saved = metrics
+            .iter()
+            .find(|r| r[0] == Value::from("share.probes_saved"))
+            .expect("share.probes_saved counter");
+        assert!(
+            matches!(saved[1], Value::Int(n) if n > 0),
+            "probe-once saved searches: {saved:?}"
+        );
+    }
+
+    #[test]
+    fn incompatible_views_stay_ungrouped() {
+        let mut s = session();
+        // Same method, different join attribute — no group.
+        s.execute(
+            "CREATE VIEW v1 USING NAIVE AS SELECT x.id, y.id FROM a x, b y WHERE x.c = y.d; \
+             CREATE VIEW v2 USING NAIVE AS SELECT x.id, y.id FROM a x, b y WHERE x.id = y.id; \
+             CREATE VIEW v3 USING GLOBAL INDEX AS SELECT x.c, y.id FROM a x, b y WHERE x.c = y.d;",
+        )
+        .unwrap();
+        assert!(shared_groups(&mut s).iter().all(|(_, g)| g == "-"));
+        let out = s.execute_one("INSERT INTO a VALUES (201, 1, 'q')").unwrap();
+        assert!(out.message.contains("view rows maintained"));
+        for v in ["v1", "v2", "v3"] {
+            s.execute_one(&format!("CHECK VIEW {v}")).unwrap();
+        }
+    }
+
+    #[test]
+    fn dropping_members_dissolves_group_and_pool() {
+        let mut s = session();
+        s.execute(
+            "CREATE VIEW g1 USING GLOBAL INDEX AS \
+                 SELECT x.id, y.id FROM a x, b y WHERE x.c = y.d; \
+             CREATE VIEW g2 USING GLOBAL INDEX AS \
+                 SELECT y.id, x.p FROM a x, b y WHERE x.c = y.d; \
+             CREATE VIEW g3 USING GLOBAL INDEX AS \
+                 SELECT x.c, y.p FROM a x, b y WHERE x.c = y.d;",
+        )
+        .unwrap();
+        assert_eq!(
+            shared_groups(&mut s).iter().filter(|(_, g)| g == "g0").count(),
+            3
+        );
+        s.execute_one("DROP VIEW g2").unwrap();
+        // Two members left: still a group, still maintained together.
+        assert_eq!(
+            shared_groups(&mut s).iter().filter(|(_, g)| g == "g0").count(),
+            2
+        );
+        s.execute_one("INSERT INTO b VALUES (300, 3, 'nb')").unwrap();
+        s.execute_one("CHECK VIEW g1").unwrap();
+        s.execute_one("CHECK VIEW g3").unwrap();
+        s.execute_one("DROP VIEW g1").unwrap();
+        // A group of one is no group; the survivor keeps its pool GIs.
+        assert_eq!(shared_groups(&mut s), vec![("g3".to_string(), "-".to_string())]);
+        s.execute_one("INSERT INTO a VALUES (301, 3, 'na')").unwrap();
+        s.execute_one("CHECK VIEW g3").unwrap();
+        s.execute_one("DROP VIEW g3").unwrap();
+        // Last pool-bound view gone: the pool's tables are reclaimed.
+        let leftovers: Vec<String> = s
+            .cluster()
+            .catalog()
+            .ids()
+            .map(|id| s.cluster().def(id).unwrap().name.clone())
+            .filter(|n| n.starts_with("pool__"))
+            .collect();
+        assert!(leftovers.is_empty(), "pool tables linger: {leftovers:?}");
+    }
+
     #[test]
     fn sql_transactions_roll_back_views() {
         let mut s = session();
@@ -1579,7 +1862,8 @@ mod tests {
                 "partial_budget",
                 "resident_bytes",
                 "evictions",
-                "hit_rate"
+                "hit_rate",
+                "shared_group"
             ]
         );
         assert_eq!(rows.len(), 1);
@@ -1587,6 +1871,7 @@ mod tests {
         assert_eq!(rows[0].values()[1], Value::from("auxiliary relation"));
         assert_eq!(rows[0].values()[2], Value::Int(1));
         assert!(matches!(rows[0].values()[3], Value::Int(n) if n > 0));
+        assert_eq!(rows[0].values()[10], Value::from("-"), "lone view is ungrouped");
 
         // pvm_nodes: one row per node, shares sum to ~1 once work exists.
         let out = s.execute_one("SELECT * FROM pvm_nodes").unwrap();
