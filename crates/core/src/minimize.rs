@@ -250,13 +250,18 @@ impl ArPool {
     }
 
     /// Propagate one already-applied base delta into every pool AR of
-    /// `relation` — exactly once, regardless of how many views share them.
+    /// `relation` — exactly once, regardless of how many views share
+    /// them. `batch` governs the update's messaging granularity; pass
+    /// the member views' common policy (they share this one structure
+    /// update, so a mixed-policy membership has no single honest
+    /// granularity — fall back to the coalescing default there).
     pub fn apply_base_delta<B: Backend>(
         &self,
         backend: &mut B,
         relation: &str,
         placed: &[(Row, GlobalRid)],
         insert: bool,
+        batch: crate::chain::BatchPolicy,
     ) -> Result<()> {
         let mine: Vec<ArInfo> = self
             .ars
@@ -269,7 +274,7 @@ impl ArPool {
             &mine,
             placed,
             insert,
-            crate::chain::BatchPolicy::default(),
+            batch,
             pvm_obs::MethodTag::AuxRel,
             None, // pooled ARs are shared across views and never partial
         )
@@ -487,13 +492,16 @@ impl GiPool {
     }
 
     /// Propagate one already-applied base delta into every pool GI of
-    /// `relation` — exactly once, regardless of how many views share them.
+    /// `relation` — exactly once, regardless of how many views share
+    /// them. `batch` governs messaging granularity exactly as in
+    /// [`ArPool::apply_base_delta`].
     pub fn apply_base_delta<B: Backend>(
         &self,
         backend: &mut B,
         relation: &str,
         placed: &[(Row, GlobalRid)],
         insert: bool,
+        batch: crate::chain::BatchPolicy,
     ) -> Result<()> {
         let mut mine: Vec<(usize, pvm_engine::TableId)> = self
             .gis
@@ -507,7 +515,7 @@ impl GiPool {
             &mine,
             placed,
             insert,
-            crate::chain::BatchPolicy::default(),
+            batch,
             None, // pooled GIs are shared across views and never partial
         )
     }

@@ -184,16 +184,22 @@ impl SharedCatalog {
     }
 
     /// Propagate one already-applied base delta into every pool structure
-    /// over `relation` — each AR and GI exactly once.
+    /// over `relation` — each AR and GI exactly once. `batch` is the
+    /// pool-bound member views' common policy
+    /// ([`pool_batch_policy`]), so per-row parity runs keep per-row
+    /// messaging through the structure-update phase too.
     pub fn apply_base_delta<B: Backend>(
         &self,
         backend: &mut B,
         relation: &str,
         placed: &[(Row, GlobalRid)],
         insert: bool,
+        batch: BatchPolicy,
     ) -> Result<()> {
-        self.ars.apply_base_delta(backend, relation, placed, insert)?;
-        self.gis.apply_base_delta(backend, relation, placed, insert)
+        self.ars
+            .apply_base_delta(backend, relation, placed, insert, batch)?;
+        self.gis
+            .apply_base_delta(backend, relation, placed, insert, batch)
     }
 
     /// Total pages occupied by the catalog's shared structures.
@@ -206,6 +212,22 @@ impl SharedCatalog {
     pub fn release(&mut self, cluster: &mut Cluster) -> Result<()> {
         self.ars.release(cluster)?;
         self.gis.release(cluster)
+    }
+}
+
+/// The batch policy pool structure updates should run under: the uniform
+/// policy of the pool-bound views joining `relation`. The update runs
+/// once for all of them, so when members disagree (or none are bound)
+/// there is no single honest granularity and the coalescing default
+/// applies.
+pub fn pool_batch_policy(views: &[&mut MaintainedView], relation: &str) -> BatchPolicy {
+    let mut policies = views
+        .iter()
+        .filter(|v| v.is_pool_shared() && v.view_handle().def.relation_index(relation).is_ok())
+        .map(|v| v.batch_policy());
+    match policies.next() {
+        Some(first) if policies.all(|p| p == first) => first,
+        _ => BatchPolicy::default(),
     }
 }
 
@@ -569,7 +591,8 @@ fn maintain_catalog_phases<B: Backend>(
         let Some(rows) = rows else { continue };
         let (base, placed) = view::update_base(backend, table, rows, insert)?;
         let guard = backend.start_meter();
-        catalog.apply_base_delta(backend, relation, &placed, insert)?;
+        let pool_batch = pool_batch_policy(views, relation);
+        catalog.apply_base_delta(backend, relation, &placed, insert, pool_batch)?;
         let pool_aux = backend.finish_meter(&guard);
         let mut shared_phases = Some((base, pool_aux));
         // Probe-once groups first: one chain per group, results fanned to
@@ -924,6 +947,72 @@ mod tests {
         )
         .unwrap();
         v.check_consistent(&cluster).unwrap();
+    }
+
+    #[test]
+    fn check_pool_rejects_uncovered_pool_without_mutation() {
+        let mut cluster = setup(4);
+        let [full, _, _] = defs();
+        let mut v = MaintainedView::create(
+            &mut cluster,
+            full.clone(),
+            MaintenanceMethod::AuxiliaryRelation,
+        )
+        .unwrap();
+        let mut catalog = SharedCatalog::new();
+        // Empty pool: the dry-run check fails and the view keeps its
+        // private structures — nothing was dropped or rebound.
+        assert!(v.check_ar_pool(&cluster, &catalog.ars).is_err());
+        assert!(!v.is_pool_shared());
+        assert!(cluster.table_id("jv_full__ar_a_1").is_ok());
+        assert!(cluster.table_id("jv_full__ar_b_1").is_ok());
+        // Wrong-method check fails too, without touching the view.
+        assert!(v.check_gi_pool(&cluster, &catalog.gis).is_err());
+        // Once the pool covers the definition, check passes and the
+        // adoption it vouched for succeeds.
+        catalog.ars.enroll(&mut cluster, &full).unwrap();
+        v.check_ar_pool(&cluster, &catalog.ars).unwrap();
+        v.adopt_ar_pool(&mut cluster, &catalog.ars).unwrap();
+        assert!(v.is_pool_shared());
+
+        let mut g = MaintainedView::create(
+            &mut cluster,
+            defs()[1].clone(),
+            MaintenanceMethod::GlobalIndex,
+        )
+        .unwrap();
+        assert!(g.check_gi_pool(&cluster, &catalog.gis).is_err());
+        assert!(!g.is_pool_shared());
+        catalog.gis.enroll(&mut cluster, &defs()[1]).unwrap();
+        g.check_gi_pool(&cluster, &catalog.gis).unwrap();
+        g.adopt_gi_pool(&mut cluster, &catalog.gis).unwrap();
+        assert!(g.is_pool_shared());
+    }
+
+    #[test]
+    fn pool_batch_policy_uniform_or_default() {
+        let mut cluster = setup(4);
+        let (_catalog, mut svs) =
+            create_catalog(&mut cluster, MaintenanceMethod::AuxiliaryRelation);
+        {
+            let refs: Vec<&mut MaintainedView> = svs.iter_mut().collect();
+            assert_eq!(pool_batch_policy(&refs, "a"), BatchPolicy::Coalesced);
+        }
+        for v in &mut svs {
+            v.set_batch_policy(BatchPolicy::PerRow);
+        }
+        {
+            // Uniform PerRow membership keeps per-row messaging through
+            // the pool structure-update phase (parity-oracle premise).
+            let refs: Vec<&mut MaintainedView> = svs.iter_mut().collect();
+            assert_eq!(pool_batch_policy(&refs, "a"), BatchPolicy::PerRow);
+        }
+        svs[0].set_batch_policy(BatchPolicy::Coalesced);
+        {
+            // Mixed membership has no single honest granularity.
+            let refs: Vec<&mut MaintainedView> = svs.iter_mut().collect();
+            assert_eq!(pool_batch_policy(&refs, "a"), BatchPolicy::Coalesced);
+        }
     }
 
     #[test]

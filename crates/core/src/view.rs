@@ -711,6 +711,24 @@ impl MaintainedView {
         }
         // Resolve the new bindings first so a missing pool AR leaves the
         // view's private structures intact.
+        let ars = self.resolve_pool_ars(cluster, pool)?;
+        if let Some(old) = self.aux.take() {
+            for info in old.ars.values() {
+                cluster.drop_table(info.table)?;
+            }
+        }
+        self.aux = Some(AuxState { ars, shared: true });
+        Ok(())
+    }
+
+    /// The pool AR bindings this view needs — the read-only half of
+    /// [`MaintainedView::adopt_ar_pool`]. Fails without mutating when the
+    /// pool lacks a `(base, attr)` the view probes.
+    fn resolve_pool_ars(
+        &self,
+        cluster: &Cluster,
+        pool: &crate::minimize::ArPool,
+    ) -> Result<std::collections::HashMap<(usize, usize), auxrel::ArInfo>> {
         let mut ars = std::collections::HashMap::new();
         for (rel, &table) in self.handle.base.iter().enumerate() {
             let tdef = cluster.def(table)?.clone();
@@ -727,13 +745,27 @@ impl MaintainedView {
                 ars.insert((rel, c), info.clone());
             }
         }
-        if let Some(old) = self.aux.take() {
-            for info in old.ars.values() {
-                cluster.drop_table(info.table)?;
-            }
+        Ok(ars)
+    }
+
+    /// Verify [`MaintainedView::adopt_ar_pool`] would succeed — right
+    /// method, no partial state, and the pool covers every `(base, attr)`
+    /// this view probes — without mutating anything. Callers migrating a
+    /// whole group onto a pool check every member first, so a failure
+    /// cannot leave the group half-adopted.
+    pub fn check_ar_pool(&self, cluster: &Cluster, pool: &crate::minimize::ArPool) -> Result<()> {
+        if self.method != MaintenanceMethod::AuxiliaryRelation {
+            return Err(PvmError::InvalidOperation(format!(
+                "view '{}' is not auxiliary-relation maintained",
+                self.handle.def.name
+            )));
         }
-        self.aux = Some(AuxState { ars, shared: true });
-        Ok(())
+        if self.partial.is_some() {
+            return Err(PvmError::InvalidOperation(
+                "partial views cannot adopt a shared pool".into(),
+            ));
+        }
+        self.resolve_pool_ars(cluster, pool).map(|_| ())
     }
 
     /// Refresh a pool-bound view's AR bindings after the pool widened or
@@ -788,6 +820,23 @@ impl MaintainedView {
         if self.gi.as_ref().is_some_and(|g| g.shared) {
             return self.rebind_gi_pool(cluster, pool);
         }
+        let gis = self.resolve_pool_gis(cluster, pool)?;
+        if let Some(old) = self.gi.take() {
+            for info in old.gis.values() {
+                cluster.drop_table(info.table)?;
+            }
+        }
+        self.gi = Some(GiState { gis, shared: true });
+        Ok(())
+    }
+
+    /// The pool GI bindings this view needs — the read-only half of
+    /// [`MaintainedView::adopt_gi_pool`].
+    fn resolve_pool_gis(
+        &self,
+        cluster: &Cluster,
+        pool: &crate::minimize::GiPool,
+    ) -> Result<std::collections::HashMap<(usize, usize), globalindex::GiInfo>> {
         let mut gis = std::collections::HashMap::new();
         for (rel, &table) in self.handle.base.iter().enumerate() {
             let tdef = cluster.def(table)?.clone();
@@ -804,13 +853,25 @@ impl MaintainedView {
                 gis.insert((rel, c), info.clone());
             }
         }
-        if let Some(old) = self.gi.take() {
-            for info in old.gis.values() {
-                cluster.drop_table(info.table)?;
-            }
+        Ok(gis)
+    }
+
+    /// Verify [`MaintainedView::adopt_gi_pool`] would succeed without
+    /// mutating anything (GI analogue of
+    /// [`MaintainedView::check_ar_pool`]).
+    pub fn check_gi_pool(&self, cluster: &Cluster, pool: &crate::minimize::GiPool) -> Result<()> {
+        if self.method != MaintenanceMethod::GlobalIndex {
+            return Err(PvmError::InvalidOperation(format!(
+                "view '{}' is not global-index maintained",
+                self.handle.def.name
+            )));
         }
-        self.gi = Some(GiState { gis, shared: true });
-        Ok(())
+        if self.partial.is_some() {
+            return Err(PvmError::InvalidOperation(
+                "partial views cannot adopt a shared pool".into(),
+            ));
+        }
+        self.resolve_pool_gis(cluster, pool).map(|_| ())
     }
 
     /// Refresh a pool-bound view's GI bindings (GI analogue of
@@ -2134,7 +2195,8 @@ pub fn maintain_all_pooled<B: Backend>(
             let Some(rows) = rows else { continue };
             let (base, placed) = update_base(backend, table, rows, insert)?;
             let guard = backend.start_meter();
-            pool.apply_base_delta(backend, relation, &placed, insert)?;
+            let pool_batch = crate::share::pool_batch_policy(views, relation);
+            pool.apply_base_delta(backend, relation, &placed, insert, pool_batch)?;
             let pool_aux = backend.finish_meter(&guard);
             let mut shared_phases = Some((base, pool_aux));
             for (i, view) in views.iter_mut().enumerate() {

@@ -739,38 +739,63 @@ impl Session {
             }
             MaintenanceMethod::AuxiliaryRelation => {
                 // Enrolling can widen pool keep-sets (changed keys come
-                // back non-empty), in which case every already-bound view
-                // must rebind to the rebuilt tables.
+                // back non-empty). A widened AR is dropped and rebuilt
+                // under a new table id, and the session's single pool
+                // spans every signature group — so *every* pool-bound AR
+                // view must rebind, not just this group's peers.
                 let mut widened = false;
                 for &i in &peers {
                     let def = self.views[i].def().clone();
                     widened |= !self.catalog.ars.enroll(&mut self.cluster, &def)?.is_empty();
                 }
                 widened |= !self.catalog.ars.enroll(&mut self.cluster, view.def())?.is_empty();
-                for &i in &peers {
-                    if self.views[i].is_pool_shared() {
-                        if widened {
-                            self.views[i].rebind_ar_pool(&self.cluster, &self.catalog.ars)?;
+                if widened {
+                    for v in self.views.iter_mut() {
+                        if v.method() == MaintenanceMethod::AuxiliaryRelation
+                            && v.is_pool_shared()
+                        {
+                            v.rebind_ar_pool(&self.cluster, &self.catalog.ars)?;
                         }
-                    } else {
+                    }
+                }
+                // All-or-nothing adoption: verify the pool covers every
+                // member before any member drops its private structures,
+                // so a late failure cannot leave the group half-migrated.
+                for &i in &peers {
+                    self.views[i].check_ar_pool(&self.cluster, &self.catalog.ars)?;
+                }
+                view.check_ar_pool(&self.cluster, &self.catalog.ars)?;
+                for &i in &peers {
+                    if !self.views[i].is_pool_shared() {
                         self.views[i].adopt_ar_pool(&mut self.cluster, &self.catalog.ars)?;
                     }
                 }
                 view.adopt_ar_pool(&mut self.cluster, &self.catalog.ars)?;
             }
             MaintenanceMethod::GlobalIndex => {
+                // GiPool::enroll only ever creates GIs (contents depend
+                // solely on (base, attr), so nothing widens) — the rebind
+                // sweep mirrors the AR branch defensively in case pool
+                // GIs are ever rebuilt under new ids.
                 let mut rebuilt = false;
                 for &i in &peers {
                     let def = self.views[i].def().clone();
                     rebuilt |= !self.catalog.gis.enroll(&mut self.cluster, &def)?.is_empty();
                 }
                 rebuilt |= !self.catalog.gis.enroll(&mut self.cluster, view.def())?.is_empty();
-                for &i in &peers {
-                    if self.views[i].is_pool_shared() {
-                        if rebuilt {
-                            self.views[i].rebind_gi_pool(&self.cluster, &self.catalog.gis)?;
+                if rebuilt {
+                    for v in self.views.iter_mut() {
+                        if v.method() == MaintenanceMethod::GlobalIndex && v.is_pool_shared() {
+                            v.rebind_gi_pool(&self.cluster, &self.catalog.gis)?;
                         }
-                    } else {
+                    }
+                }
+                for &i in &peers {
+                    self.views[i].check_gi_pool(&self.cluster, &self.catalog.gis)?;
+                }
+                view.check_gi_pool(&self.cluster, &self.catalog.gis)?;
+                for &i in &peers {
+                    if !self.views[i].is_pool_shared() {
                         self.views[i].adopt_gi_pool(&mut self.cluster, &self.catalog.gis)?;
                     }
                 }
@@ -1631,6 +1656,55 @@ mod tests {
             matches!(saved[1], Value::Int(n) if n > 0),
             "probe-once saved searches: {saved:?}"
         );
+    }
+
+    #[test]
+    fn pool_widening_rebinds_other_signature_groups() {
+        let mut s = session();
+        s.execute("CREATE TABLE e (id INT, f INT, p STR) PARTITION BY HASH(id)")
+            .unwrap();
+        for i in 0..20 {
+            s.execute(&format!("INSERT INTO e VALUES ({i}, {}, 'e{i}')", i % 5))
+                .unwrap();
+        }
+        // Group g0: two AR views on a ⋈ b. Pool AR (a, c) keeps {id, c}.
+        s.execute(
+            "CREATE VIEW jv1 USING AUXILIARY RELATION AS \
+                 SELECT x.id, y.id FROM a x, b y WHERE x.c = y.d; \
+             CREATE VIEW jv2 USING AUXILIARY RELATION AS \
+                 SELECT y.id, x.id FROM a x, b y WHERE x.c = y.d;",
+        )
+        .unwrap();
+        // Group g1: a different join graph needing the same (a, c) AR
+        // with a wider keep set {id, c, p} — enrolling drops and rebuilds
+        // the pool AR under a new table id, so g0's members must rebind
+        // even though they are not g1's signature peers.
+        s.execute(
+            "CREATE VIEW jv3 USING AUXILIARY RELATION AS \
+                 SELECT x.id, x.p, z.f FROM a x, b y, e z \
+                 WHERE x.c = y.d AND y.id = z.id; \
+             CREATE VIEW jv4 USING AUXILIARY RELATION AS \
+                 SELECT z.f, x.id, x.p FROM a x, b y, e z \
+                 WHERE x.c = y.d AND y.id = z.id;",
+        )
+        .unwrap();
+        assert_eq!(
+            shared_groups(&mut s),
+            vec![
+                ("jv1".to_string(), "g0".to_string()),
+                ("jv2".to_string(), "g0".to_string()),
+                ("jv3".to_string(), "g1".to_string()),
+                ("jv4".to_string(), "g1".to_string()),
+            ]
+        );
+        // A delta on b probes the rebuilt (a, c) AR through g0's chain —
+        // with stale bindings this fails (the old table is dropped).
+        s.execute_one("INSERT INTO b VALUES (300, 2, 'nb')").unwrap();
+        s.execute_one("INSERT INTO a VALUES (301, 3, 'na')").unwrap();
+        s.execute_one("DELETE FROM b WHERE id = 4").unwrap();
+        for v in ["jv1", "jv2", "jv3", "jv4"] {
+            s.execute_one(&format!("CHECK VIEW {v}")).unwrap();
+        }
     }
 
     #[test]
